@@ -1,0 +1,35 @@
+//! HPCC 8-byte random/natural-order ring latency (paper Fig. 6).
+//!
+//! Usage: `hpcc_rings [--nodes N] [--ppn P] [--mode wpm|sessions]
+//!                    [--iters N]`
+
+use apps::hpcc::run_hpcc_rings;
+use apps::{cli_opt, InitMode};
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: u32 = cli_opt(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let ppn: u32 = cli_opt(&args, "--ppn").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let modes: Vec<InitMode> = match cli_opt(&args, "--mode").as_deref() {
+        Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
+        None => vec![InitMode::Wpm, InitMode::Sessions],
+    };
+
+    println!("# HPCC bandwidth/latency component: 8-byte ring latencies");
+    println!("# nodes={nodes} ppn={ppn} iters={iters}");
+    println!("{:<18} {:>6} {:>16} {:>16}", "mode", "np", "natural (us)", "random (us)");
+    for mode in modes {
+        let mut tb = SimTestbed::jupiter(nodes);
+        tb.cluster.slots_per_node = ppn;
+        let res = run_hpcc_rings(tb, nodes * ppn, mode, 5, iters);
+        println!(
+            "{:<18} {:>6} {:>16.3} {:>16.3}",
+            mode.to_string(),
+            nodes * ppn,
+            res[0].usec,
+            res[1].usec
+        );
+    }
+}

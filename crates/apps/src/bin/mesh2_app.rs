@@ -1,0 +1,37 @@
+//! mini-2MESH driver: Baseline (native QUO) vs Sessions executables
+//! (paper Fig. 7).
+//!
+//! Usage: `mesh2_app [--nodes N] [--ppn P] [--phases K] [--reps R]`
+
+use apps::cli_opt;
+use apps::mesh2::{run_mesh2_median, Mesh2Config};
+use quo::QuoBackend;
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: u32 = cli_opt(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let ppn: u32 = cli_opt(&args, "--ppn").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let phases: usize = cli_opt(&args, "--phases").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let reps: usize = cli_opt(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    let cfg = Mesh2Config { phases, ..Mesh2Config::small() };
+    let np = nodes * ppn;
+    println!("# mini-2MESH coupled multi-physics run");
+    println!("# nodes={nodes} ppn={ppn} np={np} phases={phases} reps={reps}");
+
+    let mut tb = SimTestbed::trinity(nodes);
+    tb.cluster.slots_per_node = ppn;
+    let base = run_mesh2_median(tb.clone(), np, cfg.clone(), QuoBackend::Native, reps);
+    let sess = run_mesh2_median(tb, np, cfg, QuoBackend::Sessions, reps);
+
+    println!("{:<12} {:>14} {:>12} {:>18}", "variant", "time (s)", "normalized", "residual");
+    println!("{:<12} {:>14.4} {:>12.3} {:>18.6}", "Baseline", base.elapsed_s, 1.0, base.residual);
+    println!(
+        "{:<12} {:>14.4} {:>12.3} {:>18.6}",
+        "Sessions",
+        sess.elapsed_s,
+        sess.elapsed_s / base.elapsed_s,
+        sess.residual
+    );
+}

@@ -1,0 +1,44 @@
+//! `osu_bw` — unidirectional bandwidth between two on-node processes.
+//!
+//! Usage: `osu_bw [--mode wpm|sessions] [--max-size BYTES] [--window W]
+//!                [--iters N]`
+
+use apps::osu::{bench_comm, osu_bw, size_sweep};
+use apps::{cli_opt, InitMode};
+use prrte::{JobSpec, Launcher};
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_size: usize =
+        cli_opt(&args, "--max-size").and_then(|v| v.parse().ok()).unwrap_or(1 << 20);
+    let window: usize = cli_opt(&args, "--window").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let modes: Vec<InitMode> = match cli_opt(&args, "--mode").as_deref() {
+        Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
+        None => vec![InitMode::Wpm, InitMode::Sessions],
+    };
+
+    println!("# OSU MPI Bandwidth Test (2 processes, single node)");
+    for mode in modes {
+        println!("# {mode}");
+        println!("{:>10} {:>14}", "Size", "MB/s");
+        let sizes = size_sweep(max_size);
+        let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+        let out = launcher
+            .spawn(JobSpec::new(2), move |ctx| {
+                let (session, comm) = bench_comm(&ctx, mode, "osu_bw");
+                let samples = osu_bw(&comm, &sizes, window, 2, iters);
+                comm.free().unwrap();
+                if let Some(s) = session {
+                    s.finalize().unwrap();
+                }
+                samples
+            })
+            .join()
+            .expect("bw job");
+        for s in &out[0] {
+            println!("{:>10} {:>14.2}", s.size, s.mb_per_s);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `osu_init` — MPI startup-time microbenchmark (paper Fig. 3).
+//!
+//! Usage: `osu_init [--nodes N] [--ppn P] [--mode wpm|sessions] [--reps R]`
+
+use apps::osu::osu_init;
+use apps::{cli_opt, InitMode};
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: u32 = cli_opt(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let ppn: u32 = cli_opt(&args, "--ppn").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let reps: usize = cli_opt(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let modes: Vec<InitMode> = match cli_opt(&args, "--mode").as_deref() {
+        Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
+        None => vec![InitMode::Wpm, InitMode::Sessions],
+    };
+
+    println!("# OSU MPI Init Test (simulated testbed, jupiter cost model)");
+    println!("# nodes={nodes} ppn={ppn} reps={reps}");
+    println!("{:<18} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "mode", "np", "total(ms)", "sess_init", "grp_pset", "comm_create");
+    for mode in modes {
+        let mut best = f64::INFINITY;
+        let mut pick = None;
+        for _ in 0..reps {
+            let tb = SimTestbed::jupiter(nodes);
+            let mut tb = tb;
+            tb.cluster.slots_per_node = ppn.max(1);
+            let r = osu_init(tb, nodes * ppn, mode);
+            if r.max.total_s < best {
+                best = r.max.total_s;
+                pick = Some(r);
+            }
+        }
+        let r = pick.expect("at least one rep");
+        println!(
+            "{:<18} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            mode.to_string(),
+            r.np,
+            r.max.total_s * 1e3,
+            r.max.session_init_s * 1e3,
+            r.max.group_from_pset_s * 1e3,
+            r.max.comm_create_s * 1e3,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! `osu_latency` — on-node ping-pong latency (paper Fig. 5a).
+//!
+//! Usage: `osu_latency [--mode wpm|sessions] [--max-size BYTES]
+//!                     [--iters N] [--warmup N]`
+
+use apps::osu::{run_latency_job, size_sweep, DEFAULT_ITERS, DEFAULT_WARMUP};
+use apps::{cli_opt, InitMode};
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_size: usize =
+        cli_opt(&args, "--max-size").and_then(|v| v.parse().ok()).unwrap_or(1 << 20);
+    let iters: usize =
+        cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_ITERS);
+    let warmup: usize =
+        cli_opt(&args, "--warmup").and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_WARMUP);
+    let modes: Vec<InitMode> = match cli_opt(&args, "--mode").as_deref() {
+        Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
+        None => vec![InitMode::Wpm, InitMode::Sessions],
+    };
+
+    println!("# OSU MPI Latency Test (2 processes, single node)");
+    for mode in modes {
+        println!("# {mode}");
+        println!("{:>10} {:>14}", "Size", "Latency (us)");
+        let samples = run_latency_job(
+            SimTestbed::tiny(1, 2),
+            mode,
+            size_sweep(max_size),
+            warmup,
+            iters,
+        );
+        for s in samples {
+            println!("{:>10} {:>14.3}", s.size, s.usec);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `osu_mbw_mr` — multiple bandwidth / message rate (paper Figs. 5b/5c).
+//!
+//! Usage: `osu_mbw_mr [--procs N] [--mode wpm|sessions] [--window W]
+//!                    [--max-size BYTES] [--iters N] [--presync]`
+
+use apps::osu::{run_mbw_job, size_sweep};
+use apps::{cli_flag, cli_opt, InitMode};
+use simnet::SimTestbed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let procs: u32 = cli_opt(&args, "--procs").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let window: usize = cli_opt(&args, "--window").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let max_size: usize =
+        cli_opt(&args, "--max-size").and_then(|v| v.parse().ok()).unwrap_or(1 << 16);
+    let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let presync = cli_flag(&args, "--presync");
+    let modes: Vec<InitMode> = match cli_opt(&args, "--mode").as_deref() {
+        Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
+        None => vec![InitMode::Wpm, InitMode::Sessions],
+    };
+    assert!(procs >= 2 && procs % 2 == 0, "--procs must be even");
+
+    println!("# OSU MPI Multiple Bandwidth / Message Rate Test");
+    println!("# procs={procs} pairs={} window={window} presync={presync}", procs / 2);
+    for mode in modes {
+        println!("# {mode}");
+        println!("{:>10} {:>14} {:>16}", "Size", "MB/s", "Messages/s");
+        let samples = run_mbw_job(
+            SimTestbed::tiny(1, procs),
+            mode,
+            procs,
+            size_sweep(max_size),
+            window,
+            2,
+            iters,
+            presync,
+        );
+        for s in samples {
+            println!("{:>10} {:>14.2} {:>16.0}", s.size, s.mb_per_s, s.msg_per_s);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Criterion microbenchmarks over the simulated stack.
+//!
+//! Each benchmark uses `iter_custom`: the requested iteration count is
+//! shipped into a freshly launched simulated job, the ranks run the hot
+//! loop, and the job reports the elapsed time of the measured rank. That
+//! keeps criterion's statistics while the real work happens inside the
+//! multi-process simulation.
+//!
+//! Covered paths (mapping to the paper's evaluation concerns):
+//! * `init/*` — startup cost of the two process models (Fig. 3's axis);
+//! * `comm_create/*` — consensus vs PGCID vs derived identifiers (Fig. 4);
+//! * `p2p/*` — steady-state latency incl. first-message handshake (Fig. 5);
+//! * `coll/*` — barrier/allreduce building blocks;
+//! * `pmix/*` — fence vs group construct substrate costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_sessions::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use prrte::{JobSpec, Launcher};
+use simnet::SimTestbed;
+use std::time::{Duration, Instant};
+
+/// Run a 2-rank on-node job; rank 0's closure result is the measured time.
+fn timed_job<F>(np: u32, f: F) -> Duration
+where
+    F: Fn(&prrte::ProcCtx) -> Duration + Send + Sync + 'static,
+{
+    let launcher = Launcher::new(SimTestbed::tiny(1, np));
+    let out = launcher
+        .spawn(JobSpec::new(np), move |ctx| f(&ctx))
+        .join()
+        .expect("bench job");
+    out[0]
+}
+
+fn session_comm(ctx: &prrte::ProcCtx, tag: &str) -> (Session, Comm) {
+    let s = Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap();
+    let g = s.group_from_pset("mpi://world").unwrap();
+    let c = Comm::create_from_group(&g, tag).unwrap();
+    (s, c)
+}
+
+fn bench_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("init");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("wpm", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += timed_job(2, |ctx| {
+                    let t0 = Instant::now();
+                    let w = mpi_sessions::world::init(ctx).unwrap();
+                    let dt = t0.elapsed();
+                    w.finalize().unwrap();
+                    dt
+                });
+            }
+            total
+        })
+    });
+    g.bench_function("sessions", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += timed_job(2, |ctx| {
+                    let t0 = Instant::now();
+                    let (s, comm) = session_comm(ctx, "bench-init");
+                    let dt = t0.elapsed();
+                    comm.free().unwrap();
+                    s.finalize().unwrap();
+                    dt
+                });
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_comm_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_create");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, which) in [("consensus", 0u8), ("pgcid", 1), ("derived", 2)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(move |iters| {
+                timed_job(4, move |ctx| {
+                    let world = mpi_sessions::world::init(ctx).unwrap();
+                    let (s, parent) = session_comm(ctx, "bench-cc");
+                    let t0 = Instant::now();
+                    let mut made = Vec::new();
+                    for _ in 0..iters {
+                        let d = match which {
+                            0 => world.comm().dup_consensus().unwrap(),
+                            1 => parent.dup_via_group().unwrap(),
+                            _ => parent.dup().unwrap(),
+                        };
+                        made.push(d);
+                    }
+                    let dt = t0.elapsed();
+                    for d in made {
+                        d.free().unwrap();
+                    }
+                    parent.free().unwrap();
+                    s.finalize().unwrap();
+                    world.finalize().unwrap();
+                    dt
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    // Steady-state ping-pong over a sessions communicator (the handshake
+    // completed during warmup).
+    g.bench_function("pingpong_steady_8B", |b| {
+        b.iter_custom(|iters| {
+            timed_job(2, move |ctx| {
+                let (s, comm) = session_comm(ctx, "bench-pp");
+                let me = comm.rank();
+                // warmup: complete the handshake
+                if me == 0 {
+                    comm.send(1, 0, b"warm").unwrap();
+                    let _ = comm.recv(1, 0).unwrap();
+                } else {
+                    let _ = comm.recv(0, 0).unwrap();
+                    comm.send(0, 0, b"warm").unwrap();
+                }
+                let payload = [0u8; 8];
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    if me == 0 {
+                        comm.send(1, 1, &payload).unwrap();
+                        let _ = comm.recv(1, 1).unwrap();
+                    } else {
+                        let _ = comm.recv(0, 1).unwrap();
+                        comm.send(0, 1, &payload).unwrap();
+                    }
+                }
+                let dt = t0.elapsed();
+                comm.free().unwrap();
+                s.finalize().unwrap();
+                dt
+            })
+        })
+    });
+    // First message on a fresh exCID communicator: includes EXT header +
+    // matching-side mapping (the A2 ablation).
+    g.bench_function("first_message_handshake", |b| {
+        b.iter_custom(|iters| {
+            timed_job(2, move |ctx| {
+                let s = Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                    .unwrap();
+                let group = s.group_from_pset("mpi://world").unwrap();
+                let mut comms = Vec::new();
+                for i in 0..iters {
+                    comms.push(Comm::create_from_group(&group, &format!("hs{i}")).unwrap());
+                }
+                let me = comms[0].rank();
+                let t0 = Instant::now();
+                for comm in &comms {
+                    if me == 0 {
+                        comm.send(1, 0, b"x").unwrap();
+                        let _ = comm.recv(1, 0).unwrap();
+                    } else {
+                        let _ = comm.recv(0, 0).unwrap();
+                        comm.send(0, 0, b"x").unwrap();
+                    }
+                }
+                let dt = t0.elapsed();
+                for comm in comms {
+                    comm.free().unwrap();
+                }
+                s.finalize().unwrap();
+                dt
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_coll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coll");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("barrier_np4", |b| {
+        b.iter_custom(|iters| {
+            timed_job(4, move |ctx| {
+                let (s, comm) = session_comm(ctx, "bench-bar");
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    coll::barrier(&comm).unwrap();
+                }
+                let dt = t0.elapsed();
+                comm.free().unwrap();
+                s.finalize().unwrap();
+                dt
+            })
+        })
+    });
+    g.bench_function("allreduce_np4_64B", |b| {
+        b.iter_custom(|iters| {
+            timed_job(4, move |ctx| {
+                let (s, comm) = session_comm(ctx, "bench-ar");
+                let data = vec![1u64; 8];
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    let _ = coll::allreduce_t(&comm, ReduceOp::Sum, &data).unwrap();
+                }
+                let dt = t0.elapsed();
+                comm.free().unwrap();
+                s.finalize().unwrap();
+                dt
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_pmix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pmix");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("fence_np4", |b| {
+        b.iter_custom(|iters| {
+            timed_job(4, move |ctx| {
+                let members: Vec<pmix::ProcId> = (0..ctx.size())
+                    .map(|r| pmix::ProcId::new(ctx.proc().nspace(), r))
+                    .collect();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    ctx.pmix().fence(&members, false).unwrap();
+                }
+                t0.elapsed()
+            })
+        })
+    });
+    g.bench_function("group_construct_np4", |b| {
+        b.iter_custom(|iters| {
+            timed_job(4, move |ctx| {
+                let members: Vec<pmix::ProcId> = (0..ctx.size())
+                    .map(|r| pmix::ProcId::new(ctx.proc().nspace(), r))
+                    .collect();
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    let g = ctx
+                        .pmix()
+                        .group_construct(
+                            &format!("bm{i}"),
+                            &members,
+                            &pmix::GroupDirectives::for_mpi(),
+                        )
+                        .unwrap();
+                    ctx.pmix().group_destruct(&g, None).unwrap();
+                }
+                t0.elapsed()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_init,
+    bench_comm_create,
+    bench_p2p,
+    bench_coll,
+    bench_pmix
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Fig. 4 regenerator: per-iteration `MPI_Comm_dup` time vs. node count
+//! for the two initialization paths.
+//!
+//! * baseline (`MPI_Init`): the legacy consensus CID algorithm;
+//! * sessions: the prototype behavior measured in the paper — each dup
+//!   acquires a fresh PGCID through PMIx (`dup_via_group`);
+//! * bonus column: the exCID local-derivation dup, the design the paper
+//!   argues amortizes PGCID acquisition ("more communicators could be
+//!   created before needing to request a new PGCID").
+//!
+//! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]`
+
+use apps::{cli_flag, cli_opt, InitMode};
+use bench_harness::{dump_json, parse_list};
+use prrte::{JobSpec, Launcher};
+use serde::Serialize;
+use simnet::SimTestbed;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    nodes: u32,
+    np: u32,
+    wpm_dup_us: f64,
+    sessions_dup_us: f64,
+    derived_dup_us: f64,
+    ratio: f64,
+}
+
+/// Time `iters` dup operations on a fresh job; returns µs per dup
+/// (max across ranks).
+fn time_dups(tb: SimTestbed, np: u32, mode: InitMode, iters: usize, derive: bool) -> f64 {
+    let launcher = Launcher::new(tb);
+    let per_rank = launcher
+        .spawn(JobSpec::new(np), move |ctx| {
+            let (session, comm) = apps::osu::bench_comm(&ctx, mode, "fig4");
+            let t0 = Instant::now();
+            let mut dups = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                let d = match (mode, derive) {
+                    (InitMode::Wpm, _) => comm.dup().expect("consensus dup"),
+                    (InitMode::Sessions, false) => comm.dup_via_group().expect("pgcid dup"),
+                    (InitMode::Sessions, true) => comm.dup().expect("derived dup"),
+                };
+                dups.push(d);
+            }
+            let elapsed = t0.elapsed();
+            for d in dups {
+                d.free().expect("free");
+            }
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+            elapsed.as_secs_f64() * 1e6 / iters as f64
+        })
+        .join()
+        .expect("fig4 job");
+    per_rank.into_iter().fold(0.0, f64::max)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes_list =
+        parse_list(&cli_opt(&args, "--nodes").unwrap_or_else(|| "1,2,4,8".into()));
+    let ppn: u32 = cli_opt(&args, "--ppn")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cli_flag(&args, "--paper") { 28 } else { 8 });
+    let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    println!("# Fig. 4: MPI_Comm_dup time per iteration, {ppn} processes/node");
+    println!(
+        "{:>6} {:>6} {:>16} {:>18} {:>18} {:>8}",
+        "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived", "ratio"
+    );
+    let mut rows = Vec::new();
+    for &nodes in &nodes_list {
+        let mk_tb = || {
+            let mut tb = SimTestbed::jupiter(nodes);
+            tb.cluster.slots_per_node = ppn;
+            tb
+        };
+        let np = nodes * ppn;
+        let wpm = time_dups(mk_tb(), np, InitMode::Wpm, iters, false);
+        let sess = time_dups(mk_tb(), np, InitMode::Sessions, iters, false);
+        let derived = time_dups(mk_tb(), np, InitMode::Sessions, iters, true);
+        let ratio = sess / wpm;
+        println!(
+            "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>8.2}",
+            nodes, np, wpm, sess, derived, ratio
+        );
+        rows.push(Row {
+            nodes,
+            np,
+            wpm_dup_us: wpm,
+            sessions_dup_us: sess,
+            derived_dup_us: derived,
+            ratio,
+        });
+    }
+    println!(
+        "\n# Paper shape: sessions dup (one PGCID acquisition per dup) is slower than the\n\
+         # consensus baseline and the gap grows with node count; exCID derivation\n\
+         # (last column) removes the per-dup runtime round trip entirely."
+    );
+    dump_json("fig4_comm_dup", &rows);
+}

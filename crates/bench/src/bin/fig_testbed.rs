@@ -1,0 +1,36 @@
+//! Table I analog: the simulated testbeds standing in for the paper's
+//! Cray systems, with their cost-model parameters.
+
+use simnet::SimTestbed;
+
+fn describe(tb: &SimTestbed, stands_for: &str) {
+    println!("## {} (stands in for {stands_for})", tb.name);
+    println!("   nodes             : {}", tb.cluster.nodes);
+    println!("   slots per node    : {}", tb.cluster.slots_per_node);
+    println!("   intra-node latency: {:?} (direct queue handoff)", tb.cost.intra_node_latency);
+    println!("   inter-node latency: {:?}", tb.cost.inter_node_latency);
+    println!(
+        "   inter-node bw     : {}",
+        tb.cost
+            .inter_node_bandwidth
+            .map(|b| format!("{:.1} GiB/s", b as f64 / (1024.0 * 1024.0 * 1024.0)))
+            .unwrap_or_else(|| "unbounded".into())
+    );
+    println!("   spawn cost        : {:?}", tb.cost.spawn_cost);
+    println!();
+}
+
+fn main() {
+    println!("# Table I analog: simulated testbeds");
+    println!("# (the paper used real Cray XC40/XC30 systems with the Aries network;");
+    println!("#  see DESIGN.md for why the latency/bandwidth model preserves the");
+    println!("#  evaluation's shape)\n");
+    describe(
+        &SimTestbed::trinity(8),
+        "Trinity: Cray XC40, 2x16-core E5-2698v3, 128 GB, Aries",
+    );
+    describe(
+        &SimTestbed::jupiter(8),
+        "Jupiter: Cray XC30, 2x14-core E5-2690v4, 64 GB, Aries",
+    );
+}

@@ -1,0 +1,65 @@
+//! Shared plumbing for the figure regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index): it runs the workload on the
+//! simulated testbed, prints the same rows/series the paper reports, and
+//! can dump machine-readable JSON next to the human-readable table.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Standard location for JSON result dumps (`target/figures/`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a JSON result record for a figure.
+pub fn dump_json<T: Serialize>(figure: &str, value: &T) {
+    let path = results_dir().join(format!("{figure}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("warn: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize {figure}: {e}"),
+    }
+}
+
+/// Geometric mean of relative ratios (used for Fig. 5-style summaries).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Parse a comma-separated list of integers (`--nodes 1,2,4,8`).
+pub fn parse_list(s: &str) -> Vec<u32> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.trim().parse().expect("integer list"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_ones_is_one() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn parse_list_handles_spaces() {
+        assert_eq!(parse_list("1, 2,4"), vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Session attribute caching (`MPI_Session_create_keyval` etc.).
+//!
+//! The Sessions proposal allows keyval creation and attribute caching
+//! *before* initialization and requires thread safety throughout (paper
+//! §III-B5). Keyvals are process-wide (a global, thread-safe registry —
+//! the analog of the C library's static keyval table); attribute values
+//! are cached per session.
+
+use crate::error::{ErrClass, MpiError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An attribute key created with [`Keyval::create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Keyval(u64);
+
+static NEXT_KEYVAL: AtomicU64 = AtomicU64::new(1);
+static LIVE_KEYVALS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+impl Keyval {
+    /// `MPI_Session_create_keyval`: callable before any init, thread-safe.
+    pub fn create() -> Keyval {
+        let id = NEXT_KEYVAL.fetch_add(1, Ordering::Relaxed);
+        LIVE_KEYVALS.lock().push(id);
+        Keyval(id)
+    }
+
+    /// `MPI_Session_free_keyval`. Cached values under this key become
+    /// unreadable everywhere.
+    pub fn free(self) {
+        LIVE_KEYVALS.lock().retain(|k| *k != self.0);
+    }
+
+    /// Whether this keyval is still valid.
+    pub fn is_valid(&self) -> bool {
+        LIVE_KEYVALS.lock().contains(&self.0)
+    }
+}
+
+/// Per-object attribute store (hangs off each session).
+#[derive(Default, Clone)]
+pub struct AttrStore {
+    map: Arc<Mutex<HashMap<Keyval, u64>>>,
+}
+
+impl AttrStore {
+    /// Fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `MPI_Session_set_attr`.
+    pub fn set(&self, key: Keyval, value: u64) -> Result<()> {
+        if !key.is_valid() {
+            return Err(MpiError::new(ErrClass::Arg, "attribute keyval has been freed"));
+        }
+        self.map.lock().insert(key, value);
+        Ok(())
+    }
+
+    /// `MPI_Session_get_attr`: `Ok(None)` when unset.
+    pub fn get(&self, key: Keyval) -> Result<Option<u64>> {
+        if !key.is_valid() {
+            return Err(MpiError::new(ErrClass::Arg, "attribute keyval has been freed"));
+        }
+        Ok(self.map.lock().get(&key).copied())
+    }
+
+    /// `MPI_Session_delete_attr`. Returns whether a value was cached.
+    pub fn delete(&self, key: Keyval) -> Result<bool> {
+        if !key.is_valid() {
+            return Err(MpiError::new(ErrClass::Arg, "attribute keyval has been freed"));
+        }
+        Ok(self.map.lock().remove(&key).is_some())
+    }
+}
+
+impl std::fmt::Debug for AttrStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AttrStore({} entries)", self.map.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyval_lifecycle() {
+        let k = Keyval::create();
+        assert!(k.is_valid());
+        let store = AttrStore::new();
+        store.set(k, 42).unwrap();
+        assert_eq!(store.get(k).unwrap(), Some(42));
+        assert!(store.delete(k).unwrap());
+        assert_eq!(store.get(k).unwrap(), None);
+        k.free();
+        assert!(!k.is_valid());
+        assert!(store.set(k, 1).is_err());
+        assert!(store.get(k).is_err());
+    }
+
+    #[test]
+    fn distinct_keyvals_do_not_collide() {
+        let a = Keyval::create();
+        let b = Keyval::create();
+        assert_ne!(a, b);
+        let store = AttrStore::new();
+        store.set(a, 1).unwrap();
+        store.set(b, 2).unwrap();
+        assert_eq!(store.get(a).unwrap(), Some(1));
+        assert_eq!(store.get(b).unwrap(), Some(2));
+        a.free();
+        b.free();
+    }
+
+    #[test]
+    fn concurrent_keyval_creation_is_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..50).map(|_| Keyval::create()).collect::<Vec<_>>()))
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        let mut ids: Vec<_> = all.iter().map(|k| k.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "keyvals must be unique across threads");
+        for k in all {
+            k.free();
+        }
+    }
+}

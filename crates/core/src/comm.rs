@@ -1,0 +1,563 @@
+//! Communicators.
+//!
+//! Every communicator has a 16-bit **local CID** (index into this process's
+//! communicator table — the value carried by the compact match header) and
+//! optionally a 128-bit **exCID** (paper §III-B3). Three creation regimes:
+//!
+//! * **built-in** (WPM `MPI_COMM_WORLD`/`MPI_COMM_SELF`): reserved slots
+//!   0/1, identical everywhere, `pgcid = 0` exCIDs;
+//! * **consensus** (the legacy algorithm, §III-B2): multi-round
+//!   max/agree reductions over the parent communicator until every
+//!   participant proposes the same free table index — the baseline path,
+//!   which degrades when the CID space fragments;
+//! * **exCID** (the sessions path): a PGCID from PMIx group construction
+//!   (or derivation from a parent's subfields) names the communicator
+//!   globally, while each process picks its *own* table index locally —
+//!   no agreement traffic at all, at the price of the first-message
+//!   handshake in the PML.
+
+use crate::cid::{derive_excid, DeriveState, ExCid};
+use crate::coll;
+use crate::datatype::{self, MpiScalar};
+use crate::errhandler::ErrHandler;
+use crate::error::{ErrClass, MpiError, Result};
+use crate::group::MpiGroup;
+use crate::instance::MpiProcess;
+use crate::request::Request;
+use crate::status::Status;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pmix::GroupDirectives;
+use simnet::EndpointId;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// First local CID available to non-built-in communicators (0 = world,
+/// 1 = self).
+pub const FIRST_DYNAMIC_CID: u16 = 2;
+
+/// How a communicator's identifier was produced (shapes `dup` behavior and
+/// benchmark bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CidOrigin {
+    /// Reserved built-in slot (WPM world/self).
+    Builtin,
+    /// Legacy consensus agreement.
+    Consensus,
+    /// Fresh PGCID from PMIx group construction.
+    Pgcid,
+    /// Local subfield derivation from a parent exCID.
+    Derived,
+}
+
+pub(crate) struct CommInner {
+    pub local_cid: u16,
+    pub excid: Option<ExCid>,
+    pub derive: Mutex<Option<DeriveState>>,
+    pub group: MpiGroup,
+    pub my_rank: u32,
+    pub coll_seq: AtomicU32,
+    pub dup_seq: AtomicU64,
+    pub origin: CidOrigin,
+    pub freed: AtomicBool,
+    /// PMIx group name backing this communicator (destructed on free).
+    pub pmix_group: Option<pmix::PmixGroup>,
+}
+
+/// An MPI communicator bound to its process.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) inner: Arc<CommInner>,
+    pub(crate) process: Arc<MpiProcess>,
+    pub(crate) errh: ErrHandler,
+}
+
+impl Comm {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    pub(crate) fn build(
+        process: Arc<MpiProcess>,
+        group: MpiGroup,
+        local_cid: u16,
+        excid: Option<ExCid>,
+        origin: CidOrigin,
+        fixed_cid: Option<u16>,
+        pmix_group: Option<pmix::PmixGroup>,
+    ) -> Result<Comm> {
+        let my_rank = group
+            .rank_of(process.proc())
+            .ok_or_else(|| MpiError::new(ErrClass::Group, "calling process not in group"))?
+            as u32;
+        let endpoints: Vec<EndpointId> = group.iter().map(|m| m.endpoint).collect();
+        process
+            .pml()
+            .register_comm(local_cid, my_rank, endpoints, excid, fixed_cid);
+        let derive = match origin {
+            CidOrigin::Pgcid => Some(DeriveState::fresh()),
+            _ => None,
+        };
+        Ok(Comm {
+            inner: Arc::new(CommInner {
+                local_cid,
+                excid,
+                derive: Mutex::new(derive),
+                group,
+                my_rank,
+                coll_seq: AtomicU32::new(0),
+                dup_seq: AtomicU64::new(0),
+                origin,
+                freed: AtomicBool::new(false),
+                pmix_group,
+            }),
+            process,
+            errh: ErrHandler::Return,
+        })
+    }
+
+    /// The sessions constructor (`MPI_Comm_create_from_group`): collective
+    /// over the group's members. Performs a PMIx group construct to obtain
+    /// a PGCID; each process picks its local CID independently.
+    pub fn create_from_group(group: &MpiGroup, stringtag: &str) -> Result<Comm> {
+        let process = group_process(group)?;
+        process.require_active()?;
+        let members: Vec<pmix::ProcId> = group.iter().map(|m| m.proc).collect();
+        let name = format!("mpi-comm:{stringtag}");
+        let pgroup = process
+            .pmix()
+            .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
+        let pgcid = pgroup
+            .pgcid()
+            .ok_or_else(|| MpiError::intern("PMIx group construct returned no PGCID"))?;
+        let local_cid = process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+        Comm::build(
+            process,
+            group.to_dense(),
+            local_cid,
+            Some(ExCid::from_pgcid(pgcid)),
+            CidOrigin::Pgcid,
+            None,
+            Some(pgroup),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of processes (`MPI_Comm_size`).
+    pub fn size(&self) -> u32 {
+        self.inner.group.size() as u32
+    }
+
+    /// This process's rank (`MPI_Comm_rank`).
+    pub fn rank(&self) -> u32 {
+        self.inner.my_rank
+    }
+
+    /// The communicator's group (`MPI_Comm_group`).
+    pub fn group(&self) -> MpiGroup {
+        self.inner.group.clone()
+    }
+
+    /// The local (table-index) CID. May differ between processes for
+    /// sessions communicators — that is the design.
+    pub fn local_cid(&self) -> u16 {
+        self.inner.local_cid
+    }
+
+    /// The exCID, if this communicator has one.
+    pub fn excid(&self) -> Option<ExCid> {
+        self.inner.excid
+    }
+
+    /// How the identifier was produced.
+    pub fn cid_origin(&self) -> CidOrigin {
+        self.inner.origin
+    }
+
+    /// The owning process (internal plumbing).
+    pub(crate) fn process(&self) -> &Arc<MpiProcess> {
+        &self.process
+    }
+
+    /// Replace the error handler (`MPI_Comm_set_errhandler`).
+    pub fn set_errhandler(&mut self, errh: ErrHandler) {
+        self.errh = errh;
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.inner.freed.load(Ordering::Acquire) {
+            return Err(MpiError::new(ErrClass::Comm, "communicator has been freed"));
+        }
+        Ok(())
+    }
+
+    fn check_rank(&self, rank: u32) -> Result<()> {
+        if rank >= self.size() {
+            return Err(MpiError::new(
+                ErrClass::Rank,
+                format!("rank {rank} outside communicator of size {}", self.size()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_tag(tag: i32) -> Result<()> {
+        if tag < 0 {
+            return Err(MpiError::new(ErrClass::Tag, format!("negative user tag {tag}")));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Non-blocking byte send (`MPI_Isend` with `MPI_BYTE`).
+    pub fn isend(&self, dst: u32, tag: i32, data: &[u8]) -> Result<Request> {
+        self.check_live()?;
+        self.check_rank(dst)?;
+        Self::check_tag(tag)?;
+        self.isend_internal(dst, tag, Bytes::copy_from_slice(data))
+    }
+
+    pub(crate) fn isend_internal(&self, dst: u32, tag: i32, data: Bytes) -> Result<Request> {
+        let inner = self.process.pml().isend(self.inner.local_cid, dst, tag, data)?;
+        Ok(Request::new(inner, self.process.pml().clone()))
+    }
+
+    /// Blocking byte send (`MPI_Send`).
+    pub fn send(&self, dst: u32, tag: i32, data: &[u8]) -> Result<()> {
+        let req = self.errh.check(self.isend(dst, tag, data))?;
+        self.errh.check(req.wait().map(|_| ()))
+    }
+
+    /// Non-blocking receive. `src`/`tag` accept [`crate::ANY_SOURCE`] /
+    /// [`crate::ANY_TAG`].
+    pub fn irecv(&self, src: i32, tag: i32) -> Result<Request> {
+        self.check_live()?;
+        if src >= 0 {
+            self.check_rank(src as u32)?;
+        } else if src != crate::ANY_SOURCE {
+            return Err(MpiError::new(ErrClass::Rank, format!("invalid source {src}")));
+        }
+        if tag < 0 && tag != crate::ANY_TAG {
+            return Err(MpiError::new(ErrClass::Tag, format!("invalid tag {tag}")));
+        }
+        self.irecv_internal(
+            (src != crate::ANY_SOURCE).then_some(src as u32),
+            (tag != crate::ANY_TAG).then_some(tag),
+        )
+    }
+
+    pub(crate) fn irecv_internal(&self, src: Option<u32>, tag: Option<i32>) -> Result<Request> {
+        let inner = self.process.pml().irecv(self.inner.local_cid, src, tag)?;
+        Ok(Request::new(inner, self.process.pml().clone()))
+    }
+
+    /// Blocking receive returning the payload (`MPI_Recv` with `MPI_BYTE`).
+    pub fn recv(&self, src: i32, tag: i32) -> Result<(Vec<u8>, Status)> {
+        let req = self.errh.check(self.irecv(src, tag))?;
+        let (data, status) = self.errh.check(req.wait_data())?;
+        Ok((data.to_vec(), status))
+    }
+
+    /// Typed send.
+    pub fn send_t<T: MpiScalar>(&self, dst: u32, tag: i32, data: &[T]) -> Result<()> {
+        self.send(dst, tag, &datatype::to_bytes(data))
+    }
+
+    /// Typed receive.
+    pub fn recv_t<T: MpiScalar>(&self, src: i32, tag: i32) -> Result<(Vec<T>, Status)> {
+        let (bytes, status) = self.recv(src, tag)?;
+        Ok((datatype::from_bytes(&bytes)?, status))
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`): both transfers in flight
+    /// concurrently, then both awaited.
+    pub fn sendrecv(
+        &self,
+        dst: u32,
+        send_tag: i32,
+        data: &[u8],
+        src: i32,
+        recv_tag: i32,
+    ) -> Result<(Vec<u8>, Status)> {
+        let rreq = self.irecv(src, recv_tag)?;
+        let sreq = self.isend(dst, send_tag, data)?;
+        let (rdata, status) = rreq.wait_data()?;
+        sreq.wait()?;
+        Ok((rdata.to_vec(), status))
+    }
+
+    /// `MPI_Probe`-lite: whether an unexpected message is queued (tests).
+    pub fn unexpected_queued(&self) -> usize {
+        self.process.pml().unexpected_count(self.inner.local_cid)
+    }
+
+    // ------------------------------------------------------------------
+    // Derivation: dup / split / create_group
+    // ------------------------------------------------------------------
+
+    /// `MPI_Comm_dup`.
+    ///
+    /// * Consensus/built-in parents run the legacy multi-round consensus
+    ///   algorithm (the Open MPI baseline of the paper's Fig. 4).
+    /// * exCID parents derive a child exCID **locally** from the parent's
+    ///   active subfield — zero agreement traffic — falling back to a fresh
+    ///   PGCID when the subfield space is exhausted.
+    pub fn dup(&self) -> Result<Comm> {
+        self.check_live()?;
+        match self.inner.excid {
+            Some(parent_excid) if self.inner.origin != CidOrigin::Builtin => {
+                // Try local derivation first.
+                let derived = {
+                    let mut ds = self.inner.derive.lock();
+                    ds.as_mut().and_then(|state| derive_excid(&parent_excid, state))
+                };
+                match derived {
+                    Some((child_excid, child_state)) => {
+                        let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+                        let comm = Comm::build(
+                            self.process.clone(),
+                            self.inner.group.clone(),
+                            local_cid,
+                            Some(child_excid),
+                            CidOrigin::Derived,
+                            None,
+                            None,
+                        )?;
+                        *comm.inner.derive.lock() = Some(child_state);
+                        Ok(comm)
+                    }
+                    None => self.dup_via_group(),
+                }
+            }
+            _ => self.dup_consensus(),
+        }
+    }
+
+    /// `MPI_Comm_dup` acquiring a *fresh PGCID* through PMIx — the behavior
+    /// of the paper's prototype as measured in Fig. 4 ("overhead ...
+    /// accounted for by the overhead of acquiring a PMIx group context
+    /// identifier"). Exposed separately so the benchmarks can reproduce the
+    /// figure and the ablation can compare it against local derivation.
+    pub fn dup_via_group(&self) -> Result<Comm> {
+        self.check_live()?;
+        let n = self.inner.dup_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!(
+            "mpi-dup:{}:{}",
+            self.inner
+                .excid
+                .map(|e| format!("{e}"))
+                .unwrap_or_else(|| format!("cid{}", self.inner.local_cid)),
+            n
+        );
+        let members: Vec<pmix::ProcId> = self.inner.group.iter().map(|m| m.proc).collect();
+        let pgroup = self
+            .process
+            .pmix()
+            .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
+        let pgcid = pgroup.pgcid().ok_or_else(|| MpiError::intern("no PGCID"))?;
+        let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+        Comm::build(
+            self.process.clone(),
+            self.inner.group.clone(),
+            local_cid,
+            Some(ExCid::from_pgcid(pgcid)),
+            CidOrigin::Pgcid,
+            None,
+            Some(pgroup),
+        )
+    }
+
+    /// `MPI_Comm_dup` via the legacy consensus algorithm (baseline path).
+    pub fn dup_consensus(&self) -> Result<Comm> {
+        self.check_live()?;
+        let all: Vec<u32> = (0..self.size()).collect();
+        let cid = self.consensus_cid(&all)?;
+        Comm::build(
+            self.process.clone(),
+            self.inner.group.clone(),
+            cid,
+            None,
+            CidOrigin::Consensus,
+            Some(cid),
+            None,
+        )
+    }
+
+    /// The legacy consensus algorithm (paper §III-B2): propose the lowest
+    /// free table index, agree on the max, repeat until unanimous. Runs
+    /// over this communicator's point-to-point channels among
+    /// `participants` (ranks of this comm). Returns the agreed CID,
+    /// claimed locally.
+    pub(crate) fn consensus_cid(&self, participants: &[u32]) -> Result<u16> {
+        let mut candidate = FIRST_DYNAMIC_CID;
+        for _round in 0..4096 {
+            let proposed = self.process.peek_lowest_cid(candidate)?;
+            let max = coll::subgroup_allreduce_u32(
+                self,
+                participants,
+                proposed as u32,
+                coll::SubgroupOp::Max,
+            )?;
+            let agree = u32::from(proposed as u32 == max);
+            let unanimous = coll::subgroup_allreduce_u32(
+                self,
+                participants,
+                agree,
+                coll::SubgroupOp::Min,
+            )?;
+            if unanimous == 1 {
+                // Claim may race with a local interleaved creation; retry
+                // the consensus if the slot vanished.
+                if self.process.claim_cid(max as u16).is_ok() {
+                    return Ok(max as u16);
+                }
+            }
+            candidate = max as u16;
+        }
+        Err(MpiError::intern("CID consensus did not converge in 4096 rounds"))
+    }
+
+    /// Number of consensus rounds a hypothetical allocation would need
+    /// right now (fragmentation diagnostics for the ablation benchmark).
+    pub fn probe_consensus_rounds(&self) -> Result<u32> {
+        let all: Vec<u32> = (0..self.size()).collect();
+        let mut candidate = FIRST_DYNAMIC_CID;
+        for round in 1..=4096 {
+            let proposed = self.process.peek_lowest_cid(candidate)?;
+            let max = coll::subgroup_allreduce_u32(
+                self,
+                &all,
+                proposed as u32,
+                coll::SubgroupOp::Max,
+            )?;
+            let agree = u32::from(proposed as u32 == max);
+            let unanimous =
+                coll::subgroup_allreduce_u32(self, &all, agree, coll::SubgroupOp::Min)?;
+            if unanimous == 1 {
+                return Ok(round);
+            }
+            candidate = max as u16;
+        }
+        Ok(4096)
+    }
+
+    /// `MPI_Comm_split`.
+    pub fn split(&self, color: u32, key: u32) -> Result<Comm> {
+        self.check_live()?;
+        // Exchange (color, key, rank) among all members.
+        let mine = [color, key, self.rank()];
+        let all = coll::allgather_t(self, &mine)?;
+        let mut members: Vec<(u32, u32)> = all
+            .chunks_exact(3)
+            .filter(|c| c[0] == color)
+            .map(|c| (c[1], c[2]))
+            .collect();
+        members.sort();
+        let ranks: Vec<usize> = members.iter().map(|(_, r)| *r as usize).collect();
+        let subgroup = self.inner.group.incl(&ranks)?;
+        self.make_subgroup_comm(subgroup, &format!("split:c{color}"))
+    }
+
+    /// `MPI_Comm_create_group`: collective only over `group`'s members
+    /// (partial participation ⇒ always a fresh identifier; paper §III-B3).
+    pub fn create_group(&self, group: &MpiGroup, tag: i32) -> Result<Comm> {
+        self.check_live()?;
+        if group.rank_of(self.process.proc()).is_none() {
+            return Err(MpiError::new(ErrClass::Group, "caller not in group"));
+        }
+        self.make_subgroup_comm(group.clone(), &format!("cgrp:t{tag}"))
+    }
+
+    fn make_subgroup_comm(&self, subgroup: MpiGroup, label: &str) -> Result<Comm> {
+        if self.inner.excid.is_some() {
+            // Sessions path: fresh PGCID over the subgroup.
+            let members: Vec<pmix::ProcId> = subgroup.iter().map(|m| m.proc).collect();
+            let name = format!(
+                "mpi-sub:{}:{}:{}",
+                self.inner.excid.map(|e| e.pgcid).unwrap_or(0),
+                label,
+                self.inner.dup_seq.fetch_add(1, Ordering::Relaxed)
+            );
+            let pgroup = self
+                .process
+                .pmix()
+                .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
+            let pgcid = pgroup.pgcid().ok_or_else(|| MpiError::intern("no PGCID"))?;
+            let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+            Comm::build(
+                self.process.clone(),
+                subgroup,
+                local_cid,
+                Some(ExCid::from_pgcid(pgcid)),
+                CidOrigin::Pgcid,
+                None,
+                Some(pgroup),
+            )
+        } else {
+            // Baseline: consensus among the subgroup over parent channels.
+            let my_parent_rank = self.rank();
+            let participants: Vec<u32> = subgroup
+                .iter()
+                .map(|m| {
+                    self.inner
+                        .group
+                        .rank_of(&m.proc)
+                        .map(|r| r as u32)
+                        .ok_or_else(|| {
+                            MpiError::new(ErrClass::Group, "subgroup member not in parent")
+                        })
+                })
+                .collect::<Result<_>>()?;
+            debug_assert!(participants.contains(&my_parent_rank));
+            let cid = self.consensus_cid(&participants)?;
+            Comm::build(
+                self.process.clone(),
+                subgroup,
+                cid,
+                None,
+                CidOrigin::Consensus,
+                Some(cid),
+                None,
+            )
+        }
+    }
+
+    /// `MPI_Comm_free`: collective. Releases the local CID and route and
+    /// collectively destructs the backing PMIx group, if any.
+    pub fn free(self) -> Result<()> {
+        self.check_live()?;
+        self.inner.freed.store(true, Ordering::Release);
+        self.process.pml().unregister_comm(self.inner.local_cid);
+        self.process.release_cid(self.inner.local_cid);
+        if let Some(g) = &self.inner.pmix_group {
+            self.process.pmix().group_destruct(g, None)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.inner.my_rank)
+            .field("size", &self.inner.group.size())
+            .field("local_cid", &self.inner.local_cid)
+            .field("excid", &self.inner.excid)
+            .field("origin", &self.inner.origin)
+            .finish()
+    }
+}
+
+fn group_process(group: &MpiGroup) -> Result<Arc<MpiProcess>> {
+    // Groups created through sessions carry their process; reconstruct it
+    // from the session-bound group type.
+    group
+        .process_hint()
+        .ok_or_else(|| MpiError::new(ErrClass::Group, "group is not bound to an MPI process"))
+}

@@ -1,0 +1,189 @@
+//! MPI datatypes and reduction operators.
+//!
+//! Typed message payloads are (de)serialized to little-endian bytes via the
+//! [`MpiScalar`] trait — the analog of the basic MPI datatypes. Reductions
+//! are expressed with [`ReduceOp`] and dispatched per scalar type.
+
+use crate::error::{ErrClass, MpiError, Result};
+
+/// A fixed-size scalar exchangeable through MPI (basic datatype analog).
+pub trait MpiScalar: Copy + PartialEq + std::fmt::Debug + Send + 'static {
+    /// Size in bytes on the wire.
+    const WIDTH: usize;
+    /// Serialize into `out` (exactly `WIDTH` bytes).
+    fn write_le(&self, out: &mut [u8]);
+    /// Deserialize from `inp` (exactly `WIDTH` bytes).
+    fn read_le(inp: &[u8]) -> Self;
+    /// Combine two values under a reduction operator.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Result<Self>;
+}
+
+/// Reduction operators (`MPI_Op` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `MPI_SUM`
+    Sum,
+    /// `MPI_PROD`
+    Prod,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_LAND` (logical and; nonzero = true)
+    LAnd,
+    /// `MPI_LOR`
+    LOr,
+    /// `MPI_BAND` (integers only)
+    BAnd,
+    /// `MPI_BOR` (integers only)
+    BOr,
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty, $w:expr) => {
+        impl MpiScalar for $t {
+            const WIDTH: usize = $w;
+            fn write_le(&self, out: &mut [u8]) {
+                out[..$w].copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp[..$w].try_into().expect("width checked"))
+            }
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Result<Self> {
+                Ok(match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::LAnd => ((a != 0) && (b != 0)) as $t,
+                    ReduceOp::LOr => ((a != 0) || (b != 0)) as $t,
+                    ReduceOp::BAnd => a & b,
+                    ReduceOp::BOr => a | b,
+                })
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty, $w:expr) => {
+        impl MpiScalar for $t {
+            const WIDTH: usize = $w;
+            fn write_le(&self, out: &mut [u8]) {
+                out[..$w].copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp[..$w].try_into().expect("width checked"))
+            }
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Result<Self> {
+                Ok(match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::LAnd => (((a != 0.0) && (b != 0.0)) as u8) as $t,
+                    ReduceOp::LOr => (((a != 0.0) || (b != 0.0)) as u8) as $t,
+                    ReduceOp::BAnd | ReduceOp::BOr => {
+                        return Err(MpiError::new(
+                            ErrClass::Arg,
+                            "bitwise reduction on floating-point datatype",
+                        ))
+                    }
+                })
+            }
+        }
+    };
+}
+
+impl_scalar_int!(u8, 1);
+impl_scalar_int!(i32, 4);
+impl_scalar_int!(u32, 4);
+impl_scalar_int!(i64, 8);
+impl_scalar_int!(u64, 8);
+impl_scalar_float!(f32, 4);
+impl_scalar_float!(f64, 8);
+
+/// Serialize a slice of scalars to a byte vector.
+pub fn to_bytes<T: MpiScalar>(data: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; data.len() * T::WIDTH];
+    for (i, v) in data.iter().enumerate() {
+        v.write_le(&mut out[i * T::WIDTH..]);
+    }
+    out
+}
+
+/// Deserialize a byte slice into scalars. Errors on length mismatch
+/// (the `MPI_ERR_TRUNCATE`-adjacent datatype mismatch case).
+pub fn from_bytes<T: MpiScalar>(bytes: &[u8]) -> Result<Vec<T>> {
+    if bytes.len() % T::WIDTH != 0 {
+        return Err(MpiError::new(
+            ErrClass::Arg,
+            format!("byte length {} not a multiple of datatype width {}", bytes.len(), T::WIDTH),
+        ));
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::read_le).collect())
+}
+
+/// Elementwise reduction: `acc[i] = combine(op, acc[i], inp[i])`.
+pub fn reduce_into<T: MpiScalar>(op: ReduceOp, acc: &mut [T], inp: &[T]) -> Result<()> {
+    if acc.len() != inp.len() {
+        return Err(MpiError::new(ErrClass::Arg, "reduction length mismatch"));
+    }
+    for (a, b) in acc.iter_mut().zip(inp) {
+        *a = T::combine(op, *a, *b)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_type() {
+        assert_eq!(from_bytes::<i32>(&to_bytes(&[1i32, -2, 3])).unwrap(), vec![1, -2, 3]);
+        assert_eq!(from_bytes::<u64>(&to_bytes(&[u64::MAX])).unwrap(), vec![u64::MAX]);
+        assert_eq!(from_bytes::<f64>(&to_bytes(&[1.5f64, -0.25])).unwrap(), vec![1.5, -0.25]);
+        assert_eq!(from_bytes::<u8>(&to_bytes(&[7u8])).unwrap(), vec![7]);
+        assert_eq!(from_bytes::<f32>(&to_bytes(&[2.5f32])).unwrap(), vec![2.5]);
+    }
+
+    #[test]
+    fn from_bytes_rejects_misaligned_length() {
+        assert!(from_bytes::<i32>(&[0u8; 5]).is_err());
+        assert!(from_bytes::<i32>(&[0u8; 8]).is_ok());
+    }
+
+    #[test]
+    fn integer_reductions() {
+        assert_eq!(i32::combine(ReduceOp::Sum, 2, 3).unwrap(), 5);
+        assert_eq!(i32::combine(ReduceOp::Prod, 2, 3).unwrap(), 6);
+        assert_eq!(i32::combine(ReduceOp::Max, 2, 3).unwrap(), 3);
+        assert_eq!(i32::combine(ReduceOp::Min, 2, 3).unwrap(), 2);
+        assert_eq!(i32::combine(ReduceOp::LAnd, 2, 0).unwrap(), 0);
+        assert_eq!(i32::combine(ReduceOp::LOr, 2, 0).unwrap(), 1);
+        assert_eq!(u32::combine(ReduceOp::BAnd, 0b110, 0b011).unwrap(), 0b010);
+        assert_eq!(u32::combine(ReduceOp::BOr, 0b110, 0b011).unwrap(), 0b111);
+    }
+
+    #[test]
+    fn float_reductions_and_bitwise_rejection() {
+        assert_eq!(f64::combine(ReduceOp::Sum, 1.5, 2.5).unwrap(), 4.0);
+        assert_eq!(f64::combine(ReduceOp::Max, 1.5, 2.5).unwrap(), 2.5);
+        assert!(f64::combine(ReduceOp::BAnd, 1.0, 2.0).is_err());
+        assert!(f32::combine(ReduceOp::BOr, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn wrapping_sum_does_not_panic() {
+        assert_eq!(i32::combine(ReduceOp::Sum, i32::MAX, 1).unwrap(), i32::MIN);
+    }
+
+    #[test]
+    fn reduce_into_elementwise() {
+        let mut acc = vec![1i64, 10, 100];
+        reduce_into(ReduceOp::Sum, &mut acc, &[1, 2, 3]).unwrap();
+        assert_eq!(acc, vec![2, 12, 103]);
+        assert!(reduce_into(ReduceOp::Sum, &mut acc, &[1]).is_err());
+    }
+}

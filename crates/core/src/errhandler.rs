@@ -1,0 +1,110 @@
+//! MPI error handlers.
+//!
+//! Creatable before initialization (paper §III-B5). A handler decides what
+//! happens when an MPI call fails on an object bound to it: abort the
+//! process, return the error to the caller, or run a user callback.
+
+use crate::error::MpiError;
+use std::sync::Arc;
+
+/// Callback type for custom error handlers.
+pub type ErrCallback = dyn Fn(&MpiError) + Send + Sync;
+
+/// An MPI error handler (`MPI_Errhandler`).
+#[derive(Clone)]
+pub enum ErrHandler {
+    /// `MPI_ERRORS_ARE_FATAL`: panic the simulated process (the analog of
+    /// aborting the job; the launcher reports it as a rank panic).
+    Abort,
+    /// `MPI_ERRORS_RETURN`: surface the error to the caller.
+    Return,
+    /// User-defined handler: the callback runs, then the error is returned
+    /// (matching the common "log and continue" usage).
+    Custom(Arc<ErrCallback>),
+}
+
+impl ErrHandler {
+    /// Create a custom handler from a callback.
+    pub fn custom(f: impl Fn(&MpiError) + Send + Sync + 'static) -> Self {
+        ErrHandler::Custom(Arc::new(f))
+    }
+
+    /// Apply this handler to `err`: panics for [`ErrHandler::Abort`],
+    /// otherwise hands the error back.
+    pub fn apply(&self, err: MpiError) -> MpiError {
+        match self {
+            ErrHandler::Abort => panic!("MPI_ERRORS_ARE_FATAL: {err}"),
+            ErrHandler::Return => err,
+            ErrHandler::Custom(f) => {
+                f(&err);
+                err
+            }
+        }
+    }
+
+    /// Route a result through this handler.
+    pub fn check<T>(&self, res: crate::error::Result<T>) -> crate::error::Result<T> {
+        res.map_err(|e| self.apply(e))
+    }
+}
+
+impl std::fmt::Debug for ErrHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrHandler::Abort => write!(f, "ErrHandler::Abort"),
+            ErrHandler::Return => write!(f, "ErrHandler::Return"),
+            ErrHandler::Custom(_) => write!(f, "ErrHandler::Custom(..)"),
+        }
+    }
+}
+
+impl Default for ErrHandler {
+    /// The Sessions proposal default for sessions is `MPI_ERRORS_RETURN`
+    /// (WPM keeps `MPI_ERRORS_ARE_FATAL` on `MPI_COMM_WORLD`).
+    fn default() -> Self {
+        ErrHandler::Return
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrClass;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boom() -> MpiError {
+        MpiError::new(ErrClass::Other, "boom")
+    }
+
+    #[test]
+    fn return_handler_passes_through() {
+        let e = ErrHandler::Return.apply(boom());
+        assert_eq!(e.class, ErrClass::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI_ERRORS_ARE_FATAL")]
+    fn abort_handler_panics() {
+        ErrHandler::Abort.apply(boom());
+    }
+
+    #[test]
+    fn custom_handler_runs_callback_then_returns() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let hits = hits.clone();
+            ErrHandler::custom(move |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let e = h.apply(boom());
+        assert_eq!(e.message, "boom");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn check_routes_ok_untouched() {
+        let ok: crate::error::Result<u32> = Ok(5);
+        assert_eq!(ErrHandler::Return.check(ok).unwrap(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! MPI file objects created from groups (`MPI_File_open` via
+//! `MPI_Comm_create_from_group`, paper §III-B6).
+//!
+//! The backing store is a process-global in-memory "parallel filesystem"
+//! — all simulated MPI processes live in one OS process, so a shared map
+//! keyed by path models a cluster-visible filesystem. File handles carry
+//! the intermediate communicator the prototype builds from the group.
+
+use crate::coll;
+use crate::comm::Comm;
+use crate::error::{ErrClass, MpiError, Result};
+use crate::group::MpiGroup;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type FileStore = Mutex<Option<HashMap<String, Arc<Mutex<Vec<u8>>>>>>;
+static SHARED_FS: FileStore = Mutex::new(None);
+
+fn fs_lookup(path: &str, create: bool) -> Option<Arc<Mutex<Vec<u8>>>> {
+    let mut fs = SHARED_FS.lock();
+    let map = fs.get_or_insert_with(HashMap::new);
+    if create {
+        Some(map.entry(path.to_owned()).or_default().clone())
+    } else {
+        map.get(path).cloned()
+    }
+}
+
+/// Delete a file from the shared in-memory filesystem (`MPI_File_delete`).
+pub fn delete(path: &str) -> bool {
+    let mut fs = SHARED_FS.lock();
+    fs.get_or_insert_with(HashMap::new).remove(path).is_some()
+}
+
+/// Open mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileMode {
+    /// Read-only; the file must exist.
+    ReadOnly,
+    /// Read/write; created if absent.
+    ReadWrite,
+}
+
+/// A parallel file handle shared by a group of processes.
+pub struct MpiFile {
+    comm: Comm,
+    data: Arc<Mutex<Vec<u8>>>,
+    mode: FileMode,
+    path: String,
+}
+
+impl MpiFile {
+    /// Open collectively over a session-derived group
+    /// (`MPI_File_open_from_group`).
+    pub fn open_from_group(group: &MpiGroup, stringtag: &str, path: &str, mode: FileMode) -> Result<MpiFile> {
+        let comm = Comm::create_from_group(group, &format!("file:{stringtag}"))?;
+        Self::open_on(comm, path, mode)
+    }
+
+    /// Open collectively over an existing communicator (`MPI_File_open`).
+    pub fn open(comm: &Comm, path: &str, mode: FileMode) -> Result<MpiFile> {
+        Self::open_on(comm.dup()?, path, mode)
+    }
+
+    fn open_on(comm: Comm, path: &str, mode: FileMode) -> Result<MpiFile> {
+        let data = fs_lookup(path, mode == FileMode::ReadWrite)
+            .ok_or_else(|| MpiError::new(ErrClass::Arg, format!("no such file: {path}")))?;
+        Ok(MpiFile { comm, data, mode, path: path.to_owned() })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The handle's communicator (diagnostics).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Current file size in bytes (`MPI_File_get_size`).
+    pub fn size(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// Independent read at an explicit offset (`MPI_File_read_at`).
+    /// Short reads at EOF return fewer bytes.
+    pub fn read_at(&self, offset: usize, len: usize) -> Vec<u8> {
+        let data = self.data.lock();
+        if offset >= data.len() {
+            return Vec::new();
+        }
+        let end = (offset + len).min(data.len());
+        data[offset..end].to_vec()
+    }
+
+    /// Independent write at an explicit offset (`MPI_File_write_at`),
+    /// growing the file as needed.
+    pub fn write_at(&self, offset: usize, bytes: &[u8]) -> Result<()> {
+        if self.mode == FileMode::ReadOnly {
+            return Err(MpiError::new(ErrClass::Arg, "write on read-only file"));
+        }
+        let mut data = self.data.lock();
+        if data.len() < offset + bytes.len() {
+            data.resize(offset + bytes.len(), 0);
+        }
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Collective write (`MPI_File_write_at_all`): every rank writes its
+    /// block, then all synchronize.
+    pub fn write_at_all(&self, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.write_at(offset, bytes)?;
+        coll::barrier(&self.comm)
+    }
+
+    /// Collective read (`MPI_File_read_at_all`).
+    pub fn read_at_all(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+        coll::barrier(&self.comm)?;
+        Ok(self.read_at(offset, len))
+    }
+
+    /// Close collectively (`MPI_File_close`).
+    pub fn close(self) -> Result<()> {
+        coll::barrier(&self.comm)?;
+        self.comm.free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_fs_create_and_delete() {
+        let path = "unit-test-file-xyz";
+        assert!(fs_lookup(path, false).is_none());
+        let f = fs_lookup(path, true).unwrap();
+        f.lock().extend_from_slice(b"hello");
+        let again = fs_lookup(path, false).unwrap();
+        assert_eq!(&*again.lock(), b"hello");
+        assert!(delete(path));
+        assert!(!delete(path));
+        assert!(fs_lookup(path, false).is_none());
+    }
+}
+
+impl std::fmt::Debug for MpiFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiFile")
+            .field("path", &self.path)
+            .field("mode", &self.mode)
+            .field("size", &self.size())
+            .finish()
+    }
+}

@@ -1,0 +1,67 @@
+//! Fault-tolerance surface (paper §II-C).
+//!
+//! Sessions as fault-isolation domains rest on two capabilities this
+//! module exposes:
+//!
+//! * **failure notification** — a session can subscribe to process-failure
+//!   events (PMIx event forwarding) and learn which peers died;
+//! * **re-initialization** — because `MPI_Session_init` is repeatable, an
+//!   application can finalize everything after a failure and re-initialize
+//!   MPI over the surviving processes ("roll forward ... and use whatever
+//!   resources are available at the point of re-initialization").
+//!
+//! The client/server isolation scenario (a client failure must not cascade
+//!   into the server's internal session) is exercised by the
+//! `client_server` example and the integration tests.
+
+use crate::error::Result;
+use crate::session::Session;
+use pmix::{Event, EventCode, ProcId};
+use std::time::Duration;
+
+/// A subscription to peer-failure notifications, scoped to a session.
+pub struct FailureNotifier {
+    stream: pmix::event::EventStream,
+}
+
+impl FailureNotifier {
+    /// Poll for the next failure, if any.
+    pub fn try_next(&self) -> Option<ProcId> {
+        self.stream.try_next().and_then(|e| e.source)
+    }
+
+    /// Wait up to `timeout` for a failure notification.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<ProcId> {
+        self.stream.next_timeout(timeout).and_then(|e: Event| e.source)
+    }
+
+    /// Number of queued notifications.
+    pub fn pending(&self) -> usize {
+        self.stream.pending()
+    }
+}
+
+impl Session {
+    /// Subscribe this session to process-failure events.
+    pub fn failure_notifier(&self) -> Result<FailureNotifier> {
+        let stream = self
+            .process()
+            .pmix()
+            .register_events(Some(vec![EventCode::ProcTerminated, EventCode::GroupMemberFailed]));
+        Ok(FailureNotifier { stream })
+    }
+
+    /// Build the set of *surviving* members of a pset: the pset membership
+    /// minus processes the fabric has marked dead. This is what an
+    /// application uses to re-initialize after a failure.
+    pub fn surviving_group(&self, pset: &str) -> Result<crate::group::MpiGroup> {
+        let group = self.group_from_pset(pset)?;
+        let process = self.process().clone();
+        let fabric = process.universe().fabric().clone();
+        let members: Vec<crate::group::ProcRef> = group
+            .iter()
+            .filter(|m| fabric.is_alive(m.endpoint))
+            .collect();
+        Ok(crate::group::MpiGroup::from_members(members).bind(process))
+    }
+}

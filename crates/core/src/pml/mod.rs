@@ -1,0 +1,798 @@
+//! The point-to-point messaging layer (ob1 analog).
+//!
+//! One `Pml` exists per simulated process. It owns the process's fabric
+//! mailbox, the per-communicator matching state (posted-receive list and
+//! unexpected-message queue), the eager/rendezvous protocols, and the
+//! exCID first-message handshake of paper §III-B4:
+//!
+//! * while the sender does not know the receiver's local CID for an
+//!   exCID-bearing communicator, every message carries the 18-byte
+//!   extended header (exCID + sender's local CID);
+//! * the receiver maps the exCID to its own communicator, stores the
+//!   sender's local CID (accelerating the reverse direction), and answers
+//!   once with a `CidAck` carrying *its* local CID;
+//! * after the ACK is processed, sends switch to the compact 14-byte
+//!   match header with `ctx = receiver's local CID` — the optimized tag
+//!   matching path.
+//!
+//! Multiple sends may leave in extended mode before the ACK arrives; this
+//! is deliberate and reproduces the message-rate dip of the paper's
+//! Fig. 5c (multi-pair `osu_mbw_mr` without pre-synchronization).
+
+pub mod header;
+
+use crate::cid::ExCid;
+use crate::error::{ErrClass, MpiError, Result};
+use crate::request::{ReqInner, ReqKind};
+use crate::status::Status;
+use bytes::Bytes;
+use header::{CidAck, ExtHeader, MatchHeader, MsgKind, RtsInfo};
+use parking_lot::Mutex;
+use simnet::{Endpoint, EndpointId, EndpointSender, RecvError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default eager/rendezvous switchover (bytes).
+pub const DEFAULT_EAGER_LIMIT: usize = 16 * 1024;
+
+/// How a send addresses the peer's communicator context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendCid {
+    /// Consensus/WPM communicator: the CID is globally agreed, use it.
+    Fixed(u16),
+    /// exCID communicator, receiver's local CID unknown: send extended.
+    AwaitAck,
+    /// exCID communicator after the handshake: use the learned CID.
+    Known(u16),
+}
+
+struct PeerState {
+    mode: SendCid,
+    /// Whether we already sent our CidAck to this peer.
+    acked_back: bool,
+    send_seq: u16,
+    recv_seq: u16,
+}
+
+struct Posted {
+    src: Option<u32>,
+    tag: Option<i32>,
+    req: Arc<ReqInner>,
+}
+
+enum UnexBody {
+    Eager(Bytes),
+    Rts { size: u64, send_req: u64, src_ep: EndpointId },
+}
+
+struct Unexpected {
+    src: u32,
+    tag: i32,
+    #[allow(dead_code)]
+    seq: u16,
+    body: UnexBody,
+}
+
+struct Route {
+    my_rank: u32,
+    endpoints: Vec<EndpointId>,
+    excid: Option<ExCid>,
+    posted: Vec<Posted>,
+    unexpected: VecDeque<Unexpected>,
+    peers: Vec<PeerState>,
+}
+
+struct PendingMsg {
+    hdr: MatchHeader,
+    ext: Option<ExtHeader>,
+    rts: Option<RtsInfo>,
+    payload: Bytes,
+    src_ep: EndpointId,
+}
+
+struct RdvSend {
+    payload: Bytes,
+    dst_ep: EndpointId,
+    req: Arc<ReqInner>,
+}
+
+#[derive(Default)]
+struct PmlState {
+    routes: HashMap<u16, Route>,
+    excid_map: HashMap<ExCid, u16>,
+    pending_ext: HashMap<ExCid, Vec<PendingMsg>>,
+    pending_ctx: HashMap<u16, Vec<PendingMsg>>,
+    rdv_send: HashMap<u64, RdvSend>,
+    rdv_recv: HashMap<u64, Arc<ReqInner>>,
+    next_req_id: u64,
+}
+
+/// Counters exposed for tests and the handshake ablation benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmlStats {
+    /// Messages sent with the compact header on a known CID.
+    pub eager_sent: u64,
+    /// Messages sent carrying the extended (exCID) header.
+    pub ext_sent: u64,
+    /// CidAcks sent (receiver side of the handshake).
+    pub acks_sent: u64,
+    /// Rendezvous RTS messages sent.
+    pub rts_sent: u64,
+    /// Messages handled by the progress engine.
+    pub handled: u64,
+}
+
+/// The per-process messaging engine.
+pub struct Pml {
+    endpoint: Arc<Endpoint>,
+    sender: EndpointSender,
+    state: Mutex<PmlState>,
+    eager_limit: AtomicUsize,
+    s_eager: AtomicU64,
+    s_ext: AtomicU64,
+    s_acks: AtomicU64,
+    s_rts: AtomicU64,
+    s_handled: AtomicU64,
+}
+
+impl Pml {
+    /// Create the engine over the process's mailbox.
+    pub fn new(endpoint: Arc<Endpoint>) -> Arc<Self> {
+        let sender = endpoint.sender();
+        Arc::new(Self {
+            endpoint,
+            sender,
+            state: Mutex::new(PmlState { next_req_id: 1, ..Default::default() }),
+            eager_limit: AtomicUsize::new(DEFAULT_EAGER_LIMIT),
+            s_eager: AtomicU64::new(0),
+            s_ext: AtomicU64::new(0),
+            s_acks: AtomicU64::new(0),
+            s_rts: AtomicU64::new(0),
+            s_handled: AtomicU64::new(0),
+        })
+    }
+
+    /// Current eager/rendezvous switchover in bytes.
+    pub fn eager_limit(&self) -> usize {
+        self.eager_limit.load(Ordering::Relaxed)
+    }
+
+    /// Tune the eager limit (`mpi_eager_limit` info key).
+    pub fn set_eager_limit(&self, bytes: usize) {
+        self.eager_limit.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PmlStats {
+        PmlStats {
+            eager_sent: self.s_eager.load(Ordering::Relaxed),
+            ext_sent: self.s_ext.load(Ordering::Relaxed),
+            acks_sent: self.s_acks.load(Ordering::Relaxed),
+            rts_sent: self.s_rts.load(Ordering::Relaxed),
+            handled: self.s_handled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Register a communicator route. `fixed_cid` is `Some` for
+    /// consensus/WPM communicators whose CID is globally agreed; exCID
+    /// communicators pass their exCID instead and start in extended mode.
+    pub fn register_comm(
+        &self,
+        local_cid: u16,
+        my_rank: u32,
+        endpoints: Vec<EndpointId>,
+        excid: Option<ExCid>,
+        fixed_cid: Option<u16>,
+    ) {
+        let n = endpoints.len();
+        let initial_mode = match (fixed_cid, excid) {
+            (Some(c), _) => SendCid::Fixed(c),
+            (None, Some(_)) => SendCid::AwaitAck,
+            (None, None) => SendCid::Fixed(local_cid),
+        };
+        let route = Route {
+            my_rank,
+            endpoints,
+            excid,
+            posted: Vec::new(),
+            unexpected: VecDeque::new(),
+            peers: (0..n)
+                .map(|_| PeerState {
+                    mode: initial_mode,
+                    acked_back: false,
+                    send_seq: 0,
+                    recv_seq: 0,
+                })
+                .collect(),
+        };
+        let mut replay = Vec::new();
+        {
+            let mut st = self.state.lock();
+            st.routes.insert(local_cid, route);
+            if let Some(e) = excid {
+                st.excid_map.insert(e, local_cid);
+                if let Some(msgs) = st.pending_ext.remove(&e) {
+                    replay.extend(msgs);
+                }
+            }
+            if let Some(msgs) = st.pending_ctx.remove(&local_cid) {
+                replay.extend(msgs);
+            }
+        }
+        for m in replay {
+            self.dispatch(m);
+        }
+    }
+
+    /// Tear down a communicator route.
+    pub fn unregister_comm(&self, local_cid: u16) {
+        let mut st = self.state.lock();
+        if let Some(route) = st.routes.remove(&local_cid) {
+            if let Some(e) = route.excid {
+                st.excid_map.remove(&e);
+            }
+        }
+    }
+
+    /// Drop every route (last-session cleanup).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        *st = PmlState { next_req_id: st.next_req_id, ..Default::default() };
+    }
+
+    // ------------------------------------------------------------------
+    // Send / receive entry points (wrapped by `Comm`)
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of `payload` to `dst_rank` on communicator
+    /// `local_cid` with `tag`.
+    pub fn isend(
+        &self,
+        local_cid: u16,
+        dst_rank: u32,
+        tag: i32,
+        payload: Bytes,
+    ) -> Result<Arc<ReqInner>> {
+        let req = ReqInner::new(ReqKind::Send);
+        let eager = payload.len() <= self.eager_limit();
+        let (dst_ep, bytes, is_ext) = {
+            let mut st = self.state.lock();
+            let route = st
+                .routes
+                .get_mut(&local_cid)
+                .ok_or_else(|| MpiError::new(ErrClass::Comm, "send on unknown communicator"))?;
+            let dst_ep = *route.endpoints.get(dst_rank as usize).ok_or_else(|| {
+                MpiError::new(ErrClass::Rank, format!("rank {dst_rank} outside communicator"))
+            })?;
+            let my_rank = route.my_rank;
+            let excid = route.excid;
+            let peer = &mut route.peers[dst_rank as usize];
+            let seq = peer.send_seq;
+            peer.send_seq = peer.send_seq.wrapping_add(1);
+            let (ctx, ext) = match peer.mode {
+                SendCid::Fixed(c) | SendCid::Known(c) => (c, None),
+                SendCid::AwaitAck => (
+                    local_cid,
+                    Some(ExtHeader {
+                        excid: excid.expect("AwaitAck implies exCID"),
+                        sender_cid: local_cid,
+                    }),
+                ),
+            };
+            let base_kind = if eager {
+                if ext.is_some() { MsgKind::EagerExt } else { MsgKind::Eager }
+            } else if ext.is_some() {
+                MsgKind::RtsExt
+            } else {
+                MsgKind::Rts
+            };
+            let hdr = MatchHeader {
+                kind: base_kind,
+                flags: 0,
+                ctx,
+                src: my_rank as i32,
+                tag,
+                seq,
+            };
+            let mut bytes = Vec::with_capacity(
+                header::MATCH_HEADER_LEN
+                    + if ext.is_some() { header::EXT_HEADER_LEN } else { 0 }
+                    + if eager { payload.len() } else { 16 },
+            );
+            hdr.encode(&mut bytes);
+            if let Some(e) = &ext {
+                e.encode(&mut bytes);
+            }
+            if eager {
+                bytes.extend_from_slice(&payload);
+            } else {
+                let send_req = st.next_req_id;
+                st.next_req_id += 1;
+                RtsInfo { size: payload.len() as u64, send_req }.encode(&mut bytes);
+                st.rdv_send
+                    .insert(send_req, RdvSend { payload: payload.clone(), dst_ep, req: req.clone() });
+            }
+            (dst_ep, bytes, ext.is_some())
+        };
+        if is_ext {
+            self.s_ext.fetch_add(1, Ordering::Relaxed);
+        } else if eager {
+            self.s_eager.fetch_add(1, Ordering::Relaxed);
+        }
+        if !eager {
+            self.s_rts.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.sender.send(dst_ep, Bytes::from(bytes)) {
+            Ok(()) => {
+                if eager {
+                    // Buffered-eager semantics: the send buffer is owned by
+                    // the fabric now; the request is complete.
+                    req.complete_send(payload.len());
+                }
+            }
+            Err(_) => {
+                req.fail(MpiError::new(ErrClass::ProcFailed, format!("peer rank {dst_rank} is dead")));
+            }
+        }
+        Ok(req)
+    }
+
+    /// Non-blocking receive on communicator `local_cid`. `src`/`tag`
+    /// `None` = wildcard.
+    pub fn irecv(&self, local_cid: u16, src: Option<u32>, tag: Option<i32>) -> Result<Arc<ReqInner>> {
+        let req = ReqInner::new(ReqKind::Recv);
+        let mut outbox: Vec<(EndpointId, Vec<u8>)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            // Generate ids before borrowing the route mutably.
+            let mut reserve_req_id = st.next_req_id;
+            let route = st
+                .routes
+                .get_mut(&local_cid)
+                .ok_or_else(|| MpiError::new(ErrClass::Comm, "recv on unknown communicator"))?;
+            // Search the unexpected queue first (in arrival order).
+            let pos = route.unexpected.iter().position(|u| {
+                src.map(|s| s == u.src).unwrap_or(true) && tag.map(|t| t == u.tag).unwrap_or(true)
+            });
+            match pos {
+                Some(i) => {
+                    let u = route.unexpected.remove(i).expect("index valid");
+                    match u.body {
+                        UnexBody::Eager(data) => {
+                            req.complete_recv(
+                                Status { source: u.src as i32, tag: u.tag, len: data.len() },
+                                data,
+                            );
+                        }
+                        UnexBody::Rts { size, send_req, src_ep } => {
+                            let recv_req = reserve_req_id;
+                            reserve_req_id += 1;
+                            req.set_status(Status {
+                                source: u.src as i32,
+                                tag: u.tag,
+                                len: size as usize,
+                            });
+                            let mut cts = Vec::with_capacity(17);
+                            cts.push(MsgKind::Cts as u8);
+                            cts.extend_from_slice(&send_req.to_le_bytes());
+                            cts.extend_from_slice(&recv_req.to_le_bytes());
+                            outbox.push((src_ep, cts));
+                            st.next_req_id = reserve_req_id;
+                            st.rdv_recv.insert(recv_req, req.clone());
+                        }
+                    }
+                }
+                None => {
+                    route.posted.push(Posted { src, tag, req: req.clone() });
+                }
+            }
+        }
+        for (ep, bytes) in outbox {
+            let _ = self.sender.send(ep, Bytes::from(bytes));
+        }
+        Ok(req)
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    /// Drain the mailbox. With `block`, waits up to that long for the first
+    /// message if none is immediately available. Returns whether anything
+    /// was processed.
+    pub fn progress(&self, block: Option<Duration>) -> bool {
+        let mut did = false;
+        loop {
+            match self.endpoint.try_recv() {
+                Ok(env) => {
+                    self.handle_bytes(env.src, env.payload);
+                    did = true;
+                }
+                Err(RecvError::Empty) => break,
+                Err(_) => return did, // endpoint killed
+            }
+        }
+        if !did {
+            if let Some(t) = block {
+                match self.endpoint.recv_timeout(t) {
+                    Ok(env) => {
+                        self.handle_bytes(env.src, env.payload);
+                        did = true;
+                        // Drain whatever arrived together with it.
+                        while let Ok(env) = self.endpoint.try_recv() {
+                            self.handle_bytes(env.src, env.payload);
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        did
+    }
+
+    fn handle_bytes(&self, src_ep: EndpointId, payload: Bytes) {
+        self.s_handled.fetch_add(1, Ordering::Relaxed);
+        let Some(&kind_byte) = payload.first() else { return };
+        let Some(kind) = MsgKind::from_u8(kind_byte) else { return };
+        match kind {
+            MsgKind::CidAck => {
+                if let Some(ack) = CidAck::decode_body(&payload[1..]) {
+                    self.on_cid_ack(ack);
+                }
+            }
+            MsgKind::Cts => {
+                if payload.len() >= 17 {
+                    let send_req = u64::from_le_bytes(payload[1..9].try_into().expect("len"));
+                    let recv_req = u64::from_le_bytes(payload[9..17].try_into().expect("len"));
+                    self.on_cts(send_req, recv_req);
+                }
+            }
+            MsgKind::RdvData => {
+                if payload.len() >= 9 {
+                    let recv_req = u64::from_le_bytes(payload[1..9].try_into().expect("len"));
+                    let data = payload.slice(9..);
+                    self.on_rdv_data(recv_req, data);
+                }
+            }
+            MsgKind::Eager | MsgKind::EagerExt | MsgKind::Rts | MsgKind::RtsExt => {
+                let Some((hdr, rest_ref)) = MatchHeader::decode(&payload) else { return };
+                let mut off = header::MATCH_HEADER_LEN;
+                let mut ext = None;
+                let mut rest = rest_ref;
+                if kind.has_ext() {
+                    let Some((e, r)) = ExtHeader::decode(rest) else { return };
+                    ext = Some(e);
+                    off += header::EXT_HEADER_LEN;
+                    rest = r;
+                }
+                let mut rts = None;
+                if matches!(kind, MsgKind::Rts | MsgKind::RtsExt) {
+                    let Some((r, _)) = RtsInfo::decode(rest) else { return };
+                    rts = Some(r);
+                    off += 16;
+                }
+                let body = payload.slice(off..);
+                self.dispatch(PendingMsg { hdr, ext, rts, payload: body, src_ep });
+            }
+        }
+    }
+
+    fn on_cid_ack(&self, ack: CidAck) {
+        let mut st = self.state.lock();
+        let Some(&cid) = st.excid_map.get(&ack.excid) else { return };
+        let Some(route) = st.routes.get_mut(&cid) else { return };
+        if let Some(peer) = route.peers.get_mut(ack.acker_rank as usize) {
+            // The ACK carries the receiver's local CID: switch this peer to
+            // the optimized compact-header path.
+            peer.mode = SendCid::Known(ack.receiver_cid);
+        }
+    }
+
+    fn on_cts(&self, send_req: u64, recv_req: u64) {
+        let entry = self.state.lock().rdv_send.remove(&send_req);
+        let Some(rdv) = entry else { return };
+        let mut bytes = Vec::with_capacity(9 + rdv.payload.len());
+        bytes.push(MsgKind::RdvData as u8);
+        bytes.extend_from_slice(&recv_req.to_le_bytes());
+        bytes.extend_from_slice(&rdv.payload);
+        match self.sender.send(rdv.dst_ep, Bytes::from(bytes)) {
+            Ok(()) => rdv.req.complete_send(rdv.payload.len()),
+            Err(_) => rdv.req.fail(MpiError::new(ErrClass::ProcFailed, "peer died during rendezvous")),
+        }
+    }
+
+    fn on_rdv_data(&self, recv_req: u64, data: Bytes) {
+        let req = self.state.lock().rdv_recv.remove(&recv_req);
+        if let Some(req) = req {
+            let status = req
+                .status_snapshot()
+                .unwrap_or(Status { source: -1, tag: -1, len: data.len() });
+            req.complete_recv(Status { len: data.len(), ..status }, data);
+        }
+    }
+
+    /// Route an incoming matched-protocol message to its communicator.
+    fn dispatch(&self, msg: PendingMsg) {
+        let mut outbox: Vec<(EndpointId, Vec<u8>)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let cid = match msg.ext {
+                Some(ext) => match st.excid_map.get(&ext.excid) {
+                    Some(&c) => c,
+                    None => {
+                        // Communicator not created here yet: park.
+                        st.pending_ext.entry(ext.excid).or_default().push(msg);
+                        return;
+                    }
+                },
+                None => {
+                    let c = msg.hdr.ctx;
+                    if !st.routes.contains_key(&c) {
+                        st.pending_ctx.entry(c).or_default().push(msg);
+                        return;
+                    }
+                    c
+                }
+            };
+            let mut reserve_req_id = st.next_req_id;
+            let mut rdv_post: Option<(u64, Arc<ReqInner>)> = None;
+            {
+                let route = st.routes.get_mut(&cid).expect("checked above");
+                let src = msg.hdr.src as u32;
+                if let Some(ext) = msg.ext {
+                    if let Some(peer) = route.peers.get_mut(src as usize) {
+                        // Learn the sender's local CID for the reverse path.
+                        if matches!(peer.mode, SendCid::AwaitAck) {
+                            peer.mode = SendCid::Known(ext.sender_cid);
+                        }
+                        if !peer.acked_back {
+                            peer.acked_back = true;
+                            let ack = CidAck {
+                                excid: ext.excid,
+                                receiver_cid: cid,
+                                acker_rank: route.my_rank,
+                            };
+                            outbox.push((msg.src_ep, ack.encode()));
+                            self.s_acks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if let Some(peer) = route.peers.get_mut(src as usize) {
+                    peer.recv_seq = peer.recv_seq.wrapping_add(1);
+                }
+                // Match against posted receives, in post order.
+                let pos = route.posted.iter().position(|p| {
+                    p.src.map(|s| s == src).unwrap_or(true)
+                        && p.tag.map(|t| t == msg.hdr.tag).unwrap_or(true)
+                });
+                match pos {
+                    Some(i) => {
+                        let posted = route.posted.remove(i);
+                        match msg.rts {
+                            None => {
+                                posted.req.complete_recv(
+                                    Status {
+                                        source: src as i32,
+                                        tag: msg.hdr.tag,
+                                        len: msg.payload.len(),
+                                    },
+                                    msg.payload,
+                                );
+                            }
+                            Some(rts) => {
+                                let recv_req = reserve_req_id;
+                                reserve_req_id += 1;
+                                posted.req.set_status(Status {
+                                    source: src as i32,
+                                    tag: msg.hdr.tag,
+                                    len: rts.size as usize,
+                                });
+                                let mut cts = Vec::with_capacity(17);
+                                cts.push(MsgKind::Cts as u8);
+                                cts.extend_from_slice(&rts.send_req.to_le_bytes());
+                                cts.extend_from_slice(&recv_req.to_le_bytes());
+                                outbox.push((msg.src_ep, cts));
+                                rdv_post = Some((recv_req, posted.req.clone()));
+                            }
+                        }
+                    }
+                    None => {
+                        let body = match msg.rts {
+                            None => UnexBody::Eager(msg.payload),
+                            Some(rts) => UnexBody::Rts {
+                                size: rts.size,
+                                send_req: rts.send_req,
+                                src_ep: msg.src_ep,
+                            },
+                        };
+                        route.unexpected.push_back(Unexpected {
+                            src,
+                            tag: msg.hdr.tag,
+                            seq: msg.hdr.seq,
+                            body,
+                        });
+                    }
+                }
+            }
+            st.next_req_id = reserve_req_id;
+            if let Some((id, req)) = rdv_post {
+                st.rdv_recv.insert(id, req);
+            }
+        }
+        for (ep, bytes) in outbox {
+            let _ = self.sender.send(ep, Bytes::from(bytes));
+        }
+    }
+
+    /// Number of unexpected messages queued on a communicator (tests).
+    pub fn unexpected_count(&self, local_cid: u16) -> usize {
+        self.state
+            .lock()
+            .routes
+            .get(&local_cid)
+            .map(|r| r.unexpected.len())
+            .unwrap_or(0)
+    }
+
+    /// Whether the send path to `dst_rank` on `local_cid` has switched to
+    /// the optimized compact-header mode (tests + Fig. 5 analysis).
+    pub fn peer_switched(&self, local_cid: u16, dst_rank: u32) -> bool {
+        self.state
+            .lock()
+            .routes
+            .get(&local_cid)
+            .and_then(|r| r.peers.get(dst_rank as usize))
+            .map(|p| !matches!(p.mode, SendCid::AwaitAck))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cid::ExCid;
+    use simnet::{Fabric, NodeId};
+
+    /// Two PML engines wired over a raw zero-cost fabric.
+    fn pair() -> (Arc<Pml>, Arc<Pml>) {
+        let fabric = Fabric::new(simnet::CostModel::zero());
+        let a = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let b = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        (a, b)
+    }
+
+    fn wire(a: &Arc<Pml>, b: &Arc<Pml>, cid_a: u16, cid_b: u16, excid: Option<ExCid>) {
+        let eps = vec![a.endpoint.id(), b.endpoint.id()];
+        let fixed_a = excid.is_none().then_some(cid_a);
+        let fixed_b = excid.is_none().then_some(cid_b);
+        a.register_comm(cid_a, 0, eps.clone(), excid, fixed_a);
+        b.register_comm(cid_b, 1, eps, excid, fixed_b);
+    }
+
+    fn pump(pml: &Arc<Pml>) {
+        for _ in 0..50 {
+            pml.progress(Some(Duration::from_millis(1)));
+        }
+    }
+
+    #[test]
+    fn eager_send_recv_fixed_cid() {
+        let (a, b) = pair();
+        wire(&a, &b, 5, 5, None); // consensus-style: same cid both sides
+        let req = b.irecv(5, Some(0), Some(9)).unwrap();
+        let sreq = a.isend(5, 1, 9, Bytes::from_static(b"hello")).unwrap();
+        assert!(sreq.is_done(), "eager send completes immediately");
+        pump(&b);
+        let st = req.status_snapshot().expect("matched");
+        assert_eq!(st.source, 0);
+        assert_eq!(st.tag, 9);
+        assert_eq!(st.len, 5);
+        assert_eq!(a.stats().eager_sent, 1);
+        assert_eq!(a.stats().ext_sent, 0);
+    }
+
+    #[test]
+    fn excid_first_message_parks_until_comm_registered() {
+        let fabric = Fabric::new(simnet::CostModel::zero());
+        let a = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let b = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let excid = Some(ExCid::from_pgcid(777));
+        let eps = vec![a.endpoint.id(), b.endpoint.id()];
+        // Only A registers; B hasn't created the communicator yet.
+        a.register_comm(3, 0, eps.clone(), excid, None);
+        a.isend(3, 1, 1, Bytes::from_static(b"early")).unwrap();
+        // B receives the EXT message for an unknown exCID: it must park.
+        pump(&b);
+        assert_eq!(b.state.lock().pending_ext.len(), 1);
+        // Late registration drains the parked message into matching.
+        b.register_comm(9, 1, eps, excid, None);
+        assert_eq!(b.state.lock().pending_ext.len(), 0);
+        let req = b.irecv(9, Some(0), Some(1)).unwrap();
+        pump(&b);
+        assert!(req.is_done(), "parked message matched after registration");
+    }
+
+    #[test]
+    fn cid_ack_switches_sender_to_compact() {
+        let (a, b) = pair();
+        let excid = Some(ExCid::from_pgcid(42));
+        wire(&a, &b, 2, 7, excid); // different local cids, as sessions allow
+        assert!(!a.peer_switched(2, 1));
+        a.isend(2, 1, 0, Bytes::from_static(b"x")).unwrap();
+        pump(&b); // B matches (unexpected), sends CidAck
+        pump(&a); // A absorbs the ack
+        assert!(a.peer_switched(2, 1), "ack must switch the peer mode");
+        assert_eq!(b.stats().acks_sent, 1);
+        // Subsequent sends are compact and carry B's local cid (7).
+        a.isend(2, 1, 0, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(a.stats().ext_sent, 1);
+        assert_eq!(a.stats().eager_sent, 1);
+        // And B, having learned A's cid from the EXT header, never EXTs back.
+        assert!(b.peer_switched(7, 0));
+    }
+
+    #[test]
+    fn rendezvous_protocol_full_cycle() {
+        let (a, b) = pair();
+        wire(&a, &b, 4, 4, None);
+        a.set_eager_limit(64);
+        let big = Bytes::from(vec![0x7fu8; 1000]);
+        let sreq = a.isend(4, 1, 2, big.clone()).unwrap();
+        assert!(!sreq.is_done(), "rendezvous send must await CTS");
+        assert_eq!(a.stats().rts_sent, 1);
+        let rreq = b.irecv(4, Some(0), Some(2)).unwrap();
+        // Drive both sides: B matches RTS -> CTS -> A sends data -> B done.
+        for _ in 0..20 {
+            a.progress(Some(Duration::from_millis(1)));
+            b.progress(Some(Duration::from_millis(1)));
+            if rreq.is_done() && sreq.is_done() {
+                break;
+            }
+        }
+        assert!(sreq.is_done());
+        assert!(rreq.is_done());
+        assert_eq!(rreq.status_snapshot().unwrap().len, 1000);
+    }
+
+    #[test]
+    fn unknown_fixed_ctx_parks_until_registration() {
+        let (a, b) = pair();
+        let eps = vec![a.endpoint.id(), b.endpoint.id()];
+        a.register_comm(6, 0, eps.clone(), None, Some(6));
+        a.isend(6, 1, 0, Bytes::from_static(b"racy")).unwrap();
+        pump(&b);
+        assert_eq!(b.state.lock().pending_ctx.len(), 1);
+        b.register_comm(6, 1, eps, None, Some(6));
+        let req = b.irecv(6, None, None).unwrap();
+        pump(&b);
+        assert!(req.is_done());
+    }
+
+    #[test]
+    fn unregister_then_reset_clears_state() {
+        let (a, b) = pair();
+        wire(&a, &b, 1, 1, None);
+        assert!(a.state.lock().routes.contains_key(&1));
+        a.unregister_comm(1);
+        assert!(!a.state.lock().routes.contains_key(&1));
+        b.reset();
+        assert!(b.state.lock().routes.is_empty());
+        assert!(b.irecv(1, None, None).is_err(), "reset engine rejects old cids");
+    }
+
+    #[test]
+    fn send_on_unknown_comm_errors() {
+        let (a, _b) = pair();
+        assert!(a.isend(99, 0, 0, Bytes::new()).is_err());
+        assert!(a.irecv(99, None, None).is_err());
+    }
+
+    #[test]
+    fn send_to_out_of_range_rank_errors() {
+        let (a, b) = pair();
+        wire(&a, &b, 1, 1, None);
+        assert!(a.isend(1, 5, 0, Bytes::new()).is_err());
+    }
+}

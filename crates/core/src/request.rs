@@ -1,0 +1,264 @@
+//! Request objects (`MPI_Request`): completion tracking for non-blocking
+//! operations, plus the poll-hook mechanism that implements non-blocking
+//! collectives (`MPI_Ibarrier`) as state machines driven by `test`/`wait`.
+
+use crate::error::{ErrClass, MpiError, Result};
+use crate::pml::Pml;
+use crate::status::Status;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What kind of operation a request tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// A send.
+    Send,
+    /// A receive.
+    Recv,
+    /// A non-blocking collective (driven by a poll hook).
+    Coll,
+}
+
+/// Poll hook for collective requests: returns `Ok(true)` when the
+/// collective has completed. Runs outside all PML locks.
+pub type PollHook = Box<dyn FnMut() -> Result<bool> + Send>;
+
+struct ReqState {
+    done: bool,
+    err: Option<MpiError>,
+    status: Option<Status>,
+    data: Option<Bytes>,
+    hook: Option<PollHook>,
+}
+
+/// Shared request core (engine side).
+pub struct ReqInner {
+    kind: ReqKind,
+    state: Mutex<ReqState>,
+}
+
+impl ReqInner {
+    /// New incomplete request.
+    pub fn new(kind: ReqKind) -> Arc<Self> {
+        Arc::new(Self {
+            kind,
+            state: Mutex::new(ReqState {
+                done: false,
+                err: None,
+                status: None,
+                data: None,
+                hook: None,
+            }),
+        })
+    }
+
+    /// New collective request driven by `hook`.
+    pub fn with_hook(hook: PollHook) -> Arc<Self> {
+        let r = Self::new(ReqKind::Coll);
+        r.state.lock().hook = Some(hook);
+        r
+    }
+
+    /// The request kind.
+    pub fn kind(&self) -> ReqKind {
+        self.kind
+    }
+
+    /// Mark a send complete.
+    pub fn complete_send(&self, len: usize) {
+        let mut st = self.state.lock();
+        st.status = Some(Status { source: -1, tag: -1, len });
+        st.done = true;
+    }
+
+    /// Mark a receive complete with its payload.
+    pub fn complete_recv(&self, status: Status, data: Bytes) {
+        let mut st = self.state.lock();
+        st.status = Some(status);
+        st.data = Some(data);
+        st.done = true;
+    }
+
+    /// Record match metadata before the payload arrives (rendezvous).
+    pub fn set_status(&self, status: Status) {
+        self.state.lock().status = Some(status);
+    }
+
+    /// Snapshot the status (may be pre-completion for rendezvous).
+    pub fn status_snapshot(&self) -> Option<Status> {
+        self.state.lock().status
+    }
+
+    /// Fail the request.
+    pub fn fail(&self, err: MpiError) {
+        let mut st = self.state.lock();
+        st.err = Some(err);
+        st.done = true;
+    }
+
+    /// Completion check; runs the poll hook for collective requests.
+    fn poll(&self) -> Result<bool> {
+        let hook = {
+            let mut st = self.state.lock();
+            if st.done {
+                return match &st.err {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(true),
+                };
+            }
+            st.hook.take()
+        };
+        match hook {
+            None => Ok(false),
+            Some(mut h) => {
+                let res = h();
+                let mut st = self.state.lock();
+                match res {
+                    Ok(true) => {
+                        st.done = true;
+                        // Collectives carry no match metadata.
+                        if st.status.is_none() {
+                            st.status = Some(Status { source: -1, tag: -1, len: 0 });
+                        }
+                        Ok(true)
+                    }
+                    Ok(false) => {
+                        st.hook = Some(h);
+                        Ok(false)
+                    }
+                    Err(e) => {
+                        st.err = Some(e.clone());
+                        st.done = true;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_data(&self) -> Option<Bytes> {
+        self.state.lock().data.take()
+    }
+
+    /// Whether the request has completed (engine-side check).
+    pub fn is_done(&self) -> bool {
+        self.state.lock().done
+    }
+}
+
+/// A user-facing request handle bound to its process's progress engine.
+pub struct Request {
+    inner: Arc<ReqInner>,
+    pml: Arc<Pml>,
+}
+
+impl Request {
+    /// Wrap an engine request.
+    pub fn new(inner: Arc<ReqInner>, pml: Arc<Pml>) -> Self {
+        Self { inner, pml }
+    }
+
+    /// `MPI_Test`: progress once, then check completion.
+    pub fn test(&mut self) -> Result<bool> {
+        self.pml.progress(None);
+        self.inner.poll()
+    }
+
+    /// `MPI_Wait`: progress until complete. Returns the status.
+    pub fn wait(self) -> Result<Status> {
+        loop {
+            if self.inner.poll()? {
+                return self
+                    .inner
+                    .status_snapshot()
+                    .ok_or_else(|| MpiError::intern("completed request without status"));
+            }
+            self.pml.progress(Some(Duration::from_millis(1)));
+        }
+    }
+
+    /// `MPI_Wait` for receives, returning the payload bytes and status.
+    pub fn wait_data(self) -> Result<(Bytes, Status)> {
+        loop {
+            if self.inner.poll()? {
+                let status = self
+                    .inner
+                    .status_snapshot()
+                    .ok_or_else(|| MpiError::intern("completed request without status"))?;
+                let data = self.inner.take_data().ok_or_else(|| {
+                    MpiError::new(ErrClass::Arg, "wait_data on a request with no payload (send?)")
+                })?;
+                return Ok((data, status));
+            }
+            self.pml.progress(Some(Duration::from_millis(1)));
+        }
+    }
+
+    /// Wait for all requests (`MPI_Waitall`).
+    pub fn wait_all(reqs: Vec<Request>) -> Result<Vec<Status>> {
+        reqs.into_iter().map(|r| r.wait()).collect()
+    }
+
+    /// Whether the request has already completed (no progress attempt).
+    pub fn is_complete(&self) -> bool {
+        self.inner.state.lock().done
+    }
+
+    /// Engine-side handle (internal plumbing for collectives).
+    pub fn inner(&self) -> &Arc<ReqInner> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("kind", &self.inner.kind())
+            .field("done", &self.inner.state.lock().done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_send_sets_status() {
+        let r = ReqInner::new(ReqKind::Send);
+        assert!(!r.poll().unwrap());
+        r.complete_send(10);
+        assert!(r.poll().unwrap());
+        assert_eq!(r.status_snapshot().unwrap().len, 10);
+    }
+
+    #[test]
+    fn fail_surfaces_error() {
+        let r = ReqInner::new(ReqKind::Recv);
+        r.fail(MpiError::new(ErrClass::ProcFailed, "peer died"));
+        assert_eq!(r.poll().unwrap_err().class, ErrClass::ProcFailed);
+    }
+
+    #[test]
+    fn hook_drives_completion() {
+        let mut count = 0;
+        let r = ReqInner::with_hook(Box::new(move || {
+            count += 1;
+            Ok(count >= 3)
+        }));
+        assert!(!r.poll().unwrap());
+        assert!(!r.poll().unwrap());
+        assert!(r.poll().unwrap());
+        // Once done, stays done without re-running the hook.
+        assert!(r.poll().unwrap());
+    }
+
+    #[test]
+    fn hook_error_is_sticky() {
+        let r = ReqInner::with_hook(Box::new(|| Err(MpiError::intern("boom"))));
+        assert!(r.poll().is_err());
+        assert!(r.poll().is_err());
+    }
+}

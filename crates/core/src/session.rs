@@ -1,0 +1,272 @@
+//! The MPI Sessions API (paper §I and §III-B6).
+//!
+//! `MPI_Session_init` is **local** (no communication), thread-safe, and
+//! callable any number of times — including after all previous sessions
+//! (and the WPM) have been finalized. A session exposes the runtime's
+//! process sets; a pset name becomes an [`MpiGroup`]
+//! (`MPI_Group_from_session_pset`), and a group becomes a communicator
+//! (`MPI_Comm_create_from_group` — see [`crate::comm::Comm`]).
+//!
+//! The three built-in psets of the prototype are provided: `mpi://world`,
+//! `mpi://self` and `mpi://shared` (the processes of the local node);
+//! additional psets come from PMIx (defined at launch via
+//! `JobSpec::with_pset`, the `prun --pset` analog).
+
+use crate::attr::AttrStore;
+use crate::errhandler::ErrHandler;
+use crate::error::{ErrClass, MpiError, Result};
+use crate::group::{MpiGroup, ProcRef};
+use crate::info::{keys, Info};
+use crate::instance::{MpiProcess, SESSION_MIN_SUBSYSTEMS};
+use prrte::ProcCtx;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Built-in pset: every process of the job.
+pub const PSET_WORLD: &str = "mpi://world";
+/// Built-in pset: the calling process alone.
+pub const PSET_SELF: &str = "mpi://self";
+/// Built-in pset: the processes sharing the caller's node.
+pub const PSET_SHARED: &str = "mpi://shared";
+
+/// MPI thread support levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ThreadLevel {
+    /// `MPI_THREAD_SINGLE`
+    Single,
+    /// `MPI_THREAD_FUNNELED`
+    Funneled,
+    /// `MPI_THREAD_SERIALIZED`
+    Serialized,
+    /// `MPI_THREAD_MULTIPLE`
+    Multiple,
+}
+
+impl ThreadLevel {
+    /// Parse the proposal's `thread_level` info value.
+    pub fn from_info_value(v: &str) -> Option<ThreadLevel> {
+        Some(match v {
+            "MPI_THREAD_SINGLE" => ThreadLevel::Single,
+            "MPI_THREAD_FUNNELED" => ThreadLevel::Funneled,
+            "MPI_THREAD_SERIALIZED" => ThreadLevel::Serialized,
+            "MPI_THREAD_MULTIPLE" => ThreadLevel::Multiple,
+            _ => return None,
+        })
+    }
+}
+
+struct SessionInner {
+    id: u64,
+    process: Arc<MpiProcess>,
+    thread_level: ThreadLevel,
+    errh: ErrHandler,
+    info: Info,
+    attrs: AttrStore,
+    finalized: AtomicBool,
+}
+
+/// An MPI session handle.
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+impl Session {
+    /// `MPI_Session_init`: local, light-weight, thread-safe, repeatable.
+    ///
+    /// Initializes only the minimum subsystems a session object needs
+    /// (refcounted; see [`crate::instance`]).
+    pub fn init(
+        ctx: &ProcCtx,
+        requested: ThreadLevel,
+        errh: ErrHandler,
+        info: &Info,
+    ) -> Result<Session> {
+        let process = MpiProcess::obtain(ctx);
+        let id = process.acquire_instance(SESSION_MIN_SUBSYSTEMS);
+        // Honor PML tuning from the info object.
+        if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
+            if limit > 0 {
+                process.pml().set_eager_limit(limit as usize);
+            }
+        }
+        let thread_level = info
+            .get(keys::THREAD_LEVEL)
+            .and_then(|v| ThreadLevel::from_info_value(&v))
+            .unwrap_or(requested);
+        Ok(Session {
+            inner: Arc::new(SessionInner {
+                id,
+                process,
+                thread_level,
+                errh,
+                info: info.dup(),
+                attrs: AttrStore::new(),
+                finalized: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The granted thread support level.
+    pub fn thread_level(&self) -> ThreadLevel {
+        self.inner.thread_level
+    }
+
+    /// Session-local id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The session's error handler.
+    pub fn errhandler(&self) -> &ErrHandler {
+        &self.inner.errh
+    }
+
+    /// The session's info object (`MPI_Session_get_info`).
+    pub fn info(&self) -> Info {
+        self.inner.info.dup()
+    }
+
+    /// The session's attribute store.
+    pub fn attrs(&self) -> &AttrStore {
+        &self.inner.attrs
+    }
+
+    /// The owning process (crate plumbing).
+    pub(crate) fn process(&self) -> &Arc<MpiProcess> {
+        &self.inner.process
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.inner.finalized.load(Ordering::Acquire) {
+            return Err(MpiError::new(ErrClass::Session, "session has been finalized"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Process sets
+    // ------------------------------------------------------------------
+
+    /// `MPI_Session_get_num_psets`.
+    pub fn num_psets(&self) -> Result<usize> {
+        Ok(self.pset_names()?.len())
+    }
+
+    /// All pset names visible to this session: the three built-ins plus
+    /// everything the runtime defines (`PMIX_QUERY_PSET_NAMES`).
+    pub fn pset_names(&self) -> Result<Vec<String>> {
+        self.check_live()?;
+        let mut names = vec![
+            PSET_WORLD.to_owned(),
+            PSET_SELF.to_owned(),
+            PSET_SHARED.to_owned(),
+        ];
+        names.extend(self.inner.process.pmix().query_pset_names());
+        Ok(names)
+    }
+
+    /// `MPI_Session_get_nth_pset`.
+    pub fn nth_pset(&self, n: usize) -> Result<String> {
+        self.pset_names()?
+            .get(n)
+            .cloned()
+            .ok_or_else(|| MpiError::new(ErrClass::Arg, format!("pset index {n} out of range")))
+    }
+
+    /// `MPI_Session_get_pset_info`: currently the membership size under
+    /// the standard key `mpi_size`.
+    pub fn pset_info(&self, name: &str) -> Result<Info> {
+        let members = self.resolve_pset(name)?;
+        let info = Info::new();
+        info.set("mpi_size", &members.len().to_string());
+        Ok(info)
+    }
+
+    /// `MPI_Group_from_session_pset`: local resolution of a pset name into
+    /// a group bound to this session's process.
+    pub fn group_from_pset(&self, name: &str) -> Result<MpiGroup> {
+        self.check_live()?;
+        let members = self.resolve_pset(name)?;
+        Ok(MpiGroup::from_members(members).bind(self.inner.process.clone()))
+    }
+
+    fn resolve_pset(&self, name: &str) -> Result<Vec<ProcRef>> {
+        self.check_live()?;
+        let process = &self.inner.process;
+        let registry = process.universe().registry();
+        let me = process.proc();
+        let nspace = registry.namespace(me.nspace())?;
+        let to_ref = |e: &pmix::NamespaceInfo| -> Vec<ProcRef> {
+            e.procs()
+                .iter()
+                .map(|p| ProcRef { proc: p.proc.clone(), endpoint: p.endpoint })
+                .collect()
+        };
+        match name {
+            PSET_WORLD => Ok(to_ref(&nspace)),
+            PSET_SELF => {
+                let entry = registry.locate(me)?;
+                Ok(vec![ProcRef { proc: me.clone(), endpoint: entry.endpoint }])
+            }
+            PSET_SHARED => Ok(nspace
+                .procs()
+                .iter()
+                .filter(|p| p.node == process.node())
+                .map(|p| ProcRef { proc: p.proc.clone(), endpoint: p.endpoint })
+                .collect()),
+            other => {
+                let members = registry.pset_members(other).map_err(|_| {
+                    MpiError::new(ErrClass::Arg, format!("unknown process set '{other}'"))
+                })?;
+                members
+                    .into_iter()
+                    .map(|proc| {
+                        let entry = registry.locate(&proc)?;
+                        Ok(ProcRef { proc, endpoint: entry.endpoint })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finalize
+    // ------------------------------------------------------------------
+
+    /// `MPI_Session_finalize`: releases this session's subsystem
+    /// references; the last finalize in the process tears the library
+    /// down (cleanup callbacks) so a later `Session_init` starts fresh.
+    pub fn finalize(self) -> Result<()> {
+        self.check_live()?;
+        self.inner.finalized.store(true, Ordering::Release);
+        self.inner.process.release_instance(SESSION_MIN_SUBSYSTEMS);
+        Ok(())
+    }
+
+    /// Whether the session is finalized.
+    pub fn is_finalized(&self) -> bool {
+        self.inner.finalized.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for SessionInner {
+    fn drop(&mut self) {
+        // A dropped-but-never-finalized session still releases its
+        // subsystem references so the process can reach the pristine state
+        // (Rust RAII in place of the C requirement to always finalize).
+        if !self.finalized.load(Ordering::Acquire) {
+            self.process.release_instance(SESSION_MIN_SUBSYSTEMS);
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.inner.id)
+            .field("thread_level", &self.inner.thread_level)
+            .field("finalized", &self.is_finalized())
+            .finish()
+    }
+}

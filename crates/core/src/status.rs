@@ -1,0 +1,33 @@
+//! Receive status (`MPI_Status`).
+
+/// Information about a completed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank of the sender within the communicator (`MPI_SOURCE`).
+    pub source: i32,
+    /// Message tag (`MPI_TAG`).
+    pub tag: i32,
+    /// Received payload length in bytes (`MPI_Get_count` with `MPI_BYTE`).
+    pub len: usize,
+}
+
+impl Status {
+    /// Element count for a scalar type (`MPI_Get_count` analog).
+    /// `None` when the byte length is not a multiple of the width.
+    pub fn count<T: crate::datatype::MpiScalar>(&self) -> Option<usize> {
+        (self.len % T::WIDTH == 0).then_some(self.len / T::WIDTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_divides_by_width() {
+        let st = Status { source: 0, tag: 5, len: 12 };
+        assert_eq!(st.count::<i32>(), Some(3));
+        assert_eq!(st.count::<u8>(), Some(12));
+        assert_eq!(st.count::<f64>(), None);
+    }
+}

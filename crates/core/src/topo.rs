@@ -1,0 +1,247 @@
+//! Cartesian process topologies (`MPI_Cart_create` and friends).
+//!
+//! Stencil applications (like the paper's 2MESH L0 library) address
+//! neighbors through a Cartesian view of the communicator; this module
+//! provides that layer over any communicator — sessions-derived or WPM.
+
+use crate::coll;
+use crate::comm::Comm;
+use crate::error::{ErrClass, MpiError, Result};
+
+/// A communicator with a Cartesian topology attached.
+pub struct CartComm {
+    comm: Comm,
+    dims: Vec<u32>,
+    periodic: Vec<bool>,
+}
+
+/// `MPI_Dims_create`: factor `nnodes` into `ndims` balanced dimensions.
+pub fn dims_create(nnodes: u32, ndims: usize) -> Vec<u32> {
+    assert!(ndims >= 1);
+    let mut dims = vec![1u32; ndims];
+    let mut rest = nnodes.max(1);
+    // Greedy: repeatedly assign the largest prime factor to the smallest
+    // dimension, yielding near-cubic decompositions.
+    let mut factors = Vec::new();
+    let mut f = 2u32;
+    while f * f <= rest {
+        while rest % f == 0 {
+            factors.push(f);
+            rest /= f;
+        }
+        f += 1;
+    }
+    if rest > 1 {
+        factors.push(rest);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for factor in factors {
+        let i = (0..ndims).min_by_key(|&i| dims[i]).expect("ndims >= 1");
+        dims[i] *= factor;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+impl CartComm {
+    /// `MPI_Cart_create` (with `reorder = false`): attach a
+    /// `dims`-shaped grid to `comm`. The product of `dims` must equal the
+    /// communicator size (ranks beyond the grid are not supported — pass
+    /// an exact grid, as `dims_create` produces).
+    pub fn create(comm: &Comm, dims: &[u32], periodic: &[bool]) -> Result<CartComm> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(MpiError::new(ErrClass::Arg, "dims/periodic shape mismatch"));
+        }
+        let cells: u64 = dims.iter().map(|d| *d as u64).product();
+        if cells != comm.size() as u64 {
+            return Err(MpiError::new(
+                ErrClass::Arg,
+                format!("grid of {cells} cells over communicator of {}", comm.size()),
+            ));
+        }
+        Ok(CartComm {
+            comm: comm.dup()?,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Grid shape (`MPI_Cart_get`).
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Number of dimensions (`MPI_Cartdim_get`).
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `MPI_Cart_coords`: rank → coordinates (row-major, like MPI).
+    pub fn coords_of(&self, rank: u32) -> Result<Vec<u32>> {
+        if rank >= self.comm.size() {
+            return Err(MpiError::new(ErrClass::Rank, "rank outside grid"));
+        }
+        let mut rest = rank;
+        let mut coords = vec![0u32; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            coords[i] = rest % self.dims[i];
+            rest /= self.dims[i];
+        }
+        Ok(coords)
+    }
+
+    /// `MPI_Cart_rank`: coordinates → rank. Periodic dimensions wrap;
+    /// out-of-range coordinates on non-periodic dimensions are an error.
+    pub fn rank_of(&self, coords: &[i64]) -> Result<Option<u32>> {
+        if coords.len() != self.dims.len() {
+            return Err(MpiError::new(ErrClass::Arg, "coordinate arity mismatch"));
+        }
+        let mut rank = 0u64;
+        for (i, &c) in coords.iter().enumerate() {
+            let d = self.dims[i] as i64;
+            let c = if self.periodic[i] {
+                c.rem_euclid(d)
+            } else if c < 0 || c >= d {
+                return Ok(None); // MPI_PROC_NULL
+            } else {
+                c
+            };
+            rank = rank * d as u64 + c as u64;
+        }
+        Ok(Some(rank as u32))
+    }
+
+    /// This process's coordinates.
+    pub fn my_coords(&self) -> Vec<u32> {
+        self.coords_of(self.comm.rank()).expect("own rank valid")
+    }
+
+    /// `MPI_Cart_shift`: source and destination ranks for a displacement
+    /// along `dim`. `None` = `MPI_PROC_NULL` (walked off a wall).
+    pub fn shift(&self, dim: usize, disp: i64) -> Result<(Option<u32>, Option<u32>)> {
+        if dim >= self.dims.len() {
+            return Err(MpiError::new(ErrClass::Arg, "shift dimension out of range"));
+        }
+        let me: Vec<i64> = self.my_coords().iter().map(|c| *c as i64).collect();
+        let mut dst = me.clone();
+        dst[dim] += disp;
+        let mut src = me;
+        src[dim] -= disp;
+        Ok((self.rank_of(&src)?, self.rank_of(&dst)?))
+    }
+
+    /// Halo exchange along one dimension: sendrecv with both neighbors,
+    /// returning `(from_low, from_high)` (None at non-periodic walls).
+    pub fn halo_exchange(
+        &self,
+        dim: usize,
+        tag: i32,
+        to_low: &[u8],
+        to_high: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<Vec<u8>>)> {
+        let (low, high) = self.shift(dim, 1)?; // src = low side, dst = high side
+        // Phase 1: send toward the high neighbor, receive from the low.
+        let from_low = match (high, low) {
+            (Some(h), Some(l)) => {
+                Some(self.comm.sendrecv(h, tag, to_high, l as i32, tag)?.0)
+            }
+            (Some(h), None) => {
+                self.comm.send(h, tag, to_high)?;
+                None
+            }
+            (None, Some(l)) => Some(self.comm.recv(l as i32, tag)?.0),
+            (None, None) => None,
+        };
+        // Phase 2: the mirror direction.
+        let from_high = match (low, high) {
+            (Some(l), Some(h)) => {
+                Some(self.comm.sendrecv(l, tag + 1, to_low, h as i32, tag + 1)?.0)
+            }
+            (Some(l), None) => {
+                self.comm.send(l, tag + 1, to_low)?;
+                None
+            }
+            (None, Some(h)) => Some(self.comm.recv(h as i32, tag + 1)?.0),
+            (None, None) => None,
+        };
+        Ok((from_low, from_high))
+    }
+
+    /// `MPI_Cart_sub`: keep the dimensions where `keep[i]`, splitting into
+    /// disjoint sub-grids over the dropped dimensions.
+    pub fn sub(&self, keep: &[bool]) -> Result<CartComm> {
+        if keep.len() != self.dims.len() {
+            return Err(MpiError::new(ErrClass::Arg, "keep arity mismatch"));
+        }
+        let my = self.my_coords();
+        // Color = coordinates along dropped dims; key = linearized kept coords.
+        let mut color = 0u32;
+        let mut key = 0u32;
+        let mut sub_dims = Vec::new();
+        let mut sub_periodic = Vec::new();
+        for i in 0..keep.len() {
+            if keep[i] {
+                key = key * self.dims[i] + my[i];
+                sub_dims.push(self.dims[i]);
+                sub_periodic.push(self.periodic[i]);
+            } else {
+                color = color * self.dims[i] + my[i];
+            }
+        }
+        if sub_dims.is_empty() {
+            sub_dims.push(1);
+            sub_periodic.push(false);
+        }
+        let sub_comm = self.comm.split(color, key)?;
+        Ok(CartComm { comm: sub_comm, dims: sub_dims, periodic: sub_periodic })
+    }
+
+    /// Free the attached communicator (collective).
+    pub fn free(self) -> Result<()> {
+        self.comm.free()
+    }
+
+    /// Barrier over the grid.
+    pub fn barrier(&self) -> Result<()> {
+        coll::barrier(&self.comm)
+    }
+}
+
+impl std::fmt::Debug for CartComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CartComm")
+            .field("dims", &self.dims)
+            .field("periodic", &self.periodic)
+            .field("rank", &self.comm.rank())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_balances_factors() {
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 2), vec![1, 1]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn dims_product_matches_input() {
+        for n in 1..=64u32 {
+            for nd in 1..=3usize {
+                let dims = dims_create(n, nd);
+                assert_eq!(dims.iter().product::<u32>(), n, "n={n} nd={nd}");
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! RMA windows created from groups (`MPI_Win_allocate_from_group`).
+//!
+//! The prototype implements group-based window creation by first building
+//! an intermediate communicator with the exCID machinery and then running
+//! the MPI-3 window path over it (paper §III-B6); we do the same — the
+//! window owns the communicator produced by `Comm::create_from_group`.
+//!
+//! The RMA model implemented is **active-target fence epochs** (BSP):
+//! `put`/`get` calls queue one-sided operations; [`Win::fence`] exchanges
+//! and applies them and completes all pending [`GetHandle`]s. Passive
+//! target (lock/unlock) is out of scope and documented as such.
+
+use crate::coll;
+use crate::comm::Comm;
+use crate::error::{ErrClass, MpiError, Result};
+use crate::group::MpiGroup;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const TAG_OPS: i32 = 0;
+const TAG_GET_REPLY: i32 = 1;
+
+enum RmaOp {
+    Put { dst: u32, offset: usize, data: Vec<u8> },
+    Get { dst: u32, offset: usize, len: usize, slot: Arc<Mutex<Option<Vec<u8>>>> },
+}
+
+/// Result slot of a queued `get`; filled by the closing [`Win::fence`].
+pub struct GetHandle {
+    slot: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl GetHandle {
+    /// The fetched bytes. Errors if the epoch has not been fenced yet.
+    pub fn result(&self) -> Result<Vec<u8>> {
+        self.slot
+            .lock()
+            .clone()
+            .ok_or_else(|| MpiError::new(ErrClass::Other, "get not completed: call Win::fence first"))
+    }
+}
+
+/// An RMA window over a group of processes.
+pub struct Win {
+    comm: Comm,
+    local: Arc<Mutex<Vec<u8>>>,
+    pending: Mutex<Vec<RmaOp>>,
+}
+
+impl Win {
+    /// `MPI_Win_allocate_from_group`: collective over the group.
+    pub fn allocate_from_group(group: &MpiGroup, stringtag: &str, size: usize) -> Result<Win> {
+        let comm = Comm::create_from_group(group, &format!("win:{stringtag}"))?;
+        Ok(Win {
+            comm,
+            local: Arc::new(Mutex::new(vec![0u8; size])),
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// `MPI_Win_create` over an existing communicator (MPI-3 path).
+    pub fn create(comm: &Comm, size: usize) -> Result<Win> {
+        Ok(Win {
+            comm: comm.dup()?,
+            local: Arc::new(Mutex::new(vec![0u8; size])),
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The window's communicator (diagnostics).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Size of the local window.
+    pub fn local_size(&self) -> usize {
+        self.local.lock().len()
+    }
+
+    /// Direct load from the local window.
+    pub fn read_local(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let mem = self.local.lock();
+        if offset + len > mem.len() {
+            return Err(MpiError::new(ErrClass::Arg, "local read outside window"));
+        }
+        Ok(mem[offset..offset + len].to_vec())
+    }
+
+    /// Direct store to the local window.
+    pub fn write_local(&self, offset: usize, data: &[u8]) -> Result<()> {
+        let mut mem = self.local.lock();
+        if offset + data.len() > mem.len() {
+            return Err(MpiError::new(ErrClass::Arg, "local write outside window"));
+        }
+        mem[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Queue `MPI_Put` toward `dst` (applied at the next fence).
+    pub fn put(&self, dst: u32, offset: usize, data: &[u8]) -> Result<()> {
+        if dst >= self.comm.size() {
+            return Err(MpiError::new(ErrClass::Rank, "put target outside window group"));
+        }
+        self.pending.lock().push(RmaOp::Put { dst, offset, data: data.to_vec() });
+        Ok(())
+    }
+
+    /// Queue `MPI_Get` from `dst` (completed at the next fence).
+    pub fn get(&self, dst: u32, offset: usize, len: usize) -> Result<GetHandle> {
+        if dst >= self.comm.size() {
+            return Err(MpiError::new(ErrClass::Rank, "get target outside window group"));
+        }
+        let slot = Arc::new(Mutex::new(None));
+        self.pending
+            .lock()
+            .push(RmaOp::Get { dst, offset, len, slot: slot.clone() });
+        Ok(GetHandle { slot })
+    }
+
+    /// `MPI_Win_fence`: closes the epoch — exchanges queued operations,
+    /// applies puts, serves gets, completes get handles. Collective.
+    pub fn fence(&self) -> Result<()> {
+        let n = self.comm.size();
+        let me = self.comm.rank();
+        // Partition pending ops by target.
+        let mut puts: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); n as usize];
+        let mut gets: Vec<Vec<(u64, usize, usize)>> = vec![Vec::new(); n as usize];
+        let mut get_slots: Vec<Arc<Mutex<Option<Vec<u8>>>>> = Vec::new();
+        for op in self.pending.lock().drain(..) {
+            match op {
+                RmaOp::Put { dst, offset, data } => puts[dst as usize].push((offset, data)),
+                RmaOp::Get { dst, offset, len, slot } => {
+                    let id = get_slots.len() as u64;
+                    get_slots.push(slot);
+                    gets[dst as usize].push((id, offset, len));
+                }
+            }
+        }
+        // Self-targeted ops resolve locally.
+        for (offset, data) in puts[me as usize].drain(..) {
+            self.write_local(offset, &data)?;
+        }
+        for (id, offset, len) in gets[me as usize].drain(..) {
+            let data = self.read_local(offset, len)?;
+            *get_slots[id as usize].lock() = Some(data);
+        }
+        // Exchange op lists pairwise.
+        let mut reply_jobs: Vec<(u32, u64, usize, usize)> = Vec::new();
+        let mut expected_replies = 0usize;
+        for round in 1..n {
+            let dst = (me + round) % n;
+            let src = (me + n - round) % n;
+            let msg = encode_ops(&puts[dst as usize], &gets[dst as usize]);
+            expected_replies += gets[dst as usize].len();
+            let (incoming, _) = self.comm.sendrecv(dst, TAG_OPS, &msg, src as i32, TAG_OPS)?;
+            let (in_puts, in_gets) = decode_ops(&incoming)?;
+            for (offset, data) in in_puts {
+                self.write_local(offset, &data)?;
+            }
+            for (id, offset, len) in in_gets {
+                reply_jobs.push((src, id, offset, len));
+            }
+        }
+        // Serve gets that targeted us — non-blocking, so two ranks serving
+        // each other large replies cannot deadlock before their collect
+        // phases post the matching receives.
+        let mut reply_reqs = Vec::new();
+        for (requester, id, offset, len) in reply_jobs {
+            let data = self.read_local(offset, len)?;
+            let mut reply = Vec::with_capacity(8 + data.len());
+            reply.extend_from_slice(&id.to_le_bytes());
+            reply.extend_from_slice(&data);
+            reply_reqs.push(self.comm.isend(requester, TAG_GET_REPLY, &reply)?);
+        }
+        // Collect replies for our gets.
+        for _ in 0..expected_replies {
+            let (reply, _) = self.comm.recv(crate::ANY_SOURCE, TAG_GET_REPLY)?;
+            if reply.len() < 8 {
+                return Err(MpiError::intern("short RMA get reply"));
+            }
+            let id = u64::from_le_bytes(reply[..8].try_into().expect("len checked"));
+            *get_slots[id as usize].lock() = Some(reply[8..].to_vec());
+        }
+        crate::request::Request::wait_all(reply_reqs)?;
+        coll::barrier(&self.comm)?;
+        Ok(())
+    }
+
+    /// `MPI_Win_free`: collective.
+    pub fn free(self) -> Result<()> {
+        coll::barrier(&self.comm)?;
+        self.comm.free()
+    }
+}
+
+fn encode_ops(puts: &[(usize, Vec<u8>)], gets: &[(u64, usize, usize)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(puts.len() as u64).to_le_bytes());
+    for (offset, data) in puts {
+        out.extend_from_slice(&(*offset as u64).to_le_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out.extend_from_slice(&(gets.len() as u64).to_le_bytes());
+    for (id, offset, len) in gets {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(*offset as u64).to_le_bytes());
+        out.extend_from_slice(&(*len as u64).to_le_bytes());
+    }
+    out
+}
+
+type DecodedOps = (Vec<(usize, Vec<u8>)>, Vec<(u64, usize, usize)>);
+
+fn decode_ops(b: &[u8]) -> Result<DecodedOps> {
+    let short = || MpiError::intern("short RMA op list");
+    let mut pos = 0usize;
+    let read_u64 = |pos: &mut usize| -> Result<u64> {
+        if *pos + 8 > b.len() {
+            return Err(short());
+        }
+        let v = u64::from_le_bytes(b[*pos..*pos + 8].try_into().expect("checked"));
+        *pos += 8;
+        Ok(v)
+    };
+    let nputs = read_u64(&mut pos)?;
+    let mut puts = Vec::with_capacity(nputs as usize);
+    for _ in 0..nputs {
+        let offset = read_u64(&mut pos)? as usize;
+        let len = read_u64(&mut pos)? as usize;
+        if pos + len > b.len() {
+            return Err(short());
+        }
+        puts.push((offset, b[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    let ngets = read_u64(&mut pos)?;
+    let mut gets = Vec::with_capacity(ngets as usize);
+    for _ in 0..ngets {
+        let id = read_u64(&mut pos)?;
+        let offset = read_u64(&mut pos)? as usize;
+        let len = read_u64(&mut pos)? as usize;
+        gets.push((id, offset, len));
+    }
+    Ok((puts, gets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_encode_decode_roundtrip() {
+        let puts = vec![(4usize, vec![1u8, 2, 3]), (0usize, vec![9u8])];
+        let gets = vec![(7u64, 16usize, 8usize)];
+        let bytes = encode_ops(&puts, &gets);
+        let (p2, g2) = decode_ops(&bytes).unwrap();
+        assert_eq!(p2, puts);
+        assert_eq!(g2, gets);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let puts = vec![(4usize, vec![1u8, 2, 3])];
+        let bytes = encode_ops(&puts, &[]);
+        assert!(decode_ops(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_ops(&[1, 2, 3]).is_err());
+    }
+}
+
+impl std::fmt::Debug for Win {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Win")
+            .field("size", &self.local_size())
+            .field("pending_ops", &self.pending.lock().len())
+            .finish()
+    }
+}

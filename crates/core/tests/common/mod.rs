@@ -1,0 +1,33 @@
+//! Shared harness: launch an MPI job on a tiny zero-cost testbed and run a
+//! closure per rank.
+
+use prrte::{JobSpec, Launcher, ProcCtx};
+use simnet::SimTestbed;
+
+/// Run `np` simulated MPI processes over `nodes`×`slots` and collect
+/// per-rank results (panics propagate as test failures).
+///
+/// Not every test file uses both helpers; the module is shared.
+#[allow(dead_code)]
+pub fn run<T, F>(nodes: u32, slots: u32, np: u32, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(ProcCtx) -> T + Send + Sync + 'static,
+{
+    let launcher = Launcher::new(SimTestbed::tiny(nodes, slots));
+    launcher
+        .spawn(JobSpec::new(np), f)
+        .join()
+        .expect("no rank may panic")
+}
+
+/// Same, with a customized job spec.
+#[allow(dead_code)]
+pub fn run_spec<T, F>(nodes: u32, slots: u32, spec: JobSpec, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(ProcCtx) -> T + Send + Sync + 'static,
+{
+    let launcher = Launcher::new(SimTestbed::tiny(nodes, slots));
+    launcher.spawn(spec, f).join().expect("no rank may panic")
+}

@@ -1,0 +1,176 @@
+//! Fault-tolerance scenarios from paper §II-C: failure notification,
+//! re-initialization after failure, and failure-scope isolation.
+
+mod common;
+
+use mpi_sessions::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use prrte::{JobSpec, Launcher};
+use simnet::SimTestbed;
+use std::time::Duration;
+
+fn new_session(ctx: &prrte::ProcCtx) -> Session {
+    Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap()
+}
+
+#[test]
+fn reinit_after_failure_with_survivors() {
+    // §II-C(a): after a process failure, finalize and re-initialize MPI
+    // over the surviving processes, then continue computing.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let handle = launcher.spawn(JobSpec::new(4), |ctx| {
+        let session = new_session(&ctx);
+        let notifier = session.failure_notifier().unwrap();
+        // Phase 1: all four ranks communicate.
+        let g = session.group_from_pset("mpi://world").unwrap();
+        let comm = Comm::create_from_group(&g, "phase1").unwrap();
+        let sum1 = coll::allreduce_t(&comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+        assert_eq!(sum1, 4);
+        comm.free().unwrap();
+        if ctx.rank() == 3 {
+            // The victim: lingers after phase 1 until killed.
+            std::thread::sleep(Duration::from_secs(5));
+            return 0;
+        }
+
+        // Wait for the failure of rank 3.
+        let victim = notifier.next_timeout(Duration::from_secs(10)).expect("failure event");
+        assert_eq!(victim.rank(), 3);
+
+        // Roll forward: finalize, re-init, rebuild over the survivors.
+        session.finalize().unwrap();
+        let session2 = new_session(&ctx);
+        let survivors = session2.surviving_group("mpi://world").unwrap();
+        assert_eq!(survivors.size(), 3);
+        let comm2 = Comm::create_from_group(&survivors, "phase2").unwrap();
+        let sum2 = coll::allreduce_t(&comm2, ReduceOp::Sum, &[1u32]).unwrap()[0];
+        comm2.free().unwrap();
+        session2.finalize().unwrap();
+        sum2
+    });
+    // Let phase 1 complete, then kill rank 3.
+    std::thread::sleep(Duration::from_millis(600));
+    handle.kill_rank(3);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], 3);
+    assert_eq!(out[1], 3);
+    assert_eq!(out[2], 3);
+}
+
+#[test]
+fn comm_create_from_group_fails_cleanly_when_member_dies() {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+    let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+        if ctx.rank() == 1 {
+            std::thread::sleep(Duration::from_secs(3));
+            return None;
+        }
+        let session = new_session(&ctx);
+        let g = session.group_from_pset("mpi://world").unwrap();
+        // rank 1 never joins and is killed mid-construct.
+        let err = Comm::create_from_group(&g, "doomed").unwrap_err();
+        session.finalize().unwrap();
+        Some(err.class)
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    handle.kill_rank(1);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], Some(mpi_sessions::ErrClass::ProcFailed));
+}
+
+#[test]
+fn failure_scope_isolated_to_affected_session() {
+    // §II-C(b): a failure among "client" processes must not poison the
+    // "server"-internal session of the survivors.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let handle = launcher.spawn(JobSpec::new(4), |ctx| {
+        // Ranks 0,1 = servers; ranks 2,3 = clients. Rank 3 will die.
+        if ctx.rank() == 3 {
+            std::thread::sleep(Duration::from_secs(5));
+            return 0u32;
+        }
+        let session = new_session(&ctx);
+        let notifier = session.failure_notifier().unwrap();
+        if ctx.rank() >= 2 {
+            // Surviving client: nothing else to do.
+            let _ = notifier.next_timeout(Duration::from_secs(10));
+            session.finalize().unwrap();
+            return 0;
+        }
+        // Server-internal session & communicator, isolated from clients.
+        let world = session.group_from_pset("mpi://world").unwrap();
+        let servers_only = world.incl(&[0, 1]).unwrap();
+        let internal = Comm::create_from_group(&servers_only, "server-internal").unwrap();
+        // Wait for the client failure...
+        let victim = notifier.next_timeout(Duration::from_secs(10)).expect("failure");
+        assert_eq!(victim.rank(), 3);
+        // ...and keep serving: the internal communicator still works.
+        let sum = coll::allreduce_t(&internal, ReduceOp::Sum, &[21u32]).unwrap()[0];
+        internal.free().unwrap();
+        session.finalize().unwrap();
+        sum
+    });
+    std::thread::sleep(Duration::from_millis(500));
+    handle.kill_rank(3);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], 42);
+    assert_eq!(out[1], 42);
+}
+
+#[test]
+fn group_member_failure_event_carries_group_name() {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+    let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+        if ctx.rank() == 1 {
+            // Join the PMIx group, then die.
+            let members: Vec<pmix::ProcId> =
+                (0..2).map(|r| pmix::ProcId::new(ctx.proc().nspace(), r)).collect();
+            let _g = ctx
+                .pmix()
+                .group_construct("watched", &members, &pmix::GroupDirectives::for_mpi())
+                .unwrap();
+            std::thread::sleep(Duration::from_secs(5));
+            return None;
+        }
+        let events = ctx
+            .pmix()
+            .register_events(Some(vec![pmix::EventCode::GroupMemberFailed]));
+        let members: Vec<pmix::ProcId> =
+            (0..2).map(|r| pmix::ProcId::new(ctx.proc().nspace(), r)).collect();
+        let _g = ctx
+            .pmix()
+            .group_construct("watched", &members, &pmix::GroupDirectives::for_mpi())
+            .unwrap();
+        let ev = events.next_timeout(Duration::from_secs(10)).expect("member-failed event");
+        Some((
+            ev.source.clone().unwrap().rank(),
+            ev.get("group").unwrap().as_str().unwrap().to_owned(),
+        ))
+    });
+    std::thread::sleep(Duration::from_millis(500));
+    handle.kill_rank(1);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], Some((1, "watched".to_owned())));
+}
+
+#[test]
+fn surviving_group_shrinks_only_after_failure() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 3));
+    let handle = launcher.spawn(JobSpec::new(3), |ctx| {
+        if ctx.rank() == 2 {
+            std::thread::sleep(Duration::from_secs(3));
+            return (0, 0);
+        }
+        let session = new_session(&ctx);
+        let before = session.surviving_group("mpi://world").unwrap().size();
+        let notifier = session.failure_notifier().unwrap();
+        let _ = notifier.next_timeout(Duration::from_secs(10)).expect("event");
+        let after = session.surviving_group("mpi://world").unwrap().size();
+        session.finalize().unwrap();
+        (before, after)
+    });
+    std::thread::sleep(Duration::from_millis(400));
+    handle.kill_rank(2);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], (3, 2));
+    assert_eq!(out[1], (3, 2));
+}

@@ -1,0 +1,271 @@
+//! Integration tests for the Sessions API: the Figure-1 sequence, pset
+//! queries, repeatable initialization, pre-init objects, and coexistence
+//! with the World Process Model.
+
+mod common;
+
+use common::{run, run_spec};
+use mpi_sessions::coll;
+use mpi_sessions::info::keys;
+use mpi_sessions::session::{PSET_SELF, PSET_SHARED, PSET_WORLD};
+use mpi_sessions::{Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use prrte::JobSpec;
+
+fn new_session(ctx: &prrte::ProcCtx) -> Session {
+    Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap()
+}
+
+#[test]
+fn figure1_sequence_world_pset_to_comm() {
+    // The exact sequence of the paper's Figure 1: session -> query psets ->
+    // group from pset -> communicator from group -> use it.
+    let sums = run(2, 2, 4, |ctx| {
+        let session = new_session(&ctx);
+        let names = session.pset_names().unwrap();
+        assert!(names.contains(&PSET_WORLD.to_string()));
+        let group = session.group_from_pset(PSET_WORLD).unwrap();
+        assert_eq!(group.size(), 4);
+        let comm = Comm::create_from_group(&group, "fig1").unwrap();
+        assert_eq!(comm.size(), 4);
+        assert_eq!(comm.rank(), ctx.rank());
+        let total = coll::allreduce_t(&comm, ReduceOp::Sum, &[ctx.rank() as i64]).unwrap();
+        comm.free().unwrap();
+        session.finalize().unwrap();
+        total[0]
+    });
+    assert_eq!(sums, vec![6, 6, 6, 6]);
+}
+
+#[test]
+fn builtin_psets_resolve_correctly() {
+    let out = run(2, 2, 4, |ctx| {
+        let session = new_session(&ctx);
+        let world = session.group_from_pset(PSET_WORLD).unwrap();
+        let selfg = session.group_from_pset(PSET_SELF).unwrap();
+        let shared = session.group_from_pset(PSET_SHARED).unwrap();
+        let res = (world.size(), selfg.size(), shared.size());
+        session.finalize().unwrap();
+        res
+    });
+    for (w, s, sh) in out {
+        assert_eq!(w, 4);
+        assert_eq!(s, 1);
+        assert_eq!(sh, 2, "two slots per node => two shared-node peers");
+    }
+}
+
+#[test]
+fn custom_pset_from_launcher_becomes_communicator() {
+    // prun --pset analog: only the pset members create the communicator.
+    let spec = JobSpec::new(4).with_pset("app://evens", vec![0, 2]);
+    let out = run_spec(2, 2, spec, |ctx| {
+        let session = new_session(&ctx);
+        assert!(session.pset_names().unwrap().contains(&"app://evens".to_string()));
+        let info = session.pset_info("app://evens").unwrap();
+        assert_eq!(info.get("mpi_size").as_deref(), Some("2"));
+        let res = if ctx.rank() % 2 == 0 {
+            let group = session.group_from_pset("app://evens").unwrap();
+            let comm = Comm::create_from_group(&group, "evens").unwrap();
+            let r = coll::allreduce_t(&comm, ReduceOp::Sum, &[ctx.rank() as i64]).unwrap()[0];
+            comm.free().unwrap();
+            r
+        } else {
+            -1
+        };
+        session.finalize().unwrap();
+        res
+    });
+    assert_eq!(out, vec![2, -1, 2, -1]);
+}
+
+#[test]
+fn session_init_is_repeatable() {
+    // MPI_Session_init can be called many times, sequentially and after
+    // full finalization — the core limitation of MPI_Init it removes.
+    let cycles = run(1, 2, 2, |ctx| {
+        // Hold the process handle so the cycle counter survives the gaps
+        // between sessions (an application would hold *some* MPI object
+        // or re-obtain it; the library state itself is torn down anyway).
+        let p = mpi_sessions::instance::MpiProcess::obtain(&ctx);
+        for i in 0..5 {
+            let session = new_session(&ctx);
+            assert_eq!(p.open_instances(), 1);
+            let group = session.group_from_pset(PSET_WORLD).unwrap();
+            let comm = Comm::create_from_group(&group, &format!("cycle{i}")).unwrap();
+            coll::barrier(&comm).unwrap();
+            comm.free().unwrap();
+            session.finalize().unwrap();
+            assert_eq!(p.open_instances(), 0);
+        }
+        p.full_cycles()
+    });
+    // Every init/finalize pair fully tears the library down (one session
+    // at a time), so 5 cycles are observed.
+    assert_eq!(cycles, vec![5, 5]);
+}
+
+#[test]
+fn concurrent_sessions_are_isolated() {
+    let out = run(1, 2, 2, |ctx| {
+        let s1 = new_session(&ctx);
+        let s2 = new_session(&ctx);
+        let g1 = s1.group_from_pset(PSET_WORLD).unwrap();
+        let g2 = s2.group_from_pset(PSET_WORLD).unwrap();
+        let c1 = Comm::create_from_group(&g1, "s1").unwrap();
+        let c2 = Comm::create_from_group(&g2, "s2").unwrap();
+        // Different sessions produce distinct communicators (distinct
+        // PGCIDs) that work independently.
+        assert_ne!(c1.excid(), c2.excid());
+        let a = coll::allreduce_t(&c1, ReduceOp::Max, &[ctx.rank()]).unwrap()[0];
+        let b = coll::allreduce_t(&c2, ReduceOp::Min, &[ctx.rank()]).unwrap()[0];
+        c1.free().unwrap();
+        c2.free().unwrap();
+        // Finalizing one session must not break the other... both already
+        // freed their comms here; finalize in either order.
+        s2.finalize().unwrap();
+        s1.finalize().unwrap();
+        (a, b)
+    });
+    assert_eq!(out, vec![(1, 0), (1, 0)]);
+}
+
+#[test]
+fn session_thread_level_from_info_overrides_argument() {
+    let out = run(1, 1, 1, |ctx| {
+        let info = Info::new();
+        info.set(keys::THREAD_LEVEL, "MPI_THREAD_MULTIPLE");
+        let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+        let lvl = s.thread_level();
+        s.finalize().unwrap();
+        lvl
+    });
+    assert_eq!(out[0], ThreadLevel::Multiple);
+}
+
+#[test]
+fn finalized_session_rejects_use() {
+    run(1, 1, 1, |ctx| {
+        let s = new_session(&ctx);
+        let s2 = s.clone();
+        s.finalize().unwrap();
+        assert!(s2.group_from_pset(PSET_WORLD).is_err());
+        assert!(s2.pset_names().is_err());
+        assert!(s2.clone().finalize().is_err());
+    });
+}
+
+#[test]
+fn unknown_pset_is_an_error() {
+    run(1, 1, 1, |ctx| {
+        let s = new_session(&ctx);
+        let err = s.group_from_pset("mpi://nonsense").unwrap_err();
+        assert_eq!(err.class, mpi_sessions::ErrClass::Arg);
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn preinit_objects_info_errhandler_attrs() {
+    // Paper §III-B5: info objects, error handlers and session attribute
+    // keyvals must be fully usable before any initialization call.
+    let info = Info::new();
+    info.set("mpi_eager_limit", "4096");
+    let handler = ErrHandler::custom(|_e| {});
+    let kv = mpi_sessions::attr::Keyval::create();
+
+    let out = run(1, 2, 2, move |ctx| {
+        let s = Session::init(&ctx, ThreadLevel::Single, handler.clone(), &info).unwrap();
+        s.attrs().set(kv, 77).unwrap();
+        let got = s.attrs().get(kv).unwrap();
+        // The eager-limit info key must have reached the PML.
+        let lim = mpi_sessions::instance::MpiProcess::obtain(&ctx).pml().eager_limit();
+        s.finalize().unwrap();
+        (got, lim)
+    });
+    for (got, lim) in out {
+        assert_eq!(got, Some(77));
+        assert_eq!(lim, 4096);
+    }
+    kv.free();
+}
+
+#[test]
+fn wpm_and_sessions_coexist() {
+    // Paper §III-B5: the restructured init lets the Sessions Process Model
+    // run alongside the World Process Model in one execution.
+    let out = run(2, 1, 2, |ctx| {
+        let world = mpi_sessions::world::init(&ctx).unwrap();
+        let session = new_session(&ctx);
+        let group = session.group_from_pset(PSET_WORLD).unwrap();
+        let sc = Comm::create_from_group(&group, "coexist").unwrap();
+        // Use both communicators, interleaved.
+        let via_wpm = coll::allreduce_t(world.comm(), ReduceOp::Sum, &[1i32]).unwrap()[0];
+        let via_sess = coll::allreduce_t(&sc, ReduceOp::Sum, &[10i32]).unwrap()[0];
+        sc.free().unwrap();
+        session.finalize().unwrap();
+        world.finalize().unwrap();
+        (via_wpm, via_sess)
+    });
+    assert_eq!(out, vec![(2, 20), (2, 20)]);
+}
+
+#[test]
+fn wpm_cannot_reinitialize() {
+    run(1, 1, 1, |ctx| {
+        let w = mpi_sessions::world::init(&ctx).unwrap();
+        w.finalize().unwrap();
+        let err = mpi_sessions::world::init(&ctx).unwrap_err();
+        assert!(err.message.contains("cannot be re-initialized"));
+        // ... but sessions still can.
+        let s = new_session(&ctx);
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn nth_pset_enumerates() {
+    run(1, 1, 1, |ctx| {
+        let s = new_session(&ctx);
+        let n = s.num_psets().unwrap();
+        assert!(n >= 3);
+        for i in 0..n {
+            assert!(!s.nth_pset(i).unwrap().is_empty());
+        }
+        assert!(s.nth_pset(n).is_err());
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn sessions_comm_local_cids_may_differ_but_excid_agrees() {
+    // The design point of §III-B3: the 16-bit local CID no longer has to
+    // be consistent across processes; the exCID is.
+    let out = run(1, 3, 3, |ctx| {
+        let s = new_session(&ctx);
+        // Skew the local table on rank 1 only: burn an extra slot first.
+        let skew = if ctx.rank() == 1 {
+            let g = s.group_from_pset(PSET_SELF).unwrap();
+            Some(Comm::create_from_group(&g, "skew").unwrap())
+        } else {
+            None
+        };
+        let group = s.group_from_pset(PSET_WORLD).unwrap();
+        let comm = Comm::create_from_group(&group, "main").unwrap();
+        // Communication still works despite skewed local CIDs.
+        let sum = coll::allreduce_t(&comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+        let res = (comm.local_cid(), comm.excid().unwrap(), sum);
+        comm.free().unwrap();
+        if let Some(c) = skew {
+            c.free().unwrap();
+        }
+        s.finalize().unwrap();
+        res
+    });
+    assert_eq!(out[0].2, 3);
+    // exCIDs agree everywhere...
+    assert_eq!(out[0].1, out[1].1);
+    assert_eq!(out[1].1, out[2].1);
+    // ...while rank 1's local CID differs from the others'.
+    assert_eq!(out[0].0, out[2].0);
+    assert_ne!(out[0].0, out[1].0);
+}

@@ -1,0 +1,151 @@
+//! RMA windows and files created from groups (paper §III-B6).
+
+mod common;
+
+use common::run;
+use mpi_sessions::file::{FileMode, MpiFile};
+use mpi_sessions::win::Win;
+use mpi_sessions::{ErrHandler, Info, Session, ThreadLevel};
+
+fn session_group(ctx: &prrte::ProcCtx) -> (Session, mpi_sessions::MpiGroup) {
+    let s = Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap();
+    let g = s.group_from_pset("mpi://world").unwrap();
+    (s, g)
+}
+
+#[test]
+fn win_put_is_visible_after_fence() {
+    run(1, 2, 2, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let win = Win::allocate_from_group(&g, "put", 64).unwrap();
+        let me = ctx.rank();
+        // Everyone puts its rank byte into the peer's window at offset=me.
+        win.put(1 - me, me as usize, &[me as u8 + 1]).unwrap();
+        win.fence().unwrap();
+        let local = win.read_local(0, 2).unwrap();
+        // Peer wrote at its own rank offset.
+        let peer = 1 - me;
+        assert_eq!(local[peer as usize], peer as u8 + 1);
+        win.free().unwrap();
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn win_get_fetches_remote_memory() {
+    run(1, 3, 3, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let win = Win::allocate_from_group(&g, "get", 16).unwrap();
+        let me = ctx.rank();
+        win.write_local(0, &[me as u8; 4]).unwrap();
+        win.fence().unwrap(); // epoch: everyone's memory initialized
+        let next = (me + 1) % 3;
+        let h = win.get(next, 0, 4).unwrap();
+        assert!(h.result().is_err(), "get must not complete before fence");
+        win.fence().unwrap();
+        assert_eq!(h.result().unwrap(), vec![next as u8; 4]);
+        win.free().unwrap();
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn win_self_ops_resolve_locally() {
+    run(1, 1, 1, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let win = Win::allocate_from_group(&g, "selfops", 8).unwrap();
+        win.put(0, 2, &[7, 8]).unwrap();
+        let h = win.get(0, 0, 4).unwrap();
+        win.fence().unwrap();
+        assert_eq!(h.result().unwrap(), vec![0, 0, 7, 8]);
+        win.free().unwrap();
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn win_bounds_are_checked() {
+    run(1, 1, 1, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let win = Win::allocate_from_group(&g, "bounds", 8).unwrap();
+        assert!(win.read_local(6, 4).is_err());
+        assert!(win.write_local(7, &[1, 2]).is_err());
+        assert!(win.put(3, 0, &[1]).is_err(), "rank out of range");
+        assert!(win.get(9, 0, 1).is_err());
+        win.free().unwrap();
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn win_large_transfer_uses_rendezvous() {
+    run(1, 2, 2, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let win = Win::allocate_from_group(&g, "bigrma", 100_000).unwrap();
+        let me = ctx.rank();
+        let pattern = vec![me as u8 ^ 0xaa; 90_000];
+        win.put(1 - me, 0, &pattern).unwrap();
+        win.fence().unwrap();
+        let peer_pattern = vec![(1 - me) as u8 ^ 0xaa; 90_000];
+        assert_eq!(win.read_local(0, 90_000).unwrap(), peer_pattern);
+        win.free().unwrap();
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn file_collective_write_then_read() {
+    run(1, 3, 3, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let f = MpiFile::open_from_group(&g, "t1", "itest-file-coll", FileMode::ReadWrite)
+            .unwrap();
+        let me = ctx.rank() as usize;
+        f.write_at_all(me * 4, &[me as u8; 4]).unwrap();
+        let all = f.read_at_all(0, 12).unwrap();
+        assert_eq!(all, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(f.size(), 12);
+        f.close().unwrap();
+        s.finalize().unwrap();
+        if me == 0 {
+            mpi_sessions::file::delete("itest-file-coll");
+        }
+    });
+}
+
+#[test]
+fn file_read_only_semantics() {
+    run(1, 2, 2, |ctx| {
+        let (s, g) = session_group(&ctx);
+        // Rank order: create with RW handle first via a self-group file.
+        let selfg = s.group_from_pset("mpi://self").unwrap();
+        let name = format!("itest-ro-{}", ctx.rank());
+        let w = MpiFile::open_from_group(&selfg, "w", &name, FileMode::ReadWrite).unwrap();
+        w.write_at(0, b"data").unwrap();
+        w.close().unwrap();
+        let r = MpiFile::open_from_group(&selfg, "r", &name, FileMode::ReadOnly).unwrap();
+        assert_eq!(r.read_at(0, 4), b"data");
+        assert!(r.write_at(0, b"nope").is_err());
+        // Reads past EOF are short.
+        assert_eq!(r.read_at(2, 10), b"ta");
+        assert!(r.read_at(10, 4).is_empty());
+        r.close().unwrap();
+        // Sync before deleting shared state.
+        let c = mpi_sessions::Comm::create_from_group(&g, "sync").unwrap();
+        mpi_sessions::coll::barrier(&c).unwrap();
+        c.free().unwrap();
+        mpi_sessions::file::delete(&name);
+        s.finalize().unwrap();
+    });
+}
+
+#[test]
+fn file_open_missing_read_only_fails() {
+    run(1, 1, 1, |ctx| {
+        let (s, g) = session_group(&ctx);
+        let err =
+            MpiFile::open_from_group(&g, "x", "itest-does-not-exist", FileMode::ReadOnly)
+                .unwrap_err();
+        assert_eq!(err.class, mpi_sessions::ErrClass::Arg);
+        s.finalize().unwrap();
+    });
+}

@@ -1,0 +1,252 @@
+//! The PMIx client handle: what a simulated process uses to talk to its
+//! node-local server.
+
+use crate::error::{PmixError, Result};
+use crate::event::{EventCode, EventStream};
+use crate::group::{GroupDirectives, GroupResult, PmixGroup};
+use crate::server::PmixServer;
+use crate::types::{ProcId, Rank};
+use crate::value::PmixValue;
+use parking_lot::Mutex;
+use simnet::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default timeout for blocking PMIx operations issued by this client.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A process's PMIx client (analog of `PMIx_Init` … `PMIx_Finalize`).
+///
+/// Cloneable: MPI may hold one per session while the process holds another.
+/// The underlying client registration is released when [`PmixClient::finalize`]
+/// is called (PMIx itself reference-counts `PMIx_Init`; we mirror that by
+/// making `finalize` explicit and idempotent at the server).
+#[derive(Clone)]
+pub struct PmixClient {
+    proc: ProcId,
+    server: Arc<PmixServer>,
+    staged: Arc<Mutex<HashMap<String, PmixValue>>>,
+}
+
+impl PmixClient {
+    /// Initialize a client for `proc` against its node-local `server`.
+    pub fn init(server: Arc<PmixServer>, proc: ProcId) -> Self {
+        server.attach_client(&proc);
+        Self { proc, server, staged: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// Release the client registration.
+    pub fn finalize(&self) {
+        self.server.detach_client(&self.proc);
+    }
+
+    /// This client's process id.
+    pub fn proc(&self) -> &ProcId {
+        &self.proc
+    }
+
+    /// This client's rank within its namespace.
+    pub fn rank(&self) -> Rank {
+        self.proc.rank()
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.server.node()
+    }
+
+    /// The node-local server (escape hatch for advanced callers).
+    pub fn server(&self) -> &Arc<PmixServer> {
+        &self.server
+    }
+
+    // -- key-value exchange ------------------------------------------------
+
+    /// Stage a key-value pair (visible to peers after [`PmixClient::commit`]).
+    pub fn put(&self, key: &str, value: impl Into<PmixValue>) {
+        self.staged.lock().insert(key.to_owned(), value.into());
+    }
+
+    /// Publish all staged pairs to the local server.
+    pub fn commit(&self) {
+        let staged: HashMap<String, PmixValue> = self.staged.lock().drain().collect();
+        if !staged.is_empty() {
+            self.server.commit_kvs(&self.proc, staged);
+        }
+    }
+
+    /// Fetch `key` of `proc` (committed data; direct-modex for remote owners).
+    pub fn get(&self, proc: &ProcId, key: &str) -> Result<PmixValue> {
+        self.get_timeout(proc, key, DEFAULT_TIMEOUT)
+    }
+
+    /// [`PmixClient::get`] with an explicit timeout.
+    pub fn get_timeout(&self, proc: &ProcId, key: &str, timeout: Duration) -> Result<PmixValue> {
+        self.server.fetch(proc, key, timeout)
+    }
+
+    // -- fences ------------------------------------------------------------
+
+    /// Collective fence over `procs`. With `collect`, committed data of all
+    /// participants is exchanged so later `get`s are local.
+    pub fn fence(&self, procs: &[ProcId], collect: bool) -> Result<()> {
+        self.fence_timeout(procs, collect, DEFAULT_TIMEOUT)
+    }
+
+    /// [`PmixClient::fence`] with an explicit timeout.
+    pub fn fence_timeout(&self, procs: &[ProcId], collect: bool, timeout: Duration) -> Result<()> {
+        let kvs = if collect {
+            self.commit();
+            // The server snapshots this proc's full committed map.
+            self.server_committed()
+        } else {
+            HashMap::new()
+        };
+        let directives = GroupDirectives::default()
+            .without_pgcid()
+            .with_timeout(Some(timeout));
+        self.server
+            .coll_enter(
+                crate::wire::OpKind::Fence,
+                "",
+                procs,
+                &directives,
+                &self.proc,
+                kvs,
+            )
+            .map(|_| ())
+    }
+
+    fn server_committed(&self) -> HashMap<String, PmixValue> {
+        // The fence contribution is the union of everything this process
+        // has committed so far; fetch it back from the server's local store.
+        // (Cheap: same-node data.)
+        let mut out = HashMap::new();
+        // The server exposes committed data through `fetch` per key; to keep
+        // the wire contribution exact we read our staged history instead.
+        // Committed data lives server-side; replaying it here would need a
+        // bulk API — provide one:
+        if let Some(all) = self.server.local_committed(&self.proc) {
+            out.extend(all);
+        }
+        out
+    }
+
+    // -- groups ------------------------------------------------------------
+
+    /// Collectively construct a PMIx group over `members`
+    /// (`PMIx_Group_construct`). Blocks for all members.
+    pub fn group_construct(
+        &self,
+        name: &str,
+        members: &[ProcId],
+        directives: &GroupDirectives,
+    ) -> Result<PmixGroup> {
+        let out = self.server.coll_enter(
+            crate::wire::OpKind::GroupConstruct,
+            name,
+            members,
+            directives,
+            &self.proc,
+            HashMap::new(),
+        )?;
+        if directives.request_pgcid && out.pgcid.is_none() {
+            return Err(PmixError::Internal("construct completed without PGCID".into()));
+        }
+        Ok(PmixGroup::new(
+            name.to_owned(),
+            &GroupResult { members: out.members, pgcid: out.pgcid },
+        ))
+    }
+
+    /// Collectively destruct a group (`PMIx_Group_destruct`).
+    pub fn group_destruct(&self, group: &PmixGroup, timeout: Option<Duration>) -> Result<()> {
+        let directives = GroupDirectives::default().without_pgcid().with_timeout(
+            timeout.or(Some(DEFAULT_TIMEOUT)),
+        );
+        self.server
+            .coll_enter(
+                crate::wire::OpKind::GroupDestruct,
+                group.name(),
+                group.members(),
+                &directives,
+                &self.proc,
+                HashMap::new(),
+            )
+            .map(|_| ())
+    }
+
+    /// Leave a group asynchronously; remaining members get a
+    /// [`EventCode::GroupMemberLeft`] event.
+    pub fn group_leave(&self, group: &PmixGroup) -> Result<()> {
+        self.server.group_leave(group.name(), &self.proc)
+    }
+
+    /// Asynchronous construction, initiator side: invite `invited` to join
+    /// `name`. Follow with [`PmixClient::group_invite_wait`].
+    pub fn group_invite(
+        &self,
+        name: &str,
+        invited: &[ProcId],
+        directives: &GroupDirectives,
+    ) -> Result<()> {
+        self.server.invite(&self.proc, name, invited, directives)
+    }
+
+    /// Initiator side: wait for all invitees to respond; returns the final
+    /// membership (decliners and dead invitees removed) and PGCID.
+    pub fn group_invite_wait(&self, name: &str, timeout: Duration) -> Result<PmixGroup> {
+        let result = self.server.invite_wait(name, timeout)?;
+        Ok(PmixGroup::new(name.to_owned(), &result))
+    }
+
+    /// Invitee side: respond to a [`EventCode::GroupInvited`] event.
+    pub fn group_join(&self, name: &str, inviter: &ProcId, accept: bool) -> Result<()> {
+        self.server.join_reply(name, &self.proc, inviter, accept)
+    }
+
+    // -- events --------------------------------------------------------
+
+    /// Register for events; `codes = None` receives everything.
+    pub fn register_events(&self, codes: Option<Vec<EventCode>>) -> EventStream {
+        self.server.subscribe(&self.proc, codes)
+    }
+
+    // -- job info & queries ----------------------------------------------
+
+    /// Number of processes in this client's namespace (`PMIX_JOB_SIZE`).
+    pub fn job_size(&self) -> Result<usize> {
+        Ok(self.server.registry().namespace(self.proc.nspace())?.size())
+    }
+
+    /// Ranks co-located on this client's node (`PMIX_LOCAL_PEERS`).
+    pub fn local_peers(&self) -> Result<Vec<Rank>> {
+        Ok(self
+            .server
+            .registry()
+            .namespace(self.proc.nspace())?
+            .local_peers(self.server.node()))
+    }
+
+    /// Query: number of defined process sets (`PMIX_QUERY_NUM_PSETS`).
+    pub fn query_num_psets(&self) -> usize {
+        self.server.registry().num_psets()
+    }
+
+    /// Query: names of all process sets (`PMIX_QUERY_PSET_NAMES`).
+    pub fn query_pset_names(&self) -> Vec<String> {
+        self.server.registry().pset_names()
+    }
+
+    /// Query: membership of one process set.
+    pub fn query_pset_membership(&self, name: &str) -> Result<Vec<ProcId>> {
+        self.server.registry().pset_members(name)
+    }
+}
+
+impl std::fmt::Debug for PmixClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmixClient").field("proc", &self.proc).finish()
+    }
+}

@@ -1,0 +1,66 @@
+//! PMIx error codes.
+
+use crate::types::ProcId;
+
+/// Error codes surfaced by PMIx operations, mirroring the subset of
+/// `pmix_status_t` values the paper's prototype interacts with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmixError {
+    /// A collective (fence, group construct/destruct) timed out waiting for
+    /// a participant.
+    Timeout,
+    /// A participant process terminated before joining/completing the
+    /// operation and directives asked for that to be an error.
+    ProcTerminated(ProcId),
+    /// The named entity (pset, group, key, namespace, proc) does not exist.
+    NotFound(String),
+    /// A parameter was invalid (empty membership, duplicate group name, ...).
+    BadParam(String),
+    /// The local server or a peer server is unreachable (killed fabric
+    /// endpoint or shut-down universe).
+    Unreachable,
+    /// The calling process is not a member of the operation's process set.
+    NotMember,
+    /// The group already exists (collective construct of a duplicate name
+    /// with a live group).
+    Exists(String),
+    /// An invited process declined to join an asynchronously-constructed
+    /// group.
+    Declined(ProcId),
+    /// Internal error with context; should not occur in healthy runs.
+    Internal(String),
+}
+
+impl std::fmt::Display for PmixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmixError::Timeout => write!(f, "PMIX_ERR_TIMEOUT"),
+            PmixError::ProcTerminated(p) => write!(f, "PMIX_ERR_PROC_TERMINATED: {p}"),
+            PmixError::NotFound(s) => write!(f, "PMIX_ERR_NOT_FOUND: {s}"),
+            PmixError::BadParam(s) => write!(f, "PMIX_ERR_BAD_PARAM: {s}"),
+            PmixError::Unreachable => write!(f, "PMIX_ERR_UNREACH"),
+            PmixError::NotMember => write!(f, "PMIX_ERR_INVALID_CRED: caller not a member"),
+            PmixError::Exists(s) => write!(f, "PMIX_ERR_EXISTS: {s}"),
+            PmixError::Declined(p) => write!(f, "PMIX_ERR_GROUP_OPT_OUT: {p}"),
+            PmixError::Internal(s) => write!(f, "PMIX_ERR_INTERNAL: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PmixError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PmixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_names() {
+        assert!(PmixError::Timeout.to_string().contains("TIMEOUT"));
+        assert!(PmixError::NotFound("x".into()).to_string().contains("x"));
+        let p = ProcId::new("job1", 3);
+        assert!(PmixError::ProcTerminated(p).to_string().contains("job1"));
+    }
+}

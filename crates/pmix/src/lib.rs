@@ -1,0 +1,48 @@
+//! # pmix — a PMIx analog in Rust
+//!
+//! Reimplementation of the PMIx functionality the paper's MPI Sessions
+//! prototype depends on (Section III-A of the paper):
+//!
+//! * **clients and per-node servers** — every simulated process initializes
+//!   a [`PmixClient`] against the [`PmixServer`] on its node; on-node
+//!   client↔server interaction is a direct method call (the shared-memory
+//!   RPC analog), while **server↔server** traffic crosses the [`simnet`]
+//!   fabric and therefore pays inter-node costs;
+//! * **key-value exchange** — `put`/`commit`/`get` with both fence-collected
+//!   data and direct modex (on-demand fetch from the owning server);
+//! * **fences** — collective barriers over arbitrary process sets, with
+//!   optional data collection;
+//! * **groups** — collective construct/destruct over arbitrary process
+//!   sets, three-stage hierarchical implementation (local fan-in → server
+//!   all-to-all → local fan-out), optional **PGCID** assignment by the
+//!   resource manager (a 64-bit id, unique per allocation, never zero),
+//!   timeouts, and failure reporting; plus the asynchronous *invite/join*
+//!   construction mode;
+//! * **events** — process-termination and group-membership notifications;
+//! * **queries** — `PMIX_QUERY_NUM_PSETS` / `PMIX_QUERY_PSET_NAMES` and pset
+//!   membership resolution.
+//!
+//! The crate is deliberately independent of MPI: the `mpi-sessions` crate
+//! consumes this API exactly the way Open MPI consumes PMIx.
+
+pub mod client;
+pub mod error;
+pub mod event;
+pub mod group;
+pub mod nspace;
+pub mod query;
+pub mod server;
+pub mod types;
+pub mod universe;
+pub mod value;
+pub mod wire;
+
+pub use client::PmixClient;
+pub use error::PmixError;
+pub use event::{Event, EventCode};
+pub use group::{GroupDirectives, GroupResult, PmixGroup};
+pub use nspace::{NamespaceInfo, NamespaceRegistry};
+pub use server::PmixServer;
+pub use types::{ProcId, Rank};
+pub use universe::PmixUniverse;
+pub use value::PmixValue;

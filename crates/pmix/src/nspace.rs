@@ -1,0 +1,270 @@
+//! Namespace (job) registry: the resource manager's view of which processes
+//! exist, where they live, and which process sets have been defined.
+//!
+//! In real PMIx this data is registered with each server by the RTE
+//! (`PMIx_server_register_nspace`). Here a single shared registry plays the
+//! role of that replicated job data: it is written only at launch / pset
+//! definition time and read concurrently by every server and client.
+
+use crate::error::{PmixError, Result};
+use crate::types::{ProcId, Rank};
+use parking_lot::RwLock;
+use simnet::{EndpointId, NodeId};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Location and wiring of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcEntry {
+    /// The process id.
+    pub proc: ProcId,
+    /// Node the process runs on.
+    pub node: NodeId,
+    /// Fabric endpoint of the process itself (its MPI mailbox).
+    pub endpoint: EndpointId,
+}
+
+/// Static per-namespace information (job map).
+#[derive(Debug, Clone, Default)]
+pub struct NamespaceInfo {
+    procs: Vec<ProcEntry>,
+}
+
+impl NamespaceInfo {
+    /// Number of processes in the namespace.
+    pub fn size(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Entry for `rank`, if registered.
+    pub fn proc(&self, rank: Rank) -> Option<&ProcEntry> {
+        self.procs.iter().find(|p| p.proc.rank() == rank)
+    }
+
+    /// All entries, rank-ordered.
+    pub fn procs(&self) -> &[ProcEntry] {
+        &self.procs
+    }
+
+    /// Ranks co-located on `node`.
+    pub fn local_peers(&self, node: NodeId) -> Vec<Rank> {
+        self.procs
+            .iter()
+            .filter(|p| p.node == node)
+            .map(|p| p.proc.rank())
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    namespaces: HashMap<String, NamespaceInfo>,
+    psets: BTreeMap<String, Vec<ProcId>>,
+    servers: BTreeMap<NodeId, EndpointId>,
+    rm: Option<EndpointId>,
+}
+
+/// Shared registry of namespaces, process sets and server endpoints.
+#[derive(Clone, Default)]
+pub struct NamespaceRegistry {
+    state: Arc<RwLock<RegistryState>>,
+}
+
+impl NamespaceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the PMIx server responsible for `node`.
+    pub fn register_server(&self, node: NodeId, endpoint: EndpointId) {
+        self.state.write().servers.insert(node, endpoint);
+    }
+
+    /// Endpoint of the server managing `node`.
+    pub fn server_of(&self, node: NodeId) -> Option<EndpointId> {
+        self.state.read().servers.get(&node).copied()
+    }
+
+    /// All registered server endpoints, node-ordered.
+    pub fn servers(&self) -> Vec<(NodeId, EndpointId)> {
+        self.state.read().servers.iter().map(|(n, e)| (*n, *e)).collect()
+    }
+
+    /// The lowest-node compute server.
+    pub fn lead_server(&self) -> Option<EndpointId> {
+        self.state.read().servers.values().next().copied()
+    }
+
+    /// Register the resource-manager service endpoint (the head-node
+    /// daemon that allocates PGCIDs).
+    pub fn register_rm(&self, endpoint: EndpointId) {
+        self.state.write().rm = Some(endpoint);
+    }
+
+    /// The resource-manager endpoint. PGCID allocation always crosses the
+    /// fabric to reach it — the "internode messaging between PMIx servers"
+    /// the paper identifies as the expensive part of PGCID acquisition.
+    pub fn rm_endpoint(&self) -> Option<EndpointId> {
+        let st = self.state.read();
+        st.rm.or_else(|| st.servers.values().next().copied())
+    }
+
+    /// Register (or extend) a namespace with process entries.
+    pub fn register_namespace(&self, nspace: &str, procs: Vec<ProcEntry>) {
+        let mut st = self.state.write();
+        let info = st.namespaces.entry(nspace.to_owned()).or_default();
+        info.procs.extend(procs);
+        info.procs.sort_by_key(|p| p.proc.rank());
+    }
+
+    /// Remove a namespace entirely (job teardown).
+    pub fn deregister_namespace(&self, nspace: &str) {
+        self.state.write().namespaces.remove(nspace);
+    }
+
+    /// Look up a namespace.
+    pub fn namespace(&self, nspace: &str) -> Result<NamespaceInfo> {
+        self.state
+            .read()
+            .namespaces
+            .get(nspace)
+            .cloned()
+            .ok_or_else(|| PmixError::NotFound(format!("namespace {nspace}")))
+    }
+
+    /// Locate one process.
+    pub fn locate(&self, proc: &ProcId) -> Result<ProcEntry> {
+        let st = self.state.read();
+        st.namespaces
+            .get(proc.nspace())
+            .and_then(|info| info.proc(proc.rank()).cloned())
+            .ok_or_else(|| PmixError::NotFound(format!("process {proc}")))
+    }
+
+    /// Reverse lookup: which process owns `endpoint`?
+    pub fn find_by_endpoint(&self, endpoint: EndpointId) -> Option<ProcId> {
+        let st = self.state.read();
+        for info in st.namespaces.values() {
+            for p in &info.procs {
+                if p.endpoint == endpoint {
+                    return Some(p.proc.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Define (or redefine) a process set.
+    ///
+    /// Process sets are *names for lists of processes* (paper §III-B6);
+    /// the RTE defines them at launch (`prun --pset ...`) and the MPI layer
+    /// resolves them when building groups.
+    pub fn define_pset(&self, name: &str, members: Vec<ProcId>) {
+        self.state.write().psets.insert(name.to_owned(), members);
+    }
+
+    /// Remove a process set definition.
+    pub fn undefine_pset(&self, name: &str) {
+        self.state.write().psets.remove(name);
+    }
+
+    /// Number of defined process sets.
+    pub fn num_psets(&self) -> usize {
+        self.state.read().psets.len()
+    }
+
+    /// Names of all defined process sets, sorted.
+    pub fn pset_names(&self) -> Vec<String> {
+        self.state.read().psets.keys().cloned().collect()
+    }
+
+    /// Membership of one process set.
+    pub fn pset_members(&self, name: &str) -> Result<Vec<ProcId>> {
+        self.state
+            .read()
+            .psets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PmixError::NotFound(format!("pset {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: &str, rank: Rank, node: u32, ep: u64) -> ProcEntry {
+        ProcEntry {
+            proc: ProcId::new(ns, rank),
+            node: NodeId(node),
+            endpoint: EndpointId(ep),
+        }
+    }
+
+    #[test]
+    fn namespace_registration_and_lookup() {
+        let reg = NamespaceRegistry::new();
+        reg.register_namespace("job", vec![entry("job", 1, 0, 11), entry("job", 0, 0, 10)]);
+        let info = reg.namespace("job").unwrap();
+        assert_eq!(info.size(), 2);
+        // entries are rank-sorted regardless of registration order
+        assert_eq!(info.procs()[0].proc.rank(), 0);
+        assert_eq!(info.proc(1).unwrap().endpoint, EndpointId(11));
+        assert!(info.proc(2).is_none());
+    }
+
+    #[test]
+    fn locate_finds_process() {
+        let reg = NamespaceRegistry::new();
+        reg.register_namespace("job", vec![entry("job", 0, 3, 42)]);
+        let e = reg.locate(&ProcId::new("job", 0)).unwrap();
+        assert_eq!(e.node, NodeId(3));
+        assert!(reg.locate(&ProcId::new("job", 9)).is_err());
+        assert!(reg.locate(&ProcId::new("nope", 0)).is_err());
+    }
+
+    #[test]
+    fn local_peers_filters_by_node() {
+        let reg = NamespaceRegistry::new();
+        reg.register_namespace(
+            "job",
+            vec![entry("job", 0, 0, 1), entry("job", 1, 1, 2), entry("job", 2, 0, 3)],
+        );
+        let info = reg.namespace("job").unwrap();
+        assert_eq!(info.local_peers(NodeId(0)), vec![0, 2]);
+        assert_eq!(info.local_peers(NodeId(1)), vec![1]);
+    }
+
+    #[test]
+    fn pset_define_query_undefine() {
+        let reg = NamespaceRegistry::new();
+        assert_eq!(reg.num_psets(), 0);
+        reg.define_pset("app://ocean", vec![ProcId::new("j", 0)]);
+        reg.define_pset("app://atmo", vec![ProcId::new("j", 1)]);
+        assert_eq!(reg.num_psets(), 2);
+        assert_eq!(reg.pset_names(), vec!["app://atmo", "app://ocean"]);
+        assert_eq!(reg.pset_members("app://ocean").unwrap().len(), 1);
+        reg.undefine_pset("app://ocean");
+        assert!(reg.pset_members("app://ocean").is_err());
+    }
+
+    #[test]
+    fn lead_server_is_lowest_node() {
+        let reg = NamespaceRegistry::new();
+        reg.register_server(NodeId(2), EndpointId(22));
+        reg.register_server(NodeId(0), EndpointId(20));
+        assert_eq!(reg.lead_server(), Some(EndpointId(20)));
+        assert_eq!(reg.server_of(NodeId(2)), Some(EndpointId(22)));
+        assert_eq!(reg.servers().len(), 2);
+    }
+
+    #[test]
+    fn deregister_namespace_removes_it() {
+        let reg = NamespaceRegistry::new();
+        reg.register_namespace("job", vec![entry("job", 0, 0, 1)]);
+        reg.deregister_namespace("job");
+        assert!(reg.namespace("job").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The PMIx query interface (`PMIx_Query_info_nb`).
+//!
+//! The paper highlights two query keys added alongside the group work:
+//! `PMIX_QUERY_NUM_PSETS` and `PMIX_QUERY_PSET_NAMES` (§III-A, last
+//! paragraph). This module provides a generic, key-driven query front end
+//! over the registry, mirroring how tools and the asynchronous group
+//! operations discover process sets.
+
+use crate::client::PmixClient;
+use crate::error::{PmixError, Result};
+use crate::value::{keys, PmixValue};
+
+/// A single query: a key plus optional qualifier (e.g. a pset name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The query key (see [`crate::value::keys`]).
+    pub key: String,
+    /// Optional qualifier (pset name for membership queries).
+    pub qualifier: Option<String>,
+}
+
+impl Query {
+    /// Query with no qualifier.
+    pub fn key(key: &str) -> Self {
+        Self { key: key.to_owned(), qualifier: None }
+    }
+
+    /// Query with a qualifier.
+    pub fn with_qualifier(key: &str, qualifier: &str) -> Self {
+        Self { key: key.to_owned(), qualifier: Some(qualifier.to_owned()) }
+    }
+}
+
+/// Resolve a batch of queries against the client's runtime, returning one
+/// value per query in order (the blocking analog of `PMIx_Query_info_nb`).
+pub fn query_info(client: &PmixClient, queries: &[Query]) -> Result<Vec<PmixValue>> {
+    queries
+        .iter()
+        .map(|q| match q.key.as_str() {
+            keys::QUERY_NUM_PSETS => Ok(PmixValue::U64(client.query_num_psets() as u64)),
+            keys::QUERY_PSET_NAMES => Ok(PmixValue::StrList(client.query_pset_names())),
+            keys::QUERY_PSET_MEMBERSHIP => {
+                let name = q
+                    .qualifier
+                    .as_deref()
+                    .ok_or_else(|| PmixError::BadParam("membership query needs a pset name".into()))?;
+                Ok(PmixValue::ProcList(client.query_pset_membership(name)?))
+            }
+            keys::JOB_SIZE => Ok(PmixValue::U64(client.job_size()? as u64)),
+            keys::LOCAL_PEERS => Ok(PmixValue::StrList(
+                client.local_peers()?.iter().map(|r| r.to_string()).collect(),
+            )),
+            keys::NODE_ID => Ok(PmixValue::U64(client.node().0 as u64)),
+            other => Err(PmixError::NotFound(format!("query key {other}"))),
+        })
+        .collect()
+}

@@ -1,0 +1,1011 @@
+//! The per-node PMIx server.
+//!
+//! One server runs on every simulated node. Local clients interact with it
+//! by direct method call (the analog of the shared-memory client↔server
+//! channel in the PMIx reference implementation); remote interaction goes
+//! through [`crate::wire::ServerMsg`]s over the fabric.
+//!
+//! ## The three-stage hierarchical collective (paper §III-A)
+//!
+//! Fences and group construct/destruct all run the same engine:
+//!
+//! 1. **local fan-in** — every local participant notifies its server
+//!    ([`PmixServer::coll_enter`]);
+//! 2. **server all-to-all** — once all local participants have arrived, the
+//!    server exchanges a [`Contribution`] with every other participating
+//!    server;
+//! 3. **local fan-out** — when contributions from all participating servers
+//!    (plus the PGCID, if requested) are in, waiting clients are released.
+//!
+//! The **PGCID** is allocated by the resource-manager service hosted on the
+//! lead (lowest-node) server of the universe; the lead *participating*
+//! server requests it and broadcasts it to the other participants. This
+//! inter-node RPC is exactly the "relatively expensive operation" the paper
+//! blames for the sessions communicator-construction overhead (§III-B3).
+
+use crate::error::{PmixError, Result};
+use crate::event::{Event, EventCode, EventStream, Subscription};
+use crate::group::{GroupDirectives, GroupResult};
+use crate::nspace::NamespaceRegistry;
+use crate::types::ProcId;
+use crate::value::PmixValue;
+use crate::wire::{membership_hash, AbortReason, Contribution, OpId, OpKind, ServerMsg};
+use parking_lot::{Condvar, Mutex};
+use simnet::{Endpoint, EndpointId, EndpointSender, NodeId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a completed collective, as handed back to local clients.
+#[derive(Debug, Clone)]
+pub struct CollOutcome {
+    /// Union of all contributions' members, sorted, dead members removed.
+    pub members: Vec<ProcId>,
+    /// PGCID if one was requested.
+    pub pgcid: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct GroupInfo {
+    members: Vec<ProcId>,
+    pgcid: Option<u64>,
+    notify_on_termination: bool,
+}
+
+struct OpState {
+    // Filled by the first *local* arrival; remote contributions can create
+    // the op before any local participant enters.
+    expected_local: Option<Vec<ProcId>>,
+    // Full membership, known once a local participant arrives.
+    membership: Vec<ProcId>,
+    arrived_local: Vec<ProcId>,
+    expected_servers: BTreeSet<NodeId>,
+    contribs: HashMap<NodeId, Contribution>,
+    need_pgcid: bool,
+    error_on_early_termination: bool,
+    notify_on_termination: bool,
+    pgcid: Option<u64>,
+    pending_pgcid: Option<u64>, // a CollPgcid that arrived before local fan-in
+    pgcid_requested: bool,
+    fanin_done: bool,
+    epoch_bumped: bool,
+    sent_contrib: bool,
+    // Local kvs contributions gathered during fan-in (fence with data).
+    local_kvs: Vec<(ProcId, HashMap<String, PmixValue>)>,
+    result: Option<std::result::Result<CollOutcome, PmixError>>,
+    observed: usize,
+}
+
+impl OpState {
+    fn new() -> Self {
+        Self {
+            expected_local: None,
+            membership: Vec::new(),
+            arrived_local: Vec::new(),
+            expected_servers: BTreeSet::new(),
+            contribs: HashMap::new(),
+            need_pgcid: false,
+            error_on_early_termination: true,
+            notify_on_termination: false,
+            pgcid: None,
+            pending_pgcid: None,
+            pgcid_requested: false,
+            fanin_done: false,
+            epoch_bumped: false,
+            sent_contrib: false,
+            local_kvs: Vec::new(),
+            result: None,
+            observed: 0,
+        }
+    }
+}
+
+struct InviteState {
+    initiator: ProcId,
+    invited: Vec<ProcId>,
+    responses: HashMap<ProcId, bool>,
+    request_pgcid: bool,
+}
+
+struct ServerState {
+    ops: HashMap<OpId, OpState>,
+    // Next epoch to assign to a locally-entered instance of each key.
+    epochs: HashMap<(OpKind, String, u64), u64>,
+    subs: Vec<(ProcId, Subscription)>,
+    // Committed KV data of *local* clients.
+    kvs_local: HashMap<ProcId, HashMap<String, PmixValue>>,
+    // Data learned about remote processes (fence collection / dmodex).
+    kvs_cache: HashMap<ProcId, HashMap<String, PmixValue>>,
+    // In-flight dmodex fetches issued by local clients: token -> reply slot.
+    dmodex_waiting: HashMap<u64, Option<Option<PmixValue>>>,
+    // Remote dmodex requests for keys not committed yet.
+    dmodex_parked: Vec<(ProcId, String, EndpointId, u64)>,
+    // In-flight PGCID requests: token -> (op the reply belongs to).
+    pgcid_waiting: HashMap<u64, OpId>,
+    // Live groups with local members.
+    groups: HashMap<String, GroupInfo>,
+    // Asynchronous (invite/join) constructions initiated locally.
+    invites: HashMap<String, InviteState>,
+    dead: HashSet<ProcId>,
+    next_token: u64,
+    local_clients: HashSet<ProcId>,
+}
+
+/// A per-node PMIx server.
+pub struct PmixServer {
+    node: NodeId,
+    registry: NamespaceRegistry,
+    sender: EndpointSender,
+    state: Mutex<ServerState>,
+    cv: Condvar,
+    // Resource-manager service: present only on the universe's lead server.
+    rm_next_pgcid: Option<std::sync::atomic::AtomicU64>,
+    // Per-RPC processing cost (control-plane software overhead).
+    rpc_processing: Duration,
+}
+
+impl PmixServer {
+    /// Create a server bound to `endpoint` (whose mailbox must be drained by
+    /// [`PmixServer::run_loop`]). `is_rm` marks the lead server hosting the
+    /// resource-manager services.
+    pub fn new(endpoint: &Endpoint, registry: NamespaceRegistry, is_rm: bool) -> Arc<Self> {
+        registry.register_server(endpoint.node(), endpoint.id());
+        Arc::new(Self {
+            node: endpoint.node(),
+            registry,
+            sender: endpoint.sender(),
+            state: Mutex::new(ServerState {
+                ops: HashMap::new(),
+                epochs: HashMap::new(),
+                subs: Vec::new(),
+                kvs_local: HashMap::new(),
+                kvs_cache: HashMap::new(),
+                dmodex_waiting: HashMap::new(),
+                dmodex_parked: Vec::new(),
+                pgcid_waiting: HashMap::new(),
+                groups: HashMap::new(),
+                invites: HashMap::new(),
+                dead: HashSet::new(),
+                next_token: 1,
+                local_clients: HashSet::new(),
+            }),
+            cv: Condvar::new(),
+            rm_next_pgcid: is_rm.then(|| std::sync::atomic::AtomicU64::new(1)),
+            rpc_processing: Duration::ZERO,
+        })
+    }
+
+    /// Set the per-message RPC processing cost (see
+    /// `simnet::CostModel::rpc_processing`). Call before `run_loop`.
+    pub fn set_rpc_processing(self: &mut Arc<Self>, cost: Duration) {
+        if let Some(me) = Arc::get_mut(self) {
+            me.rpc_processing = cost;
+        }
+    }
+
+    /// The node this server manages.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This server's fabric endpoint id.
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.sender.id()
+    }
+
+    /// The shared namespace registry.
+    pub fn registry(&self) -> &NamespaceRegistry {
+        &self.registry
+    }
+
+    /// Drain `endpoint` until it is killed; must run on a dedicated thread.
+    pub fn run_loop(self: &Arc<Self>, endpoint: &Endpoint) {
+        while let Ok(env) = endpoint.recv() {
+            if let Some(msg) = ServerMsg::decode(&env.payload) {
+                // Control-plane software overhead: the server's event loop
+                // processes one RPC at a time, each costing real work in
+                // the reference implementation.
+                if !self.rpc_processing.is_zero() {
+                    std::thread::sleep(self.rpc_processing);
+                }
+                self.handle(msg);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Local client entry points (the "shared-memory RPC" surface)
+    // ---------------------------------------------------------------
+
+    /// Register a local client.
+    pub fn attach_client(&self, proc: &ProcId) {
+        self.state.lock().local_clients.insert(proc.clone());
+    }
+
+    /// Deregister a local client (normal finalize — not a failure).
+    pub fn detach_client(&self, proc: &ProcId) {
+        let mut st = self.state.lock();
+        st.local_clients.remove(proc);
+        st.subs.retain(|(p, _)| p != proc);
+    }
+
+    /// Commit key-value data for a local client, waking any parked dmodex
+    /// requests and local getters.
+    pub fn commit_kvs(&self, proc: &ProcId, data: HashMap<String, PmixValue>) {
+        let mut st = self.state.lock();
+        st.kvs_local.entry(proc.clone()).or_default().extend(data);
+        // Serve parked remote fetches that are now satisfiable.
+        let mut served = Vec::new();
+        let mut still_parked = Vec::new();
+        let parked = std::mem::take(&mut st.dmodex_parked);
+        for (p, key, reply_to, token) in parked {
+            let val = st.kvs_local.get(&p).and_then(|m| m.get(&key)).cloned();
+            match val {
+                Some(v) => served.push((reply_to, token, v)),
+                None => still_parked.push((p, key, reply_to, token)),
+            }
+        }
+        st.dmodex_parked = still_parked;
+        drop(st);
+        for (reply_to, token, v) in served {
+            let _ = self
+                .sender
+                .send(reply_to, ServerMsg::DmodexReply { token, value: Some(v) }.encode());
+        }
+        self.cv.notify_all();
+    }
+
+    /// Fetch `key` of `proc`: from local/cached data if available, else via
+    /// direct modex from the owning server, waiting up to `timeout`.
+    pub fn fetch(&self, proc: &ProcId, key: &str, timeout: Duration) -> Result<PmixValue> {
+        let deadline = Instant::now() + timeout;
+        let entry = self.registry.locate(proc)?;
+        let local = entry.node == self.node;
+        let mut st = self.state.lock();
+        loop {
+            let found = st
+                .kvs_local
+                .get(proc)
+                .and_then(|m| m.get(key))
+                .or_else(|| st.kvs_cache.get(proc).and_then(|m| m.get(key)))
+                .cloned();
+            if let Some(v) = found {
+                return Ok(v);
+            }
+            if local {
+                // Owner is here but has not committed yet: wait for commit.
+                if self.cv.wait_until(&mut st, deadline).timed_out() {
+                    return Err(PmixError::Timeout);
+                }
+                continue;
+            }
+            // Remote: issue (or re-check) a dmodex fetch.
+            let token = st.next_token;
+            st.next_token += 1;
+            st.dmodex_waiting.insert(token, None);
+            let owner = self
+                .registry
+                .server_of(entry.node)
+                .ok_or(PmixError::Unreachable)?;
+            drop(st);
+            let msg = ServerMsg::DmodexReq {
+                reply_to: self.sender.id(),
+                token,
+                proc: proc.clone(),
+                key: key.to_owned(),
+            };
+            self.sender
+                .send(owner, msg.encode())
+                .map_err(|_| PmixError::Unreachable)?;
+            st = self.state.lock();
+            loop {
+                if let Some(slot) = st.dmodex_waiting.get(&token) {
+                    if let Some(reply) = slot.clone() {
+                        st.dmodex_waiting.remove(&token);
+                        return match reply {
+                            Some(v) => {
+                                st.kvs_cache
+                                    .entry(proc.clone())
+                                    .or_default()
+                                    .insert(key.to_owned(), v.clone());
+                                Ok(v)
+                            }
+                            None => Err(PmixError::NotFound(format!("{proc}/{key}"))),
+                        };
+                    }
+                }
+                if self.cv.wait_until(&mut st, deadline).timed_out() {
+                    st.dmodex_waiting.remove(&token);
+                    return Err(PmixError::Timeout);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of everything a local client has committed so far.
+    pub fn local_committed(&self, proc: &ProcId) -> Option<HashMap<String, PmixValue>> {
+        self.state.lock().kvs_local.get(proc).cloned()
+    }
+
+    /// Subscribe a local client to events.
+    pub fn subscribe(&self, proc: &ProcId, codes: Option<Vec<EventCode>>) -> EventStream {
+        let (sub, stream) = EventStream::pair(codes);
+        self.state.lock().subs.push((proc.clone(), sub));
+        stream
+    }
+
+    /// Enter a collective operation (stage 1: local fan-in).
+    ///
+    /// * `members` — the full, caller-supplied membership (will be sorted).
+    /// * `kvs` — this participant's data contribution (fence with collect).
+    ///
+    /// Blocks until the collective completes, fails or times out.
+    pub fn coll_enter(
+        &self,
+        kind: OpKind,
+        name: &str,
+        members: &[ProcId],
+        directives: &GroupDirectives,
+        me: &ProcId,
+        kvs: HashMap<String, PmixValue>,
+    ) -> Result<CollOutcome> {
+        if members.is_empty() {
+            return Err(PmixError::BadParam("empty membership".into()));
+        }
+        let mut sorted: Vec<ProcId> = members.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        if !sorted.contains(me) {
+            return Err(PmixError::NotMember);
+        }
+        let mhash = membership_hash(&sorted);
+        let key = (kind, name.to_owned(), mhash);
+
+        // Resolve the participating servers and this server's local slice.
+        let mut servers = BTreeSet::new();
+        let mut locals = Vec::new();
+        for m in &sorted {
+            let e = self.registry.locate(m)?;
+            servers.insert(e.node);
+            if e.node == self.node {
+                locals.push(m.clone());
+            }
+        }
+
+        let deadline = directives.timeout.map(|t| Instant::now() + t);
+
+        let mut st = self.state.lock();
+        let epoch = *st.epochs.get(&key).unwrap_or(&0);
+        let op_id = OpId { kind, name: name.to_owned(), mhash, epoch };
+        // Participants may already be dead (failure observed earlier).
+        let dead_locals: Vec<ProcId> =
+            locals.iter().filter(|p| st.dead.contains(*p)).cloned().collect();
+        let op = st.ops.entry(op_id.clone()).or_insert_with(OpState::new);
+        if op.expected_local.is_none() {
+            op.expected_local = Some(locals.clone());
+            op.membership = sorted.clone();
+            op.expected_servers = servers.clone();
+            op.need_pgcid = kind == OpKind::GroupConstruct && directives.request_pgcid;
+            op.error_on_early_termination = directives.error_on_early_termination;
+            op.notify_on_termination = directives.notify_on_termination;
+            if let Some(p) = op.pending_pgcid.take() {
+                op.pgcid = Some(p);
+            }
+            for d in dead_locals {
+                if op.error_on_early_termination {
+                    op.result = Some(Err(PmixError::ProcTerminated(d)));
+                } else if let Some(exp) = op.expected_local.as_mut() {
+                    exp.retain(|p| p != &d);
+                }
+            }
+        }
+        if op.result.is_none() {
+            if op.arrived_local.contains(me) {
+                return Err(PmixError::BadParam(format!("{me} entered {op_id} twice")));
+            }
+            op.arrived_local.push(me.clone());
+            if !kvs.is_empty() {
+                op.local_kvs.push((me.clone(), kvs));
+            }
+        }
+        self.advance_op(&mut st, &op_id);
+        drop(st);
+        self.try_complete(&op_id);
+
+        // Wait for a result.
+        let mut st = self.state.lock();
+        loop {
+            let done = st.ops.get(&op_id).and_then(|o| o.result.clone());
+            if let Some(res) = done {
+                let remove = {
+                    // Dead participants never come back to observe the
+                    // result; count only live expected locals.
+                    let dead = st.dead.clone();
+                    let op = st.ops.get_mut(&op_id).expect("present");
+                    op.observed += 1;
+                    let expected = op
+                        .expected_local
+                        .as_ref()
+                        .map(|e| e.iter().filter(|p| !dead.contains(*p)).count())
+                        .unwrap_or(0);
+                    op.observed >= expected
+                };
+                if remove {
+                    let op = st.ops.remove(&op_id).expect("present");
+                    if !op.epoch_bumped {
+                        *st.epochs.entry(key.clone()).or_insert(0) += 1;
+                    }
+                }
+                if let Ok(out) = &res {
+                    self.finish_group_bookkeeping(&mut st, kind, name, out, directives);
+                }
+                return res;
+            }
+            let timed_out = match deadline {
+                Some(d) => self.cv.wait_until(&mut st, d).timed_out(),
+                None => {
+                    self.cv.wait(&mut st);
+                    false
+                }
+            };
+            if timed_out && st.ops.get(&op_id).map(|o| o.result.is_none()).unwrap_or(false) {
+                // Abort the collective everywhere.
+                self.fail_op_locked(&mut st, &op_id, AbortReason::Timeout);
+                let peers = st
+                    .ops
+                    .get(&op_id)
+                    .map(|o| o.expected_servers.clone())
+                    .unwrap_or_default();
+                drop(st);
+                self.broadcast(&peers, &ServerMsg::CollAbort {
+                    op: op_id.clone(),
+                    reason: AbortReason::Timeout,
+                });
+                st = self.state.lock();
+            }
+        }
+    }
+
+    fn finish_group_bookkeeping(
+        &self,
+        st: &mut ServerState,
+        kind: OpKind,
+        name: &str,
+        out: &CollOutcome,
+        directives: &GroupDirectives,
+    ) {
+        match kind {
+            OpKind::GroupConstruct => {
+                st.groups.insert(
+                    name.to_owned(),
+                    GroupInfo {
+                        members: out.members.clone(),
+                        pgcid: out.pgcid,
+                        notify_on_termination: directives.notify_on_termination,
+                    },
+                );
+            }
+            OpKind::GroupDestruct => {
+                st.groups.remove(name);
+            }
+            OpKind::Fence => {}
+        }
+    }
+
+    /// Stage-2 trigger: if the local fan-in just completed, record our own
+    /// contribution and ship it to the other participating servers.
+    fn advance_op(&self, st: &mut ServerState, op_id: &OpId) {
+        let Some(op) = st.ops.get_mut(op_id) else { return };
+        if op.result.is_some() || op.sent_contrib {
+            return;
+        }
+        let Some(expected) = op.expected_local.as_ref() else { return };
+        if op.arrived_local.len() < expected.len() {
+            return;
+        }
+        op.fanin_done = true;
+        op.epoch_bumped = true;
+        op.sent_contrib = true;
+        let contrib = Contribution {
+            local_members: op.arrived_local.clone(),
+            kvs: op.local_kvs.clone(),
+        };
+        op.contribs.insert(self.node, contrib.clone());
+        let peers: Vec<NodeId> = op
+            .expected_servers
+            .iter()
+            .copied()
+            .filter(|n| *n != self.node)
+            .collect();
+        let key = (op_id.kind, op_id.name.clone(), op_id.mhash);
+        *st.epochs.entry(key).or_insert(0) += 1;
+        // Send outside the borrow of `op` (but still under the state lock;
+        // fabric sends never call back into this server synchronously).
+        let msg = ServerMsg::CollContrib {
+            op: op_id.clone(),
+            from_node: self.node.0,
+            contrib,
+        };
+        for peer in peers {
+            if let Some(ep) = self.registry.server_of(peer) {
+                let _ = self.sender.send(ep, msg.encode());
+            }
+        }
+    }
+
+    /// Stage-3 trigger: complete the op if every contribution (and the
+    /// PGCID, when needed) has arrived.
+    fn try_complete(&self, op_id: &OpId) {
+        let mut st = self.state.lock();
+        let Some(op) = st.ops.get_mut(op_id) else { return };
+        if op.result.is_some() || !op.fanin_done {
+            return;
+        }
+        if op.contribs.len() < op.expected_servers.len() {
+            return;
+        }
+        if op.need_pgcid && op.pgcid.is_none() {
+            // The lead participating server must go get one (exactly once).
+            let lead = *op.expected_servers.iter().next().expect("non-empty");
+            if lead == self.node && !op.pgcid_requested {
+                op.pgcid_requested = true;
+                let token = st.next_token;
+                st.next_token += 1;
+                st.pgcid_waiting.insert(token, op_id.clone());
+                let rm = self.registry.rm_endpoint();
+                drop(st);
+                match rm {
+                    Some(rm_ep) if rm_ep == self.sender.id() => {
+                        // We *are* the RM: allocate inline.
+                        let pgcid = self.rm_allocate_pgcid();
+                        self.handle(ServerMsg::PgcidReply { token, pgcid });
+                    }
+                    Some(rm_ep) => {
+                        let _ = self.sender.send(
+                            rm_ep,
+                            ServerMsg::PgcidRequest { reply_to: self.sender.id(), token }
+                                .encode(),
+                        );
+                    }
+                    None => {
+                        let mut st = self.state.lock();
+                        self.fail_op_locked(&mut st, op_id, AbortReason::Timeout);
+                    }
+                }
+            }
+            return;
+        }
+        // Complete: merge memberships, filter dead, wake everyone.
+        let mut members: Vec<ProcId> = op
+            .contribs
+            .values()
+            .flat_map(|c| c.local_members.iter().cloned())
+            .collect();
+        members.sort();
+        members.dedup();
+        let pgcid = op.pgcid;
+        let all_kvs: Vec<(ProcId, HashMap<String, PmixValue>)> = op
+            .contribs
+            .values()
+            .flat_map(|c| c.kvs.iter().cloned())
+            .collect();
+        members.retain(|m| !st.dead.contains(m));
+        for (proc, data) in all_kvs {
+            st.kvs_cache.entry(proc).or_default().extend(data);
+        }
+        let op = st.ops.get_mut(op_id).expect("present");
+        op.result = Some(Ok(CollOutcome { members, pgcid }));
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn fail_op_locked(&self, st: &mut ServerState, op_id: &OpId, reason: AbortReason) {
+        if let Some(op) = st.ops.get_mut(op_id) {
+            if op.result.is_none() {
+                op.result = Some(Err(reason.to_error()));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn broadcast(&self, peers: &BTreeSet<NodeId>, msg: &ServerMsg) {
+        let encoded = msg.encode();
+        for peer in peers {
+            if *peer == self.node {
+                continue;
+            }
+            if let Some(ep) = self.registry.server_of(*peer) {
+                let _ = self.sender.send(ep, encoded.clone());
+            }
+        }
+    }
+
+    fn rm_allocate_pgcid(&self) -> u64 {
+        self.rm_next_pgcid
+            .as_ref()
+            .expect("PGCID requested from a non-RM server")
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    // ---------------------------------------------------------------
+    // Asynchronous (invite/join) group construction
+    // ---------------------------------------------------------------
+
+    /// Initiator side: send invitations. Returns immediately; call
+    /// [`PmixServer::invite_wait`] to collect responses.
+    pub fn invite(
+        &self,
+        initiator: &ProcId,
+        name: &str,
+        invited: &[ProcId],
+        directives: &GroupDirectives,
+    ) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            if st.invites.contains_key(name) {
+                return Err(PmixError::Exists(name.to_owned()));
+            }
+            st.invites.insert(
+                name.to_owned(),
+                InviteState {
+                    initiator: initiator.clone(),
+                    invited: invited.to_vec(),
+                    responses: HashMap::new(),
+                    request_pgcid: directives.request_pgcid,
+                },
+            );
+        }
+        let event = Event::new(EventCode::GroupInvited, Some(initiator.clone()))
+            .with("group", name);
+        for target in invited {
+            let entry = self.registry.locate(target)?;
+            let msg = ServerMsg::Notify { event: event.clone(), targets: vec![target.clone()] };
+            if entry.node == self.node {
+                self.handle(msg);
+            } else if let Some(ep) = self.registry.server_of(entry.node) {
+                let _ = self.sender.send(ep, msg.encode());
+            }
+        }
+        Ok(())
+    }
+
+    /// Invitee side: answer an invitation (routed to the initiator's server).
+    pub fn join_reply(&self, name: &str, me: &ProcId, initiator: &ProcId, accept: bool) -> Result<()> {
+        let entry = self.registry.locate(initiator)?;
+        let msg = ServerMsg::InviteReply { group: name.to_owned(), from: me.clone(), accept };
+        if entry.node == self.node {
+            self.handle(msg);
+        } else {
+            let ep = self.registry.server_of(entry.node).ok_or(PmixError::Unreachable)?;
+            self.sender.send(ep, msg.encode()).map_err(|_| PmixError::Unreachable)?;
+        }
+        Ok(())
+    }
+
+    /// Initiator side: wait for all invitees to respond (or die), then
+    /// finalize the group. Decliners and dead invitees are dropped from the
+    /// membership; the initiator is always a member.
+    pub fn invite_wait(&self, name: &str, timeout: Duration) -> Result<GroupResult> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            let ready = {
+                let inv = st
+                    .invites
+                    .get(name)
+                    .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
+                inv.invited
+                    .iter()
+                    .all(|p| inv.responses.contains_key(p) || st.dead.contains(p))
+            };
+            if ready {
+                let inv = st.invites.remove(name).expect("checked above");
+                let mut members: Vec<ProcId> = inv
+                    .invited
+                    .iter()
+                    .filter(|p| inv.responses.get(*p).copied().unwrap_or(false))
+                    .cloned()
+                    .collect();
+                members.push(inv.initiator.clone());
+                members.sort();
+                members.dedup();
+                let pgcid = if inv.request_pgcid {
+                    drop(st);
+                    Some(self.fetch_pgcid_blocking(deadline)?)
+                } else {
+                    drop(st);
+                    None
+                };
+                let result = GroupResult { members: members.clone(), pgcid };
+                let mut st = self.state.lock();
+                st.groups.insert(
+                    name.to_owned(),
+                    GroupInfo { members, pgcid, notify_on_termination: true },
+                );
+                return Ok(result);
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                st.invites.remove(name);
+                return Err(PmixError::Timeout);
+            }
+        }
+    }
+
+    /// Synchronous PGCID fetch from the RM (used by the async-construct
+    /// finalize path, outside any collective op).
+    fn fetch_pgcid_blocking(&self, deadline: Instant) -> Result<u64> {
+        let rm = self.registry.rm_endpoint().ok_or(PmixError::Unreachable)?;
+        if rm == self.sender.id() {
+            return Ok(self.rm_allocate_pgcid());
+        }
+        let token = {
+            let mut st = self.state.lock();
+            let token = st.next_token;
+            st.next_token += 1;
+            // Reuse the dmodex slot table for the scalar reply.
+            st.dmodex_waiting.insert(token, None);
+            token
+        };
+        self.sender
+            .send(rm, ServerMsg::PgcidRequest { reply_to: self.sender.id(), token }.encode())
+            .map_err(|_| PmixError::Unreachable)?;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(Some(Some(PmixValue::U64(v)))) = st.dmodex_waiting.get(&token).cloned() {
+                st.dmodex_waiting.remove(&token);
+                return Ok(v);
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                st.dmodex_waiting.remove(&token);
+                return Err(PmixError::Timeout);
+            }
+        }
+    }
+
+    /// A member leaves a group: remaining members are notified
+    /// asynchronously (paper §III-A: departure notifications).
+    pub fn group_leave(&self, name: &str, me: &ProcId) -> Result<()> {
+        let remaining = {
+            let mut st = self.state.lock();
+            let info = st
+                .groups
+                .get_mut(name)
+                .ok_or_else(|| PmixError::NotFound(format!("group {name}")))?;
+            info.members.retain(|m| m != me);
+            info.members.clone()
+        };
+        let event =
+            Event::new(EventCode::GroupMemberLeft, Some(me.clone())).with("group", name);
+        self.notify_procs(&remaining, &event);
+        Ok(())
+    }
+
+    /// Route an event to a set of processes (local delivery + remote
+    /// forwarding to their servers).
+    pub fn notify_procs(&self, targets: &[ProcId], event: &Event) {
+        let mut by_node: HashMap<NodeId, Vec<ProcId>> = HashMap::new();
+        for t in targets {
+            if let Ok(e) = self.registry.locate(t) {
+                by_node.entry(e.node).or_default().push(t.clone());
+            }
+        }
+        for (node, procs) in by_node {
+            let msg = ServerMsg::Notify { event: event.clone(), targets: procs };
+            if node == self.node {
+                self.handle(msg);
+            } else if let Some(ep) = self.registry.server_of(node) {
+                let _ = self.sender.send(ep, msg.encode());
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Message handling (fabric deliveries from other servers)
+    // ---------------------------------------------------------------
+
+    /// Process one server-to-server message.
+    pub fn handle(&self, msg: ServerMsg) {
+        match msg {
+            ServerMsg::CollContrib { op, from_node, contrib } => {
+                {
+                    let mut st = self.state.lock();
+                    let entry = st.ops.entry(op.clone()).or_insert_with(OpState::new);
+                    entry.contribs.insert(NodeId(from_node), contrib);
+                }
+                self.try_complete(&op);
+                self.cv.notify_all();
+            }
+            ServerMsg::CollPgcid { op, pgcid } => {
+                {
+                    let mut st = self.state.lock();
+                    let entry = st.ops.entry(op.clone()).or_insert_with(OpState::new);
+                    if entry.expected_local.is_some() {
+                        entry.pgcid = Some(pgcid);
+                    } else {
+                        entry.pending_pgcid = Some(pgcid);
+                    }
+                }
+                self.try_complete(&op);
+                self.cv.notify_all();
+            }
+            ServerMsg::CollAbort { op, reason } => {
+                let mut st = self.state.lock();
+                self.fail_op_locked(&mut st, &op, reason);
+            }
+            ServerMsg::PgcidRequest { reply_to, token } => {
+                let pgcid = self.rm_allocate_pgcid();
+                let _ = self
+                    .sender
+                    .send(reply_to, ServerMsg::PgcidReply { token, pgcid }.encode());
+            }
+            ServerMsg::PgcidReply { token, pgcid } => {
+                let op_then_peers = {
+                    let mut st = self.state.lock();
+                    if let Some(op_id) = st.pgcid_waiting.remove(&token) {
+                        if let Some(op) = st.ops.get_mut(&op_id) {
+                            op.pgcid = Some(pgcid);
+                            let peers = op.expected_servers.clone();
+                            Some((op_id, peers))
+                        } else {
+                            None
+                        }
+                    } else if st.dmodex_waiting.contains_key(&token) {
+                        // A blocking scalar fetch (async-construct path).
+                        st.dmodex_waiting.insert(token, Some(Some(PmixValue::U64(pgcid))));
+                        None
+                    } else {
+                        None
+                    }
+                };
+                if let Some((op_id, peers)) = op_then_peers {
+                    self.broadcast(&peers, &ServerMsg::CollPgcid { op: op_id.clone(), pgcid });
+                    self.try_complete(&op_id);
+                }
+                self.cv.notify_all();
+            }
+            ServerMsg::ProcFailed { proc } => {
+                self.on_proc_failed(&proc);
+            }
+            ServerMsg::DmodexReq { reply_to, token, proc, key } => {
+                let value = {
+                    let mut st = self.state.lock();
+                    match st.kvs_local.get(&proc).and_then(|m| m.get(&key)).cloned() {
+                        Some(v) => Some(Some(v)),
+                        None => {
+                            let local = st.local_clients.contains(&proc)
+                                || self
+                                    .registry
+                                    .locate(&proc)
+                                    .map(|e| e.node == self.node)
+                                    .unwrap_or(false);
+                            if local && !st.dead.contains(&proc) {
+                                // Park until the owner commits.
+                                st.dmodex_parked.push((proc, key, reply_to, token));
+                                None
+                            } else {
+                                Some(None)
+                            }
+                        }
+                    }
+                };
+                if let Some(value) = value {
+                    let _ = self
+                        .sender
+                        .send(reply_to, ServerMsg::DmodexReply { token, value }.encode());
+                }
+            }
+            ServerMsg::DmodexReply { token, value } => {
+                let mut st = self.state.lock();
+                if st.dmodex_waiting.contains_key(&token) {
+                    st.dmodex_waiting.insert(token, Some(value));
+                }
+                drop(st);
+                self.cv.notify_all();
+            }
+            ServerMsg::Notify { event, targets } => {
+                let st = self.state.lock();
+                for (proc, sub) in &st.subs {
+                    if !sub.matches(event.code) {
+                        continue;
+                    }
+                    if targets.is_empty() || targets.contains(proc) {
+                        let _ = sub.tx.send(event.clone());
+                    }
+                }
+            }
+            ServerMsg::InviteReply { group, from, accept } => {
+                let mut st = self.state.lock();
+                if let Some(inv) = st.invites.get_mut(&group) {
+                    inv.responses.insert(from, accept);
+                }
+                drop(st);
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// React to a process death: fail or shrink affected collectives,
+    /// notify subscribers, and mark the process dead.
+    pub fn on_proc_failed(&self, proc: &ProcId) {
+        let mut st = self.state.lock();
+        if !st.dead.insert(proc.clone()) {
+            return; // already processed
+        }
+        // Fail or shrink pending collectives that include the dead process.
+        let op_ids: Vec<OpId> = st.ops.keys().cloned().collect();
+        let mut aborts = Vec::new();
+        for op_id in op_ids {
+            let op = st.ops.get_mut(&op_id).expect("present");
+            if op.result.is_some() {
+                continue;
+            }
+            let involved = op.membership.contains(proc)
+                || op
+                    .expected_local
+                    .as_ref()
+                    .map(|e| e.contains(proc))
+                    .unwrap_or(false)
+                || op.contribs.values().any(|c| c.local_members.contains(proc))
+                || op.arrived_local.contains(proc);
+            if !involved {
+                continue;
+            }
+            if op.error_on_early_termination {
+                op.result = Some(Err(PmixError::ProcTerminated(proc.clone())));
+                aborts.push((op_id.clone(), op.expected_servers.clone()));
+            } else {
+                if let Some(exp) = op.expected_local.as_mut() {
+                    exp.retain(|p| p != proc);
+                }
+                op.arrived_local.retain(|p| p != proc);
+            }
+        }
+        // Group-membership failure notifications.
+        let mut notifications = Vec::new();
+        for (name, info) in st.groups.iter() {
+            if info.notify_on_termination && info.members.contains(proc) {
+                let targets: Vec<ProcId> = info
+                    .members
+                    .iter()
+                    .filter(|m| *m != proc && !st.dead.contains(*m))
+                    .cloned()
+                    .collect();
+                let event = Event::new(EventCode::GroupMemberFailed, Some(proc.clone()))
+                    .with("group", name.as_str())
+                    .with("pgcid", info.pgcid.unwrap_or(0));
+                notifications.push((targets, event));
+            }
+        }
+        // Plain proc-terminated event for subscribers on this node.
+        let term = Event::new(EventCode::ProcTerminated, Some(proc.clone()));
+        for (p, sub) in &st.subs {
+            if sub.matches(EventCode::ProcTerminated) && p != proc {
+                let _ = sub.tx.send(term.clone());
+            }
+        }
+        // Complete any ops whose fan-in this death unblocked.
+        let candidates: Vec<OpId> = st
+            .ops
+            .iter()
+            .filter(|(_, o)| o.result.is_none())
+            .map(|(k, _)| k.clone())
+            .collect();
+        for op_id in &candidates {
+            self.advance_op(&mut st, op_id);
+        }
+        drop(st);
+        for op_id in &candidates {
+            self.try_complete(op_id);
+        }
+        for (op_id, peers) in aborts {
+            self.broadcast(&peers, &ServerMsg::CollAbort {
+                op: op_id,
+                reason: AbortReason::ProcTerminated(proc.clone()),
+            });
+        }
+        for (targets, event) in notifications {
+            self.notify_procs(&targets, &event);
+        }
+        self.cv.notify_all();
+    }
+}

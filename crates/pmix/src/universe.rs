@@ -1,0 +1,458 @@
+//! The PMIx universe: one server per node, wired to a simulated fabric,
+//! plus the failure-propagation bridge.
+//!
+//! In the real system this assembly is PRRTE's job (its daemons host the
+//! PMIx servers); the `prrte` crate layers job launch and mapping on top of
+//! this. The universe is also usable standalone in tests.
+
+use crate::client::PmixClient;
+use crate::error::{PmixError, Result};
+use crate::nspace::{NamespaceRegistry, ProcEntry};
+use crate::server::PmixServer;
+use crate::types::ProcId;
+use parking_lot::Mutex;
+use simnet::{Endpoint, EndpointId, Fabric, NodeId, SimTestbed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running PMIx universe over a simulated testbed.
+pub struct PmixUniverse {
+    fabric: Fabric,
+    registry: NamespaceRegistry,
+    servers: Vec<Arc<PmixServer>>,
+    server_eps: Vec<EndpointId>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    testbed: SimTestbed,
+}
+
+impl PmixUniverse {
+    /// Boot servers (one per node of the testbed) and the failure bridge.
+    pub fn new(testbed: SimTestbed) -> Arc<Self> {
+        let fabric = Fabric::new(testbed.cost.clone());
+        let registry = NamespaceRegistry::new();
+        let mut servers = Vec::new();
+        let mut server_eps = Vec::new();
+        let mut threads = Vec::new();
+
+        // The resource-manager service (PGCID allocator) lives on a
+        // dedicated head node, like a batch system's controller: every
+        // PGCID acquisition is an inter-node RPC from the lead
+        // participating server.
+        let head = NodeId(u32::MAX);
+        {
+            let endpoint = fabric.register(head);
+            let mut rm = PmixServer::new(&endpoint, registry.clone(), true);
+            rm.set_rpc_processing(testbed.cost.rpc_processing);
+            registry.register_rm(endpoint.id());
+            server_eps.push(endpoint.id());
+            let srv = rm.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pmix-rm".into())
+                    .spawn(move || srv.run_loop(&endpoint))
+                    .expect("spawn rm thread"),
+            );
+            servers.push(rm);
+        }
+
+        for node in testbed.cluster.node_ids() {
+            let endpoint = fabric.register(node);
+            let is_rm = false;
+            let mut server = PmixServer::new(&endpoint, registry.clone(), is_rm);
+            server.set_rpc_processing(testbed.cost.rpc_processing);
+            server_eps.push(endpoint.id());
+            let srv = server.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pmix-server-{node}"))
+                    .spawn(move || srv.run_loop(&endpoint))
+                    .expect("spawn pmix server thread"),
+            );
+            servers.push(server);
+        }
+
+        // Failure bridge: fabric deaths -> ProcFailed at every server.
+        // Exits when a *server* endpoint dies, which only happens at
+        // universe teardown.
+        let mut watcher = fabric.watch_failures();
+        let registry_w = registry.clone();
+        let servers_w = servers.clone();
+        let server_ep_set: std::collections::HashSet<EndpointId> =
+            server_eps.iter().copied().collect();
+        threads.push(
+            std::thread::Builder::new()
+                .name("pmix-failure-bridge".into())
+                .spawn(move || {
+                    while let Some(ev) = watcher.recv() {
+                        if server_ep_set.contains(&ev.endpoint) {
+                            break;
+                        }
+                        if let Some(proc) = registry_w.find_by_endpoint(ev.endpoint) {
+                            for s in &servers_w {
+                                s.on_proc_failed(&proc);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn failure bridge"),
+        );
+
+        Arc::new(Self {
+            fabric,
+            registry,
+            servers,
+            server_eps,
+            threads: Mutex::new(threads),
+            testbed,
+        })
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &NamespaceRegistry {
+        &self.registry
+    }
+
+    /// The testbed this universe runs on.
+    pub fn testbed(&self) -> &SimTestbed {
+        &self.testbed
+    }
+
+    /// The server managing `node`.
+    pub fn server(&self, node: NodeId) -> Result<Arc<PmixServer>> {
+        self.servers
+            .iter()
+            .find(|s| s.node() == node)
+            .cloned()
+            .ok_or_else(|| PmixError::NotFound(format!("server for {node}")))
+    }
+
+    /// Register a process endpoint for a namespace and return its entry.
+    ///
+    /// The caller (normally `prrte`) creates the process endpoint itself so
+    /// it can hand the mailbox to the process thread; this method records
+    /// it in the registry.
+    pub fn register_proc(&self, proc: ProcId, endpoint: &Endpoint) {
+        let nspace = proc.nspace_arc();
+        self.registry.register_namespace(
+            &nspace,
+            vec![ProcEntry { proc, node: endpoint.node(), endpoint: endpoint.id() }],
+        );
+    }
+
+    /// Create a client for `proc`, which must already be registered.
+    pub fn client_for(&self, proc: &ProcId) -> Result<PmixClient> {
+        let entry = self.registry.locate(proc)?;
+        let server = self.server(entry.node)?;
+        Ok(PmixClient::init(server, proc.clone()))
+    }
+
+    /// Kill a registered process (fault injection).
+    pub fn kill_proc(&self, proc: &ProcId) -> Result<()> {
+        let entry = self.registry.locate(proc)?;
+        self.fabric.kill(entry.endpoint);
+        Ok(())
+    }
+}
+
+impl Drop for PmixUniverse {
+    fn drop(&mut self) {
+        // Kill server endpoints so run_loops exit, then join everything.
+        for ep in &self.server_eps {
+            self.fabric.kill(*ep);
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupDirectives;
+    use crate::value::PmixValue;
+    use std::time::Duration;
+
+    fn spawn_procs(
+        uni: &Arc<PmixUniverse>,
+        nspace: &str,
+        n: u32,
+    ) -> Vec<(ProcId, simnet::Endpoint)> {
+        let spec = uni.testbed().cluster.clone();
+        (0..n)
+            .map(|rank| {
+                let node = spec.node_of_slot(rank % spec.total_slots());
+                let ep = uni.fabric().register(node);
+                let proc = ProcId::new(nspace, rank);
+                uni.register_proc(proc.clone(), &ep);
+                (proc, ep)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn universe_boots_and_shuts_down() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(3, 2));
+        // 3 compute-node servers + the head-node RM daemon.
+        assert_eq!(uni.registry().servers().len(), 4);
+        assert!(uni.registry().rm_endpoint().is_some());
+        assert_ne!(uni.registry().rm_endpoint(), uni.registry().lead_server());
+        drop(uni);
+    }
+
+    #[test]
+    fn single_node_group_construct_gets_pgcid() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(1, 4));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            c.group_construct("g", &m2, &GroupDirectives::for_mpi()).unwrap()
+        });
+        let c = uni.client_for(&members[0]).unwrap();
+        let g = c.group_construct("g", &members, &GroupDirectives::for_mpi()).unwrap();
+        let g2 = h.join().unwrap();
+        assert_eq!(g.pgcid(), g2.pgcid());
+        assert!(g.pgcid().unwrap() > 0);
+        assert_eq!(g.members(), g2.members());
+        assert_eq!(g.size(), 2);
+    }
+
+    #[test]
+    fn multi_node_group_construct_agrees_on_pgcid() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(4, 1));
+        let procs = spawn_procs(&uni, "job", 4);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let mut handles = Vec::new();
+        for (p, _) in &procs {
+            let uni2 = uni.clone();
+            let p = p.clone();
+            let m = members.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = uni2.client_for(&p).unwrap();
+                c.group_construct("mg", &m, &GroupDirectives::for_mpi()).unwrap()
+            }));
+        }
+        let groups: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let pgcid = groups[0].pgcid().unwrap();
+        assert!(pgcid > 0);
+        for g in &groups {
+            assert_eq!(g.pgcid(), Some(pgcid));
+            assert_eq!(g.size(), 4);
+        }
+    }
+
+    #[test]
+    fn successive_constructs_get_distinct_pgcids() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let run = |name: &'static str| {
+            let mut hs = Vec::new();
+            for (p, _) in &procs {
+                let uni2 = uni.clone();
+                let p = p.clone();
+                let m = members.clone();
+                hs.push(std::thread::spawn(move || {
+                    let c = uni2.client_for(&p).unwrap();
+                    c.group_construct(name, &m, &GroupDirectives::for_mpi()).unwrap()
+                }));
+            }
+            hs.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        };
+        let g1 = run("a");
+        let g2 = run("b");
+        assert_ne!(g1[0].pgcid(), g2[0].pgcid());
+    }
+
+    #[test]
+    fn fence_with_data_collection_makes_gets_local() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let mut hs = Vec::new();
+        for (i, (p, _)) in procs.iter().enumerate() {
+            let uni2 = uni.clone();
+            let p = p.clone();
+            let m = members.clone();
+            hs.push(std::thread::spawn(move || {
+                let c = uni2.client_for(&p).unwrap();
+                c.put("card", format!("endpoint-of-{i}"));
+                c.commit();
+                c.fence(&m, true).unwrap();
+                // After a collecting fence, the peer's data must be readable.
+                let peer = &m[1 - i];
+                c.get(peer, "card").unwrap()
+            }));
+        }
+        let vals: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(vals[0], PmixValue::Str("endpoint-of-1".into()));
+        assert_eq!(vals[1], PmixValue::Str("endpoint-of-0".into()));
+    }
+
+    #[test]
+    fn dmodex_fetch_without_fence() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let (p0, _) = &procs[0];
+        let (p1, _) = &procs[1];
+        let c0 = uni.client_for(p0).unwrap();
+        let c1 = uni.client_for(p1).unwrap();
+        c1.put("bc", PmixValue::U64(77));
+        c1.commit();
+        // No fence: this goes through the dmodex path to the remote server.
+        let v = c0.get(p1, "bc").unwrap();
+        assert_eq!(v.as_u64(), Some(77));
+    }
+
+    #[test]
+    fn dmodex_parks_until_commit() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let (p0, _) = &procs[0];
+        let (p1, _) = &procs[1];
+        let c0 = uni.client_for(p0).unwrap();
+        let c1 = uni.client_for(p1).unwrap();
+        let p1c = p1.clone();
+        let h = std::thread::spawn(move || c0.get_timeout(&p1c, "late", Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(100));
+        c1.put("late", PmixValue::Bool(true));
+        c1.commit();
+        assert_eq!(h.join().unwrap().unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn group_construct_times_out_when_member_never_arrives() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let c = uni.client_for(&members[0]).unwrap();
+        let d = GroupDirectives::for_mpi().with_timeout(Some(Duration::from_millis(200)));
+        let err = c.group_construct("never", &members, &d).unwrap_err();
+        assert_eq!(err, PmixError::Timeout);
+    }
+
+    #[test]
+    fn group_construct_fails_when_member_dies() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let victim = members[1].clone();
+        let uni2 = uni.clone();
+        let h = {
+            let members = members.clone();
+            let me = members[0].clone();
+            std::thread::spawn(move || {
+                let c = uni2.client_for(&me).unwrap();
+                c.group_construct("doomed", &members, &GroupDirectives::for_mpi())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        uni.kill_proc(&victim).unwrap();
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err, PmixError::ProcTerminated(victim));
+    }
+
+    #[test]
+    fn invite_join_builds_group_without_collective() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 2));
+        let procs = spawn_procs(&uni, "job", 3);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let initiator = members[0].clone();
+
+        // Invitees wait for the invitation event, then join (one declines).
+        let mut hs = Vec::new();
+        for (i, m) in members[1..].iter().enumerate() {
+            let uni2 = uni.clone();
+            let m = m.clone();
+            hs.push(std::thread::spawn(move || {
+                let c = uni2.client_for(&m).unwrap();
+                let events = c.register_events(Some(vec![crate::event::EventCode::GroupInvited]));
+                let ev = events.next_timeout(Duration::from_secs(5)).expect("invited");
+                let inviter = ev.source.clone().unwrap();
+                let name = ev.get("group").unwrap().as_str().unwrap().to_owned();
+                let accept = i == 0; // member[1] accepts, member[2] declines
+                c.group_join(&name, &inviter, accept).unwrap();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let c = uni.client_for(&initiator).unwrap();
+        c.group_invite("async-g", &members[1..], &GroupDirectives::for_mpi())
+            .unwrap();
+        let g = c.group_invite_wait("async-g", Duration::from_secs(10)).unwrap();
+        for h in hs {
+            h.join().unwrap();
+        }
+        // initiator + the accepting invitee
+        assert_eq!(g.size(), 2);
+        assert!(g.pgcid().unwrap() > 0);
+        assert!(g.members().contains(&initiator));
+        assert!(g.members().contains(&members[1]));
+        assert!(!g.members().contains(&members[2]));
+    }
+
+    #[test]
+    fn group_leave_notifies_remaining_members() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            let events =
+                c.register_events(Some(vec![crate::event::EventCode::GroupMemberLeft]));
+            let g = c.group_construct("lg", &m2, &GroupDirectives::for_mpi()).unwrap();
+            let _ = g;
+            events.next_timeout(Duration::from_secs(5))
+        });
+        let c = uni.client_for(&members[0]).unwrap();
+        let g = c.group_construct("lg", &members, &GroupDirectives::for_mpi()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        c.group_leave(&g).unwrap();
+        let ev = h.join().unwrap().expect("leave event");
+        assert_eq!(ev.source, Some(members[0].clone()));
+    }
+
+    #[test]
+    fn queries_resolve_psets() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
+        let procs = spawn_procs(&uni, "job", 1);
+        uni.registry()
+            .define_pset("app://x", vec![procs[0].0.clone()]);
+        let c = uni.client_for(&procs[0].0).unwrap();
+        let out = crate::query::query_info(
+            &c,
+            &[
+                crate::query::Query::key(crate::value::keys::QUERY_NUM_PSETS),
+                crate::query::Query::key(crate::value::keys::QUERY_PSET_NAMES),
+                crate::query::Query::with_qualifier(
+                    crate::value::keys::QUERY_PSET_MEMBERSHIP,
+                    "app://x",
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_u64(), Some(1));
+        assert_eq!(out[1].as_str_list().unwrap(), &["app://x".to_string()]);
+        assert_eq!(out[2].as_proc_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn proc_termination_event_reaches_subscribers() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let c0 = uni.client_for(&procs[0].0).unwrap();
+        let events = c0.register_events(Some(vec![crate::event::EventCode::ProcTerminated]));
+        uni.kill_proc(&procs[1].0).unwrap();
+        let ev = events.next_timeout(Duration::from_secs(5)).expect("termination event");
+        assert_eq!(ev.source, Some(procs[1].0.clone()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Job descriptions: process count, mapping policy, custom process sets.
+
+use pmix::Rank;
+
+/// Process-to-node mapping policy (subset of `prun --map-by`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapBy {
+    /// Fill each node's slots before moving to the next node (default).
+    #[default]
+    Slot,
+    /// Round-robin ranks across nodes.
+    Node,
+}
+
+/// Description of a job to launch.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Number of processes.
+    pub np: u32,
+    /// Mapping policy.
+    pub map_by: MapBy,
+    /// Custom process sets to define at launch: (name, member ranks).
+    /// These become queryable via `PMIX_QUERY_PSET_NAMES` and usable with
+    /// `MPI_Group_from_session_pset`.
+    pub psets: Vec<(String, Vec<Rank>)>,
+}
+
+impl JobSpec {
+    /// A job of `np` processes with default mapping and no custom psets.
+    pub fn new(np: u32) -> Self {
+        assert!(np > 0, "jobs need at least one process");
+        Self { np, map_by: MapBy::Slot, psets: Vec::new() }
+    }
+
+    /// Override the mapping policy.
+    pub fn map_by(mut self, policy: MapBy) -> Self {
+        self.map_by = policy;
+        self
+    }
+
+    /// Define a custom process set over `ranks` (the `prun --pset` analog).
+    pub fn with_pset(mut self, name: &str, ranks: Vec<Rank>) -> Self {
+        for r in &ranks {
+            assert!(*r < self.np, "pset {name} rank {r} outside job of size {}", self.np);
+        }
+        self.psets.push((name.to_owned(), ranks));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_psets() {
+        let spec = JobSpec::new(4)
+            .map_by(MapBy::Node)
+            .with_pset("app://half", vec![0, 1]);
+        assert_eq!(spec.np, 4);
+        assert_eq!(spec.map_by, MapBy::Node);
+        assert_eq!(spec.psets.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside job")]
+    fn pset_rank_out_of_range_panics() {
+        JobSpec::new(2).with_pset("bad", vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_np_rejected() {
+        JobSpec::new(0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The launcher: `prte` (DVM boot) + `prun` (job launch).
+
+use crate::ctx::ProcCtx;
+use crate::job::{JobSpec, MapBy};
+use pmix::{PmixUniverse, ProcId, Rank};
+use simnet::SimTestbed;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+static JOB_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A booted distributed virtual machine: daemons (PMIx servers) running on
+/// every node of the testbed, ready to launch jobs.
+pub struct Launcher {
+    universe: Arc<PmixUniverse>,
+}
+
+impl Launcher {
+    /// Boot the DVM over `testbed` (the `prte` analog).
+    pub fn new(testbed: SimTestbed) -> Self {
+        Self { universe: PmixUniverse::new(testbed) }
+    }
+
+    /// Wrap an existing universe (sharing a DVM between launchers).
+    pub fn over(universe: Arc<PmixUniverse>) -> Self {
+        Self { universe }
+    }
+
+    /// The universe this launcher drives.
+    pub fn universe(&self) -> &Arc<PmixUniverse> {
+        &self.universe
+    }
+
+    /// Launch `spec.np` processes running `body` (the `prun` analog).
+    ///
+    /// Each process gets a dedicated OS thread and a [`ProcCtx`]. Returns a
+    /// [`JobHandle`]; the job's namespace is fresh and unique.
+    pub fn spawn<T, F>(&self, spec: JobSpec, body: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(ProcCtx) -> T + Send + Sync + 'static,
+    {
+        let nspace = format!("prterun-{}", JOB_COUNTER.fetch_add(1, Ordering::Relaxed));
+        self.spawn_named(&nspace, spec, body)
+    }
+
+    /// [`Launcher::spawn`] with an explicit namespace (tests).
+    pub fn spawn_named<T, F>(&self, nspace: &str, spec: JobSpec, body: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(ProcCtx) -> T + Send + Sync + 'static,
+    {
+        let cluster = self.universe.testbed().cluster.clone();
+        let total = cluster.total_slots();
+        assert!(
+            spec.np <= total,
+            "job of {} processes does not fit allocation of {} slots",
+            spec.np,
+            total
+        );
+        let spawn_cost = self.universe.testbed().cost.spawn_cost;
+
+        // Map ranks to nodes and register everything *before* any process
+        // starts: the job map must be complete when clients initialize.
+        let mut endpoints = Vec::with_capacity(spec.np as usize);
+        for rank in 0..spec.np {
+            let node = match spec.map_by {
+                MapBy::Slot => cluster.node_of_slot(rank),
+                MapBy::Node => cluster.node_of_slot_by_node(rank),
+            };
+            let ep = self.universe.fabric().register(node);
+            let proc = ProcId::new(nspace, rank);
+            self.universe.register_proc(proc, &ep);
+            endpoints.push(ep);
+        }
+        for (name, ranks) in &spec.psets {
+            let members: Vec<ProcId> =
+                ranks.iter().map(|r| ProcId::new(nspace, *r)).collect();
+            self.universe.registry().define_pset(name, members);
+        }
+
+        let body = Arc::new(body);
+        let mut threads = Vec::with_capacity(spec.np as usize);
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let proc = ProcId::new(nspace, rank as Rank);
+            let universe = self.universe.clone();
+            let body = body.clone();
+            let np = spec.np;
+            let handle = std::thread::Builder::new()
+                .name(format!("{proc}"))
+                .spawn(move || {
+                    if !spawn_cost.is_zero() {
+                        std::thread::sleep(spawn_cost);
+                    }
+                    let pmix = universe
+                        .client_for(&proc)
+                        .expect("process registered before spawn");
+                    let ctx = ProcCtx::new(proc, np, ep, pmix, universe);
+                    body(ctx)
+                })
+                .expect("spawn process thread");
+            threads.push(handle);
+        }
+        JobHandle {
+            nspace: nspace.to_owned(),
+            universe: self.universe.clone(),
+            threads,
+        }
+    }
+}
+
+/// A running job: join it to collect per-rank results.
+pub struct JobHandle<T> {
+    nspace: String,
+    universe: Arc<PmixUniverse>,
+    threads: Vec<JoinHandle<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// The job's namespace.
+    pub fn nspace(&self) -> &str {
+        &self.nspace
+    }
+
+    /// Kill one rank of this job (fault injection).
+    pub fn kill_rank(&self, rank: Rank) {
+        let proc = ProcId::new(self.nspace.as_str(), rank);
+        let _ = self.universe.kill_proc(&proc);
+    }
+
+    /// Wait for every rank; returns rank-ordered results, or the panic
+    /// message of the first rank that panicked.
+    pub fn join(self) -> Result<Vec<T>, String> {
+        let mut out = Vec::with_capacity(self.threads.len());
+        let mut first_panic = None;
+        for (rank, t) in self.threads.into_iter().enumerate() {
+            match t.join() {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_panic.is_none() {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        first_panic = Some(format!("rank {rank} panicked: {msg}"));
+                    }
+                }
+            }
+        }
+        // The job is done; retire its namespace.
+        self.universe.registry().deregister_namespace(&self.nspace);
+        match first_panic {
+            None => Ok(out),
+            Some(p) => Err(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmix::PmixError;
+    use simnet::SimTestbed;
+    use std::time::Duration;
+
+    #[test]
+    fn spawn_runs_every_rank_once() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+        let out = launcher
+            .spawn(JobSpec::new(4), |ctx| (ctx.rank(), ctx.size()))
+            .join()
+            .unwrap();
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn map_by_slot_packs_nodes() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+        let nodes = launcher
+            .spawn(JobSpec::new(4), |ctx| ctx.node().0)
+            .join()
+            .unwrap();
+        assert_eq!(nodes, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn map_by_node_round_robins() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+        let nodes = launcher
+            .spawn(JobSpec::new(4).map_by(MapBy::Node), |ctx| ctx.node().0)
+            .join()
+            .unwrap();
+        assert_eq!(nodes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn custom_psets_are_queryable() {
+        let launcher = Launcher::new(SimTestbed::tiny(1, 4));
+        let spec = JobSpec::new(4).with_pset("app://evens", vec![0, 2]);
+        let names = launcher
+            .spawn(spec, |ctx| {
+                let names = ctx.pmix().query_pset_names();
+                let members = ctx.pmix().query_pset_membership("app://evens").unwrap();
+                (names, members.len())
+            })
+            .join()
+            .unwrap();
+        for (names, count) in names {
+            assert!(names.contains(&"app://evens".to_string()));
+            assert_eq!(count, 2);
+        }
+    }
+
+    #[test]
+    fn pmix_fence_works_across_job() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+        let out = launcher
+            .spawn(JobSpec::new(4), |ctx| {
+                let members: Vec<ProcId> = (0..ctx.size())
+                    .map(|r| ProcId::new(ctx.proc().nspace(), r))
+                    .collect();
+                ctx.pmix().fence(&members, false).unwrap();
+                ctx.rank()
+            })
+            .join()
+            .unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn two_concurrent_jobs_do_not_interfere() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 4));
+        let j1 = launcher.spawn(JobSpec::new(3), |ctx| {
+            let members: Vec<ProcId> = (0..ctx.size())
+                .map(|r| ProcId::new(ctx.proc().nspace(), r))
+                .collect();
+            ctx.pmix().fence(&members, false).unwrap();
+            ctx.proc().nspace().to_owned()
+        });
+        let j2 = launcher.spawn(JobSpec::new(2), |ctx| {
+            let members: Vec<ProcId> = (0..ctx.size())
+                .map(|r| ProcId::new(ctx.proc().nspace(), r))
+                .collect();
+            ctx.pmix().fence(&members, false).unwrap();
+            ctx.proc().nspace().to_owned()
+        });
+        let n1 = j1.join().unwrap();
+        let n2 = j2.join().unwrap();
+        assert_ne!(n1[0], n2[0]);
+    }
+
+    #[test]
+    fn panic_in_rank_is_reported() {
+        let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+        let res = launcher
+            .spawn(JobSpec::new(2), |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("deliberate");
+                }
+                ctx.rank()
+            })
+            .join();
+        let err = res.unwrap_err();
+        assert!(err.contains("rank 1"));
+        assert!(err.contains("deliberate"));
+    }
+
+    #[test]
+    fn kill_rank_fails_collectives_of_survivors() {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+        let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+            if ctx.rank() == 1 {
+                // Do no PMIx work; linger briefly so the kill lands while
+                // rank 0 is blocked in the fence.
+                std::thread::sleep(Duration::from_secs(2));
+                return Ok(());
+            }
+            let members: Vec<ProcId> = (0..ctx.size())
+                .map(|r| ProcId::new(ctx.proc().nspace(), r))
+                .collect();
+            ctx.pmix().fence_timeout(&members, false, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        handle.kill_rank(1);
+        let joined = handle.join().unwrap();
+        match &joined[0] {
+            Err(PmixError::ProcTerminated(p)) => assert_eq!(p.rank(), 1),
+            other => panic!("expected ProcTerminated, got {other:?}"),
+        }
+    }
+}

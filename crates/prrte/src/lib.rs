@@ -1,0 +1,26 @@
+//! # prrte — a PRRTE (PMIx Reference RunTime Environment) analog
+//!
+//! PRRTE's role in the paper's stack: start one daemon per node (each
+//! hosting a PMIx server), map job processes onto nodes, launch them, and
+//! provide the data-exchange services the PMIx collectives ride on.
+//!
+//! Here:
+//!
+//! * "starting the DVM" (`prte`) = [`Launcher::new`], which boots a
+//!   [`pmix::PmixUniverse`] over a [`simnet::SimTestbed`];
+//! * "launching a job" (`prun`) = [`Launcher::spawn`], which maps ranks to
+//!   nodes per the [`JobSpec`], registers each process with PMIx, applies
+//!   the testbed's spawn cost, and runs the process body on a dedicated
+//!   thread with a [`ProcCtx`] in hand;
+//! * custom process sets (`prun --pset`) = [`JobSpec::with_pset`].
+//!
+//! Multiple jobs can run concurrently in one universe (distinct
+//! namespaces), which the ensemble / task-scheduler examples exercise.
+
+pub mod ctx;
+pub mod job;
+pub mod launcher;
+
+pub use ctx::ProcCtx;
+pub use job::{JobSpec, MapBy};
+pub use launcher::{JobHandle, Launcher};

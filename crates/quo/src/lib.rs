@@ -1,0 +1,310 @@
+//! # quo — a QUO runtime analog
+//!
+//! QUO ("status quo") dynamically reconfigures run-time environments for
+//! coupled multithreaded message-passing applications: between an
+//! MPI-everywhere phase (the paper's 2MESH library L0) and an MPI+OpenMP
+//! phase (L1), some processes become thread hosts and the rest **quiesce**.
+//! The performance-critical primitive is `QUO_barrier`, the node-scoped
+//! barrier processes sit in while quiesced.
+//!
+//! Two backends mirror the paper's §IV-E comparison:
+//!
+//! * [`QuoBackend::Native`] — QUO 1.3's low-overhead mechanism, modelled as
+//!   a node-local shared-memory sense-reversing barrier (the processes of a
+//!   node share an OS process here, so a shared object *is* shared memory);
+//! * [`QuoBackend::Sessions`] — the prototype integration: `QUO_create`
+//!   initializes its own MPI session, builds a node-local communicator
+//!   from the `mpi://shared` pset, and emulates a low-perturbation barrier
+//!   by looping over `MPI_Ibarrier` + `nanosleep` — the paper attributes
+//!   its ≤3% overhead (Fig. 7) to exactly this emulation.
+
+use mpi_sessions::{coll, Comm, ErrHandler, Info, Session, ThreadLevel};
+use parking_lot::{Condvar, Mutex};
+use prrte::ProcCtx;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which quiescence mechanism a QUO context uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuoBackend {
+    /// Shared-memory node barrier (QUO 1.3 baseline).
+    Native,
+    /// Sessions-aware `MPI_Ibarrier` + `nanosleep` loop (the prototype).
+    Sessions,
+}
+
+/// Node-local sense-reversing barrier (the shared-memory fast path).
+struct NodeBarrier {
+    state: Mutex<(usize, bool)>, // (arrived, sense)
+    cv: Condvar,
+    parties: usize,
+}
+
+impl NodeBarrier {
+    fn new(parties: usize) -> Self {
+        Self { state: Mutex::new((0, false)), cv: Condvar::new(), parties }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock();
+        let sense = st.1;
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 = !sense;
+            self.cv.notify_all();
+        } else {
+            while st.1 == sense {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+type BarrierKey = (String, u32); // (namespace, node)
+static NODE_BARRIERS: Mutex<Option<HashMap<BarrierKey, Arc<NodeBarrier>>>> = Mutex::new(None);
+
+fn node_barrier(nspace: &str, node: u32, parties: usize) -> Arc<NodeBarrier> {
+    let mut reg = NODE_BARRIERS.lock();
+    let map = reg.get_or_insert_with(HashMap::new);
+    map.entry((nspace.to_owned(), node))
+        .or_insert_with(|| Arc::new(NodeBarrier::new(parties)))
+        .clone()
+}
+
+enum Backend {
+    Native { barrier: Arc<NodeBarrier> },
+    Sessions { session: Session, node_comm: Comm },
+}
+
+/// A QUO context (`QUO_context`).
+pub struct Quo {
+    backend: Backend,
+    /// Rank among the node's processes (`QUO_id`).
+    qid: u32,
+    /// Processes on this node (`QUO_nqids`).
+    nqids: u32,
+    /// Simulated binding stack (`QUO_bind_push`/`pop`).
+    bind_stack: Mutex<Vec<String>>,
+    /// Sleep interval of the ibarrier+nanosleep emulation.
+    pub nanosleep: Duration,
+}
+
+impl Quo {
+    /// `QUO_create`: build a context over the calling process's node.
+    ///
+    /// With [`QuoBackend::Sessions`] this performs the MPI Sessions
+    /// initialization sequence internally — the paper integrated the
+    /// prototype into 2MESH *through* this call so the application itself
+    /// needed no direct modification (~20 SLOC in QUO).
+    pub fn create(ctx: &ProcCtx, backend: QuoBackend) -> mpi_sessions::Result<Quo> {
+        let local_peers = ctx.pmix().local_peers().map_err(mpi_sessions::MpiError::from)?;
+        let nqids = local_peers.len() as u32;
+        let qid = local_peers
+            .iter()
+            .position(|r| *r == ctx.rank())
+            .expect("caller must be among its node's peers") as u32;
+        let backend = match backend {
+            QuoBackend::Native => Backend::Native {
+                barrier: node_barrier(ctx.proc().nspace(), ctx.node().0, nqids as usize),
+            },
+            QuoBackend::Sessions => {
+                let session =
+                    Session::init(ctx, ThreadLevel::Funneled, ErrHandler::Return, &Info::null())?;
+                let group = session.group_from_pset(mpi_sessions::session::PSET_SHARED)?;
+                let node_comm = Comm::create_from_group(&group, "quo-node")?;
+                Backend::Sessions { session, node_comm }
+            }
+        };
+        Ok(Quo {
+            backend,
+            qid,
+            nqids,
+            bind_stack: Mutex::new(Vec::new()),
+            nanosleep: Duration::from_micros(50),
+        })
+    }
+
+    /// `QUO_id`: this process's index among its node's processes.
+    pub fn id(&self) -> u32 {
+        self.qid
+    }
+
+    /// `QUO_nqids`: how many processes share this node.
+    pub fn nqids(&self) -> u32 {
+        self.nqids
+    }
+
+    /// Which backend this context uses.
+    pub fn backend(&self) -> QuoBackend {
+        match self.backend {
+            Backend::Native { .. } => QuoBackend::Native,
+            Backend::Sessions { .. } => QuoBackend::Sessions,
+        }
+    }
+
+    /// `QUO_barrier`: node-scoped quiescence point.
+    pub fn barrier(&self) -> mpi_sessions::Result<()> {
+        match &self.backend {
+            Backend::Native { barrier } => {
+                barrier.wait();
+                Ok(())
+            }
+            Backend::Sessions { node_comm, .. } => {
+                // The paper's emulation: alternate MPI_Ibarrier progression
+                // with nanosleep until completion (low perturbation of the
+                // threads computing on this node).
+                let mut req = coll::ibarrier(node_comm)?;
+                while !req.test()? {
+                    std::thread::sleep(self.nanosleep);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `QUO_auto_distrib`: elect up to `workers_per_node` processes per
+    /// node as thread hosts for an MPI+X phase. Returns whether the caller
+    /// is a worker. Deterministic: the lowest node-ranks win.
+    pub fn auto_distrib(&self, workers_per_node: u32) -> bool {
+        self.qid < workers_per_node.min(self.nqids)
+    }
+
+    /// `QUO_bind_push`: push a binding policy (simulated affinity).
+    pub fn bind_push(&self, policy: &str) {
+        self.bind_stack.lock().push(policy.to_owned());
+    }
+
+    /// `QUO_bind_pop`.
+    pub fn bind_pop(&self) -> Option<String> {
+        self.bind_stack.lock().pop()
+    }
+
+    /// Current binding (top of the stack), if any.
+    pub fn current_binding(&self) -> Option<String> {
+        self.bind_stack.lock().last().cloned()
+    }
+
+    /// `QUO_free`: release the context (finalizes the internal session for
+    /// the Sessions backend).
+    pub fn free(self) -> mpi_sessions::Result<()> {
+        match self.backend {
+            Backend::Native { .. } => Ok(()),
+            Backend::Sessions { session, node_comm } => {
+                node_comm.free()?;
+                session.finalize()
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Quo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Quo")
+            .field("backend", &self.backend())
+            .field("qid", &self.qid)
+            .field("nqids", &self.nqids)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prrte::{JobSpec, Launcher};
+    use simnet::SimTestbed;
+
+    fn run<T: Send + 'static>(
+        nodes: u32,
+        slots: u32,
+        np: u32,
+        f: impl Fn(ProcCtx) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        Launcher::new(SimTestbed::tiny(nodes, slots))
+            .spawn(JobSpec::new(np), f)
+            .join()
+            .unwrap()
+    }
+
+    #[test]
+    fn native_barrier_synchronizes_node() {
+        run(2, 2, 4, |ctx| {
+            let quo = Quo::create(&ctx, QuoBackend::Native).unwrap();
+            assert_eq!(quo.nqids(), 2);
+            for _ in 0..5 {
+                quo.barrier().unwrap();
+            }
+            quo.free().unwrap();
+        });
+    }
+
+    #[test]
+    fn sessions_barrier_synchronizes_node() {
+        run(2, 2, 4, |ctx| {
+            let quo = Quo::create(&ctx, QuoBackend::Sessions).unwrap();
+            assert_eq!(quo.backend(), QuoBackend::Sessions);
+            for _ in 0..3 {
+                quo.barrier().unwrap();
+            }
+            quo.free().unwrap();
+        });
+    }
+
+    #[test]
+    fn qids_are_node_local_and_dense() {
+        let out = run(2, 2, 4, |ctx| {
+            let quo = Quo::create(&ctx, QuoBackend::Native).unwrap();
+            let r = (ctx.rank(), quo.id(), quo.nqids());
+            quo.free().unwrap();
+            r
+        });
+        // map-by-slot: ranks 0,1 on node 0; ranks 2,3 on node 1.
+        assert_eq!(out[0], (0, 0, 2));
+        assert_eq!(out[1], (1, 1, 2));
+        assert_eq!(out[2], (2, 0, 2));
+        assert_eq!(out[3], (3, 1, 2));
+    }
+
+    #[test]
+    fn auto_distrib_elects_lowest_qids() {
+        let out = run(1, 4, 4, |ctx| {
+            let quo = Quo::create(&ctx, QuoBackend::Native).unwrap();
+            let w = quo.auto_distrib(2);
+            quo.barrier().unwrap();
+            quo.free().unwrap();
+            w
+        });
+        assert_eq!(out, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn bind_stack_push_pop() {
+        run(1, 1, 1, |ctx| {
+            let quo = Quo::create(&ctx, QuoBackend::Native).unwrap();
+            assert!(quo.current_binding().is_none());
+            quo.bind_push("OBJ_SOCKET");
+            quo.bind_push("OBJ_CORE");
+            assert_eq!(quo.current_binding().as_deref(), Some("OBJ_CORE"));
+            assert_eq!(quo.bind_pop().as_deref(), Some("OBJ_CORE"));
+            assert_eq!(quo.current_binding().as_deref(), Some("OBJ_SOCKET"));
+            quo.free().unwrap();
+        });
+    }
+
+    #[test]
+    fn sessions_backend_coexists_with_wpm_app() {
+        // The 2MESH pattern: the app initializes MPI via MPI_Init_thread,
+        // then L1 calls QUO_create which opens a session internally.
+        run(1, 2, 2, |ctx| {
+            let world =
+                mpi_sessions::world::init_thread(&ctx, ThreadLevel::Funneled).unwrap();
+            let quo = Quo::create(&ctx, QuoBackend::Sessions).unwrap();
+            coll::barrier(world.comm()).unwrap();
+            quo.barrier().unwrap();
+            coll::barrier(world.comm()).unwrap();
+            quo.free().unwrap();
+            world.finalize().unwrap();
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Failure events and watchers.
+//!
+//! The paper's Section II-C motivates MPI Sessions as fault-isolation
+//! domains: PMIx group construction must be able to report process failures,
+//! and sessions must be re-initializable after a failure. The fabric is the
+//! root source of truth for "process X died"; this module carries that fact
+//! to subscribers (PMIx servers, tests).
+
+use crate::endpoint::EndpointId;
+use crate::topology::NodeId;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::Duration;
+
+/// A process (endpoint) death notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// The endpoint that died.
+    pub endpoint: EndpointId,
+    /// The node it lived on.
+    pub node: NodeId,
+}
+
+/// A subscription to fabric failure events.
+pub struct FailureWatcher {
+    rx: Receiver<FailureEvent>,
+}
+
+impl FailureWatcher {
+    pub(crate) fn new(rx: Receiver<FailureEvent>) -> Self {
+        Self { rx }
+    }
+
+    /// Block until the next failure event (or the fabric shuts down).
+    pub fn recv(&mut self) -> Option<FailureEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Wait up to `timeout` for a failure event.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<FailureEvent> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Poll for a failure event without blocking.
+    pub fn try_recv(&mut self) -> Option<FailureEvent> {
+        match self.rx.try_recv() {
+            Ok(ev) => Some(ev),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::fabric::Fabric;
+    use crate::topology::NodeId;
+    use std::time::Duration;
+
+    #[test]
+    fn watcher_sees_multiple_failures_in_order() {
+        let fabric = Fabric::new(CostModel::zero());
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        let mut w = fabric.watch_failures();
+        fabric.kill(a.id());
+        fabric.kill(b.id());
+        assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, a.id());
+        assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, b.id());
+        assert!(w.try_recv().is_none());
+    }
+
+    #[test]
+    fn late_watcher_misses_earlier_failures() {
+        let fabric = Fabric::new(CostModel::zero());
+        let a = fabric.register(NodeId(0));
+        fabric.kill(a.id());
+        let mut w = fabric.watch_failures();
+        assert!(w.try_recv().is_none());
+        // But the kill is still queryable through the fabric.
+        assert!(fabric.was_killed(a.id()));
+    }
+}

@@ -1,0 +1,58 @@
+//! The message envelope carried by the fabric.
+
+use crate::endpoint::EndpointId;
+use bytes::Bytes;
+
+/// A message as delivered to a destination endpoint's mailbox.
+///
+/// The fabric is payload-agnostic: higher layers serialize their own wire
+/// headers into `payload`. `Bytes` is used so that large payloads are
+/// reference-counted rather than copied on every hop.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Opaque payload owned by the protocol layered above the fabric.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Construct an envelope.
+    pub fn new(src: EndpointId, dst: EndpointId, payload: Bytes) -> Self {
+        Self { src, dst, payload }
+    }
+
+    /// Total payload length in bytes (what the cost model charges for).
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_reports_len() {
+        let e = Envelope::new(EndpointId(1), EndpointId(2), Bytes::from_static(b"abcd"));
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert!(Envelope::new(EndpointId(1), EndpointId(2), Bytes::new()).is_empty());
+    }
+
+    #[test]
+    fn envelope_clone_shares_payload() {
+        let payload = Bytes::from(vec![0u8; 1024]);
+        let e = Envelope::new(EndpointId(1), EndpointId(2), payload.clone());
+        let f = e.clone();
+        // Bytes clones share the same backing storage.
+        assert_eq!(f.payload.as_ptr(), payload.as_ptr());
+    }
+}

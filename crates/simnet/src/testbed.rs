@@ -1,0 +1,121 @@
+//! Calibrated testbed presets.
+//!
+//! Table I of the paper describes the two evaluation systems. We cannot
+//! reproduce Cray hardware; instead each preset pairs a [`ClusterSpec`] with
+//! a [`CostModel`] whose latency/bandwidth ratios follow the same ordering
+//! (on-node ≪ off-node; Aries-class bandwidth) scaled up so that injected
+//! `thread::sleep` delays dominate single-core scheduler noise.
+
+use crate::cost::CostModel;
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A named simulated testbed: topology plus cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimTestbed {
+    /// Human-readable name, referenced by EXPERIMENTS.md.
+    pub name: String,
+    /// Node/slot layout.
+    pub cluster: ClusterSpec,
+    /// Communication cost model.
+    pub cost: CostModel,
+}
+
+impl SimTestbed {
+    /// Analog of Trinity (Cray XC40, 32-core nodes, Aries).
+    ///
+    /// `nodes` controls the allocation size; the paper used up to 32 nodes
+    /// for the 2MESH runs (1,024 processes at 32 per node).
+    pub fn trinity(nodes: u32) -> Self {
+        Self {
+            name: format!("trinity-{nodes}n"),
+            cluster: ClusterSpec::new(nodes, 32),
+            cost: CostModel {
+                intra_node_latency: Duration::ZERO,
+                inter_node_latency: Duration::from_micros(150),
+                intra_node_bandwidth: None,
+                inter_node_bandwidth: Some(8 * 1024 * 1024 * 1024),
+                send_overhead: Duration::ZERO,
+                rpc_processing: Duration::from_micros(100),
+                spawn_cost: Duration::ZERO,
+            },
+        }
+    }
+
+    /// Analog of Jupiter (Cray XC30, 28-core nodes, Aries). The paper ran
+    /// its microbenchmarks here at 28 processes per node.
+    pub fn jupiter(nodes: u32) -> Self {
+        Self {
+            name: format!("jupiter-{nodes}n"),
+            cluster: ClusterSpec::new(nodes, 28),
+            cost: CostModel {
+                intra_node_latency: Duration::ZERO,
+                inter_node_latency: Duration::from_micros(150),
+                intra_node_bandwidth: None,
+                inter_node_bandwidth: Some(8 * 1024 * 1024 * 1024),
+                send_overhead: Duration::ZERO,
+                rpc_processing: Duration::from_micros(100),
+                spawn_cost: Duration::ZERO,
+            },
+        }
+    }
+
+    /// A tiny testbed with zero injected cost for unit/integration tests:
+    /// fast and deterministic.
+    pub fn tiny(nodes: u32, slots_per_node: u32) -> Self {
+        Self {
+            name: format!("tiny-{nodes}x{slots_per_node}"),
+            cluster: ClusterSpec::new(nodes, slots_per_node),
+            cost: CostModel::zero(),
+        }
+    }
+
+    /// Variant of an existing testbed with an NFS-slow spawn cost, mirroring
+    /// the paper's note that startup time was dominated by loading binaries
+    /// from a slow NFS mount.
+    pub fn with_spawn_cost(mut self, cost: Duration) -> Self {
+        self.cost.spawn_cost = cost;
+        self.name.push_str("-nfs");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinity_has_32_slots_per_node() {
+        let t = SimTestbed::trinity(4);
+        assert_eq!(t.cluster.slots_per_node, 32);
+        assert_eq!(t.cluster.total_slots(), 128);
+    }
+
+    #[test]
+    fn jupiter_has_28_slots_per_node() {
+        let j = SimTestbed::jupiter(2);
+        assert_eq!(j.cluster.slots_per_node, 28);
+    }
+
+    #[test]
+    fn tiny_model_is_free() {
+        let t = SimTestbed::tiny(2, 2);
+        assert_eq!(t.cost, CostModel::zero());
+    }
+
+    #[test]
+    fn spawn_cost_variant_renames() {
+        let t = SimTestbed::trinity(1).with_spawn_cost(Duration::from_millis(5));
+        assert!(t.name.ends_with("-nfs"));
+        assert_eq!(t.cost.spawn_cost, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn testbed_serializes_roundtrip() {
+        let t = SimTestbed::jupiter(8);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SimTestbed = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,101 @@
+//! Cluster topology description: nodes and slots.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a simulated compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nid{:05}", self.0)
+    }
+}
+
+/// Static description of a simulated cluster: how many nodes and how many
+/// process slots (cores) each node offers.
+///
+/// This is the analog of the allocation a batch scheduler would hand to
+/// PRRTE on the paper's Cray systems (Table I: 32-core Trinity nodes,
+/// 28-core Jupiter nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes in the allocation.
+    pub nodes: u32,
+    /// Process slots (cores) per node.
+    pub slots_per_node: u32,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` nodes with `slots_per_node` slots each.
+    pub fn new(nodes: u32, slots_per_node: u32) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        assert!(slots_per_node > 0, "nodes must have at least one slot");
+        Self { nodes, slots_per_node }
+    }
+
+    /// Total process slots in the allocation.
+    pub fn total_slots(&self) -> u32 {
+        self.nodes * self.slots_per_node
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+
+    /// Map a linear slot index to its node, filling nodes in order
+    /// ("by slot" mapping, PRRTE's default for `prun`).
+    pub fn node_of_slot(&self, slot: u32) -> NodeId {
+        assert!(slot < self.total_slots(), "slot {slot} out of range");
+        NodeId(slot / self.slots_per_node)
+    }
+
+    /// Map a linear slot index to its node in round-robin ("by node")
+    /// placement.
+    pub fn node_of_slot_by_node(&self, slot: u32) -> NodeId {
+        assert!(slot < self.total_slots(), "slot {slot} out of range");
+        NodeId(slot % self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_mapping_by_slot_fills_nodes_in_order() {
+        let spec = ClusterSpec::new(3, 4);
+        assert_eq!(spec.total_slots(), 12);
+        assert_eq!(spec.node_of_slot(0), NodeId(0));
+        assert_eq!(spec.node_of_slot(3), NodeId(0));
+        assert_eq!(spec.node_of_slot(4), NodeId(1));
+        assert_eq!(spec.node_of_slot(11), NodeId(2));
+    }
+
+    #[test]
+    fn slot_mapping_by_node_round_robins() {
+        let spec = ClusterSpec::new(3, 4);
+        assert_eq!(spec.node_of_slot_by_node(0), NodeId(0));
+        assert_eq!(spec.node_of_slot_by_node(1), NodeId(1));
+        assert_eq!(spec.node_of_slot_by_node(2), NodeId(2));
+        assert_eq!(spec.node_of_slot_by_node(3), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_out_of_range_panics() {
+        ClusterSpec::new(2, 2).node_of_slot(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ClusterSpec::new(0, 4);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "nid00007");
+    }
+}

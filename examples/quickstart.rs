@@ -1,0 +1,63 @@
+//! Quickstart: the Sessions sequence of the paper's Figure 1, end to end.
+//!
+//! 1. boot a simulated 2-node cluster ("prte"),
+//! 2. launch a 4-process job ("prun"),
+//! 3. in each process: `Session::init` → query psets →
+//!    `group_from_pset("mpi://world")` → `Comm::create_from_group` →
+//!    communicate → tear everything down.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mpi_sessions_repro::mpi::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use mpi_sessions_repro::prrte::{JobSpec, Launcher};
+use mpi_sessions_repro::simnet::SimTestbed;
+
+fn main() {
+    // "prte": boot the DVM over a simulated 2-node cluster, 2 slots each.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+
+    // "prun -np 4 ./app": every closure invocation is one MPI process.
+    let results = launcher
+        .spawn(JobSpec::new(4), |ctx| {
+            // --- the Figure 1 sequence ---------------------------------
+            let session =
+                Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                    .expect("MPI_Session_init is local and cannot fail here");
+
+            // Ask the runtime which process sets exist.
+            let psets = session.pset_names().expect("query psets");
+            if ctx.rank() == 0 {
+                println!("runtime offers process sets: {psets:?}");
+            }
+
+            // A pset name becomes a group; a group becomes a communicator.
+            let group = session.group_from_pset("mpi://world").expect("world pset");
+            let comm = Comm::create_from_group(&group, "quickstart").expect("comm");
+
+            // Use it: a ring hop and an allreduce.
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let (from_left, _) = comm
+                .sendrecv(right, 0, format!("hi from {}", comm.rank()).as_bytes(), left as i32, 0)
+                .expect("ring sendrecv");
+            let sum = coll::allreduce_t(&comm, ReduceOp::Sum, &[comm.rank() as u64])
+                .expect("allreduce")[0];
+
+            // Clean teardown; the session could be re-initialized later.
+            comm.free().expect("comm free");
+            session.finalize().expect("session finalize");
+            (comm_str(&from_left), sum)
+        })
+        .join()
+        .expect("all ranks succeed");
+
+    for (rank, (msg, sum)) in results.iter().enumerate() {
+        println!("rank {rank}: left neighbor said {msg:?}; sum of ranks = {sum}");
+    }
+    assert!(results.iter().all(|(_, s)| *s == 6));
+    println!("quickstart OK");
+}
+
+fn comm_str(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}

@@ -1,0 +1,28 @@
+//! # mpi-sessions-repro
+//!
+//! Umbrella crate for the reproduction of *MPI Sessions: Evaluation of an
+//! Implementation in Open MPI* (IEEE CLUSTER 2019): re-exports the full
+//! simulated middleware stack so examples and downstream users can depend
+//! on one crate.
+//!
+//! Layer map (bottom-up):
+//!
+//! * [`simnet`] — simulated cluster fabric (nodes, endpoints, cost model);
+//! * [`pmix`] — PMIx analog (KV exchange, fences, groups + PGCIDs, events);
+//! * [`prrte`] — runtime analog (DVM, launcher, process mapping);
+//! * [`mpi`] — the MPI library with the Sessions extensions (the paper's
+//!   contribution);
+//! * [`quo`] — QUO analog for coupled MPI+threads applications;
+//! * [`apps`] — the paper's evaluation workloads.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
+//! the system inventory and the per-figure reproduction status.
+
+pub use apps;
+pub use pmix;
+pub use prrte;
+pub use quo;
+pub use simnet;
+
+/// The MPI library (re-exported under its natural name).
+pub use mpi_sessions as mpi;

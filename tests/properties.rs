@@ -1,0 +1,152 @@
+//! Property-based tests over the full stack: randomized communication
+//! patterns and group algebra must preserve the library's invariants.
+
+use mpi_sessions_repro::mpi::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use mpi_sessions_repro::prrte::{JobSpec, Launcher};
+use mpi_sessions_repro::simnet::SimTestbed;
+use proptest::prelude::*;
+
+fn run_job<T, F>(np: u32, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(prrte::ProcCtx) -> T + Send + Sync + 'static,
+{
+    Launcher::new(SimTestbed::tiny(1, np))
+        .spawn(JobSpec::new(np), f)
+        .join()
+        .expect("job")
+}
+
+fn world_comm(ctx: &prrte::ProcCtx, tag: &str) -> (Session, Comm) {
+    let s = Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap();
+    let g = s.group_from_pset("mpi://world").unwrap();
+    let c = Comm::create_from_group(&g, tag).unwrap();
+    (s, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case launches a multi-threaded simulated job
+        .. ProptestConfig::default()
+    })]
+
+    /// Any batch of tagged messages 0→1, sent in any order and received in
+    /// any (tag-selective) order, is delivered intact: matching never
+    /// mixes up tags or payloads.
+    #[test]
+    fn prop_out_of_order_matching_is_sound(
+        perm in proptest::sample::subsequence((0u8..12).collect::<Vec<_>>(), 1..12)
+    ) {
+        let send_order = perm.clone();
+        let out = run_job(2, move |ctx| {
+            let (s, c) = world_comm(&ctx, "prop-match");
+            let result = if ctx.rank() == 0 {
+                for &t in &send_order {
+                    c.send_t(1, t as i32, &[t as u32 * 1000 + 7]).unwrap();
+                }
+                Vec::new()
+            } else {
+                // Receive in reverse-sorted tag order regardless of send order.
+                let mut tags = send_order.clone();
+                tags.sort_unstable();
+                tags.reverse();
+                let mut got = Vec::new();
+                for &t in &tags {
+                    let (v, st) = c.recv_t::<u32>(0, t as i32).unwrap();
+                    got.push((st.tag, v[0]));
+                }
+                got
+            };
+            c.free().unwrap();
+            s.finalize().unwrap();
+            result
+        });
+        for (tag, payload) in &out[1] {
+            prop_assert_eq!(*payload, *tag as u32 * 1000 + 7);
+        }
+        prop_assert_eq!(out[1].len(), perm.len());
+    }
+
+    /// Allreduce(sum) equals the local sum of contributions for any
+    /// process count and payload.
+    #[test]
+    fn prop_allreduce_matches_serial_sum(
+        np in 1u32..6,
+        values in proptest::collection::vec(0i64..1000, 1..8)
+    ) {
+        let len = values.len();
+        let vals = values.clone();
+        let out = run_job(np, move |ctx| {
+            let (s, c) = world_comm(&ctx, "prop-ar");
+            // Every rank contributes values scaled by (rank+1).
+            let mine: Vec<i64> =
+                vals.iter().map(|v| v * (ctx.rank() as i64 + 1)).collect();
+            let got = coll::allreduce_t(&c, ReduceOp::Sum, &mine).unwrap();
+            c.free().unwrap();
+            s.finalize().unwrap();
+            got
+        });
+        let scale: i64 = (1..=np as i64).sum();
+        for rank_out in &out {
+            prop_assert_eq!(rank_out.len(), len);
+            for (i, v) in rank_out.iter().enumerate() {
+                prop_assert_eq!(*v, values[i] * scale);
+            }
+        }
+    }
+
+    /// Splitting by any coloring yields communicators that partition the
+    /// parent: sizes sum to the parent size and each subgroup agrees on
+    /// its own reduction.
+    #[test]
+    fn prop_split_partitions_parent(colors in proptest::collection::vec(0u32..3, 4)) {
+        let cols = colors.clone();
+        let out = run_job(4, move |ctx| {
+            let (s, c) = world_comm(&ctx, "prop-split");
+            let my_color = cols[ctx.rank() as usize];
+            let sub = c.split(my_color, ctx.rank()).unwrap();
+            let members = coll::allreduce_t(&sub, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            let size = sub.size();
+            sub.free().unwrap();
+            c.free().unwrap();
+            s.finalize().unwrap();
+            (my_color, size, members)
+        });
+        let mut total = 0;
+        for (color, size, members) in &out {
+            prop_assert_eq!(*members, *size, "allreduce within split saw wrong membership");
+            let expected = colors.iter().filter(|c| *c == color).count() as u32;
+            prop_assert_eq!(*size, expected);
+            total += 1;
+        }
+        prop_assert_eq!(total, 4);
+    }
+
+    /// Sessions communicators created under any interleaving of table
+    /// "burn" noise still agree on the exCID across ranks.
+    #[test]
+    fn prop_excid_agreement_under_table_skew(burns in proptest::collection::vec(0usize..4, 3)) {
+        let skew = burns.clone();
+        let out = run_job(3, move |ctx| {
+            let (s, c0) = world_comm(&ctx, "prop-skew-base");
+            // Burn a rank-dependent number of local CIDs.
+            let selfg = s.group_from_pset("mpi://self").unwrap();
+            let mut burners = Vec::new();
+            for i in 0..skew[ctx.rank() as usize] {
+                burners.push(Comm::create_from_group(&selfg, &format!("b{i}")).unwrap());
+            }
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let c = Comm::create_from_group(&g, "prop-skew").unwrap();
+            let excid = c.excid().unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            c.free().unwrap();
+            for b in burners { b.free().unwrap(); }
+            c0.free().unwrap();
+            s.finalize().unwrap();
+            (excid, sum)
+        });
+        prop_assert_eq!(out[0].1, 3);
+        prop_assert_eq!(out[0].0, out[1].0);
+        prop_assert_eq!(out[1].0, out[2].0);
+    }
+}

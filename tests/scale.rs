@@ -1,0 +1,124 @@
+//! Paper-scale smoke tests: full 28-processes-per-node jobs (the Jupiter
+//! configuration of Figs. 3b/4/6) must work end to end, and the sparse
+//! group representation must pay off at scale.
+
+use mpi_sessions_repro::mpi::group::{MpiGroup, ProcRef, RangeStride};
+use mpi_sessions_repro::mpi::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use mpi_sessions_repro::prrte::{JobSpec, Launcher};
+use mpi_sessions_repro::simnet::SimTestbed;
+use std::sync::Arc;
+
+#[test]
+fn full_jupiter_node_28_ranks() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 28));
+    let out = launcher
+        .spawn(JobSpec::new(28), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let c = Comm::create_from_group(&g, "scale28").unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[ctx.rank() as u64]).unwrap()[0];
+            coll::barrier(&c).unwrap();
+            c.free().unwrap();
+            s.finalize().unwrap();
+            sum
+        })
+        .join()
+        .unwrap();
+    assert_eq!(out, vec![27 * 28 / 2; 28]);
+}
+
+#[test]
+fn two_jupiter_nodes_56_ranks_with_split() {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 28));
+    let out = launcher
+        .spawn(JobSpec::new(56), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let c = Comm::create_from_group(&g, "scale56").unwrap();
+            // One communicator per node via split on the shared pset size.
+            let node_color = ctx.node().0;
+            let node_comm = c.split(node_color, ctx.rank()).unwrap();
+            assert_eq!(node_comm.size(), 28);
+            let local_sum =
+                coll::allreduce_t(&node_comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            node_comm.free().unwrap();
+            c.free().unwrap();
+            s.finalize().unwrap();
+            local_sum
+        })
+        .join()
+        .unwrap();
+    assert_eq!(out, vec![28; 56]);
+}
+
+#[test]
+fn sparse_group_representation_saves_memory_at_scale() {
+    // A 10,000-member base with a strided subset: the range representation
+    // must cost O(ranges), not O(members), and behave identically.
+    let base: Arc<[ProcRef]> = (0..10_000u32)
+        .map(|i| ProcRef {
+            proc: mpi_sessions_repro::pmix::ProcId::new("big", i),
+            endpoint: mpi_sessions_repro::simnet::EndpointId(1_000_000 + i as u64),
+        })
+        .collect::<Vec<_>>()
+        .into();
+    let sparse = MpiGroup::from_ranges(
+        base.clone(),
+        vec![RangeStride { first: 0, last: 9_999, stride: 7 }],
+    )
+    .unwrap();
+    let dense = sparse.to_dense();
+    assert_eq!(sparse.size(), dense.size());
+    assert_eq!(sparse.size(), 1429);
+    assert!(sparse.storage_cost() <= 2, "ranges must stay compressed");
+    assert!(dense.storage_cost() >= 1429);
+    // Same membership, same order.
+    for i in [0usize, 1, 714, 1428] {
+        assert_eq!(sparse.member(i).unwrap().proc, dense.member(i).unwrap().proc);
+    }
+    assert_eq!(
+        sparse.rank_of(&mpi_sessions_repro::pmix::ProcId::new("big", 7)),
+        Some(1)
+    );
+}
+
+#[test]
+fn deep_derivation_chains_at_scale() {
+    // 255 sibling dups from one parent — one PGCID total (the amortization
+    // the paper's §IV-C2 calls out), then the 256th requires a fresh one.
+    let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+    launcher
+        .spawn(JobSpec::new(2), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let parent = Comm::create_from_group(&g, "deep").unwrap();
+            let parent_pgcid = parent.excid().unwrap().pgcid;
+            let mut children = Vec::with_capacity(256);
+            for i in 0..255 {
+                let c = parent.dup().unwrap();
+                assert_eq!(
+                    c.excid().unwrap().pgcid,
+                    parent_pgcid,
+                    "sibling {i} must reuse the parent PGCID"
+                );
+                children.push(c);
+            }
+            let the_256th = parent.dup().unwrap();
+            assert_ne!(the_256th.excid().unwrap().pgcid, parent_pgcid);
+            // All 256 children are usable; check a couple.
+            coll::barrier(&children[0]).unwrap();
+            coll::barrier(children.last().unwrap()).unwrap();
+            coll::barrier(&the_256th).unwrap();
+            the_256th.free().unwrap();
+            for c in children {
+                c.free().unwrap();
+            }
+            parent.free().unwrap();
+            s.finalize().unwrap();
+        })
+        .join()
+        .unwrap();
+}

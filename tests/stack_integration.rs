@@ -1,0 +1,226 @@
+//! Cross-crate integration: the full stack (simnet → pmix → prrte → mpi →
+//! quo → apps) exercised through realistic end-to-end scenarios.
+
+use mpi_sessions_repro::mpi::{
+    coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel,
+};
+use mpi_sessions_repro::prrte::{JobSpec, Launcher, MapBy};
+use mpi_sessions_repro::quo::{Quo, QuoBackend};
+use mpi_sessions_repro::simnet::SimTestbed;
+use std::time::Duration;
+
+#[test]
+fn whole_stack_figure1_on_jupiter_cost_model() {
+    // Same as the quickstart but over the *costed* Jupiter model: injected
+    // inter-node latency and the head-node RM must not change semantics.
+    let mut tb = SimTestbed::jupiter(2);
+    tb.cluster.slots_per_node = 2;
+    let launcher = Launcher::new(tb);
+    let out = launcher
+        .spawn(JobSpec::new(4), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let c = Comm::create_from_group(&g, "jup").unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            c.free().unwrap();
+            s.finalize().unwrap();
+            sum
+        })
+        .join()
+        .unwrap();
+    assert_eq!(out, vec![4; 4]);
+}
+
+#[test]
+fn map_by_node_changes_shared_pset_shape() {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let out = launcher
+        .spawn(JobSpec::new(4).map_by(MapBy::Node), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let shared = s.group_from_pset("mpi://shared").unwrap();
+            let ranks: Vec<u32> =
+                shared.iter().map(|m| m.proc.rank()).collect();
+            s.finalize().unwrap();
+            ranks
+        })
+        .join()
+        .unwrap();
+    // Round-robin: node 0 holds ranks {0,2}, node 1 holds {1,3}.
+    assert_eq!(out[0], vec![0, 2]);
+    assert_eq!(out[1], vec![1, 3]);
+}
+
+#[test]
+fn sessions_and_wpm_interleave_across_many_cycles() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+    launcher
+        .spawn(JobSpec::new(2), |ctx| {
+            // WPM once (per MPI-3), sessions many times, interleaved use.
+            let world = mpi_sessions_repro::mpi::world::init(&ctx).unwrap();
+            for i in 0..4 {
+                let s =
+                    Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                        .unwrap();
+                let g = s.group_from_pset("mpi://world").unwrap();
+                let c = Comm::create_from_group(&g, &format!("inter{i}")).unwrap();
+                let a = coll::allreduce_t(world.comm(), ReduceOp::Sum, &[1u32]).unwrap()[0];
+                let b = coll::allreduce_t(&c, ReduceOp::Sum, &[10u32]).unwrap()[0];
+                assert_eq!((a, b), (2, 20));
+                c.free().unwrap();
+                s.finalize().unwrap();
+            }
+            world.finalize().unwrap();
+        })
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn two_jobs_share_one_dvm_without_interference() {
+    // Two independent MPI jobs on one universe (the DVM model): separate
+    // namespaces, separate world psets, concurrent communication.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 4));
+    let job = |tag: &'static str| {
+        move |ctx: prrte::ProcCtx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            assert_eq!(g.size(), 3);
+            let c = Comm::create_from_group(&g, tag).unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[ctx.rank() as u64]).unwrap()[0];
+            c.free().unwrap();
+            s.finalize().unwrap();
+            sum
+        }
+    };
+    let h1 = launcher.spawn(JobSpec::new(3), job("j1"));
+    let h2 = launcher.spawn(JobSpec::new(3), job("j2"));
+    assert_eq!(h1.join().unwrap(), vec![3; 3]);
+    assert_eq!(h2.join().unwrap(), vec![3; 3]);
+}
+
+#[test]
+fn quo_sessions_full_stack_with_costed_fabric() {
+    let mut tb = SimTestbed::trinity(2);
+    tb.cluster.slots_per_node = 2;
+    let launcher = Launcher::new(tb);
+    launcher
+        .spawn(JobSpec::new(4), |ctx| {
+            let world = mpi_sessions_repro::mpi::world::init_thread(
+                &ctx,
+                ThreadLevel::Funneled,
+            )
+            .unwrap();
+            let quo = Quo::create(&ctx, QuoBackend::Sessions).unwrap();
+            for _ in 0..3 {
+                quo.barrier().unwrap();
+                coll::barrier(world.comm()).unwrap();
+            }
+            quo.free().unwrap();
+            world.finalize().unwrap();
+        })
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn windows_and_files_compose_with_sessions() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 3));
+    launcher
+        .spawn(JobSpec::new(3), |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+
+            // RMA: everyone publishes its rank, neighbors read it.
+            let win =
+                mpi_sessions_repro::mpi::win::Win::allocate_from_group(&g, "itw", 8).unwrap();
+            win.write_local(0, &[ctx.rank() as u8]).unwrap();
+            win.fence().unwrap();
+            let next = (ctx.rank() + 1) % 3;
+            let h = win.get(next, 0, 1).unwrap();
+            win.fence().unwrap();
+            assert_eq!(h.result().unwrap(), vec![next as u8]);
+            win.free().unwrap();
+
+            // File: strided collective write, verify on rank 0.
+            let f = mpi_sessions_repro::mpi::file::MpiFile::open_from_group(
+                &g,
+                "itf",
+                "integration-shared-file",
+                mpi_sessions_repro::mpi::file::FileMode::ReadWrite,
+            )
+            .unwrap();
+            f.write_at_all(ctx.rank() as usize * 2, &[ctx.rank() as u8; 2]).unwrap();
+            let data = f.read_at_all(0, 6).unwrap();
+            assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+            f.close().unwrap();
+            s.finalize().unwrap();
+            if ctx.rank() == 0 {
+                mpi_sessions_repro::mpi::file::delete("integration-shared-file");
+            }
+        })
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn pmix_async_group_flows_into_mpi_comm() {
+    // Extension path: an asynchronously constructed (invite/join) PMIx
+    // group's membership drives an MPI communicator via a later collective
+    // construct over exactly those members.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let out = launcher
+        .spawn(JobSpec::new(4), |ctx| {
+            use mpi_sessions_repro::pmix::{EventCode, GroupDirectives, ProcId};
+            let nspace = ctx.proc().nspace().to_owned();
+            let is_initiator = ctx.rank() == 0;
+            let events = ctx.pmix().register_events(Some(vec![EventCode::GroupInvited]));
+            // Invitations are only delivered to *registered* listeners:
+            // fence so every rank has subscribed before the invite goes out.
+            let all: Vec<ProcId> =
+                (0..ctx.size()).map(|r| ProcId::new(nspace.as_str(), r)).collect();
+            ctx.pmix().fence(&all, false).unwrap();
+            let joined_members: Vec<ProcId> = if is_initiator {
+                let invited: Vec<ProcId> =
+                    (1..3).map(|r| ProcId::new(nspace.as_str(), r)).collect();
+                ctx.pmix()
+                    .group_invite("async-mpi", &invited, &GroupDirectives::for_mpi())
+                    .unwrap();
+                let g = ctx
+                    .pmix()
+                    .group_invite_wait("async-mpi", Duration::from_secs(20))
+                    .unwrap();
+                g.members().to_vec()
+            } else if ctx.rank() < 3 {
+                let ev = events.next_timeout(Duration::from_secs(20)).expect("invited");
+                let inviter = ev.source.clone().unwrap();
+                ctx.pmix().group_join("async-mpi", &inviter, true).unwrap();
+                // Learn the final membership out of band (deterministic here).
+                (0..3).map(|r| ProcId::new(nspace.as_str(), r)).collect()
+            } else {
+                Vec::new() // rank 3 is not part of the dynamic group
+            };
+
+            if joined_members.is_empty() {
+                return 0u64;
+            }
+            // Build an MPI communicator over the dynamic membership.
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let world = s.group_from_pset("mpi://world").unwrap();
+            let ranks: Vec<usize> =
+                joined_members.iter().map(|m| m.rank() as usize).collect();
+            let sub = world.incl(&ranks).unwrap();
+            let c = Comm::create_from_group(&sub, "from-async").unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[1u64]).unwrap()[0];
+            c.free().unwrap();
+            s.finalize().unwrap();
+            sum
+        })
+        .join()
+        .unwrap();
+    assert_eq!(out, vec![3, 3, 3, 0]);
+}
