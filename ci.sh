@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: release build, full test suite, lint-clean clippy.
+# Everything runs with --offline against the vendored dependency shims in
+# vendor/ (this container has no network; see CHANGES.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy -D warnings =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

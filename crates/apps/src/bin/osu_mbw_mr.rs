@@ -19,7 +19,7 @@ fn main() {
         Some(m) => vec![InitMode::parse(m).expect("mode is wpm|sessions")],
         None => vec![InitMode::Wpm, InitMode::Sessions],
     };
-    assert!(procs >= 2 && procs % 2 == 0, "--procs must be even");
+    assert!(procs >= 2 && procs.is_multiple_of(2), "--procs must be even");
 
     println!("# OSU MPI Multiple Bandwidth / Message Rate Test");
     println!("# procs={procs} pairs={} window={window} presync={presync}", procs / 2);

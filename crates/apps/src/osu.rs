@@ -38,6 +38,19 @@ pub struct InitResult {
 /// Every call boots a fresh DVM + job, mirroring one `prun ./osu_init`
 /// invocation.
 pub fn osu_init(testbed: SimTestbed, np: u32, mode: InitMode) -> InitResult {
+    osu_init_with_metrics(testbed, np, mode).0
+}
+
+/// [`osu_init`] plus the run's full observability export (the fabric-wide
+/// obs registry as JSON: per-process `session`/`instance` timing
+/// histograms, PMIx stage counters, PML handshake counters, fabric
+/// traffic). The registry dies with the run's fabric, so it must be
+/// exported here, before the launcher is dropped.
+pub fn osu_init_with_metrics(
+    testbed: SimTestbed,
+    np: u32,
+    mode: InitMode,
+) -> (InitResult, serde_json::Value) {
     let launcher = Launcher::new(testbed);
     let timings = launcher
         .spawn(JobSpec::new(np), move |ctx| match mode {
@@ -73,7 +86,8 @@ pub fn osu_init(testbed: SimTestbed, np: u32, mode: InitMode) -> InitResult {
         })
         .join()
         .expect("osu_init job");
-    summarize(np, &timings)
+    let metrics = launcher.universe().fabric().obs().export();
+    (summarize(np, &timings), metrics)
 }
 
 fn summarize(np: u32, timings: &[InitTiming]) -> InitResult {
@@ -196,7 +210,7 @@ pub fn osu_mbw_mr(
     presync: bool,
 ) -> Vec<MbwSample> {
     let n = comm.size();
-    assert!(n >= 2 && n % 2 == 0, "osu_mbw_mr needs an even process count");
+    assert!(n >= 2 && n.is_multiple_of(2), "osu_mbw_mr needs an even process count");
     let pairs = n / 2;
     let me = comm.rank();
     let sender = me < pairs;
@@ -317,6 +331,7 @@ pub fn run_latency_job(
 }
 
 /// Convenience: full mbw_mr run on a fresh on-node job of `np` processes.
+#[allow(clippy::too_many_arguments)]
 pub fn run_mbw_job(
     testbed: SimTestbed,
     mode: InitMode,
@@ -327,6 +342,23 @@ pub fn run_mbw_job(
     iters: usize,
     presync: bool,
 ) -> Vec<MbwSample> {
+    run_mbw_job_with_metrics(testbed, mode, np, sizes, window, warmup, iters, presync).0
+}
+
+/// [`run_mbw_job`] plus the run's observability export (PML
+/// eager/extended-header split, fabric on-node vs inter-node traffic —
+/// the counters behind the Fig. 5c switchover story).
+#[allow(clippy::too_many_arguments)]
+pub fn run_mbw_job_with_metrics(
+    testbed: SimTestbed,
+    mode: InitMode,
+    np: u32,
+    sizes: Vec<usize>,
+    window: usize,
+    warmup: usize,
+    iters: usize,
+    presync: bool,
+) -> (Vec<MbwSample>, serde_json::Value) {
     let launcher = Launcher::new(testbed);
     let mut results = launcher
         .spawn(JobSpec::new(np), move |ctx| {
@@ -340,7 +372,8 @@ pub fn run_mbw_job(
         })
         .join()
         .expect("mbw job");
-    results.swap_remove(0)
+    let metrics = launcher.universe().fabric().obs().export();
+    (results.swap_remove(0), metrics)
 }
 
 #[cfg(test)]

@@ -5,10 +5,14 @@
 //! the PGCID/group overhead on top of a plain fence is visible — this is
 //! the substrate cost behind Figs. 3 and 4.
 //!
-//! Usage: `abl_pmix_group [--nodes 1,2,4,8] [--ppn 4] [--iters 8]`
+//! Usage: `abl_pmix_group [--nodes 1,2,4,8] [--ppn 4] [--iters 8]
+//!                        [--metrics-out <path>]`
+//! (`--metrics-out` dumps per-topology observability exports: the
+//! fan-in/exchange/fan-out stage counters, PGCID allocations, per-server
+//! RPC processing-time histograms.)
 
 use apps::cli_opt;
-use bench_harness::{dump_json, parse_list};
+use bench_harness::{dump_json, parse_list, MetricsSink};
 use pmix::{GroupDirectives, ProcId};
 use prrte::{JobSpec, Launcher};
 use serde::Serialize;
@@ -35,6 +39,7 @@ fn main() {
         "{:>6} {:>6} {:>14} {:>16} {:>20}",
         "nodes", "np", "fence (us)", "construct (us)", "construct-noPGCID"
     );
+    let mut sink = MetricsSink::from_args(&args);
     let mut rows = Vec::new();
     for &nodes in &nodes_list {
         let mut tb = SimTestbed::jupiter(nodes);
@@ -77,6 +82,12 @@ fn main() {
             })
             .join()
             .expect("ablation job");
+        if sink.enabled() {
+            sink.record(
+                &format!("nodes{nodes}_ppn{ppn}"),
+                launcher.universe().fabric().obs().export(),
+            );
+        }
         let (f, c, n) = per_rank.into_iter().fold((0.0f64, 0.0f64, 0.0f64), |acc, v| {
             (acc.0.max(v.0), acc.1.max(v.1), acc.2.max(v.2))
         });
@@ -93,4 +104,5 @@ fn main() {
     println!("# the PGCID adds an RM round trip on top. Note construct includes a");
     println!("# paired destruct here, so compare trends rather than absolutes.");
     dump_json("abl_pmix_group", &rows);
+    sink.finish();
 }

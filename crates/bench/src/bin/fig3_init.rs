@@ -3,13 +3,15 @@
 //! and many processes/node (Fig. 3b), including the session-phase
 //! breakdown the paper quotes in §IV-C1.
 //!
-//! Usage: `fig3_init [--nodes 1,2,4,8] [--ppn-list 1,8] [--reps 3] [--paper]`
+//! Usage: `fig3_init [--nodes 1,2,4,8] [--ppn-list 1,8] [--reps 3] [--paper]
+//!                   [--metrics-out <path>]`
 //! (`--paper` uses the full 28 processes/node of the Jupiter runs; heavy
-//! on a small host.)
+//! on a small host. `--metrics-out` dumps each best run's observability
+//! export — including the session-handle vs resource-init timing split.)
 
-use apps::osu::{osu_init, InitResult};
+use apps::osu::{osu_init_with_metrics, InitResult};
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, parse_list};
+use bench_harness::{dump_json, parse_list, MetricsSink};
 use serde::Serialize;
 use simnet::SimTestbed;
 
@@ -25,10 +27,13 @@ struct Row {
     comm_create_frac: f64,
 }
 
-fn best_of(reps: usize, f: impl Fn() -> InitResult) -> InitResult {
+fn best_of(
+    reps: usize,
+    f: impl Fn() -> (InitResult, serde_json::Value),
+) -> (InitResult, serde_json::Value) {
     (0..reps.max(1))
         .map(|_| f())
-        .min_by(|a, b| a.max.total_s.total_cmp(&b.max.total_s))
+        .min_by(|a, b| a.0.max.total_s.total_cmp(&b.0.max.total_s))
         .expect("at least one rep")
 }
 
@@ -51,6 +56,7 @@ fn main() {
 
     println!("# Fig. 3: MPI initialization times (simulated Jupiter cost model)");
     println!("# per-subsystem component-load cost: {load_us} us (NFS analog, --load-cost-us)");
+    let mut sink = MetricsSink::from_args(&args);
     let mut rows = Vec::new();
     for &ppn in &ppn_list {
         println!("\n## {} process(es) per node (Fig. 3{})", ppn, if ppn == 1 { "a" } else { "b" });
@@ -65,8 +71,11 @@ fn main() {
                 tb
             };
             let np = nodes * ppn;
-            let wpm = best_of(reps, || osu_init(mk_tb(), np, InitMode::Wpm));
-            let sess = best_of(reps, || osu_init(mk_tb(), np, InitMode::Sessions));
+            let (wpm, wpm_metrics) = best_of(reps, || osu_init_with_metrics(mk_tb(), np, InitMode::Wpm));
+            let (sess, sess_metrics) =
+                best_of(reps, || osu_init_with_metrics(mk_tb(), np, InitMode::Sessions));
+            sink.record(&format!("ppn{ppn}_nodes{nodes}_wpm"), wpm_metrics);
+            sink.record(&format!("ppn{ppn}_nodes{nodes}_sessions"), sess_metrics);
             let ratio = sess.max.total_s / wpm.max.total_s;
             let si_frac = sess.max.session_init_s / sess.max.total_s * 100.0;
             let cc_frac = sess.max.comm_create_s / sess.max.total_s * 100.0;
@@ -98,4 +107,5 @@ fn main() {
          communicator construction (PMIx group + PGCID)."
     );
     dump_json("fig3_init", &rows);
+    sink.finish();
 }

@@ -8,10 +8,13 @@
 //!   argues amortizes PGCID acquisition ("more communicators could be
 //!   created before needing to request a new PGCID").
 //!
-//! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]`
+//! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]
+//!                       [--metrics-out <path>]`
+//! (`--metrics-out` dumps per-run observability exports: `cid.refills` vs
+//! `cid.derivations`, PMIx group stage counters, consensus rounds.)
 
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, parse_list};
+use bench_harness::{dump_json, parse_list, MetricsSink};
 use prrte::{JobSpec, Launcher};
 use serde::Serialize;
 use simnet::SimTestbed;
@@ -29,7 +32,13 @@ struct Row {
 
 /// Time `iters` dup operations on a fresh job; returns µs per dup
 /// (max across ranks).
-fn time_dups(tb: SimTestbed, np: u32, mode: InitMode, iters: usize, derive: bool) -> f64 {
+fn time_dups(
+    tb: SimTestbed,
+    np: u32,
+    mode: InitMode,
+    iters: usize,
+    derive: bool,
+) -> (f64, serde_json::Value) {
     let launcher = Launcher::new(tb);
     let per_rank = launcher
         .spawn(JobSpec::new(np), move |ctx| {
@@ -56,7 +65,8 @@ fn time_dups(tb: SimTestbed, np: u32, mode: InitMode, iters: usize, derive: bool
         })
         .join()
         .expect("fig4 job");
-    per_rank.into_iter().fold(0.0, f64::max)
+    let metrics = launcher.universe().fabric().obs().export();
+    (per_rank.into_iter().fold(0.0, f64::max), metrics)
 }
 
 fn main() {
@@ -73,6 +83,7 @@ fn main() {
         "{:>6} {:>6} {:>16} {:>18} {:>18} {:>8}",
         "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived", "ratio"
     );
+    let mut sink = MetricsSink::from_args(&args);
     let mut rows = Vec::new();
     for &nodes in &nodes_list {
         let mk_tb = || {
@@ -81,9 +92,12 @@ fn main() {
             tb
         };
         let np = nodes * ppn;
-        let wpm = time_dups(mk_tb(), np, InitMode::Wpm, iters, false);
-        let sess = time_dups(mk_tb(), np, InitMode::Sessions, iters, false);
-        let derived = time_dups(mk_tb(), np, InitMode::Sessions, iters, true);
+        let (wpm, wpm_m) = time_dups(mk_tb(), np, InitMode::Wpm, iters, false);
+        let (sess, sess_m) = time_dups(mk_tb(), np, InitMode::Sessions, iters, false);
+        let (derived, derived_m) = time_dups(mk_tb(), np, InitMode::Sessions, iters, true);
+        sink.record(&format!("nodes{nodes}_wpm_consensus"), wpm_m);
+        sink.record(&format!("nodes{nodes}_sessions_pgcid"), sess_m);
+        sink.record(&format!("nodes{nodes}_sessions_derived"), derived_m);
         let ratio = sess / wpm;
         println!(
             "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>8.2}",
@@ -104,4 +118,5 @@ fn main() {
          # (last column) removes the per-dup runtime round trip entirely."
     );
     dump_json("fig4_comm_dup", &rows);
+    sink.finish();
 }

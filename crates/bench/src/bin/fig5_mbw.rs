@@ -8,11 +8,14 @@
 //! `--presync`-style sendrecv equalizes the modes (paper §IV-C3).
 //!
 //! Usage: `fig5_mbw [--procs 2|16] [--max-size 65536] [--window 64]
-//!                  [--iters 20] [--presync] [--both]`
+//!                  [--iters 20] [--presync] [--both] [--metrics-out <path>]`
+//! (`--metrics-out` dumps per-run observability exports: the PML
+//! eager/extended-header split behind the switchover artifact, fabric
+//! on-node vs inter-node traffic.)
 
-use apps::osu::{run_mbw_job, size_sweep};
+use apps::osu::{run_mbw_job_with_metrics, size_sweep};
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, geomean};
+use bench_harness::{dump_json, geomean, MetricsSink};
 use serde::Serialize;
 use simnet::SimTestbed;
 
@@ -27,9 +30,16 @@ struct Row {
     rel_mr: f64,
 }
 
-fn run_config(procs: u32, presync: bool, sizes: &[usize], window: usize, iters: usize) -> Vec<Row> {
+fn run_config(
+    procs: u32,
+    presync: bool,
+    sizes: &[usize],
+    window: usize,
+    iters: usize,
+    sink: &mut MetricsSink,
+) -> Vec<Row> {
     let run = |mode| {
-        run_mbw_job(
+        run_mbw_job_with_metrics(
             SimTestbed::tiny(1, procs),
             mode,
             procs,
@@ -40,8 +50,10 @@ fn run_config(procs: u32, presync: bool, sizes: &[usize], window: usize, iters: 
             presync,
         )
     };
-    let wpm = run(InitMode::Wpm);
-    let sess = run(InitMode::Sessions);
+    let (wpm, wpm_m) = run(InitMode::Wpm);
+    let (sess, sess_m) = run(InitMode::Sessions);
+    sink.record(&format!("p{procs}_presync{presync}_wpm"), wpm_m);
+    sink.record(&format!("p{procs}_presync{presync}_sessions"), sess_m);
     sizes
         .iter()
         .enumerate()
@@ -87,6 +99,7 @@ fn main() {
         vec![(procs, cli_flag(&args, "--presync"))]
     };
 
+    let mut sink = MetricsSink::from_args(&args);
     let mut all = Vec::new();
     for (procs, presync) in configs {
         println!(
@@ -96,11 +109,12 @@ fn main() {
             procs / 2,
             if presync { ", pre-synchronized (sendrecv before loop)" } else { "" }
         );
-        let rows = run_config(procs, presync, &sizes, window, iters);
+        let rows = run_config(procs, presync, &sizes, window, iters, &mut sink);
         print_rows(&rows);
         all.extend(rows);
     }
     println!("\n# Paper shape: 2-proc ≈ 1.0 (the pre-loop barrier completes the handshake);");
     println!("# multi-pair w/o presync dips below 1.0 at small sizes; presync restores ≈1.0.");
     dump_json("fig5_mbw", &all);
+    sink.finish();
 }

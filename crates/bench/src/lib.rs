@@ -6,6 +6,7 @@
 //! can dump machine-readable JSON next to the human-readable table.
 
 use serde::Serialize;
+use serde_json::{Map, Value};
 use std::path::PathBuf;
 
 /// Standard location for JSON result dumps (`target/figures/`).
@@ -27,6 +28,56 @@ pub fn dump_json<T: Serialize>(figure: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("warn: could not serialize {figure}: {e}"),
+    }
+}
+
+/// Collects per-run obs registry exports (`--metrics-out <path>`).
+///
+/// Each figure binary records the observability export of its runs under
+/// a run label; `finish` writes one JSON object mapping labels to exports.
+/// Without `--metrics-out` on the command line the sink is disabled and
+/// `record`/`finish` are no-ops, so the instrumented path costs nothing.
+pub struct MetricsSink {
+    path: Option<PathBuf>,
+    runs: Map,
+}
+
+impl MetricsSink {
+    /// Build from argv: honors `--metrics-out <path>`.
+    pub fn from_args(args: &[String]) -> MetricsSink {
+        let path = args
+            .iter()
+            .position(|a| a == "--metrics-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        MetricsSink { path, runs: Map::new() }
+    }
+
+    /// Whether `--metrics-out` was given (skip export work otherwise).
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record one run's metrics export under `label`.
+    pub fn record(&mut self, label: &str, metrics: Value) {
+        if self.enabled() {
+            self.runs.insert(label.to_owned(), metrics);
+        }
+    }
+
+    /// Write the collected exports; prints the destination on success.
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        match serde_json::to_vec_pretty(&Value::Object(self.runs)) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(&path, bytes) {
+                    eprintln!("warn: could not write metrics to {}: {e}", path.display());
+                } else {
+                    eprintln!("(wrote metrics to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warn: could not serialize metrics: {e}"),
+        }
     }
 }
 
@@ -61,5 +112,29 @@ mod tests {
     #[test]
     fn parse_list_handles_spaces() {
         assert_eq!(parse_list("1, 2,4"), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn metrics_sink_is_noop_without_flag() {
+        let mut sink = MetricsSink::from_args(&["prog".to_string()]);
+        assert!(!sink.enabled());
+        sink.record("run", Value::U64(1));
+        sink.finish(); // writes nothing, panics on nothing
+    }
+
+    #[test]
+    fn metrics_sink_writes_labeled_runs() {
+        let path = std::env::temp_dir().join("bench_metrics_sink_test.json");
+        let args: Vec<String> = ["prog", "--metrics-out", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut sink = MetricsSink::from_args(&args);
+        assert!(sink.enabled());
+        sink.record("nodes2_sessions", Value::U64(7));
+        sink.finish();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.contains("nodes2_sessions"));
+        let _ = std::fs::remove_file(&path);
     }
 }

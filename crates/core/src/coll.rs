@@ -293,7 +293,7 @@ pub fn allgather_t<T: MpiScalar>(comm: &Comm, data: &[T]) -> Result<Vec<T>> {
 /// sendrecv.
 pub fn alltoall_t<T: MpiScalar>(comm: &Comm, data: &[T]) -> Result<Vec<T>> {
     let n = comm.size() as usize;
-    if data.len() % n != 0 {
+    if !data.len().is_multiple_of(n) {
         return Err(MpiError::new(ErrClass::Arg, "alltoall data not divisible by size"));
     }
     let chunk = data.len() / n;
@@ -513,7 +513,7 @@ pub fn reduce_scatter_block_t<T: MpiScalar>(
     data: &[T],
 ) -> Result<Vec<T>> {
     let n = comm.size() as usize;
-    if data.len() % n != 0 {
+    if !data.len().is_multiple_of(n) {
         return Err(MpiError::new(
             ErrClass::Arg,
             "reduce_scatter_block data not divisible by size",

@@ -50,10 +50,22 @@ pub enum CidOrigin {
     Derived,
 }
 
+/// A block of derivable exCIDs: a base exCID (PGCID-fresh or itself
+/// derived) plus the derivation cursor walking its subfield space.
+///
+/// Stored behind an `Arc` so a parent whose block is exhausted and the
+/// refill child it mints (see [`Comm::dup`]) *share* one pool: further
+/// dups of either consume the same 255-slot budget, which keeps the
+/// derivation tree collision-free without re-acquiring a PGCID per dup.
+pub(crate) struct DerivePool {
+    pub base: ExCid,
+    pub state: DeriveState,
+}
+
 pub(crate) struct CommInner {
     pub local_cid: u16,
     pub excid: Option<ExCid>,
-    pub derive: Mutex<Option<DeriveState>>,
+    pub derive: Mutex<Option<Arc<Mutex<DerivePool>>>>,
     pub group: MpiGroup,
     pub my_rank: u32,
     pub coll_seq: AtomicU32,
@@ -94,10 +106,22 @@ impl Comm {
         process
             .pml()
             .register_comm(local_cid, my_rank, endpoints, excid, fixed_cid);
+        // A PGCID-fresh communicator roots a new derivation block: itself
+        // plus up to 255 locally-derived children. Acquiring such a block
+        // is what the `cid.refills` counter tallies — one per trip through
+        // PMIx group construction, never per dup.
         let derive = match origin {
-            CidOrigin::Pgcid => Some(DeriveState::fresh()),
+            CidOrigin::Pgcid => excid.map(|e| {
+                Arc::new(Mutex::new(DerivePool { base: e, state: DeriveState::fresh() }))
+            }),
             _ => None,
         };
+        if origin == CidOrigin::Pgcid {
+            process
+                .obs()
+                .counter(&process.proc().to_string(), "cid", "refills")
+                .inc();
+        }
         Ok(Comm {
             inner: Arc::new(CommInner {
                 local_cid,
@@ -311,12 +335,16 @@ impl Comm {
     pub fn dup(&self) -> Result<Comm> {
         self.check_live()?;
         match self.inner.excid {
-            Some(parent_excid) if self.inner.origin != CidOrigin::Builtin => {
-                // Try local derivation first.
-                let derived = {
-                    let mut ds = self.inner.derive.lock();
-                    ds.as_mut().and_then(|state| derive_excid(&parent_excid, state))
-                };
+            Some(_) if self.inner.origin != CidOrigin::Builtin => {
+                // Try local derivation from the active block: initially
+                // rooted at this communicator's own exCID, and after an
+                // exhaustion-triggered refill rooted at the fresh block.
+                let pool = self.inner.derive.lock().clone();
+                let derived = pool.and_then(|p| {
+                    let mut pool = p.lock();
+                    let base = pool.base;
+                    derive_excid(&base, &mut pool.state)
+                });
                 match derived {
                     Some((child_excid, child_state)) => {
                         let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
@@ -329,14 +357,51 @@ impl Comm {
                             None,
                             None,
                         )?;
-                        *comm.inner.derive.lock() = Some(child_state);
+                        *comm.inner.derive.lock() = Some(Arc::new(Mutex::new(DerivePool {
+                            base: child_excid,
+                            state: child_state,
+                        })));
+                        self.count_derivation();
                         Ok(comm)
                     }
-                    None => self.dup_via_group(),
+                    None => {
+                        // Block exhausted: every participant hits this at
+                        // the same dup index (derivation is deterministic),
+                        // so the group collectively acquires a fresh PGCID.
+                        // The parent's pool is then *refilled in place* with
+                        // the child's block — shared, so subsequent dups of
+                        // either communicator derive locally from it rather
+                        // than paying PMIx again.
+                        let child = self.dup_via_group()?;
+                        let refilled = child.inner.derive.lock().clone();
+                        *self.inner.derive.lock() = refilled;
+                        self.count_derivation();
+                        let obs = self.process.obs();
+                        obs.event(
+                            &self.process.proc().to_string(),
+                            "cid",
+                            "cid.refill",
+                            vec![(
+                                "pgcid".into(),
+                                child.excid().map(|e| e.pgcid).unwrap_or(0).into(),
+                            )],
+                        );
+                        Ok(child)
+                    }
                 }
             }
             _ => self.dup_consensus(),
         }
+    }
+
+    /// One exCID handed out by dup-derivation (including the dup that
+    /// triggered a refill) — the "zero agreement traffic" currency of the
+    /// sessions design, tallied per process under `cid.derivations`.
+    fn count_derivation(&self) {
+        self.process
+            .obs()
+            .counter(&self.process.proc().to_string(), "cid", "derivations")
+            .inc();
     }
 
     /// `MPI_Comm_dup` acquiring a *fresh PGCID* through PMIx — the behavior
@@ -395,8 +460,11 @@ impl Comm {
     /// `participants` (ranks of this comm). Returns the agreed CID,
     /// claimed locally.
     pub(crate) fn consensus_cid(&self, participants: &[u32]) -> Result<u16> {
+        let obs = self.process.obs();
+        let p = self.process.proc().to_string();
+        let rounds_ctr = obs.counter(&p, "cid", "consensus_rounds");
         let mut candidate = FIRST_DYNAMIC_CID;
-        for _round in 0..4096 {
+        for round in 1..=4096u64 {
             let proposed = self.process.peek_lowest_cid(candidate)?;
             let max = coll::subgroup_allreduce_u32(
                 self,
@@ -415,6 +483,8 @@ impl Comm {
                 // Claim may race with a local interleaved creation; retry
                 // the consensus if the slot vanished.
                 if self.process.claim_cid(max as u16).is_ok() {
+                    rounds_ctr.add(round);
+                    obs.counter(&p, "cid", "consensus_agreements").inc();
                     return Ok(max as u16);
                 }
             }

@@ -115,7 +115,7 @@ pub fn to_bytes<T: MpiScalar>(data: &[T]) -> Vec<u8> {
 /// Deserialize a byte slice into scalars. Errors on length mismatch
 /// (the `MPI_ERR_TRUNCATE`-adjacent datatype mismatch case).
 pub fn from_bytes<T: MpiScalar>(bytes: &[u8]) -> Result<Vec<T>> {
-    if bytes.len() % T::WIDTH != 0 {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
         return Err(MpiError::new(
             ErrClass::Arg,
             format!("byte length {} not a multiple of datatype width {}", bytes.len(), T::WIDTH),

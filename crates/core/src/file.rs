@@ -129,6 +129,16 @@ impl MpiFile {
     }
 }
 
+impl std::fmt::Debug for MpiFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiFile")
+            .field("path", &self.path)
+            .field("mode", &self.mode)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,15 +154,5 @@ mod tests {
         assert!(delete(path));
         assert!(!delete(path));
         assert!(fs_lookup(path, false).is_none());
-    }
-}
-
-impl std::fmt::Debug for MpiFile {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MpiFile")
-            .field("path", &self.path)
-            .field("mode", &self.mode)
-            .field("size", &self.size())
-            .finish()
     }
 }

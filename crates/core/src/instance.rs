@@ -141,9 +141,15 @@ impl MpiProcess {
         &self.universe
     }
 
+    /// The fabric-wide observability registry this process reports into.
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.universe.fabric().obs()
+    }
+
     /// Bring up `names`, incrementing refcounts; first use of a subsystem
     /// registers its cleanup callback. Returns the instance id.
     pub(crate) fn acquire_instance(&self, names: &[&'static str]) -> u64 {
+        let t0 = std::time::Instant::now();
         let mut fresh = 0u32;
         let id = {
             let mut st = self.state.lock();
@@ -167,6 +173,11 @@ impl MpiProcess {
         if fresh > 0 && !per.is_zero() {
             std::thread::sleep(per * fresh);
         }
+        let obs = self.obs();
+        let p = self.proc.to_string();
+        obs.histogram(&p, "instance", "subsystem_init_ns").record(t0.elapsed());
+        obs.counter(&p, "instance", "subsystems_initialized").add(fresh as u64);
+        obs.counter(&p, "instance", "instances_acquired").inc();
         id
     }
 
@@ -195,8 +206,16 @@ impl MpiProcess {
                 st.cid_table = CidTable::new();
             }
         }
-        for c in cleanups {
-            c(self);
+        if !cleanups.is_empty() {
+            let t0 = std::time::Instant::now();
+            let n = cleanups.len() as u64;
+            for c in cleanups {
+                c(self);
+            }
+            let obs = self.obs();
+            let p = self.proc.to_string();
+            obs.histogram(&p, "instance", "subsystem_cleanup_ns").record(t0.elapsed());
+            obs.counter(&p, "instance", "subsystems_cleaned").add(n);
         }
     }
 

@@ -30,7 +30,7 @@ use header::{CidAck, ExtHeader, MatchHeader, MsgKind, RtsInfo};
 use parking_lot::Mutex;
 use simnet::{Endpoint, EndpointId, EndpointSender, RecvError};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +52,10 @@ struct PeerState {
     mode: SendCid,
     /// Whether we already sent our CidAck to this peer.
     acked_back: bool,
+    /// Whether we already sent this peer an extended header (the first one
+    /// initiates the handshake; further ones are fallbacks while the ACK is
+    /// still in flight).
+    ext_started: bool,
     send_seq: u16,
     recv_seq: u16,
 }
@@ -124,33 +128,60 @@ pub struct PmlStats {
     pub handled: u64,
 }
 
+/// Per-engine obs counter handles (process scope = the endpoint id), so the
+/// hot path stays atomic-only while the numbers land in the fabric-wide
+/// registry.
+struct PmlMetrics {
+    eager_sent: obs::Counter,
+    ext_sent: obs::Counter,
+    acks_sent: obs::Counter,
+    rts_sent: obs::Counter,
+    handled: obs::Counter,
+    /// CID handshakes completed: transitions of a peer out of `AwaitAck`
+    /// (either by receiving its ext header or by absorbing its CidAck).
+    handshakes: obs::Counter,
+    /// Extended-header sends beyond the first to the same peer: the
+    /// handshake was initiated but its ACK has not landed yet.
+    ext_fallback: obs::Counter,
+}
+
+impl PmlMetrics {
+    fn new(endpoint: &Endpoint) -> Self {
+        let obs = endpoint.obs();
+        let process = endpoint.id().to_string();
+        let c = |name| obs.counter(&process, "pml", name);
+        Self {
+            eager_sent: c("eager_sent"),
+            ext_sent: c("ext_sent"),
+            acks_sent: c("acks_sent"),
+            rts_sent: c("rts_sent"),
+            handled: c("handled"),
+            handshakes: c("handshakes"),
+            ext_fallback: c("ext_fallback"),
+        }
+    }
+}
+
 /// The per-process messaging engine.
 pub struct Pml {
     endpoint: Arc<Endpoint>,
     sender: EndpointSender,
     state: Mutex<PmlState>,
     eager_limit: AtomicUsize,
-    s_eager: AtomicU64,
-    s_ext: AtomicU64,
-    s_acks: AtomicU64,
-    s_rts: AtomicU64,
-    s_handled: AtomicU64,
+    metrics: PmlMetrics,
 }
 
 impl Pml {
     /// Create the engine over the process's mailbox.
     pub fn new(endpoint: Arc<Endpoint>) -> Arc<Self> {
         let sender = endpoint.sender();
+        let metrics = PmlMetrics::new(&endpoint);
         Arc::new(Self {
             endpoint,
             sender,
             state: Mutex::new(PmlState { next_req_id: 1, ..Default::default() }),
             eager_limit: AtomicUsize::new(DEFAULT_EAGER_LIMIT),
-            s_eager: AtomicU64::new(0),
-            s_ext: AtomicU64::new(0),
-            s_acks: AtomicU64::new(0),
-            s_rts: AtomicU64::new(0),
-            s_handled: AtomicU64::new(0),
+            metrics,
         })
     }
 
@@ -164,14 +195,15 @@ impl Pml {
         self.eager_limit.store(bytes.max(1), Ordering::Relaxed);
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the counters (reads the obs-backed cells; kept as a typed
+    /// convenience view for tests and the handshake ablation benchmark).
     pub fn stats(&self) -> PmlStats {
         PmlStats {
-            eager_sent: self.s_eager.load(Ordering::Relaxed),
-            ext_sent: self.s_ext.load(Ordering::Relaxed),
-            acks_sent: self.s_acks.load(Ordering::Relaxed),
-            rts_sent: self.s_rts.load(Ordering::Relaxed),
-            handled: self.s_handled.load(Ordering::Relaxed),
+            eager_sent: self.metrics.eager_sent.get(),
+            ext_sent: self.metrics.ext_sent.get(),
+            acks_sent: self.metrics.acks_sent.get(),
+            rts_sent: self.metrics.rts_sent.get(),
+            handled: self.metrics.handled.get(),
         }
     }
 
@@ -202,6 +234,7 @@ impl Pml {
                 .map(|_| PeerState {
                     mode: initial_mode,
                     acked_back: false,
+                    ext_started: false,
                     send_seq: 0,
                     recv_seq: 0,
                 })
@@ -257,7 +290,7 @@ impl Pml {
     ) -> Result<Arc<ReqInner>> {
         let req = ReqInner::new(ReqKind::Send);
         let eager = payload.len() <= self.eager_limit();
-        let (dst_ep, bytes, is_ext) = {
+        let (dst_ep, bytes, is_ext, is_ext_fallback) = {
             let mut st = self.state.lock();
             let route = st
                 .routes
@@ -280,6 +313,15 @@ impl Pml {
                         sender_cid: local_cid,
                     }),
                 ),
+            };
+            // The first extended send to a peer initiates the handshake;
+            // any further ones are fallbacks while its ACK is in flight.
+            let is_ext_fallback = if ext.is_some() {
+                let started = peer.ext_started;
+                peer.ext_started = true;
+                started
+            } else {
+                false
             };
             let base_kind = if eager {
                 if ext.is_some() { MsgKind::EagerExt } else { MsgKind::Eager }
@@ -314,15 +356,18 @@ impl Pml {
                 st.rdv_send
                     .insert(send_req, RdvSend { payload: payload.clone(), dst_ep, req: req.clone() });
             }
-            (dst_ep, bytes, ext.is_some())
+            (dst_ep, bytes, ext.is_some(), is_ext_fallback)
         };
         if is_ext {
-            self.s_ext.fetch_add(1, Ordering::Relaxed);
+            self.metrics.ext_sent.inc();
+            if is_ext_fallback {
+                self.metrics.ext_fallback.inc();
+            }
         } else if eager {
-            self.s_eager.fetch_add(1, Ordering::Relaxed);
+            self.metrics.eager_sent.inc();
         }
         if !eager {
-            self.s_rts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rts_sent.inc();
         }
         match self.sender.send(dst_ep, Bytes::from(bytes)) {
             Ok(()) => {
@@ -416,16 +461,13 @@ impl Pml {
         }
         if !did {
             if let Some(t) = block {
-                match self.endpoint.recv_timeout(t) {
-                    Ok(env) => {
+                if let Ok(env) = self.endpoint.recv_timeout(t) {
+                    self.handle_bytes(env.src, env.payload);
+                    did = true;
+                    // Drain whatever arrived together with it.
+                    while let Ok(env) = self.endpoint.try_recv() {
                         self.handle_bytes(env.src, env.payload);
-                        did = true;
-                        // Drain whatever arrived together with it.
-                        while let Ok(env) = self.endpoint.try_recv() {
-                            self.handle_bytes(env.src, env.payload);
-                        }
                     }
-                    Err(_) => {}
                 }
             }
         }
@@ -433,7 +475,7 @@ impl Pml {
     }
 
     fn handle_bytes(&self, src_ep: EndpointId, payload: Bytes) {
-        self.s_handled.fetch_add(1, Ordering::Relaxed);
+        self.metrics.handled.inc();
         let Some(&kind_byte) = payload.first() else { return };
         let Some(kind) = MsgKind::from_u8(kind_byte) else { return };
         match kind {
@@ -485,8 +527,13 @@ impl Pml {
         let Some(route) = st.routes.get_mut(&cid) else { return };
         if let Some(peer) = route.peers.get_mut(ack.acker_rank as usize) {
             // The ACK carries the receiver's local CID: switch this peer to
-            // the optimized compact-header path.
-            peer.mode = SendCid::Known(ack.receiver_cid);
+            // the optimized compact-header path. An incoming ext header may
+            // already have taught us the same CID — only the actual
+            // transition counts as completing the handshake.
+            if matches!(peer.mode, SendCid::AwaitAck) {
+                peer.mode = SendCid::Known(ack.receiver_cid);
+                self.metrics.handshakes.inc();
+            }
         }
     }
 
@@ -546,6 +593,7 @@ impl Pml {
                         // Learn the sender's local CID for the reverse path.
                         if matches!(peer.mode, SendCid::AwaitAck) {
                             peer.mode = SendCid::Known(ext.sender_cid);
+                            self.metrics.handshakes.inc();
                         }
                         if !peer.acked_back {
                             peer.acked_back = true;
@@ -555,7 +603,7 @@ impl Pml {
                                 acker_rank: route.my_rank,
                             };
                             outbox.push((msg.src_ep, ack.encode()));
-                            self.s_acks.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.acks_sent.inc();
                         }
                     }
                 }

@@ -83,7 +83,13 @@ impl Session {
         info: &Info,
     ) -> Result<Session> {
         let process = MpiProcess::obtain(ctx);
+        // Timed in two parts so benchmarks can attribute startup cost:
+        // bringing up the library's *resources* (subsystems, refcounted)
+        // versus constructing the session *handle* itself (local, cheap).
+        let t_resources = std::time::Instant::now();
         let id = process.acquire_instance(SESSION_MIN_SUBSYSTEMS);
+        let resources = t_resources.elapsed();
+        let t_handle = std::time::Instant::now();
         // Honor PML tuning from the info object.
         if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
             if limit > 0 {
@@ -94,17 +100,23 @@ impl Session {
             .get(keys::THREAD_LEVEL)
             .and_then(|v| ThreadLevel::from_info_value(&v))
             .unwrap_or(requested);
-        Ok(Session {
+        let session = Session {
             inner: Arc::new(SessionInner {
                 id,
-                process,
+                process: process.clone(),
                 thread_level,
                 errh,
                 info: info.dup(),
                 attrs: AttrStore::new(),
                 finalized: AtomicBool::new(false),
             }),
-        })
+        };
+        let obs = process.obs();
+        let p = process.proc().to_string();
+        obs.histogram(&p, "session", "init_resources_ns").record(resources);
+        obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
+        obs.counter(&p, "session", "sessions_initialized").inc();
+        Ok(session)
     }
 
     /// The granted thread support level.

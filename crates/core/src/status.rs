@@ -15,7 +15,7 @@ impl Status {
     /// Element count for a scalar type (`MPI_Get_count` analog).
     /// `None` when the byte length is not a multiple of the width.
     pub fn count<T: crate::datatype::MpiScalar>(&self) -> Option<usize> {
-        (self.len % T::WIDTH == 0).then_some(self.len / T::WIDTH)
+        self.len.is_multiple_of(T::WIDTH).then_some(self.len / T::WIDTH)
     }
 }
 

@@ -8,6 +8,10 @@ use crate::coll;
 use crate::comm::Comm;
 use crate::error::{ErrClass, MpiError, Result};
 
+/// Payloads received from the low/high neighbor in a halo exchange
+/// (`None` at a non-periodic wall).
+pub type HaloPair = (Option<Vec<u8>>, Option<Vec<u8>>);
+
 /// A communicator with a Cartesian topology attached.
 pub struct CartComm {
     comm: Comm,
@@ -25,7 +29,7 @@ pub fn dims_create(nnodes: u32, ndims: usize) -> Vec<u32> {
     let mut factors = Vec::new();
     let mut f = 2u32;
     while f * f <= rest {
-        while rest % f == 0 {
+        while rest.is_multiple_of(f) {
             factors.push(f);
             rest /= f;
         }
@@ -143,7 +147,7 @@ impl CartComm {
         tag: i32,
         to_low: &[u8],
         to_high: &[u8],
-    ) -> Result<(Option<Vec<u8>>, Option<Vec<u8>>)> {
+    ) -> Result<HaloPair> {
         let (low, high) = self.shift(dim, 1)?; // src = low side, dst = high side
         // Phase 1: send toward the high neighbor, receive from the low.
         let from_low = match (high, low) {

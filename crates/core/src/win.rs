@@ -245,6 +245,15 @@ fn decode_ops(b: &[u8]) -> Result<DecodedOps> {
     Ok((puts, gets))
 }
 
+impl std::fmt::Debug for Win {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Win")
+            .field("size", &self.local_size())
+            .field("pending_ops", &self.pending.lock().len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,14 +274,5 @@ mod tests {
         let bytes = encode_ops(&puts, &[]);
         assert!(decode_ops(&bytes[..bytes.len() - 1]).is_err());
         assert!(decode_ops(&[1, 2, 3]).is_err());
-    }
-}
-
-impl std::fmt::Debug for Win {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Win")
-            .field("size", &self.local_size())
-            .field("pending_ops", &self.pending.lock().len())
-            .finish()
     }
 }

@@ -1,0 +1,614 @@
+//! Stack-wide observability: a lock-cheap metrics registry plus a bounded
+//! structured event recorder.
+//!
+//! Every layer of the simulated stack (fabric, PMIx, PRRTE, MPI core) hangs
+//! one [`Registry`] off the fabric it runs on, so metrics from all processes
+//! of one simulated cluster land in one place while parallel test clusters
+//! stay isolated from each other.
+//!
+//! Design points:
+//!
+//! * **Keying** — every instrument is identified by `(process, component,
+//!   name)`. `process` scopes the emitter (`"fabric"`, `"ep3"`,
+//!   `"server:0"`, a `ProcId` rendering, …), `component` is the subsystem
+//!   (`"fabric"`, `"pml"`, `"pmix"`, `"cid"`, …), `name` is the metric.
+//! * **Hot path is atomic-only** — callers resolve a handle once (a
+//!   `RwLock<HashMap>` lookup or insert) and afterwards touch nothing but
+//!   atomics: counters and gauges are single `fetch_add`s, histograms a
+//!   handful. No lock is held while recording.
+//! * **Counters are monotonic** — the API offers only `inc`/`add`; there is
+//!   no decrement or reset, so a later reading is never smaller than an
+//!   earlier one (the property tests pin this down).
+//! * **Events are bounded** — the recorder is a fixed-capacity ring: when
+//!   full, the oldest event is dropped and a drop counter incremented, so
+//!   memory use cannot grow with run length.
+//! * **Export is plain JSON** — [`Registry::export`] renders everything into
+//!   a `serde_json::Value` with sorted keys (deterministic output).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use serde_json::{Map, Value};
+
+/// Instrument identity: `(process, component, name)`.
+pub type Key = (String, String, String);
+
+fn key(process: &str, component: &str, name: &str) -> Key {
+    (process.to_string(), component.to_string(), name.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`. There is deliberately no way to decrement.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// Instantaneous signed value (e.g. live endpoint count).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram buckets.
+/// Decade-spaced from 1µs to 10s; a final overflow bucket catches the rest.
+pub const BUCKET_BOUNDS_NS: [u64; 8] = [
+    1_000,              // 1µs
+    10_000,             // 10µs
+    100_000,            // 100µs
+    1_000_000,          // 1ms
+    10_000_000,         // 10ms
+    100_000_000,        // 100ms
+    1_000_000_000,      // 1s
+    10_000_000_000,     // 10s
+];
+
+const NUM_BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1; // + overflow
+
+#[derive(Default)]
+struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Fixed-bucket duration histogram handle. Cloning shares the cells.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(NUM_BUCKETS - 1);
+        let c = &self.0;
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        c.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.0.max_ns.load(Ordering::Relaxed)
+    }
+
+    fn export(&self) -> Value {
+        let c = &self.0;
+        let mut m = Map::new();
+        m.insert("count".into(), Value::U64(c.count.load(Ordering::Relaxed)));
+        m.insert("sum_ns".into(), Value::U64(c.sum_ns.load(Ordering::Relaxed)));
+        m.insert("max_ns".into(), Value::U64(c.max_ns.load(Ordering::Relaxed)));
+        let buckets: Vec<Value> = c
+            .buckets
+            .iter()
+            .map(|b| Value::U64(b.load(Ordering::Relaxed)))
+            .collect();
+        m.insert("buckets".into(), Value::Array(buckets));
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Typed attribute value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer attribute.
+    U64(u64),
+    /// Signed integer attribute.
+    I64(i64),
+    /// Floating-point attribute.
+    F64(f64),
+    /// String attribute.
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> Value {
+        match self {
+            AttrValue::U64(v) => Value::U64(*v),
+            AttrValue::I64(v) => Value::I64(*v),
+            AttrValue::F64(v) => Value::F64(*v),
+            AttrValue::Str(v) => Value::Str(v.clone()),
+            AttrValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+
+    /// Coerce to `u64` when the attribute holds one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(v) => Some(*v),
+            AttrValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string when the attribute holds one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event: logical timestamp plus the `(process, component,
+/// name)` identity and free-form typed attributes.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Logical timestamp: a registry-wide strictly increasing sequence
+    /// number (no wall clock — runs are simulated).
+    pub ts: u64,
+    /// Emitting process (same scoping convention as metric keys).
+    pub process: String,
+    /// Emitting subsystem.
+    pub component: String,
+    /// Event name, e.g. `"group.fanin"`.
+    pub name: String,
+    /// Typed attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl Event {
+    /// Look up an attribute by key.
+    pub fn attr(&self, k: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(a, _)| a == k).map(|(_, v)| v)
+    }
+}
+
+/// Default event-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+struct EventRecorder {
+    clock: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventRecorder {
+    fn new(capacity: usize) -> Self {
+        Self {
+            clock: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, process: &str, component: &str, name: &str, attrs: Vec<(String, AttrValue)>) {
+        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            ts,
+            process: process.to_string(),
+            component: component.to_string(),
+            name: name.to_string(),
+            attrs,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The per-cluster metrics registry plus event recorder.
+///
+/// Cheap to share: every layer holds an `Arc<Registry>`. Handle resolution
+/// (`counter`/`gauge`/`histogram`) takes a short-lived map lock; recording
+/// through a resolved handle is lock-free.
+pub struct Registry {
+    counters: RwLock<HashMap<Key, Counter>>,
+    gauges: RwLock<HashMap<Key, Gauge>>,
+    histograms: RwLock<HashMap<Key, Histogram>>,
+    events: EventRecorder,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// New registry with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// New registry with an explicit event-ring capacity (min 1).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+            events: EventRecorder::new(capacity),
+        }
+    }
+
+    /// Get or create the counter keyed `(process, component, name)`.
+    pub fn counter(&self, process: &str, component: &str, name: &str) -> Counter {
+        let k = key(process, component, name);
+        if let Some(c) = self.counters.read().get(&k) {
+            return c.clone();
+        }
+        self.counters.write().entry(k).or_default().clone()
+    }
+
+    /// Get or create the gauge keyed `(process, component, name)`.
+    pub fn gauge(&self, process: &str, component: &str, name: &str) -> Gauge {
+        let k = key(process, component, name);
+        if let Some(g) = self.gauges.read().get(&k) {
+            return g.clone();
+        }
+        self.gauges.write().entry(k).or_default().clone()
+    }
+
+    /// Get or create the histogram keyed `(process, component, name)`.
+    pub fn histogram(&self, process: &str, component: &str, name: &str) -> Histogram {
+        let k = key(process, component, name);
+        if let Some(h) = self.histograms.read().get(&k) {
+            return h.clone();
+        }
+        self.histograms.write().entry(k).or_default().clone()
+    }
+
+    /// Record a structured event.
+    pub fn event(&self, process: &str, component: &str, name: &str, attrs: Vec<(String, AttrValue)>) {
+        self.events.record(process, component, name, attrs);
+    }
+
+    // -- read side -----------------------------------------------------------
+
+    /// Value of one counter, or 0 if it was never created.
+    pub fn counter_value(&self, process: &str, component: &str, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(&key(process, component, name))
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Sum of one `(component, name)` counter across all processes.
+    pub fn sum_counters(&self, component: &str, name: &str) -> u64 {
+        self.counters
+            .read()
+            .iter()
+            .filter(|((_, c, n), _)| c == component && n == name)
+            .map(|(_, v)| v.get())
+            .sum()
+    }
+
+    /// Snapshot of every counter with a non-zero value, sorted by key.
+    pub fn counters_snapshot(&self) -> Vec<(Key, u64)> {
+        let mut v: Vec<(Key, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All recorded (still-buffered) events with the given name, in
+    /// timestamp order.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .ring
+            .lock()
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of the whole event ring, in timestamp order.
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        self.events.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn events_len(&self) -> usize {
+        self.events.ring.lock().len()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Capacity of the event ring.
+    pub fn event_capacity(&self) -> usize {
+        self.events.capacity
+    }
+
+    // -- export --------------------------------------------------------------
+
+    /// Render the full registry (counters, gauges, histograms, events) into
+    /// a JSON value. Keys are sorted, so output is deterministic given the
+    /// same metric contents.
+    ///
+    /// Shape:
+    /// ```json
+    /// {
+    ///   "counters":   { "<process>": { "<component>": { "<name>": N } } },
+    ///   "gauges":     { ... same nesting, signed ... },
+    ///   "histograms": { ... same nesting, {count,sum_ns,max_ns,buckets} ... },
+    ///   "events":     { "dropped": N, "recorded": [ {ts,process,...} ] }
+    /// }
+    /// ```
+    pub fn export(&self) -> Value {
+        let mut root = Map::new();
+
+        let mut counters = Map::new();
+        for (k, v) in self.counters.read().iter() {
+            if v.get() > 0 {
+                nest(&mut counters, k, Value::U64(v.get()));
+            }
+        }
+        root.insert("counters".into(), Value::Object(counters));
+
+        let mut gauges = Map::new();
+        for (k, v) in self.gauges.read().iter() {
+            nest(&mut gauges, k, Value::I64(v.get()));
+        }
+        root.insert("gauges".into(), Value::Object(gauges));
+
+        let mut hists = Map::new();
+        for (k, v) in self.histograms.read().iter() {
+            if v.count() > 0 {
+                nest(&mut hists, k, v.export());
+            }
+        }
+        root.insert("histograms".into(), Value::Object(hists));
+
+        let mut events = Map::new();
+        events.insert("dropped".into(), Value::U64(self.events_dropped()));
+        let recorded: Vec<Value> = self
+            .events_snapshot()
+            .iter()
+            .map(|e| {
+                let mut m = Map::new();
+                m.insert("ts".into(), Value::U64(e.ts));
+                m.insert("process".into(), Value::Str(e.process.clone()));
+                m.insert("component".into(), Value::Str(e.component.clone()));
+                m.insert("name".into(), Value::Str(e.name.clone()));
+                let mut attrs = Map::new();
+                for (k, v) in &e.attrs {
+                    attrs.insert(k.clone(), v.to_json());
+                }
+                m.insert("attrs".into(), Value::Object(attrs));
+                Value::Object(m)
+            })
+            .collect();
+        events.insert("recorded".into(), Value::Array(recorded));
+        root.insert("events".into(), Value::Object(events));
+
+        Value::Object(root)
+    }
+}
+
+/// Insert `value` at `map[process][component][name]`.
+fn nest(map: &mut Map, k: &Key, value: Value) {
+    let (process, component, name) = k;
+    let proc_entry = map
+        .entry(process.clone())
+        .or_insert_with(|| Value::Object(Map::new()));
+    let Value::Object(proc_map) = proc_entry else { unreachable!() };
+    let comp_entry = proc_map
+        .entry(component.clone())
+        .or_insert_with(|| Value::Object(Map::new()));
+    let Value::Object(comp_map) = comp_entry else { unreachable!() };
+    comp_map.insert(name.clone(), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_is_shared() {
+        let r = Registry::new();
+        let a = r.counter("p", "c", "n");
+        let b = r.counter("p", "c", "n");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.counter_value("p", "c", "n"), 4);
+        assert_eq!(r.counter_value("p", "c", "other"), 0);
+    }
+
+    #[test]
+    fn sum_counters_spans_processes() {
+        let r = Registry::new();
+        r.counter("p0", "pml", "eager_sent").add(2);
+        r.counter("p1", "pml", "eager_sent").add(5);
+        r.counter("p1", "pml", "rts_sent").add(9);
+        assert_eq!(r.sum_counters("pml", "eager_sent"), 7);
+        assert_eq!(r.sum_counters("pml", "rts_sent"), 9);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("p", "c", "live");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let r = Registry::new();
+        let h = r.histogram("p", "c", "lat");
+        h.record(Duration::from_micros(5)); // bucket 1 (<=10µs)
+        h.record(Duration::from_millis(2)); // bucket 4 (<=10ms)
+        h.record(Duration::from_secs(100)); // overflow bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), 100_000_000_000);
+        let json = h.export();
+        let obj = json.as_object().unwrap();
+        assert_eq!(obj["count"].as_u64(), Some(3));
+        let buckets = obj["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), NUM_BUCKETS);
+        assert_eq!(buckets[1].as_u64(), Some(1));
+        assert_eq!(buckets[4].as_u64(), Some(1));
+        assert_eq!(buckets[NUM_BUCKETS - 1].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn events_ring_drops_oldest() {
+        let r = Registry::with_event_capacity(3);
+        for i in 0..5u64 {
+            r.event("p", "c", "e", vec![("i".into(), i.into())]);
+        }
+        assert_eq!(r.events_len(), 3);
+        assert_eq!(r.events_dropped(), 2);
+        let evs = r.events_snapshot();
+        // Oldest two were dropped; timestamps stay strictly increasing.
+        assert_eq!(evs[0].attr("i").unwrap().as_u64(), Some(2));
+        assert!(evs.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn export_is_nested_and_deterministic() {
+        let r = Registry::new();
+        r.counter("ep0", "pml", "eager_sent").add(4);
+        r.counter("fabric", "fabric", "msgs_sent").add(10);
+        r.histogram("launcher", "prrte", "map_ns").record_ns(500);
+        r.event("srv", "pmix", "group.fanin", vec![("op".into(), "g1".into())]);
+        let a = serde_json::to_string(&r.export()).unwrap();
+        let b = serde_json::to_string(&r.export()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"eager_sent\":4"));
+        assert!(a.contains("\"msgs_sent\":10"));
+        assert!(a.contains("group.fanin"));
+    }
+}

@@ -131,6 +131,60 @@ struct ServerState {
     local_clients: HashSet<ProcId>,
 }
 
+/// Per-server observability handles, resolved once at construction.
+struct ServerMetrics {
+    /// `(process, component)` scope for events this server emits.
+    process: String,
+    obs: Arc<obs::Registry>,
+    rpc_handled: obs::Counter,
+    rpc_ns: obs::Histogram,
+    fence_completed: obs::Counter,
+    group_construct_completed: obs::Counter,
+    group_destruct_completed: obs::Counter,
+    stage_fanin: obs::Counter,
+    stage_xchg: obs::Counter,
+    stage_fanout: obs::Counter,
+    pgcid_allocated: obs::Counter,
+}
+
+impl ServerMetrics {
+    fn new(obs: Arc<obs::Registry>, node: NodeId) -> Self {
+        let process = format!("server:{}", node.0);
+        let c = |name| obs.counter(&process, "pmix", name);
+        let rpc_ns = obs.histogram(&process, "pmix", "rpc_ns");
+        Self {
+            rpc_handled: c("rpc_handled"),
+            rpc_ns,
+            fence_completed: c("fence_completed"),
+            group_construct_completed: c("group_construct_completed"),
+            group_destruct_completed: c("group_destruct_completed"),
+            stage_fanin: c("stage_fanin"),
+            stage_xchg: c("stage_xchg"),
+            stage_fanout: c("stage_fanout"),
+            pgcid_allocated: c("pgcid_allocated"),
+            process,
+            obs,
+        }
+    }
+
+    fn stage_event(&self, stage: &str, op: &OpId, extra: Vec<(String, obs::AttrValue)>) {
+        let mut attrs: Vec<(String, obs::AttrValue)> = vec![
+            ("op".into(), op.name.as_str().into()),
+            ("kind".into(), kind_str(op.kind).into()),
+        ];
+        attrs.extend(extra);
+        self.obs.event(&self.process, "pmix", stage, attrs);
+    }
+}
+
+fn kind_str(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Fence => "fence",
+        OpKind::GroupConstruct => "group_construct",
+        OpKind::GroupDestruct => "group_destruct",
+    }
+}
+
 /// A per-node PMIx server.
 pub struct PmixServer {
     node: NodeId,
@@ -142,6 +196,7 @@ pub struct PmixServer {
     rm_next_pgcid: Option<std::sync::atomic::AtomicU64>,
     // Per-RPC processing cost (control-plane software overhead).
     rpc_processing: Duration,
+    metrics: ServerMetrics,
 }
 
 impl PmixServer {
@@ -172,6 +227,7 @@ impl PmixServer {
             cv: Condvar::new(),
             rm_next_pgcid: is_rm.then(|| std::sync::atomic::AtomicU64::new(1)),
             rpc_processing: Duration::ZERO,
+            metrics: ServerMetrics::new(endpoint.obs(), endpoint.node()),
         })
     }
 
@@ -205,10 +261,13 @@ impl PmixServer {
                 // Control-plane software overhead: the server's event loop
                 // processes one RPC at a time, each costing real work in
                 // the reference implementation.
+                let t0 = Instant::now();
                 if !self.rpc_processing.is_zero() {
                     std::thread::sleep(self.rpc_processing);
                 }
                 self.handle(msg);
+                self.metrics.rpc_handled.inc();
+                self.metrics.rpc_ns.record(t0.elapsed());
             }
         }
     }
@@ -506,6 +565,13 @@ impl PmixServer {
         op.fanin_done = true;
         op.epoch_bumped = true;
         op.sent_contrib = true;
+        // Stage 1 complete on this server: all local participants are in.
+        self.metrics.stage_fanin.inc();
+        self.metrics.stage_event(
+            "group.fanin",
+            op_id,
+            vec![("locals".into(), (op.arrived_local.len() as u64).into())],
+        );
         let contrib = Contribution {
             local_members: op.arrived_local.clone(),
             kvs: op.local_kvs.clone(),
@@ -528,6 +594,14 @@ impl PmixServer {
         };
         for peer in peers {
             if let Some(ep) = self.registry.server_of(peer) {
+                // Stage 2: one contribution exchange per participating peer
+                // server — this is the part that scales with node count.
+                self.metrics.stage_xchg.inc();
+                self.metrics.stage_event(
+                    "group.xchg",
+                    op_id,
+                    vec![("to_node".into(), (peer.0 as u64).into())],
+                );
                 let _ = self.sender.send(ep, msg.encode());
             }
         }
@@ -593,9 +667,22 @@ impl PmixServer {
         for (proc, data) in all_kvs {
             st.kvs_cache.entry(proc).or_default().extend(data);
         }
+        let n_members = members.len() as u64;
         let op = st.ops.get_mut(op_id).expect("present");
         op.result = Some(Ok(CollOutcome { members, pgcid }));
         drop(st);
+        // Stage 3: local fan-out — waiting clients on this node are released.
+        self.metrics.stage_fanout.inc();
+        self.metrics.stage_event(
+            "group.fanout",
+            op_id,
+            vec![("members".into(), n_members.into())],
+        );
+        match op_id.kind {
+            OpKind::Fence => self.metrics.fence_completed.inc(),
+            OpKind::GroupConstruct => self.metrics.group_construct_completed.inc(),
+            OpKind::GroupDestruct => self.metrics.group_destruct_completed.inc(),
+        }
         self.cv.notify_all();
     }
 
@@ -621,6 +708,7 @@ impl PmixServer {
     }
 
     fn rm_allocate_pgcid(&self) -> u64 {
+        self.metrics.pgcid_allocated.inc();
         self.rm_next_pgcid
             .as_ref()
             .expect("PGCID requested from a non-RM server")
@@ -849,11 +937,11 @@ impl PmixServer {
                         } else {
                             None
                         }
-                    } else if st.dmodex_waiting.contains_key(&token) {
-                        // A blocking scalar fetch (async-construct path).
-                        st.dmodex_waiting.insert(token, Some(Some(PmixValue::U64(pgcid))));
-                        None
                     } else {
+                        // A blocking scalar fetch (async-construct path).
+                        if let Some(slot) = st.dmodex_waiting.get_mut(&token) {
+                            *slot = Some(Some(PmixValue::U64(pgcid)));
+                        }
                         None
                     }
                 };

@@ -1,0 +1,100 @@
+//! Stage accounting of the three-stage hierarchical group construct
+//! (paper §III-A), asserted from obs events alone: the per-stage event
+//! counts scale with the number of participating *nodes*, never with the
+//! number of processes per node.
+
+use obs::Event;
+use pmix::{GroupDirectives, PmixUniverse, ProcId};
+use simnet::SimTestbed;
+use std::sync::Arc;
+
+fn spawn_procs(uni: &Arc<PmixUniverse>, nspace: &str, n: u32) -> Vec<ProcId> {
+    let spec = uni.testbed().cluster.clone();
+    (0..n)
+        .map(|rank| {
+            let node = spec.node_of_slot(rank % spec.total_slots());
+            let ep = uni.fabric().register(node);
+            let proc = ProcId::new(nspace, rank);
+            uni.register_proc(proc.clone(), &ep);
+            proc
+        })
+        .collect()
+}
+
+fn construct_on_all(uni: &Arc<PmixUniverse>, procs: &[ProcId], name: &str) {
+    let members = procs.to_vec();
+    let handles: Vec<_> = procs
+        .iter()
+        .map(|p| {
+            let uni = uni.clone();
+            let p = p.clone();
+            let members = members.clone();
+            let name = name.to_string();
+            std::thread::spawn(move || {
+                let c = uni.client_for(&p).unwrap();
+                let g = c
+                    .group_construct(&name, &members, &GroupDirectives::for_mpi())
+                    .unwrap();
+                g.pgcid().unwrap()
+            })
+        })
+        .collect();
+    let pgcids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(pgcids.iter().all(|p| *p == pgcids[0]));
+}
+
+/// Stage events for one construct op, filtered by op name and kind.
+fn stage_counts(uni: &Arc<PmixUniverse>, op: &str) -> (usize, usize, usize) {
+    let obs = uni.fabric().obs();
+    let count = |stage: &str| {
+        obs.events_named(stage)
+            .iter()
+            .filter(|e: &&Event| {
+                e.attr("op").and_then(|v| v.as_str()) == Some(op)
+                    && e.attr("kind").and_then(|v| v.as_str()) == Some("group_construct")
+            })
+            .count()
+    };
+    (count("group.fanin"), count("group.xchg"), count("group.fanout"))
+}
+
+/// Run one 4-process construct on a (nodes, ppn) testbed and return the
+/// observed (fanin, xchg, fanout) stage counts.
+fn run_topology(nodes: u32, ppn: u32) -> (usize, usize, usize) {
+    assert_eq!(nodes * ppn, 4, "all topologies use the same np");
+    let uni = PmixUniverse::new(SimTestbed::tiny(nodes, ppn));
+    let procs = spawn_procs(&uni, "job", 4);
+    construct_on_all(&uni, &procs, "stages");
+    stage_counts(&uni, "stages")
+}
+
+#[test]
+fn stage_counts_scale_with_nodes_not_ppn() {
+    // S participating servers: fan-in once per server, all-to-all exchange
+    // S*(S-1) messages total, fan-out once per server. Same np=4 in every
+    // case — only the node count moves the numbers.
+    for (nodes, ppn) in [(4, 1), (2, 2), (1, 4)] {
+        let s = nodes as usize;
+        let (fanin, xchg, fanout) = run_topology(nodes, ppn);
+        assert_eq!(fanin, s, "fanin events for nodes={nodes} ppn={ppn}");
+        assert_eq!(xchg, s * (s - 1), "xchg events for nodes={nodes} ppn={ppn}");
+        assert_eq!(fanout, s, "fanout events for nodes={nodes} ppn={ppn}");
+    }
+}
+
+#[test]
+fn stage_counters_match_events() {
+    // The cheap counters agree with the event stream (here: one construct
+    // plus whatever fences the scenario does — none — on 2 nodes).
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 2));
+    let procs = spawn_procs(&uni, "job", 4);
+    construct_on_all(&uni, &procs, "agree");
+    let obs = uni.fabric().obs();
+    assert_eq!(obs.sum_counters("pmix", "stage_fanin"), 2);
+    assert_eq!(obs.sum_counters("pmix", "stage_xchg"), 2);
+    assert_eq!(obs.sum_counters("pmix", "stage_fanout"), 2);
+    // Exactly one PGCID was allocated by the RM for the construct.
+    assert_eq!(obs.sum_counters("pmix", "pgcid_allocated"), 1);
+    // Every construct completion is visible on every participating server.
+    assert_eq!(obs.sum_counters("pmix", "group_construct_completed"), 2);
+}

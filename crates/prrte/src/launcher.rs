@@ -60,9 +60,16 @@ impl Launcher {
             total
         );
         let spawn_cost = self.universe.testbed().cost.spawn_cost;
+        let obs = self.universe.fabric().obs();
+        let map_ns = obs.histogram("launcher", "prrte", "map_ns");
+        let spawn_ns = obs.histogram("launcher", "prrte", "spawn_ns");
+        obs.counter("launcher", "prrte", "jobs_launched").inc();
+        obs.counter("launcher", "prrte", "procs_launched")
+            .add(spec.np as u64);
 
         // Map ranks to nodes and register everything *before* any process
         // starts: the job map must be complete when clients initialize.
+        let t_map = std::time::Instant::now();
         let mut endpoints = Vec::with_capacity(spec.np as usize);
         for rank in 0..spec.np {
             let node = match spec.map_by {
@@ -79,7 +86,18 @@ impl Launcher {
                 ranks.iter().map(|r| ProcId::new(nspace, *r)).collect();
             self.universe.registry().define_pset(name, members);
         }
+        map_ns.record(t_map.elapsed());
+        obs.event(
+            "launcher",
+            "prrte",
+            "launch.mapped",
+            vec![
+                ("nspace".into(), nspace.into()),
+                ("np".into(), (spec.np as u64).into()),
+            ],
+        );
 
+        let t_spawn = std::time::Instant::now();
         let body = Arc::new(body);
         let mut threads = Vec::with_capacity(spec.np as usize);
         for (rank, ep) in endpoints.into_iter().enumerate() {
@@ -102,6 +120,13 @@ impl Launcher {
                 .expect("spawn process thread");
             threads.push(handle);
         }
+        spawn_ns.record(t_spawn.elapsed());
+        obs.event(
+            "launcher",
+            "prrte",
+            "launch.spawned",
+            vec![("nspace".into(), nspace.into())],
+        );
         JobHandle {
             nspace: nspace.to_owned(),
             universe: self.universe.clone(),

@@ -85,6 +85,11 @@ impl Endpoint {
         crate::fabric::Fabric::from_core(self.fabric.clone())
     }
 
+    /// The observability registry of the fabric this endpoint lives on.
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.fabric.obs().clone()
+    }
+
     /// Send `payload` to `dst`, applying the fabric's cost model.
     ///
     /// Sends are asynchronous: the call returns once the message is scheduled
@@ -150,6 +155,11 @@ impl EndpointSender {
     /// Send `payload` to `dst` as the owning endpoint.
     pub fn send(&self, dst: EndpointId, payload: Bytes) -> Result<(), SendError> {
         self.fabric.send(Envelope::new(self.id, dst, payload))
+    }
+
+    /// The observability registry of the fabric this sender sends on.
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.fabric.obs().clone()
     }
 }
 

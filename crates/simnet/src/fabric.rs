@@ -92,6 +92,32 @@ struct Pump {
     cv: Condvar,
 }
 
+/// Hot-path counter handles resolved once at fabric construction; `send`
+/// touches nothing but these atomics (plus the registry read lock it
+/// already needed for routing).
+struct FabricMetrics {
+    msgs_on_node: obs::Counter,
+    msgs_inter_node: obs::Counter,
+    bytes_on_node: obs::Counter,
+    bytes_inter_node: obs::Counter,
+    msgs_delayed: obs::Counter,
+    delay_ns_total: obs::Counter,
+}
+
+impl FabricMetrics {
+    fn new(obs: &obs::Registry) -> Self {
+        let c = |name| obs.counter("fabric", "fabric", name);
+        Self {
+            msgs_on_node: c("msgs_on_node"),
+            msgs_inter_node: c("msgs_inter_node"),
+            bytes_on_node: c("bytes_on_node"),
+            bytes_inter_node: c("bytes_inter_node"),
+            msgs_delayed: c("msgs_delayed"),
+            delay_ns_total: c("delay_ns_total"),
+        }
+    }
+}
+
 /// Shared core of a fabric. Users interact through the cheap [`Fabric`]
 /// handle.
 pub struct FabricCore {
@@ -99,19 +125,22 @@ pub struct FabricCore {
     pump: Arc<Pump>,
     cost: CostModel,
     watchers: Mutex<Vec<Sender<FailureEvent>>>,
-    stats_msgs: AtomicU64,
-    stats_bytes: AtomicU64,
-    stats_delayed: AtomicU64,
+    obs: Arc<obs::Registry>,
+    metrics: FabricMetrics,
     pump_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl FabricCore {
+    /// The observability registry every layer running on this fabric
+    /// shares.
+    pub fn obs(&self) -> &Arc<obs::Registry> {
+        &self.obs
+    }
+
     pub(crate) fn send(&self, env: Envelope) -> Result<(), SendError> {
         if !self.cost.send_overhead.is_zero() {
             std::thread::sleep(self.cost.send_overhead);
         }
-        self.stats_msgs.fetch_add(1, Ordering::Relaxed);
-        self.stats_bytes.fetch_add(env.len() as u64, Ordering::Relaxed);
 
         let map = self.registry.map.read();
         let (src_node, dst_entry) = {
@@ -119,13 +148,25 @@ impl FabricCore {
             let dst = map.get(&env.dst);
             (src_node, dst)
         };
+        // A killed sender may still be draining its own logic; treat an
+        // unknown src (or dead dst) as off-node for costing purposes.
+        let same_node = match (src_node, &dst_entry) {
+            (Some(s), Some(d)) => s == d.node,
+            _ => false,
+        };
+        // Accepted traffic is counted even when the destination died first
+        // (the message was injected; it is dropped in flight).
+        if same_node {
+            self.metrics.msgs_on_node.inc();
+            self.metrics.bytes_on_node.add(env.len() as u64);
+        } else {
+            self.metrics.msgs_inter_node.inc();
+            self.metrics.bytes_inter_node.add(env.len() as u64);
+        }
         let dst_entry = match dst_entry {
             Some(e) => e,
             None => return Err(SendError::PeerDead(env.dst)),
         };
-        // A killed sender may still be draining its own logic; treat an
-        // unknown src as off-node for costing purposes.
-        let same_node = src_node.map(|n| n == dst_entry.node).unwrap_or(false);
         let delay = self.cost.delivery_delay(same_node, env.len());
 
         if delay.is_zero() {
@@ -144,7 +185,8 @@ impl FabricCore {
             }
         }
 
-        self.stats_delayed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.msgs_delayed.inc();
+        self.metrics.delay_ns_total.add(delay.as_nanos().min(u64::MAX as u128) as u64);
         let mut st = self.pump.state.lock();
         let now = Instant::now();
         let mut at = now + delay;
@@ -183,6 +225,8 @@ impl Fabric {
             }),
             cv: Condvar::new(),
         });
+        let obs = Arc::new(obs::Registry::new());
+        let metrics = FabricMetrics::new(&obs);
         let core = Arc::new(FabricCore {
             registry: Registry {
                 map: RwLock::new(HashMap::new()),
@@ -191,9 +235,8 @@ impl Fabric {
             pump: pump.clone(),
             cost,
             watchers: Mutex::new(Vec::new()),
-            stats_msgs: AtomicU64::new(0),
-            stats_bytes: AtomicU64::new(0),
-            stats_delayed: AtomicU64::new(0),
+            obs,
+            metrics,
             pump_thread: Mutex::new(None),
         });
 
@@ -262,12 +305,20 @@ impl Fabric {
         FailureWatcher::new(rx)
     }
 
-    /// Traffic counters.
+    /// The observability registry shared by every layer on this fabric.
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.0.obs.clone()
+    }
+
+    /// Traffic counters, re-derived from the observability registry (the
+    /// on-node/inter-node split is available there; this keeps the legacy
+    /// aggregate view).
     pub fn stats(&self) -> FabricStats {
+        let m = &self.0.metrics;
         FabricStats {
-            msgs_sent: self.0.stats_msgs.load(Ordering::Relaxed),
-            bytes_sent: self.0.stats_bytes.load(Ordering::Relaxed),
-            msgs_delayed: self.0.stats_delayed.load(Ordering::Relaxed),
+            msgs_sent: m.msgs_on_node.get() + m.msgs_inter_node.get(),
+            bytes_sent: m.bytes_on_node.get() + m.bytes_inter_node.get(),
+            msgs_delayed: m.msgs_delayed.get(),
         }
     }
 
@@ -448,6 +499,41 @@ mod tests {
         }
         assert_eq!(fabric.stats().msgs_sent, 150);
         assert_eq!(fabric.stats().bytes_sent, 600);
+    }
+
+    #[test]
+    fn obs_splits_on_node_and_inter_node_traffic() {
+        let fabric = Fabric::new(CostModel::zero());
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
+        let c = fabric.register(NodeId(1));
+        a.send(b.id(), payload(10)).unwrap();
+        a.send(c.id(), payload(7)).unwrap();
+        a.send(c.id(), payload(7)).unwrap();
+        let obs = fabric.obs();
+        assert_eq!(obs.counter_value("fabric", "fabric", "msgs_on_node"), 1);
+        assert_eq!(obs.counter_value("fabric", "fabric", "bytes_on_node"), 10);
+        assert_eq!(obs.counter_value("fabric", "fabric", "msgs_inter_node"), 2);
+        assert_eq!(obs.counter_value("fabric", "fabric", "bytes_inter_node"), 14);
+        // Legacy aggregate view stays consistent.
+        assert_eq!(fabric.stats().msgs_sent, 3);
+        assert_eq!(fabric.stats().bytes_sent, 24);
+    }
+
+    #[test]
+    fn obs_accumulates_injected_delay() {
+        let cost = CostModel {
+            inter_node_latency: Duration::from_millis(2),
+            ..CostModel::zero()
+        };
+        let fabric = Fabric::new(cost);
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        a.send(b.id(), payload(1)).unwrap();
+        let _ = b.recv().unwrap();
+        let obs = fabric.obs();
+        assert_eq!(obs.counter_value("fabric", "fabric", "msgs_delayed"), 1);
+        assert_eq!(obs.counter_value("fabric", "fabric", "delay_ns_total"), 2_000_000);
     }
 
     #[test]

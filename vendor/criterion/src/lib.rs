@@ -1,0 +1,185 @@
+//! Offline vendored shim of the `criterion` API subset this workspace's
+//! benches use.
+//!
+//! Instead of criterion's statistical sampling, each benchmark runs a
+//! small fixed number of iterations and reports mean wall time. When the
+//! harness is executed by `cargo test` (which builds and runs
+//! `harness = false` bench targets), iteration counts stay tiny so the
+//! suite finishes quickly; `cargo bench` runs more.
+
+#![allow(clippy::all)] // vendored stand-in, not project code
+use std::time::{Duration, Instant};
+
+/// Opaque optimization barrier (best-effort on stable).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time accumulated by the closure.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+    }
+
+    /// Hand the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed += f(self.iters);
+    }
+}
+
+/// Group of related benchmarks (subset of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for compatibility; the shim ignores sampling parameters.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (accepted, unused).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` executes harness=false bench targets; keep them
+        // fast there and only spend effort under `cargo bench` (which
+        // passes `--bench`).
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { iters: if bench_mode { 10 } else { 1 } }
+    }
+}
+
+impl Criterion {
+    /// Configure iterations per benchmark.
+    pub fn with_iterations(mut self, iters: u64) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { iters: self.iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / self.iters.max(1) as f64;
+        println!("bench {name:<40} {:>12.3} us/iter ({} iters)", per_iter * 1e6, self.iters);
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Criterion calls this at exit; the shim has nothing to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running all groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().with_iterations(3);
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_custom_receives_iters() {
+        let mut c = Criterion::default().with_iterations(5);
+        let mut seen = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_secs(1));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen = iters;
+                Duration::from_micros(1)
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 5);
+    }
+}

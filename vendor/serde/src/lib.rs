@@ -1,0 +1,633 @@
+//! Offline vendored shim of the `serde` trait surface this workspace uses.
+//!
+//! The container has no crates.io access, so this reimplements the subset
+//! of serde the stack relies on. Unlike real serde's streaming data model,
+//! everything funnels through an owned JSON-shaped [`Value`]: a
+//! `Serializer` receives one `Value`, a `Deserializer` yields one `Value`.
+//! That keeps hand-written impls (e.g. `ProcId`'s tuple encoding) and the
+//! `serde_derive` shim source-compatible with the real-serde signatures:
+//!
+//! ```ignore
+//! fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+//! fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+//! ```
+//!
+//! Externally-tagged enum encoding matches serde_json's default, so data
+//! written by the real stack round-trips here and vice versa.
+
+#![allow(clippy::all)] // vendored stand-in, not project code
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Object representation: sorted keys give deterministic JSON output.
+pub type Map = BTreeMap<String, Value>;
+
+/// Owned JSON-shaped value — the pivot of the shim's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// View as object map.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// View as string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Coerce to u64 when losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Coerce to i64 when losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// Coerce to f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// View as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error machinery (mirrors `serde::de::Error`).
+pub mod de {
+    /// Constructor bound every `Deserializer::Error` must satisfy.
+    pub trait Error: Sized {
+        /// Build an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// The shim's concrete deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl de::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A sink that accepts one finished [`Value`].
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consume the serializer with the final value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source that yields one owned [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type; must be constructible from a message.
+    type Error: de::Error;
+
+    /// Consume the deserializer into a value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can serialize themselves.
+pub trait Serialize {
+    /// Serialize `self` into `s`.
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types that can deserialize themselves.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from `d`.
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+}
+
+/// Infallible serializer that just hands back the built [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Self::Error> {
+        Ok(v)
+    }
+}
+
+/// Deserializer over an owned [`Value`]. Implements `Deserializer` for
+/// every lifetime, so generic container impls can recurse without tying
+/// the element's lifetime to a borrow.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize any value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    match t.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Deserialize any owned-output type from a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+fn de_err<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as u64;
+                let val = if v <= i64::MAX as u64 { Value::I64(v as i64) } else { Value::U64(v) };
+                s.serialize_value(val)
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(t) => t.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(|t| to_value(t)).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), to_value(v));
+        }
+        s.serialize_value(Value::Object(m))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), to_value(v));
+        }
+        s.serialize_value(Value::Object(m))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Matches real serde's {secs, nanos} encoding for Duration.
+        let mut m = Map::new();
+        m.insert("secs".into(), Value::I64(self.as_secs().min(i64::MAX as u64) as i64));
+        m.insert("nanos".into(), Value::I64(self.subsec_nanos() as i64));
+        s.serialize_value(Value::Object(m))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_bool().ok_or_else(|| de_err("bool", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(de_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let s = v.as_str().ok_or_else(|| de_err("char", &v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-char string")),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty : $via:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide = v.$via().ok_or_else(|| de_err(stringify!($t), &v))?;
+                <$t>::try_from(wide)
+                    .map_err(|_| de::Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64,
+             i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64().ok_or_else(|| de_err("number", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64().map(|f| f as f32).ok_or_else(|| de_err("number", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(de_err("null", &v))
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(ValueDeserializer(v))
+                .map(Some)
+                .map_err(de::Error::custom)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|it| T::deserialize(ValueDeserializer(it)).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de_err("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok((
+                            $({
+                                let _ = $n;
+                                $t::deserialize(ValueDeserializer(it.next().expect("len checked")))
+                                    .map_err(de::Error::custom)?
+                            },)+
+                        ))
+                    }
+                    other => Err(de_err(concat!("array of length ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+    (5; 0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    (6; 0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| {
+                    V::deserialize(ValueDeserializer(v))
+                        .map(|v| (k, v))
+                        .map_err(de::Error::custom)
+                })
+                .collect(),
+            other => Err(de_err("object", &other)),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| {
+                    V::deserialize(ValueDeserializer(v))
+                        .map(|v| (k, v))
+                        .map_err(de::Error::custom)
+                })
+                .collect(),
+            other => Err(de_err("object", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let obj = v.as_object().ok_or_else(|| de_err("duration object", &v))?;
+        let secs = obj.get("secs").and_then(Value::as_u64).unwrap_or(0);
+        let nanos = obj.get("nanos").and_then(Value::as_u64).unwrap_or(0) as u32;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(from_value::<u32>(to_value(&7u32)).unwrap(), 7);
+        assert_eq!(from_value::<i64>(to_value(&-3i64)).unwrap(), -3);
+        assert_eq!(from_value::<String>(to_value("hi")).unwrap(), "hi");
+        assert!(from_value::<bool>(to_value(&true)).unwrap());
+        assert_eq!(from_value::<f64>(to_value(&1.5f64)).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u32, String)> = from_value(to_value(&v)).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = HashMap::new();
+        m.insert("x".to_string(), 9u64);
+        let back: HashMap<String, u64> = from_value(to_value(&m)).unwrap();
+        assert_eq!(m, back);
+
+        let o: Option<u8> = None;
+        assert_eq!(from_value::<Option<u8>>(to_value(&o)).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(to_value(&Some(4u8))).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(from_value::<u8>(Value::I64(300)).is_err());
+        assert!(from_value::<u32>(Value::I64(-1)).is_err());
+        assert_eq!(from_value::<u64>(Value::U64(u64::MAX)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = std::time::Duration::new(3, 250);
+        let back: std::time::Duration = from_value(to_value(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline vendored shim of serde's `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros.
+//!
+//! No crates.io access means no `syn`/`quote`, so this parses the item's
+//! `TokenStream` by hand. Supported shapes — the full set the workspace
+//! uses — are non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like. Encoding matches serde_json's
+//! externally-tagged default so values round-trip against real serde:
+//!
+//! * named struct      -> `{"field": ...}`
+//! * newtype struct    -> inner value
+//! * tuple struct      -> `[...]`
+//! * unit enum variant -> `"Variant"`
+//! * data variant      -> `{"Variant": <inner>}`
+//!
+//! Unsupported shapes (generics, unions) panic at expansion time with a
+//! clear message rather than generating wrong code.
+
+#![allow(clippy::all)] // vendored stand-in, not project code
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Advance past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) tokens.
+fn skip_attrs_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list on commas at angle-bracket depth zero. Commas inside
+/// `(...)`/`{...}`/`[...]` are invisible here (they are nested groups);
+/// commas inside `<...>` are sibling tokens, hence the depth tracking.
+fn split_top_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_commas(group_tokens)
+        .iter()
+        .filter_map(|seg| {
+            let i = skip_attrs_vis(seg, 0);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                None => None,
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token in field position: {other}")
+                }
+            }
+        })
+        .collect()
+}
+
+/// Parse `( Ty, ... )` contents into an arity.
+fn parse_tuple_arity(group_tokens: &[TokenTree]) -> usize {
+    split_top_commas(group_tokens)
+        .iter()
+        .filter(|seg| {
+            let i = skip_attrs_vis(seg, 0);
+            i < seg.len()
+        })
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_vis(&toks, 0);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(parse_tuple_arity(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive shim: malformed struct `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+            };
+            let body_toks: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_top_commas(&body_toks)
+                .iter()
+                .filter_map(|seg| {
+                    let j = skip_attrs_vis(seg, 0);
+                    let vname = match seg.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => return None,
+                        Some(other) => {
+                            panic!("serde_derive shim: unexpected variant token: {other}")
+                        }
+                    };
+                    let fields = match seg.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Named(parse_named_fields(&inner))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Fields::Tuple(parse_tuple_arity(&inner))
+                        }
+                        _ => Fields::Unit,
+                    };
+                    Some((vname, fields))
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "__s.serialize_value(serde::Value::Null)".to_string(),
+                Fields::Tuple(1) => {
+                    "__s.serialize_value(serde::to_value(&self.0))".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| format!("serde::to_value(&self.{i})")).collect();
+                    format!(
+                        "__s.serialize_value(serde::Value::Array(vec![{}]))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let mut b = String::from("let mut __m = serde::Map::new();\n");
+                    for f in fs {
+                        b.push_str(&format!(
+                            "__m.insert(String::from(\"{f}\"), serde::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    b.push_str("__s.serialize_value(serde::Value::Object(__m))");
+                    b
+                }
+            };
+            out.push_str(&format!(
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\nimpl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => __s.serialize_value(\
+                             serde::Value::Str(String::from(\"{v}\"))),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> =
+                                binds.iter().map(|b| format!("serde::to_value({b})")).collect();
+                            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n\
+                             let mut __m = serde::Map::new();\n\
+                             __m.insert(String::from(\"{v}\"), {inner});\n\
+                             __s.serialize_value(serde::Value::Object(__m))\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inner = String::from("let mut __fm = serde::Map::new();\n");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "__fm.insert(String::from(\"{f}\"), serde::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = serde::Map::new();\n\
+                             __m.insert(String::from(\"{v}\"), serde::Value::Object(__fm));\n\
+                             __s.serialize_value(serde::Value::Object(__m))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\nimpl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_named_constructor(path: &str, fs: &[String], map_var: &str) -> String {
+    let mut b = format!("Ok({path} {{\n");
+    for f in fs {
+        b.push_str(&format!(
+            "{f}: serde::from_value({map_var}.remove(\"{f}\")\
+             .unwrap_or(serde::Value::Null))?,\n"
+        ));
+    }
+    b.push_str("})");
+    b
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+                Fields::Tuple(1) => format!("Ok({name}(serde::from_value(__v)?))"),
+                Fields::Tuple(n) => {
+                    let mut b = format!(
+                        "match __v {{\n\
+                         serde::Value::Array(__a) if __a.len() == {n} => {{\n\
+                         let mut __it = __a.into_iter();\nOk({name}(\n"
+                    );
+                    for _ in 0..*n {
+                        b.push_str("serde::from_value(__it.next().expect(\"len checked\"))?,\n");
+                    }
+                    b.push_str(&format!(
+                        "))\n}}\n__other => Err(serde::DeError(format!(\
+                         \"expected array of {n} for {name}, got {{}}\", __other.kind()))),\n}}"
+                    ));
+                    b
+                }
+                Fields::Named(fs) => {
+                    let ctor = gen_named_constructor(name, fs, "__m");
+                    format!(
+                        "match __v {{\n\
+                         serde::Value::Object(mut __m) => {{ let _ = &mut __m; {ctor} }}\n\
+                         __other => Err(serde::DeError(format!(\
+                         \"expected object for {name}, got {{}}\", __other.kind()))),\n}}"
+                    )
+                }
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(serde::from_value(__val)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{v}\" => match __val {{\n\
+                             serde::Value::Array(__a) if __a.len() == {n} => {{\n\
+                             let mut __it = __a.into_iter();\nOk({name}::{v}(\n"
+                        );
+                        for _ in 0..*n {
+                            arm.push_str(
+                                "serde::from_value(__it.next().expect(\"len checked\"))?,\n",
+                            );
+                        }
+                        arm.push_str(&format!(
+                            "))\n}}\n__other => Err(serde::DeError(format!(\
+                             \"expected array of {n} for {name}::{v}, got {{}}\", \
+                             __other.kind()))),\n}},\n"
+                        ));
+                        data_arms.push_str(&arm);
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = gen_named_constructor(&format!("{name}::{v}"), fs, "__fm");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => match __val {{\n\
+                             serde::Value::Object(mut __fm) => {{ let _ = &mut __fm; {ctor} }}\n\
+                             __other => Err(serde::DeError(format!(\
+                             \"expected object for {name}::{v}, got {{}}\", \
+                             __other.kind()))),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 serde::Value::Str(__tag) => match __tag.as_str() {{\n{unit_arms}\
+                 __o => Err(serde::DeError(format!(\"unknown variant {{__o}} for {name}\"))),\n}}\n\
+                 serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __val) = __m.into_iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __o => Err(serde::DeError(format!(\"unknown variant {{__o}} for {name}\"))),\n}}\n}}\n\
+                 __other => Err(serde::DeError(format!(\
+                 \"expected variant encoding for {name}, got {{}}\", __other.kind()))),\n}}"
+            );
+            (name.clone(), body)
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\nimpl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __v = __d.take_value()?;\n\
+         let __r: ::core::result::Result<Self, serde::DeError> = (|| {{\n{body}\n}})();\n\
+         __r.map_err(|__e| <__D::Error as serde::de::Error>::custom(__e))\n\
+         }}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

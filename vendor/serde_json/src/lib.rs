@@ -1,0 +1,493 @@
+//! Offline vendored shim of `serde_json`: a JSON printer and parser over
+//! the `serde` shim's [`Value`] model, exposing the `to_string` /
+//! `to_vec` / `from_str` / `from_slice` (+ `_pretty`) entry points the
+//! workspace uses.
+//!
+//! Output is valid JSON (RFC 8259): strings are escaped, objects iterate
+//! in sorted-key order (deterministic), non-finite floats serialize as
+//! `null` like the real crate.
+
+#![allow(clippy::all)] // vendored stand-in, not project code
+use std::fmt;
+
+pub use serde::{Map, Value};
+use serde::{Deserialize, Serialize};
+
+/// Error for both serialization and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so the value re-parses as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, pretty: bool, indent: usize) {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => fmt_f64(*f, out),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&serde::to_value(value), &mut out, false, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&serde::to_value(value), &mut out, true, 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Serialize any value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(serde::to_value(value))
+}
+
+/// Deserialize from a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T> {
+    serde::from_value(v).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let hex2 = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| self.err("bad surrogate"))?;
+                                    let low = u32::from_str_radix(
+                                        std::str::from_utf8(hex2)
+                                            .map_err(|_| self.err("bad surrogate"))?,
+                                        16,
+                                    )
+                                    .map_err(|_| self.err("bad surrogate"))?;
+                                    self.pos += 4;
+                                    let c = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00));
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char in the source.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid utf-8"))?;
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{', "expected object")?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            let val = self.parse_value()?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON string into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T> {
+    let v = parse_value(s)?;
+    serde::from_value(v).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+        let x: u32 = from_str("42").unwrap();
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), vec![true, false]);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, r#"{"k":[true,false]}"#);
+        let back: HashMap<String, Vec<bool>> = from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn whitespace_and_nesting() {
+        let s = r#" { "a" : [ 1 , { "b" : null } ] , "c" : "x" } "#;
+        let v = parse_value(s).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("c").and_then(Value::as_str), Some("x"));
+        let arr = obj.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert!(arr[1].as_object().unwrap().get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(s, "Aé😀");
+        // Non-ASCII passes through printing unescaped but re-parses.
+        let out = to_string(&s).unwrap();
+        let back: String = from_str(&out).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn float_keeps_float_shape() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let v = parse_value(&s).unwrap();
+        assert!(matches!(v, Value::F64(_)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("4x").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("[1,").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let mut m = HashMap::new();
+        m.insert("list".to_string(), vec![1u8, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: HashMap<String, Vec<u8>> = from_str(&pretty).unwrap();
+        assert_eq!(back, m);
+    }
+}
