@@ -14,4 +14,13 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+# Chaos gate: the pinned-seed fault-injection sweeps (tests/chaos_suite.rs)
+# already ran as part of the workspace test pass above; rerun the suite
+# here only when extra seeds are requested via the CHAOS_SEEDS knob
+# (comma-separated u64s), e.g. CHAOS_SEEDS=90,91,92 ./ci.sh
+if [[ -n "${CHAOS_SEEDS:-}" ]]; then
+  echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS}) =="
+  cargo test -q --offline --test chaos_suite chaos_seeds_env
+fi
+
 echo "CI OK"

@@ -1,0 +1,177 @@
+//! The fabric-side evaluator of a [`FaultPlan`].
+
+use crate::plan::{FaultClass, FaultPlan};
+use parking_lot::Mutex;
+use simnet::{EndpointId, FaultAction, FaultHook, FaultVerdict, MsgView};
+
+/// One injected fault, as recorded by [`ChaosHook`].
+///
+/// Records are keyed entirely by run-stable coordinates (normalized
+/// endpoint pair + per-pair sequence number), so the *set* of records for a
+/// given (seed, scenario) is identical across runs even though the order
+/// the hook appends them in depends on thread scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultRecord {
+    /// Normalized source endpoint id.
+    pub rel_src: u64,
+    /// Normalized destination endpoint id.
+    pub rel_dst: u64,
+    /// Sequence number of the message on its (src, dst) pair.
+    pub pair_seq: u64,
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// Class-specific detail: delay in ms for `Delay`, the victim's
+    /// normalized id for `Kill`, 0 otherwise.
+    pub detail: u64,
+    /// Payload length of the affected message.
+    pub len: usize,
+}
+
+/// A [`FaultHook`] that evaluates a [`FaultPlan`] per message and records
+/// every fault it injects.
+pub struct ChaosHook {
+    plan: FaultPlan,
+    records: Mutex<Vec<FaultRecord>>,
+    killed: Mutex<Vec<EndpointId>>,
+}
+
+impl ChaosHook {
+    /// Wrap a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, records: Mutex::new(Vec::new()), killed: Mutex::new(Vec::new()) }
+    }
+
+    /// The plan being evaluated.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of every fault injected so far (append order — pass through
+    /// [`crate::trace::canonicalize`] before comparing across runs).
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Raw ids of every endpoint this hook killed.
+    pub fn killed(&self) -> Vec<EndpointId> {
+        self.killed.lock().clone()
+    }
+}
+
+impl FaultHook for ChaosHook {
+    fn on_message(&self, msg: &MsgView) -> FaultVerdict {
+        for (idx, rule) in self.plan.rules.iter().enumerate() {
+            let scope_ok = rule.scope.matches(
+                msg.rel_src,
+                msg.rel_dst,
+                msg.src_node.map(|n| n.0),
+                msg.dst_node.map(|n| n.0),
+            );
+            if !scope_ok || !rule.window.contains(msg.pair_seq) {
+                continue;
+            }
+            if !self.plan.fires(idx, msg.rel_src, msg.rel_dst, msg.pair_seq) {
+                continue;
+            }
+            let (action, detail, kills) = match rule.class {
+                FaultClass::Drop | FaultClass::Partition => (FaultAction::Drop, 0, Vec::new()),
+                FaultClass::Delay => (FaultAction::Delay(rule.delay()), rule.delay_ms, Vec::new()),
+                FaultClass::Duplicate => (FaultAction::Duplicate, 0, Vec::new()),
+                FaultClass::Kill => {
+                    // rel ids are offsets from the fabric's first endpoint;
+                    // the triggering message carries both forms, which
+                    // recovers the base without consulting the fabric.
+                    let base = msg.src.0 - msg.rel_src;
+                    let victim = EndpointId(base + rule.kill_rel);
+                    self.killed.lock().push(victim);
+                    (FaultAction::Deliver, rule.kill_rel, vec![victim])
+                }
+            };
+            self.records.lock().push(FaultRecord {
+                rel_src: msg.rel_src,
+                rel_dst: msg.rel_dst,
+                pair_seq: msg.pair_seq,
+                class: rule.class,
+                detail,
+                len: msg.len,
+            });
+            return FaultVerdict { action, kills };
+        }
+        FaultVerdict::deliver()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultRule, RuleScope, SeqWindow};
+    use simnet::NodeId;
+
+    fn view(rel_src: u64, rel_dst: u64, seq: u64) -> MsgView {
+        MsgView {
+            src: EndpointId(100 + rel_src),
+            dst: EndpointId(100 + rel_dst),
+            rel_src,
+            rel_dst,
+            src_node: Some(NodeId(0)),
+            dst_node: Some(NodeId(1)),
+            pair_seq: seq,
+            len: 32,
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_is_recorded() {
+        let plan = FaultPlan::new(
+            3,
+            vec![
+                FaultRule::new(FaultClass::Drop, RuleScope::any(), SeqWindow::exactly(0)),
+                FaultRule::new(FaultClass::Delay, RuleScope::any(), SeqWindow::all())
+                    .with_delay_ms(5),
+            ],
+        );
+        let hook = ChaosHook::new(plan);
+        let v0 = hook.on_message(&view(1, 2, 0));
+        assert_eq!(v0.action, FaultAction::Drop, "seq 0 hits the drop rule first");
+        let v1 = hook.on_message(&view(1, 2, 1));
+        assert!(matches!(v1.action, FaultAction::Delay(_)));
+        let recs = hook.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].class, FaultClass::Drop);
+        assert_eq!(recs[1].class, FaultClass::Delay);
+        assert_eq!(recs[1].detail, 5);
+    }
+
+    #[test]
+    fn kill_rule_targets_rel_id_via_base_recovery() {
+        let plan = FaultPlan::new(
+            9,
+            vec![FaultRule::new(FaultClass::Kill, RuleScope::any(), SeqWindow::exactly(2))
+                .with_kill_rel(7)],
+        );
+        let hook = ChaosHook::new(plan);
+        assert!(hook.on_message(&view(1, 2, 1)).kills.is_empty());
+        let v = hook.on_message(&view(1, 2, 2));
+        // base = raw 101 - rel 1 = 100, so victim = endpoint 107.
+        assert_eq!(v.kills, vec![EndpointId(107)]);
+        assert_eq!(v.action, FaultAction::Deliver);
+        assert_eq!(hook.killed(), vec![EndpointId(107)]);
+    }
+
+    #[test]
+    fn unmatched_messages_are_untouched_and_unrecorded() {
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::new(
+                FaultClass::Drop,
+                RuleScope::dst_in(50, 60),
+                SeqWindow::all(),
+            )],
+        );
+        let hook = ChaosHook::new(plan);
+        let v = hook.on_message(&view(1, 2, 0));
+        assert_eq!(v.action, FaultAction::Deliver);
+        assert!(v.kills.is_empty());
+        assert!(hook.records().is_empty());
+    }
+}

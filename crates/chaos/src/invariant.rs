@@ -1,0 +1,460 @@
+//! Post-run protocol invariants, checked from the observability registry.
+//!
+//! Every fault schedule — whatever it drops, delays, duplicates, kills or
+//! partitions — must leave the stack in a state where these hold:
+//!
+//! 1. **handshake-unique** — at most one completed exCID handshake per
+//!    (process, exCID, peer); the `pml.handshake` event count matches the
+//!    `handshakes` counter.
+//! 2. **fanout-abort-exclusive** — no server both completes (fan-out) and
+//!    aborts the same collective epoch: a failed group construct must not
+//!    leak its result (or its PGCID) to waiting clients.
+//! 3. **pgcid-agreement** — every server that fans out a given group
+//!    construct epoch reports the same PGCID and member count.
+//! 4. **pgcid-accounting** — every PGCID exposed to the stack (group
+//!    fan-outs, exCID refills) is non-zero, refill PGCIDs are distinct, and
+//!    the number of distinct PGCIDs in use never exceeds what the RM
+//!    allocated.
+//! 5. **failure-delivery** — a fresh failure watcher converges on exactly
+//!    the endpoints the run killed: nothing lost, nothing invented (this
+//!    exercises the late-subscriber replay path).
+//! 6. **reinit** — when the scenario re-initialized a session after a kill,
+//!    that re-init must have succeeded.
+//! 7. **fault-counter-match** — the fabric's fault counters agree with the
+//!    hook's trace: every injected fault was accounted, no phantom faults.
+//! 8. **cid-agreement** — in symmetric scenarios, all listed processes
+//!    performed the same number of exCID refills and derivations.
+//!
+//! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
+//! based checks are only sound over a complete ring, so scenarios must be
+//! sized to fit it.
+
+use crate::hook::FaultRecord;
+use crate::plan::FaultClass;
+use simnet::{EndpointId, Fabric};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Everything a check needs about one finished run.
+pub struct InvariantCtx<'a> {
+    /// The fabric-wide observability registry.
+    pub obs: &'a obs::Registry,
+    /// The fabric itself (for the failure-replay probe).
+    pub fabric: &'a Fabric,
+    /// The hook's fault trace (canonical or raw — only counted/matched).
+    pub trace: &'a [FaultRecord],
+    /// Every endpoint the run killed (hook verdicts + explicit kills).
+    pub expected_dead: Vec<EndpointId>,
+    /// Whether a post-kill session re-init succeeded, if the scenario did one.
+    pub reinit_ok: Option<bool>,
+    /// Process names whose `cid` counters must agree (symmetric scenarios).
+    pub cid_agree: Vec<String>,
+}
+
+/// The invariant suite. Construct with [`InvariantChecker::standard`] and
+/// run [`InvariantChecker::check`]; an empty result means all hold.
+#[derive(Default)]
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// The full standard suite.
+    pub fn standard() -> Self {
+        Self
+    }
+
+    /// Run every check; returns all violations found.
+    pub fn check(&self, ctx: &InvariantCtx<'_>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.check_ring(ctx, &mut out);
+        self.check_handshakes(ctx, &mut out);
+        self.check_fanout_abort(ctx, &mut out);
+        self.check_pgcids(ctx, &mut out);
+        self.check_failure_delivery(ctx, &mut out);
+        self.check_reinit(ctx, &mut out);
+        self.check_fault_counters(ctx, &mut out);
+        self.check_cid_agreement(ctx, &mut out);
+        out
+    }
+
+    fn check_ring(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let dropped = ctx.obs.events_dropped();
+        if dropped > 0 {
+            out.push(Violation {
+                invariant: "obs-ring",
+                detail: format!("{dropped} events dropped; event checks are unsound"),
+            });
+        }
+    }
+
+    fn check_handshakes(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let events = ctx.obs.events_named("pml.handshake");
+        let mut seen: BTreeSet<(String, u64, u64, u64)> = BTreeSet::new();
+        for e in &events {
+            let key = (
+                e.process.clone(),
+                attr_u64(e, "pgcid"),
+                attr_u64(e, "derivation"),
+                attr_u64(e, "peer"),
+            );
+            if !seen.insert(key.clone()) {
+                out.push(Violation {
+                    invariant: "handshake-unique",
+                    detail: format!(
+                        "process {} completed the handshake with peer {} twice \
+                         (pgcid {}, derivation {})",
+                        key.0, key.3, key.1, key.2
+                    ),
+                });
+            }
+        }
+        let counted = ctx.obs.sum_counters("pml", "handshakes");
+        if counted != events.len() as u64 {
+            out.push(Violation {
+                invariant: "handshake-unique",
+                detail: format!(
+                    "handshakes counter says {counted} but {} events recorded",
+                    events.len()
+                ),
+            });
+        }
+    }
+
+    fn check_fanout_abort(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let fanouts = ctx.obs.events_named("group.fanout");
+        let aborted: BTreeSet<(String, String, String, u64)> = ctx
+            .obs
+            .events_named("group.abort")
+            .iter()
+            .map(|e| {
+                (
+                    e.process.clone(),
+                    attr_str(e, "kind"),
+                    attr_str(e, "op"),
+                    attr_u64(e, "epoch"),
+                )
+            })
+            .collect();
+        for e in &fanouts {
+            let key = (
+                e.process.clone(),
+                attr_str(e, "kind"),
+                attr_str(e, "op"),
+                attr_u64(e, "epoch"),
+            );
+            if aborted.contains(&key) {
+                out.push(Violation {
+                    invariant: "fanout-abort-exclusive",
+                    detail: format!(
+                        "server {} both completed and aborted {} \"{}\" epoch {}",
+                        key.0, key.1, key.2, key.3
+                    ),
+                });
+            }
+        }
+        // pgcid-agreement: all fan-outs of one construct epoch must agree.
+        let mut per_op: BTreeMap<(String, u64), BTreeSet<(u64, u64)>> = BTreeMap::new();
+        for e in &fanouts {
+            if attr_str(e, "kind") != "group_construct" {
+                continue;
+            }
+            per_op
+                .entry((attr_str(e, "op"), attr_u64(e, "epoch")))
+                .or_default()
+                .insert((attr_u64(e, "pgcid"), attr_u64(e, "members")));
+        }
+        for ((op, epoch), views) in per_op {
+            if views.len() > 1 {
+                out.push(Violation {
+                    invariant: "pgcid-agreement",
+                    detail: format!(
+                        "construct \"{op}\" epoch {epoch} fanned out with divergent \
+                         (pgcid, members) views: {views:?}"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_pgcids(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let mut used: BTreeSet<u64> = BTreeSet::new();
+        for e in ctx.obs.events_named("group.fanout") {
+            let p = attr_u64(&e, "pgcid");
+            if p != 0 {
+                used.insert(p);
+            }
+        }
+        let mut refill_pgcids: Vec<u64> = Vec::new();
+        for e in ctx.obs.events_named("cid.refill") {
+            let p = attr_u64(&e, "pgcid");
+            if p == 0 {
+                out.push(Violation {
+                    invariant: "pgcid-accounting",
+                    detail: format!("process {} refilled its exCID pool with pgcid 0", e.process),
+                });
+            }
+            used.insert(p);
+            refill_pgcids.push(p);
+        }
+        let mut sorted = refill_pgcids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != refill_pgcids.len() {
+            out.push(Violation {
+                invariant: "pgcid-accounting",
+                detail: "two exCID refills drew the same PGCID block".into(),
+            });
+        }
+        let allocated = ctx.obs.sum_counters("pmix", "pgcid_allocated");
+        if (used.len() as u64) > allocated {
+            out.push(Violation {
+                invariant: "pgcid-accounting",
+                detail: format!(
+                    "{} distinct PGCIDs in use but RM only allocated {allocated}",
+                    used.len()
+                ),
+            });
+        }
+    }
+
+    fn check_failure_delivery(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        // A fresh watcher replays every prior death: the late-subscriber
+        // guarantee means its replay IS the fabric's failure knowledge.
+        let mut watcher = ctx.fabric.watch_failures();
+        let mut seen: BTreeSet<EndpointId> = BTreeSet::new();
+        // Replay is synchronous at subscription; drain with a short grace
+        // period in case a verdict kill is still being broadcast.
+        while let Some(ev) = watcher.recv_timeout(Duration::from_millis(50)) {
+            seen.insert(ev.endpoint);
+        }
+        let expected: BTreeSet<EndpointId> = ctx.expected_dead.iter().copied().collect();
+        for ep in expected.difference(&seen) {
+            out.push(Violation {
+                invariant: "failure-delivery",
+                detail: format!("killed endpoint {ep:?} never reached failure watchers"),
+            });
+        }
+        for ep in seen.difference(&expected) {
+            out.push(Violation {
+                invariant: "failure-delivery",
+                detail: format!("watchers saw a death nobody injected: {ep:?}"),
+            });
+        }
+    }
+
+    fn check_reinit(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        if ctx.reinit_ok == Some(false) {
+            out.push(Violation {
+                invariant: "reinit",
+                detail: "session re-initialization after the kill failed".into(),
+            });
+        }
+    }
+
+    fn check_fault_counters(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let count = |classes: &[FaultClass]| {
+            ctx.trace.iter().filter(|r| classes.contains(&r.class)).count() as u64
+        };
+        let pairs = [
+            ("faults_dropped", count(&[FaultClass::Drop, FaultClass::Partition])),
+            ("faults_delayed", count(&[FaultClass::Delay])),
+            ("faults_duplicated", count(&[FaultClass::Duplicate])),
+        ];
+        for (name, traced) in pairs {
+            let counted = ctx.obs.sum_counters("fabric", name);
+            if counted != traced {
+                out.push(Violation {
+                    invariant: "fault-counter-match",
+                    detail: format!("fabric {name} = {counted} but the trace holds {traced}"),
+                });
+            }
+        }
+    }
+
+    fn check_cid_agreement(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        for name in ["refills", "derivations"] {
+            let values: BTreeSet<u64> = ctx
+                .cid_agree
+                .iter()
+                .map(|p| ctx.obs.counter_value(p, "cid", name))
+                .collect();
+            if values.len() > 1 {
+                out.push(Violation {
+                    invariant: "cid-agreement",
+                    detail: format!(
+                        "cid.{name} diverges across ranks {:?}: {values:?}",
+                        ctx.cid_agree
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn attr_u64(e: &obs::Event, k: &str) -> u64 {
+    e.attr(k).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn attr_str(e: &obs::Event, k: &str) -> String {
+    e.attr(k).and_then(|v| v.as_str()).unwrap_or("").to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{CostModel, NodeId};
+
+    fn ctx_for<'a>(
+        obs: &'a obs::Registry,
+        fabric: &'a Fabric,
+        trace: &'a [FaultRecord],
+    ) -> InvariantCtx<'a> {
+        InvariantCtx {
+            obs,
+            fabric,
+            trace,
+            expected_dead: Vec::new(),
+            reinit_ok: None,
+            cid_agree: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_world_has_no_violations() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn duplicate_handshake_is_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let attrs = || {
+            vec![
+                ("pgcid".into(), 5u64.into()),
+                ("derivation".into(), 0u64.into()),
+                ("peer".into(), 1u64.into()),
+            ]
+        };
+        obs.event("ep1", "pml", "pml.handshake", attrs());
+        obs.event("ep1", "pml", "pml.handshake", attrs());
+        obs.counter("ep1", "pml", "handshakes").add(2);
+        // Account for the pgcid so only the handshake check trips.
+        obs.counter("server:0", "pmix", "pgcid_allocated").inc();
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "handshake-unique");
+    }
+
+    #[test]
+    fn fanout_after_abort_is_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let base = || {
+            vec![
+                ("op".into(), "g".into()),
+                ("kind".into(), "group_construct".into()),
+                ("epoch".into(), 1u64.into()),
+            ]
+        };
+        obs.event("server:0", "pmix", "group.abort", {
+            let mut a = base();
+            a.push(("reason".into(), "timeout".into()));
+            a
+        });
+        obs.event("server:0", "pmix", "group.fanout", {
+            let mut a = base();
+            a.push(("members".into(), 2u64.into()));
+            a.push(("pgcid".into(), 0u64.into()));
+            a
+        });
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "fanout-abort-exclusive");
+    }
+
+    #[test]
+    fn pgcid_overdraw_and_disagreement_are_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        // Two servers fan the same epoch out with different pgcids, and the
+        // RM never allocated anything.
+        for (srv, pgcid) in [("server:0", 11u64), ("server:1", 12u64)] {
+            obs.event(srv, "pmix", "group.fanout", vec![
+                ("op".into(), "g".into()),
+                ("kind".into(), "group_construct".into()),
+                ("epoch".into(), 1u64.into()),
+                ("members".into(), 2u64.into()),
+                ("pgcid".into(), pgcid.into()),
+            ]);
+        }
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        let names: Vec<&str> = v.iter().map(|x| x.invariant).collect();
+        assert!(names.contains(&"pgcid-agreement"), "got: {v:?}");
+        assert!(names.contains(&"pgcid-accounting"), "got: {v:?}");
+    }
+
+    #[test]
+    fn failure_delivery_mismatches_are_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
+        fabric.kill(a.id());
+        // `a` died but is not expected; `b` is expected but alive.
+        let mut ctx = ctx_for(&obs, &fabric, &[]);
+        ctx.expected_dead = vec![b.id()];
+        let v = InvariantChecker::standard().check(&ctx);
+        assert_eq!(v.len(), 2, "got: {v:?}");
+        assert!(v.iter().all(|x| x.invariant == "failure-delivery"));
+    }
+
+    #[test]
+    fn fault_counters_must_match_trace() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let trace = vec![FaultRecord {
+            rel_src: 0,
+            rel_dst: 1,
+            pair_seq: 0,
+            class: FaultClass::Drop,
+            detail: 0,
+            len: 4,
+        }];
+        // Trace says one drop, fabric counted none.
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &trace));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "fault-counter-match");
+    }
+
+    #[test]
+    fn reinit_failure_and_cid_divergence_are_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        obs.counter("r0", "cid", "refills").inc();
+        // r1 never refilled: divergence.
+        let mut ctx = ctx_for(&obs, &fabric, &[]);
+        ctx.reinit_ok = Some(false);
+        ctx.cid_agree = vec!["r0".into(), "r1".into()];
+        let v = InvariantChecker::standard().check(&ctx);
+        let names: Vec<&str> = v.iter().map(|x| x.invariant).collect();
+        assert!(names.contains(&"reinit"), "got: {v:?}");
+        assert!(names.contains(&"cid-agreement"), "got: {v:?}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # chaos — deterministic fault injection for the sessions stack
+//!
+//! A seeded schedule-exploration harness over the whole simulated stack
+//! (simnet fabric → PMIx servers → PRRTE jobs → MPI sessions). The pieces:
+//!
+//! * [`plan`] — [`FaultPlan`]: a seed plus a list of [`FaultRule`]s
+//!   describing *which* messages to drop / delay / duplicate, *when* to
+//!   partition node groups, and *which* endpoint to kill at step N. Rules
+//!   fire as pure functions of the seed and the message coordinates
+//!   (normalized endpoint pair + per-pair sequence number) — never of
+//!   wall-clock time or raw ids, so the same seed yields the same schedule
+//!   on every run;
+//! * [`hook`] — [`ChaosHook`]: the [`simnet::FaultHook`] implementation
+//!   that evaluates a plan per message and records every injected fault;
+//! * [`trace`] — canonicalization of the fault record into a sorted,
+//!   byte-stable JSON trace (thread interleaving perturbs record *order*,
+//!   never record *content*, so sorting restores determinism);
+//! * [`invariant`] — [`InvariantChecker`]: post-run assertions over the
+//!   observability registry (exactly-once exCID handshakes, PGCID
+//!   accounting and cross-server agreement, abort/fanout exclusivity,
+//!   failure-event delivery, session re-init) — the protocol properties
+//!   that must survive *any* fault schedule;
+//! * [`harness`] — [`ChaosWorld`]: boots a DVM with the hook armed,
+//!   serializes chaos runs (normalized endpoint ids are only stable while
+//!   one world at a time registers endpoints), and bundles trace +
+//!   invariant results into a [`RunReport`].
+//!
+//! A failing seed is a complete reproduction recipe: rebuild the same
+//! [`FaultPlan`] from the seed, re-run the same scenario, and the identical
+//! fault schedule (and trace) comes out.
+
+pub mod harness;
+pub mod hook;
+pub mod invariant;
+pub mod plan;
+pub mod trace;
+
+pub use harness::{ChaosWorld, RunReport};
+pub use hook::{ChaosHook, FaultRecord};
+pub use invariant::{InvariantChecker, InvariantCtx, Violation};
+pub use plan::{FaultClass, FaultPlan, FaultRule, RuleScope, SeqWindow};

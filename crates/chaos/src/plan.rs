@@ -1,0 +1,307 @@
+//! Fault plans: seeded, declarative descriptions of a fault schedule.
+//!
+//! A plan is evaluated per message by [`ChaosHook`](crate::hook::ChaosHook).
+//! Every decision is a pure function of `(seed, rule index, rel_src,
+//! rel_dst, pair_seq)` — a *stateless* hash rather than a stateful RNG,
+//! because messages from different sending threads interleave
+//! nondeterministically and a shared RNG stream would hand different draws
+//! to the same message across runs. The stateless form gives every message
+//! the same verdict no matter the interleaving.
+
+use std::time::Duration;
+
+/// The fault classes the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Silently lose matching messages (sender still sees success).
+    Drop,
+    /// Deliver matching messages late by `delay_ms`.
+    Delay,
+    /// Deliver matching messages twice (retransmission duplicate).
+    Duplicate,
+    /// Kill `kill_rel` when the triggering message fires the rule
+    /// ("kill endpoint at step N" — N is the trigger's `pair_seq`).
+    Kill,
+    /// Network partition: drop messages crossing between two node groups
+    /// while the trigger pair's sequence number is inside the window (the
+    /// partition "heals" once traffic advances past `window.end`).
+    Partition,
+}
+
+impl FaultClass {
+    /// Stable lowercase name (used in traces).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultClass::Drop => "drop",
+            FaultClass::Delay => "delay",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::Kill => "kill",
+            FaultClass::Partition => "partition",
+        }
+    }
+}
+
+/// Half-open `[start, end)` window over a pair's message sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqWindow {
+    /// First sequence number the rule applies to.
+    pub start: u64,
+    /// First sequence number past the window.
+    pub end: u64,
+}
+
+impl SeqWindow {
+    /// Window covering every message.
+    pub fn all() -> Self {
+        Self { start: 0, end: u64::MAX }
+    }
+
+    /// Window covering exactly one sequence number.
+    pub fn exactly(n: u64) -> Self {
+        Self { start: n, end: n + 1 }
+    }
+
+    /// Window covering `[0, end)`.
+    pub fn first(end: u64) -> Self {
+        Self { start: 0, end }
+    }
+
+    /// Whether `seq` lies inside the window.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq >= self.start && seq < self.end
+    }
+}
+
+/// Which messages a rule applies to. All `Some` constraints must hold;
+/// the default (all `None`) matches everything.
+///
+/// Constraints are phrased in *normalized* endpoint ids (`rel_*` in
+/// [`simnet::MsgView`]): 0 is the first endpoint registered on the fabric.
+/// A [`ChaosWorld`](crate::harness::ChaosWorld) boots the control plane
+/// first, so rel ids `0..=nodes` are the RM daemon plus the per-node PMIx
+/// servers and job ranks follow densely after them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleScope {
+    /// Both endpoints' rel ids must be in `[lo, hi)`.
+    pub pair_within: Option<(u64, u64)>,
+    /// The destination's rel id must be in `[lo, hi)`.
+    pub dst_in: Option<(u64, u64)>,
+    /// The message must cross between the two node groups (either
+    /// direction). Messages whose src or dst node is unknown do not match.
+    pub crossing: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+impl RuleScope {
+    /// Match every message.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Both endpoints within `[lo, hi)` (e.g. the control plane).
+    pub fn pair_within(lo: u64, hi: u64) -> Self {
+        Self { pair_within: Some((lo, hi)), ..Self::default() }
+    }
+
+    /// Destination within `[lo, hi)`.
+    pub fn dst_in(lo: u64, hi: u64) -> Self {
+        Self { dst_in: Some((lo, hi)), ..Self::default() }
+    }
+
+    /// Messages crossing between node groups `a` and `b`.
+    pub fn crossing(a: Vec<u32>, b: Vec<u32>) -> Self {
+        Self { crossing: Some((a, b)), ..Self::default() }
+    }
+
+    /// Restrict an existing scope to crossing traffic.
+    pub fn and_crossing(mut self, a: Vec<u32>, b: Vec<u32>) -> Self {
+        self.crossing = Some((a, b));
+        self
+    }
+
+    /// Whether a message with these coordinates matches.
+    pub fn matches(
+        &self,
+        rel_src: u64,
+        rel_dst: u64,
+        src_node: Option<u32>,
+        dst_node: Option<u32>,
+    ) -> bool {
+        if let Some((lo, hi)) = self.pair_within {
+            if !(rel_src >= lo && rel_src < hi && rel_dst >= lo && rel_dst < hi) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.dst_in {
+            if !(rel_dst >= lo && rel_dst < hi) {
+                return false;
+            }
+        }
+        if let Some((a, b)) = &self.crossing {
+            let (Some(s), Some(d)) = (src_node, dst_node) else { return false };
+            let a_to_b = a.contains(&s) && b.contains(&d);
+            let b_to_a = b.contains(&s) && a.contains(&d);
+            if !(a_to_b || b_to_a) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One fault rule. The first rule of a plan that matches a message wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// What to inject.
+    pub class: FaultClass,
+    /// Which messages are candidates.
+    pub scope: RuleScope,
+    /// Which per-pair sequence numbers are candidates.
+    pub window: SeqWindow,
+    /// Firing probability in per-mille (1000 = every candidate fires),
+    /// decided by the seeded per-message hash.
+    pub per_mille: u16,
+    /// Extra delivery delay for [`FaultClass::Delay`], in milliseconds.
+    pub delay_ms: u64,
+    /// Normalized endpoint id to kill for [`FaultClass::Kill`].
+    pub kill_rel: u64,
+}
+
+impl FaultRule {
+    /// A rule that always fires within `scope` and `window`.
+    pub fn new(class: FaultClass, scope: RuleScope, window: SeqWindow) -> Self {
+        Self { class, scope, window, per_mille: 1000, delay_ms: 0, kill_rel: 0 }
+    }
+
+    /// Set the firing probability (per-mille).
+    pub fn with_per_mille(mut self, per_mille: u16) -> Self {
+        self.per_mille = per_mille;
+        self
+    }
+
+    /// Set the delay duration (for [`FaultClass::Delay`]).
+    pub fn with_delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = ms;
+        self
+    }
+
+    /// Set the kill victim (for [`FaultClass::Kill`]).
+    pub fn with_kill_rel(mut self, rel: u64) -> Self {
+        self.kill_rel = rel;
+        self
+    }
+
+    /// The delay this rule injects.
+    pub fn delay(&self) -> Duration {
+        Duration::from_millis(self.delay_ms)
+    }
+}
+
+/// A seeded fault schedule: evaluated per message, reproducible from the
+/// seed alone (given the same scenario).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed all per-message decisions are derived from.
+    pub seed: u64,
+    /// Rules, in priority order (first match wins).
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules (useful as a disarmed baseline).
+    pub fn quiet(seed: u64) -> Self {
+        Self { seed, rules: Vec::new() }
+    }
+
+    /// A plan with the given rules.
+    pub fn new(seed: u64, rules: Vec<FaultRule>) -> Self {
+        Self { seed, rules }
+    }
+
+    /// The deterministic per-message firing decision for rule `rule_idx`:
+    /// a splitmix64-style hash of `(seed, rule_idx, rel_src, rel_dst,
+    /// pair_seq)` reduced to per-mille.
+    pub fn fires(&self, rule_idx: usize, rel_src: u64, rel_dst: u64, pair_seq: u64) -> bool {
+        let rule = &self.rules[rule_idx];
+        if rule.per_mille >= 1000 {
+            return true;
+        }
+        let h = decision_hash(self.seed, rule_idx as u64, rel_src, rel_dst, pair_seq);
+        (h % 1000) < rule.per_mille as u64
+    }
+}
+
+/// Stateless decision hash (splitmix64 finalizer over the mixed inputs).
+pub(crate) fn decision_hash(seed: u64, rule: u64, rel_src: u64, rel_dst: u64, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(rule.wrapping_mul(0xd1342543de82ef95))
+        .wrapping_add(rel_src.wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(rel_dst.wrapping_mul(0x94d049bb133111eb))
+        .wrapping_add(seq.wrapping_mul(0x2545f4914f6cdd1d));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_contain_what_they_say() {
+        assert!(SeqWindow::all().contains(0));
+        assert!(SeqWindow::all().contains(u64::MAX - 1));
+        assert!(SeqWindow::exactly(3).contains(3));
+        assert!(!SeqWindow::exactly(3).contains(2));
+        assert!(!SeqWindow::exactly(3).contains(4));
+        assert!(SeqWindow::first(2).contains(1));
+        assert!(!SeqWindow::first(2).contains(2));
+    }
+
+    #[test]
+    fn scope_constraints_compose() {
+        let s = RuleScope::pair_within(0, 3).and_crossing(vec![0], vec![1]);
+        assert!(s.matches(1, 2, Some(0), Some(1)));
+        assert!(s.matches(2, 1, Some(1), Some(0)), "either direction crosses");
+        assert!(!s.matches(1, 5, Some(0), Some(1)), "pair_within violated");
+        assert!(!s.matches(1, 2, Some(0), Some(0)), "same side, not crossing");
+        assert!(!s.matches(1, 2, None, Some(1)), "unknown node never crosses");
+        assert!(RuleScope::any().matches(9, 9, None, None));
+        assert!(RuleScope::dst_in(4, 6).matches(0, 5, None, None));
+        assert!(!RuleScope::dst_in(4, 6).matches(0, 6, None, None));
+    }
+
+    #[test]
+    fn firing_decision_is_deterministic_and_seed_sensitive() {
+        let rule = FaultRule::new(FaultClass::Drop, RuleScope::any(), SeqWindow::all())
+            .with_per_mille(500);
+        let a = FaultPlan::new(7, vec![rule.clone()]);
+        let b = FaultPlan::new(7, vec![rule.clone()]);
+        let c = FaultPlan::new(8, vec![rule]);
+        let mut diverged = false;
+        for seq in 0..256 {
+            assert_eq!(a.fires(0, 1, 2, seq), b.fires(0, 1, 2, seq), "same seed, same draw");
+            if a.fires(0, 1, 2, seq) != c.fires(0, 1, 2, seq) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds must yield different schedules");
+    }
+
+    #[test]
+    fn per_mille_bounds_are_respected() {
+        let always = FaultPlan::new(
+            1,
+            vec![FaultRule::new(FaultClass::Drop, RuleScope::any(), SeqWindow::all())],
+        );
+        let never = FaultPlan::new(
+            1,
+            vec![FaultRule::new(FaultClass::Drop, RuleScope::any(), SeqWindow::all())
+                .with_per_mille(0)],
+        );
+        for seq in 0..64 {
+            assert!(always.fires(0, 0, 1, seq));
+            assert!(!never.fires(0, 0, 1, seq));
+        }
+    }
+}

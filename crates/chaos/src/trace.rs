@@ -1,0 +1,75 @@
+//! Canonical fault traces.
+//!
+//! The hook appends records in real-time order, which varies run to run
+//! with thread scheduling. The record *contents* are keyed purely by
+//! run-stable coordinates, so sorting yields a canonical form: the same
+//! (seed, scenario) produces a byte-identical trace on every run — the
+//! reproducibility contract the chaos suite asserts.
+
+use crate::hook::FaultRecord;
+
+/// Sort records into canonical order: by pair, then sequence number, then
+/// class. Duplicates are preserved (a message can be recorded once only,
+/// so none arise in practice).
+pub fn canonicalize(mut records: Vec<FaultRecord>) -> Vec<FaultRecord> {
+    records.sort();
+    records
+}
+
+/// Render a canonical trace as one deterministic JSON array (sorted keys,
+/// no whitespace variance, no floats).
+pub fn to_json(records: &[FaultRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"class\":\"{}\",\"detail\":{},\"len\":{},\"pair_seq\":{},\"rel_dst\":{},\"rel_src\":{}}}",
+            r.class.as_str(),
+            r.detail,
+            r.len,
+            r.pair_seq,
+            r.rel_dst,
+            r.rel_src,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultClass;
+
+    fn rec(rel_src: u64, rel_dst: u64, seq: u64, class: FaultClass) -> FaultRecord {
+        FaultRecord { rel_src, rel_dst, pair_seq: seq, class, detail: 0, len: 8 }
+    }
+
+    #[test]
+    fn canonical_order_is_interleaving_independent() {
+        let a = vec![
+            rec(1, 2, 3, FaultClass::Drop),
+            rec(0, 1, 0, FaultClass::Delay),
+            rec(1, 2, 0, FaultClass::Drop),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(canonicalize(a), canonicalize(b));
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shape() {
+        let t = canonicalize(vec![
+            rec(1, 2, 1, FaultClass::Kill),
+            rec(0, 1, 0, FaultClass::Drop),
+        ]);
+        let j = to_json(&t);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"class\":\"drop\""));
+        assert!(j.contains("\"class\":\"kill\""));
+        assert_eq!(j, to_json(&t), "rendering is pure");
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

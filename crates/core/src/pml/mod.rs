@@ -143,6 +143,10 @@ struct PmlMetrics {
     /// Extended-header sends beyond the first to the same peer: the
     /// handshake was initiated but its ACK has not landed yet.
     ext_fallback: obs::Counter,
+    /// Registry + process scope retained so handshake transitions can emit
+    /// a structured event (the chaos invariant checker keys on it).
+    obs: Arc<obs::Registry>,
+    process: String,
 }
 
 impl PmlMetrics {
@@ -158,7 +162,27 @@ impl PmlMetrics {
             handled: c("handled"),
             handshakes: c("handshakes"),
             ext_fallback: c("ext_fallback"),
+            obs,
+            process,
         }
+    }
+
+    /// Record one completed handshake: the counter plus a `pml.handshake`
+    /// event identifying the exCID and peer, so an external checker can
+    /// assert the exactly-once property per (process, excid, peer).
+    fn handshake(&self, excid: ExCid, peer: u32, via: &str) {
+        self.handshakes.inc();
+        self.obs.event(
+            &self.process,
+            "pml",
+            "pml.handshake",
+            vec![
+                ("pgcid".into(), excid.pgcid.into()),
+                ("derivation".into(), excid.derivation.into()),
+                ("peer".into(), (peer as u64).into()),
+                ("via".into(), via.into()),
+            ],
+        );
     }
 }
 
@@ -532,7 +556,7 @@ impl Pml {
             // transition counts as completing the handshake.
             if matches!(peer.mode, SendCid::AwaitAck) {
                 peer.mode = SendCid::Known(ack.receiver_cid);
-                self.metrics.handshakes.inc();
+                self.metrics.handshake(ack.excid, ack.acker_rank, "ack");
             }
         }
     }
@@ -593,7 +617,7 @@ impl Pml {
                         // Learn the sender's local CID for the reverse path.
                         if matches!(peer.mode, SendCid::AwaitAck) {
                             peer.mode = SendCid::Known(ext.sender_cid);
-                            self.metrics.handshakes.inc();
+                            self.metrics.handshake(ext.excid, src, "ext");
                         }
                         if !peer.acked_back {
                             peer.acked_back = true;

@@ -153,6 +153,54 @@ fn group_member_failure_event_carries_group_name() {
 }
 
 #[test]
+fn sender_errors_when_receiver_dies_mid_handshake() {
+    // exCID handshake torn by failure: rank 0's first send leaves with the
+    // extended header, but rank 1 never runs its progress engine (so the
+    // CidAck is never produced) and is then killed. The sender must surface
+    // `ProcFailed` on its next send in bounded time — not spin in extended
+    // mode retrying a handshake that can never complete.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+    let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+        let session = new_session(&ctx);
+        let g = session.group_from_pset("mpi://world").unwrap();
+        let comm = Comm::create_from_group(&g, "torn-handshake").unwrap();
+        if ctx.rank() == 1 {
+            // Participates in comm creation, then goes silent: never posts
+            // a receive, never progresses, never acks — and dies.
+            std::thread::sleep(Duration::from_secs(5));
+            return None;
+        }
+        let notifier = session.failure_notifier().unwrap();
+        // Initiate the handshake. Buffered-eager semantics: the send itself
+        // completes locally even though the ACK will never arrive.
+        comm.send(1, 1, b"ext-opener").unwrap();
+        // Wait until the runtime has observed rank 1's death.
+        let victim = notifier.next_timeout(Duration::from_secs(10)).expect("failure event");
+        assert_eq!(victim.rank(), 1);
+        // The peer is gone: the next send must fail fast with ProcFailed.
+        let err = comm.send(1, 2, b"after-death").unwrap_err();
+        let class = err.class;
+        // The communicator teardown cannot be collective anymore; drop it.
+        session.finalize().unwrap();
+        Some(class)
+    });
+    std::thread::sleep(Duration::from_millis(500));
+    handle.kill_rank(1);
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], Some(mpi_sessions::ErrClass::ProcFailed));
+
+    // The obs trail confirms the handshake never completed anywhere: the
+    // opener left extended, no ACK was ever sent, no transition recorded.
+    let obs = launcher.universe().fabric().obs();
+    // Two extended attempts: the opener, plus the post-death send that the
+    // fabric rejected (counted before the rejection).
+    assert_eq!(obs.sum_counters("pml", "ext_sent"), 2, "both sends left in extended mode");
+    assert_eq!(obs.sum_counters("pml", "acks_sent"), 0, "dead receiver never acked");
+    assert_eq!(obs.sum_counters("pml", "handshakes"), 0, "handshake never completed");
+    assert!(obs.events_named("pml.handshake").is_empty());
+}
+
+#[test]
 fn surviving_group_shrinks_only_after_failure() {
     let launcher = Launcher::new(SimTestbed::tiny(1, 3));
     let handle = launcher.spawn(JobSpec::new(3), |ctx| {

@@ -3,7 +3,7 @@
 
 use crate::error::{PmixError, Result};
 use crate::event::{EventCode, EventStream};
-use crate::group::{GroupDirectives, GroupResult, PmixGroup};
+use crate::group::{GroupDirectives, GroupResult, InviteOutcome, PmixGroup};
 use crate::server::PmixServer;
 use crate::types::{ProcId, Rank};
 use crate::value::PmixValue;
@@ -196,9 +196,27 @@ impl PmixClient {
 
     /// Initiator side: wait for all invitees to respond; returns the final
     /// membership (decliners and dead invitees removed) and PGCID.
+    ///
+    /// An invitee that never answers within `timeout` fails the whole wait
+    /// with [`PmixError::Timeout`]; use
+    /// [`PmixClient::group_invite_wait_report`] to get the partial group and
+    /// per-invitee outcomes instead.
     pub fn group_invite_wait(&self, name: &str, timeout: Duration) -> Result<PmixGroup> {
         let result = self.server.invite_wait(name, timeout)?;
         Ok(PmixGroup::new(name.to_owned(), &result))
+    }
+
+    /// Initiator side, detailed variant: wait for invitees, then return the
+    /// finalized group *and* what happened to each invitee
+    /// ([`InviteOutcome::Accepted`] / `Declined` / `Dead` / `TimedOut`).
+    /// Unresponsive invitees are dropped, not fatal.
+    pub fn group_invite_wait_report(
+        &self,
+        name: &str,
+        timeout: Duration,
+    ) -> Result<(PmixGroup, Vec<(ProcId, InviteOutcome)>)> {
+        let report = self.server.invite_wait_report(name, timeout)?;
+        Ok((PmixGroup::new(name.to_owned(), &report.group), report.outcomes))
     }
 
     /// Invitee side: respond to a [`EventCode::GroupInvited`] event.
@@ -242,6 +260,13 @@ impl PmixClient {
     /// Query: membership of one process set.
     pub fn query_pset_membership(&self, name: &str) -> Result<Vec<ProcId>> {
         self.server.registry().pset_members(name)
+    }
+
+    /// Query: pset count and names from one consistent registry snapshot
+    /// (a batch asking for both must not see them disagree while psets are
+    /// defined/undefined concurrently).
+    pub fn query_pset_snapshot(&self) -> (usize, Vec<String>) {
+        self.server.registry().pset_snapshot()
     }
 }
 

@@ -66,6 +66,54 @@ impl GroupDirectives {
     }
 }
 
+/// What happened to one invitee of an asynchronous (invite/join) construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InviteOutcome {
+    /// Accepted and is part of the final membership.
+    Accepted,
+    /// Explicitly declined the invitation.
+    Declined,
+    /// Died before answering.
+    Dead,
+    /// Never answered within the initiator's deadline. The group is still
+    /// finalized without them; a straggler reply arriving later is ignored.
+    TimedOut,
+}
+
+impl InviteOutcome {
+    /// Stable lowercase label (used in observability events).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InviteOutcome::Accepted => "accepted",
+            InviteOutcome::Declined => "declined",
+            InviteOutcome::Dead => "dead",
+            InviteOutcome::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// Detailed result of an invite-based construct: the finalized group plus
+/// the per-invitee resolution, in invitation order.
+#[derive(Debug, Clone)]
+pub struct InviteReport {
+    /// The finalized group (initiator plus accepting invitees).
+    pub group: GroupResult,
+    /// One entry per invitee, in the order they were invited.
+    pub outcomes: Vec<(ProcId, InviteOutcome)>,
+}
+
+impl InviteReport {
+    /// Resolution for one invitee, if they were invited.
+    pub fn outcome_of(&self, proc: &ProcId) -> Option<InviteOutcome> {
+        self.outcomes.iter().find(|(p, _)| p == proc).map(|(_, o)| *o)
+    }
+
+    /// True when any invitee ran out the clock.
+    pub fn any_timed_out(&self) -> bool {
+        self.outcomes.iter().any(|(_, o)| *o == InviteOutcome::TimedOut)
+    }
+}
+
 /// Outcome of a successful group construct.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupResult {

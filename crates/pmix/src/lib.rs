@@ -40,7 +40,7 @@ pub mod wire;
 pub use client::PmixClient;
 pub use error::PmixError;
 pub use event::{Event, EventCode};
-pub use group::{GroupDirectives, GroupResult, PmixGroup};
+pub use group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport, PmixGroup};
 pub use nspace::{NamespaceInfo, NamespaceRegistry};
 pub use server::PmixServer;
 pub use types::{ProcId, Rank};

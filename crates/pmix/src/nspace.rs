@@ -180,6 +180,15 @@ impl NamespaceRegistry {
         self.state.read().psets.keys().cloned().collect()
     }
 
+    /// Count and sorted names of all defined process sets, read under a
+    /// single lock acquisition. Queries that return both values must use
+    /// this: separate `num_psets`/`pset_names` calls can interleave with a
+    /// concurrent define/undefine and disagree with each other.
+    pub fn pset_snapshot(&self) -> (usize, Vec<String>) {
+        let st = self.state.read();
+        (st.psets.len(), st.psets.keys().cloned().collect())
+    }
+
     /// Membership of one process set.
     pub fn pset_members(&self, name: &str) -> Result<Vec<ProcId>> {
         self.state

@@ -33,12 +33,27 @@ impl Query {
 
 /// Resolve a batch of queries against the client's runtime, returning one
 /// value per query in order (the blocking analog of `PMIx_Query_info_nb`).
+///
+/// The pset count and name-list keys are answered from a single registry
+/// snapshot taken once per batch: while jobs launch and die concurrently,
+/// per-key reads could otherwise report a count that disagrees with the
+/// name list returned by the very same call.
 pub fn query_info(client: &PmixClient, queries: &[Query]) -> Result<Vec<PmixValue>> {
+    let wants_psets = queries
+        .iter()
+        .any(|q| q.key == keys::QUERY_NUM_PSETS || q.key == keys::QUERY_PSET_NAMES);
+    let pset_snapshot = wants_psets.then(|| client.query_pset_snapshot());
     queries
         .iter()
         .map(|q| match q.key.as_str() {
-            keys::QUERY_NUM_PSETS => Ok(PmixValue::U64(client.query_num_psets() as u64)),
-            keys::QUERY_PSET_NAMES => Ok(PmixValue::StrList(client.query_pset_names())),
+            keys::QUERY_NUM_PSETS => {
+                let (num, _) = pset_snapshot.as_ref().expect("snapshot taken");
+                Ok(PmixValue::U64(*num as u64))
+            }
+            keys::QUERY_PSET_NAMES => {
+                let (_, names) = pset_snapshot.as_ref().expect("snapshot taken");
+                Ok(PmixValue::StrList(names.clone()))
+            }
             keys::QUERY_PSET_MEMBERSHIP => {
                 let name = q
                     .qualifier

@@ -25,7 +25,7 @@
 
 use crate::error::{PmixError, Result};
 use crate::event::{Event, EventCode, EventStream, Subscription};
-use crate::group::{GroupDirectives, GroupResult};
+use crate::group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport};
 use crate::nspace::NamespaceRegistry;
 use crate::types::ProcId;
 use crate::value::PmixValue;
@@ -145,6 +145,7 @@ struct ServerMetrics {
     stage_xchg: obs::Counter,
     stage_fanout: obs::Counter,
     pgcid_allocated: obs::Counter,
+    coll_aborted: obs::Counter,
 }
 
 impl ServerMetrics {
@@ -162,6 +163,7 @@ impl ServerMetrics {
             stage_xchg: c("stage_xchg"),
             stage_fanout: c("stage_fanout"),
             pgcid_allocated: c("pgcid_allocated"),
+            coll_aborted: c("coll_aborted"),
             process,
             obs,
         }
@@ -171,6 +173,9 @@ impl ServerMetrics {
         let mut attrs: Vec<(String, obs::AttrValue)> = vec![
             ("op".into(), op.name.as_str().into()),
             ("kind".into(), kind_str(op.kind).into()),
+            // The epoch disambiguates re-runs of the same (kind, name,
+            // membership) — invariant checkers key on (kind, name, epoch).
+            ("epoch".into(), op.epoch.into()),
         ];
         attrs.extend(extra);
         self.obs.event(&self.process, "pmix", stage, attrs);
@@ -474,7 +479,15 @@ impl PmixServer {
         // Wait for a result.
         let mut st = self.state.lock();
         loop {
-            let done = st.ops.get(&op_id).and_then(|o| o.result.clone());
+            let Some(cur) = st.ops.get(&op_id) else {
+                // The op completed and was reaped without counting us as a
+                // live waiter: this process was declared dead while blocked
+                // in the collective (a live waiter is always part of the
+                // expected count, so the op cannot be reaped under it).
+                // Surface the failure instead of waiting forever.
+                return Err(PmixError::ProcTerminated(me.clone()));
+            };
+            let done = cur.result.clone();
             if let Some(res) = done {
                 let remove = {
                     // Dead participants never come back to observe the
@@ -676,7 +689,13 @@ impl PmixServer {
         self.metrics.stage_event(
             "group.fanout",
             op_id,
-            vec![("members".into(), n_members.into())],
+            vec![
+                ("members".into(), n_members.into()),
+                // 0 = no PGCID involved (fences, destructs). Non-zero values
+                // let checkers match every exposed PGCID to an RM allocation
+                // and assert cross-server agreement per (kind, name, epoch).
+                ("pgcid".into(), pgcid.unwrap_or(0).into()),
+            ],
         );
         match op_id.kind {
             OpKind::Fence => self.metrics.fence_completed.inc(),
@@ -690,6 +709,13 @@ impl PmixServer {
         if let Some(op) = st.ops.get_mut(op_id) {
             if op.result.is_none() {
                 op.result = Some(Err(reason.to_error()));
+                self.metrics.coll_aborted.inc();
+                let why = match &reason {
+                    AbortReason::Timeout => "timeout",
+                    AbortReason::ProcTerminated(_) => "proc_terminated",
+                };
+                self.metrics
+                    .stage_event("group.abort", op_id, vec![("reason".into(), why.into())]);
             }
         }
         self.cv.notify_all();
@@ -773,50 +799,105 @@ impl PmixServer {
     /// Initiator side: wait for all invitees to respond (or die), then
     /// finalize the group. Decliners and dead invitees are dropped from the
     /// membership; the initiator is always a member.
+    ///
+    /// Collapsed view of [`PmixServer::invite_wait_report`]: an invitee that
+    /// ran out the clock surfaces as `Err(Timeout)` here. Callers that need
+    /// to distinguish declined / dead / timed-out invitees — or want the
+    /// partial group despite a straggler — should use the report variant.
     pub fn invite_wait(&self, name: &str, timeout: Duration) -> Result<GroupResult> {
+        let report = self.invite_wait_report(name, timeout)?;
+        if report.any_timed_out() {
+            // The collapsed API treats a straggler as failure: undo the
+            // partial finalization the report path performed.
+            self.state.lock().groups.remove(name);
+            return Err(PmixError::Timeout);
+        }
+        Ok(report.group)
+    }
+
+    /// Initiator side: wait for the invitees of `name`, then finalize the
+    /// group and report what happened to each invitee individually
+    /// ([`InviteOutcome`]: accepted / declined / dead / timed out).
+    ///
+    /// Unlike [`PmixServer::invite_wait`], an unresponsive invitee does not
+    /// fail the construct: at the deadline they are marked
+    /// [`InviteOutcome::TimedOut`], dropped from the membership, and the
+    /// group is finalized with everyone who did accept. The invitation
+    /// record is consumed either way, so a straggler reply is ignored.
+    pub fn invite_wait_report(&self, name: &str, timeout: Duration) -> Result<InviteReport> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
+        let all_resolved = |st: &ServerState| -> Result<bool> {
+            let inv = st
+                .invites
+                .get(name)
+                .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
+            Ok(inv
+                .invited
+                .iter()
+                .all(|p| inv.responses.contains_key(p) || st.dead.contains(p)))
+        };
         loop {
-            let ready = {
-                let inv = st
-                    .invites
-                    .get(name)
-                    .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
-                inv.invited
-                    .iter()
-                    .all(|p| inv.responses.contains_key(p) || st.dead.contains(p))
-            };
-            if ready {
-                let inv = st.invites.remove(name).expect("checked above");
-                let mut members: Vec<ProcId> = inv
-                    .invited
-                    .iter()
-                    .filter(|p| inv.responses.get(*p).copied().unwrap_or(false))
-                    .cloned()
-                    .collect();
-                members.push(inv.initiator.clone());
-                members.sort();
-                members.dedup();
-                let pgcid = if inv.request_pgcid {
-                    drop(st);
-                    Some(self.fetch_pgcid_blocking(deadline)?)
-                } else {
-                    drop(st);
-                    None
-                };
-                let result = GroupResult { members: members.clone(), pgcid };
-                let mut st = self.state.lock();
-                st.groups.insert(
-                    name.to_owned(),
-                    GroupInfo { members, pgcid, notify_on_termination: true },
-                );
-                return Ok(result);
+            if all_resolved(&st)? {
+                break;
             }
             if self.cv.wait_until(&mut st, deadline).timed_out() {
-                st.invites.remove(name);
-                return Err(PmixError::Timeout);
+                // Deadline hit: re-check once (the last reply may have
+                // raced the wakeup), then classify stragglers as timed out.
+                let _ = all_resolved(&st)?;
+                break;
             }
         }
+        let inv = st.invites.remove(name).expect("checked above");
+        let outcomes: Vec<(ProcId, InviteOutcome)> = inv
+            .invited
+            .iter()
+            .map(|p| {
+                let outcome = match inv.responses.get(p) {
+                    Some(true) => InviteOutcome::Accepted,
+                    Some(false) => InviteOutcome::Declined,
+                    None if st.dead.contains(p) => InviteOutcome::Dead,
+                    None => InviteOutcome::TimedOut,
+                };
+                (p.clone(), outcome)
+            })
+            .collect();
+        let mut members: Vec<ProcId> = outcomes
+            .iter()
+            .filter(|(_, o)| *o == InviteOutcome::Accepted)
+            .map(|(p, _)| p.clone())
+            .collect();
+        members.push(inv.initiator.clone());
+        members.sort();
+        members.dedup();
+        drop(st);
+        for (p, outcome) in &outcomes {
+            self.metrics.obs.event(
+                &self.metrics.process,
+                "pmix",
+                "invite.resolved",
+                vec![
+                    ("group".into(), name.into()),
+                    ("proc".into(), p.to_string().as_str().into()),
+                    ("outcome".into(), outcome.as_str().into()),
+                ],
+            );
+        }
+        let pgcid = if inv.request_pgcid {
+            // The RM fetch gets its own full budget: when invitees timed
+            // out the original deadline has already passed, yet the partial
+            // group still needs its PGCID.
+            Some(self.fetch_pgcid_blocking(deadline.max(Instant::now() + timeout))?)
+        } else {
+            None
+        };
+        let mut st = self.state.lock();
+        st.groups.insert(
+            name.to_owned(),
+            GroupInfo { members: members.clone(), pgcid, notify_on_termination: true },
+        );
+        drop(st);
+        Ok(InviteReport { group: GroupResult { members, pgcid }, outcomes })
     }
 
     /// Synchronous PGCID fetch from the RM (used by the async-construct
@@ -1040,6 +1121,12 @@ impl PmixServer {
             }
             if op.error_on_early_termination {
                 op.result = Some(Err(PmixError::ProcTerminated(proc.clone())));
+                self.metrics.coll_aborted.inc();
+                self.metrics.stage_event(
+                    "group.abort",
+                    &op_id,
+                    vec![("reason".into(), "proc_terminated".into())],
+                );
                 aborts.push((op_id.clone(), op.expected_servers.clone()));
             } else {
                 if let Some(exp) = op.expected_local.as_mut() {

@@ -122,6 +122,13 @@ impl PmixUniverse {
         &self.testbed
     }
 
+    /// Fabric endpoints of the control plane: the RM daemon first, then one
+    /// server per compute node. Fault-injection harnesses use this to scope
+    /// message faults to (idempotent) server-to-server traffic.
+    pub fn server_endpoints(&self) -> Vec<EndpointId> {
+        self.server_eps.clone()
+    }
+
     /// The server managing `node`.
     pub fn server(&self, node: NodeId) -> Result<Arc<PmixServer>> {
         self.servers

@@ -164,6 +164,92 @@ fn invite_wait_succeeds_when_invitee_dies() {
 }
 
 #[test]
+fn invite_report_distinguishes_declined_dead_and_timed_out() {
+    // One invitee accepts, one declines, one dies, one never answers. The
+    // detailed wait must surface all four outcomes individually and still
+    // finalize the group with the initiator plus the accepter.
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 3));
+    let procs = spawn_procs(&uni, "job", 5);
+    let c0 = uni.client_for(&procs[0]).unwrap();
+    c0.group_invite("outcomes", &procs[1..], &GroupDirectives::for_mpi()).unwrap();
+    // procs[1] accepts, procs[2] declines, procs[3] dies, procs[4] is silent.
+    uni.client_for(&procs[1]).unwrap().group_join("outcomes", &procs[0], true).unwrap();
+    uni.client_for(&procs[2]).unwrap().group_join("outcomes", &procs[0], false).unwrap();
+    uni.kill_proc(&procs[3]).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let (g, outcomes) = c0
+        .group_invite_wait_report("outcomes", Duration::from_millis(500))
+        .unwrap();
+    use pmix::InviteOutcome::*;
+    let of = |p: &ProcId| outcomes.iter().find(|(q, _)| q == p).map(|(_, o)| *o);
+    assert_eq!(of(&procs[1]), Some(Accepted));
+    assert_eq!(of(&procs[2]), Some(Declined));
+    assert_eq!(of(&procs[3]), Some(Dead));
+    assert_eq!(of(&procs[4]), Some(TimedOut));
+    assert_eq!(g.members(), &[procs[0].clone(), procs[1].clone()]);
+    assert!(g.pgcid().unwrap() > 0, "partial group still gets its PGCID");
+    // A straggler reply after finalization is ignored, not an error.
+    uni.client_for(&procs[4]).unwrap().group_join("outcomes", &procs[0], true).unwrap();
+}
+
+#[test]
+fn pset_queries_stay_consistent_while_jobs_churn() {
+    // PMIX_QUERY_NUM_PSETS and PMIX_QUERY_PSET_NAMES asked in one batch
+    // must agree with each other even while jobs (namespaces + their psets)
+    // launch and die concurrently.
+    use pmix::query::{query_info, Query};
+    use pmix::value::keys;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 2));
+    let procs = spawn_procs(&uni, "stable", 1);
+    let c = uni.client_for(&procs[0]).unwrap();
+    uni.registry().define_pset("app://base", vec![procs[0].clone()]);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let uni2 = uni.clone();
+    let stop2 = stop.clone();
+    let churn = std::thread::spawn(move || {
+        let spec = uni2.testbed().cluster.clone();
+        let mut i = 0u32;
+        while !stop2.load(Ordering::Relaxed) {
+            let ns = format!("churn{}", i % 4);
+            let pset = format!("app://{ns}");
+            let ep = uni2.fabric().register(spec.node_of_slot(i % spec.total_slots()));
+            let p = ProcId::new(ns.as_str(), 0);
+            uni2.register_proc(p.clone(), &ep);
+            uni2.registry().define_pset(&pset, vec![p]);
+            // The job dies: pset withdrawn, process killed, namespace gone.
+            uni2.registry().undefine_pset(&pset);
+            uni2.fabric().kill(ep.id());
+            uni2.registry().deregister_namespace(&ns);
+            i = i.wrapping_add(1);
+        }
+    });
+
+    for _ in 0..500 {
+        let out = query_info(
+            &c,
+            &[Query::key(keys::QUERY_NUM_PSETS), Query::key(keys::QUERY_PSET_NAMES)],
+        )
+        .unwrap();
+        let num = out[0].as_u64().unwrap() as usize;
+        let names = out[1].as_str_list().unwrap().to_vec();
+        assert_eq!(num, names.len(), "count and name list from one batch disagree");
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, names, "pset names must come back sorted");
+        assert!(names.iter().any(|n| n == "app://base"), "stable pset missing");
+        assert!(
+            names.iter().all(|n| n == "app://base" || n.starts_with("app://churn")),
+            "unexpected pset name in {names:?}"
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+}
+
+#[test]
 fn duplicate_invite_name_rejected() {
     let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
     let procs = spawn_procs(&uni, "job", 2);

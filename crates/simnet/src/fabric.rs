@@ -12,11 +12,12 @@
 use crate::cost::CostModel;
 use crate::endpoint::{Endpoint, EndpointId, SendError};
 use crate::failure::{FailureEvent, FailureWatcher};
+use crate::inject::{FaultAction, FaultHook, MsgView};
 use crate::message::Envelope;
 use crate::topology::NodeId;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,7 +42,9 @@ struct Entry {
 
 struct Registry {
     map: RwLock<HashMap<EndpointId, Entry>>,
-    dead: RwLock<HashSet<EndpointId>>,
+    // Killed endpoints with the node they lived on, kept so late failure
+    // watchers can be brought up to date (see `watch_failures`).
+    dead: RwLock<HashMap<EndpointId, NodeId>>,
 }
 
 /// Endpoint ids are unique across *all* fabrics in the OS process, so
@@ -102,6 +105,9 @@ struct FabricMetrics {
     bytes_inter_node: obs::Counter,
     msgs_delayed: obs::Counter,
     delay_ns_total: obs::Counter,
+    faults_dropped: obs::Counter,
+    faults_delayed: obs::Counter,
+    faults_duplicated: obs::Counter,
 }
 
 impl FabricMetrics {
@@ -114,6 +120,9 @@ impl FabricMetrics {
             bytes_inter_node: c("bytes_inter_node"),
             msgs_delayed: c("msgs_delayed"),
             delay_ns_total: c("delay_ns_total"),
+            faults_dropped: c("faults_dropped"),
+            faults_delayed: c("faults_delayed"),
+            faults_duplicated: c("faults_duplicated"),
         }
     }
 }
@@ -128,6 +137,15 @@ pub struct FabricCore {
     obs: Arc<obs::Registry>,
     metrics: FabricMetrics,
     pump_thread: Mutex<Option<JoinHandle<()>>>,
+    // Fault injection: optional per-message hook plus the per-(src,dst)
+    // sequence counters it keys decisions on. Counters advance only while a
+    // hook is installed, so fault-free runs pay nothing but one RwLock read.
+    hook: RwLock<Option<Arc<dyn FaultHook>>>,
+    hook_seq: Mutex<HashMap<(EndpointId, EndpointId), u64>>,
+    // Id of the first endpoint registered on this fabric (0 = none yet).
+    // `NEXT_ENDPOINT_ID` is process-global, so raw ids shift between runs
+    // when other fabrics coexist; ids relative to this base do not.
+    base_endpoint: AtomicU64,
 }
 
 impl FabricCore {
@@ -142,20 +160,49 @@ impl FabricCore {
             std::thread::sleep(self.cost.send_overhead);
         }
 
-        let map = self.registry.map.read();
-        let (src_node, dst_entry) = {
-            let src_node = map.get(&env.src).map(|e| e.node);
-            let dst = map.get(&env.dst);
-            (src_node, dst)
+        let (src_node, dst_node) = {
+            let map = self.registry.map.read();
+            (map.get(&env.src).map(|e| e.node), map.get(&env.dst).map(|e| e.node))
         };
+
+        // Consult the fault hook with no registry lock held: verdict kills
+        // need the registry write lock.
+        let hook = self.hook.read().clone();
+        let action = match hook {
+            None => FaultAction::Deliver,
+            Some(h) => {
+                let pair_seq = {
+                    let mut seqs = self.hook_seq.lock();
+                    let c = seqs.entry((env.src, env.dst)).or_insert(0);
+                    let s = *c;
+                    *c += 1;
+                    s
+                };
+                let base = self.base_endpoint.load(Ordering::Relaxed);
+                let view = MsgView {
+                    src: env.src,
+                    dst: env.dst,
+                    rel_src: env.src.0.saturating_sub(base),
+                    rel_dst: env.dst.0.saturating_sub(base),
+                    src_node,
+                    dst_node,
+                    pair_seq,
+                    len: env.len(),
+                };
+                let verdict = h.on_message(&view);
+                for id in verdict.kills {
+                    self.kill(id);
+                }
+                verdict.action
+            }
+        };
+
         // A killed sender may still be draining its own logic; treat an
         // unknown src (or dead dst) as off-node for costing purposes.
-        let same_node = match (src_node, &dst_entry) {
-            (Some(s), Some(d)) => s == d.node,
-            _ => false,
-        };
+        let same_node = matches!((src_node, dst_node), (Some(s), Some(d)) if s == d);
         // Accepted traffic is counted even when the destination died first
-        // (the message was injected; it is dropped in flight).
+        // or the hook drops it (the message was injected; it is lost in
+        // flight).
         if same_node {
             self.metrics.msgs_on_node.inc();
             self.metrics.bytes_on_node.add(env.len() as u64);
@@ -163,11 +210,32 @@ impl FabricCore {
             self.metrics.msgs_inter_node.inc();
             self.metrics.bytes_inter_node.add(env.len() as u64);
         }
-        let dst_entry = match dst_entry {
-            Some(e) => e,
+
+        if action == FaultAction::Drop {
+            self.metrics.faults_dropped.inc();
+            return Ok(());
+        }
+
+        // Route. The destination is re-checked *after* hook kills so a
+        // verdict that kills the destination claims this very message as its
+        // first casualty.
+        let dst_tx = match self.registry.map.read().get(&env.dst) {
+            Some(e) => e.tx.clone(),
             None => return Err(SendError::PeerDead(env.dst)),
         };
-        let delay = self.cost.delivery_delay(same_node, env.len());
+
+        let (extra, copies) = match action {
+            FaultAction::Delay(d) => {
+                self.metrics.faults_delayed.inc();
+                (d, 1u32)
+            }
+            FaultAction::Duplicate => {
+                self.metrics.faults_duplicated.inc();
+                (Duration::ZERO, 2)
+            }
+            _ => (Duration::ZERO, 1),
+        };
+        let delay = self.cost.delivery_delay(same_node, env.len()) + extra;
 
         if delay.is_zero() {
             // Fast path: direct handoff, no pump involvement. Ordering per
@@ -180,7 +248,9 @@ impl FabricCore {
                 st.pair_last.contains_key(&(env.src, env.dst)) && !st.queue.is_empty()
             };
             if !has_pending {
-                let _ = dst_entry.tx.send(env);
+                for _ in 0..copies {
+                    let _ = dst_tx.send(env.clone());
+                }
                 return Ok(());
             }
         }
@@ -196,12 +266,27 @@ impl FabricCore {
             }
         }
         st.pair_last.insert((env.src, env.dst), at);
-        let seq = st.seq;
-        st.seq += 1;
-        st.queue.push(Scheduled { deliver_at: at, seq, env });
+        for _ in 0..copies {
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Scheduled { deliver_at: at, seq, env: env.clone() });
+        }
         drop(st);
         self.cv_notify();
         Ok(())
+    }
+
+    pub(crate) fn kill(&self, id: EndpointId) {
+        let removed = self.registry.map.write().remove(&id);
+        let Some(entry) = removed else { return };
+        let event = FailureEvent { endpoint: id, node: entry.node };
+        // Take the watcher list lock *before* recording the death: a
+        // concurrently subscribing watcher (which holds the same lock across
+        // its replay) then sees this death exactly once — via replay or via
+        // the live broadcast, never both.
+        let mut watchers = self.watchers.lock();
+        self.registry.dead.write().insert(id, entry.node);
+        watchers.retain(|w| w.send(event).is_ok());
     }
 
     fn cv_notify(&self) {
@@ -230,7 +315,7 @@ impl Fabric {
         let core = Arc::new(FabricCore {
             registry: Registry {
                 map: RwLock::new(HashMap::new()),
-                dead: RwLock::new(HashSet::new()),
+                dead: RwLock::new(HashMap::new()),
             },
             pump: pump.clone(),
             cost,
@@ -238,6 +323,9 @@ impl Fabric {
             obs,
             metrics,
             pump_thread: Mutex::new(None),
+            hook: RwLock::new(None),
+            hook_seq: Mutex::new(HashMap::new()),
+            base_endpoint: AtomicU64::new(0),
         });
 
         let pump_core = Arc::downgrade(&core);
@@ -266,6 +354,12 @@ impl Fabric {
     /// Register a new endpoint on `node` and return its mailbox.
     pub fn register(&self, node: NodeId) -> Endpoint {
         let id = EndpointId(NEXT_ENDPOINT_ID.fetch_add(1, Ordering::Relaxed));
+        let _ = self.0.base_endpoint.compare_exchange(
+            0,
+            id.0,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         let (tx, rx) = unbounded();
         self.0.registry.map.write().insert(id, Entry { tx, node });
         Endpoint::new(id, node, rx, self.0.clone())
@@ -278,7 +372,7 @@ impl Fabric {
 
     /// True if `id` was explicitly killed (as opposed to never registered).
     pub fn was_killed(&self, id: EndpointId) -> bool {
-        self.0.registry.dead.read().contains(&id)
+        self.0.registry.dead.read().contains_key(&id)
     }
 
     /// Node an endpoint lives on, if it is alive.
@@ -290,19 +384,49 @@ impl Fabric {
     /// after draining), future sends to it fail, and failure watchers are
     /// notified. Idempotent.
     pub fn kill(&self, id: EndpointId) {
-        let removed = self.0.registry.map.write().remove(&id);
-        let Some(entry) = removed else { return };
-        self.0.registry.dead.write().insert(id);
-        let event = FailureEvent { endpoint: id, node: entry.node };
-        let mut watchers = self.0.watchers.lock();
-        watchers.retain(|w| w.send(event).is_ok());
+        self.0.kill(id);
     }
 
     /// Subscribe to failure events.
+    ///
+    /// Deaths that happened *before* the subscription are replayed into the
+    /// watcher immediately (in endpoint-id order — the fabric does not record
+    /// kill order, and replay order must at least be deterministic), so a
+    /// late subscriber converges on the same failure knowledge as one that
+    /// watched from the start.
     pub fn watch_failures(&self) -> FailureWatcher {
         let (tx, rx) = unbounded();
-        self.0.watchers.lock().push(tx);
+        // Hold the watcher list lock across the replay: `kill` broadcasts
+        // under the same lock, so a concurrent death is either already in
+        // `dead` (replayed here) or broadcast after this watcher registers.
+        let mut watchers = self.0.watchers.lock();
+        let mut past: Vec<FailureEvent> = self
+            .0
+            .registry
+            .dead
+            .read()
+            .iter()
+            .map(|(ep, node)| FailureEvent { endpoint: *ep, node: *node })
+            .collect();
+        past.sort_by_key(|e| e.endpoint);
+        for ev in past {
+            let _ = tx.send(ev);
+        }
+        watchers.push(tx);
         FailureWatcher::new(rx)
+    }
+
+    /// Install (or replace) the fault-injection hook consulted for every
+    /// subsequent send. Pass `None` to restore fault-free delivery.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.0.hook.write() = hook;
+    }
+
+    /// Id of the first endpoint registered on this fabric — the base that
+    /// [`MsgView`](crate::inject::MsgView) normalizes `rel_src`/`rel_dst`
+    /// against. Returns 0 before the first registration.
+    pub fn base_endpoint_id(&self) -> u64 {
+        self.0.base_endpoint.load(Ordering::Relaxed)
     }
 
     /// The observability registry shared by every layer on this fabric.
@@ -562,6 +686,117 @@ mod tests {
         let fabric = Fabric::new(CostModel::zero());
         let a = fabric.register(NodeId(0));
         assert!(a.send(EndpointId(9999), payload(1)).is_err());
+    }
+
+    mod fault_hooks {
+        use super::*;
+        use crate::inject::{FaultAction, FaultHook, FaultVerdict, MsgView};
+
+        /// Applies one fixed action to every message and records the views
+        /// it was shown.
+        struct FixedHook {
+            action: FaultAction,
+            kills: Mutex<Vec<EndpointId>>,
+            seen: Mutex<Vec<MsgView>>,
+        }
+
+        impl FixedHook {
+            fn new(action: FaultAction) -> Arc<Self> {
+                Arc::new(Self {
+                    action,
+                    kills: Mutex::new(Vec::new()),
+                    seen: Mutex::new(Vec::new()),
+                })
+            }
+        }
+
+        impl FaultHook for FixedHook {
+            fn on_message(&self, msg: &MsgView) -> FaultVerdict {
+                self.seen.lock().push(*msg);
+                FaultVerdict { action: self.action, kills: self.kills.lock().drain(..).collect() }
+            }
+        }
+
+        #[test]
+        fn drop_verdict_loses_message_silently() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(0));
+            fabric.set_fault_hook(Some(FixedHook::new(FaultAction::Drop)));
+            // The sender sees success — the loss is in flight.
+            a.send(b.id(), payload(5)).unwrap();
+            assert!(b.try_recv().is_err());
+            assert_eq!(fabric.obs().counter_value("fabric", "fabric", "faults_dropped"), 1);
+            fabric.set_fault_hook(None);
+            a.send(b.id(), payload(5)).unwrap();
+            assert_eq!(b.recv().unwrap().len(), 5);
+        }
+
+        #[test]
+        fn delay_verdict_defers_delivery() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(0));
+            fabric.set_fault_hook(Some(FixedHook::new(FaultAction::Delay(
+                Duration::from_millis(20),
+            ))));
+            let t0 = Instant::now();
+            a.send(b.id(), payload(1)).unwrap();
+            let _ = b.recv().unwrap();
+            assert!(t0.elapsed() >= Duration::from_millis(20));
+            assert_eq!(fabric.obs().counter_value("fabric", "fabric", "faults_delayed"), 1);
+        }
+
+        #[test]
+        fn duplicate_verdict_delivers_twice_in_order() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(0));
+            fabric.set_fault_hook(Some(FixedHook::new(FaultAction::Duplicate)));
+            a.send(b.id(), payload(9)).unwrap();
+            assert_eq!(b.recv().unwrap().len(), 9);
+            assert_eq!(b.recv().unwrap().len(), 9);
+            assert_eq!(fabric.obs().counter_value("fabric", "fabric", "faults_duplicated"), 1);
+        }
+
+        #[test]
+        fn kill_verdict_claims_the_triggering_message() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(0));
+            let hook = FixedHook::new(FaultAction::Deliver);
+            hook.kills.lock().push(b.id());
+            fabric.set_fault_hook(Some(hook));
+            let mut w = fabric.watch_failures();
+            // The hook kills b while this very message is in flight: the
+            // sender gets PeerDead and watchers are notified.
+            assert_eq!(a.send(b.id(), payload(1)), Err(SendError::PeerDead(b.id())));
+            assert!(!fabric.is_alive(b.id()));
+            assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, b.id());
+        }
+
+        #[test]
+        fn hook_sees_normalized_ids_and_pair_seq() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(1));
+            let hook = FixedHook::new(FaultAction::Deliver);
+            fabric.set_fault_hook(Some(hook.clone()));
+            a.send(b.id(), payload(1)).unwrap();
+            a.send(b.id(), payload(2)).unwrap();
+            b.send(a.id(), payload(3)).unwrap();
+            let seen = hook.seen.lock();
+            assert_eq!(seen.len(), 3);
+            // a was registered first: rel ids are offsets from a.
+            assert_eq!(seen[0].rel_src, 0);
+            assert_eq!(seen[0].rel_dst, 1);
+            assert_eq!(seen[0].pair_seq, 0);
+            assert_eq!(seen[1].pair_seq, 1);
+            // The reverse direction is a distinct pair with its own counter.
+            assert_eq!(seen[2].pair_seq, 0);
+            assert_eq!(seen[2].src_node, Some(NodeId(1)));
+            assert_eq!(fabric.base_endpoint_id(), a.id().0);
+        }
     }
 }
 

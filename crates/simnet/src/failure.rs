@@ -73,13 +73,38 @@ mod tests {
     }
 
     #[test]
-    fn late_watcher_misses_earlier_failures() {
+    fn late_watcher_replays_earlier_failures() {
         let fabric = Fabric::new(CostModel::zero());
         let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(1));
+        fabric.kill(b.id());
+        fabric.kill(a.id());
+        // A watcher subscribing after the deaths still learns about them:
+        // the fabric replays the dead set (in endpoint-id order) on
+        // subscription, so late subscribers converge with early ones.
+        let mut w = fabric.watch_failures();
+        let first = w.try_recv().expect("first death replayed");
+        let second = w.try_recv().expect("second death replayed");
+        assert_eq!(first.endpoint, a.id());
+        assert_eq!(first.node, NodeId(0));
+        assert_eq!(second.endpoint, b.id());
+        assert_eq!(second.node, NodeId(1));
+        assert!(w.try_recv().is_none());
+        assert!(fabric.was_killed(a.id()));
+    }
+
+    #[test]
+    fn replayed_and_live_failures_are_each_seen_once() {
+        let fabric = Fabric::new(CostModel::zero());
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
         fabric.kill(a.id());
         let mut w = fabric.watch_failures();
+        fabric.kill(b.id());
+        // Replay of the earlier death, then the live broadcast — no
+        // duplicates of either.
+        assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, a.id());
+        assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, b.id());
         assert!(w.try_recv().is_none());
-        // But the kill is still queryable through the fabric.
-        assert!(fabric.was_killed(a.id()));
     }
 }

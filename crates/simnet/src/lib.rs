@@ -26,6 +26,7 @@ pub mod cost;
 pub mod endpoint;
 pub mod fabric;
 pub mod failure;
+pub mod inject;
 pub mod message;
 pub mod testbed;
 pub mod topology;
@@ -34,6 +35,7 @@ pub use cost::CostModel;
 pub use endpoint::{Endpoint, EndpointId, EndpointSender, RecvError, SendError};
 pub use fabric::Fabric;
 pub use failure::{FailureEvent, FailureWatcher};
+pub use inject::{FaultAction, FaultHook, FaultVerdict, MsgView};
 pub use message::Envelope;
 pub use testbed::SimTestbed;
 pub use topology::{ClusterSpec, NodeId};
