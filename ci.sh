@@ -14,6 +14,20 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+# Golden-trace gate: a fixed-size fig3_init run must produce a trace report
+# that (a) validates against the checked-in schema subset and (b) yields the
+# exact committed critical-path stage ordering. Trace reports are derived
+# from logical clocks and work counters only, so this is byte-stable; cost
+# drift is allowed, stage reordering or disappearance is not.
+echo "== golden trace (fig3_init @ 2 nodes x 2 ppn) =="
+trace_tmp="$(mktemp -t trace_ci.XXXXXX.json)"
+cargo run -q --offline --release -p bench-harness --bin fig3_init -- \
+  --nodes 2 --ppn-list 2 --reps 1 --trace-out "$trace_tmp" >/dev/null
+cargo run -q --offline --release -p bench-harness --bin trace_check -- \
+  "$trace_tmp" --schema ci/trace_schema.json 2>/dev/null \
+  | diff -u ci/golden_fig3_critical_path.txt -
+rm -f "$trace_tmp" "$trace_tmp.flame.txt"
+
 # Chaos gate: the pinned-seed fault-injection sweeps (tests/chaos_suite.rs)
 # already ran as part of the workspace test pass above; rerun the suite
 # here only when extra seeds are requested via the CHAOS_SEEDS knob

@@ -51,6 +51,21 @@ pub fn osu_init_with_metrics(
     np: u32,
     mode: InitMode,
 ) -> (InitResult, serde_json::Value) {
+    let (result, metrics, _) = osu_init_traced(testbed, np, mode, false);
+    (result, metrics)
+}
+
+/// [`osu_init_with_metrics`] plus (when `want_trace`) the run's analyzed
+/// span-DAG trace report (`obs::analyze`): the global causal trace of the
+/// launch — PRRTE fan-out, PMIx group-construction stages, PGCID
+/// round-trip, session init split — with its critical path. `Value::Null`
+/// when `want_trace` is false, so untraced runs pay nothing.
+pub fn osu_init_traced(
+    testbed: SimTestbed,
+    np: u32,
+    mode: InitMode,
+    want_trace: bool,
+) -> (InitResult, serde_json::Value, serde_json::Value) {
     let launcher = Launcher::new(testbed);
     let timings = launcher
         .spawn(JobSpec::new(np), move |ctx| match mode {
@@ -86,8 +101,14 @@ pub fn osu_init_with_metrics(
         })
         .join()
         .expect("osu_init job");
-    let metrics = launcher.universe().fabric().obs().export();
-    (summarize(np, &timings), metrics)
+    let registry = launcher.universe().fabric().obs();
+    let metrics = registry.export();
+    let trace = if want_trace {
+        obs::analyze::analyze(&registry.spans_snapshot(), registry.spans_dropped())
+    } else {
+        serde_json::Value::Null
+    };
+    (summarize(np, &timings), metrics, trace)
 }
 
 fn summarize(np: u32, timings: &[InitTiming]) -> InitResult {
@@ -359,6 +380,27 @@ pub fn run_mbw_job_with_metrics(
     iters: usize,
     presync: bool,
 ) -> (Vec<MbwSample>, serde_json::Value) {
+    let (samples, metrics, _) =
+        run_mbw_job_traced(testbed, mode, np, sizes, window, warmup, iters, presync, false);
+    (samples, metrics)
+}
+
+/// [`run_mbw_job_with_metrics`] plus (when `want_trace`) the analyzed
+/// span-DAG trace: the exCID handshake spans and per-pair eager aggregates
+/// behind the Fig. 5c switchover story. `Value::Null` when `want_trace`
+/// is false.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mbw_job_traced(
+    testbed: SimTestbed,
+    mode: InitMode,
+    np: u32,
+    sizes: Vec<usize>,
+    window: usize,
+    warmup: usize,
+    iters: usize,
+    presync: bool,
+    want_trace: bool,
+) -> (Vec<MbwSample>, serde_json::Value, serde_json::Value) {
     let launcher = Launcher::new(testbed);
     let mut results = launcher
         .spawn(JobSpec::new(np), move |ctx| {
@@ -372,8 +414,14 @@ pub fn run_mbw_job_with_metrics(
         })
         .join()
         .expect("mbw job");
-    let metrics = launcher.universe().fabric().obs().export();
-    (results.swap_remove(0), metrics)
+    let registry = launcher.universe().fabric().obs();
+    let metrics = registry.export();
+    let trace = if want_trace {
+        obs::analyze::analyze(&registry.spans_snapshot(), registry.spans_dropped())
+    } else {
+        serde_json::Value::Null
+    };
+    (results.swap_remove(0), metrics, trace)
 }
 
 #[cfg(test)]

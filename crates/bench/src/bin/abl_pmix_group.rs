@@ -6,13 +6,14 @@
 //! the substrate cost behind Figs. 3 and 4.
 //!
 //! Usage: `abl_pmix_group [--nodes 1,2,4,8] [--ppn 4] [--iters 8]
-//!                        [--metrics-out <path>]`
+//!                        [--metrics-out <path>] [--trace-out <path>]`
 //! (`--metrics-out` dumps per-topology observability exports: the
 //! fan-in/exchange/fan-out stage counters, PGCID allocations, per-server
-//! RPC processing-time histograms.)
+//! RPC processing-time histograms. `--trace-out` dumps per-topology causal
+//! span-DAG traces of the fence and group-construct stage chains.)
 
 use apps::cli_opt;
-use bench_harness::{dump_json, parse_list, MetricsSink};
+use bench_harness::{dump_json, parse_list, MetricsSink, TraceSink};
 use pmix::{GroupDirectives, ProcId};
 use prrte::{JobSpec, Launcher};
 use serde::Serialize;
@@ -40,6 +41,7 @@ fn main() {
         "nodes", "np", "fence (us)", "construct (us)", "construct-noPGCID"
     );
     let mut sink = MetricsSink::from_args(&args);
+    let mut traces = TraceSink::from_args(&args);
     let mut rows = Vec::new();
     for &nodes in &nodes_list {
         let mut tb = SimTestbed::jupiter(nodes);
@@ -82,10 +84,14 @@ fn main() {
             })
             .join()
             .expect("ablation job");
+        let registry = launcher.universe().fabric().obs();
         if sink.enabled() {
-            sink.record(
+            sink.record(&format!("nodes{nodes}_ppn{ppn}"), registry.export());
+        }
+        if traces.enabled() {
+            traces.record(
                 &format!("nodes{nodes}_ppn{ppn}"),
-                launcher.universe().fabric().obs().export(),
+                obs::analyze::analyze(&registry.spans_snapshot(), registry.spans_dropped()),
             );
         }
         let (f, c, n) = per_rank.into_iter().fold((0.0f64, 0.0f64, 0.0f64), |acc, v| {
@@ -105,4 +111,5 @@ fn main() {
     println!("# paired destruct here, so compare trends rather than absolutes.");
     dump_json("abl_pmix_group", &rows);
     sink.finish();
+    traces.finish();
 }

@@ -4,14 +4,16 @@
 //! breakdown the paper quotes in §IV-C1.
 //!
 //! Usage: `fig3_init [--nodes 1,2,4,8] [--ppn-list 1,8] [--reps 3] [--paper]
-//!                   [--metrics-out <path>]`
+//!                   [--metrics-out <path>] [--trace-out <path>]`
 //! (`--paper` uses the full 28 processes/node of the Jupiter runs; heavy
 //! on a small host. `--metrics-out` dumps each best run's observability
-//! export — including the session-handle vs resource-init timing split.)
+//! export — including the session-handle vs resource-init timing split.
+//! `--trace-out` dumps each best run's causal span-DAG trace report with
+//! its critical path, plus a flamegraph text rendering.)
 
-use apps::osu::{osu_init_with_metrics, InitResult};
+use apps::osu::{osu_init_traced, InitResult};
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, parse_list, MetricsSink};
+use bench_harness::{dump_json, parse_list, MetricsSink, TraceSink};
 use serde::Serialize;
 use simnet::SimTestbed;
 
@@ -29,8 +31,8 @@ struct Row {
 
 fn best_of(
     reps: usize,
-    f: impl Fn() -> (InitResult, serde_json::Value),
-) -> (InitResult, serde_json::Value) {
+    f: impl Fn() -> (InitResult, serde_json::Value, serde_json::Value),
+) -> (InitResult, serde_json::Value, serde_json::Value) {
     (0..reps.max(1))
         .map(|_| f())
         .min_by(|a, b| a.0.max.total_s.total_cmp(&b.0.max.total_s))
@@ -57,6 +59,8 @@ fn main() {
     println!("# Fig. 3: MPI initialization times (simulated Jupiter cost model)");
     println!("# per-subsystem component-load cost: {load_us} us (NFS analog, --load-cost-us)");
     let mut sink = MetricsSink::from_args(&args);
+    let mut traces = TraceSink::from_args(&args);
+    let want_trace = traces.enabled();
     let mut rows = Vec::new();
     for &ppn in &ppn_list {
         println!("\n## {} process(es) per node (Fig. 3{})", ppn, if ppn == 1 { "a" } else { "b" });
@@ -71,11 +75,14 @@ fn main() {
                 tb
             };
             let np = nodes * ppn;
-            let (wpm, wpm_metrics) = best_of(reps, || osu_init_with_metrics(mk_tb(), np, InitMode::Wpm));
-            let (sess, sess_metrics) =
-                best_of(reps, || osu_init_with_metrics(mk_tb(), np, InitMode::Sessions));
+            let (wpm, wpm_metrics, wpm_trace) =
+                best_of(reps, || osu_init_traced(mk_tb(), np, InitMode::Wpm, want_trace));
+            let (sess, sess_metrics, sess_trace) =
+                best_of(reps, || osu_init_traced(mk_tb(), np, InitMode::Sessions, want_trace));
             sink.record(&format!("ppn{ppn}_nodes{nodes}_wpm"), wpm_metrics);
             sink.record(&format!("ppn{ppn}_nodes{nodes}_sessions"), sess_metrics);
+            traces.record(&format!("ppn{ppn}_nodes{nodes}_wpm"), wpm_trace);
+            traces.record(&format!("ppn{ppn}_nodes{nodes}_sessions"), sess_trace);
             let ratio = sess.max.total_s / wpm.max.total_s;
             let si_frac = sess.max.session_init_s / sess.max.total_s * 100.0;
             let cc_frac = sess.max.comm_create_s / sess.max.total_s * 100.0;
@@ -108,4 +115,5 @@ fn main() {
     );
     dump_json("fig3_init", &rows);
     sink.finish();
+    traces.finish();
 }

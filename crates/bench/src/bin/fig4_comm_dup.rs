@@ -9,12 +9,14 @@
 //!   created before needing to request a new PGCID").
 //!
 //! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]
-//!                       [--metrics-out <path>]`
+//!                       [--metrics-out <path>] [--trace-out <path>]`
 //! (`--metrics-out` dumps per-run observability exports: `cid.refills` vs
-//! `cid.derivations`, PMIx group stage counters, consensus rounds.)
+//! `cid.derivations`, PMIx group stage counters, consensus rounds.
+//! `--trace-out` dumps per-run causal span-DAG traces whose critical paths
+//! show the consensus rounds vs the PMIx stage chain vs local derivation.)
 
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, parse_list, MetricsSink};
+use bench_harness::{dump_json, parse_list, MetricsSink, TraceSink};
 use prrte::{JobSpec, Launcher};
 use serde::Serialize;
 use simnet::SimTestbed;
@@ -38,7 +40,8 @@ fn time_dups(
     mode: InitMode,
     iters: usize,
     derive: bool,
-) -> (f64, serde_json::Value) {
+    want_trace: bool,
+) -> (f64, serde_json::Value, serde_json::Value) {
     let launcher = Launcher::new(tb);
     let per_rank = launcher
         .spawn(JobSpec::new(np), move |ctx| {
@@ -65,8 +68,14 @@ fn time_dups(
         })
         .join()
         .expect("fig4 job");
-    let metrics = launcher.universe().fabric().obs().export();
-    (per_rank.into_iter().fold(0.0, f64::max), metrics)
+    let registry = launcher.universe().fabric().obs();
+    let metrics = registry.export();
+    let trace = if want_trace {
+        obs::analyze::analyze(&registry.spans_snapshot(), registry.spans_dropped())
+    } else {
+        serde_json::Value::Null
+    };
+    (per_rank.into_iter().fold(0.0, f64::max), metrics, trace)
 }
 
 fn main() {
@@ -84,6 +93,8 @@ fn main() {
         "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived", "ratio"
     );
     let mut sink = MetricsSink::from_args(&args);
+    let mut traces = TraceSink::from_args(&args);
+    let want_trace = traces.enabled();
     let mut rows = Vec::new();
     for &nodes in &nodes_list {
         let mk_tb = || {
@@ -92,12 +103,17 @@ fn main() {
             tb
         };
         let np = nodes * ppn;
-        let (wpm, wpm_m) = time_dups(mk_tb(), np, InitMode::Wpm, iters, false);
-        let (sess, sess_m) = time_dups(mk_tb(), np, InitMode::Sessions, iters, false);
-        let (derived, derived_m) = time_dups(mk_tb(), np, InitMode::Sessions, iters, true);
+        let (wpm, wpm_m, wpm_t) = time_dups(mk_tb(), np, InitMode::Wpm, iters, false, want_trace);
+        let (sess, sess_m, sess_t) =
+            time_dups(mk_tb(), np, InitMode::Sessions, iters, false, want_trace);
+        let (derived, derived_m, derived_t) =
+            time_dups(mk_tb(), np, InitMode::Sessions, iters, true, want_trace);
         sink.record(&format!("nodes{nodes}_wpm_consensus"), wpm_m);
         sink.record(&format!("nodes{nodes}_sessions_pgcid"), sess_m);
         sink.record(&format!("nodes{nodes}_sessions_derived"), derived_m);
+        traces.record(&format!("nodes{nodes}_wpm_consensus"), wpm_t);
+        traces.record(&format!("nodes{nodes}_sessions_pgcid"), sess_t);
+        traces.record(&format!("nodes{nodes}_sessions_derived"), derived_t);
         let ratio = sess / wpm;
         println!(
             "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>8.2}",
@@ -119,4 +135,5 @@ fn main() {
     );
     dump_json("fig4_comm_dup", &rows);
     sink.finish();
+    traces.finish();
 }

@@ -8,14 +8,16 @@
 //! `--presync`-style sendrecv equalizes the modes (paper §IV-C3).
 //!
 //! Usage: `fig5_mbw [--procs 2|16] [--max-size 65536] [--window 64]
-//!                  [--iters 20] [--presync] [--both] [--metrics-out <path>]`
+//!                  [--iters 20] [--presync] [--both] [--metrics-out <path>]
+//!                  [--trace-out <path>]`
 //! (`--metrics-out` dumps per-run observability exports: the PML
 //! eager/extended-header split behind the switchover artifact, fabric
-//! on-node vs inter-node traffic.)
+//! on-node vs inter-node traffic. `--trace-out` dumps per-run causal
+//! span-DAG traces with the exCID handshake spans.)
 
-use apps::osu::{run_mbw_job_with_metrics, size_sweep};
+use apps::osu::{run_mbw_job_traced, size_sweep};
 use apps::{cli_flag, cli_opt, InitMode};
-use bench_harness::{dump_json, geomean, MetricsSink};
+use bench_harness::{dump_json, geomean, MetricsSink, TraceSink};
 use serde::Serialize;
 use simnet::SimTestbed;
 
@@ -37,9 +39,10 @@ fn run_config(
     window: usize,
     iters: usize,
     sink: &mut MetricsSink,
+    traces: &mut TraceSink,
 ) -> Vec<Row> {
     let run = |mode| {
-        run_mbw_job_with_metrics(
+        run_mbw_job_traced(
             SimTestbed::tiny(1, procs),
             mode,
             procs,
@@ -48,12 +51,15 @@ fn run_config(
             2,
             iters,
             presync,
+            traces.enabled(),
         )
     };
-    let (wpm, wpm_m) = run(InitMode::Wpm);
-    let (sess, sess_m) = run(InitMode::Sessions);
+    let (wpm, wpm_m, wpm_t) = run(InitMode::Wpm);
+    let (sess, sess_m, sess_t) = run(InitMode::Sessions);
     sink.record(&format!("p{procs}_presync{presync}_wpm"), wpm_m);
     sink.record(&format!("p{procs}_presync{presync}_sessions"), sess_m);
+    traces.record(&format!("p{procs}_presync{presync}_wpm"), wpm_t);
+    traces.record(&format!("p{procs}_presync{presync}_sessions"), sess_t);
     sizes
         .iter()
         .enumerate()
@@ -100,6 +106,7 @@ fn main() {
     };
 
     let mut sink = MetricsSink::from_args(&args);
+    let mut traces = TraceSink::from_args(&args);
     let mut all = Vec::new();
     for (procs, presync) in configs {
         println!(
@@ -109,7 +116,7 @@ fn main() {
             procs / 2,
             if presync { ", pre-synchronized (sendrecv before loop)" } else { "" }
         );
-        let rows = run_config(procs, presync, &sizes, window, iters, &mut sink);
+        let rows = run_config(procs, presync, &sizes, window, iters, &mut sink, &mut traces);
         print_rows(&rows);
         all.extend(rows);
     }
@@ -117,4 +124,5 @@ fn main() {
     println!("# multi-pair w/o presync dips below 1.0 at small sizes; presync restores ≈1.0.");
     dump_json("fig5_mbw", &all);
     sink.finish();
+    traces.finish();
 }

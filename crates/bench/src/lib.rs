@@ -59,8 +59,24 @@ impl MetricsSink {
     }
 
     /// Record one run's metrics export under `label`.
+    ///
+    /// A `--metrics-out` run with dropped events is a **hard failure**:
+    /// the export would silently under-report, so refuse to produce it
+    /// (raise the ring capacity or trim the workload instead).
     pub fn record(&mut self, label: &str, metrics: Value) {
         if self.enabled() {
+            let dropped = metrics
+                .as_object()
+                .and_then(|o| o.get("events"))
+                .and_then(|e| e.as_object())
+                .and_then(|e| e.get("dropped"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            assert!(
+                dropped == 0,
+                "run '{label}': {dropped} event(s) dropped from the obs ring; \
+                 a --metrics-out export must be complete"
+            );
             self.runs.insert(label.to_owned(), metrics);
         }
     }
@@ -77,6 +93,85 @@ impl MetricsSink {
                 }
             }
             Err(e) => eprintln!("warn: could not serialize metrics: {e}"),
+        }
+    }
+}
+
+/// Collects per-run span-DAG trace reports (`--trace-out <path>`).
+///
+/// Mirrors [`MetricsSink`]: figure binaries record the analyzed trace of
+/// each run (see `obs::analyze`) under a run label; `finish` writes one
+/// JSON object mapping labels to reports, plus a flamegraph-style text
+/// rendering of every trace next to it (`<path>.flame.txt`). Reports are
+/// derived from logical clocks and work counters only, so two runs at the
+/// same seed and size produce byte-identical files.
+pub struct TraceSink {
+    path: Option<PathBuf>,
+    runs: Map,
+}
+
+impl TraceSink {
+    /// Build from argv: honors `--trace-out <path>`.
+    pub fn from_args(args: &[String]) -> TraceSink {
+        let path = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        TraceSink { path, runs: Map::new() }
+    }
+
+    /// Whether `--trace-out` was given (skip trace analysis otherwise).
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record one run's trace report under `label`.
+    ///
+    /// A traced run that overflowed the span buffer is a hard failure for
+    /// the same reason dropped events are: an incomplete DAG would yield a
+    /// silently wrong critical path.
+    pub fn record(&mut self, label: &str, trace: Value) {
+        if !self.enabled() {
+            return;
+        }
+        let dropped = trace
+            .as_object()
+            .and_then(|o| o.get("spans_dropped"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(
+            dropped == 0,
+            "run '{label}': {dropped} span(s) dropped from the trace buffer; \
+             a --trace-out report must be complete"
+        );
+        self.runs.insert(label.to_owned(), trace);
+    }
+
+    /// Write the collected reports; prints the destinations on success.
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        let mut flame = String::new();
+        for (label, report) in &self.runs {
+            flame.push_str(&format!("== {label} ==\n"));
+            flame.push_str(&obs::analyze::flamegraph_text(report));
+            flame.push('\n');
+        }
+        match serde_json::to_vec_pretty(&Value::Object(self.runs)) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(&path, bytes) {
+                    eprintln!("warn: could not write traces to {}: {e}", path.display());
+                } else {
+                    eprintln!("(wrote traces to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warn: could not serialize traces: {e}"),
+        }
+        let flame_path = PathBuf::from(format!("{}.flame.txt", path.display()));
+        if let Err(e) = std::fs::write(&flame_path, flame) {
+            eprintln!("warn: could not write flamegraph to {}: {e}", flame_path.display());
+        } else {
+            eprintln!("(wrote flamegraph to {})", flame_path.display());
         }
     }
 }

@@ -146,6 +146,11 @@ impl Comm {
     pub fn create_from_group(group: &MpiGroup, stringtag: &str) -> Result<Comm> {
         let process = group_process(group)?;
         process.require_active()?;
+        // Entered span: the PMIx construct below becomes its child.
+        let span = process
+            .obs()
+            .span(&process.proc().to_string(), "comm.create_from_group", stringtag);
+        let _entered = span.enter();
         let members: Vec<pmix::ProcId> = group.iter().map(|m| m.proc).collect();
         let name = format!("mpi-comm:{stringtag}");
         let pgroup = process
@@ -347,6 +352,12 @@ impl Comm {
                 });
                 match derived {
                     Some((child_excid, child_state)) => {
+                        let mut span = self.process.obs().span(
+                            &self.process.proc().to_string(),
+                            "comm.dup_derived",
+                            &format!("{child_excid}"),
+                        );
+                        span.add_work(1);
                         let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
                         let comm = Comm::build(
                             self.process.clone(),
@@ -421,6 +432,11 @@ impl Comm {
             n
         );
         let members: Vec<pmix::ProcId> = self.inner.group.iter().map(|m| m.proc).collect();
+        let span = self
+            .process
+            .obs()
+            .span(&self.process.proc().to_string(), "comm.dup_group", &name);
+        let _entered = span.enter();
         let pgroup = self
             .process
             .pmix()
@@ -463,6 +479,18 @@ impl Comm {
         let obs = self.process.obs();
         let p = self.process.proc().to_string();
         let rounds_ctr = obs.counter(&p, "cid", "consensus_rounds");
+        // Entered for the whole agreement, so the allreduce traffic below
+        // carries this span's context; work = rounds to convergence.
+        let mut span = obs.span(
+            &p,
+            "cid.consensus",
+            &format!(
+                "cid{}@{}",
+                self.inner.local_cid,
+                self.inner.coll_seq.load(Ordering::Relaxed)
+            ),
+        );
+        let _entered = span.enter();
         let mut candidate = FIRST_DYNAMIC_CID;
         for round in 1..=4096u64 {
             let proposed = self.process.peek_lowest_cid(candidate)?;
@@ -485,6 +513,7 @@ impl Comm {
                 if self.process.claim_cid(max as u16).is_ok() {
                     rounds_ctr.add(round);
                     obs.counter(&p, "cid", "consensus_agreements").inc();
+                    span.add_work(round);
                     return Ok(max as u16);
                 }
             }

@@ -58,6 +58,14 @@ struct PeerState {
     ext_started: bool,
     send_seq: u16,
     recv_seq: u16,
+    /// Sender-side handshake span: opened with the first extended-header
+    /// send to this peer, closed when the peer's CID is learned. Its
+    /// context rides only on extended sends, so a handshake produces
+    /// exactly one cross-process link (ext → handshake_recv).
+    handshake: Option<obs::Span>,
+    /// Aggregate span for compact eager traffic to this peer (one span per
+    /// (cid, peer), work = messages — bounded regardless of message count).
+    eager: Option<obs::Span>,
 }
 
 struct Posted {
@@ -94,12 +102,17 @@ struct PendingMsg {
     rts: Option<RtsInfo>,
     payload: Bytes,
     src_ep: EndpointId,
+    /// Trace context carried by the envelope (the sender's handshake span
+    /// for extended sends).
+    ctx: Option<obs::TraceContext>,
 }
 
 struct RdvSend {
     payload: Bytes,
     dst_ep: EndpointId,
     req: Arc<ReqInner>,
+    /// Per-transfer rendezvous span: RTS → CTS → data send.
+    span: Option<obs::Span>,
 }
 
 #[derive(Default)]
@@ -261,6 +274,8 @@ impl Pml {
                     ext_started: false,
                     send_seq: 0,
                     recv_seq: 0,
+                    handshake: None,
+                    eager: None,
                 })
                 .collect(),
         };
@@ -314,7 +329,7 @@ impl Pml {
     ) -> Result<Arc<ReqInner>> {
         let req = ReqInner::new(ReqKind::Send);
         let eager = payload.len() <= self.eager_limit();
-        let (dst_ep, bytes, is_ext, is_ext_fallback) = {
+        let (dst_ep, bytes, is_ext, is_ext_fallback, ext_ctx) = {
             let mut st = self.state.lock();
             let route = st
                 .routes
@@ -347,6 +362,33 @@ impl Pml {
             } else {
                 false
             };
+            // Causal bookkeeping: the handshake span's context rides only on
+            // extended sends, so the receiver's `handshake_recv` span links
+            // it exactly once per peer pair; compact traffic accumulates on
+            // a bounded per-peer aggregate and keeps the thread's context.
+            let ext_ctx = if let Some(e) = &ext {
+                let hs = peer.handshake.get_or_insert_with(|| {
+                    self.metrics.obs.span(
+                        &self.metrics.process,
+                        "pml.handshake",
+                        &format!("{}.{}->{}", e.excid.pgcid, e.excid.derivation, dst_rank),
+                    )
+                });
+                hs.add_work(1);
+                Some(hs.context())
+            } else {
+                if eager {
+                    let eg = peer.eager.get_or_insert_with(|| {
+                        self.metrics.obs.span(
+                            &self.metrics.process,
+                            "pml.eager",
+                            &format!("cid{local_cid}->{dst_rank}"),
+                        )
+                    });
+                    eg.add_work(1);
+                }
+                None
+            };
             let base_kind = if eager {
                 if ext.is_some() { MsgKind::EagerExt } else { MsgKind::Eager }
             } else if ext.is_some() {
@@ -377,10 +419,18 @@ impl Pml {
                 let send_req = st.next_req_id;
                 st.next_req_id += 1;
                 RtsInfo { size: payload.len() as u64, send_req }.encode(&mut bytes);
-                st.rdv_send
-                    .insert(send_req, RdvSend { payload: payload.clone(), dst_ep, req: req.clone() });
+                let mut span = self.metrics.obs.span(
+                    &self.metrics.process,
+                    "pml.rdv",
+                    &format!("cid{local_cid}:{send_req}"),
+                );
+                span.add_work(1);
+                st.rdv_send.insert(
+                    send_req,
+                    RdvSend { payload: payload.clone(), dst_ep, req: req.clone(), span: Some(span) },
+                );
             }
-            (dst_ep, bytes, ext.is_some(), is_ext_fallback)
+            (dst_ep, bytes, ext.is_some(), is_ext_fallback, ext_ctx)
         };
         if is_ext {
             self.metrics.ext_sent.inc();
@@ -393,7 +443,11 @@ impl Pml {
         if !eager {
             self.metrics.rts_sent.inc();
         }
-        match self.sender.send(dst_ep, Bytes::from(bytes)) {
+        let sent = match ext_ctx {
+            Some(c) => self.sender.send_ctx(dst_ep, Bytes::from(bytes), Some(c)),
+            None => self.sender.send(dst_ep, Bytes::from(bytes)),
+        };
+        match sent {
             Ok(()) => {
                 if eager {
                     // Buffered-eager semantics: the send buffer is owned by
@@ -476,7 +530,7 @@ impl Pml {
         loop {
             match self.endpoint.try_recv() {
                 Ok(env) => {
-                    self.handle_bytes(env.src, env.payload);
+                    self.handle_bytes(env.src, env.payload, env.ctx);
                     did = true;
                 }
                 Err(RecvError::Empty) => break,
@@ -486,11 +540,11 @@ impl Pml {
         if !did {
             if let Some(t) = block {
                 if let Ok(env) = self.endpoint.recv_timeout(t) {
-                    self.handle_bytes(env.src, env.payload);
+                    self.handle_bytes(env.src, env.payload, env.ctx);
                     did = true;
                     // Drain whatever arrived together with it.
                     while let Ok(env) = self.endpoint.try_recv() {
-                        self.handle_bytes(env.src, env.payload);
+                        self.handle_bytes(env.src, env.payload, env.ctx);
                     }
                 }
             }
@@ -498,7 +552,7 @@ impl Pml {
         did
     }
 
-    fn handle_bytes(&self, src_ep: EndpointId, payload: Bytes) {
+    fn handle_bytes(&self, src_ep: EndpointId, payload: Bytes, ctx: Option<obs::TraceContext>) {
         self.metrics.handled.inc();
         let Some(&kind_byte) = payload.first() else { return };
         let Some(kind) = MsgKind::from_u8(kind_byte) else { return };
@@ -540,7 +594,7 @@ impl Pml {
                     off += 16;
                 }
                 let body = payload.slice(off..);
-                self.dispatch(PendingMsg { hdr, ext, rts, payload: body, src_ep });
+                self.dispatch(PendingMsg { hdr, ext, rts, payload: body, src_ep, ctx });
             }
         }
     }
@@ -557,19 +611,28 @@ impl Pml {
             if matches!(peer.mode, SendCid::AwaitAck) {
                 peer.mode = SendCid::Known(ack.receiver_cid);
                 self.metrics.handshake(ack.excid, ack.acker_rank, "ack");
+                if let Some(hs) = peer.handshake.take() {
+                    hs.end();
+                }
             }
         }
     }
 
     fn on_cts(&self, send_req: u64, recv_req: u64) {
         let entry = self.state.lock().rdv_send.remove(&send_req);
-        let Some(rdv) = entry else { return };
+        let Some(mut rdv) = entry else { return };
         let mut bytes = Vec::with_capacity(9 + rdv.payload.len());
         bytes.push(MsgKind::RdvData as u8);
         bytes.extend_from_slice(&recv_req.to_le_bytes());
         bytes.extend_from_slice(&rdv.payload);
         match self.sender.send(rdv.dst_ep, Bytes::from(bytes)) {
-            Ok(()) => rdv.req.complete_send(rdv.payload.len()),
+            Ok(()) => {
+                if let Some(mut sp) = rdv.span.take() {
+                    sp.add_work(1);
+                    sp.end();
+                }
+                rdv.req.complete_send(rdv.payload.len())
+            }
             Err(_) => rdv.req.fail(MpiError::new(ErrClass::ProcFailed, "peer died during rendezvous")),
         }
     }
@@ -618,9 +681,26 @@ impl Pml {
                         if matches!(peer.mode, SendCid::AwaitAck) {
                             peer.mode = SendCid::Known(ext.sender_cid);
                             self.metrics.handshake(ext.excid, src, "ext");
+                            if let Some(hs) = peer.handshake.take() {
+                                hs.end();
+                            }
                         }
                         if !peer.acked_back {
                             peer.acked_back = true;
+                            // Receiver-side handshake span, adopted into the
+                            // sender's trace via the link to the extended
+                            // send's context.
+                            let mut hs = self.metrics.obs.span_with_parent(
+                                &self.metrics.process,
+                                "pml.handshake_recv",
+                                &format!("{}.{}<-{}", ext.excid.pgcid, ext.excid.derivation, src),
+                                None,
+                            );
+                            if let Some(c) = msg.ctx {
+                                hs.link(c);
+                            }
+                            hs.add_work(1);
+                            hs.end();
                             let ack = CidAck {
                                 excid: ext.excid,
                                 receiver_cid: cid,
@@ -803,6 +883,32 @@ mod tests {
         assert_eq!(a.stats().eager_sent, 1);
         // And B, having learned A's cid from the EXT header, never EXTs back.
         assert!(b.peer_switched(7, 0));
+    }
+
+    #[test]
+    fn handshake_spans_link_exactly_once_across_processes() {
+        let (a, b) = pair();
+        let excid = Some(ExCid::from_pgcid(42));
+        wire(&a, &b, 2, 7, excid);
+        a.isend(2, 1, 0, Bytes::from_static(b"x")).unwrap();
+        a.isend(2, 1, 0, Bytes::from_static(b"y")).unwrap(); // ext fallback
+        pump(&b); // B matches, emits handshake_recv, sends CidAck
+        pump(&a); // A absorbs the ack, closing its handshake span
+        let spans = a.endpoint.obs().spans_snapshot();
+        let hs = spans
+            .iter()
+            .find(|s| s.name == "pml.handshake")
+            .expect("sender handshake span");
+        assert_eq!(hs.work, 2, "one unit per extended send");
+        let recv = spans
+            .iter()
+            .find(|s| s.name == "pml.handshake_recv")
+            .expect("receiver handshake span");
+        assert_eq!(recv.links.len(), 1, "first ext send linked exactly once");
+        assert_eq!(recv.links[0].span, hs.id);
+        assert_eq!(recv.trace, hs.trace, "receiver joins the sender's trace");
+        let total_links: usize = spans.iter().map(|s| s.links.len()).sum();
+        assert_eq!(total_links, 1, "the handshake is the only cross-process link");
     }
 
     #[test]

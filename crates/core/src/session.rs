@@ -83,13 +83,23 @@ impl Session {
         info: &Info,
     ) -> Result<Session> {
         let process = MpiProcess::obtain(ctx);
-        // Timed in two parts so benchmarks can attribute startup cost:
-        // bringing up the library's *resources* (subsystems, refcounted)
-        // versus constructing the session *handle* itself (local, cheap).
+        let obs = process.obs();
+        let p = process.proc().to_string();
+        // Timed (and spanned) in two parts so benchmarks can attribute
+        // startup cost: bringing up the library's *resources* (subsystems,
+        // refcounted) versus constructing the session *handle* itself
+        // (local, cheap).
+        let init_span = obs.span(&p, "session.init", "");
+        let _entered = init_span.enter();
         let t_resources = std::time::Instant::now();
+        let mut res_span = obs.span(&p, "session.resources", "");
         let id = process.acquire_instance(SESSION_MIN_SUBSYSTEMS);
+        res_span.add_work(SESSION_MIN_SUBSYSTEMS.len() as u64);
+        res_span.end();
         let resources = t_resources.elapsed();
         let t_handle = std::time::Instant::now();
+        let mut handle_span = obs.span(&p, "session.handle", "");
+        handle_span.add_work(1);
         // Honor PML tuning from the info object.
         if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
             if limit > 0 {
@@ -111,8 +121,7 @@ impl Session {
                 finalized: AtomicBool::new(false),
             }),
         };
-        let obs = process.obs();
-        let p = process.proc().to_string();
+        handle_span.end();
         obs.histogram(&p, "session", "init_resources_ns").record(resources);
         obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
         obs.counter(&p, "session", "sessions_initialized").inc();

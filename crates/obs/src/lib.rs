@@ -33,6 +33,14 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use serde_json::{Map, Value};
 
+pub mod analyze;
+pub mod trace;
+
+pub use trace::{
+    Span, SpanContext, SpanEntered, SpanId, SpanRecord, TraceContext, TraceId,
+    DEFAULT_SPAN_CAPACITY,
+};
+
 /// Instrument identity: `(process, component, name)`.
 pub type Key = (String, String, String);
 
@@ -155,12 +163,54 @@ impl Histogram {
         self.0.max_ns.load(Ordering::Relaxed)
     }
 
+    /// Estimate the `q`-th percentile (`q` in 1..=100) from the fixed
+    /// buckets, interpolating linearly inside the bucket the rank falls
+    /// into. The overflow bucket's upper edge is the observed maximum, so
+    /// the estimate never exceeds it. Returns 0 for an empty histogram.
+    ///
+    /// Bucket edges are decade-spaced, so estimates are coarse — they
+    /// answer "which decade, roughly where in it", which is what the
+    /// flat JSON export can support without storing raw samples.
+    pub fn percentile_ns(&self, q: u64) -> u64 {
+        let c = &self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(1, 100);
+        // Smallest rank (1-based) at or above the q-th percentile.
+        let rank = (count * q).div_ceil(100);
+        let mut cum = 0u64;
+        for (i, b) in c.buckets.iter().enumerate() {
+            let in_bucket = b.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if cum + in_bucket >= rank {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                let upper = if i < BUCKET_BOUNDS_NS.len() {
+                    BUCKET_BOUNDS_NS[i]
+                } else {
+                    c.max_ns.load(Ordering::Relaxed).max(lower + 1)
+                };
+                let into = rank - cum; // 1..=in_bucket
+                let span = (upper - lower) as u128;
+                return lower + (span * into as u128 / in_bucket as u128) as u64;
+            }
+            cum += in_bucket;
+        }
+        c.max_ns.load(Ordering::Relaxed)
+    }
+
     fn export(&self) -> Value {
         let c = &self.0;
         let mut m = Map::new();
         m.insert("count".into(), Value::U64(c.count.load(Ordering::Relaxed)));
         m.insert("sum_ns".into(), Value::U64(c.sum_ns.load(Ordering::Relaxed)));
         m.insert("max_ns".into(), Value::U64(c.max_ns.load(Ordering::Relaxed)));
+        m.insert("p50_ns".into(), Value::U64(self.percentile_ns(50)));
+        m.insert("p95_ns".into(), Value::U64(self.percentile_ns(95)));
+        m.insert("p99_ns".into(), Value::U64(self.percentile_ns(99)));
         let buckets: Vec<Value> = c
             .buckets
             .iter()
@@ -326,6 +376,7 @@ pub struct Registry {
     gauges: RwLock<HashMap<Key, Gauge>>,
     histograms: RwLock<HashMap<Key, Histogram>>,
     events: EventRecorder,
+    traces: Arc<trace::TraceShared>,
 }
 
 impl Default for Registry {
@@ -342,11 +393,17 @@ impl Registry {
 
     /// New registry with an explicit event-ring capacity (min 1).
     pub fn with_event_capacity(capacity: usize) -> Self {
+        Self::with_capacities(capacity, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// New registry with explicit event-ring and span-buffer capacities.
+    pub fn with_capacities(event_capacity: usize, span_capacity: usize) -> Self {
         Self {
             counters: RwLock::new(HashMap::new()),
             gauges: RwLock::new(HashMap::new()),
             histograms: RwLock::new(HashMap::new()),
-            events: EventRecorder::new(capacity),
+            events: EventRecorder::new(event_capacity),
+            traces: Arc::new(trace::TraceShared::new(span_capacity)),
         }
     }
 
@@ -380,6 +437,49 @@ impl Registry {
     /// Record a structured event.
     pub fn event(&self, process: &str, component: &str, name: &str, attrs: Vec<(String, AttrValue)>) {
         self.events.record(process, component, name, attrs);
+    }
+
+    // -- tracing -------------------------------------------------------------
+
+    /// Start a span. The parent is this thread's current context (entered
+    /// span or ambient, see [`trace::current_context`]) when that context
+    /// belongs to this registry; otherwise the span roots a new trace.
+    ///
+    /// `key` is a caller-supplied *run-stable* discriminator (operation id,
+    /// group name, peer rank, a per-process sequence number): the offline
+    /// analyzer derives canonical span identities from `(process, name,
+    /// key)`, never from runtime ids.
+    pub fn span(&self, process: &str, name: &str, key: &str) -> Span {
+        let parent = trace::current_context_in(&self.traces);
+        self.traces.start_span(process, name, key, parent)
+    }
+
+    /// Start a span under an explicit parent context (`None` roots a new
+    /// trace even when the thread has a current context).
+    pub fn span_with_parent(
+        &self,
+        process: &str,
+        name: &str,
+        key: &str,
+        parent: Option<SpanContext>,
+    ) -> Span {
+        self.traces.start_span(process, name, key, parent)
+    }
+
+    /// Snapshot of every *ended* span in the buffer (unspecified order;
+    /// feed into [`analyze::analyze`] for the canonical view).
+    pub fn spans_snapshot(&self) -> Vec<SpanRecord> {
+        self.traces.snapshot()
+    }
+
+    /// Number of ended spans discarded because the span buffer was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.traces.dropped()
+    }
+
+    /// Capacity of the span buffer.
+    pub fn span_capacity(&self) -> usize {
+        self.traces.capacity()
     }
 
     // -- read side -----------------------------------------------------------
@@ -490,6 +590,19 @@ impl Registry {
 
         let mut events = Map::new();
         events.insert("dropped".into(), Value::U64(self.events_dropped()));
+        if self.events_dropped() > 0 {
+            // Ring overflow silently truncates whatever downstream consumer
+            // (chaos invariants, trace assembly) reads the ring; make the
+            // loss impossible to miss in exported artifacts.
+            events.insert(
+                "warning".into(),
+                Value::Str(format!(
+                    "event ring overflowed: {} event(s) dropped; raise the \
+                     event capacity or reduce instrumentation",
+                    self.events_dropped()
+                )),
+            );
+        }
         let recorded: Vec<Value> = self
             .events_snapshot()
             .iter()
@@ -581,6 +694,71 @@ mod tests {
         assert_eq!(buckets[1].as_u64(), Some(1));
         assert_eq!(buckets[4].as_u64(), Some(1));
         assert_eq!(buckets[NUM_BUCKETS - 1].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn percentile_estimates_pinned_on_known_inputs() {
+        // 100 samples of 5µs: everything sits in bucket 1, (1µs, 10µs].
+        // p50 rank = 50 of 100 in-bucket → 1000 + 9000·50/100 = 5500ns.
+        let r = Registry::new();
+        let h = r.histogram("p", "c", "uniform");
+        for _ in 0..100 {
+            h.record_ns(5_000);
+        }
+        assert_eq!(h.percentile_ns(50), 5_500);
+        assert_eq!(h.percentile_ns(99), 1_000 + 9_000 * 99 / 100);
+
+        // Bimodal: 90 fast samples (500ns, bucket 0) + 10 slow (5ms,
+        // bucket 4). p50 interpolates inside bucket 0, p95/p99 inside
+        // bucket 4's (1ms, 10ms] range.
+        let h = r.histogram("p", "c", "bimodal");
+        for _ in 0..90 {
+            h.record_ns(500);
+        }
+        for _ in 0..10 {
+            h.record_ns(5_000_000);
+        }
+        assert_eq!(h.percentile_ns(50), 1_000 * 50 / 90);
+        assert_eq!(h.percentile_ns(95), 1_000_000 + 9_000_000 * 5 / 10);
+        assert_eq!(h.percentile_ns(99), 1_000_000 + 9_000_000 * 9 / 10);
+
+        // Overflow bucket's upper edge is the observed max; a single
+        // sample puts every percentile rank at that edge.
+        let h = r.histogram("p", "c", "overflow");
+        h.record_ns(20_000_000_000);
+        assert_eq!(h.percentile_ns(50), 20_000_000_000);
+        assert_eq!(h.percentile_ns(100), 20_000_000_000);
+
+        // Empty histogram: all percentiles are 0.
+        let h = r.histogram("p", "c", "empty");
+        assert_eq!(h.percentile_ns(50), 0);
+    }
+
+    #[test]
+    fn export_includes_percentiles() {
+        let r = Registry::new();
+        let h = r.histogram("p", "c", "lat");
+        for _ in 0..100 {
+            h.record_ns(5_000);
+        }
+        let json = serde_json::to_string(&r.export()).unwrap();
+        assert!(json.contains("\"p50_ns\":5500"), "{json}");
+        assert!(json.contains("\"p95_ns\""));
+        assert!(json.contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn export_warns_when_events_dropped() {
+        let r = Registry::with_event_capacity(2);
+        for _ in 0..5 {
+            r.event("p", "c", "e", vec![]);
+        }
+        let json = serde_json::to_string(&r.export()).unwrap();
+        assert!(json.contains("event ring overflowed"), "{json}");
+        let clean = Registry::new();
+        clean.event("p", "c", "e", vec![]);
+        let json = serde_json::to_string(&clean.export()).unwrap();
+        assert!(!json.contains("warning"), "{json}");
     }
 
     #[test]

@@ -7,9 +7,11 @@ use crate::group::{GroupDirectives, GroupResult, InviteOutcome, PmixGroup};
 use crate::server::PmixServer;
 use crate::types::{ProcId, Rank};
 use crate::value::PmixValue;
+use crate::server::CollOutcome;
 use parking_lot::Mutex;
 use simnet::NodeId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,13 +29,59 @@ pub struct PmixClient {
     proc: ProcId,
     server: Arc<PmixServer>,
     staged: Arc<Mutex<HashMap<String, PmixValue>>>,
+    // Run-stable discriminator for this client's fence spans (fences have
+    // no caller-supplied name to key on).
+    fence_seq: Arc<AtomicU64>,
 }
 
 impl PmixClient {
     /// Initialize a client for `proc` against its node-local `server`.
     pub fn init(server: Arc<PmixServer>, proc: ProcId) -> Self {
         server.attach_client(&proc);
-        Self { proc, server, staged: Arc::new(Mutex::new(HashMap::new())) }
+        Self {
+            proc,
+            server,
+            staged: Arc::new(Mutex::new(HashMap::new())),
+            fence_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Run one collective under a client-side operation span.
+    ///
+    /// The span is *entered* for the duration of the call, so the server's
+    /// fan-in links it as causal predecessor and any fault injected on a
+    /// message this thread sends is attributed to it. On success a
+    /// zero-duration `<name>.done` child is emitted that links the server's
+    /// fan-out context: the release edge `fanout → done` closes the
+    /// cross-process loop `op → fanin → xchg → fanout → op.done` without a
+    /// cycle.
+    fn traced_coll(
+        &self,
+        span_name: &str,
+        key: &str,
+        body: impl FnOnce() -> Result<CollOutcome>,
+    ) -> Result<CollOutcome> {
+        let obs = self.server.obs();
+        let process = self.proc.to_string();
+        let span = obs.span(&process, span_name, key);
+        let res = {
+            let _entered = span.enter();
+            body()
+        };
+        if let Ok(out) = &res {
+            let mut done = obs.span_with_parent(
+                &process,
+                &format!("{span_name}.done"),
+                key,
+                Some(span.context()),
+            );
+            if let Some(ctx) = out.ctx {
+                done.link(ctx);
+            }
+            done.end();
+        }
+        span.end();
+        res
     }
 
     /// Release the client registration.
@@ -106,8 +154,9 @@ impl PmixClient {
         let directives = GroupDirectives::default()
             .without_pgcid()
             .with_timeout(Some(timeout));
-        self.server
-            .coll_enter(
+        let seq = self.fence_seq.fetch_add(1, Ordering::Relaxed);
+        self.traced_coll("pmix.fence", &seq.to_string(), || {
+            self.server.coll_enter(
                 crate::wire::OpKind::Fence,
                 "",
                 procs,
@@ -115,7 +164,8 @@ impl PmixClient {
                 &self.proc,
                 kvs,
             )
-            .map(|_| ())
+        })
+        .map(|_| ())
     }
 
     fn server_committed(&self) -> HashMap<String, PmixValue> {
@@ -143,14 +193,16 @@ impl PmixClient {
         members: &[ProcId],
         directives: &GroupDirectives,
     ) -> Result<PmixGroup> {
-        let out = self.server.coll_enter(
-            crate::wire::OpKind::GroupConstruct,
-            name,
-            members,
-            directives,
-            &self.proc,
-            HashMap::new(),
-        )?;
+        let out = self.traced_coll("pmix.group_construct", name, || {
+            self.server.coll_enter(
+                crate::wire::OpKind::GroupConstruct,
+                name,
+                members,
+                directives,
+                &self.proc,
+                HashMap::new(),
+            )
+        })?;
         if directives.request_pgcid && out.pgcid.is_none() {
             return Err(PmixError::Internal("construct completed without PGCID".into()));
         }
@@ -165,8 +217,8 @@ impl PmixClient {
         let directives = GroupDirectives::default().without_pgcid().with_timeout(
             timeout.or(Some(DEFAULT_TIMEOUT)),
         );
-        self.server
-            .coll_enter(
+        self.traced_coll("pmix.group_destruct", group.name(), || {
+            self.server.coll_enter(
                 crate::wire::OpKind::GroupDestruct,
                 group.name(),
                 group.members(),
@@ -174,7 +226,8 @@ impl PmixClient {
                 &self.proc,
                 HashMap::new(),
             )
-            .map(|_| ())
+        })
+        .map(|_| ())
     }
 
     /// Leave a group asynchronously; remaining members get a

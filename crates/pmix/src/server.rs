@@ -43,6 +43,9 @@ pub struct CollOutcome {
     pub members: Vec<ProcId>,
     /// PGCID if one was requested.
     pub pgcid: Option<u64>,
+    /// Context of the server's `group.fanout` span: clients link it so the
+    /// release edge of the collective is visible in the span DAG.
+    pub ctx: Option<obs::TraceContext>,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +77,14 @@ struct OpState {
     local_kvs: Vec<(ProcId, HashMap<String, PmixValue>)>,
     result: Option<std::result::Result<CollOutcome, PmixError>>,
     observed: usize,
+    // Stage spans (paper §III-A): fan-in is open from the first local
+    // arrival to local completeness; exchange from then until every peer
+    // contribution (and the PGCID) is in; fan-out is the release instant.
+    fanin: Option<obs::Span>,
+    xchg: Option<obs::Span>,
+    // Piggybacked contexts of everything that gated completion (peer
+    // contributions, the PGCID broadcast); linked into `xchg` when it ends.
+    contrib_ctxs: Vec<obs::TraceContext>,
 }
 
 impl OpState {
@@ -96,6 +107,9 @@ impl OpState {
             local_kvs: Vec::new(),
             result: None,
             observed: 0,
+            fanin: None,
+            xchg: None,
+            contrib_ctxs: Vec::new(),
         }
     }
 }
@@ -120,8 +134,9 @@ struct ServerState {
     dmodex_waiting: HashMap<u64, Option<Option<PmixValue>>>,
     // Remote dmodex requests for keys not committed yet.
     dmodex_parked: Vec<(ProcId, String, EndpointId, u64)>,
-    // In-flight PGCID requests: token -> (op the reply belongs to).
-    pgcid_waiting: HashMap<u64, OpId>,
+    // In-flight PGCID requests: token -> (op the reply belongs to, plus the
+    // open `pgcid.request` span that times the RM round-trip).
+    pgcid_waiting: HashMap<u64, (OpId, Option<obs::Span>)>,
     // Live groups with local members.
     groups: HashMap<String, GroupInfo>,
     // Asynchronous (invite/join) constructions initiated locally.
@@ -259,6 +274,11 @@ impl PmixServer {
         &self.registry
     }
 
+    /// The observability registry this server records into.
+    pub fn obs(&self) -> Arc<obs::Registry> {
+        self.metrics.obs.clone()
+    }
+
     /// Drain `endpoint` until it is killed; must run on a dedicated thread.
     pub fn run_loop(self: &Arc<Self>, endpoint: &Endpoint) {
         while let Ok(env) = endpoint.recv() {
@@ -270,7 +290,7 @@ impl PmixServer {
                 if !self.rpc_processing.is_zero() {
                     std::thread::sleep(self.rpc_processing);
                 }
-                self.handle(msg);
+                self.handle_ctx(msg, env.ctx);
                 self.metrics.rpc_handled.inc();
                 self.metrics.rpc_ns.record(t0.elapsed());
             }
@@ -437,6 +457,10 @@ impl PmixServer {
         }
 
         let deadline = directives.timeout.map(|t| Instant::now() + t);
+        // coll_enter is a direct method call: we are still on the client's
+        // thread, so its operation span (if entered) is the causal parent
+        // of this server's fan-in.
+        let caller_ctx = obs::trace::current_context();
 
         let mut st = self.state.lock();
         let epoch = *st.epochs.get(&key).unwrap_or(&0);
@@ -446,6 +470,15 @@ impl PmixServer {
             locals.iter().filter(|p| st.dead.contains(*p)).cloned().collect();
         let op = st.ops.entry(op_id.clone()).or_insert_with(OpState::new);
         if op.expected_local.is_none() {
+            // First local arrival opens the fan-in stage span. The span is
+            // parentless — it adopts the trace of the first arriving client
+            // it links, so server work joins the job's trace.
+            op.fanin = Some(self.metrics.obs.span_with_parent(
+                &self.metrics.process,
+                "group.fanin",
+                &op_id.to_string(),
+                None,
+            ));
             op.expected_local = Some(locals.clone());
             op.membership = sorted.clone();
             op.expected_servers = servers.clone();
@@ -468,6 +501,12 @@ impl PmixServer {
                 return Err(PmixError::BadParam(format!("{me} entered {op_id} twice")));
             }
             op.arrived_local.push(me.clone());
+            if let Some(fanin) = op.fanin.as_mut() {
+                if let Some(ctx) = caller_ctx {
+                    fanin.link(ctx);
+                }
+                fanin.add_work(1);
+            }
             if !kvs.is_empty() {
                 op.local_kvs.push((me.clone(), kvs));
             }
@@ -585,6 +624,20 @@ impl PmixServer {
             op_id,
             vec![("locals".into(), (op.arrived_local.len() as u64).into())],
         );
+        // Stage transition in the span DAG: fan-in closes and the exchange
+        // stage opens as its child; every outgoing contribution piggybacks
+        // the exchange context so peers can link their causal predecessor.
+        if let Some(fanin) = op.fanin.take() {
+            let fctx = fanin.context();
+            fanin.end();
+            op.xchg = Some(self.metrics.obs.span_with_parent(
+                &self.metrics.process,
+                "group.xchg",
+                &op_id.to_string(),
+                Some(fctx),
+            ));
+        }
+        let xchg_ctx = op.xchg.as_ref().map(|s| s.context());
         let contrib = Contribution {
             local_members: op.arrived_local.clone(),
             kvs: op.local_kvs.clone(),
@@ -605,6 +658,7 @@ impl PmixServer {
             from_node: self.node.0,
             contrib,
         };
+        let mut sent = 0u64;
         for peer in peers {
             if let Some(ep) = self.registry.server_of(peer) {
                 // Stage 2: one contribution exchange per participating peer
@@ -615,7 +669,13 @@ impl PmixServer {
                     op_id,
                     vec![("to_node".into(), (peer.0 as u64).into())],
                 );
-                let _ = self.sender.send(ep, msg.encode());
+                sent += 1;
+                let _ = self.sender.send_ctx(ep, msg.encode(), xchg_ctx);
+            }
+        }
+        if sent > 0 {
+            if let Some(x) = st.ops.get_mut(op_id).and_then(|o| o.xchg.as_mut()) {
+                x.add_work(sent);
             }
         }
     }
@@ -636,22 +696,33 @@ impl PmixServer {
             let lead = *op.expected_servers.iter().next().expect("non-empty");
             if lead == self.node && !op.pgcid_requested {
                 op.pgcid_requested = true;
+                // The RM round-trip is the "relatively expensive operation"
+                // of §III-B3 — it gets its own span, parented under the
+                // exchange stage, so the critical path shows it.
+                let req = self.metrics.obs.span_with_parent(
+                    &self.metrics.process,
+                    "pgcid.request",
+                    &op_id.to_string(),
+                    op.xchg.as_ref().map(|s| s.context()),
+                );
+                let req_ctx = req.context();
                 let token = st.next_token;
                 st.next_token += 1;
-                st.pgcid_waiting.insert(token, op_id.clone());
+                st.pgcid_waiting.insert(token, (op_id.clone(), Some(req)));
                 let rm = self.registry.rm_endpoint();
                 drop(st);
                 match rm {
                     Some(rm_ep) if rm_ep == self.sender.id() => {
                         // We *are* the RM: allocate inline.
-                        let pgcid = self.rm_allocate_pgcid();
-                        self.handle(ServerMsg::PgcidReply { token, pgcid });
+                        let (pgcid, alloc_ctx) = self.rm_allocate_pgcid_traced(Some(req_ctx));
+                        self.handle_ctx(ServerMsg::PgcidReply { token, pgcid }, alloc_ctx);
                     }
                     Some(rm_ep) => {
-                        let _ = self.sender.send(
+                        let _ = self.sender.send_ctx(
                             rm_ep,
                             ServerMsg::PgcidRequest { reply_to: self.sender.id(), token }
                                 .encode(),
+                            Some(req_ctx),
                         );
                     }
                     None => {
@@ -682,7 +753,27 @@ impl PmixServer {
         }
         let n_members = members.len() as u64;
         let op = st.ops.get_mut(op_id).expect("present");
-        op.result = Some(Ok(CollOutcome { members, pgcid }));
+        // Close the exchange stage (linking everything that gated
+        // completion) and mark the release instant as the fan-out span; its
+        // context travels back to the waiting clients in the outcome.
+        let xchg_ctx = op.xchg.take().map(|mut xchg| {
+            for c in op.contrib_ctxs.drain(..) {
+                xchg.link(c);
+            }
+            let ctx = xchg.context();
+            xchg.end();
+            ctx
+        });
+        let mut fanout = self.metrics.obs.span_with_parent(
+            &self.metrics.process,
+            "group.fanout",
+            &op_id.to_string(),
+            xchg_ctx,
+        );
+        fanout.add_work(n_members);
+        let fanout_ctx = fanout.context();
+        fanout.end();
+        op.result = Some(Ok(CollOutcome { members, pgcid, ctx: Some(fanout_ctx) }));
         drop(st);
         // Stage 3: local fan-out — waiting clients on this node are released.
         self.metrics.stage_fanout.inc();
@@ -722,13 +813,22 @@ impl PmixServer {
     }
 
     fn broadcast(&self, peers: &BTreeSet<NodeId>, msg: &ServerMsg) {
+        self.broadcast_ctx(peers, msg, None);
+    }
+
+    fn broadcast_ctx(
+        &self,
+        peers: &BTreeSet<NodeId>,
+        msg: &ServerMsg,
+        ctx: Option<obs::TraceContext>,
+    ) {
         let encoded = msg.encode();
         for peer in peers {
             if *peer == self.node {
                 continue;
             }
             if let Some(ep) = self.registry.server_of(*peer) {
-                let _ = self.sender.send(ep, encoded.clone());
+                let _ = self.sender.send_ctx(ep, encoded.clone(), ctx);
             }
         }
     }
@@ -739,6 +839,27 @@ impl PmixServer {
             .as_ref()
             .expect("PGCID requested from a non-RM server")
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Allocate a PGCID and record the allocation as a `pgcid.alloc` span
+    /// on this (RM) server, linked to the requesting server's context.
+    fn rm_allocate_pgcid_traced(
+        &self,
+        req_ctx: Option<obs::TraceContext>,
+    ) -> (u64, Option<obs::TraceContext>) {
+        let pgcid = self.rm_allocate_pgcid();
+        let mut span = self.metrics.obs.span_with_parent(
+            &self.metrics.process,
+            "pgcid.alloc",
+            &pgcid.to_string(),
+            None,
+        );
+        if let Some(c) = req_ctx {
+            span.link(c);
+        }
+        let ctx = span.context();
+        span.end();
+        (pgcid, Some(ctx))
     }
 
     // ---------------------------------------------------------------
@@ -972,14 +1093,25 @@ impl PmixServer {
     // Message handling (fabric deliveries from other servers)
     // ---------------------------------------------------------------
 
-    /// Process one server-to-server message.
+    /// Process one server-to-server message (no piggybacked trace context;
+    /// used for node-local self-delivery).
     pub fn handle(&self, msg: ServerMsg) {
+        self.handle_ctx(msg, None);
+    }
+
+    /// Process one server-to-server message together with the trace context
+    /// piggybacked on its envelope, so collective stage spans can link their
+    /// remote causal predecessors.
+    pub fn handle_ctx(&self, msg: ServerMsg, ctx: Option<obs::TraceContext>) {
         match msg {
             ServerMsg::CollContrib { op, from_node, contrib } => {
                 {
                     let mut st = self.state.lock();
                     let entry = st.ops.entry(op.clone()).or_insert_with(OpState::new);
                     entry.contribs.insert(NodeId(from_node), contrib);
+                    if let Some(c) = ctx {
+                        entry.contrib_ctxs.push(c);
+                    }
                 }
                 self.try_complete(&op);
                 self.cv.notify_all();
@@ -993,6 +1125,9 @@ impl PmixServer {
                     } else {
                         entry.pending_pgcid = Some(pgcid);
                     }
+                    if let Some(c) = ctx {
+                        entry.contrib_ctxs.push(c);
+                    }
                 }
                 self.try_complete(&op);
                 self.cv.notify_all();
@@ -1002,19 +1137,34 @@ impl PmixServer {
                 self.fail_op_locked(&mut st, &op, reason);
             }
             ServerMsg::PgcidRequest { reply_to, token } => {
-                let pgcid = self.rm_allocate_pgcid();
-                let _ = self
-                    .sender
-                    .send(reply_to, ServerMsg::PgcidReply { token, pgcid }.encode());
+                let (pgcid, alloc_ctx) = self.rm_allocate_pgcid_traced(ctx);
+                let _ = self.sender.send_ctx(
+                    reply_to,
+                    ServerMsg::PgcidReply { token, pgcid }.encode(),
+                    alloc_ctx,
+                );
             }
             ServerMsg::PgcidReply { token, pgcid } => {
                 let op_then_peers = {
                     let mut st = self.state.lock();
-                    if let Some(op_id) = st.pgcid_waiting.remove(&token) {
+                    if let Some((op_id, req_span)) = st.pgcid_waiting.remove(&token) {
+                        // Close the RM round-trip span, linking the RM's
+                        // allocation as its causal predecessor.
+                        let req_ctx = req_span.map(|mut sp| {
+                            if let Some(c) = ctx {
+                                sp.link(c);
+                            }
+                            let rc = sp.context();
+                            sp.end();
+                            rc
+                        });
                         if let Some(op) = st.ops.get_mut(&op_id) {
                             op.pgcid = Some(pgcid);
+                            if let Some(rc) = req_ctx {
+                                op.contrib_ctxs.push(rc);
+                            }
                             let peers = op.expected_servers.clone();
-                            Some((op_id, peers))
+                            Some((op_id, peers, req_ctx))
                         } else {
                             None
                         }
@@ -1026,8 +1176,12 @@ impl PmixServer {
                         None
                     }
                 };
-                if let Some((op_id, peers)) = op_then_peers {
-                    self.broadcast(&peers, &ServerMsg::CollPgcid { op: op_id.clone(), pgcid });
+                if let Some((op_id, peers, req_ctx)) = op_then_peers {
+                    self.broadcast_ctx(
+                        &peers,
+                        &ServerMsg::CollPgcid { op: op_id.clone(), pgcid },
+                        req_ctx,
+                    );
                     self.try_complete(&op_id);
                 }
                 self.cv.notify_all();

@@ -83,6 +83,67 @@ fn stage_counts_scale_with_nodes_not_ppn() {
 }
 
 #[test]
+fn stage_spans_chain_causally_on_every_server() {
+    // One 4-process construct over 2 nodes: every participating server must
+    // emit the three stage spans chained fanin → xchg → fanout with
+    // strictly increasing logical start times, fan-in linking each local
+    // client's operation span and the exchange linking at least one remote
+    // contribution.
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 2));
+    let procs = spawn_procs(&uni, "job", 4);
+    construct_on_all(&uni, &procs, "spans");
+    let spans = uni.fabric().obs().spans_snapshot();
+    for node in 0..2u64 {
+        let process = format!("server:{node}");
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.process == process && s.name == name && s.key.contains("spans"))
+                .unwrap_or_else(|| panic!("missing {name} span on {process}"))
+        };
+        let fanin = find("group.fanin");
+        let xchg = find("group.xchg");
+        let fanout = find("group.fanout");
+        assert!(
+            fanin.start_clock < xchg.start_clock && xchg.start_clock < fanout.start_clock,
+            "stage start clocks must increase on {process}: {} {} {}",
+            fanin.start_clock,
+            xchg.start_clock,
+            fanout.start_clock
+        );
+        assert_eq!(xchg.parent, Some(fanin.id), "xchg is a child of fanin");
+        assert_eq!(fanout.parent, Some(xchg.id), "fanout is a child of xchg");
+        assert_eq!(fanin.links.len(), 2, "fanin links both local client spans");
+        assert!(!xchg.links.is_empty(), "xchg links remote contributions");
+        assert_eq!(fanout.work, 4, "fanout work counts installed members");
+    }
+    // Each client emitted an operation span plus a `.done` completion span
+    // that links its server's fan-out context (the release edge).
+    let fanout_ids: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "group.fanout")
+        .map(|s| s.id)
+        .collect();
+    for p in &procs {
+        let process = p.to_string();
+        let op = spans
+            .iter()
+            .find(|s| s.process == process && s.name == "pmix.group_construct")
+            .unwrap_or_else(|| panic!("missing construct span for {process}"));
+        let done = spans
+            .iter()
+            .find(|s| s.process == process && s.name == "pmix.group_construct.done")
+            .unwrap_or_else(|| panic!("missing done span for {process}"));
+        assert_eq!(done.parent, Some(op.id));
+        assert!(
+            done.links.iter().any(|l| fanout_ids.contains(&l.span)),
+            "{process} done span links a fanout context"
+        );
+        assert_eq!(done.trace, op.trace, "completion stays in the client's trace");
+    }
+}
+
+#[test]
 fn stage_counters_match_events() {
     // The cheap counters agree with the event stream (here: one construct
     // plus whatever fences the scenario does — none — on 2 nodes).

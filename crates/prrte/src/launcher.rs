@@ -67,9 +67,19 @@ impl Launcher {
         obs.counter("launcher", "prrte", "procs_launched")
             .add(spec.np as u64);
 
+        // Root span of the job's trace: every rank's `rank.main` span is
+        // parented here, so the whole job assembles into one span DAG.
+        // Ended when the job is joined.
+        let mut launch = obs.span_with_parent("launcher", "launch", nspace, None);
+        launch.add_work(spec.np as u64);
+        let launch_ctx = launch.context();
+
         // Map ranks to nodes and register everything *before* any process
         // starts: the job map must be complete when clients initialize.
         let t_map = std::time::Instant::now();
+        let mut map_span =
+            obs.span_with_parent("launcher", "launch.map", nspace, Some(launch_ctx));
+        map_span.add_work(spec.np as u64);
         let mut endpoints = Vec::with_capacity(spec.np as usize);
         for rank in 0..spec.np {
             let node = match spec.map_by {
@@ -86,6 +96,7 @@ impl Launcher {
                 ranks.iter().map(|r| ProcId::new(nspace, *r)).collect();
             self.universe.registry().define_pset(name, members);
         }
+        map_span.end();
         map_ns.record(t_map.elapsed());
         obs.event(
             "launcher",
@@ -98,6 +109,9 @@ impl Launcher {
         );
 
         let t_spawn = std::time::Instant::now();
+        let mut spawn_span =
+            obs.span_with_parent("launcher", "launch.spawn", nspace, Some(launch_ctx));
+        spawn_span.add_work(spec.np as u64);
         let body = Arc::new(body);
         let mut threads = Vec::with_capacity(spec.np as usize);
         for (rank, ep) in endpoints.into_iter().enumerate() {
@@ -111,15 +125,28 @@ impl Launcher {
                     if !spawn_cost.is_zero() {
                         std::thread::sleep(spawn_cost);
                     }
+                    // The rank's root span: ambient for the whole body, so
+                    // every span the rank opens lands in the job's trace.
+                    let rank_span = universe.fabric().obs().span_with_parent(
+                        &proc.to_string(),
+                        "rank.main",
+                        "",
+                        Some(launch_ctx),
+                    );
+                    obs::trace::set_ambient(&rank_span);
                     let pmix = universe
                         .client_for(&proc)
                         .expect("process registered before spawn");
                     let ctx = ProcCtx::new(proc, np, ep, pmix, universe);
-                    body(ctx)
+                    let out = body(ctx);
+                    obs::trace::clear_ambient();
+                    rank_span.end();
+                    out
                 })
                 .expect("spawn process thread");
             threads.push(handle);
         }
+        spawn_span.end();
         spawn_ns.record(t_spawn.elapsed());
         obs.event(
             "launcher",
@@ -131,6 +158,7 @@ impl Launcher {
             nspace: nspace.to_owned(),
             universe: self.universe.clone(),
             threads,
+            launch: Some(launch),
         }
     }
 }
@@ -140,6 +168,8 @@ pub struct JobHandle<T> {
     nspace: String,
     universe: Arc<PmixUniverse>,
     threads: Vec<JoinHandle<T>>,
+    /// The job's root trace span; ended when the job is joined.
+    launch: Option<obs::Span>,
 }
 
 impl<T> JobHandle<T> {
@@ -174,7 +204,10 @@ impl<T> JobHandle<T> {
                 }
             }
         }
-        // The job is done; retire its namespace.
+        // The job is done: close its root span and retire its namespace.
+        if let Some(span) = self.launch {
+            span.end();
+        }
         self.universe.registry().deregister_namespace(&self.nspace);
         match first_panic {
             None => Ok(out),

@@ -95,8 +95,24 @@ impl Endpoint {
     /// Sends are asynchronous: the call returns once the message is scheduled
     /// for delivery. Per-(src,dst) ordering is guaranteed even when delays
     /// differ by message size.
+    ///
+    /// The sending thread's current trace context (entered span or ambient)
+    /// is piggybacked on the envelope automatically, so receivers can link
+    /// the causal predecessor without any wire-format change.
     pub fn send(&self, dst: EndpointId, payload: Bytes) -> Result<(), SendError> {
-        self.fabric.send(Envelope::new(self.id, dst, payload))
+        self.send_ctx(dst, payload, obs::trace::current_context())
+    }
+
+    /// Send with an explicit piggybacked trace context (overriding the
+    /// thread-current one) — used where the logically-owning span is held
+    /// in protocol state rather than entered on the calling thread.
+    pub fn send_ctx(
+        &self,
+        dst: EndpointId,
+        payload: Bytes,
+        ctx: Option<obs::TraceContext>,
+    ) -> Result<(), SendError> {
+        self.fabric.send(Envelope::with_ctx(self.id, dst, payload, ctx))
     }
 
     /// Blocking receive. Returns `Disconnected` once this endpoint is killed
@@ -152,9 +168,21 @@ impl EndpointSender {
         self.node
     }
 
-    /// Send `payload` to `dst` as the owning endpoint.
+    /// Send `payload` to `dst` as the owning endpoint. The sending thread's
+    /// current trace context is piggybacked, as with [`Endpoint::send`].
     pub fn send(&self, dst: EndpointId, payload: Bytes) -> Result<(), SendError> {
-        self.fabric.send(Envelope::new(self.id, dst, payload))
+        self.send_ctx(dst, payload, obs::trace::current_context())
+    }
+
+    /// Send with an explicit piggybacked trace context, as with
+    /// [`Endpoint::send_ctx`].
+    pub fn send_ctx(
+        &self,
+        dst: EndpointId,
+        payload: Bytes,
+        ctx: Option<obs::TraceContext>,
+    ) -> Result<(), SendError> {
+        self.fabric.send(Envelope::with_ctx(self.id, dst, payload, ctx))
     }
 
     /// The observability registry of the fabric this sender sends on.

@@ -190,7 +190,28 @@ impl FabricCore {
                     len: env.len(),
                 };
                 let verdict = h.on_message(&view);
+                // The hook runs on the *sending* thread, so the thread's
+                // current span is exactly the operation this fault
+                // interrupts (e.g. the fence a kill rule fired inside) —
+                // annotate it before applying the verdict. Labels use
+                // normalized endpoint ids so traces stay run-stable.
+                match verdict.action {
+                    FaultAction::Drop => {
+                        obs::trace::fault_current("fault:drop");
+                    }
+                    FaultAction::Delay(_) => {
+                        obs::trace::fault_current("fault:delay");
+                    }
+                    FaultAction::Duplicate => {
+                        obs::trace::fault_current("fault:duplicate");
+                    }
+                    FaultAction::Deliver => {}
+                }
                 for id in verdict.kills {
+                    obs::trace::fault_current(&format!(
+                        "fault:kill(rel={})",
+                        id.0.saturating_sub(base)
+                    ));
                     self.kill(id);
                 }
                 verdict.action
@@ -661,6 +682,26 @@ mod tests {
     }
 
     #[test]
+    fn sender_context_piggybacks_on_envelopes() {
+        let fabric = Fabric::new(CostModel::zero());
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
+        // No current span: nothing attached.
+        a.send(b.id(), payload(1)).unwrap();
+        assert!(b.recv().unwrap().ctx.is_none());
+        // An entered span rides along automatically.
+        let span = fabric.obs().span("p0", "op", "");
+        let g = span.enter();
+        a.send(b.id(), payload(1)).unwrap();
+        drop(g);
+        let env = b.recv().unwrap();
+        assert_eq!(env.ctx.expect("context piggybacked").span, span.id());
+        // An explicit context overrides the thread-current one.
+        a.send_ctx(b.id(), payload(1), None).unwrap();
+        assert!(b.recv().unwrap().ctx.is_none());
+    }
+
+    #[test]
     fn stats_count_bytes() {
         let fabric = Fabric::new(CostModel::zero());
         let a = fabric.register(NodeId(0));
@@ -773,6 +814,23 @@ mod tests {
             assert_eq!(a.send(b.id(), payload(1)), Err(SendError::PeerDead(b.id())));
             assert!(!fabric.is_alive(b.id()));
             assert_eq!(w.recv_timeout(Duration::from_secs(1)).unwrap().endpoint, b.id());
+        }
+
+        #[test]
+        fn fault_verdicts_annotate_the_senders_current_span() {
+            let fabric = Fabric::new(CostModel::zero());
+            let a = fabric.register(NodeId(0));
+            let b = fabric.register(NodeId(0));
+            fabric.set_fault_hook(Some(FixedHook::new(FaultAction::Drop)));
+            let span = fabric.obs().span("p0", "fence", "0");
+            let g = span.enter();
+            a.send(b.id(), payload(1)).unwrap();
+            drop(g);
+            span.end();
+            fabric.set_fault_hook(None);
+            let spans = fabric.obs().spans_snapshot();
+            let rec = spans.iter().find(|s| s.name == "fence").unwrap();
+            assert_eq!(rec.faults, vec!["fault:drop".to_string()]);
         }
 
         #[test]

@@ -2,12 +2,19 @@
 
 use crate::endpoint::EndpointId;
 use bytes::Bytes;
+use obs::TraceContext;
 
 /// A message as delivered to a destination endpoint's mailbox.
 ///
 /// The fabric is payload-agnostic: higher layers serialize their own wire
 /// headers into `payload`. `Bytes` is used so that large payloads are
 /// reference-counted rather than copied on every hop.
+///
+/// Besides the payload, an envelope can piggyback the sender's current
+/// [`TraceContext`] — a 24-byte `(trace, span, clock)` triple — so causal
+/// tracing crosses process boundaries. The context is metadata: it is
+/// excluded from `len()` (the cost model charges payload only) and from
+/// equality (the fabric's delivery bookkeeping compares src/dst/payload).
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sending endpoint.
@@ -16,12 +23,24 @@ pub struct Envelope {
     pub dst: EndpointId,
     /// Opaque payload owned by the protocol layered above the fabric.
     pub payload: Bytes,
+    /// Piggybacked trace context of the sender's current span, if any.
+    pub ctx: Option<TraceContext>,
 }
 
 impl Envelope {
-    /// Construct an envelope.
+    /// Construct an envelope carrying no trace context.
     pub fn new(src: EndpointId, dst: EndpointId, payload: Bytes) -> Self {
-        Self { src, dst, payload }
+        Self { src, dst, payload, ctx: None }
+    }
+
+    /// Construct an envelope with an explicit piggybacked trace context.
+    pub fn with_ctx(
+        src: EndpointId,
+        dst: EndpointId,
+        payload: Bytes,
+        ctx: Option<TraceContext>,
+    ) -> Self {
+        Self { src, dst, payload, ctx }
     }
 
     /// Total payload length in bytes (what the cost model charges for).

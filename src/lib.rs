@@ -13,12 +13,15 @@
 //! * [`mpi`] — the MPI library with the Sessions extensions (the paper's
 //!   contribution);
 //! * [`quo`] — QUO analog for coupled MPI+threads applications;
-//! * [`apps`] — the paper's evaluation workloads.
+//! * [`apps`] — the paper's evaluation workloads;
+//! * [`obs`] — cross-cutting observability (metrics, events, causal span
+//!   traces + the offline analyzer).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for
 //! the system inventory and the per-figure reproduction status.
 
 pub use apps;
+pub use obs;
 pub use pmix;
 pub use prrte;
 pub use quo;
