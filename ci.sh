@@ -14,6 +14,12 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+# Doc gate: the public APIs of the PMIx substrate and the MPI core must
+# document cleanly (broken intra-doc links, missing docs on public items,
+# and invalid doctests all fail the build).
+echo "== cargo doc -D warnings (pmix, mpi-sessions) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps -p pmix -p mpi-sessions
+
 # Golden-trace gate: a fixed-size fig3_init run must produce a trace report
 # that (a) validates against the checked-in schema subset and (b) yields the
 # exact committed critical-path stage ordering. Trace reports are derived
@@ -36,5 +42,15 @@ if [[ -n "${CHAOS_SEEDS:-}" ]]; then
   echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS}) =="
   cargo test -q --offline --test chaos_suite chaos_seeds_env
 fi
+
+# Perf-regression gate: bench_gate re-runs the fixed workload set and
+# diffs its deterministic report (logical critical-path costs, span/stage
+# counts, protocol counters — never wall time) against the committed
+# baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
+# regenerate the baseline after an intentional perf change with
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR4.json
+echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
+cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
+  --check BENCH_PR4.json --tol "${BENCH_TOL:-0.05}"
 
 echo "CI OK"

@@ -1,0 +1,336 @@
+//! Deterministic perf-regression gate.
+//!
+//! Runs a fixed set of small workloads — one per paper figure family plus
+//! the PMIx-collective ablation and the PML handshake-cache path — on tiny
+//! simulated testbeds and reduces each run's obs trail to **deterministic
+//! numbers only**: logical critical-path costs and span/stage counts from
+//! the causal trace (work counters, never wall time) and an allowlist of
+//! protocol counters. Two runs of the same binary produce byte-identical
+//! JSON, so the committed baseline (`BENCH_PR4.json`) acts as a perf
+//! fingerprint: a change that adds work to a hot path (an extra PGCID
+//! round trip, a redundant handshake, a new fence stage) moves a number
+//! and fails the gate instead of sliding silently into the trace.
+//!
+//! Usage:
+//!   `bench_gate --out BENCH_PR4.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR4.json [--tol 0.05]`
+//!                                             re-run and diff against it
+//!
+//! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
+//! The binary additionally hard-enforces the PGCID batching acceptance
+//! bound: the Fig. 4 sessions workload (300 `dup_via_group`) must emit at
+//! most `constructs / 4` `pgcid.request` spans.
+
+use apps::{cli_opt, InitMode};
+use mpi_sessions::Comm;
+use pmix::{GroupDirectives, ProcId};
+use prrte::{JobSpec, Launcher};
+use serde_json::{Map, Value};
+use simnet::SimTestbed;
+
+/// Schema stamp for the gate report.
+const SCHEMA: &str = "bench-gate-v1";
+
+/// Deterministic protocol counters exported per workload (summed across
+/// processes). Wall-clock-derived metrics (RPC latency histograms, message
+/// timing) are deliberately absent.
+const COUNTERS: &[(&str, &str)] = &[
+    ("pmix", "stage_fanin"),
+    ("pmix", "stage_xchg"),
+    ("pmix", "stage_fanout"),
+    ("pmix", "fence_completed"),
+    ("pmix", "group_construct_completed"),
+    ("pmix", "group_destruct_completed"),
+    ("pmix", "pgcid_allocated"),
+    ("pmix", "pgcid_pool_hits"),
+    ("pml", "eager_sent"),
+    ("pml", "ext_sent"),
+    ("pml", "acks_sent"),
+    ("pml", "handshakes"),
+    ("pml", "ext_fallback"),
+    ("pml", "adverts_sent"),
+    ("pml", "advert_hits"),
+    ("cid", "refills"),
+    ("cid", "derivations"),
+    ("cid", "refill_coalesced"),
+    ("cid", "consensus_agreements"),
+];
+
+/// Reduce one finished run's registry to the gate's deterministic record.
+fn extract(registry: &obs::Registry) -> Value {
+    let dropped = registry.spans_dropped();
+    assert_eq!(dropped, 0, "gate workload overflowed the span buffer");
+    let report = obs::analyze::analyze(&registry.spans_snapshot(), dropped);
+    let rep = report.as_object().expect("report object");
+    let mut out = Map::new();
+    out.insert("span_count".into(), rep["span_count"].clone());
+    let critical = rep["traces"]
+        .as_array()
+        .expect("traces")
+        .iter()
+        .filter_map(|t| t.as_object()?.get("critical_path_cost")?.as_u64())
+        .max()
+        .unwrap_or(0);
+    out.insert("critical_path_cost".into(), Value::U64(critical));
+    let mut stages = Map::new();
+    for (name, s) in rep["stages"].as_object().expect("stages") {
+        let so = s.as_object().expect("stage");
+        let mut m = Map::new();
+        m.insert("count".into(), so["count"].clone());
+        m.insert("exclusive".into(), so["exclusive"].clone());
+        stages.insert(name.clone(), Value::Object(m));
+    }
+    out.insert("stages".into(), Value::Object(stages));
+    let mut counters = Map::new();
+    for &(comp, name) in COUNTERS {
+        counters.insert(format!("{comp}.{name}"), Value::U64(registry.sum_counters(comp, name)));
+    }
+    out.insert("counters".into(), Value::Object(counters));
+    Value::Object(out)
+}
+
+/// Fig. 3 shape: session/WPM init through first-communicator teardown.
+fn run_init(mode: InitMode) -> Value {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    launcher
+        .spawn(JobSpec::new(4), move |ctx| {
+            let (session, comm) = apps::osu::bench_comm(&ctx, mode, "gate-init");
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+        })
+        .join()
+        .expect("init workload");
+    extract(&launcher.universe().fabric().obs())
+}
+
+/// Which dup flavor a Fig. 4 gate point exercises.
+#[derive(Clone, Copy)]
+enum DupKind {
+    /// WPM comm, consensus CID agreement per dup.
+    Consensus,
+    /// Sessions comm, one PMIx group construct (PGCID) per dup.
+    PgcidPerDup,
+    /// Sessions comm, exCIDs derived from the parent's block.
+    Derived,
+}
+
+/// Fig. 4 shape: a dup chain on one communicator.
+fn run_dups(kind: DupKind, iters: usize) -> Value {
+    let mode = match kind {
+        DupKind::Consensus => InitMode::Wpm,
+        _ => InitMode::Sessions,
+    };
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    launcher
+        .spawn(JobSpec::new(4), move |ctx| {
+            let (session, comm) = apps::osu::bench_comm(&ctx, mode, "gate-dup");
+            let dups: Vec<Comm> = (0..iters)
+                .map(|_| match kind {
+                    DupKind::PgcidPerDup => comm.dup_via_group().expect("pgcid dup"),
+                    _ => comm.dup().expect("dup"),
+                })
+                .collect();
+            for d in dups {
+                d.free().expect("free");
+            }
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+        })
+        .join()
+        .expect("dup workload");
+    extract(&launcher.universe().fabric().obs())
+}
+
+/// Fig. 5 shape: a tiny pre-synchronized multi-pair `osu_mbw_mr`.
+fn run_mbw() -> Value {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    launcher
+        .spawn(JobSpec::new(4), move |ctx| {
+            let (session, comm) = apps::osu::bench_comm(&ctx, InitMode::Sessions, "gate-mbw");
+            apps::osu::osu_mbw_mr(&comm, &[256], 8, 1, 2, true);
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+        })
+        .join()
+        .expect("mbw workload");
+    extract(&launcher.universe().fabric().obs())
+}
+
+/// Ablation shape: PMIx fences and group construct/destruct, with and
+/// without PGCID, over the full membership.
+fn run_group_ablation(iters: usize) -> Value {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    launcher
+        .spawn(JobSpec::new(4), move |ctx| {
+            let members: Vec<ProcId> =
+                (0..ctx.size()).map(|r| ProcId::new(ctx.proc().nspace(), r)).collect();
+            for _ in 0..iters {
+                ctx.pmix().fence(&members, false).expect("fence");
+            }
+            for i in 0..iters {
+                let g = ctx
+                    .pmix()
+                    .group_construct(&format!("gate{i}"), &members, &GroupDirectives::for_mpi())
+                    .expect("construct");
+                ctx.pmix().group_destruct(&g, None).expect("destruct");
+            }
+            let d = GroupDirectives::for_mpi().without_pgcid();
+            for i in 0..iters {
+                let g = ctx
+                    .pmix()
+                    .group_construct(&format!("gatenp{i}"), &members, &d)
+                    .expect("construct");
+                ctx.pmix().group_destruct(&g, None).expect("destruct");
+            }
+        })
+        .join()
+        .expect("ablation workload");
+    extract(&launcher.universe().fabric().obs())
+}
+
+/// Handshake-cache shape: two communicators over the same group; the
+/// second one's CID exchange rides `CidAdvert`s from the cache.
+fn run_pml_cache() -> Value {
+    let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+    launcher
+        .spawn(JobSpec::new(2), move |ctx| {
+            let (session, c1) = apps::osu::bench_comm(&ctx, InitMode::Sessions, "gate-cache1");
+            let peer = 1 - c1.rank();
+            c1.sendrecv(peer, 1, b"one", peer as i32, 1).expect("comm1 exchange");
+            let group = c1.group();
+            let c2 = Comm::create_from_group(&group, "gate-cache2").expect("comm2");
+            c2.sendrecv(peer, 2, b"two", peer as i32, 2).expect("comm2 exchange");
+            c2.free().expect("free");
+            c1.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+        })
+        .join()
+        .expect("cache workload");
+    extract(&launcher.universe().fabric().obs())
+}
+
+/// Recursively compare `got` against the baseline `want`; numeric leaves
+/// must agree within relative tolerance `tol`, everything else exactly.
+fn compare(path: &str, want: &Value, got: &Value, tol: f64, violations: &mut Vec<String>) {
+    match (want, got) {
+        (Value::Object(w), Value::Object(g)) => {
+            for (k, wv) in w {
+                match g.get(k) {
+                    Some(gv) => compare(&format!("{path}/{k}"), wv, gv, tol, violations),
+                    None => violations.push(format!("{path}/{k}: missing from current run")),
+                }
+            }
+            for k in g.keys() {
+                if !w.contains_key(k) {
+                    violations.push(format!("{path}/{k}: not in baseline (regenerate it)"));
+                }
+            }
+        }
+        (Value::Array(w), Value::Array(g)) => {
+            if w.len() != g.len() {
+                violations.push(format!("{path}: length {} vs baseline {}", g.len(), w.len()));
+                return;
+            }
+            for (i, (wv, gv)) in w.iter().zip(g).enumerate() {
+                compare(&format!("{path}[{i}]"), wv, gv, tol, violations);
+            }
+        }
+        _ => {
+            let (Some(w), Some(g)) = (want.as_f64(), got.as_f64()) else {
+                if want != got {
+                    violations.push(format!("{path}: {got:?} vs baseline {want:?}"));
+                }
+                return;
+            };
+            let rel = (g - w).abs() / w.abs().max(1.0);
+            if rel > tol {
+                violations
+                    .push(format!("{path}: {g} vs baseline {w} (rel {rel:.3} > tol {tol})"));
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    const DUPS: usize = 300;
+    const CONSENSUS_DUPS: usize = 40;
+
+    let mut workloads = Map::new();
+    eprintln!("bench_gate: fig3 init points");
+    workloads.insert("fig3_wpm_2x2".into(), run_init(InitMode::Wpm));
+    workloads.insert("fig3_sessions_2x2".into(), run_init(InitMode::Sessions));
+    eprintln!("bench_gate: fig4 dup points");
+    workloads.insert(
+        "fig4_wpm_consensus_np4".into(),
+        run_dups(DupKind::Consensus, CONSENSUS_DUPS),
+    );
+    workloads.insert("fig4_sessions_pgcid_np4".into(), run_dups(DupKind::PgcidPerDup, DUPS));
+    workloads.insert("fig4_sessions_derived_np4".into(), run_dups(DupKind::Derived, DUPS));
+    eprintln!("bench_gate: fig5 mbw point");
+    workloads.insert("fig5_mbw_presync_np4".into(), run_mbw());
+    eprintln!("bench_gate: pmix group ablation point");
+    workloads.insert("abl_pmix_group_2x2".into(), run_group_ablation(4));
+    eprintln!("bench_gate: pml handshake-cache point");
+    workloads.insert("pml_cache_two_comms_np2".into(), run_pml_cache());
+    let n_workloads = workloads.len();
+
+    // Hard acceptance bound for PGCID batching: 301 PGCID-bearing group
+    // constructs (parent + 300 dups) must need at most a quarter as many
+    // `pgcid.request` round trips.
+    let requests = workloads["fig4_sessions_pgcid_np4"]
+        .as_object()
+        .and_then(|w| w.get("stages")?.as_object()?.get("pgcid.request")?.as_object())
+        .and_then(|s| s.get("count")?.as_u64())
+        .unwrap_or(0);
+    let bound = (DUPS as u64 + 1) / 4;
+    if requests == 0 || requests > bound {
+        eprintln!(
+            "bench_gate: FAIL pgcid batching acceptance: {requests} pgcid.request spans \
+             for {} constructs (bound {bound}, must be nonzero)",
+            DUPS + 1
+        );
+        std::process::exit(2);
+    }
+    eprintln!("bench_gate: pgcid batching ok ({requests} requests for {} constructs)", DUPS + 1);
+
+    let mut root = Map::new();
+    root.insert("schema".into(), Value::Str(SCHEMA.into()));
+    root.insert("workloads".into(), Value::Object(workloads));
+    let report = Value::Object(root);
+
+    if let Some(baseline_path) = cli_opt(&args, "--check") {
+        let tol: f64 = cli_opt(&args, "--tol").and_then(|v| v.parse().ok()).unwrap_or(0.05);
+        let baseline: Value = serde_json::from_str(
+            &std::fs::read_to_string(&baseline_path)
+                .unwrap_or_else(|e| panic!("read {baseline_path}: {e}")),
+        )
+        .expect("parse baseline");
+        let mut violations = Vec::new();
+        compare("", &baseline, &report, tol, &mut violations);
+        if violations.is_empty() {
+            println!("bench_gate: OK ({n_workloads} workloads within tol {tol})");
+        } else {
+            eprintln!("bench_gate: FAIL vs {baseline_path} (tol {tol}):");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    } else if let Some(out) = cli_opt(&args, "--out") {
+        let mut bytes = serde_json::to_vec_pretty(&report).expect("serialize");
+        bytes.push(b'\n');
+        std::fs::write(&out, bytes).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        eprintln!("bench_gate: wrote {out}");
+    } else {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+    }
+}

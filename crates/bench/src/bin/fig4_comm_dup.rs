@@ -9,7 +9,12 @@
 //!   created before needing to request a new PGCID").
 //!
 //! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]
-//!                       [--metrics-out <path>] [--trace-out <path>]`
+//!                       [--pgcid-block 8] [--metrics-out <path>]
+//!                       [--trace-out <path>]`
+//! (`--pgcid-block 1` disables the resource manager's PGCID block grants,
+//! restoring the paper prototype's one-RM-round-trip-per-dup behavior;
+//! the default block of 8 amortizes that trip and pulls the small-scale
+//! sessions/consensus ratio under 1.)
 //! (`--metrics-out` dumps per-run observability exports: `cid.refills` vs
 //! `cid.derivations`, PMIx group stage counters, consensus rounds.
 //! `--trace-out` dumps per-run causal span-DAG traces whose critical paths
@@ -41,8 +46,12 @@ fn time_dups(
     iters: usize,
     derive: bool,
     want_trace: bool,
+    pgcid_block: Option<u64>,
 ) -> (f64, serde_json::Value, serde_json::Value) {
     let launcher = Launcher::new(tb);
+    if let Some(block) = pgcid_block {
+        launcher.universe().set_pgcid_block(block);
+    }
     let per_rank = launcher
         .spawn(JobSpec::new(np), move |ctx| {
             let (session, comm) = apps::osu::bench_comm(&ctx, mode, "fig4");
@@ -86,6 +95,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if cli_flag(&args, "--paper") { 28 } else { 8 });
     let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let pgcid_block: Option<u64> = cli_opt(&args, "--pgcid-block").and_then(|v| v.parse().ok());
 
     println!("# Fig. 4: MPI_Comm_dup time per iteration, {ppn} processes/node");
     println!(
@@ -103,11 +113,12 @@ fn main() {
             tb
         };
         let np = nodes * ppn;
-        let (wpm, wpm_m, wpm_t) = time_dups(mk_tb(), np, InitMode::Wpm, iters, false, want_trace);
+        let (wpm, wpm_m, wpm_t) =
+            time_dups(mk_tb(), np, InitMode::Wpm, iters, false, want_trace, pgcid_block);
         let (sess, sess_m, sess_t) =
-            time_dups(mk_tb(), np, InitMode::Sessions, iters, false, want_trace);
+            time_dups(mk_tb(), np, InitMode::Sessions, iters, false, want_trace, pgcid_block);
         let (derived, derived_m, derived_t) =
-            time_dups(mk_tb(), np, InitMode::Sessions, iters, true, want_trace);
+            time_dups(mk_tb(), np, InitMode::Sessions, iters, true, want_trace, pgcid_block);
         sink.record(&format!("nodes{nodes}_wpm_consensus"), wpm_m);
         sink.record(&format!("nodes{nodes}_sessions_pgcid"), sess_m);
         sink.record(&format!("nodes{nodes}_sessions_derived"), derived_m);

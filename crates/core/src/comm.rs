@@ -66,6 +66,10 @@ pub(crate) struct CommInner {
     pub local_cid: u16,
     pub excid: Option<ExCid>,
     pub derive: Mutex<Option<Arc<Mutex<DerivePool>>>>,
+    /// Serializes exhaustion-triggered refills: the first dup through the
+    /// exhausted pool pays the PMIx group-construct trip, concurrent dups
+    /// block here and then derive from the refilled pool (coalescing).
+    pub refill_lock: Mutex<()>,
     pub group: MpiGroup,
     pub my_rank: u32,
     pub coll_seq: AtomicU32,
@@ -127,6 +131,7 @@ impl Comm {
                 local_cid,
                 excid,
                 derive: Mutex::new(derive),
+                refill_lock: Mutex::new(()),
                 group,
                 my_rank,
                 coll_seq: AtomicU32::new(0),
@@ -351,30 +356,7 @@ impl Comm {
                     derive_excid(&base, &mut pool.state)
                 });
                 match derived {
-                    Some((child_excid, child_state)) => {
-                        let mut span = self.process.obs().span(
-                            &self.process.proc().to_string(),
-                            "comm.dup_derived",
-                            &format!("{child_excid}"),
-                        );
-                        span.add_work(1);
-                        let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
-                        let comm = Comm::build(
-                            self.process.clone(),
-                            self.inner.group.clone(),
-                            local_cid,
-                            Some(child_excid),
-                            CidOrigin::Derived,
-                            None,
-                            None,
-                        )?;
-                        *comm.inner.derive.lock() = Some(Arc::new(Mutex::new(DerivePool {
-                            base: child_excid,
-                            state: child_state,
-                        })));
-                        self.count_derivation();
-                        Ok(comm)
-                    }
+                    Some((child_excid, child_state)) => self.build_derived(child_excid, child_state),
                     None => {
                         // Block exhausted: every participant hits this at
                         // the same dup index (derivation is deterministic),
@@ -383,6 +365,30 @@ impl Comm {
                         // the child's block — shared, so subsequent dups of
                         // either communicator derive locally from it rather
                         // than paying PMIx again.
+                        //
+                        // Refills are serialized per communicator: exactly
+                        // one concurrent dup pays the PMIx trip, the rest
+                        // wait here, observe the refilled pool on their
+                        // second-chance derivation, and derive locally.
+                        let _refill = self.inner.refill_lock.lock();
+                        let pool = self.inner.derive.lock().clone();
+                        let second = pool.and_then(|p| {
+                            let mut pool = p.lock();
+                            let base = pool.base;
+                            derive_excid(&base, &mut pool.state)
+                        });
+                        if let Some((child_excid, child_state)) = second {
+                            // Someone refilled while we waited: coalesce.
+                            self.process
+                                .obs()
+                                .counter(
+                                    &self.process.proc().to_string(),
+                                    "cid",
+                                    "refill_coalesced",
+                                )
+                                .inc();
+                            return self.build_derived(child_excid, child_state);
+                        }
                         let child = self.dup_via_group()?;
                         let refilled = child.inner.derive.lock().clone();
                         *self.inner.derive.lock() = refilled;
@@ -403,6 +409,34 @@ impl Comm {
             }
             _ => self.dup_consensus(),
         }
+    }
+
+    /// Build a locally-derived child communicator (the zero-traffic dup):
+    /// emits the `comm.dup_derived` span, claims a local CID, and seeds the
+    /// child's own derivation pool from the derived subfield state.
+    fn build_derived(&self, child_excid: ExCid, child_state: DeriveState) -> Result<Comm> {
+        let mut span = self.process.obs().span(
+            &self.process.proc().to_string(),
+            "comm.dup_derived",
+            &format!("{child_excid}"),
+        );
+        span.add_work(1);
+        let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+        let comm = Comm::build(
+            self.process.clone(),
+            self.inner.group.clone(),
+            local_cid,
+            Some(child_excid),
+            CidOrigin::Derived,
+            None,
+            None,
+        )?;
+        *comm.inner.derive.lock() = Some(Arc::new(Mutex::new(DerivePool {
+            base: child_excid,
+            state: child_state,
+        })));
+        self.count_derivation();
+        Ok(comm)
     }
 
     /// One exCID handed out by dup-derivation (including the dup that

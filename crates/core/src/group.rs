@@ -1,7 +1,7 @@
 //! MPI groups.
 //!
 //! A group is an ordered set of process references. Two storage schemes are
-//! provided, mirroring the sparse-group work the paper cites ([24], [25])
+//! provided, mirroring the sparse-group work the paper cites (\[24\], \[25\])
 //! and notes its prototype can exploit:
 //!
 //! * **dense**: one entry per member;
@@ -258,7 +258,7 @@ impl MpiGroup {
     }
 
     /// Approximate memory footprint of the membership storage, in entries —
-    /// what the sparse representation saves (cited work [24]).
+    /// what the sparse representation saves (cited work \[24\]).
     pub fn storage_cost(&self) -> usize {
         match &self.storage {
             Storage::Dense(m) => m.len(),

@@ -29,6 +29,36 @@
 //! extended-header handshake and per-peer local-CID exchange described in
 //! the paper; the legacy multi-round **consensus** CID algorithm is kept
 //! for the WPM path and as the fallback/baseline.
+//!
+//! ## Quick start
+//!
+//! The paper's Figure 1 sequence — init a session, resolve a process set,
+//! build a group, and create a communicator from it — on a two-process
+//! simulated job:
+//!
+//! ```
+//! use mpi_sessions::{Comm, ErrHandler, Info, MpiError, Session, ThreadLevel};
+//! use prrte::{JobSpec, Launcher};
+//! use simnet::SimTestbed;
+//!
+//! let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+//! let results = launcher
+//!     .spawn(JobSpec::new(2), |ctx| {
+//!         let session =
+//!             Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())?;
+//!         let group = session.group_from_pset("mpi://world")?;
+//!         let comm = Comm::create_from_group(&group, "quick-start")?;
+//!         let peer = 1 - comm.rank();
+//!         let (reply, _status) = comm.sendrecv(peer, 0, b"hello", peer as i32, 0)?;
+//!         assert_eq!(reply, b"hello");
+//!         comm.free()?;
+//!         session.finalize()?;
+//!         Ok::<(), MpiError>(())
+//!     })
+//!     .join()
+//!     .expect("job ran");
+//! results.into_iter().for_each(|r| r.expect("rank succeeded"));
+//! ```
 
 pub mod attr;
 pub mod cid;

@@ -31,6 +31,11 @@ pub enum MsgKind {
     /// Receiver → sender: "for this exCID my local CID is X" (the ACK of
     /// the first-message handshake).
     CidAck = 7,
+    /// Unsolicited CID advertisement: a process that already completed a
+    /// handshake with this peer on an earlier communicator of the same
+    /// group pushes its local CID for a *new* exCID, letting the peer skip
+    /// the extended-header exchange entirely (the handshake cache).
+    CidAdvert = 8,
 }
 
 impl MsgKind {
@@ -44,6 +49,7 @@ impl MsgKind {
             5 => MsgKind::Cts,
             6 => MsgKind::RdvData,
             7 => MsgKind::CidAck,
+            8 => MsgKind::CidAdvert,
             _ => return None,
         })
     }
@@ -171,6 +177,43 @@ impl CidAck {
     }
 }
 
+/// Payload of a [`MsgKind::CidAdvert`] message (same wire shape as
+/// [`CidAck`], different direction: pushed proactively from the handshake
+/// cache rather than answering an extended header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CidAdvert {
+    /// Which communicator (by exCID).
+    pub excid: ExCid,
+    /// The advertiser's local CID for it.
+    pub advertiser_cid: u16,
+    /// The advertiser's rank within the communicator.
+    pub advertiser_rank: u32,
+}
+
+impl CidAdvert {
+    /// Serialize (kind byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 16 + 2 + 4);
+        out.push(MsgKind::CidAdvert as u8);
+        out.extend_from_slice(&self.excid.encode());
+        out.extend_from_slice(&self.advertiser_cid.to_le_bytes());
+        out.extend_from_slice(&self.advertiser_rank.to_le_bytes());
+        out
+    }
+
+    /// Deserialize the body (after the kind byte).
+    pub fn decode_body(b: &[u8]) -> Option<CidAdvert> {
+        if b.len() < 22 {
+            return None;
+        }
+        Some(CidAdvert {
+            excid: ExCid::decode(&b[..16]),
+            advertiser_cid: u16::from_le_bytes([b[16], b[17]]),
+            advertiser_rank: u32::from_le_bytes([b[18], b[19], b[20], b[21]]),
+        })
+    }
+}
+
 /// Rendezvous control fields carried by RTS messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtsInfo {
@@ -241,6 +284,14 @@ mod tests {
         let bytes = ack.encode();
         assert_eq!(bytes[0], MsgKind::CidAck as u8);
         assert_eq!(CidAck::decode_body(&bytes[1..]).unwrap(), ack);
+    }
+
+    #[test]
+    fn cid_advert_roundtrip() {
+        let ad = CidAdvert { excid: ExCid::from_pgcid(8), advertiser_cid: 44, advertiser_rank: 2 };
+        let bytes = ad.encode();
+        assert_eq!(bytes[0], MsgKind::CidAdvert as u8);
+        assert_eq!(CidAdvert::decode_body(&bytes[1..]).unwrap(), ad);
     }
 
     #[test]

@@ -18,6 +18,22 @@
 //! Multiple sends may leave in extended mode before the ACK arrives; this
 //! is deliberate and reproduces the message-rate dip of the paper's
 //! Fig. 5c (multi-pair `osu_mbw_mr` without pre-synchronization).
+//!
+//! # The handshake cache
+//!
+//! A completed handshake proves the peer *endpoint* speaks the exCID
+//! protocol, and endpoints are stable across communicators: when the same
+//! processes build a second communicator from the same group (a repeated
+//! `MPI_Comm_create_from_group` on one pset, or a sibling dup), re-running
+//! the extended-header exchange per communicator is pure overhead. Each
+//! engine therefore remembers the endpoints it has completed a handshake
+//! with; registering a new exCID communicator proactively pushes a
+//! [`header::CidAdvert`] (this exCID → my local CID) to every cached peer
+//! in the new communicator. A peer that absorbs the advert starts in
+//! `Known` mode — no extended header, no `CidAck`, no `pml.handshake`
+//! event — so only the *first* communicator between an endpoint pair pays
+//! the handshake. A failed advert send means the peer died; the cache
+//! entry is dropped so a later incarnation is never trusted stale.
 
 pub mod header;
 
@@ -26,10 +42,10 @@ use crate::error::{ErrClass, MpiError, Result};
 use crate::request::{ReqInner, ReqKind};
 use crate::status::Status;
 use bytes::Bytes;
-use header::{CidAck, ExtHeader, MatchHeader, MsgKind, RtsInfo};
+use header::{CidAck, CidAdvert, ExtHeader, MatchHeader, MsgKind, RtsInfo};
 use parking_lot::Mutex;
 use simnet::{Endpoint, EndpointId, EndpointSender, RecvError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -124,6 +140,13 @@ struct PmlState {
     rdv_send: HashMap<u64, RdvSend>,
     rdv_recv: HashMap<u64, Arc<ReqInner>>,
     next_req_id: u64,
+    /// Handshake cache: peer endpoints a CID handshake has completed with
+    /// (on any communicator). Entries are dropped when a send to the
+    /// endpoint fails, so chaos kills invalidate them.
+    cache: HashSet<EndpointId>,
+    /// CidAdverts that arrived before the target communicator was
+    /// registered here; drained by `register_comm`.
+    pending_advert: HashMap<ExCid, Vec<(CidAdvert, EndpointId)>>,
 }
 
 /// Counters exposed for tests and the handshake ablation benchmark.
@@ -156,6 +179,11 @@ struct PmlMetrics {
     /// Extended-header sends beyond the first to the same peer: the
     /// handshake was initiated but its ACK has not landed yet.
     ext_fallback: obs::Counter,
+    /// CidAdverts pushed to cached peers on new-communicator registration.
+    adverts_sent: obs::Counter,
+    /// Peers switched straight to `Known` by an absorbed advert — each one
+    /// is a handshake (ext + ack round trip) the cache saved.
+    advert_hits: obs::Counter,
     /// Registry + process scope retained so handshake transitions can emit
     /// a structured event (the chaos invariant checker keys on it).
     obs: Arc<obs::Registry>,
@@ -175,6 +203,8 @@ impl PmlMetrics {
             handled: c("handled"),
             handshakes: c("handshakes"),
             ext_fallback: c("ext_fallback"),
+            adverts_sent: c("adverts_sent"),
+            advert_hits: c("advert_hits"),
             obs,
             process,
         }
@@ -246,7 +276,10 @@ impl Pml {
 
     /// Register a communicator route. `fixed_cid` is `Some` for
     /// consensus/WPM communicators whose CID is globally agreed; exCID
-    /// communicators pass their exCID instead and start in extended mode.
+    /// communicators pass their exCID instead and start in extended mode —
+    /// unless the handshake cache already covers a peer's endpoint, in
+    /// which case a `CidAdvert` is pushed so both sides skip the
+    /// extended-header exchange on this communicator.
     pub fn register_comm(
         &self,
         local_cid: u16,
@@ -261,40 +294,97 @@ impl Pml {
             (None, Some(_)) => SendCid::AwaitAck,
             (None, None) => SendCid::Fixed(local_cid),
         };
-        let route = Route {
-            my_rank,
-            endpoints,
-            excid,
-            posted: Vec::new(),
-            unexpected: VecDeque::new(),
-            peers: (0..n)
-                .map(|_| PeerState {
-                    mode: initial_mode,
-                    acked_back: false,
-                    ext_started: false,
-                    send_seq: 0,
-                    recv_seq: 0,
-                    handshake: None,
-                    eager: None,
-                })
-                .collect(),
-        };
         let mut replay = Vec::new();
+        let mut adverts: Vec<EndpointId> = Vec::new();
         {
-            let mut st = self.state.lock();
+            let mut guard = self.state.lock();
+            let st = &mut *guard;
+            if excid.is_some() {
+                // Advertise our local CID to every peer we already hold a
+                // completed handshake with (on any earlier communicator).
+                for (rank, ep) in endpoints.iter().enumerate() {
+                    if rank as u32 != my_rank && st.cache.contains(ep) {
+                        adverts.push(*ep);
+                    }
+                }
+            }
+            let route = Route {
+                my_rank,
+                endpoints,
+                excid,
+                posted: Vec::new(),
+                unexpected: VecDeque::new(),
+                peers: (0..n)
+                    .map(|_| PeerState {
+                        mode: initial_mode,
+                        acked_back: false,
+                        ext_started: false,
+                        send_seq: 0,
+                        recv_seq: 0,
+                        handshake: None,
+                        eager: None,
+                    })
+                    .collect(),
+            };
             st.routes.insert(local_cid, route);
             if let Some(e) = excid {
                 st.excid_map.insert(e, local_cid);
                 if let Some(msgs) = st.pending_ext.remove(&e) {
                     replay.extend(msgs);
                 }
+                // Adverts that raced ahead of this registration.
+                if let Some(parked) = st.pending_advert.remove(&e) {
+                    for (ad, src_ep) in parked {
+                        self.apply_advert(st, ad, src_ep);
+                    }
+                }
             }
             if let Some(msgs) = st.pending_ctx.remove(&local_cid) {
                 replay.extend(msgs);
             }
         }
+        if let Some(e) = excid {
+            let ad =
+                CidAdvert { excid: e, advertiser_cid: local_cid, advertiser_rank: my_rank };
+            let bytes = ad.encode();
+            for ep in adverts {
+                match self.sender.send(ep, Bytes::from(bytes.clone())) {
+                    Ok(()) => self.metrics.adverts_sent.inc(),
+                    // The peer died since the handshake: forget it.
+                    Err(_) => {
+                        self.state.lock().cache.remove(&ep);
+                    }
+                }
+            }
+        }
         for m in replay {
             self.dispatch(m);
+        }
+    }
+
+    /// Absorb a `CidAdvert`: if the target communicator exists and the
+    /// advertised rank maps to the sending endpoint, switch that peer
+    /// straight to `Known` — the handshake the cache saved. Otherwise park
+    /// it for `register_comm` to drain.
+    fn apply_advert(&self, st: &mut PmlState, ad: CidAdvert, src_ep: EndpointId) {
+        let Some(&cid) = st.excid_map.get(&ad.excid) else {
+            st.pending_advert.entry(ad.excid).or_default().push((ad, src_ep));
+            return;
+        };
+        let Some(route) = st.routes.get_mut(&cid) else { return };
+        if route.endpoints.get(ad.advertiser_rank as usize) != Some(&src_ep) {
+            return; // stale or misrouted advert: rank↔endpoint mismatch
+        }
+        let peer = &mut route.peers[ad.advertiser_rank as usize];
+        if matches!(peer.mode, SendCid::AwaitAck) {
+            peer.mode = SendCid::Known(ad.advertiser_cid);
+            // The peer already knows our CID (it holds the mirror cache
+            // entry and our own advert): no ACK owed in either direction.
+            peer.acked_back = true;
+            if let Some(hs) = peer.handshake.take() {
+                hs.end();
+            }
+            self.metrics.advert_hits.inc();
         }
     }
 
@@ -457,6 +547,7 @@ impl Pml {
             }
             Err(_) => {
                 req.fail(MpiError::new(ErrClass::ProcFailed, format!("peer rank {dst_rank} is dead")));
+                self.state.lock().cache.remove(&dst_ep);
             }
         }
         Ok(req)
@@ -559,7 +650,13 @@ impl Pml {
         match kind {
             MsgKind::CidAck => {
                 if let Some(ack) = CidAck::decode_body(&payload[1..]) {
-                    self.on_cid_ack(ack);
+                    self.on_cid_ack(ack, src_ep);
+                }
+            }
+            MsgKind::CidAdvert => {
+                if let Some(ad) = CidAdvert::decode_body(&payload[1..]) {
+                    let mut guard = self.state.lock();
+                    self.apply_advert(&mut guard, ad, src_ep);
                 }
             }
             MsgKind::Cts => {
@@ -599,8 +696,9 @@ impl Pml {
         }
     }
 
-    fn on_cid_ack(&self, ack: CidAck) {
-        let mut st = self.state.lock();
+    fn on_cid_ack(&self, ack: CidAck, src_ep: EndpointId) {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
         let Some(&cid) = st.excid_map.get(&ack.excid) else { return };
         let Some(route) = st.routes.get_mut(&cid) else { return };
         if let Some(peer) = route.peers.get_mut(ack.acker_rank as usize) {
@@ -614,6 +712,9 @@ impl Pml {
                 if let Some(hs) = peer.handshake.take() {
                     hs.end();
                 }
+                // A completed handshake marks the endpoint as
+                // exCID-capable for every future communicator.
+                st.cache.insert(src_ep);
             }
         }
     }
@@ -633,7 +734,10 @@ impl Pml {
                 }
                 rdv.req.complete_send(rdv.payload.len())
             }
-            Err(_) => rdv.req.fail(MpiError::new(ErrClass::ProcFailed, "peer died during rendezvous")),
+            Err(_) => {
+                rdv.req.fail(MpiError::new(ErrClass::ProcFailed, "peer died during rendezvous"));
+                self.state.lock().cache.remove(&rdv.dst_ep);
+            }
         }
     }
 
@@ -651,7 +755,8 @@ impl Pml {
     fn dispatch(&self, msg: PendingMsg) {
         let mut outbox: Vec<(EndpointId, Vec<u8>)> = Vec::new();
         {
-            let mut st = self.state.lock();
+            let mut guard = self.state.lock();
+            let st = &mut *guard;
             let cid = match msg.ext {
                 Some(ext) => match st.excid_map.get(&ext.excid) {
                     Some(&c) => c,
@@ -684,6 +789,7 @@ impl Pml {
                             if let Some(hs) = peer.handshake.take() {
                                 hs.end();
                             }
+                            st.cache.insert(msg.src_ep);
                         }
                         if !peer.acked_back {
                             peer.acked_back = true;
@@ -786,6 +892,13 @@ impl Pml {
             .get(&local_cid)
             .map(|r| r.unexpected.len())
             .unwrap_or(0)
+    }
+
+    /// Whether `ep` is in the handshake cache — i.e. a CID handshake has
+    /// completed with that endpoint on some communicator and it has not
+    /// been invalidated by a failed send (tests + bench analysis).
+    pub fn cached_peer(&self, ep: EndpointId) -> bool {
+        self.state.lock().cache.contains(&ep)
     }
 
     /// Whether the send path to `dst_rank` on `local_cid` has switched to
@@ -909,6 +1022,83 @@ mod tests {
         assert_eq!(recv.trace, hs.trace, "receiver joins the sender's trace");
         let total_links: usize = spans.iter().map(|s| s.links.len()).sum();
         assert_eq!(total_links, 1, "the handshake is the only cross-process link");
+    }
+
+    /// Drive the full handshake for comm (cid_a, cid_b): one send, B acks,
+    /// A absorbs.
+    fn complete_handshake(a: &Arc<Pml>, b: &Arc<Pml>, cid_a: u16) {
+        a.isend(cid_a, 1, 0, Bytes::from_static(b"hs")).unwrap();
+        pump(b);
+        pump(a);
+        assert!(a.peer_switched(cid_a, 1));
+    }
+
+    #[test]
+    fn second_comm_from_cached_peer_skips_handshake() {
+        let (a, b) = pair();
+        wire(&a, &b, 10, 20, Some(ExCid::from_pgcid(100)));
+        complete_handshake(&a, &b, 10);
+        // Both sides now hold the peer endpoint in the handshake cache.
+        assert!(a.cached_peer(b.endpoint.id()));
+        assert!(b.cached_peer(a.endpoint.id()));
+        // A second communicator over the same endpoints: registration
+        // pushes CidAdverts both ways, so after absorbing them both sides
+        // are in compact mode without a single extended-header send.
+        wire(&a, &b, 11, 21, Some(ExCid::from_pgcid(101)));
+        pump(&a);
+        pump(&b);
+        assert!(a.peer_switched(11, 1), "advert switched A without any send");
+        assert!(b.peer_switched(21, 0), "advert switched B without any send");
+        let obs = a.endpoint.obs();
+        assert_eq!(obs.sum_counters("pml", "adverts_sent"), 2, "one advert each way");
+        assert_eq!(obs.sum_counters("pml", "advert_hits"), 2, "both absorbed");
+        // Traffic on the second comm is compact from the first message.
+        let req = b.irecv(21, Some(0), Some(3)).unwrap();
+        a.isend(11, 1, 3, Bytes::from_static(b"fast")).unwrap();
+        pump(&b);
+        assert!(req.is_done());
+        assert_eq!(obs.sum_counters("pml", "ext_sent"), 1, "only comm 1's handshake");
+        assert_eq!(obs.sum_counters("pml", "acks_sent"), 1, "no ack on comm 2");
+        // Exactly one handshake span/event per side across BOTH comms.
+        assert_eq!(obs.events_named("pml.handshake").len(), 2);
+        let spans = obs.spans_snapshot();
+        assert_eq!(spans.iter().filter(|s| s.name == "pml.handshake").count(), 1);
+        assert_eq!(spans.iter().filter(|s| s.name == "pml.handshake_recv").count(), 1);
+    }
+
+    #[test]
+    fn advert_racing_registration_parks_then_applies() {
+        let (a, b) = pair();
+        wire(&a, &b, 10, 20, Some(ExCid::from_pgcid(100)));
+        complete_handshake(&a, &b, 10);
+        // Only A registers the second comm; its advert reaches B before B
+        // knows the exCID and must park.
+        let e2 = Some(ExCid::from_pgcid(101));
+        let eps = vec![a.endpoint.id(), b.endpoint.id()];
+        a.register_comm(11, 0, eps.clone(), e2, None);
+        pump(&b);
+        assert_eq!(b.state.lock().pending_advert.len(), 1, "advert parked");
+        // Late registration drains the parked advert into the route.
+        b.register_comm(21, 1, eps, e2, None);
+        assert!(b.state.lock().pending_advert.is_empty());
+        assert!(b.peer_switched(21, 0), "parked advert applied on registration");
+    }
+
+    #[test]
+    fn failed_advert_send_invalidates_cache() {
+        let fabric = Fabric::new(simnet::CostModel::zero());
+        let a = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let b = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        wire(&a, &b, 10, 20, Some(ExCid::from_pgcid(100)));
+        complete_handshake(&a, &b, 10);
+        assert!(a.cached_peer(b.endpoint.id()));
+        // B dies between the two communicators (a chaos kill): the advert
+        // send fails and the stale cache entry is dropped.
+        fabric.kill(b.endpoint.id());
+        let eps = vec![a.endpoint.id(), b.endpoint.id()];
+        a.register_comm(11, 0, eps, Some(ExCid::from_pgcid(101)), None);
+        assert!(!a.cached_peer(b.endpoint.id()), "dead peer evicted from cache");
+        assert_eq!(a.endpoint.obs().counter_value(&a.endpoint.id().to_string(), "pml", "adverts_sent"), 0);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Hot-path scaling invariants for the batched-PGCID and coalesced-refill
+//! machinery, asserted from the obs trail:
+//!
+//! * 300 `dup_via_group` calls (the Fig. 4 sessions mode) trigger at most
+//!   `dups / block` PGCID requests to the resource manager — the span
+//!   count on the critical path drops from O(dups) to O(dups/block);
+//! * concurrent dups that hit an exhausted derivation pool coalesce on a
+//!   single refill instead of each paying a PMIx group-construct trip.
+
+use mpi_sessions::{Comm, ErrHandler, Info, Session, ThreadLevel};
+use prrte::{JobSpec, Launcher, ProcCtx};
+use simnet::SimTestbed;
+use std::collections::HashSet;
+
+fn world_comm(ctx: &ProcCtx, tag: &str) -> (Session, Comm) {
+    let s = Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null()).unwrap();
+    let g = s.group_from_pset("mpi://world").unwrap();
+    let c = Comm::create_from_group(&g, tag).unwrap();
+    (s, c)
+}
+
+#[test]
+fn pgcid_block_batches_requests_across_300_group_dups() {
+    const DUPS: usize = 300;
+    let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+    launcher
+        .spawn(JobSpec::new(2), |ctx| {
+            let (s, c) = world_comm(&ctx, "hot-dup300");
+            let dups: Vec<Comm> = (0..DUPS).map(|_| c.dup_via_group().unwrap()).collect();
+            // Every dup acquired a fresh PGCID of its own.
+            let seen: HashSet<u64> =
+                dups.iter().map(|d| d.excid().unwrap().pgcid).collect();
+            assert_eq!(seen.len(), DUPS);
+            for d in dups {
+                d.free().unwrap();
+            }
+            c.free().unwrap();
+            s.finalize().unwrap();
+        })
+        .join()
+        .expect("dup job");
+
+    let obs = launcher.universe().fabric().obs();
+    // 301 group constructs (the parent comm plus 300 dups) needed 301
+    // PGCIDs; with the default block of 8 only every 8th construct misses
+    // the pool and sends a request.
+    let requests = obs
+        .spans_snapshot()
+        .iter()
+        .filter(|sp| sp.name == "pgcid.request")
+        .count();
+    let expected = (DUPS + 1).div_ceil(pmix::DEFAULT_PGCID_BLOCK as usize);
+    assert_eq!(requests, expected, "one request per block");
+    assert!(
+        requests <= (DUPS + 1) / 4,
+        "acceptance: >= 4x fewer pgcid.request spans than constructs"
+    );
+    // The other constructs were pool hits, and the accounting stays exact:
+    // allocated ids == blocks * block size >= ids handed out.
+    let hits = obs.sum_counters("pmix", "pgcid_pool_hits");
+    assert_eq!(hits as usize + requests, DUPS + 1);
+    assert_eq!(
+        obs.sum_counters("pmix", "pgcid_allocated"),
+        requests as u64 * pmix::DEFAULT_PGCID_BLOCK
+    );
+}
+
+#[test]
+fn concurrent_dups_coalesce_on_one_refill() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 1));
+    launcher
+        .spawn(JobSpec::new(1), |ctx| {
+            let (s, c) = world_comm(&ctx, "hot-coalesce");
+            // Exhaust the parent's derivation block: 255 serial dups.
+            let serial: Vec<Comm> = (0..255).map(|_| c.dup().unwrap()).collect();
+            // Four concurrent dups now race into the exhausted pool. The
+            // refill lock lets exactly one of them pay the PMIx trip; the
+            // rest block and derive from the refilled block.
+            let concurrent: Vec<Comm> = std::thread::scope(|sc| {
+                let handles: Vec<_> =
+                    (0..4).map(|_| sc.spawn(|| c.dup().unwrap())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut seen: HashSet<_> = serial.iter().map(|d| d.excid().unwrap()).collect();
+            seen.extend(concurrent.iter().map(|d| d.excid().unwrap()));
+            assert_eq!(seen.len(), 259, "every exCID unique");
+            for d in serial.into_iter().chain(concurrent) {
+                d.free().unwrap();
+            }
+            c.free().unwrap();
+            s.finalize().unwrap();
+            ctx.proc().to_string()
+        })
+        .join()
+        .expect("coalesce job");
+
+    let obs = launcher.universe().fabric().obs();
+    // Exactly two PGCID acquisitions ever: the parent's own block and ONE
+    // refill shared by all four concurrent dups.
+    assert_eq!(obs.sum_counters("cid", "refills"), 2, "refills did not coalesce");
+    assert_eq!(obs.events_named("cid.refill").len(), 1, "one refill event");
+    assert_eq!(obs.sum_counters("cid", "derivations"), 259);
+}

@@ -345,15 +345,17 @@ impl EventRecorder {
     }
 
     fn record(&self, process: &str, component: &str, name: &str, attrs: Vec<(String, AttrValue)>) {
-        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
-        let ev = Event {
-            ts,
+        let mut ev = Event {
+            ts: 0,
             process: process.to_string(),
             component: component.to_string(),
             name: name.to_string(),
             attrs,
         };
         let mut ring = self.ring.lock();
+        // The timestamp is minted under the ring lock: minting it outside
+        // would let two racing recorders insert out of timestamp order.
+        ev.ts = self.clock.fetch_add(1, Ordering::Relaxed);
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);

@@ -24,6 +24,27 @@
 //!
 //! The crate is deliberately independent of MPI: the `mpi-sessions` crate
 //! consumes this API exactly the way Open MPI consumes PMIx.
+//!
+//! ## Quick start
+//!
+//! Stand up a universe on a simulated testbed, register a process, and use
+//! its client for key-value exchange:
+//!
+//! ```
+//! use pmix::{PmixUniverse, ProcId};
+//! use simnet::SimTestbed;
+//!
+//! let uni = PmixUniverse::new(SimTestbed::tiny(1, 1));
+//! let node = uni.testbed().cluster.node_of_slot(0);
+//! let ep = uni.fabric().register(node);
+//! let me = ProcId::new("job-0", 0);
+//! uni.register_proc(me.clone(), &ep);
+//!
+//! let client = uni.client_for(&me).unwrap();
+//! client.put("hostname", "n0");
+//! client.commit();
+//! assert_eq!(client.get(&me, "hostname").unwrap().as_str(), Some("n0"));
+//! ```
 
 pub mod client;
 pub mod error;
@@ -42,7 +63,7 @@ pub use error::PmixError;
 pub use event::{Event, EventCode};
 pub use group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport, PmixGroup};
 pub use nspace::{NamespaceInfo, NamespaceRegistry};
-pub use server::PmixServer;
+pub use server::{PmixServer, DEFAULT_PGCID_BLOCK, SERVER_SHARDS};
 pub use types::{ProcId, Rank};
 pub use universe::PmixUniverse;
 pub use value::PmixValue;

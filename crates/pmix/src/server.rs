@@ -22,6 +22,39 @@
 //! server requests it and broadcasts it to the other participants. This
 //! inter-node RPC is exactly the "relatively expensive operation" the paper
 //! blames for the sessions communicator-construction overhead (§III-B3).
+//!
+//! ## Sharded hot-path state
+//!
+//! The server's mutable state used to sit behind one big mutex, which
+//! serialized *independent* collectives and KVS traffic from many local
+//! clients. It is now split into [`SERVER_SHARDS`] key-hashed shards:
+//!
+//! * **ops shards** — collective-op tables plus their epoch counters,
+//!   hashed by `(kind, name, mhash)` so every instance of one collective
+//!   lands on one shard and unrelated collectives proceed concurrently;
+//! * **kvs shards** — committed local data, the remote-data cache, and
+//!   in-flight/parked dmodex state, hashed by the owning [`ProcId`];
+//! * a small **control plane** (subscriptions, live groups, invites,
+//!   client registry) that is off every hot path.
+//!
+//! Each shard pairs its mutex with its own condvar, so a fence waking up
+//! only disturbs waiters of collectives in the same shard. Correlation
+//! tokens encode their kvs shard (`token % SERVER_SHARDS`) so reply
+//! handlers route without any global lookup. The lock order is
+//! `ops shard → { kvs shard, pgcid pool/waiting, dead (read) }` and
+//! `ctl → dead (read)`; no two shards of the same kind are ever held
+//! together, which rules out deadlock by construction.
+//!
+//! ## Batched PGCID allocation
+//!
+//! A group construct that needs a PGCID used to cost one RM round trip per
+//! construct. The lead server now requests a *block* of
+//! [`DEFAULT_PGCID_BLOCK`] consecutive ids (tunable via
+//! [`PmixServer::set_pgcid_block`]) and parks the surplus in a local pool;
+//! subsequent constructs led by this server take a pooled id without any
+//! RM traffic — no `pgcid.request` span, one `pgcid_pool_hits` tick. The
+//! RM accounts every id of a block under `pgcid_allocated` at grant time,
+//! so the accounting invariant (ids exposed ⊆ ids allocated) stays exact.
 
 use crate::error::{PmixError, Result};
 use crate::event::{Event, EventCode, EventStream, Subscription};
@@ -30,11 +63,22 @@ use crate::nspace::NamespaceRegistry;
 use crate::types::ProcId;
 use crate::value::PmixValue;
 use crate::wire::{membership_hash, AbortReason, Contribution, OpId, OpKind, ServerMsg};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use simnet::{Endpoint, EndpointId, EndpointSender, NodeId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Number of key-hashed shards the server's ops and KVS tables are split
+/// into. Eight is plenty for the simulated node sizes while keeping the
+/// per-shard memory overhead negligible.
+pub const SERVER_SHARDS: usize = 8;
+
+/// Default PGCID block size requested from the RM per round trip. One RM
+/// RPC now serves this many group constructs led by the same server
+/// (`count == 1` reproduces the paper's one-at-a-time behavior).
+pub const DEFAULT_PGCID_BLOCK: u64 = 8;
 
 /// Outcome of a completed collective, as handed back to local clients.
 #[derive(Debug, Clone)]
@@ -121,11 +165,30 @@ struct InviteState {
     request_pgcid: bool,
 }
 
-struct ServerState {
+/// One shard: its state plus a dedicated condvar so wakeups stay local.
+struct Shard<T> {
+    state: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T> Shard<T> {
+    fn new(t: T) -> Self {
+        Self { state: Mutex::new(t), cv: Condvar::new() }
+    }
+}
+
+/// Collective-op tables for one ops shard. The epoch counters live next to
+/// the ops they disambiguate (same `(kind, name, mhash)` hash key).
+#[derive(Default)]
+struct OpsShard {
     ops: HashMap<OpId, OpState>,
     // Next epoch to assign to a locally-entered instance of each key.
     epochs: HashMap<(OpKind, String, u64), u64>,
-    subs: Vec<(ProcId, Subscription)>,
+}
+
+/// Key-value tables for one kvs shard, hashed by the owning process.
+#[derive(Default)]
+struct KvsShard {
     // Committed KV data of *local* clients.
     kvs_local: HashMap<ProcId, HashMap<String, PmixValue>>,
     // Data learned about remote processes (fence collection / dmodex).
@@ -134,54 +197,81 @@ struct ServerState {
     dmodex_waiting: HashMap<u64, Option<Option<PmixValue>>>,
     // Remote dmodex requests for keys not committed yet.
     dmodex_parked: Vec<(ProcId, String, EndpointId, u64)>,
-    // In-flight PGCID requests: token -> (op the reply belongs to, plus the
-    // open `pgcid.request` span that times the RM round-trip).
-    pgcid_waiting: HashMap<u64, (OpId, Option<obs::Span>)>,
+}
+
+/// Cold control-plane state (off every collective/KVS hot path).
+#[derive(Default)]
+struct CtlState {
+    subs: Vec<(ProcId, Subscription)>,
     // Live groups with local members.
     groups: HashMap<String, GroupInfo>,
     // Asynchronous (invite/join) constructions initiated locally.
     invites: HashMap<String, InviteState>,
-    dead: HashSet<ProcId>,
-    next_token: u64,
     local_clients: HashSet<ProcId>,
 }
 
-/// Per-server observability handles, resolved once at construction.
-struct ServerMetrics {
-    /// `(process, component)` scope for events this server emits.
-    process: String,
-    obs: Arc<obs::Registry>,
-    rpc_handled: obs::Counter,
-    rpc_ns: obs::Histogram,
+/// Per-shard completion/stage counters. Scoping them to
+/// `server:{node}/s{k}` means the sharding refactor cannot silently
+/// double-count: `sum_counters` still yields the per-server totals the
+/// invariants assert, while per-shard values stay individually auditable.
+struct ShardCounters {
     fence_completed: obs::Counter,
     group_construct_completed: obs::Counter,
     group_destruct_completed: obs::Counter,
     stage_fanin: obs::Counter,
     stage_xchg: obs::Counter,
     stage_fanout: obs::Counter,
-    pgcid_allocated: obs::Counter,
     coll_aborted: obs::Counter,
+}
+
+/// Per-server observability handles, resolved once at construction.
+struct ServerMetrics {
+    /// `(process, component)` scope for events/spans this server emits.
+    /// Stage *counters* are per-shard (`server:{node}/s{k}`); events and
+    /// spans keep the plain `server:{node}` scope the golden traces and
+    /// invariant checkers key on.
+    process: String,
+    obs: Arc<obs::Registry>,
+    rpc_handled: obs::Counter,
+    rpc_ns: obs::Histogram,
+    pgcid_allocated: obs::Counter,
+    pgcid_pool_hits: obs::Counter,
+    shards: Vec<ShardCounters>,
 }
 
 impl ServerMetrics {
     fn new(obs: Arc<obs::Registry>, node: NodeId) -> Self {
         let process = format!("server:{}", node.0);
-        let c = |name| obs.counter(&process, "pmix", name);
+        let c = |name: &str| obs.counter(&process, "pmix", name);
         let rpc_ns = obs.histogram(&process, "pmix", "rpc_ns");
+        let shards = (0..SERVER_SHARDS)
+            .map(|k| {
+                let sp = format!("server:{}/s{}", node.0, k);
+                let sc = |name: &str| obs.counter(&sp, "pmix", name);
+                ShardCounters {
+                    fence_completed: sc("fence_completed"),
+                    group_construct_completed: sc("group_construct_completed"),
+                    group_destruct_completed: sc("group_destruct_completed"),
+                    stage_fanin: sc("stage_fanin"),
+                    stage_xchg: sc("stage_xchg"),
+                    stage_fanout: sc("stage_fanout"),
+                    coll_aborted: sc("coll_aborted"),
+                }
+            })
+            .collect();
         Self {
             rpc_handled: c("rpc_handled"),
-            rpc_ns,
-            fence_completed: c("fence_completed"),
-            group_construct_completed: c("group_construct_completed"),
-            group_destruct_completed: c("group_destruct_completed"),
-            stage_fanin: c("stage_fanin"),
-            stage_xchg: c("stage_xchg"),
-            stage_fanout: c("stage_fanout"),
             pgcid_allocated: c("pgcid_allocated"),
-            coll_aborted: c("coll_aborted"),
+            pgcid_pool_hits: c("pgcid_pool_hits"),
+            rpc_ns,
+            shards,
             process,
             obs,
         }
+    }
+
+    fn shard(&self, si: usize) -> &ShardCounters {
+        &self.shards[si]
     }
 
     fn stage_event(&self, stage: &str, op: &OpId, extra: Vec<(String, obs::AttrValue)>) {
@@ -205,15 +295,46 @@ fn kind_str(kind: OpKind) -> &'static str {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h.wrapping_mul(FNV_PRIME)
+}
+
 /// A per-node PMIx server.
 pub struct PmixServer {
     node: NodeId,
     registry: NamespaceRegistry,
     sender: EndpointSender,
-    state: Mutex<ServerState>,
-    cv: Condvar,
+    ops_shards: Vec<Shard<OpsShard>>,
+    kvs_shards: Vec<Shard<KvsShard>>,
+    ctl: Mutex<CtlState>,
+    ctl_cv: Condvar,
+    // Processes known dead. Read on every hot path, written once per
+    // failure — a reader-writer lock keeps readers from serializing.
+    dead: RwLock<HashSet<ProcId>>,
+    // Correlation-token mint; tokens encode their kvs shard
+    // (`token % SERVER_SHARDS`) so reply handlers route shard-locally.
+    next_token: AtomicU64,
+    // In-flight PGCID requests: token -> (op the reply belongs to, plus the
+    // open `pgcid.request` span that times the RM round-trip).
+    pgcid_waiting: Mutex<HashMap<u64, (OpId, Option<obs::Span>)>>,
+    // Locally pooled PGCIDs (surplus of RM block grants).
+    pgcid_pool: Mutex<VecDeque<u64>>,
+    // Block size requested from the RM per miss (>= 1).
+    pgcid_block: AtomicU64,
     // Resource-manager service: present only on the universe's lead server.
-    rm_next_pgcid: Option<std::sync::atomic::AtomicU64>,
+    rm_next_pgcid: Option<AtomicU64>,
     // Per-RPC processing cost (control-plane software overhead).
     rpc_processing: Duration,
     metrics: ServerMetrics,
@@ -229,23 +350,16 @@ impl PmixServer {
             node: endpoint.node(),
             registry,
             sender: endpoint.sender(),
-            state: Mutex::new(ServerState {
-                ops: HashMap::new(),
-                epochs: HashMap::new(),
-                subs: Vec::new(),
-                kvs_local: HashMap::new(),
-                kvs_cache: HashMap::new(),
-                dmodex_waiting: HashMap::new(),
-                dmodex_parked: Vec::new(),
-                pgcid_waiting: HashMap::new(),
-                groups: HashMap::new(),
-                invites: HashMap::new(),
-                dead: HashSet::new(),
-                next_token: 1,
-                local_clients: HashSet::new(),
-            }),
-            cv: Condvar::new(),
-            rm_next_pgcid: is_rm.then(|| std::sync::atomic::AtomicU64::new(1)),
+            ops_shards: (0..SERVER_SHARDS).map(|_| Shard::new(OpsShard::default())).collect(),
+            kvs_shards: (0..SERVER_SHARDS).map(|_| Shard::new(KvsShard::default())).collect(),
+            ctl: Mutex::new(CtlState::default()),
+            ctl_cv: Condvar::new(),
+            dead: RwLock::new(HashSet::new()),
+            next_token: AtomicU64::new(1),
+            pgcid_waiting: Mutex::new(HashMap::new()),
+            pgcid_pool: Mutex::new(VecDeque::new()),
+            pgcid_block: AtomicU64::new(DEFAULT_PGCID_BLOCK),
+            rm_next_pgcid: is_rm.then(|| AtomicU64::new(1)),
             rpc_processing: Duration::ZERO,
             metrics: ServerMetrics::new(endpoint.obs(), endpoint.node()),
         })
@@ -257,6 +371,14 @@ impl PmixServer {
         if let Some(me) = Arc::get_mut(self) {
             me.rpc_processing = cost;
         }
+    }
+
+    /// Set how many PGCIDs to request from the RM per pool miss. `1`
+    /// reproduces the paper's one-round-trip-per-construct behavior;
+    /// larger values amortize the RM RPC across future constructs led by
+    /// this server. Clamped to at least 1.
+    pub fn set_pgcid_block(&self, block: u64) {
+        self.pgcid_block.store(block.max(1), Ordering::Relaxed);
     }
 
     /// The node this server manages.
@@ -298,17 +420,47 @@ impl PmixServer {
     }
 
     // ---------------------------------------------------------------
+    // Shard routing
+    // ---------------------------------------------------------------
+
+    /// Ops shard of a collective: every epoch of one `(kind, name, mhash)`
+    /// lands on the same shard, so its epoch counter lives there too.
+    fn ops_shard_of(kind: OpKind, name: &str, mhash: u64) -> usize {
+        let k = match kind {
+            OpKind::Fence => 1u64,
+            OpKind::GroupConstruct => 2,
+            OpKind::GroupDestruct => 3,
+        };
+        let mut h = fnv_u64(FNV_OFFSET, k);
+        h = fnv_bytes(h, name.as_bytes());
+        h = fnv_u64(h, mhash);
+        (h % SERVER_SHARDS as u64) as usize
+    }
+
+    /// Kvs shard of a process (owner of the data being read or written).
+    fn kvs_shard_of(proc: &ProcId) -> usize {
+        let mut h = fnv_bytes(FNV_OFFSET, proc.nspace().as_bytes());
+        h = fnv_u64(h, proc.rank() as u64);
+        (h % SERVER_SHARDS as u64) as usize
+    }
+
+    /// Mint a correlation token that routes replies to kvs shard `shard`.
+    fn mint_token(&self, shard: usize) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed) * SERVER_SHARDS as u64 + shard as u64
+    }
+
+    // ---------------------------------------------------------------
     // Local client entry points (the "shared-memory RPC" surface)
     // ---------------------------------------------------------------
 
     /// Register a local client.
     pub fn attach_client(&self, proc: &ProcId) {
-        self.state.lock().local_clients.insert(proc.clone());
+        self.ctl.lock().local_clients.insert(proc.clone());
     }
 
     /// Deregister a local client (normal finalize — not a failure).
     pub fn detach_client(&self, proc: &ProcId) {
-        let mut st = self.state.lock();
+        let mut st = self.ctl.lock();
         st.local_clients.remove(proc);
         st.subs.retain(|(p, _)| p != proc);
     }
@@ -316,27 +468,29 @@ impl PmixServer {
     /// Commit key-value data for a local client, waking any parked dmodex
     /// requests and local getters.
     pub fn commit_kvs(&self, proc: &ProcId, data: HashMap<String, PmixValue>) {
-        let mut st = self.state.lock();
-        st.kvs_local.entry(proc.clone()).or_default().extend(data);
-        // Serve parked remote fetches that are now satisfiable.
+        let kshard = &self.kvs_shards[Self::kvs_shard_of(proc)];
+        let mut ks = kshard.state.lock();
+        ks.kvs_local.entry(proc.clone()).or_default().extend(data);
+        // Serve parked remote fetches that are now satisfiable. Parked
+        // entries live in the owner's shard, so this drain sees them all.
         let mut served = Vec::new();
         let mut still_parked = Vec::new();
-        let parked = std::mem::take(&mut st.dmodex_parked);
+        let parked = std::mem::take(&mut ks.dmodex_parked);
         for (p, key, reply_to, token) in parked {
-            let val = st.kvs_local.get(&p).and_then(|m| m.get(&key)).cloned();
+            let val = ks.kvs_local.get(&p).and_then(|m| m.get(&key)).cloned();
             match val {
                 Some(v) => served.push((reply_to, token, v)),
                 None => still_parked.push((p, key, reply_to, token)),
             }
         }
-        st.dmodex_parked = still_parked;
-        drop(st);
+        ks.dmodex_parked = still_parked;
+        drop(ks);
         for (reply_to, token, v) in served {
             let _ = self
                 .sender
                 .send(reply_to, ServerMsg::DmodexReply { token, value: Some(v) }.encode());
         }
-        self.cv.notify_all();
+        kshard.cv.notify_all();
     }
 
     /// Fetch `key` of `proc`: from local/cached data if available, else via
@@ -345,33 +499,35 @@ impl PmixServer {
         let deadline = Instant::now() + timeout;
         let entry = self.registry.locate(proc)?;
         let local = entry.node == self.node;
-        let mut st = self.state.lock();
+        let ki = Self::kvs_shard_of(proc);
+        let kshard = &self.kvs_shards[ki];
+        let mut ks = kshard.state.lock();
         loop {
-            let found = st
+            let found = ks
                 .kvs_local
                 .get(proc)
                 .and_then(|m| m.get(key))
-                .or_else(|| st.kvs_cache.get(proc).and_then(|m| m.get(key)))
+                .or_else(|| ks.kvs_cache.get(proc).and_then(|m| m.get(key)))
                 .cloned();
             if let Some(v) = found {
                 return Ok(v);
             }
             if local {
                 // Owner is here but has not committed yet: wait for commit.
-                if self.cv.wait_until(&mut st, deadline).timed_out() {
+                if kshard.cv.wait_until(&mut ks, deadline).timed_out() {
                     return Err(PmixError::Timeout);
                 }
                 continue;
             }
-            // Remote: issue (or re-check) a dmodex fetch.
-            let token = st.next_token;
-            st.next_token += 1;
-            st.dmodex_waiting.insert(token, None);
+            // Remote: issue (or re-check) a dmodex fetch. The token routes
+            // the reply back to this shard.
+            let token = self.mint_token(ki);
+            ks.dmodex_waiting.insert(token, None);
             let owner = self
                 .registry
                 .server_of(entry.node)
                 .ok_or(PmixError::Unreachable)?;
-            drop(st);
+            drop(ks);
             let msg = ServerMsg::DmodexReq {
                 reply_to: self.sender.id(),
                 token,
@@ -381,14 +537,14 @@ impl PmixServer {
             self.sender
                 .send(owner, msg.encode())
                 .map_err(|_| PmixError::Unreachable)?;
-            st = self.state.lock();
+            ks = kshard.state.lock();
             loop {
-                if let Some(slot) = st.dmodex_waiting.get(&token) {
+                if let Some(slot) = ks.dmodex_waiting.get(&token) {
                     if let Some(reply) = slot.clone() {
-                        st.dmodex_waiting.remove(&token);
+                        ks.dmodex_waiting.remove(&token);
                         return match reply {
                             Some(v) => {
-                                st.kvs_cache
+                                ks.kvs_cache
                                     .entry(proc.clone())
                                     .or_default()
                                     .insert(key.to_owned(), v.clone());
@@ -398,8 +554,8 @@ impl PmixServer {
                         };
                     }
                 }
-                if self.cv.wait_until(&mut st, deadline).timed_out() {
-                    st.dmodex_waiting.remove(&token);
+                if kshard.cv.wait_until(&mut ks, deadline).timed_out() {
+                    ks.dmodex_waiting.remove(&token);
                     return Err(PmixError::Timeout);
                 }
             }
@@ -408,13 +564,13 @@ impl PmixServer {
 
     /// Snapshot of everything a local client has committed so far.
     pub fn local_committed(&self, proc: &ProcId) -> Option<HashMap<String, PmixValue>> {
-        self.state.lock().kvs_local.get(proc).cloned()
+        self.kvs_shards[Self::kvs_shard_of(proc)].state.lock().kvs_local.get(proc).cloned()
     }
 
     /// Subscribe a local client to events.
     pub fn subscribe(&self, proc: &ProcId, codes: Option<Vec<EventCode>>) -> EventStream {
         let (sub, stream) = EventStream::pair(codes);
-        self.state.lock().subs.push((proc.clone(), sub));
+        self.ctl.lock().subs.push((proc.clone(), sub));
         stream
     }
 
@@ -462,12 +618,16 @@ impl PmixServer {
         // of this server's fan-in.
         let caller_ctx = obs::trace::current_context();
 
-        let mut st = self.state.lock();
+        let si = Self::ops_shard_of(kind, name, mhash);
+        let shard = &self.ops_shards[si];
+        let mut st = shard.state.lock();
         let epoch = *st.epochs.get(&key).unwrap_or(&0);
         let op_id = OpId { kind, name: name.to_owned(), mhash, epoch };
         // Participants may already be dead (failure observed earlier).
-        let dead_locals: Vec<ProcId> =
-            locals.iter().filter(|p| st.dead.contains(*p)).cloned().collect();
+        let dead_locals: Vec<ProcId> = {
+            let dead = self.dead.read();
+            locals.iter().filter(|p| dead.contains(*p)).cloned().collect()
+        };
         let op = st.ops.entry(op_id.clone()).or_insert_with(OpState::new);
         if op.expected_local.is_none() {
             // First local arrival opens the fan-in stage span. The span is
@@ -511,12 +671,12 @@ impl PmixServer {
                 op.local_kvs.push((me.clone(), kvs));
             }
         }
-        self.advance_op(&mut st, &op_id);
+        self.advance_op(&mut st, si, &op_id);
         drop(st);
         self.try_complete(&op_id);
 
-        // Wait for a result.
-        let mut st = self.state.lock();
+        // Wait for a result (on this op's shard condvar).
+        let mut st = shard.state.lock();
         loop {
             let Some(cur) = st.ops.get(&op_id) else {
                 // The op completed and was reaped without counting us as a
@@ -531,7 +691,7 @@ impl PmixServer {
                 let remove = {
                     // Dead participants never come back to observe the
                     // result; count only live expected locals.
-                    let dead = st.dead.clone();
+                    let dead = self.dead.read();
                     let op = st.ops.get_mut(&op_id).expect("present");
                     op.observed += 1;
                     let expected = op
@@ -547,21 +707,22 @@ impl PmixServer {
                         *st.epochs.entry(key.clone()).or_insert(0) += 1;
                     }
                 }
+                drop(st);
                 if let Ok(out) = &res {
-                    self.finish_group_bookkeeping(&mut st, kind, name, out, directives);
+                    self.finish_group_bookkeeping(kind, name, out, directives);
                 }
                 return res;
             }
             let timed_out = match deadline {
-                Some(d) => self.cv.wait_until(&mut st, d).timed_out(),
+                Some(d) => shard.cv.wait_until(&mut st, d).timed_out(),
                 None => {
-                    self.cv.wait(&mut st);
+                    shard.cv.wait(&mut st);
                     false
                 }
             };
             if timed_out && st.ops.get(&op_id).map(|o| o.result.is_none()).unwrap_or(false) {
                 // Abort the collective everywhere.
-                self.fail_op_locked(&mut st, &op_id, AbortReason::Timeout);
+                self.fail_op_locked(&mut st, si, &op_id, AbortReason::Timeout);
                 let peers = st
                     .ops
                     .get(&op_id)
@@ -572,14 +733,13 @@ impl PmixServer {
                     op: op_id.clone(),
                     reason: AbortReason::Timeout,
                 });
-                st = self.state.lock();
+                st = shard.state.lock();
             }
         }
     }
 
     fn finish_group_bookkeeping(
         &self,
-        st: &mut ServerState,
         kind: OpKind,
         name: &str,
         out: &CollOutcome,
@@ -587,7 +747,7 @@ impl PmixServer {
     ) {
         match kind {
             OpKind::GroupConstruct => {
-                st.groups.insert(
+                self.ctl.lock().groups.insert(
                     name.to_owned(),
                     GroupInfo {
                         members: out.members.clone(),
@@ -597,7 +757,7 @@ impl PmixServer {
                 );
             }
             OpKind::GroupDestruct => {
-                st.groups.remove(name);
+                self.ctl.lock().groups.remove(name);
             }
             OpKind::Fence => {}
         }
@@ -605,7 +765,7 @@ impl PmixServer {
 
     /// Stage-2 trigger: if the local fan-in just completed, record our own
     /// contribution and ship it to the other participating servers.
-    fn advance_op(&self, st: &mut ServerState, op_id: &OpId) {
+    fn advance_op(&self, st: &mut OpsShard, si: usize, op_id: &OpId) {
         let Some(op) = st.ops.get_mut(op_id) else { return };
         if op.result.is_some() || op.sent_contrib {
             return;
@@ -618,7 +778,7 @@ impl PmixServer {
         op.epoch_bumped = true;
         op.sent_contrib = true;
         // Stage 1 complete on this server: all local participants are in.
-        self.metrics.stage_fanin.inc();
+        self.metrics.shard(si).stage_fanin.inc();
         self.metrics.stage_event(
             "group.fanin",
             op_id,
@@ -638,6 +798,8 @@ impl PmixServer {
             ));
         }
         let xchg_ctx = op.xchg.as_ref().map(|s| s.context());
+        // Batch this shard's full local contribution once, before the xchg
+        // stage fans it out to every peer server.
         let contrib = Contribution {
             local_members: op.arrived_local.clone(),
             kvs: op.local_kvs.clone(),
@@ -651,7 +813,7 @@ impl PmixServer {
             .collect();
         let key = (op_id.kind, op_id.name.clone(), op_id.mhash);
         *st.epochs.entry(key).or_insert(0) += 1;
-        // Send outside the borrow of `op` (but still under the state lock;
+        // Send outside the borrow of `op` (but still under the shard lock;
         // fabric sends never call back into this server synchronously).
         let msg = ServerMsg::CollContrib {
             op: op_id.clone(),
@@ -663,7 +825,7 @@ impl PmixServer {
             if let Some(ep) = self.registry.server_of(peer) {
                 // Stage 2: one contribution exchange per participating peer
                 // server — this is the part that scales with node count.
-                self.metrics.stage_xchg.inc();
+                self.metrics.shard(si).stage_xchg.inc();
                 self.metrics.stage_event(
                     "group.xchg",
                     op_id,
@@ -683,7 +845,9 @@ impl PmixServer {
     /// Stage-3 trigger: complete the op if every contribution (and the
     /// PGCID, when needed) has arrived.
     fn try_complete(&self, op_id: &OpId) {
-        let mut st = self.state.lock();
+        let si = Self::ops_shard_of(op_id.kind, &op_id.name, op_id.mhash);
+        let shard = &self.ops_shards[si];
+        let mut st = shard.state.lock();
         let Some(op) = st.ops.get_mut(op_id) else { return };
         if op.result.is_some() || !op.fanin_done {
             return;
@@ -695,6 +859,25 @@ impl PmixServer {
             // The lead participating server must go get one (exactly once).
             let lead = *op.expected_servers.iter().next().expect("non-empty");
             if lead == self.node && !op.pgcid_requested {
+                // Pool fast path: a previous block grant left spare ids, so
+                // this construct skips the RM round trip entirely — no
+                // `pgcid.request` span appears on its critical path.
+                let pooled = self.pgcid_pool.lock().pop_front();
+                if let Some(pgcid) = pooled {
+                    op.pgcid = Some(pgcid);
+                    op.pgcid_requested = true;
+                    self.metrics.pgcid_pool_hits.inc();
+                    let peers = op.expected_servers.clone();
+                    let bctx = op.xchg.as_ref().map(|s| s.context());
+                    drop(st);
+                    self.broadcast_ctx(
+                        &peers,
+                        &ServerMsg::CollPgcid { op: op_id.clone(), pgcid },
+                        bctx,
+                    );
+                    self.try_complete(op_id);
+                    return;
+                }
                 op.pgcid_requested = true;
                 // The RM round-trip is the "relatively expensive operation"
                 // of §III-B3 — it gets its own span, parented under the
@@ -706,28 +889,33 @@ impl PmixServer {
                     op.xchg.as_ref().map(|s| s.context()),
                 );
                 let req_ctx = req.context();
-                let token = st.next_token;
-                st.next_token += 1;
-                st.pgcid_waiting.insert(token, (op_id.clone(), Some(req)));
+                let count = self.pgcid_block.load(Ordering::Relaxed).max(1);
+                let token = self.mint_token(0);
+                self.pgcid_waiting.lock().insert(token, (op_id.clone(), Some(req)));
                 let rm = self.registry.rm_endpoint();
                 drop(st);
                 match rm {
                     Some(rm_ep) if rm_ep == self.sender.id() => {
                         // We *are* the RM: allocate inline.
-                        let (pgcid, alloc_ctx) = self.rm_allocate_pgcid_traced(Some(req_ctx));
-                        self.handle_ctx(ServerMsg::PgcidReply { token, pgcid }, alloc_ctx);
+                        let (pgcid, alloc_ctx) =
+                            self.rm_allocate_pgcid_block_traced(count, Some(req_ctx));
+                        self.handle_ctx(ServerMsg::PgcidReply { token, pgcid, count }, alloc_ctx);
                     }
                     Some(rm_ep) => {
                         let _ = self.sender.send_ctx(
                             rm_ep,
-                            ServerMsg::PgcidRequest { reply_to: self.sender.id(), token }
-                                .encode(),
+                            ServerMsg::PgcidRequest {
+                                reply_to: self.sender.id(),
+                                token,
+                                count,
+                            }
+                            .encode(),
                             Some(req_ctx),
                         );
                     }
                     None => {
-                        let mut st = self.state.lock();
-                        self.fail_op_locked(&mut st, op_id, AbortReason::Timeout);
+                        let mut st = shard.state.lock();
+                        self.fail_op_locked(&mut st, si, op_id, AbortReason::Timeout);
                     }
                 }
             }
@@ -747,9 +935,28 @@ impl PmixServer {
             .values()
             .flat_map(|c| c.kvs.iter().cloned())
             .collect();
-        members.retain(|m| !st.dead.contains(m));
+        {
+            let dead = self.dead.read();
+            members.retain(|m| !dead.contains(m));
+        }
+        // Install collected data into its kvs shards, batched so each
+        // touched shard is locked (and its waiters woken) exactly once.
+        let mut by_shard: Vec<Vec<(ProcId, HashMap<String, PmixValue>)>> =
+            (0..SERVER_SHARDS).map(|_| Vec::new()).collect();
         for (proc, data) in all_kvs {
-            st.kvs_cache.entry(proc).or_default().extend(data);
+            by_shard[Self::kvs_shard_of(&proc)].push((proc, data));
+        }
+        for (ki, items) in by_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let kshard = &self.kvs_shards[ki];
+            let mut ks = kshard.state.lock();
+            for (proc, data) in items {
+                ks.kvs_cache.entry(proc).or_default().extend(data);
+            }
+            drop(ks);
+            kshard.cv.notify_all();
         }
         let n_members = members.len() as u64;
         let op = st.ops.get_mut(op_id).expect("present");
@@ -776,7 +983,8 @@ impl PmixServer {
         op.result = Some(Ok(CollOutcome { members, pgcid, ctx: Some(fanout_ctx) }));
         drop(st);
         // Stage 3: local fan-out — waiting clients on this node are released.
-        self.metrics.stage_fanout.inc();
+        let sc = self.metrics.shard(si);
+        sc.stage_fanout.inc();
         self.metrics.stage_event(
             "group.fanout",
             op_id,
@@ -789,18 +997,24 @@ impl PmixServer {
             ],
         );
         match op_id.kind {
-            OpKind::Fence => self.metrics.fence_completed.inc(),
-            OpKind::GroupConstruct => self.metrics.group_construct_completed.inc(),
-            OpKind::GroupDestruct => self.metrics.group_destruct_completed.inc(),
+            OpKind::Fence => sc.fence_completed.inc(),
+            OpKind::GroupConstruct => sc.group_construct_completed.inc(),
+            OpKind::GroupDestruct => sc.group_destruct_completed.inc(),
         }
-        self.cv.notify_all();
+        shard.cv.notify_all();
     }
 
-    fn fail_op_locked(&self, st: &mut ServerState, op_id: &OpId, reason: AbortReason) {
+    fn fail_op_locked(
+        &self,
+        st: &mut OpsShard,
+        si: usize,
+        op_id: &OpId,
+        reason: AbortReason,
+    ) {
         if let Some(op) = st.ops.get_mut(op_id) {
             if op.result.is_none() {
                 op.result = Some(Err(reason.to_error()));
-                self.metrics.coll_aborted.inc();
+                self.metrics.shard(si).coll_aborted.inc();
                 let why = match &reason {
                     AbortReason::Timeout => "timeout",
                     AbortReason::ProcTerminated(_) => "proc_terminated",
@@ -809,7 +1023,7 @@ impl PmixServer {
                     .stage_event("group.abort", op_id, vec![("reason".into(), why.into())]);
             }
         }
-        self.cv.notify_all();
+        self.ops_shards[si].cv.notify_all();
     }
 
     fn broadcast(&self, peers: &BTreeSet<NodeId>, msg: &ServerMsg) {
@@ -833,21 +1047,26 @@ impl PmixServer {
         }
     }
 
-    fn rm_allocate_pgcid(&self) -> u64 {
-        self.metrics.pgcid_allocated.inc();
+    /// RM-side block allocation: reserve `count` consecutive ids and
+    /// account every one of them immediately, so the PGCID accounting
+    /// invariant (ids exposed ⊆ ids allocated) holds even while pooled
+    /// surplus ids sit unused on the requesting server.
+    fn rm_allocate_pgcid_block(&self, count: u64) -> u64 {
+        self.metrics.pgcid_allocated.add(count);
         self.rm_next_pgcid
             .as_ref()
             .expect("PGCID requested from a non-RM server")
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .fetch_add(count, Ordering::Relaxed)
     }
 
-    /// Allocate a PGCID and record the allocation as a `pgcid.alloc` span
-    /// on this (RM) server, linked to the requesting server's context.
-    fn rm_allocate_pgcid_traced(
+    /// Allocate a PGCID block and record the allocation as a `pgcid.alloc`
+    /// span on this (RM) server, linked to the requesting server's context.
+    fn rm_allocate_pgcid_block_traced(
         &self,
+        count: u64,
         req_ctx: Option<obs::TraceContext>,
     ) -> (u64, Option<obs::TraceContext>) {
-        let pgcid = self.rm_allocate_pgcid();
+        let pgcid = self.rm_allocate_pgcid_block(count);
         let mut span = self.metrics.obs.span_with_parent(
             &self.metrics.process,
             "pgcid.alloc",
@@ -876,7 +1095,7 @@ impl PmixServer {
         directives: &GroupDirectives,
     ) -> Result<()> {
         {
-            let mut st = self.state.lock();
+            let mut st = self.ctl.lock();
             if st.invites.contains_key(name) {
                 return Err(PmixError::Exists(name.to_owned()));
             }
@@ -930,7 +1149,7 @@ impl PmixServer {
         if report.any_timed_out() {
             // The collapsed API treats a straggler as failure: undo the
             // partial finalization the report path performed.
-            self.state.lock().groups.remove(name);
+            self.ctl.lock().groups.remove(name);
             return Err(PmixError::Timeout);
         }
         Ok(report.group)
@@ -947,42 +1166,47 @@ impl PmixServer {
     /// record is consumed either way, so a straggler reply is ignored.
     pub fn invite_wait_report(&self, name: &str, timeout: Duration) -> Result<InviteReport> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock();
-        let all_resolved = |st: &ServerState| -> Result<bool> {
-            let inv = st
-                .invites
-                .get(name)
-                .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
-            Ok(inv
-                .invited
-                .iter()
-                .all(|p| inv.responses.contains_key(p) || st.dead.contains(p)))
-        };
+        let mut st = self.ctl.lock();
         loop {
-            if all_resolved(&st)? {
+            let resolved = {
+                let inv = st
+                    .invites
+                    .get(name)
+                    .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
+                let dead = self.dead.read();
+                inv.invited
+                    .iter()
+                    .all(|p| inv.responses.contains_key(p) || dead.contains(p))
+            };
+            if resolved {
                 break;
             }
-            if self.cv.wait_until(&mut st, deadline).timed_out() {
+            if self.ctl_cv.wait_until(&mut st, deadline).timed_out() {
                 // Deadline hit: re-check once (the last reply may have
                 // raced the wakeup), then classify stragglers as timed out.
-                let _ = all_resolved(&st)?;
+                let _ = st
+                    .invites
+                    .get(name)
+                    .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
                 break;
             }
         }
         let inv = st.invites.remove(name).expect("checked above");
-        let outcomes: Vec<(ProcId, InviteOutcome)> = inv
-            .invited
-            .iter()
-            .map(|p| {
-                let outcome = match inv.responses.get(p) {
-                    Some(true) => InviteOutcome::Accepted,
-                    Some(false) => InviteOutcome::Declined,
-                    None if st.dead.contains(p) => InviteOutcome::Dead,
-                    None => InviteOutcome::TimedOut,
-                };
-                (p.clone(), outcome)
-            })
-            .collect();
+        let outcomes: Vec<(ProcId, InviteOutcome)> = {
+            let dead = self.dead.read();
+            inv.invited
+                .iter()
+                .map(|p| {
+                    let outcome = match inv.responses.get(p) {
+                        Some(true) => InviteOutcome::Accepted,
+                        Some(false) => InviteOutcome::Declined,
+                        None if dead.contains(p) => InviteOutcome::Dead,
+                        None => InviteOutcome::TimedOut,
+                    };
+                    (p.clone(), outcome)
+                })
+                .collect()
+        };
         let mut members: Vec<ProcId> = outcomes
             .iter()
             .filter(|(_, o)| *o == InviteOutcome::Accepted)
@@ -1012,41 +1236,45 @@ impl PmixServer {
         } else {
             None
         };
-        let mut st = self.state.lock();
-        st.groups.insert(
+        self.ctl.lock().groups.insert(
             name.to_owned(),
             GroupInfo { members: members.clone(), pgcid, notify_on_termination: true },
         );
-        drop(st);
         Ok(InviteReport { group: GroupResult { members, pgcid }, outcomes })
     }
 
     /// Synchronous PGCID fetch from the RM (used by the async-construct
-    /// finalize path, outside any collective op).
+    /// finalize path, outside any collective op). Pool-aware: a pooled
+    /// surplus id is used before any RM traffic happens.
     fn fetch_pgcid_blocking(&self, deadline: Instant) -> Result<u64> {
+        if let Some(pgcid) = self.pgcid_pool.lock().pop_front() {
+            self.metrics.pgcid_pool_hits.inc();
+            return Ok(pgcid);
+        }
         let rm = self.registry.rm_endpoint().ok_or(PmixError::Unreachable)?;
         if rm == self.sender.id() {
-            return Ok(self.rm_allocate_pgcid());
+            return Ok(self.rm_allocate_pgcid_block(1));
         }
-        let token = {
-            let mut st = self.state.lock();
-            let token = st.next_token;
-            st.next_token += 1;
-            // Reuse the dmodex slot table for the scalar reply.
-            st.dmodex_waiting.insert(token, None);
-            token
-        };
+        // Reuse the dmodex slot table of kvs shard 0 for the scalar reply;
+        // the token's shard encoding routes the PgcidReply there.
+        let kshard = &self.kvs_shards[0];
+        let token = self.mint_token(0);
+        kshard.state.lock().dmodex_waiting.insert(token, None);
+        let count = self.pgcid_block.load(Ordering::Relaxed).max(1);
         self.sender
-            .send(rm, ServerMsg::PgcidRequest { reply_to: self.sender.id(), token }.encode())
+            .send(
+                rm,
+                ServerMsg::PgcidRequest { reply_to: self.sender.id(), token, count }.encode(),
+            )
             .map_err(|_| PmixError::Unreachable)?;
-        let mut st = self.state.lock();
+        let mut ks = kshard.state.lock();
         loop {
-            if let Some(Some(Some(PmixValue::U64(v)))) = st.dmodex_waiting.get(&token).cloned() {
-                st.dmodex_waiting.remove(&token);
+            if let Some(Some(Some(PmixValue::U64(v)))) = ks.dmodex_waiting.get(&token).cloned() {
+                ks.dmodex_waiting.remove(&token);
                 return Ok(v);
             }
-            if self.cv.wait_until(&mut st, deadline).timed_out() {
-                st.dmodex_waiting.remove(&token);
+            if kshard.cv.wait_until(&mut ks, deadline).timed_out() {
+                ks.dmodex_waiting.remove(&token);
                 return Err(PmixError::Timeout);
             }
         }
@@ -1056,7 +1284,7 @@ impl PmixServer {
     /// asynchronously (paper §III-A: departure notifications).
     pub fn group_leave(&self, name: &str, me: &ProcId) -> Result<()> {
         let remaining = {
-            let mut st = self.state.lock();
+            let mut st = self.ctl.lock();
             let info = st
                 .groups
                 .get_mut(name)
@@ -1105,8 +1333,9 @@ impl PmixServer {
     pub fn handle_ctx(&self, msg: ServerMsg, ctx: Option<obs::TraceContext>) {
         match msg {
             ServerMsg::CollContrib { op, from_node, contrib } => {
+                let si = Self::ops_shard_of(op.kind, &op.name, op.mhash);
                 {
-                    let mut st = self.state.lock();
+                    let mut st = self.ops_shards[si].state.lock();
                     let entry = st.ops.entry(op.clone()).or_insert_with(OpState::new);
                     entry.contribs.insert(NodeId(from_node), contrib);
                     if let Some(c) = ctx {
@@ -1114,11 +1343,12 @@ impl PmixServer {
                     }
                 }
                 self.try_complete(&op);
-                self.cv.notify_all();
+                self.ops_shards[si].cv.notify_all();
             }
             ServerMsg::CollPgcid { op, pgcid } => {
+                let si = Self::ops_shard_of(op.kind, &op.name, op.mhash);
                 {
-                    let mut st = self.state.lock();
+                    let mut st = self.ops_shards[si].state.lock();
                     let entry = st.ops.entry(op.clone()).or_insert_with(OpState::new);
                     if entry.expected_local.is_some() {
                         entry.pgcid = Some(pgcid);
@@ -1130,80 +1360,101 @@ impl PmixServer {
                     }
                 }
                 self.try_complete(&op);
-                self.cv.notify_all();
+                self.ops_shards[si].cv.notify_all();
             }
             ServerMsg::CollAbort { op, reason } => {
-                let mut st = self.state.lock();
-                self.fail_op_locked(&mut st, &op, reason);
+                let si = Self::ops_shard_of(op.kind, &op.name, op.mhash);
+                let mut st = self.ops_shards[si].state.lock();
+                self.fail_op_locked(&mut st, si, &op, reason);
             }
-            ServerMsg::PgcidRequest { reply_to, token } => {
-                let (pgcid, alloc_ctx) = self.rm_allocate_pgcid_traced(ctx);
+            ServerMsg::PgcidRequest { reply_to, token, count } => {
+                let (pgcid, alloc_ctx) =
+                    self.rm_allocate_pgcid_block_traced(count.max(1), ctx);
                 let _ = self.sender.send_ctx(
                     reply_to,
-                    ServerMsg::PgcidReply { token, pgcid }.encode(),
+                    ServerMsg::PgcidReply { token, pgcid, count: count.max(1) }.encode(),
                     alloc_ctx,
                 );
             }
-            ServerMsg::PgcidReply { token, pgcid } => {
-                let op_then_peers = {
-                    let mut st = self.state.lock();
-                    if let Some((op_id, req_span)) = st.pgcid_waiting.remove(&token) {
-                        // Close the RM round-trip span, linking the RM's
-                        // allocation as its causal predecessor.
-                        let req_ctx = req_span.map(|mut sp| {
-                            if let Some(c) = ctx {
-                                sp.link(c);
-                            }
-                            let rc = sp.context();
-                            sp.end();
-                            rc
-                        });
+            ServerMsg::PgcidReply { token, pgcid, count } => {
+                // Pool the block's surplus first, so a construct racing this
+                // handler can already hit the pool.
+                if count > 1 {
+                    let mut pool = self.pgcid_pool.lock();
+                    for id in (pgcid + 1)..(pgcid + count) {
+                        pool.push_back(id);
+                    }
+                }
+                let waiting = self.pgcid_waiting.lock().remove(&token);
+                if let Some((op_id, req_span)) = waiting {
+                    // Close the RM round-trip span, linking the RM's
+                    // allocation as its causal predecessor.
+                    let req_ctx = req_span.map(|mut sp| {
+                        if let Some(c) = ctx {
+                            sp.link(c);
+                        }
+                        let rc = sp.context();
+                        sp.end();
+                        rc
+                    });
+                    let si = Self::ops_shard_of(op_id.kind, &op_id.name, op_id.mhash);
+                    let shard = &self.ops_shards[si];
+                    let peers = {
+                        let mut st = shard.state.lock();
                         if let Some(op) = st.ops.get_mut(&op_id) {
                             op.pgcid = Some(pgcid);
                             if let Some(rc) = req_ctx {
                                 op.contrib_ctxs.push(rc);
                             }
-                            let peers = op.expected_servers.clone();
-                            Some((op_id, peers, req_ctx))
+                            Some(op.expected_servers.clone())
                         } else {
                             None
                         }
-                    } else {
-                        // A blocking scalar fetch (async-construct path).
-                        if let Some(slot) = st.dmodex_waiting.get_mut(&token) {
-                            *slot = Some(Some(PmixValue::U64(pgcid)));
-                        }
-                        None
+                    };
+                    if let Some(peers) = peers {
+                        self.broadcast_ctx(
+                            &peers,
+                            &ServerMsg::CollPgcid { op: op_id.clone(), pgcid },
+                            req_ctx,
+                        );
+                        self.try_complete(&op_id);
                     }
-                };
-                if let Some((op_id, peers, req_ctx)) = op_then_peers {
-                    self.broadcast_ctx(
-                        &peers,
-                        &ServerMsg::CollPgcid { op: op_id.clone(), pgcid },
-                        req_ctx,
-                    );
-                    self.try_complete(&op_id);
+                    shard.cv.notify_all();
+                } else {
+                    // A blocking scalar fetch (async-construct path); the
+                    // token encodes the kvs shard holding its reply slot.
+                    let ki = (token % SERVER_SHARDS as u64) as usize;
+                    let kshard = &self.kvs_shards[ki];
+                    let mut ks = kshard.state.lock();
+                    if let Some(slot) = ks.dmodex_waiting.get_mut(&token) {
+                        *slot = Some(Some(PmixValue::U64(pgcid)));
+                    }
+                    drop(ks);
+                    kshard.cv.notify_all();
                 }
-                self.cv.notify_all();
             }
             ServerMsg::ProcFailed { proc } => {
                 self.on_proc_failed(&proc);
             }
             ServerMsg::DmodexReq { reply_to, token, proc, key } => {
+                // Resolve "is this a (live) local client" before touching
+                // the kvs shard: ctl and kvs shards are never nested.
+                let is_local = self.ctl.lock().local_clients.contains(&proc)
+                    || self
+                        .registry
+                        .locate(&proc)
+                        .map(|e| e.node == self.node)
+                        .unwrap_or(false);
+                let is_dead = self.dead.read().contains(&proc);
+                let kshard = &self.kvs_shards[Self::kvs_shard_of(&proc)];
                 let value = {
-                    let mut st = self.state.lock();
-                    match st.kvs_local.get(&proc).and_then(|m| m.get(&key)).cloned() {
+                    let mut ks = kshard.state.lock();
+                    match ks.kvs_local.get(&proc).and_then(|m| m.get(&key)).cloned() {
                         Some(v) => Some(Some(v)),
                         None => {
-                            let local = st.local_clients.contains(&proc)
-                                || self
-                                    .registry
-                                    .locate(&proc)
-                                    .map(|e| e.node == self.node)
-                                    .unwrap_or(false);
-                            if local && !st.dead.contains(&proc) {
+                            if is_local && !is_dead {
                                 // Park until the owner commits.
-                                st.dmodex_parked.push((proc, key, reply_to, token));
+                                ks.dmodex_parked.push((proc, key, reply_to, token));
                                 None
                             } else {
                                 Some(None)
@@ -1218,15 +1469,17 @@ impl PmixServer {
                 }
             }
             ServerMsg::DmodexReply { token, value } => {
-                let mut st = self.state.lock();
-                if st.dmodex_waiting.contains_key(&token) {
-                    st.dmodex_waiting.insert(token, Some(value));
+                let ki = (token % SERVER_SHARDS as u64) as usize;
+                let kshard = &self.kvs_shards[ki];
+                let mut ks = kshard.state.lock();
+                if ks.dmodex_waiting.contains_key(&token) {
+                    ks.dmodex_waiting.insert(token, Some(value));
                 }
-                drop(st);
-                self.cv.notify_all();
+                drop(ks);
+                kshard.cv.notify_all();
             }
             ServerMsg::Notify { event, targets } => {
-                let st = self.state.lock();
+                let st = self.ctl.lock();
                 for (proc, sub) in &st.subs {
                     if !sub.matches(event.code) {
                         continue;
@@ -1237,12 +1490,12 @@ impl PmixServer {
                 }
             }
             ServerMsg::InviteReply { group, from, accept } => {
-                let mut st = self.state.lock();
+                let mut st = self.ctl.lock();
                 if let Some(inv) = st.invites.get_mut(&group) {
                     inv.responses.insert(from, accept);
                 }
                 drop(st);
-                self.cv.notify_all();
+                self.ctl_cv.notify_all();
             }
         }
     }
@@ -1250,82 +1503,96 @@ impl PmixServer {
     /// React to a process death: fail or shrink affected collectives,
     /// notify subscribers, and mark the process dead.
     pub fn on_proc_failed(&self, proc: &ProcId) {
-        let mut st = self.state.lock();
-        if !st.dead.insert(proc.clone()) {
-            return; // already processed
+        {
+            let mut dead = self.dead.write();
+            if !dead.insert(proc.clone()) {
+                return; // already processed
+            }
         }
-        // Fail or shrink pending collectives that include the dead process.
-        let op_ids: Vec<OpId> = st.ops.keys().cloned().collect();
+        // Fail or shrink pending collectives that include the dead process,
+        // one ops shard at a time (the write above already publishes the
+        // death, so concurrent entries on other shards observe it).
         let mut aborts = Vec::new();
-        for op_id in op_ids {
-            let op = st.ops.get_mut(&op_id).expect("present");
-            if op.result.is_some() {
-                continue;
-            }
-            let involved = op.membership.contains(proc)
-                || op
-                    .expected_local
-                    .as_ref()
-                    .map(|e| e.contains(proc))
-                    .unwrap_or(false)
-                || op.contribs.values().any(|c| c.local_members.contains(proc))
-                || op.arrived_local.contains(proc);
-            if !involved {
-                continue;
-            }
-            if op.error_on_early_termination {
-                op.result = Some(Err(PmixError::ProcTerminated(proc.clone())));
-                self.metrics.coll_aborted.inc();
-                self.metrics.stage_event(
-                    "group.abort",
-                    &op_id,
-                    vec![("reason".into(), "proc_terminated".into())],
-                );
-                aborts.push((op_id.clone(), op.expected_servers.clone()));
-            } else {
-                if let Some(exp) = op.expected_local.as_mut() {
-                    exp.retain(|p| p != proc);
+        for si in 0..SERVER_SHARDS {
+            let shard = &self.ops_shards[si];
+            let mut st = shard.state.lock();
+            let op_ids: Vec<OpId> = st.ops.keys().cloned().collect();
+            for op_id in op_ids {
+                let op = st.ops.get_mut(&op_id).expect("present");
+                if op.result.is_some() {
+                    continue;
                 }
-                op.arrived_local.retain(|p| p != proc);
+                let involved = op.membership.contains(proc)
+                    || op
+                        .expected_local
+                        .as_ref()
+                        .map(|e| e.contains(proc))
+                        .unwrap_or(false)
+                    || op.contribs.values().any(|c| c.local_members.contains(proc))
+                    || op.arrived_local.contains(proc);
+                if !involved {
+                    continue;
+                }
+                if op.error_on_early_termination {
+                    op.result = Some(Err(PmixError::ProcTerminated(proc.clone())));
+                    self.metrics.shard(si).coll_aborted.inc();
+                    self.metrics.stage_event(
+                        "group.abort",
+                        &op_id,
+                        vec![("reason".into(), "proc_terminated".into())],
+                    );
+                    aborts.push((op_id.clone(), op.expected_servers.clone()));
+                } else {
+                    if let Some(exp) = op.expected_local.as_mut() {
+                        exp.retain(|p| p != proc);
+                    }
+                    op.arrived_local.retain(|p| p != proc);
+                }
             }
-        }
-        // Group-membership failure notifications.
-        let mut notifications = Vec::new();
-        for (name, info) in st.groups.iter() {
-            if info.notify_on_termination && info.members.contains(proc) {
-                let targets: Vec<ProcId> = info
-                    .members
-                    .iter()
-                    .filter(|m| *m != proc && !st.dead.contains(*m))
-                    .cloned()
-                    .collect();
-                let event = Event::new(EventCode::GroupMemberFailed, Some(proc.clone()))
-                    .with("group", name.as_str())
-                    .with("pgcid", info.pgcid.unwrap_or(0));
-                notifications.push((targets, event));
+            // Complete any ops whose fan-in this death unblocked.
+            let candidates: Vec<OpId> = st
+                .ops
+                .iter()
+                .filter(|(_, o)| o.result.is_none())
+                .map(|(k, _)| k.clone())
+                .collect();
+            for op_id in &candidates {
+                self.advance_op(&mut st, si, op_id);
             }
-        }
-        // Plain proc-terminated event for subscribers on this node.
-        let term = Event::new(EventCode::ProcTerminated, Some(proc.clone()));
-        for (p, sub) in &st.subs {
-            if sub.matches(EventCode::ProcTerminated) && p != proc {
-                let _ = sub.tx.send(term.clone());
+            drop(st);
+            for op_id in &candidates {
+                self.try_complete(op_id);
             }
+            shard.cv.notify_all();
         }
-        // Complete any ops whose fan-in this death unblocked.
-        let candidates: Vec<OpId> = st
-            .ops
-            .iter()
-            .filter(|(_, o)| o.result.is_none())
-            .map(|(k, _)| k.clone())
-            .collect();
-        for op_id in &candidates {
-            self.advance_op(&mut st, op_id);
-        }
-        drop(st);
-        for op_id in &candidates {
-            self.try_complete(op_id);
-        }
+        // Group-membership failure notifications + plain proc-terminated
+        // events for subscribers on this node (control plane).
+        let notifications = {
+            let st = self.ctl.lock();
+            let dead = self.dead.read();
+            let mut notifications = Vec::new();
+            for (name, info) in st.groups.iter() {
+                if info.notify_on_termination && info.members.contains(proc) {
+                    let targets: Vec<ProcId> = info
+                        .members
+                        .iter()
+                        .filter(|m| *m != proc && !dead.contains(*m))
+                        .cloned()
+                        .collect();
+                    let event = Event::new(EventCode::GroupMemberFailed, Some(proc.clone()))
+                        .with("group", name.as_str())
+                        .with("pgcid", info.pgcid.unwrap_or(0));
+                    notifications.push((targets, event));
+                }
+            }
+            let term = Event::new(EventCode::ProcTerminated, Some(proc.clone()));
+            for (p, sub) in &st.subs {
+                if sub.matches(EventCode::ProcTerminated) && p != proc {
+                    let _ = sub.tx.send(term.clone());
+                }
+            }
+            notifications
+        };
         for (op_id, peers) in aborts {
             self.broadcast(&peers, &ServerMsg::CollAbort {
                 op: op_id,
@@ -1335,6 +1602,9 @@ impl PmixServer {
         for (targets, event) in notifications {
             self.notify_procs(&targets, &event);
         }
-        self.cv.notify_all();
+        self.ctl_cv.notify_all();
+        for ks in &self.kvs_shards {
+            ks.cv.notify_all();
+        }
     }
 }

@@ -138,6 +138,15 @@ impl PmixUniverse {
             .ok_or_else(|| PmixError::NotFound(format!("server for {node}")))
     }
 
+    /// Set the PGCID block size every server requests from the resource
+    /// manager on a pool miss (ablation/bench knob; `1` restores the
+    /// unbatched one-request-per-construct behavior).
+    pub fn set_pgcid_block(&self, block: u64) {
+        for s in &self.servers {
+            s.set_pgcid_block(block);
+        }
+    }
+
     /// Register a process endpoint for a namespace and return its entry.
     ///
     /// The caller (normally `prrte`) creates the process endpoint itself so

@@ -127,19 +127,30 @@ pub enum ServerMsg {
         /// Why.
         reason: AbortReason,
     },
-    /// Ask the resource manager for a fresh PGCID.
+    /// Ask the resource manager for a block of fresh PGCIDs.
+    ///
+    /// `count == 1` reproduces the paper's one-at-a-time round trip;
+    /// larger counts amortize the RM RPC over `count` future group
+    /// constructs led by the requesting server (the surplus ids go into
+    /// its local pool).
     PgcidRequest {
         /// Where to send the reply.
         reply_to: EndpointId,
         /// Correlation token.
         token: u64,
+        /// How many consecutive ids to allocate (>= 1).
+        count: u64,
     },
-    /// RM's reply to [`ServerMsg::PgcidRequest`].
+    /// RM's reply to [`ServerMsg::PgcidRequest`]: a consecutive block
+    /// `[pgcid, pgcid + count)`, all freshly allocated and accounted under
+    /// the RM's `pgcid_allocated` counter.
     PgcidReply {
         /// Correlation token from the request.
         token: u64,
-        /// The allocated id.
+        /// First id of the allocated block.
         pgcid: u64,
+        /// Number of consecutive ids in the block (>= 1).
+        count: u64,
     },
     /// Broadcast: a process died. Servers fail affected collectives and
     /// notify subscribed clients.

@@ -154,8 +154,59 @@ fn stage_counters_match_events() {
     assert_eq!(obs.sum_counters("pmix", "stage_fanin"), 2);
     assert_eq!(obs.sum_counters("pmix", "stage_xchg"), 2);
     assert_eq!(obs.sum_counters("pmix", "stage_fanout"), 2);
-    // Exactly one PGCID was allocated by the RM for the construct.
-    assert_eq!(obs.sum_counters("pmix", "pgcid_allocated"), 1);
+    // The single pool miss fetched one whole PGCID block from the RM; the
+    // accounting stays exact (allocated == RM id-space consumption), it is
+    // just batched now.
+    assert_eq!(obs.sum_counters("pmix", "pgcid_allocated"), pmix::DEFAULT_PGCID_BLOCK);
+    // The first construct on a fresh universe cannot hit the pool.
+    assert_eq!(obs.sum_counters("pmix", "pgcid_pool_hits"), 0);
     // Every construct completion is visible on every participating server.
     assert_eq!(obs.sum_counters("pmix", "group_construct_completed"), 2);
+}
+
+#[test]
+fn stage_counters_sum_correctly_across_shards() {
+    // Stage counters are scoped per ops shard (`server:{n}/s{k}`): for every
+    // participating server, the shard-sum must equal that server's stage
+    // *event* count exactly. This is the anti-double-count guard for the
+    // sharding refactor — a stage accounted on two shards (or on the wrong
+    // server's shards) breaks the equality.
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 2));
+    let procs = spawn_procs(&uni, "job", 4);
+    construct_on_all(&uni, &procs, "sharded");
+    let obs = uni.fabric().obs();
+    for node in 0..2u32 {
+        let process = format!("server:{node}");
+        for stage in ["group.fanin", "group.xchg", "group.fanout"] {
+            let events = obs
+                .events_named(stage)
+                .iter()
+                .filter(|e: &&Event| e.process == process)
+                .count() as u64;
+            let counter = match stage {
+                "group.fanin" => "stage_fanin",
+                "group.xchg" => "stage_xchg",
+                _ => "stage_fanout",
+            };
+            let shard_sum: u64 = (0..pmix::SERVER_SHARDS)
+                .map(|k| obs.counter_value(&format!("server:{node}/s{k}"), "pmix", counter))
+                .sum();
+            assert_eq!(
+                shard_sum, events,
+                "per-shard {counter} sum must match {stage} events on {process}"
+            );
+        }
+        // Completions likewise: one construct completed once per server,
+        // accounted on exactly one shard of that server.
+        let completed: u64 = (0..pmix::SERVER_SHARDS)
+            .map(|k| {
+                obs.counter_value(
+                    &format!("server:{node}/s{k}"),
+                    "pmix",
+                    "group_construct_completed",
+                )
+            })
+            .sum();
+        assert_eq!(completed, 1, "exactly one completion on {process}");
+    }
 }
