@@ -35,22 +35,25 @@ cargo run -q --offline --release -p bench-harness --bin trace_check -- \
 rm -f "$trace_tmp" "$trace_tmp.flame.txt"
 
 # Chaos gate: the pinned-seed fault-injection sweeps (tests/chaos_suite.rs)
-# already ran as part of the workspace test pass above; rerun the suite
-# here only when extra seeds are requested via the CHAOS_SEEDS knob
-# (comma-separated u64s), e.g. CHAOS_SEEDS=90,91,92 ./ci.sh
-if [[ -n "${CHAOS_SEEDS:-}" ]]; then
-  echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS}) =="
+# already ran as part of the workspace test pass above. The elastic churn
+# scenario (grow/kill/retire/delete under delayed inter-server traffic)
+# additionally runs here under four pinned seeds via the CHAOS_SEEDS knob,
+# exercising the epoch-monotonicity / stale-epoch / rebuild-epoch
+# invariants end to end. Override or extend the seed list by exporting
+# CHAOS_SEEDS yourself (comma-separated u64s), e.g. CHAOS_SEEDS=90,91 ./ci.sh
+echo "== elastic chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74}) =="
+CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
-fi
 
 # Perf-regression gate: bench_gate re-runs the fixed workload set and
 # diffs its deterministic report (logical critical-path costs, span/stage
 # counts, protocol counters — never wall time) against the committed
 # baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
 # regenerate the baseline after an intentional perf change with
-#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR4.json
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR5.json
 echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
 cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
-  --check BENCH_PR4.json --tol "${BENCH_TOL:-0.05}"
+  --check BENCH_PR5.json --tol "${BENCH_TOL:-0.05}"
 
 echo "CI OK"

@@ -1,19 +1,20 @@
 //! Deterministic perf-regression gate.
 //!
 //! Runs a fixed set of small workloads — one per paper figure family plus
-//! the PMIx-collective ablation and the PML handshake-cache path — on tiny
-//! simulated testbeds and reduces each run's obs trail to **deterministic
-//! numbers only**: logical critical-path costs and span/stage counts from
-//! the causal trace (work counters, never wall time) and an allowlist of
-//! protocol counters. Two runs of the same binary produce byte-identical
-//! JSON, so the committed baseline (`BENCH_PR4.json`) acts as a perf
-//! fingerprint: a change that adds work to a hot path (an extra PGCID
-//! round trip, a redundant handshake, a new fence stage) moves a number
-//! and fails the gate instead of sliding silently into the trace.
+//! the PMIx-collective ablation, the PML handshake-cache path and the
+//! elastic pset-churn sequence — on tiny simulated testbeds and reduces
+//! each run's obs trail to **deterministic numbers only**: logical
+//! critical-path costs and span/stage counts from the causal trace (work
+//! counters, never wall time) and an allowlist of protocol counters. Two
+//! runs of the same binary produce byte-identical JSON, so the committed
+//! baseline (`BENCH_PR5.json`) acts as a perf fingerprint: a change that
+//! adds work to a hot path (an extra PGCID round trip, a redundant
+//! handshake, a new fence stage) moves a number and fails the gate instead
+//! of sliding silently into the trace.
 //!
 //! Usage:
-//!   `bench_gate --out BENCH_PR4.json`         regenerate the baseline
-//!   `bench_gate --check BENCH_PR4.json [--tol 0.05]`
+//!   `bench_gate --out BENCH_PR5.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR5.json [--tol 0.05]`
 //!                                             re-run and diff against it
 //!
 //! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
@@ -54,6 +55,11 @@ const COUNTERS: &[(&str, &str)] = &[
     ("cid", "derivations"),
     ("cid", "refill_coalesced"),
     ("cid", "consensus_agreements"),
+    ("cid", "subfield_exhausted"),
+    ("pml", "cache_invalidated"),
+    ("session", "rebuilds"),
+    ("prrte", "ranks_grown"),
+    ("prrte", "ranks_retired"),
 ];
 
 /// Reduce one finished run's registry to the gate's deterministic record.
@@ -217,6 +223,92 @@ fn run_pml_cache() -> Value {
     extract(&launcher.universe().fabric().obs())
 }
 
+/// Elastic shape: pset churn (grow 4→8, kill one, retire one, delete) with
+/// every member rebuilding its communicator per epoch. Driver-sequenced
+/// (each mutation waits for all acks of the previous epoch), so span and
+/// counter totals are deterministic.
+fn run_elastic() -> Value {
+    use mpi_sessions::{ElasticComm, Rebuild};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    const PSET: &str = "app://gate-elastic";
+    const STEP: Duration = Duration::from_secs(30);
+    let launcher = Launcher::new(SimTestbed::tiny(2, 4));
+    let (tx, rx) = mpsc::channel::<(u32, u64, u32)>();
+    let spec = JobSpec::new(4).with_pset(PSET, vec![0, 1, 2, 3]);
+    let handle = launcher.spawn_named("gate-elastic", spec, move |ctx| {
+        let session = mpi_sessions::Session::init(
+            &ctx,
+            mpi_sessions::ThreadLevel::Single,
+            mpi_sessions::ErrHandler::Return,
+            &mpi_sessions::Info::null(),
+        )
+        .expect("session init");
+        let mut ec = ElasticComm::establish(&session, PSET, STEP).expect("establish");
+        loop {
+            let comm = ec.comm().expect("member has a communicator");
+            let sum = mpi_sessions::coll::allreduce_t(
+                comm,
+                mpi_sessions::ReduceOp::Sum,
+                &[1u32],
+            )
+            .expect("allreduce")[0];
+            tx.send((ctx.rank(), ec.epoch(), sum)).expect("ack");
+            match ec.next_rebuild(STEP) {
+                Ok(Rebuild::Rebuilt { .. }) => continue,
+                Ok(Rebuild::Retired { .. }) | Ok(Rebuild::Deleted { .. }) => break,
+                Err(e) => panic!("rank {} rebuild failed: {e}", ctx.rank()),
+            }
+        }
+        session.finalize().expect("finalize");
+    });
+    let ctl = handle.ctl();
+    let settle = |n: u32, epoch: u64| {
+        for _ in 0..n {
+            let (rank, e, s) = rx.recv_timeout(STEP).expect("ack before timeout");
+            assert_eq!((e, s), (epoch, n), "rank {rank} settled on the wrong epoch");
+        }
+    };
+    settle(4, 1);
+    ctl.spawn_ranks(4, Some(PSET));
+    settle(8, 2);
+    handle.kill_rank(7);
+    settle(7, 3);
+    ctl.retire_ranks(&[6], Some(PSET)).expect("retire");
+    settle(6, 4);
+    launcher.universe().registry().undefine_pset(PSET);
+    handle.join().expect("elastic workload");
+    let mut record = extract(&launcher.universe().fabric().obs());
+    // Whether a given data-plane send goes out eager or carries the
+    // extended header races against handshake completion across rebuild
+    // epochs: the split varies run to run while the total is fixed by the
+    // protocol. Fold the racy pair into its deterministic sum.
+    if let Value::Object(w) = &mut record {
+        if let Some(Value::Object(c)) = w.get_mut("counters") {
+            let eager = c.remove("pml.eager_sent").and_then(|v| v.as_u64()).unwrap_or(0);
+            let ext = c.remove("pml.ext_sent").and_then(|v| v.as_u64()).unwrap_or(0);
+            c.insert("pml.data_sent".into(), Value::U64(eager + ext));
+        }
+        if let Some(Value::Object(s)) = w.get_mut("stages") {
+            let mut take = |name: &str| match s.remove(name) {
+                Some(Value::Object(m)) => (
+                    m.get("count").and_then(|v| v.as_u64()).unwrap_or(0),
+                    m.get("exclusive").and_then(|v| v.as_u64()).unwrap_or(0),
+                ),
+                _ => (0, 0),
+            };
+            let (ec, ee) = take("pml.eager");
+            let (hc, he) = take("pml.handshake");
+            let mut merged = Map::new();
+            merged.insert("count".into(), Value::U64(ec + hc));
+            merged.insert("exclusive".into(), Value::U64(ee + he));
+            s.insert("pml.data".into(), Value::Object(merged));
+        }
+    }
+    record
+}
+
 /// Recursively compare `got` against the baseline `want`; numeric leaves
 /// must agree within relative tolerance `tol`, everything else exactly.
 fn compare(path: &str, want: &Value, got: &Value, tol: f64, violations: &mut Vec<String>) {
@@ -281,6 +373,8 @@ fn main() {
     workloads.insert("abl_pmix_group_2x2".into(), run_group_ablation(4));
     eprintln!("bench_gate: pml handshake-cache point");
     workloads.insert("pml_cache_two_comms_np2".into(), run_pml_cache());
+    eprintln!("bench_gate: elastic churn point");
+    workloads.insert("fig_elastic_churn_2x4".into(), run_elastic());
     let n_workloads = workloads.len();
 
     // Hard acceptance bound for PGCID batching: 301 PGCID-bearing group

@@ -24,6 +24,15 @@
 //!    hook's trace: every injected fault was accounted, no phantom faults.
 //! 8. **cid-agreement** — in symmetric scenarios, all listed processes
 //!    performed the same number of exCID refills and derivations.
+//! 9. **pset-epoch-monotonic** — the registry's `pset.update` stream
+//!    carries strictly increasing epochs: no torn, reordered or duplicated
+//!    pset version ever reached a subscriber.
+//! 10. **rebuild-epoch-published** — every `session.rebuild` pinned an
+//!     epoch the registry actually published; a rebuild against an invented
+//!     epoch means group membership diverged from the runtime's view.
+//! 11. **stale-epoch** — no rebuilt communicator was retired with traffic
+//!     still queued against it: a nonzero `stale_unexpected` at retire
+//!     means a message crossed a pset epoch boundary.
 //!
 //! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
 //! based checks are only sound over a complete ring, so scenarios must be
@@ -88,6 +97,8 @@ impl InvariantChecker {
         self.check_reinit(ctx, &mut out);
         self.check_fault_counters(ctx, &mut out);
         self.check_cid_agreement(ctx, &mut out);
+        self.check_pset_epochs(ctx, &mut out);
+        self.check_stale_epochs(ctx, &mut out);
         out
     }
 
@@ -285,6 +296,60 @@ impl InvariantChecker {
         }
     }
 
+    fn check_pset_epochs(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        // The bridge emits one `pset.update` per registry change under the
+        // emission lock, so ring order is publication order: epochs must be
+        // strictly increasing across all psets (the epoch is global).
+        let updates = ctx.obs.events_named("pset.update");
+        let epochs: Vec<u64> = updates.iter().map(|e| attr_u64(e, "epoch")).collect();
+        for w in epochs.windows(2) {
+            if w[0] >= w[1] {
+                out.push(Violation {
+                    invariant: "pset-epoch-monotonic",
+                    detail: format!(
+                        "pset.update stream is not strictly increasing: {} then {}",
+                        w[0], w[1]
+                    ),
+                });
+            }
+        }
+        // Every rebuild must have pinned a published epoch.
+        let published: BTreeSet<u64> = epochs.iter().copied().collect();
+        for e in ctx.obs.events_named("session.rebuild") {
+            let epoch = attr_u64(&e, "epoch");
+            if !published.contains(&epoch) {
+                out.push(Violation {
+                    invariant: "rebuild-epoch-published",
+                    detail: format!(
+                        "process {} rebuilt '{}' at epoch {epoch}, which the registry \
+                         never published",
+                        e.process,
+                        attr_str(&e, "pset"),
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_stale_epochs(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        for e in ctx.obs.events_named("elastic.retire") {
+            let stale = attr_u64(&e, "stale_unexpected");
+            if stale > 0 {
+                out.push(Violation {
+                    invariant: "stale-epoch",
+                    detail: format!(
+                        "process {} retired its '{}' epoch-{} communicator with {stale} \
+                         unexpected message(s) still queued — traffic crossed an epoch \
+                         boundary",
+                        e.process,
+                        attr_str(&e, "pset"),
+                        attr_u64(&e, "epoch"),
+                    ),
+                });
+            }
+        }
+    }
+
     fn check_cid_agreement(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
         for name in ["refills", "derivations"] {
             let values: BTreeSet<u64> = ctx
@@ -441,6 +506,54 @@ mod tests {
         let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &trace));
         assert_eq!(v.len(), 1, "got: {v:?}");
         assert_eq!(v[0].invariant, "fault-counter-match");
+    }
+
+    #[test]
+    fn pset_epoch_violations_are_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let update = |epoch: u64| {
+            obs.event("registry", "pmix", "pset.update", vec![
+                ("pset".into(), "app://x".into()),
+                ("epoch".into(), epoch.into()),
+                ("kind".into(), "membership".into()),
+                ("members".into(), 2u64.into()),
+            ]);
+        };
+        update(1);
+        update(3);
+        update(3); // duplicate epoch: monotonicity broken
+        // A rebuild against an epoch nobody published.
+        obs.event("ep9", "session", "session.rebuild", vec![
+            ("pset".into(), "app://x".into()),
+            ("epoch".into(), 7u64.into()),
+        ]);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        let names: Vec<&str> = v.iter().map(|x| x.invariant).collect();
+        assert!(names.contains(&"pset-epoch-monotonic"), "got: {v:?}");
+        assert!(names.contains(&"rebuild-epoch-published"), "got: {v:?}");
+        assert_eq!(v.len(), 2, "got: {v:?}");
+    }
+
+    #[test]
+    fn stale_retire_is_flagged_and_clean_retire_is_not() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let retire = |stale: u64| {
+            obs.event("ep4", "session", "elastic.retire", vec![
+                ("pset".into(), "app://x".into()),
+                ("epoch".into(), 2u64.into()),
+                ("stale_unexpected".into(), stale.into()),
+            ]);
+        };
+        retire(0);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "clean retire flagged: {v:?}");
+        retire(3);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "stale-epoch");
+        assert!(v[0].detail.contains("3 unexpected"));
     }
 
     #[test]

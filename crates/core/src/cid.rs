@@ -110,19 +110,63 @@ impl DeriveState {
     }
 }
 
+/// Why local subfield derivation cannot produce another child exCID and a
+/// fresh PGCID is required instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeriveExhausted {
+    /// The chain is 8 levels deep: the active subfield counted down to 0
+    /// and there is no position left to write a child value into.
+    Depth,
+    /// 255 children were already derived at the active subfield; the next
+    /// value would wrap the 8-bit counter and collide with child #0.
+    Width,
+}
+
+impl DeriveExhausted {
+    /// Stable label for counters/events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeriveExhausted::Depth => "depth",
+            DeriveExhausted::Width => "width",
+        }
+    }
+}
+
+impl std::fmt::Display for DeriveExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeriveExhausted::Depth => write!(f, "derivation chain 8 levels deep"),
+            DeriveExhausted::Width => write!(f, "255 children derived at active subfield"),
+        }
+    }
+}
+
 /// Attempt to derive a child exCID from `parent` with derivation state
-/// `state` (mutated on success). Returns `None` when the rules require a
-/// fresh PGCID instead: exhausted subfield space (active = 0 came before,
-/// or 255 children already derived at this level).
-pub fn derive_excid(parent: &ExCid, state: &mut DeriveState) -> Option<(ExCid, DeriveState)> {
-    if state.active == 0 || state.next_child > 255 {
-        return None;
+/// `state` (mutated on success). The error says *why* a fresh PGCID is
+/// required, so callers can count and report the two exhaustion modes
+/// separately — the 8-bit counter must never silently wrap, or two
+/// children would alias one exCID and the PML would cross-deliver.
+pub fn try_derive_excid(
+    parent: &ExCid,
+    state: &mut DeriveState,
+) -> std::result::Result<(ExCid, DeriveState), DeriveExhausted> {
+    if state.active == 0 {
+        return Err(DeriveExhausted::Depth);
+    }
+    if state.next_child > 255 {
+        return Err(DeriveExhausted::Width);
     }
     let value = state.next_child as u8;
     state.next_child += 1;
     let child = parent.with_subfield(state.active, value);
     let child_state = DeriveState::child_of(state);
-    Some((child, child_state))
+    Ok((child, child_state))
+}
+
+/// [`try_derive_excid`] for callers that only care whether derivation is
+/// possible, not why it stopped.
+pub fn derive_excid(parent: &ExCid, state: &mut DeriveState) -> Option<(ExCid, DeriveState)> {
+    try_derive_excid(parent, state).ok()
 }
 
 /// The per-process local-CID table allocator: lowest-free-index policy,
@@ -246,7 +290,15 @@ mod tests {
             let (c, _) = derive_excid(&root, &mut state).expect("within budget");
             assert!(seen.insert(c), "collision in dup chain");
         }
-        assert!(derive_excid(&root, &mut state).is_none(), "256th dup needs a new PGCID");
+        assert_eq!(
+            try_derive_excid(&root, &mut state),
+            Err(DeriveExhausted::Width),
+            "256th dup needs a new PGCID"
+        );
+        // The counter must not move on a refused derivation: a retry after
+        // exhaustion reports the same error instead of wrapping to 0.
+        assert_eq!(state.next_child, 256);
+        assert_eq!(try_derive_excid(&root, &mut state), Err(DeriveExhausted::Width));
     }
 
     #[test]
@@ -260,7 +312,11 @@ mod tests {
             state = s;
         }
         assert_eq!(state.active, 0);
-        assert!(derive_excid(&cur, &mut state).is_none(), "depth 8 needs a new PGCID");
+        assert_eq!(
+            try_derive_excid(&cur, &mut state),
+            Err(DeriveExhausted::Depth),
+            "depth 8 needs a new PGCID"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   no agreement traffic at all, at the price of the first-message
 //!   handshake in the PML.
 
-use crate::cid::{derive_excid, DeriveState, ExCid};
+use crate::cid::{derive_excid, try_derive_excid, DeriveState, ExCid};
 use crate::coll;
 use crate::datatype::{self, MpiScalar};
 use crate::errhandler::ErrHandler;
@@ -350,14 +350,33 @@ impl Comm {
                 // rooted at this communicator's own exCID, and after an
                 // exhaustion-triggered refill rooted at the fresh block.
                 let pool = self.inner.derive.lock().clone();
-                let derived = pool.and_then(|p| {
+                let derived = pool.map(|p| {
                     let mut pool = p.lock();
                     let base = pool.base;
-                    derive_excid(&base, &mut pool.state)
+                    try_derive_excid(&base, &mut pool.state)
                 });
                 match derived {
-                    Some((child_excid, child_state)) => self.build_derived(child_excid, child_state),
-                    None => {
+                    Some(Ok((child_excid, child_state))) => {
+                        self.build_derived(child_excid, child_state)
+                    }
+                    other => {
+                        // Subfield space exhausted (or no pool at all, for a
+                        // derived comm that never seeded one). Record which
+                        // exhaustion mode fired: silently wrapping here
+                        // would alias two children onto one exCID.
+                        let obs = self.process.obs();
+                        let p = self.process.proc().to_string();
+                        obs.counter(&p, "cid", "subfield_exhausted").inc();
+                        let reason = match other {
+                            Some(Err(why)) => why.as_str(),
+                            _ => "no-pool",
+                        };
+                        obs.event(
+                            &p,
+                            "cid",
+                            "cid.subfield_exhausted",
+                            vec![("reason".into(), reason.into())],
+                        );
                         // Block exhausted: every participant hits this at
                         // the same dup index (derivation is deterministic),
                         // so the group collectively acquires a fresh PGCID.
@@ -659,6 +678,19 @@ impl Comm {
                 None,
             )
         }
+    }
+
+    /// Locally retire this communicator without the collective free: the
+    /// elastic rebuild path replaces a communicator whose membership has
+    /// already diverged, so a collective `group_destruct` could never
+    /// complete. The PMIx group is deliberately left behind; only the
+    /// local CID and PML route are reclaimed.
+    pub(crate) fn abandon_local(&self) {
+        if self.inner.freed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.process.pml().unregister_comm(self.inner.local_cid);
+        self.process.release_cid(self.inner.local_cid);
     }
 
     /// `MPI_Comm_free`: collective. Releases the local CID and route and

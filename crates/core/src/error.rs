@@ -24,6 +24,9 @@ pub enum ErrClass {
     Unsupported,
     /// `MPI_ERR_SESSION` — invalid or finalized session.
     Session,
+    /// Stale pset epoch: the registry moved past the requested version
+    /// (a torn read on the elastic rebuild path).
+    Stale,
     /// `MPI_ERR_PENDING` / timeout from the runtime.
     Timeout,
     /// `MPI_ERR_INTERN` — implementation error.

@@ -65,6 +65,7 @@ pub mod cid;
 pub mod coll;
 pub mod comm;
 pub mod datatype;
+pub mod elastic;
 pub mod errhandler;
 pub mod error;
 pub mod file;
@@ -82,6 +83,7 @@ pub mod world;
 
 pub use comm::Comm;
 pub use datatype::{MpiScalar, ReduceOp};
+pub use elastic::{ElasticComm, PsetUpdate, PsetUpdateKind, PsetWatcher, Rebuild};
 pub use errhandler::ErrHandler;
 pub use error::{ErrClass, MpiError, Result};
 pub use group::MpiGroup;

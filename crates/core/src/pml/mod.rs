@@ -184,6 +184,9 @@ struct PmlMetrics {
     /// Peers switched straight to `Known` by an absorbed advert — each one
     /// is a handshake (ext + ack round trip) the cache saved.
     advert_hits: obs::Counter,
+    /// Cache entries dropped by explicit invalidation (departed-but-alive
+    /// peers on the elastic rebuild path).
+    cache_invalidated: obs::Counter,
     /// Registry + process scope retained so handshake transitions can emit
     /// a structured event (the chaos invariant checker keys on it).
     obs: Arc<obs::Registry>,
@@ -205,6 +208,7 @@ impl PmlMetrics {
             ext_fallback: c("ext_fallback"),
             adverts_sent: c("adverts_sent"),
             advert_hits: c("advert_hits"),
+            cache_invalidated: c("cache_invalidated"),
             obs,
             process,
         }
@@ -901,6 +905,20 @@ impl Pml {
         self.state.lock().cache.contains(&ep)
     }
 
+    /// Drop `ep` from the handshake cache. Sends-failures evict dead peers
+    /// automatically, but a peer that *retired* gracefully never fails a
+    /// send — its mailbox just drains to nowhere — so the rebuild path must
+    /// invalidate departed peers explicitly, or a later incarnation on the
+    /// same endpoint would be trusted with a stale `CidAdvert`. Returns
+    /// whether an entry was actually dropped.
+    pub fn invalidate_peer(&self, ep: EndpointId) -> bool {
+        let dropped = self.state.lock().cache.remove(&ep);
+        if dropped {
+            self.metrics.cache_invalidated.inc();
+        }
+        dropped
+    }
+
     /// Whether the send path to `dst_rank` on `local_cid` has switched to
     /// the optimized compact-header mode (tests + Fig. 5 analysis).
     pub fn peer_switched(&self, local_cid: u16, dst_rank: u32) -> bool {
@@ -1064,6 +1082,51 @@ mod tests {
         let spans = obs.spans_snapshot();
         assert_eq!(spans.iter().filter(|s| s.name == "pml.handshake").count(), 1);
         assert_eq!(spans.iter().filter(|s| s.name == "pml.handshake_recv").count(), 1);
+    }
+
+    #[test]
+    fn retired_peer_invalidation_forces_fresh_handshake() {
+        // A peer that *retires* (graceful drain) never fails a send, so the
+        // automatic failed-send eviction does not fire; the rebuild path
+        // calls invalidate_peer explicitly. A communicator registered after
+        // the invalidation must NOT trust the cache: no advert goes out, and
+        // the extended-header handshake runs again from scratch.
+        let (a, b) = pair();
+        wire(&a, &b, 10, 20, Some(ExCid::from_pgcid(100)));
+        complete_handshake(&a, &b, 10);
+        assert!(a.cached_peer(b.endpoint.id()));
+        // B retires; both sides' rebuilds drop the departed pairing (a
+        // rejoined incarnation starts with a fresh cache anyway).
+        assert!(a.invalidate_peer(b.endpoint.id()), "entry was cached");
+        assert!(!a.invalidate_peer(b.endpoint.id()), "second call is a no-op");
+        assert!(b.invalidate_peer(a.endpoint.id()));
+        assert!(!a.cached_peer(b.endpoint.id()));
+        let obs = a.endpoint.obs();
+        assert_eq!(obs.sum_counters("pml", "cache_invalidated"), 2);
+        // A later communicator reaching the same endpoint pair starts from
+        // AwaitAck and re-runs the extended-header handshake rather than
+        // riding a stale CidAdvert.
+        let adverts_before = obs.sum_counters("pml", "adverts_sent");
+        wire(&a, &b, 11, 21, Some(ExCid::from_pgcid(101)));
+        pump(&a);
+        pump(&b);
+        assert_eq!(
+            obs.sum_counters("pml", "adverts_sent"),
+            adverts_before,
+            "no advert may ride an invalidated cache entry"
+        );
+        assert!(!a.peer_switched(11, 1), "A still awaits a real handshake");
+        let ext_before = a.stats().ext_sent;
+        let handshakes_before = obs.sum_counters("pml", "handshakes");
+        a.isend(11, 1, 0, Bytes::from_static(b"again")).unwrap();
+        assert_eq!(a.stats().ext_sent, ext_before + 1, "extended header re-sent");
+        pump(&b);
+        pump(&a);
+        assert!(a.peer_switched(11, 1), "fresh handshake completed");
+        assert!(
+            obs.sum_counters("pml", "handshakes") > handshakes_before,
+            "a full handshake ran again after invalidation"
+        );
     }
 
     #[test]

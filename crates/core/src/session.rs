@@ -158,7 +158,7 @@ impl Session {
         &self.inner.process
     }
 
-    fn check_live(&self) -> Result<()> {
+    pub(crate) fn check_live(&self) -> Result<()> {
         if self.inner.finalized.load(Ordering::Acquire) {
             return Err(MpiError::new(ErrClass::Session, "session has been finalized"));
         }

@@ -80,6 +80,55 @@ fn deep_dup_chain_falls_back_to_new_pgcid() {
 }
 
 #[test]
+fn exhaustion_fallback_is_counted_and_typed() {
+    // Regression: both exhaustion modes of the derivation rules (depth =
+    // active subfield hit 0, width = 255 children at one level) must be
+    // *observable* — a counter bump plus an event naming the mode — not a
+    // silent fallback, and never an 8-bit wrap that would alias children.
+    use prrte::{JobSpec, Launcher};
+    use simnet::SimTestbed;
+    let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+    let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+        let (s, c) = world_comm(&ctx, "exhaust");
+        // Depth: walk the chain until the active subfield is 0, then dup.
+        let mut chain = vec![c];
+        for _ in 0..7 {
+            chain.push(chain.last().unwrap().dup().unwrap());
+        }
+        let fallback = chain.last().unwrap().dup().unwrap();
+        assert_eq!(fallback.cid_origin(), CidOrigin::Pgcid, "depth-8 dup refills");
+        // Width: drain the refill block's 255 slots, then one more.
+        let mut kids = Vec::new();
+        for _ in 0..255 {
+            let k = fallback.dup().unwrap();
+            assert_eq!(k.cid_origin(), CidOrigin::Derived);
+            kids.push(k);
+        }
+        let wide = fallback.dup().unwrap();
+        assert_eq!(wide.cid_origin(), CidOrigin::Pgcid, "256th child refills");
+        coll::barrier(&wide).unwrap();
+        wide.free().unwrap();
+        for k in kids {
+            k.free().unwrap();
+        }
+        fallback.free().unwrap();
+        for c in chain {
+            c.free().unwrap();
+        }
+        s.finalize().unwrap();
+    });
+    handle.join().unwrap();
+    let obs = launcher.universe().fabric().obs();
+    // One depth + one width exhaustion per rank.
+    assert_eq!(obs.sum_counters("cid", "subfield_exhausted"), 4);
+    let evs = obs.events_named("cid.subfield_exhausted");
+    let mut reasons: Vec<&str> =
+        evs.iter().filter_map(|e| e.attr("reason").and_then(|v| v.as_str())).collect();
+    reasons.sort();
+    assert_eq!(reasons, vec!["depth", "depth", "width", "width"]);
+}
+
+#[test]
 fn dup_via_group_always_acquires_pgcid() {
     // The prototype path measured in the paper's Fig. 4.
     let out = run(1, 2, 2, |ctx| {

@@ -315,11 +315,31 @@ impl PmixClient {
         self.server.registry().pset_members(name)
     }
 
-    /// Query: pset count and names from one consistent registry snapshot
-    /// (a batch asking for both must not see them disagree while psets are
-    /// defined/undefined concurrently).
-    pub fn query_pset_snapshot(&self) -> (usize, Vec<String>) {
+    /// Query: membership of one process set together with the pset's epoch.
+    pub fn query_pset_membership_versioned(
+        &self,
+        name: &str,
+    ) -> Result<(u64, Arc<Vec<ProcId>>)> {
+        self.server.registry().pset_members_versioned(name)
+    }
+
+    /// Query: current global pset-registry epoch.
+    pub fn query_pset_epoch(&self) -> u64 {
+        self.server.registry().pset_epoch()
+    }
+
+    /// Query: a self-consistent snapshot of the whole pset table. Batches
+    /// asking for count + names + membership answer every key from one
+    /// snapshot so concurrent define/undefine cannot make them disagree.
+    pub fn query_pset_snapshot(&self) -> crate::nspace::PsetSnapshot {
         self.server.registry().pset_snapshot()
+    }
+
+    /// Subscribe to pset change events with replay: the stream starts with
+    /// synthetic `PsetDefined`/`PsetDeleted` events describing the current
+    /// table (at their real epochs), then carries live changes exactly once.
+    pub fn watch_psets(&self) -> EventStream {
+        self.server.subscribe_psets(&self.proc)
     }
 }
 

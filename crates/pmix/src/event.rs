@@ -26,12 +26,18 @@ pub enum EventCode {
     GroupDestructed,
     /// The receiver is invited to join a group (async construct).
     GroupInvited,
+    /// A process set was defined (or redefined) in the registry.
+    PsetDefined,
+    /// The membership of an existing process set changed (grow/shrink).
+    PsetMembership,
+    /// A process set was deleted from the registry.
+    PsetDeleted,
     /// Application-defined event.
     Custom(u32),
 }
 
 /// An asynchronous notification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// What happened.
     pub code: EventCode,
@@ -40,17 +46,56 @@ pub struct Event {
     pub source: Option<ProcId>,
     /// Event payload (group name, PGCID, ...).
     pub data: HashMap<String, PmixValue>,
+    /// Causal trace context of the operation that emitted the event.
+    /// Only survives local (same-universe) delivery: the wire format skips
+    /// it (see the manual serde impls below), which is harmless —
+    /// cross-node consumers re-root their spans.
+    pub ctx: Option<obs::TraceContext>,
+}
+
+// Manual serde impls: the vendored derive shim has no `#[serde(skip)]`,
+// and `ctx` must not cross the wire (span ids are registry-local).
+impl serde::Serialize for Event {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        let mut m = serde::Map::new();
+        m.insert("code".to_owned(), serde::to_value(&self.code));
+        m.insert("source".to_owned(), serde::to_value(&self.source));
+        m.insert("data".to_owned(), serde::to_value(&self.data));
+        s.serialize_value(serde::Value::Object(m))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Event {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let r: std::result::Result<Self, serde::DeError> = (|| match v {
+            serde::Value::Object(mut m) => Ok(Event {
+                code: serde::from_value(m.remove("code").unwrap_or(serde::Value::Null))?,
+                source: serde::from_value(m.remove("source").unwrap_or(serde::Value::Null))?,
+                data: serde::from_value(m.remove("data").unwrap_or(serde::Value::Null))?,
+                ctx: None,
+            }),
+            other => Err(serde::DeError(format!("expected object for Event, got {}", other.kind()))),
+        })();
+        r.map_err(<D::Error as serde::de::Error>::custom)
+    }
 }
 
 impl Event {
     /// Build an event with no payload.
     pub fn new(code: EventCode, source: Option<ProcId>) -> Self {
-        Self { code, source, data: HashMap::new() }
+        Self { code, source, data: HashMap::new(), ctx: None }
     }
 
     /// Attach a payload entry.
     pub fn with(mut self, key: &str, value: impl Into<PmixValue>) -> Self {
         self.data.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Attach a causal trace context (kept on local delivery only).
+    pub fn with_ctx(mut self, ctx: Option<obs::TraceContext>) -> Self {
+        self.ctx = ctx;
         self
     }
 

@@ -8,7 +8,7 @@
 
 use crate::error::{PmixError, Result};
 use crate::types::{ProcId, Rank};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use simnet::{EndpointId, NodeId};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -57,18 +57,107 @@ impl NamespaceInfo {
     }
 }
 
+/// One versioned process-set entry. Membership is copy-on-write: readers
+/// clone the `Arc`, mutations install a fresh vector, so a group resolved
+/// at epoch E keeps observing exactly the members of epoch E.
+#[derive(Debug, Clone)]
+pub struct PsetEntry {
+    /// Global registry epoch at which this entry last changed.
+    pub epoch: u64,
+    /// Membership at that epoch (rank-sorted at definition time).
+    pub members: Arc<Vec<ProcId>>,
+    /// Tombstone: the pset was deleted at `epoch`. Kept so late
+    /// subscribers can be told about the deletion during replay.
+    pub deleted: bool,
+}
+
+/// What kind of change a [`PsetChange`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsetChangeKind {
+    /// The pset came into existence (or was re-defined from scratch).
+    Defined,
+    /// An existing pset's membership grew or shrank.
+    Membership,
+    /// The pset was deleted.
+    Deleted,
+}
+
+/// A single versioned change to the pset table, as handed to listeners
+/// and replayed to late subscribers.
+#[derive(Clone)]
+pub struct PsetChange {
+    /// Name of the pset that changed.
+    pub name: String,
+    /// Global epoch stamped on the change (strictly increasing across
+    /// all changes, hence also per pset).
+    pub epoch: u64,
+    /// What happened.
+    pub kind: PsetChangeKind,
+    /// Membership after the change (empty for deletions).
+    pub members: Arc<Vec<ProcId>>,
+    /// Causal context of the mutation (runtime grow/shrink span), kept
+    /// for local delivery so `pset.update → session.rebuild` chains link.
+    pub ctx: Option<obs::TraceContext>,
+}
+
+/// A self-consistent read of the whole pset table: every answer derived
+/// from one snapshot agrees with every other (satisfying the query
+/// contract that a name reported by `PSET_NAMES` must resolve).
+#[derive(Debug, Clone)]
+pub struct PsetSnapshot {
+    /// Global registry epoch when the snapshot was taken.
+    pub epoch: u64,
+    entries: BTreeMap<String, (u64, Arc<Vec<ProcId>>)>,
+}
+
+impl PsetSnapshot {
+    /// Number of live psets in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no psets were defined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted names of live psets.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Membership of `name` with the pset's own epoch, resolved against
+    /// this snapshot (never the live table).
+    pub fn members(&self, name: &str) -> Option<(u64, Arc<Vec<ProcId>>)> {
+        self.entries.get(name).map(|(e, m)| (*e, m.clone()))
+    }
+}
+
+/// Callback invoked (under the emission lock) on every pset change.
+pub type PsetListener = Box<dyn Fn(&PsetChange) + Send + Sync>;
+
 #[derive(Default)]
 struct RegistryState {
     namespaces: HashMap<String, NamespaceInfo>,
-    psets: BTreeMap<String, Vec<ProcId>>,
+    psets: BTreeMap<String, PsetEntry>,
+    /// Monotonic epoch shared by all psets; bumped on every change.
+    pset_epoch: u64,
     servers: BTreeMap<NodeId, EndpointId>,
     rm: Option<EndpointId>,
 }
 
 /// Shared registry of namespaces, process sets and server endpoints.
+///
+/// Pset mutations are serialized by an *emission lock* held across both
+/// the table write and the synchronous listener calls: changes reach
+/// listeners in strict epoch order, and a subscriber registered under the
+/// same lock (see replay) observes each change exactly once — either via
+/// replay or live delivery, never both, never neither.
 #[derive(Clone, Default)]
 pub struct NamespaceRegistry {
     state: Arc<RwLock<RegistryState>>,
+    emit: Arc<Mutex<()>>,
+    listeners: Arc<RwLock<Vec<PsetListener>>>,
 }
 
 impl NamespaceRegistry {
@@ -156,47 +245,243 @@ impl NamespaceRegistry {
         None
     }
 
+    /// Register a listener invoked synchronously, under the emission lock,
+    /// for every subsequent pset change.
+    pub fn add_pset_listener(&self, l: PsetListener) {
+        let _emit = self.emit.lock();
+        self.listeners.write().push(l);
+    }
+
+    fn emit_change(&self, change: PsetChange) {
+        for l in self.listeners.read().iter() {
+            l(&change);
+        }
+    }
+
     /// Define (or redefine) a process set.
     ///
     /// Process sets are *names for lists of processes* (paper §III-B6);
-    /// the RTE defines them at launch (`prun --pset ...`) and the MPI layer
-    /// resolves them when building groups.
+    /// the RTE defines them at launch (`prun --pset ...`) and — since the
+    /// registry became versioned — at runtime as jobs grow.
     pub fn define_pset(&self, name: &str, members: Vec<ProcId>) {
-        self.state.write().psets.insert(name.to_owned(), members);
+        self.define_pset_ctx(name, members, None);
     }
 
-    /// Remove a process set definition.
+    /// [`NamespaceRegistry::define_pset`] with an explicit causal context.
+    pub fn define_pset_ctx(
+        &self,
+        name: &str,
+        members: Vec<ProcId>,
+        ctx: Option<obs::TraceContext>,
+    ) {
+        let _emit = self.emit.lock();
+        let members = Arc::new(members);
+        let epoch = {
+            let mut st = self.state.write();
+            st.pset_epoch += 1;
+            let epoch = st.pset_epoch;
+            st.psets.insert(
+                name.to_owned(),
+                PsetEntry { epoch, members: members.clone(), deleted: false },
+            );
+            epoch
+        };
+        self.emit_change(PsetChange {
+            name: name.to_owned(),
+            epoch,
+            kind: PsetChangeKind::Defined,
+            members,
+            ctx,
+        });
+    }
+
+    /// Replace the membership of an existing pset (runtime grow/shrink).
+    /// Bumps the epoch and emits a `Membership` change. Errors if the pset
+    /// was never defined or is deleted.
+    pub fn update_pset_membership(
+        &self,
+        name: &str,
+        members: Vec<ProcId>,
+        ctx: Option<obs::TraceContext>,
+    ) -> Result<u64> {
+        let _emit = self.emit.lock();
+        let members = Arc::new(members);
+        let epoch = {
+            let mut st = self.state.write();
+            let next = st.pset_epoch + 1;
+            let entry = st
+                .psets
+                .get_mut(name)
+                .filter(|e| !e.deleted)
+                .ok_or_else(|| PmixError::NotFound(format!("pset {name}")))?;
+            entry.epoch = next;
+            entry.members = members.clone();
+            st.pset_epoch = next;
+            next
+        };
+        self.emit_change(PsetChange {
+            name: name.to_owned(),
+            epoch,
+            kind: PsetChangeKind::Membership,
+            members,
+            ctx,
+        });
+        Ok(epoch)
+    }
+
+    /// Remove `proc` from every live pset that contains it, emitting one
+    /// `Membership` change per affected pset. Returns the affected names.
+    /// Used when a process dies or retires: its psets shrink around it.
+    pub fn remove_from_psets(
+        &self,
+        proc: &ProcId,
+        ctx: Option<obs::TraceContext>,
+    ) -> Vec<String> {
+        let _emit = self.emit.lock();
+        let mut changes = Vec::new();
+        {
+            let mut st = self.state.write();
+            let names: Vec<String> = st
+                .psets
+                .iter()
+                .filter(|(_, e)| !e.deleted && e.members.contains(proc))
+                .map(|(n, _)| n.clone())
+                .collect();
+            for name in names {
+                st.pset_epoch += 1;
+                let epoch = st.pset_epoch;
+                let entry = st.psets.get_mut(&name).expect("selected above");
+                let members: Arc<Vec<ProcId>> =
+                    Arc::new(entry.members.iter().filter(|p| *p != proc).cloned().collect());
+                entry.epoch = epoch;
+                entry.members = members.clone();
+                changes.push(PsetChange {
+                    name,
+                    epoch,
+                    kind: PsetChangeKind::Membership,
+                    members,
+                    ctx,
+                });
+            }
+        }
+        let affected = changes.iter().map(|c| c.name.clone()).collect();
+        for c in changes {
+            self.emit_change(c);
+        }
+        affected
+    }
+
+    /// Remove a process set definition, leaving a tombstone so that late
+    /// subscribers learn about the deletion during replay.
     pub fn undefine_pset(&self, name: &str) {
-        self.state.write().psets.remove(name);
+        let _emit = self.emit.lock();
+        let epoch = {
+            let mut st = self.state.write();
+            let next = st.pset_epoch + 1;
+            match st.psets.get_mut(name) {
+                Some(entry) if !entry.deleted => {
+                    entry.epoch = next;
+                    entry.deleted = true;
+                    entry.members = Arc::new(Vec::new());
+                    st.pset_epoch = next;
+                    next
+                }
+                _ => return,
+            }
+        };
+        self.emit_change(PsetChange {
+            name: name.to_owned(),
+            epoch,
+            kind: PsetChangeKind::Deleted,
+            members: Arc::new(Vec::new()),
+            ctx: None,
+        });
     }
 
-    /// Number of defined process sets.
+    /// Remove one process entry from its namespace's job map (graceful
+    /// retirement — the inverse of `register_namespace` for one rank).
+    pub fn deregister_proc(&self, proc: &ProcId) {
+        let mut st = self.state.write();
+        if let Some(info) = st.namespaces.get_mut(proc.nspace()) {
+            info.procs.retain(|p| p.proc != *proc);
+        }
+    }
+
+    /// Number of defined (live) process sets.
     pub fn num_psets(&self) -> usize {
-        self.state.read().psets.len()
+        self.state.read().psets.values().filter(|e| !e.deleted).count()
     }
 
-    /// Names of all defined process sets, sorted.
+    /// Names of all live process sets, sorted.
     pub fn pset_names(&self) -> Vec<String> {
-        self.state.read().psets.keys().cloned().collect()
-    }
-
-    /// Count and sorted names of all defined process sets, read under a
-    /// single lock acquisition. Queries that return both values must use
-    /// this: separate `num_psets`/`pset_names` calls can interleave with a
-    /// concurrent define/undefine and disagree with each other.
-    pub fn pset_snapshot(&self) -> (usize, Vec<String>) {
         let st = self.state.read();
-        (st.psets.len(), st.psets.keys().cloned().collect())
+        st.psets.iter().filter(|(_, e)| !e.deleted).map(|(n, _)| n.clone()).collect()
     }
 
-    /// Membership of one process set.
+    /// Current global pset-registry epoch.
+    pub fn pset_epoch(&self) -> u64 {
+        self.state.read().pset_epoch
+    }
+
+    /// A self-consistent snapshot of all live psets, taken under a single
+    /// lock acquisition. Queries answering count + names + membership must
+    /// derive every answer from one snapshot: per-key reads could otherwise
+    /// interleave with a concurrent define/undefine and disagree.
+    pub fn pset_snapshot(&self) -> PsetSnapshot {
+        let st = self.state.read();
+        PsetSnapshot {
+            epoch: st.pset_epoch,
+            entries: st
+                .psets
+                .iter()
+                .filter(|(_, e)| !e.deleted)
+                .map(|(n, e)| (n.clone(), (e.epoch, e.members.clone())))
+                .collect(),
+        }
+    }
+
+    /// Membership of one process set (unversioned compatibility accessor).
     pub fn pset_members(&self, name: &str) -> Result<Vec<ProcId>> {
+        self.pset_members_versioned(name).map(|(_, m)| m.as_ref().clone())
+    }
+
+    /// Membership of one process set together with the pset's epoch.
+    pub fn pset_members_versioned(&self, name: &str) -> Result<(u64, Arc<Vec<ProcId>>)> {
         self.state
             .read()
             .psets
             .get(name)
-            .cloned()
+            .filter(|e| !e.deleted)
+            .map(|e| (e.epoch, e.members.clone()))
             .ok_or_else(|| PmixError::NotFound(format!("pset {name}")))
+    }
+
+    /// Run `f` under the emission lock with the changes needed to bring a
+    /// brand-new subscriber up to date: one synthetic `Defined` per live
+    /// pset and one `Deleted` per tombstone, ordered by epoch. While `f`
+    /// runs no live change can be emitted, so registering the subscriber
+    /// inside `f` yields exactly-once delivery (replay XOR live).
+    pub fn with_pset_replay<R>(&self, f: impl FnOnce(&[PsetChange]) -> R) -> R {
+        let _emit = self.emit.lock();
+        let mut replay: Vec<PsetChange> = {
+            let st = self.state.read();
+            st.psets
+                .iter()
+                .map(|(name, e)| PsetChange {
+                    name: name.clone(),
+                    epoch: e.epoch,
+                    kind: if e.deleted {
+                        PsetChangeKind::Deleted
+                    } else {
+                        PsetChangeKind::Defined
+                    },
+                    members: e.members.clone(),
+                    ctx: None,
+                })
+                .collect()
+        };
+        replay.sort_by_key(|c| c.epoch);
+        f(&replay)
     }
 }
 
@@ -275,5 +560,109 @@ mod tests {
         reg.register_namespace("job", vec![entry("job", 0, 0, 1)]);
         reg.deregister_namespace("job");
         assert!(reg.namespace("job").is_err());
+    }
+
+    #[test]
+    fn pset_epochs_are_monotonic_across_psets() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![ProcId::new("j", 0)]);
+        reg.define_pset("b", vec![ProcId::new("j", 1)]);
+        let (ea, _) = reg.pset_members_versioned("a").unwrap();
+        let (eb, _) = reg.pset_members_versioned("b").unwrap();
+        assert!(eb > ea);
+        let em = reg
+            .update_pset_membership("a", vec![ProcId::new("j", 0), ProcId::new("j", 2)], None)
+            .unwrap();
+        assert!(em > eb);
+        assert_eq!(reg.pset_epoch(), em);
+    }
+
+    #[test]
+    fn membership_is_copy_on_write() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![ProcId::new("j", 0)]);
+        let (_, old) = reg.pset_members_versioned("a").unwrap();
+        reg.update_pset_membership("a", vec![], None).unwrap();
+        // the old handle still sees epoch-1 membership
+        assert_eq!(old.len(), 1);
+        let (_, new) = reg.pset_members_versioned("a").unwrap();
+        assert!(new.is_empty());
+    }
+
+    #[test]
+    fn remove_from_psets_shrinks_every_containing_pset() {
+        let reg = NamespaceRegistry::new();
+        let p = ProcId::new("j", 1);
+        reg.define_pset("a", vec![ProcId::new("j", 0), p.clone()]);
+        reg.define_pset("b", vec![p.clone()]);
+        reg.define_pset("c", vec![ProcId::new("j", 2)]);
+        let affected = reg.remove_from_psets(&p, None);
+        assert_eq!(affected, vec!["a", "b"]);
+        assert_eq!(reg.pset_members("a").unwrap().len(), 1);
+        assert!(reg.pset_members("b").unwrap().is_empty());
+        assert_eq!(reg.pset_members("c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn listeners_observe_changes_in_epoch_order() {
+        use std::sync::Mutex as StdMutex;
+        let reg = NamespaceRegistry::new();
+        let seen: Arc<StdMutex<Vec<(String, u64, PsetChangeKind)>>> = Arc::default();
+        let s = seen.clone();
+        reg.add_pset_listener(Box::new(move |c| {
+            s.lock().unwrap().push((c.name.clone(), c.epoch, c.kind));
+        }));
+        reg.define_pset("a", vec![]);
+        reg.update_pset_membership("a", vec![ProcId::new("j", 0)], None).unwrap();
+        reg.undefine_pset("a");
+        reg.undefine_pset("a"); // idempotent: no second Deleted event
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.iter().map(|(_, e, k)| (*e, *k)).collect::<Vec<_>>(),
+            vec![
+                (1, PsetChangeKind::Defined),
+                (2, PsetChangeKind::Membership),
+                (3, PsetChangeKind::Deleted),
+            ]
+        );
+    }
+
+    #[test]
+    fn replay_covers_live_and_tombstoned_psets() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![ProcId::new("j", 0)]);
+        reg.define_pset("b", vec![]);
+        reg.undefine_pset("b");
+        reg.with_pset_replay(|changes| {
+            assert_eq!(changes.len(), 2);
+            assert_eq!(changes[0].name, "a");
+            assert_eq!(changes[0].kind, PsetChangeKind::Defined);
+            assert_eq!(changes[1].name, "b");
+            assert_eq!(changes[1].kind, PsetChangeKind::Deleted);
+            assert_eq!(changes[1].epoch, 3);
+        });
+    }
+
+    #[test]
+    fn snapshot_is_self_consistent() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![ProcId::new("j", 0)]);
+        let snap = reg.pset_snapshot();
+        reg.undefine_pset("a");
+        // the snapshot still resolves the name it reported
+        for name in snap.names() {
+            assert!(snap.members(&name).is_some());
+        }
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn deregister_proc_removes_one_rank() {
+        let reg = NamespaceRegistry::new();
+        reg.register_namespace("job", vec![entry("job", 0, 0, 1), entry("job", 1, 0, 2)]);
+        reg.deregister_proc(&ProcId::new("job", 1));
+        let info = reg.namespace("job").unwrap();
+        assert_eq!(info.size(), 1);
+        assert!(info.proc(1).is_none());
     }
 }

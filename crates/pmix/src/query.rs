@@ -34,32 +34,49 @@ impl Query {
 /// Resolve a batch of queries against the client's runtime, returning one
 /// value per query in order (the blocking analog of `PMIx_Query_info_nb`).
 ///
-/// The pset count and name-list keys are answered from a single registry
-/// snapshot taken once per batch: while jobs launch and die concurrently,
-/// per-key reads could otherwise report a count that disagrees with the
-/// name list returned by the very same call.
+/// All pset keys — count, name list *and membership* — are answered from a
+/// single registry snapshot taken once per batch: while psets churn
+/// concurrently, per-key reads could otherwise report a name whose
+/// membership query then misses (or a count disagreeing with the list
+/// returned by the very same call). Membership answers are epoch-stamped
+/// ([`PmixValue::VersionedProcList`]) so clients can detect torn reads
+/// across *separate* batches too.
 pub fn query_info(client: &PmixClient, queries: &[Query]) -> Result<Vec<PmixValue>> {
-    let wants_psets = queries
-        .iter()
-        .any(|q| q.key == keys::QUERY_NUM_PSETS || q.key == keys::QUERY_PSET_NAMES);
+    let wants_psets = queries.iter().any(|q| {
+        matches!(
+            q.key.as_str(),
+            keys::QUERY_NUM_PSETS
+                | keys::QUERY_PSET_NAMES
+                | keys::QUERY_PSET_MEMBERSHIP
+                | keys::QUERY_PSET_EPOCH
+        )
+    });
     let pset_snapshot = wants_psets.then(|| client.query_pset_snapshot());
     queries
         .iter()
         .map(|q| match q.key.as_str() {
             keys::QUERY_NUM_PSETS => {
-                let (num, _) = pset_snapshot.as_ref().expect("snapshot taken");
-                Ok(PmixValue::U64(*num as u64))
+                let snap = pset_snapshot.as_ref().expect("snapshot taken");
+                Ok(PmixValue::U64(snap.len() as u64))
             }
             keys::QUERY_PSET_NAMES => {
-                let (_, names) = pset_snapshot.as_ref().expect("snapshot taken");
-                Ok(PmixValue::StrList(names.clone()))
+                let snap = pset_snapshot.as_ref().expect("snapshot taken");
+                Ok(PmixValue::StrList(snap.names()))
+            }
+            keys::QUERY_PSET_EPOCH => {
+                let snap = pset_snapshot.as_ref().expect("snapshot taken");
+                Ok(PmixValue::U64(snap.epoch))
             }
             keys::QUERY_PSET_MEMBERSHIP => {
                 let name = q
                     .qualifier
                     .as_deref()
                     .ok_or_else(|| PmixError::BadParam("membership query needs a pset name".into()))?;
-                Ok(PmixValue::ProcList(client.query_pset_membership(name)?))
+                let snap = pset_snapshot.as_ref().expect("snapshot taken");
+                let (epoch, members) = snap
+                    .members(name)
+                    .ok_or_else(|| PmixError::NotFound(format!("pset {name}")))?;
+                Ok(PmixValue::VersionedProcList { epoch, members: members.as_ref().clone() })
             }
             keys::JOB_SIZE => Ok(PmixValue::U64(client.job_size()? as u64)),
             keys::LOCAL_PEERS => Ok(PmixValue::StrList(

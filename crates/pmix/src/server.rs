@@ -59,9 +59,9 @@
 use crate::error::{PmixError, Result};
 use crate::event::{Event, EventCode, EventStream, Subscription};
 use crate::group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport};
-use crate::nspace::NamespaceRegistry;
+use crate::nspace::{NamespaceRegistry, PsetChange, PsetChangeKind};
 use crate::types::ProcId;
-use crate::value::PmixValue;
+use crate::value::{keys, PmixValue};
 use crate::wire::{membership_hash, AbortReason, Contribution, OpId, OpKind, ServerMsg};
 use parking_lot::{Condvar, Mutex, RwLock};
 use simnet::{Endpoint, EndpointId, EndpointSender, NodeId};
@@ -293,6 +293,82 @@ fn kind_str(kind: OpKind) -> &'static str {
         OpKind::GroupConstruct => "group_construct",
         OpKind::GroupDestruct => "group_destruct",
     }
+}
+
+/// Poll slice for logical-deadline waits: short enough to notice fabric
+/// quiescence promptly, long enough not to busy-spin.
+const LOGICAL_POLL: Duration = Duration::from_millis(2);
+/// Consecutive quiet polls (no fabric activity, nothing in flight) required
+/// after the wall budget elapses before a wait is declared expired.
+const LOGICAL_GRACE: u32 = 3;
+/// Safety valve: even a never-quiescent fabric cannot stretch a wait past
+/// this multiple of the caller's budget.
+const LOGICAL_HARD_CAP: u32 = 20;
+
+/// A deadline in *logical* time.
+///
+/// Wall-clock deadlines inside the deterministic simnet world are a
+/// determinism hazard: a chaos delay rule can hold a reply in the delivery
+/// pump past the wall deadline on one run and under it on the next, so the
+/// same seed yields different invite outcomes (and different traces). A
+/// logical deadline expires only once (a) the caller's wall budget has
+/// elapsed AND (b) the fabric has quiesced — zero messages in flight and no
+/// send/delivery activity — for [`LOGICAL_GRACE`] consecutive polls. A
+/// scheduled-but-delayed reply keeps `in_flight` nonzero, so injected
+/// delays defer expiry instead of flipping the outcome.
+struct LogicalDeadline {
+    fabric: simnet::Fabric,
+    start: Instant,
+    budget: Duration,
+    hard_cap: Duration,
+    last_activity: u64,
+    quiet: u32,
+}
+
+impl LogicalDeadline {
+    fn new(fabric: simnet::Fabric, budget: Duration) -> Self {
+        let last_activity = fabric.activity();
+        Self {
+            fabric,
+            start: Instant::now(),
+            budget,
+            hard_cap: budget.saturating_mul(LOGICAL_HARD_CAP),
+            last_activity,
+            quiet: 0,
+        }
+    }
+
+    /// One poll; true once the deadline has logically expired.
+    fn expired(&mut self) -> bool {
+        let elapsed = self.start.elapsed();
+        if elapsed < self.budget {
+            return false;
+        }
+        if elapsed >= self.hard_cap {
+            return true;
+        }
+        let activity = self.fabric.activity();
+        let quiet_now = activity == self.last_activity && self.fabric.in_flight() == 0;
+        self.last_activity = activity;
+        self.quiet = if quiet_now { self.quiet + 1 } else { 0 };
+        self.quiet >= LOGICAL_GRACE
+    }
+}
+
+/// Render a registry pset change as the event delivered to subscribers.
+/// The change's causal context rides along (local delivery only), so a
+/// rebuild triggered by the event can link the mutating `pset.update` span.
+fn pset_change_event(change: &PsetChange) -> Event {
+    let code = match change.kind {
+        PsetChangeKind::Defined => EventCode::PsetDefined,
+        PsetChangeKind::Membership => EventCode::PsetMembership,
+        PsetChangeKind::Deleted => EventCode::PsetDeleted,
+    };
+    Event::new(code, None)
+        .with(keys::PSET_NAME, change.name.as_str())
+        .with(keys::PSET_EPOCH, change.epoch)
+        .with(keys::PSET_MEMBERS, change.members.as_ref().clone())
+        .with_ctx(change.ctx)
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -572,6 +648,40 @@ impl PmixServer {
         let (sub, stream) = EventStream::pair(codes);
         self.ctl.lock().subs.push((proc.clone(), sub));
         stream
+    }
+
+    /// Subscribe a local client to pset change events, with replay: the
+    /// registry's current table is rendered as synthetic `PsetDefined` /
+    /// `PsetDeleted` events (at their real epochs) into the stream before
+    /// the subscription goes live. Replay and registration both happen
+    /// under the registry's emission lock, and live deliveries
+    /// ([`PmixServer::handle_pset_change`]) hold the same lock — so a late
+    /// subscriber sees every change exactly once, mirroring the
+    /// `watch_failures` idiom in simnet.
+    pub fn subscribe_psets(&self, proc: &ProcId) -> EventStream {
+        let codes =
+            vec![EventCode::PsetDefined, EventCode::PsetMembership, EventCode::PsetDeleted];
+        self.registry.with_pset_replay(|replay| {
+            let (sub, stream) = EventStream::pair(Some(codes));
+            for change in replay {
+                let _ = sub.tx.send(pset_change_event(change));
+            }
+            self.ctl.lock().subs.push((proc.clone(), sub));
+            stream
+        })
+    }
+
+    /// Deliver one pset change to this server's matching subscribers.
+    /// Called by the universe's registry listener, synchronously, under the
+    /// registry emission lock (see [`PmixServer::subscribe_psets`]).
+    pub fn handle_pset_change(&self, change: &PsetChange) {
+        let event = pset_change_event(change);
+        let st = self.ctl.lock();
+        for (_, sub) in &st.subs {
+            if sub.matches(event.code) {
+                let _ = sub.tx.send(event.clone());
+            }
+        }
     }
 
     /// Enter a collective operation (stage 1: local fan-in).
@@ -1165,7 +1275,7 @@ impl PmixServer {
     /// group is finalized with everyone who did accept. The invitation
     /// record is consumed either way, so a straggler reply is ignored.
     pub fn invite_wait_report(&self, name: &str, timeout: Duration) -> Result<InviteReport> {
-        let deadline = Instant::now() + timeout;
+        let mut deadline = LogicalDeadline::new(self.sender.fabric(), timeout);
         let mut st = self.ctl.lock();
         loop {
             let resolved = {
@@ -1181,15 +1291,15 @@ impl PmixServer {
             if resolved {
                 break;
             }
-            if self.ctl_cv.wait_until(&mut st, deadline).timed_out() {
-                // Deadline hit: re-check once (the last reply may have
-                // raced the wakeup), then classify stragglers as timed out.
-                let _ = st
-                    .invites
-                    .get(name)
-                    .ok_or_else(|| PmixError::NotFound(format!("invite {name}")))?;
+            if deadline.expired() {
+                // Budget spent and the fabric is quiescent — no reply can
+                // still be on its way. Classify stragglers as timed out.
                 break;
             }
+            // Poll in short slices: a reply wakes the condvar immediately,
+            // an injected delay shows up as in-flight fabric traffic that
+            // defers expiry (see [`LogicalDeadline`]).
+            let _ = self.ctl_cv.wait_for(&mut st, LOGICAL_POLL);
         }
         let inv = st.invites.remove(name).expect("checked above");
         let outcomes: Vec<(ProcId, InviteOutcome)> = {
@@ -1230,9 +1340,9 @@ impl PmixServer {
         }
         let pgcid = if inv.request_pgcid {
             // The RM fetch gets its own full budget: when invitees timed
-            // out the original deadline has already passed, yet the partial
-            // group still needs its PGCID.
-            Some(self.fetch_pgcid_blocking(deadline.max(Instant::now() + timeout))?)
+            // out the original budget has already been spent, yet the
+            // partial group still needs its PGCID.
+            Some(self.fetch_pgcid_blocking(timeout)?)
         } else {
             None
         };
@@ -1245,8 +1355,10 @@ impl PmixServer {
 
     /// Synchronous PGCID fetch from the RM (used by the async-construct
     /// finalize path, outside any collective op). Pool-aware: a pooled
-    /// surplus id is used before any RM traffic happens.
-    fn fetch_pgcid_blocking(&self, deadline: Instant) -> Result<u64> {
+    /// surplus id is used before any RM traffic happens. The wait runs on
+    /// a [`LogicalDeadline`], so a chaos-delayed RM reply defers expiry
+    /// rather than racing a wall clock.
+    fn fetch_pgcid_blocking(&self, timeout: Duration) -> Result<u64> {
         if let Some(pgcid) = self.pgcid_pool.lock().pop_front() {
             self.metrics.pgcid_pool_hits.inc();
             return Ok(pgcid);
@@ -1255,6 +1367,7 @@ impl PmixServer {
         if rm == self.sender.id() {
             return Ok(self.rm_allocate_pgcid_block(1));
         }
+        let mut deadline = LogicalDeadline::new(self.sender.fabric(), timeout);
         // Reuse the dmodex slot table of kvs shard 0 for the scalar reply;
         // the token's shard encoding routes the PgcidReply there.
         let kshard = &self.kvs_shards[0];
@@ -1273,10 +1386,11 @@ impl PmixServer {
                 ks.dmodex_waiting.remove(&token);
                 return Ok(v);
             }
-            if kshard.cv.wait_until(&mut ks, deadline).timed_out() {
+            if deadline.expired() {
                 ks.dmodex_waiting.remove(&token);
                 return Err(PmixError::Timeout);
             }
+            let _ = kshard.cv.wait_for(&mut ks, LOGICAL_POLL);
         }
     }
 

@@ -71,7 +71,52 @@ impl PmixUniverse {
             servers.push(server);
         }
 
-        // Failure bridge: fabric deaths -> ProcFailed at every server.
+        // Pset-change bridge: every registry change becomes a `pset.update`
+        // span + obs event and fans out synchronously to every server's
+        // subscribers. The listener runs under the registry's emission
+        // lock, so subscribers observe changes in strict epoch order. The
+        // span parents under the mutator's context and its own context is
+        // forwarded on the event, closing the `pset.update →
+        // session.rebuild` causal chain.
+        {
+            let obs = fabric.obs().clone();
+            let servers_l = servers.clone();
+            registry.add_pset_listener(Box::new(move |change| {
+                let kind = match change.kind {
+                    crate::nspace::PsetChangeKind::Defined => "defined",
+                    crate::nspace::PsetChangeKind::Membership => "membership",
+                    crate::nspace::PsetChangeKind::Deleted => "deleted",
+                };
+                let mut span = obs.span_with_parent(
+                    "registry",
+                    "pset.update",
+                    &format!("{}@{}", change.name, change.epoch),
+                    change.ctx,
+                );
+                span.add_work(change.members.len() as u64);
+                let ctx = span.context();
+                span.end();
+                obs.event(
+                    "registry",
+                    "pmix",
+                    "pset.update",
+                    vec![
+                        ("pset".into(), change.name.as_str().into()),
+                        ("epoch".into(), change.epoch.into()),
+                        ("kind".into(), kind.into()),
+                        ("members".into(), (change.members.len() as u64).into()),
+                    ],
+                );
+                let relayed = crate::nspace::PsetChange { ctx: Some(ctx), ..change.clone() };
+                for s in &servers_l {
+                    s.handle_pset_change(&relayed);
+                }
+            }));
+        }
+
+        // Failure bridge: fabric deaths -> ProcFailed at every server,
+        // then the dead process's psets shrink around it (so subscribers
+        // rebuilding from the event already see the server-side death).
         // Exits when a *server* endpoint dies, which only happens at
         // universe teardown.
         let mut watcher = fabric.watch_failures();
@@ -91,6 +136,7 @@ impl PmixUniverse {
                             for s in &servers_w {
                                 s.on_proc_failed(&proc);
                             }
+                            let _ = registry_w.remove_from_psets(&proc, None);
                         }
                     }
                 })

@@ -23,6 +23,15 @@ pub enum PmixValue {
     ProcList(Vec<ProcId>),
     /// A list of strings (pset names).
     StrList(Vec<String>),
+    /// A proc list stamped with the registry epoch it was read at.
+    /// Membership queries return this so clients can detect torn reads
+    /// against a names/count answer taken at a different epoch.
+    VersionedProcList {
+        /// Global pset-registry epoch at the time of the read.
+        epoch: u64,
+        /// The membership at that epoch.
+        members: Vec<ProcId>,
+    },
 }
 
 impl PmixValue {
@@ -51,10 +60,20 @@ impl PmixValue {
         }
     }
 
-    /// Interpret as a proc list, if possible.
+    /// Interpret as a proc list, if possible. Versioned lists answer too:
+    /// callers that don't care about the epoch see just the members.
     pub fn as_proc_list(&self) -> Option<&[ProcId]> {
         match self {
             PmixValue::ProcList(v) => Some(v),
+            PmixValue::VersionedProcList { members, .. } => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an epoch-stamped proc list, if possible.
+    pub fn as_versioned_proc_list(&self) -> Option<(u64, &[ProcId])> {
+        match self {
+            PmixValue::VersionedProcList { epoch, members } => Some((*epoch, members)),
             _ => None,
         }
     }
@@ -101,6 +120,11 @@ impl From<Vec<u8>> for PmixValue {
         PmixValue::Bytes(v)
     }
 }
+impl From<Vec<ProcId>> for PmixValue {
+    fn from(v: Vec<ProcId>) -> Self {
+        PmixValue::ProcList(v)
+    }
+}
 
 /// Well-known PMIx attribute/query keys used by this reproduction.
 pub mod keys {
@@ -120,6 +144,14 @@ pub mod keys {
     pub const QUERY_PSET_NAMES: &str = "pmix.qry.psets";
     /// Query: membership of one process set (passed with the pset name).
     pub const QUERY_PSET_MEMBERSHIP: &str = "pmix.qry.psetmems";
+    /// Query: current global pset-registry epoch.
+    pub const QUERY_PSET_EPOCH: &str = "pmix.qry.psetepoch";
+    /// Event payload: name of the pset a change event is about.
+    pub const PSET_NAME: &str = "pmix.pset.name";
+    /// Event payload: registry epoch at which the change took effect.
+    pub const PSET_EPOCH: &str = "pmix.pset.epoch";
+    /// Event payload: pset membership after the change.
+    pub const PSET_MEMBERS: &str = "pmix.pset.members";
 }
 
 #[cfg(test)]

@@ -250,6 +250,105 @@ fn pset_queries_stay_consistent_while_jobs_churn() {
 }
 
 #[test]
+fn membership_query_is_epoch_consistent_with_its_batch() {
+    // Regression: a membership query batched with PMIX_QUERY_PSET_EPOCH must
+    // be answered from the *same* registry snapshot, and the membership
+    // answer must carry that snapshot's epoch. Before the fix, membership
+    // re-read the live registry per key, so a concurrent update could slip
+    // between the epoch read and the membership read (a torn batch), and the
+    // answer was an unversioned list the caller could not even check.
+    use pmix::query::{query_info, Query};
+    use pmix::value::keys;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const PSET: &str = "app://flux";
+    let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
+    let procs = spawn_procs(&uni, "job", 2);
+    let c = uni.client_for(&procs[0]).unwrap();
+    uni.registry().define_pset(PSET, vec![procs[0].clone()]);
+
+    // Churn: alternate the membership between one and two procs. This is
+    // the only pset that ever changes, so its entry epoch tracks the global
+    // registry epoch exactly — any disagreement inside one batch is a torn
+    // read, not legitimate drift.
+    let stop = Arc::new(AtomicBool::new(false));
+    let uni2 = uni.clone();
+    let stop2 = stop.clone();
+    let (p0, p1) = (procs[0].clone(), procs[1].clone());
+    let churn = std::thread::spawn(move || {
+        let mut wide = true;
+        while !stop2.load(Ordering::Relaxed) {
+            let members = if wide {
+                vec![p0.clone(), p1.clone()]
+            } else {
+                vec![p0.clone()]
+            };
+            uni2.registry().update_pset_membership(PSET, members, None).unwrap();
+            wide = !wide;
+        }
+    });
+
+    for _ in 0..400 {
+        let out = query_info(
+            &c,
+            &[
+                Query::key(keys::QUERY_PSET_EPOCH),
+                Query::with_qualifier(keys::QUERY_PSET_MEMBERSHIP, PSET),
+            ],
+        )
+        .unwrap();
+        let batch_epoch = out[0].as_u64().unwrap();
+        let (member_epoch, members) =
+            out[1].as_versioned_proc_list().expect("membership is versioned");
+        assert_eq!(
+            member_epoch, batch_epoch,
+            "membership answered from a different snapshot than its batch"
+        );
+        assert!(members.len() == 1 || members.len() == 2);
+        assert_eq!(members[0], procs[0], "stable member always first");
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+}
+
+#[test]
+fn delayed_fabric_defers_invite_deadline() {
+    // Regression: invite/join deadlines are *logical*, not wall-clock. A
+    // chaos-delayed fabric keeps the join in flight past the caller's wall
+    // budget; the deadline must observe the in-flight traffic and defer
+    // expiry instead of reporting TimedOut for an invitee that did answer.
+    // Before the fix this returned PmixError::Timeout after ~40ms even
+    // though the accept was already on the wire.
+    use simnet::inject::{FaultAction, FaultHook, FaultVerdict, MsgView};
+
+    struct CrossNodeDelay(Duration);
+    impl FaultHook for CrossNodeDelay {
+        fn on_message(&self, msg: &MsgView) -> FaultVerdict {
+            match (msg.src_node, msg.dst_node) {
+                (Some(a), Some(b)) if a != b => FaultAction::Delay(self.0).into(),
+                _ => FaultVerdict::deliver(),
+            }
+        }
+    }
+
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+    let procs = spawn_procs(&uni, "job", 2);
+    uni.fabric()
+        .set_fault_hook(Some(Arc::new(CrossNodeDelay(Duration::from_millis(150)))));
+    let c0 = uni.client_for(&procs[0]).unwrap();
+    c0.group_invite("slow-join", &procs[1..], &GroupDirectives::for_mpi()).unwrap();
+    // The invitee accepts immediately; its accept crosses nodes and spends
+    // ~150ms in flight — well past the 40ms wall budget below.
+    uni.client_for(&procs[1]).unwrap().group_join("slow-join", &procs[0], true).unwrap();
+    let g = c0
+        .group_invite_wait("slow-join", Duration::from_millis(40))
+        .expect("logical deadline defers while the accept is in flight");
+    assert_eq!(g.members(), &[procs[0].clone(), procs[1].clone()]);
+    assert!(g.pgcid().is_some());
+    uni.fabric().set_fault_hook(None);
+}
+
+#[test]
 fn duplicate_invite_name_rejected() {
     let uni = PmixUniverse::new(SimTestbed::tiny(1, 2));
     let procs = spawn_procs(&uni, "job", 2);

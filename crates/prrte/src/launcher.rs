@@ -2,11 +2,13 @@
 
 use crate::ctx::ProcCtx;
 use crate::job::{JobSpec, MapBy};
+use parking_lot::Mutex;
 use pmix::{PmixUniverse, ProcId, Rank};
 use simnet::SimTestbed;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 static JOB_COUNTER: AtomicU64 = AtomicU64::new(1);
 
@@ -112,39 +114,18 @@ impl Launcher {
         let mut spawn_span =
             obs.span_with_parent("launcher", "launch.spawn", nspace, Some(launch_ctx));
         spawn_span.add_work(spec.np as u64);
-        let body = Arc::new(body);
-        let mut threads = Vec::with_capacity(spec.np as usize);
+        let inner = Arc::new(JobInner {
+            nspace: nspace.to_owned(),
+            universe: self.universe.clone(),
+            body: Arc::new(body),
+            map_by: spec.map_by,
+            spawn_cost,
+            launch_ctx,
+            threads: Mutex::new(Vec::with_capacity(spec.np as usize)),
+            next_rank: AtomicU32::new(spec.np),
+        });
         for (rank, ep) in endpoints.into_iter().enumerate() {
-            let proc = ProcId::new(nspace, rank as Rank);
-            let universe = self.universe.clone();
-            let body = body.clone();
-            let np = spec.np;
-            let handle = std::thread::Builder::new()
-                .name(format!("{proc}"))
-                .spawn(move || {
-                    if !spawn_cost.is_zero() {
-                        std::thread::sleep(spawn_cost);
-                    }
-                    // The rank's root span: ambient for the whole body, so
-                    // every span the rank opens lands in the job's trace.
-                    let rank_span = universe.fabric().obs().span_with_parent(
-                        &proc.to_string(),
-                        "rank.main",
-                        "",
-                        Some(launch_ctx),
-                    );
-                    obs::trace::set_ambient(&rank_span);
-                    let pmix = universe
-                        .client_for(&proc)
-                        .expect("process registered before spawn");
-                    let ctx = ProcCtx::new(proc, np, ep, pmix, universe);
-                    let out = body(ctx);
-                    obs::trace::clear_ambient();
-                    rank_span.end();
-                    out
-                })
-                .expect("spawn process thread");
-            threads.push(handle);
+            inner.spawn_rank_thread(rank as Rank, ep, spec.np);
         }
         spawn_span.end();
         spawn_ns.record(t_spawn.elapsed());
@@ -154,52 +135,268 @@ impl Launcher {
             "launch.spawned",
             vec![("nspace".into(), nspace.into())],
         );
-        JobHandle {
-            nspace: nspace.to_owned(),
-            universe: self.universe.clone(),
-            threads,
-            launch: Some(launch),
+        JobHandle { inner, launch: Some(launch) }
+    }
+}
+
+/// State shared between a [`JobHandle`] and the [`JobCtl`]s cloned off it:
+/// everything needed to start more rank threads after launch.
+struct JobInner<T> {
+    nspace: String,
+    universe: Arc<PmixUniverse>,
+    body: Arc<dyn Fn(ProcCtx) -> T + Send + Sync>,
+    map_by: MapBy,
+    spawn_cost: Duration,
+    launch_ctx: obs::TraceContext,
+    /// Live rank threads, keyed by rank so retire can drain a subset.
+    threads: Mutex<Vec<(Rank, JoinHandle<T>)>>,
+    /// Next rank id to assign when the job grows (dense numbering).
+    next_rank: AtomicU32,
+}
+
+impl<T: Send + 'static> JobInner<T> {
+    /// Start one rank thread and record its handle.
+    fn spawn_rank_thread(self: &Arc<Self>, rank: Rank, ep: simnet::Endpoint, np: u32) {
+        let proc = ProcId::new(self.nspace.as_str(), rank);
+        let universe = self.universe.clone();
+        let body = self.body.clone();
+        let spawn_cost = self.spawn_cost;
+        let launch_ctx = self.launch_ctx;
+        let handle = std::thread::Builder::new()
+            .name(format!("{proc}"))
+            .spawn(move || {
+                if !spawn_cost.is_zero() {
+                    std::thread::sleep(spawn_cost);
+                }
+                // The rank's root span: ambient for the whole body, so
+                // every span the rank opens lands in the job's trace.
+                let rank_span = universe.fabric().obs().span_with_parent(
+                    &proc.to_string(),
+                    "rank.main",
+                    "",
+                    Some(launch_ctx),
+                );
+                obs::trace::set_ambient(&rank_span);
+                let pmix = universe
+                    .client_for(&proc)
+                    .expect("process registered before spawn");
+                let ctx = ProcCtx::new(proc, np, ep, pmix, universe);
+                let out = body(ctx);
+                obs::trace::clear_ambient();
+                rank_span.end();
+                out
+            })
+            .expect("spawn process thread");
+        self.threads.lock().push((rank, handle));
+    }
+}
+
+fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// A cloneable control handle for a running job: grow it with
+/// [`JobCtl::spawn_ranks`], drain ranks gracefully with
+/// [`JobCtl::retire_ranks`]. The runtime analog of `prun --dvm` attach.
+pub struct JobCtl<T> {
+    inner: Arc<JobInner<T>>,
+}
+
+impl<T> Clone for JobCtl<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<T: Send + 'static> JobCtl<T> {
+    /// The job's namespace.
+    pub fn nspace(&self) -> &str {
+        &self.inner.nspace
+    }
+
+    /// Start `count` new ranks, continuing the job's dense rank numbering.
+    ///
+    /// The new processes are mapped with the job's original policy
+    /// (wrapping over the allocation when ranks exceed slots), registered
+    /// with PMIx, and — if `pset` is given — appended to that pset's
+    /// membership *before* their bodies start, so the membership-change
+    /// event and the newcomers' own registry reads agree on one epoch.
+    /// Returns the new rank ids.
+    pub fn spawn_ranks(&self, count: u32, pset: Option<&str>) -> Vec<Rank> {
+        let inner = &self.inner;
+        let universe = &inner.universe;
+        let cluster = universe.testbed().cluster.clone();
+        let total = cluster.total_slots();
+        let obs = universe.fabric().obs();
+        let start = inner.next_rank.fetch_add(count, Ordering::SeqCst);
+        let np_now = start + count;
+        let mut span =
+            obs.span_with_parent("launcher", "job.grow", &inner.nspace, Some(inner.launch_ctx));
+        span.add_work(count as u64);
+        let grow_ctx = span.context();
+        let mut new_ranks = Vec::with_capacity(count as usize);
+        let mut endpoints = Vec::with_capacity(count as usize);
+        for rank in start..start + count {
+            let slot = rank % total;
+            let node = match inner.map_by {
+                MapBy::Slot => cluster.node_of_slot(slot),
+                MapBy::Node => cluster.node_of_slot_by_node(slot),
+            };
+            let ep = universe.fabric().register(node);
+            let proc = ProcId::new(inner.nspace.as_str(), rank);
+            universe.register_proc(proc, &ep);
+            endpoints.push((rank, ep));
+            new_ranks.push(rank);
+        }
+        if let Some(name) = pset {
+            let registry = universe.registry();
+            let (_, old) = registry
+                .pset_members_versioned(name)
+                .expect("spawn_ranks into unknown pset");
+            let mut members = old.as_ref().clone();
+            members.extend(new_ranks.iter().map(|r| ProcId::new(inner.nspace.as_str(), *r)));
+            registry
+                .update_pset_membership(name, members, Some(grow_ctx))
+                .expect("spawn_ranks into unknown pset");
+        }
+        for (rank, ep) in endpoints {
+            inner.spawn_rank_thread(rank, ep, np_now);
+        }
+        obs.counter("launcher", "prrte", "procs_launched").add(count as u64);
+        obs.counter("launcher", "prrte", "ranks_grown").add(count as u64);
+        span.end();
+        obs.event(
+            "launcher",
+            "prrte",
+            "job.grow",
+            vec![
+                ("nspace".into(), inner.nspace.as_str().into()),
+                ("count".into(), (count as u64).into()),
+                ("np".into(), (np_now as u64).into()),
+            ],
+        );
+        new_ranks
+    }
+
+    /// Gracefully drain `ranks`: shrink `pset` so the victims (and every
+    /// subscriber) observe the membership change, wait for their bodies to
+    /// return, then deregister them from the namespace.
+    ///
+    /// Unlike [`JobHandle::kill_rank`] this produces **no** failure event —
+    /// the fabric endpoint is never killed — so peers must rely on the pset
+    /// change, not death notification, to stop addressing retired ranks.
+    /// Returns the retired ranks' results.
+    pub fn retire_ranks(&self, ranks: &[Rank], pset: Option<&str>) -> Result<Vec<T>, String> {
+        let inner = &self.inner;
+        let universe = &inner.universe;
+        let obs = universe.fabric().obs();
+        let mut span = obs.span_with_parent(
+            "launcher",
+            "job.shrink",
+            &inner.nspace,
+            Some(inner.launch_ctx),
+        );
+        span.add_work(ranks.len() as u64);
+        let shrink_ctx = span.context();
+        let retired: Vec<ProcId> = ranks
+            .iter()
+            .map(|r| ProcId::new(inner.nspace.as_str(), *r))
+            .collect();
+        if let Some(name) = pset {
+            let registry = universe.registry();
+            let (_, old) = registry
+                .pset_members_versioned(name)
+                .expect("retire_ranks from unknown pset");
+            let members: Vec<ProcId> =
+                old.iter().filter(|p| !retired.contains(p)).cloned().collect();
+            registry
+                .update_pset_membership(name, members, Some(shrink_ctx))
+                .expect("retire_ranks from unknown pset");
+        }
+        // The membership event is the drain signal: the victims' bodies see
+        // themselves gone from the pset and return. Collect their threads.
+        let handles: Vec<(Rank, JoinHandle<T>)> = {
+            let mut th = inner.threads.lock();
+            let (gone, keep) = th.drain(..).partition(|(r, _)| ranks.contains(r));
+            *th = keep;
+            gone
+        };
+        let mut out = Vec::with_capacity(handles.len());
+        let mut first_panic = None;
+        for (rank, h) in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(format!("rank {rank} panicked: {}", panic_msg(e)));
+                    }
+                }
+            }
+        }
+        for p in &retired {
+            universe.registry().deregister_proc(p);
+        }
+        obs.counter("launcher", "prrte", "ranks_retired").add(ranks.len() as u64);
+        span.end();
+        obs.event(
+            "launcher",
+            "prrte",
+            "job.shrink",
+            vec![
+                ("nspace".into(), inner.nspace.as_str().into()),
+                ("count".into(), (ranks.len() as u64).into()),
+            ],
+        );
+        match first_panic {
+            None => Ok(out),
+            Some(p) => Err(p),
         }
     }
 }
 
 /// A running job: join it to collect per-rank results.
 pub struct JobHandle<T> {
-    nspace: String,
-    universe: Arc<PmixUniverse>,
-    threads: Vec<JoinHandle<T>>,
+    inner: Arc<JobInner<T>>,
     /// The job's root trace span; ended when the job is joined.
     launch: Option<obs::Span>,
 }
 
-impl<T> JobHandle<T> {
+impl<T: Send + 'static> JobHandle<T> {
     /// The job's namespace.
     pub fn nspace(&self) -> &str {
-        &self.nspace
+        &self.inner.nspace
+    }
+
+    /// A cloneable control handle for growing/shrinking this job while it
+    /// runs.
+    pub fn ctl(&self) -> JobCtl<T> {
+        JobCtl { inner: self.inner.clone() }
     }
 
     /// Kill one rank of this job (fault injection).
     pub fn kill_rank(&self, rank: Rank) {
-        let proc = ProcId::new(self.nspace.as_str(), rank);
-        let _ = self.universe.kill_proc(&proc);
+        let proc = ProcId::new(self.inner.nspace.as_str(), rank);
+        let _ = self.inner.universe.kill_proc(&proc);
     }
 
-    /// Wait for every rank; returns rank-ordered results, or the panic
-    /// message of the first rank that panicked.
+    /// Wait for every remaining rank; returns rank-ordered results, or the
+    /// panic message of the first rank that panicked. Ranks already drained
+    /// by [`JobCtl::retire_ranks`] are not included.
     pub fn join(self) -> Result<Vec<T>, String> {
-        let mut out = Vec::with_capacity(self.threads.len());
+        let mut threads: Vec<(Rank, JoinHandle<T>)> =
+            std::mem::take(&mut *self.inner.threads.lock());
+        threads.sort_by_key(|(r, _)| *r);
+        let mut out = Vec::with_capacity(threads.len());
         let mut first_panic = None;
-        for (rank, t) in self.threads.into_iter().enumerate() {
+        for (rank, t) in threads {
             match t.join() {
                 Ok(v) => out.push(v),
                 Err(e) => {
                     if first_panic.is_none() {
-                        let msg = e
-                            .downcast_ref::<String>()
-                            .cloned()
-                            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        first_panic = Some(format!("rank {rank} panicked: {msg}"));
+                        first_panic = Some(format!("rank {rank} panicked: {}", panic_msg(e)));
                     }
                 }
             }
@@ -208,7 +405,10 @@ impl<T> JobHandle<T> {
         if let Some(span) = self.launch {
             span.end();
         }
-        self.universe.registry().deregister_namespace(&self.nspace);
+        self.inner
+            .universe
+            .registry()
+            .deregister_namespace(&self.inner.nspace);
         match first_panic {
             None => Ok(out),
             Some(p) => Err(p),
@@ -323,6 +523,55 @@ mod tests {
         let err = res.unwrap_err();
         assert!(err.contains("rank 1"));
         assert!(err.contains("deliberate"));
+    }
+
+    #[test]
+    fn grow_and_retire_ranks() {
+        use pmix::value::keys;
+        let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+        let spec = JobSpec::new(2).with_pset("app://dyn", vec![0, 1]);
+        // Each rank drains pset events until it observes itself absent from
+        // the pset, then returns (rank, epoch at exit).
+        let handle = launcher.spawn_named("dynjob", spec, |ctx| {
+            let me = ctx.proc().clone();
+            let events = ctx.pmix().watch_psets();
+            loop {
+                let ev = events
+                    .next_timeout(Duration::from_secs(10))
+                    .expect("pset event before timeout");
+                if ev.get(keys::PSET_NAME).and_then(|v| v.as_str()) != Some("app://dyn") {
+                    continue;
+                }
+                let epoch = ev.get(keys::PSET_EPOCH).and_then(|v| v.as_u64()).unwrap();
+                let members = ev.get(keys::PSET_MEMBERS).and_then(|v| v.as_proc_list()).unwrap();
+                if !members.contains(&me) {
+                    return (ctx.rank(), epoch);
+                }
+            }
+        });
+        let ctl = handle.ctl();
+        let grown = ctl.spawn_ranks(2, Some("app://dyn"));
+        assert_eq!(grown, vec![2, 3]);
+        let mut first = ctl.retire_ranks(&[1, 3], Some("app://dyn")).unwrap();
+        first.sort();
+        assert_eq!(first.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![1, 3]);
+        // Retirement is graceful: no rank died, so the namespace still
+        // resolves the survivors and the pset holds exactly ranks 0 and 2.
+        let members = launcher
+            .universe()
+            .registry()
+            .pset_members("app://dyn")
+            .unwrap();
+        assert_eq!(
+            members,
+            vec![ProcId::new("dynjob", 0), ProcId::new("dynjob", 2)]
+        );
+        let mut rest = ctl.retire_ranks(&[0, 2], Some("app://dyn")).unwrap();
+        rest.sort();
+        assert_eq!(rest.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![0, 2]);
+        // Later retirees exited at a strictly later epoch.
+        assert!(rest[0].1 > first[1].1);
+        assert!(handle.join().unwrap().is_empty());
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod launcher;
 
 pub use ctx::ProcCtx;
 pub use job::{JobSpec, MapBy};
-pub use launcher::{JobHandle, Launcher};
+pub use launcher::{JobCtl, JobHandle, Launcher};

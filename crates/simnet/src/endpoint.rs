@@ -189,6 +189,12 @@ impl EndpointSender {
     pub fn obs(&self) -> Arc<obs::Registry> {
         self.fabric.obs().clone()
     }
+
+    /// A cloneable handle to the fabric this sender sends on (quiescence
+    /// probes for logical-time deadlines).
+    pub fn fabric(&self) -> crate::fabric::Fabric {
+        crate::fabric::Fabric::from_core(self.fabric.clone())
+    }
 }
 
 impl std::fmt::Debug for EndpointSender {

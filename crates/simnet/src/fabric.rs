@@ -146,6 +146,11 @@ pub struct FabricCore {
     // `NEXT_ENDPOINT_ID` is process-global, so raw ids shift between runs
     // when other fabrics coexist; ids relative to this base do not.
     base_endpoint: AtomicU64,
+    // Logical-activity clock: ticks on every accepted send and every
+    // completed delivery (including pump deliveries to dead destinations).
+    // Protocol-level deadlines poll it together with `in_flight` to decide
+    // "the fabric has quiesced" without consulting the wall clock.
+    activity: AtomicU64,
 }
 
 impl FabricCore {
@@ -156,6 +161,7 @@ impl FabricCore {
     }
 
     pub(crate) fn send(&self, env: Envelope) -> Result<(), SendError> {
+        self.activity.fetch_add(1, Ordering::Relaxed);
         if !self.cost.send_overhead.is_zero() {
             std::thread::sleep(self.cost.send_overhead);
         }
@@ -271,6 +277,7 @@ impl FabricCore {
             if !has_pending {
                 for _ in 0..copies {
                     let _ = dst_tx.send(env.clone());
+                    self.activity.fetch_add(1, Ordering::Relaxed);
                 }
                 return Ok(());
             }
@@ -347,6 +354,7 @@ impl Fabric {
             hook: RwLock::new(None),
             hook_seq: Mutex::new(HashMap::new()),
             base_endpoint: AtomicU64::new(0),
+            activity: AtomicU64::new(0),
         });
 
         let pump_core = Arc::downgrade(&core);
@@ -467,6 +475,20 @@ impl Fabric {
         }
     }
 
+    /// Monotonic logical-activity clock: ticks on every accepted send and
+    /// every completed delivery. Two equal readings with [`Fabric::in_flight`]
+    /// at zero between them mean no message moved in the interval — the
+    /// quiescence test protocol deadlines use instead of wall time.
+    pub fn activity(&self) -> u64 {
+        self.0.activity.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages currently held by the delivery pump (scheduled,
+    /// chaos-delayed or bandwidth-delayed, not yet handed to a mailbox).
+    pub fn in_flight(&self) -> usize {
+        self.0.pump.state.lock().queue.len()
+    }
+
     /// Block until the pump queue is empty (useful in tests).
     pub fn quiesce(&self) {
         loop {
@@ -520,12 +542,16 @@ fn pump_loop(pump: Arc<Pump>, core: std::sync::Weak<FabricCore>) {
             }
         };
         // Deliver outside the lock. Dead destinations drop silently: the
-        // failure event already told interested parties.
+        // failure event already told interested parties. Either way the
+        // message leaves the in-flight set, which is an activity tick.
         if let Some(core) = core.upgrade() {
-            let map = core.registry.map.read();
-            if let Some(entry) = map.get(&env.dst) {
-                let _ = entry.tx.send(env);
+            {
+                let map = core.registry.map.read();
+                if let Some(entry) = map.get(&env.dst) {
+                    let _ = entry.tx.send(env);
+                }
             }
+            core.activity.fetch_add(1, Ordering::Relaxed);
         } else {
             return;
         }

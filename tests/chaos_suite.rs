@@ -281,6 +281,73 @@ fn run_partition(seed: u64) -> RunReport {
     report
 }
 
+/// Elastic: pset churn (grow, kill, graceful retire, delete) under delayed
+/// inter-server traffic. Every surviving rank follows the pset through its
+/// epochs with [`ElasticComm`] rebuilds; the epoch-monotonicity,
+/// rebuild-epoch and stale-epoch invariants then audit the whole run.
+fn run_elastic(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::{ElasticComm, Rebuild};
+    use std::sync::mpsc;
+
+    const PSET: &str = "app://chaos-elastic";
+    const STEP: Duration = Duration::from_secs(20);
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Delay,
+            RuleScope::pair_within(1, 3),
+            SeqWindow::first(2),
+        )
+        .with_delay_ms(20)],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 4), plan);
+    let nspace = format!("chaos-elastic-{seed}");
+    let (tx, rx) = mpsc::channel::<(u32, u64, u32)>();
+    let handle = world.launcher().spawn_named(
+        &nspace,
+        JobSpec::new(4).with_pset(PSET, vec![0, 1, 2, 3]),
+        move |ctx| {
+            let session = new_session(&ctx);
+            let mut ec = ElasticComm::establish(&session, PSET, STEP).unwrap();
+            loop {
+                let comm = ec.comm().expect("member has a communicator");
+                let sum = coll::allreduce_t(comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+                tx.send((ctx.rank(), ec.epoch(), sum)).unwrap();
+                match ec.next_rebuild(STEP) {
+                    Ok(Rebuild::Rebuilt { .. }) => continue,
+                    Ok(Rebuild::Retired { .. }) | Ok(Rebuild::Deleted { .. }) => break,
+                    Err(e) => panic!("rank {} rebuild failed: {e}", ctx.rank()),
+                }
+            }
+            session.finalize().unwrap();
+            ctx.rank()
+        },
+    );
+    let ctl = handle.ctl();
+    let expect = |n: usize, epoch: u64, sum: u32| {
+        for _ in 0..n {
+            let (rank, e, s) = rx.recv_timeout(STEP).expect("ack before timeout");
+            assert_eq!((e, s), (epoch, sum), "rank {rank} at wrong epoch/membership");
+        }
+    };
+    expect(4, 1, 4); // epoch 1: launch-time definition
+    assert_eq!(ctl.spawn_ranks(4, Some(PSET)), vec![4, 5, 6, 7]);
+    expect(8, 2, 8); // epoch 2: grown to 8
+    world.kill_proc(&ProcId::new(nspace.as_str(), 7));
+    expect(7, 3, 7); // epoch 3: failure bridge shrank the pset
+    ctl.retire_ranks(&[6], Some(PSET)).unwrap();
+    expect(6, 4, 6); // epoch 4: graceful retire
+    world.universe().registry().undefine_pset(PSET);
+    let out = handle.join().unwrap();
+    assert_eq!(out.len(), 7, "6 survivors + the killed rank's thread");
+    // Ranks joined at different epochs, so cid counters legitimately
+    // diverge — skip the symmetric cid-agreement list.
+    let report = world.finish(None, Vec::new());
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Delay));
+    report.assert_clean();
+    report
+}
+
 type Scenario = fn(u64) -> RunReport;
 
 const SCENARIOS: &[(&str, Scenario)] = &[
@@ -289,6 +356,7 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("duplicate", run_duplicate),
     ("kill", run_kill),
     ("partition", run_partition),
+    ("elastic", run_elastic),
 ];
 
 // ---------------------------------------------------------------------------
@@ -330,6 +398,13 @@ fn partition_seeds_heal_and_complete() {
     }
 }
 
+#[test]
+fn elastic_seeds_rebuild_through_churn() {
+    for seed in [61, 62, 63, 64] {
+        run_elastic(seed);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Reproducibility: the same seed yields a byte-identical fault trace.
 // ---------------------------------------------------------------------------
@@ -349,7 +424,9 @@ fn same_seed_reproduces_byte_identical_traces() {
 }
 
 // ---------------------------------------------------------------------------
-// Operator knob: CHAOS_SEEDS=1,2,3 widens the sweep without recompiling.
+// Operator knobs: CHAOS_SEEDS=1,2,3 widens the sweep without recompiling;
+// CHAOS_SCENARIOS=elastic,kill narrows it to the named scenarios (ci.sh
+// uses this to sweep the elastic churn scenario under its pinned seeds).
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -357,11 +434,25 @@ fn chaos_seeds_env_extends_the_sweep() {
     let Ok(spec) = std::env::var("CHAOS_SEEDS") else {
         return; // knob unset: covered by the pinned sweeps above
     };
+    let filter = std::env::var("CHAOS_SCENARIOS").ok();
+    let wanted: Vec<&str> = filter
+        .as_deref()
+        .map(|f| f.split(',').map(str::trim).filter(|t| !t.is_empty()).collect())
+        .unwrap_or_default();
+    for name in &wanted {
+        assert!(
+            SCENARIOS.iter().any(|(n, _)| n == name),
+            "CHAOS_SCENARIOS names an unknown scenario {name:?}"
+        );
+    }
     for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
         let seed: u64 = token
             .parse()
             .unwrap_or_else(|_| panic!("CHAOS_SEEDS entries must be u64s, got {token:?}"));
         for (name, scenario) in SCENARIOS {
+            if !wanted.is_empty() && !wanted.contains(name) {
+                continue;
+            }
             eprintln!("chaos: extra seed {seed} on scenario {name}");
             scenario(seed);
         }
