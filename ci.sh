@@ -37,23 +37,39 @@ rm -f "$trace_tmp" "$trace_tmp.flame.txt"
 # Chaos gate: the pinned-seed fault-injection sweeps (tests/chaos_suite.rs)
 # already ran as part of the workspace test pass above. The elastic churn
 # scenario (grow/kill/retire/delete under delayed inter-server traffic)
-# additionally runs here under four pinned seeds via the CHAOS_SEEDS knob,
-# exercising the epoch-monotonicity / stale-epoch / rebuild-epoch
-# invariants end to end. Override or extend the seed list by exporting
-# CHAOS_SEEDS yourself (comma-separated u64s), e.g. CHAOS_SEEDS=90,91 ./ci.sh
-echo "== elastic chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74}) =="
+# and the soak scenario (session/comm/pset churn with leak-freedom checks
+# after fault-triggered rebuilds) additionally run here under four pinned
+# seeds via the CHAOS_SEEDS knob, exercising the epoch-monotonicity /
+# stale-epoch / rebuild-epoch / resource-lifecycle invariants end to end.
+# Override or extend the lists by exporting CHAOS_SEEDS (comma-separated
+# u64s) or CHAOS_SCENARIOS yourself, e.g. CHAOS_SEEDS=90,91 ./ci.sh
+echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak}) =="
 CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
-CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
+
+# Soak gate: a smoke-sized run of the sessions-as-a-service churn harness
+# must end with the leak-freedom verdict PASS (all resource levels back to
+# the pre-churn baseline), and the same run with tombstone GC disabled must
+# demonstrably FAIL — proving the gate actually detects the leak class it
+# exists to catch rather than passing vacuously.
+echo "== soak smoke (fig_soak --waves 50, plus --no-gc negative) =="
+cargo run -q --offline --release -p bench-harness --bin fig_soak -- \
+  --waves 50 >/dev/null
+if cargo run -q --offline --release -p bench-harness --bin fig_soak -- \
+  --waves 50 --no-gc >/dev/null 2>&1; then
+  echo "soak negative check failed: --no-gc run should have leaked" >&2
+  exit 1
+fi
 
 # Perf-regression gate: bench_gate re-runs the fixed workload set and
 # diffs its deterministic report (logical critical-path costs, span/stage
 # counts, protocol counters — never wall time) against the committed
 # baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
 # regenerate the baseline after an intentional perf change with
-#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR5.json
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR6.json
 echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
 cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
-  --check BENCH_PR5.json --tol "${BENCH_TOL:-0.05}"
+  --check BENCH_PR6.json --tol "${BENCH_TOL:-0.05}"
 
 echo "CI OK"

@@ -1,20 +1,20 @@
 //! Deterministic perf-regression gate.
 //!
 //! Runs a fixed set of small workloads — one per paper figure family plus
-//! the PMIx-collective ablation, the PML handshake-cache path and the
-//! elastic pset-churn sequence — on tiny simulated testbeds and reduces
-//! each run's obs trail to **deterministic numbers only**: logical
-//! critical-path costs and span/stage counts from the causal trace (work
-//! counters, never wall time) and an allowlist of protocol counters. Two
-//! runs of the same binary produce byte-identical JSON, so the committed
-//! baseline (`BENCH_PR5.json`) acts as a perf fingerprint: a change that
-//! adds work to a hot path (an extra PGCID round trip, a redundant
-//! handshake, a new fence stage) moves a number and fails the gate instead
-//! of sliding silently into the trace.
+//! the PMIx-collective ablation, the PML handshake-cache path, the
+//! elastic pset-churn sequence and the session-churn soak — on tiny
+//! simulated testbeds and reduces each run's obs trail to **deterministic
+//! numbers only**: logical critical-path costs and span/stage counts from
+//! the causal trace (work counters, never wall time) and an allowlist of
+//! protocol counters. Two runs of the same binary produce byte-identical
+//! JSON, so the committed baseline (`BENCH_PR6.json`) acts as a perf
+//! fingerprint: a change that adds work to a hot path (an extra PGCID
+//! round trip, a redundant handshake, a new fence stage) moves a number
+//! and fails the gate instead of sliding silently into the trace.
 //!
 //! Usage:
-//!   `bench_gate --out BENCH_PR5.json`         regenerate the baseline
-//!   `bench_gate --check BENCH_PR5.json [--tol 0.05]`
+//!   `bench_gate --out BENCH_PR6.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR6.json [--tol 0.05]`
 //!                                             re-run and diff against it
 //!
 //! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
@@ -60,6 +60,15 @@ const COUNTERS: &[(&str, &str)] = &[
     ("session", "rebuilds"),
     ("prrte", "ranks_grown"),
     ("prrte", "ranks_retired"),
+    ("cid", "released"),
+    ("cid", "subfields_returned"),
+    ("cid", "subfields_recycled"),
+    ("pml", "cache_evicted"),
+    ("pmix", "pgcid_recycled"),
+    ("pmix", "psets_gced"),
+    ("pmix", "kvs_purged"),
+    ("pmix", "epochs_evicted"),
+    ("instance", "cids_leaked_at_teardown"),
 ];
 
 /// Reduce one finished run's registry to the gate's deterministic record.
@@ -279,11 +288,57 @@ fn run_elastic() -> Value {
     settle(6, 4);
     launcher.universe().registry().undefine_pset(PSET);
     handle.join().expect("elastic workload");
-    let mut record = extract(&launcher.universe().fabric().obs());
     // Whether a given data-plane send goes out eager or carries the
     // extended header races against handshake completion across rebuild
     // epochs: the split varies run to run while the total is fixed by the
     // protocol. Fold the racy pair into its deterministic sum.
+    fold_racy_data_split(extract(&launcher.universe().fabric().obs()))
+}
+
+/// Soak shape: driver-paced session/comm/pset churn waves against one
+/// persistent runtime, fully drained — fingerprints the resource-lifecycle
+/// hot path (CID release, subfield + PGCID recycling, tombstone GC). The
+/// eager/ext data split and the handshake/advert race vary run to run
+/// while their totals are protocol-fixed, so the racy pairs are folded
+/// exactly as in the elastic workload.
+fn run_soak(waves: u64) -> Value {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let registry = launcher.universe().registry();
+    let (tx, rx) = mpsc::channel::<u32>();
+    let handle = launcher.spawn_named("gate-soak", JobSpec::new(4), move |ctx| {
+        for wave in 0..waves {
+            let (session, comm) = apps::osu::bench_comm(&ctx, InitMode::Sessions, &format!("gate-soak-w{wave}"));
+            let d1 = comm.dup().expect("dup");
+            d1.free().expect("free d1");
+            let d2 = comm.dup().expect("dup recycled");
+            d2.free().expect("free d2");
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+            tx.send(ctx.rank()).expect("ack");
+        }
+    });
+    for wave in 0..waves {
+        for _ in 0..4 {
+            rx.recv_timeout(Duration::from_secs(120)).expect("wave ack");
+        }
+        let name = format!("gate-soak://w{wave}");
+        registry.define_pset(&name, vec![]);
+        registry.undefine_pset(&name);
+    }
+    handle.join().expect("soak workload");
+    fold_racy_data_split(extract(&launcher.universe().fabric().obs()))
+}
+
+/// Fold the legitimately racy eager/ext counter pair and the
+/// eager/handshake stage pair into their deterministic sums (see
+/// `run_elastic`: which flavor a data send takes races against handshake
+/// completion; the totals are fixed by the protocol).
+fn fold_racy_data_split(mut record: Value) -> Value {
     if let Value::Object(w) = &mut record {
         if let Some(Value::Object(c)) = w.get_mut("counters") {
             let eager = c.remove("pml.eager_sent").and_then(|v| v.as_u64()).unwrap_or(0);
@@ -375,6 +430,8 @@ fn main() {
     workloads.insert("pml_cache_two_comms_np2".into(), run_pml_cache());
     eprintln!("bench_gate: elastic churn point");
     workloads.insert("fig_elastic_churn_2x4".into(), run_elastic());
+    eprintln!("bench_gate: soak churn point");
+    workloads.insert("fig_soak_churn_2x2".into(), run_soak(8));
     let n_workloads = workloads.len();
 
     // Hard acceptance bound for PGCID batching: 301 PGCID-bearing group

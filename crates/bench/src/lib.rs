@@ -176,6 +176,171 @@ impl TraceSink {
     }
 }
 
+/// Shared machinery for the sessions-as-a-service soak harness
+/// (`fig_soak` and `bench_gate`'s soak workload): resource-level sampling
+/// over the obs gauges and the leak-freedom verdict the soak gates on.
+pub mod soak {
+    use serde::Serialize;
+
+    /// One reading of the per-component resource levels the lifecycle GC
+    /// is responsible for, sampled from the shared obs registry. Gauges
+    /// are *levels* (their high-water marks are tracked separately by
+    /// `obs`), so a drained runtime must show the baseline again.
+    #[derive(Clone, Copy, Debug, Serialize)]
+    pub struct LevelSample {
+        /// Churn wave at which the sample was taken.
+        pub wave: u64,
+        /// Sum of per-process communicator-table occupancy (`cid/table_used`).
+        pub cid_table_used: i64,
+        /// Sum of per-process PML handshake-cache entries (`pml/cache_entries`).
+        pub pml_cache_entries: i64,
+        /// Live psets in the namespace registry (`registry/pmix/psets_live`).
+        pub psets_live: i64,
+        /// Retained tombstones (`registry/pmix/psets_tombstoned`).
+        pub psets_tombstoned: i64,
+        /// Sum of per-shard server KVS entries (`pmix/kvs_entries`).
+        pub kvs_entries: i64,
+        /// Sum of per-server PGCID pool occupancy (`pmix/pgcid_pool_len`).
+        pub pgcid_pool: i64,
+    }
+
+    /// Sample the current resource levels.
+    pub fn sample(obs: &obs::Registry, wave: u64) -> LevelSample {
+        LevelSample {
+            wave,
+            cid_table_used: obs.sum_gauges("cid", "table_used"),
+            pml_cache_entries: obs.sum_gauges("pml", "cache_entries"),
+            psets_live: obs.gauge_value("registry", "pmix", "psets_live"),
+            psets_tombstoned: obs.gauge_value("registry", "pmix", "psets_tombstoned"),
+            kvs_entries: obs.sum_gauges("pmix", "kvs_entries"),
+            pgcid_pool: obs.sum_gauges("pmix", "pgcid_pool_len"),
+        }
+    }
+
+    /// Per-component high-water marks (peak levels over the whole run),
+    /// as `(label, peak)` rows for the soak report.
+    pub fn high_water(obs: &obs::Registry) -> Vec<(String, i64)> {
+        [
+            ("cid/table_used", obs.sum_gauge_high_water("cid", "table_used")),
+            ("pml/cache_entries", obs.sum_gauge_high_water("pml", "cache_entries")),
+            ("registry/psets_live", obs.sum_gauge_high_water("pmix", "psets_live")),
+            ("registry/psets_tombstoned", obs.sum_gauge_high_water("pmix", "psets_tombstoned")),
+            ("server/kvs_entries", obs.sum_gauge_high_water("pmix", "kvs_entries")),
+            ("server/pgcid_pool", obs.sum_gauge_high_water("pmix", "pgcid_pool_len")),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect()
+    }
+
+    /// One leak-freedom check: a drained-state value against its bound.
+    #[derive(Debug, Serialize)]
+    pub struct LeakCheck {
+        /// What is being bounded.
+        pub what: &'static str,
+        /// Observed value after the drain.
+        pub value: i64,
+        /// Largest value compatible with leak-freedom.
+        pub bound: i64,
+        /// Whether the check passed.
+        pub ok: bool,
+    }
+
+    /// The leak-freedom verdict: every per-component level must return to
+    /// its baseline once the churn drains.
+    #[derive(Debug, Serialize)]
+    pub struct LeakVerdict {
+        /// Individual checks, all of which must pass.
+        pub checks: Vec<LeakCheck>,
+        /// Conjunction of all checks.
+        pub passed: bool,
+    }
+
+    impl LeakVerdict {
+        /// Render the verdict as an aligned table plus a PASS/FAIL line.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            out.push_str(&format!("{:>34} {:>10} {:>10} {:>6}\n", "check", "value", "bound", "ok"));
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "{:>34} {:>10} {:>10} {:>6}\n",
+                    c.what,
+                    c.value,
+                    c.bound,
+                    if c.ok { "ok" } else { "LEAK" }
+                ));
+            }
+            out.push_str(&format!(
+                "leak-freedom: {}\n",
+                if self.passed { "PASS" } else { "FAIL" }
+            ));
+            out
+        }
+    }
+
+    /// Judge a drained run: `baseline` was sampled at the quiet point
+    /// before the churn started (launch-defined psets in place, no live
+    /// sessions), `fin` after the last wave drained. Communicator tables
+    /// and the PML cache must be empty, live psets and KVS entries back at
+    /// baseline, and tombstones held under `tombstone_cap` by the GC.
+    pub fn leak_verdict(
+        baseline: &LevelSample,
+        fin: &LevelSample,
+        tombstone_cap: i64,
+    ) -> LeakVerdict {
+        let checks = vec![
+            check("cid table drained", fin.cid_table_used, 0),
+            check("pml handshake cache drained", fin.pml_cache_entries, 0),
+            check("live psets at baseline", fin.psets_live, baseline.psets_live),
+            check("tombstones under GC cap", fin.psets_tombstoned, tombstone_cap),
+            check("server kvs at baseline", fin.kvs_entries, baseline.kvs_entries),
+        ];
+        let passed = checks.iter().all(|c| c.ok);
+        LeakVerdict { checks, passed }
+    }
+
+    fn check(what: &'static str, value: i64, bound: i64) -> LeakCheck {
+        LeakCheck { what, value, bound, ok: value <= bound }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn drained(wave: u64) -> LevelSample {
+            LevelSample {
+                wave,
+                cid_table_used: 0,
+                pml_cache_entries: 0,
+                psets_live: 3,
+                psets_tombstoned: 4,
+                kvs_entries: 8,
+                pgcid_pool: 16,
+            }
+        }
+
+        #[test]
+        fn verdict_passes_when_levels_return_to_baseline() {
+            let v = leak_verdict(&drained(0), &drained(100), 32);
+            assert!(v.passed, "{}", v.render());
+            assert_eq!(v.checks.len(), 5);
+        }
+
+        #[test]
+        fn verdict_fails_on_unreaped_tombstones_or_live_cids() {
+            let mut leaky = drained(100);
+            leaky.psets_tombstoned = 33;
+            let v = leak_verdict(&drained(0), &leaky, 32);
+            assert!(!v.passed);
+            assert!(v.render().contains("LEAK"));
+
+            let mut leaky = drained(100);
+            leaky.cid_table_used = 2;
+            assert!(!leak_verdict(&drained(0), &leaky, 32).passed);
+        }
+    }
+}
+
 /// Geometric mean of relative ratios (used for Fig. 5-style summaries).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {

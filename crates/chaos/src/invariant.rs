@@ -4,17 +4,20 @@
 //! partitions — must leave the stack in a state where these hold:
 //!
 //! 1. **handshake-unique** — at most one completed exCID handshake per
-//!    (process, exCID, peer); the `pml.handshake` event count matches the
-//!    `handshakes` counter.
+//!    (process, exCID, peer, cache generation); the `pml.handshake` event
+//!    count matches the `handshakes` counter. The cache generation bumps
+//!    whenever the PML evicts or invalidates a cache entry, so a repeat
+//!    handshake is legal exactly when a removal happened in between —
+//!    needed because recycled PGCIDs revisit old (exCID, peer) keys.
 //! 2. **fanout-abort-exclusive** — no server both completes (fan-out) and
 //!    aborts the same collective epoch: a failed group construct must not
 //!    leak its result (or its PGCID) to waiting clients.
 //! 3. **pgcid-agreement** — every server that fans out a given group
 //!    construct epoch reports the same PGCID and member count.
 //! 4. **pgcid-accounting** — every PGCID exposed to the stack (group
-//!    fan-outs, exCID refills) is non-zero, refill PGCIDs are distinct, and
-//!    the number of distinct PGCIDs in use never exceeds what the RM
-//!    allocated.
+//!    fan-outs, exCID refills) is non-zero, a PGCID feeds at most one refill
+//!    per lifetime (one more than its `pgcid.recycled` count), and the
+//!    number of distinct PGCIDs in use never exceeds what the RM allocated.
 //! 5. **failure-delivery** — a fresh failure watcher converges on exactly
 //!    the endpoints the run killed: nothing lost, nothing invented (this
 //!    exercises the late-subscriber replay path).
@@ -114,21 +117,26 @@ impl InvariantChecker {
 
     fn check_handshakes(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
         let events = ctx.obs.events_named("pml.handshake");
-        let mut seen: BTreeSet<(String, u64, u64, u64)> = BTreeSet::new();
+        let mut seen: BTreeSet<(String, u64, u64, u64, u64)> = BTreeSet::new();
         for e in &events {
+            // `cache_gen` distinguishes a legal re-handshake (the cached
+            // peer state was evicted or invalidated in between, bumping the
+            // generation) from a true double handshake. Events predating
+            // the attribute default to generation 0.
             let key = (
                 e.process.clone(),
                 attr_u64(e, "pgcid"),
                 attr_u64(e, "derivation"),
                 attr_u64(e, "peer"),
+                attr_u64(e, "cache_gen"),
             );
             if !seen.insert(key.clone()) {
                 out.push(Violation {
                     invariant: "handshake-unique",
                     detail: format!(
                         "process {} completed the handshake with peer {} twice \
-                         (pgcid {}, derivation {})",
-                        key.0, key.3, key.1, key.2
+                         (pgcid {}, derivation {}) within cache generation {}",
+                        key.0, key.3, key.1, key.2, key.4
                     ),
                 });
             }
@@ -221,14 +229,27 @@ impl InvariantChecker {
             used.insert(p);
             refill_pgcids.push(p);
         }
-        let mut sorted = refill_pgcids.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.len() != refill_pgcids.len() {
-            out.push(Violation {
-                invariant: "pgcid-accounting",
-                detail: "two exCID refills drew the same PGCID block".into(),
-            });
+        // A PGCID may feed one refill per *lifetime*: its first use plus one
+        // more for every time a group destruct returned it to the pool.
+        let mut refill_counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for p in &refill_pgcids {
+            *refill_counts.entry(*p).or_insert(0) += 1;
+        }
+        let mut recycled: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in ctx.obs.events_named("pgcid.recycled") {
+            *recycled.entry(attr_u64(&e, "pgcid")).or_insert(0) += 1;
+        }
+        for (p, n) in &refill_counts {
+            let allowed = 1 + recycled.get(p).copied().unwrap_or(0);
+            if *n > allowed {
+                out.push(Violation {
+                    invariant: "pgcid-accounting",
+                    detail: format!(
+                        "pgcid {p} fed {n} exCID refills but was recycled only {} time(s)",
+                        allowed - 1
+                    ),
+                });
+            }
         }
         let allocated = ctx.obs.sum_counters("pmix", "pgcid_allocated");
         if (used.len() as u64) > allocated {
@@ -425,6 +446,57 @@ mod tests {
         let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
         assert_eq!(v.len(), 1, "got: {v:?}");
         assert_eq!(v[0].invariant, "handshake-unique");
+    }
+
+    #[test]
+    fn rehandshake_across_cache_generations_is_legal() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let attrs = |generation: u64| {
+            vec![
+                ("pgcid".into(), 5u64.into()),
+                ("derivation".into(), 0u64.into()),
+                ("peer".into(), 1u64.into()),
+                ("cache_gen".into(), generation.into()),
+            ]
+        };
+        // Same (process, exCID, peer) twice — legal because an eviction
+        // bumped the generation between the two completions.
+        obs.event("ep1", "pml", "pml.handshake", attrs(0));
+        obs.event("ep1", "pml", "pml.handshake", attrs(3));
+        obs.counter("ep1", "pml", "handshakes").add(2);
+        obs.counter("server:0", "pmix", "pgcid_allocated").inc();
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "got: {v:?}");
+        // A third completion reusing generation 3 is the real bug.
+        obs.event("ep1", "pml", "pml.handshake", attrs(3));
+        obs.counter("ep1", "pml", "handshakes").inc();
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "handshake-unique");
+    }
+
+    #[test]
+    fn recycled_pgcid_may_feed_one_more_refill() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let refill = || {
+            obs.event("r0", "cid", "cid.refill", vec![("pgcid".into(), 9u64.into())]);
+        };
+        obs.counter("server:0", "pmix", "pgcid_allocated").inc();
+        refill();
+        refill();
+        // Two refills of pgcid 9 with no recycle in between: a violation.
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "pgcid-accounting");
+        // The destruct-time recycle legitimizes the reuse.
+        obs.event("server:0", "pmix", "pgcid.recycled", vec![(
+            "pgcid".into(),
+            9u64.into(),
+        )]);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "got: {v:?}");
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub enum CidOrigin {
 pub(crate) struct DerivePool {
     pub base: ExCid,
     pub state: DeriveState,
+    /// Subfield slots returned by collectively-freed derived children:
+    /// the child's exCID together with the child's *own* pool, captured at
+    /// free time. A recycled child resumes that pool rather than starting a
+    /// fresh one, so it can never re-derive a grandchild exCID that might
+    /// still be live. LIFO and fed only by the collective [`Comm::free`],
+    /// which keeps the list identical on every rank (derivation must stay
+    /// rank-symmetric).
+    pub freed: Vec<(ExCid, Arc<Mutex<DerivePool>>)>,
 }
 
 pub(crate) struct CommInner {
@@ -76,8 +84,10 @@ pub(crate) struct CommInner {
     pub dup_seq: AtomicU64,
     pub origin: CidOrigin,
     pub freed: AtomicBool,
-    /// PMIx group name backing this communicator (destructed on free).
-    pub pmix_group: Option<pmix::PmixGroup>,
+    /// The pool this communicator was derived *from* (`None` unless origin
+    /// is `Derived`): freeing the communicator returns its exCID subfield
+    /// there for recycling.
+    pub parent_pool: Mutex<Option<Arc<Mutex<DerivePool>>>>,
 }
 
 /// An MPI communicator bound to its process.
@@ -116,7 +126,11 @@ impl Comm {
         // PMIx group construction, never per dup.
         let derive = match origin {
             CidOrigin::Pgcid => excid.map(|e| {
-                Arc::new(Mutex::new(DerivePool { base: e, state: DeriveState::fresh() }))
+                Arc::new(Mutex::new(DerivePool {
+                    base: e,
+                    state: DeriveState::fresh(),
+                    freed: Vec::new(),
+                }))
             }),
             _ => None,
         };
@@ -125,6 +139,15 @@ impl Comm {
                 .obs()
                 .counter(&process.proc().to_string(), "cid", "refills")
                 .inc();
+        }
+        // Every exCID communicator holds a reference on its PGCID family;
+        // the PMIx group handle (if we own one) parks there so the *last*
+        // free of the family — base or derived — runs the collective
+        // destruct, after which the server can recycle the PGCID.
+        if let Some(e) = excid {
+            if e.pgcid != 0 {
+                process.pgcid_retain(e.pgcid, pmix_group);
+            }
         }
         Ok(Comm {
             inner: Arc::new(CommInner {
@@ -138,7 +161,7 @@ impl Comm {
                 dup_seq: AtomicU64::new(0),
                 origin,
                 freed: AtomicBool::new(false),
-                pmix_group,
+                parent_pool: Mutex::new(None),
             }),
             process,
             errh: ErrHandler::Return,
@@ -346,18 +369,31 @@ impl Comm {
         self.check_live()?;
         match self.inner.excid {
             Some(_) if self.inner.origin != CidOrigin::Builtin => {
-                // Try local derivation from the active block: initially
-                // rooted at this communicator's own exCID, and after an
-                // exhaustion-triggered refill rooted at the fresh block.
+                // Try local derivation from the active block: recycled
+                // subfields first (slots returned by freed children), then
+                // fresh derivation — initially rooted at this communicator's
+                // own exCID, and after an exhaustion-triggered refill rooted
+                // at the fresh block.
                 let pool = self.inner.derive.lock().clone();
-                let derived = pool.map(|p| {
-                    let mut pool = p.lock();
-                    let base = pool.base;
-                    try_derive_excid(&base, &mut pool.state)
+                let derived = pool.as_ref().map(|p| {
+                    let mut pl = p.lock();
+                    if let Some((excid, child_pool)) = pl.freed.pop() {
+                        return Ok((excid, child_pool, true));
+                    }
+                    let base = pl.base;
+                    try_derive_excid(&base, &mut pl.state).map(|(e, s)| {
+                        let child = Arc::new(Mutex::new(DerivePool {
+                            base: e,
+                            state: s,
+                            freed: Vec::new(),
+                        }));
+                        (e, child, false)
+                    })
                 });
                 match derived {
-                    Some(Ok((child_excid, child_state))) => {
-                        self.build_derived(child_excid, child_state)
+                    Some(Ok((child_excid, child_pool, recycled))) => {
+                        let parent = pool.expect("derivation implies a pool");
+                        self.build_derived(child_excid, child_pool, parent, recycled)
                     }
                     other => {
                         // Subfield space exhausted (or no pool at all, for a
@@ -391,13 +427,24 @@ impl Comm {
                         // second-chance derivation, and derive locally.
                         let _refill = self.inner.refill_lock.lock();
                         let pool = self.inner.derive.lock().clone();
-                        let second = pool.and_then(|p| {
-                            let mut pool = p.lock();
-                            let base = pool.base;
-                            derive_excid(&base, &mut pool.state)
+                        let second = pool.as_ref().and_then(|p| {
+                            let mut pl = p.lock();
+                            if let Some((excid, child_pool)) = pl.freed.pop() {
+                                return Some((excid, child_pool, true));
+                            }
+                            let base = pl.base;
+                            derive_excid(&base, &mut pl.state).map(|(e, s)| {
+                                let child = Arc::new(Mutex::new(DerivePool {
+                                    base: e,
+                                    state: s,
+                                    freed: Vec::new(),
+                                }));
+                                (e, child, false)
+                            })
                         });
-                        if let Some((child_excid, child_state)) = second {
-                            // Someone refilled while we waited: coalesce.
+                        if let Some((child_excid, child_pool, recycled)) = second {
+                            // Someone refilled (or freed a sibling) while we
+                            // waited: coalesce.
                             self.process
                                 .obs()
                                 .counter(
@@ -406,7 +453,13 @@ impl Comm {
                                     "refill_coalesced",
                                 )
                                 .inc();
-                            return self.build_derived(child_excid, child_state);
+                            let parent = pool.expect("second chance implies a pool");
+                            return self.build_derived(
+                                child_excid,
+                                child_pool,
+                                parent,
+                                recycled,
+                            );
                         }
                         let child = self.dup_via_group()?;
                         let refilled = child.inner.derive.lock().clone();
@@ -431,9 +484,17 @@ impl Comm {
     }
 
     /// Build a locally-derived child communicator (the zero-traffic dup):
-    /// emits the `comm.dup_derived` span, claims a local CID, and seeds the
-    /// child's own derivation pool from the derived subfield state.
-    fn build_derived(&self, child_excid: ExCid, child_state: DeriveState) -> Result<Comm> {
+    /// emits the `comm.dup_derived` span, claims a local CID, installs the
+    /// child's derivation pool (fresh, or resumed when the exCID was
+    /// recycled from a freed sibling), and records the parent pool so a
+    /// later free can return the subfield.
+    fn build_derived(
+        &self,
+        child_excid: ExCid,
+        child_pool: Arc<Mutex<DerivePool>>,
+        parent_pool: Arc<Mutex<DerivePool>>,
+        recycled: bool,
+    ) -> Result<Comm> {
         let mut span = self.process.obs().span(
             &self.process.proc().to_string(),
             "comm.dup_derived",
@@ -450,11 +511,15 @@ impl Comm {
             None,
             None,
         )?;
-        *comm.inner.derive.lock() = Some(Arc::new(Mutex::new(DerivePool {
-            base: child_excid,
-            state: child_state,
-        })));
+        *comm.inner.derive.lock() = Some(child_pool);
+        *comm.inner.parent_pool.lock() = Some(parent_pool);
         self.count_derivation();
+        if recycled {
+            self.process
+                .obs()
+                .counter(&self.process.proc().to_string(), "cid", "subfields_recycled")
+                .inc();
+        }
         Ok(comm)
     }
 
@@ -691,17 +756,52 @@ impl Comm {
         }
         self.process.pml().unregister_comm(self.inner.local_cid);
         self.process.release_cid(self.inner.local_cid);
+        self.process
+            .obs()
+            .counter(&self.process.proc().to_string(), "cid", "released")
+            .inc();
+        // Drop the PGCID-family reference WITHOUT destructing (membership
+        // diverged, the collective could never complete) and without
+        // recycling the subfield (abandonment is rank-asymmetric; the
+        // freed-list must stay identical on every rank).
+        if let Some(e) = self.inner.excid {
+            if e.pgcid != 0 {
+                drop(self.process.pgcid_release(e.pgcid));
+            }
+        }
     }
 
-    /// `MPI_Comm_free`: collective. Releases the local CID and route and
-    /// collectively destructs the backing PMIx group, if any.
+    /// `MPI_Comm_free`: collective. Releases the local CID and route,
+    /// returns a derived exCID subfield to its parent pool for recycling,
+    /// and — when this was the last live communicator of its PGCID family —
+    /// collectively destructs the backing PMIx group, letting the server
+    /// recycle the PGCID.
     pub fn free(self) -> Result<()> {
         self.check_live()?;
         self.inner.freed.store(true, Ordering::Release);
         self.process.pml().unregister_comm(self.inner.local_cid);
         self.process.release_cid(self.inner.local_cid);
-        if let Some(g) = &self.inner.pmix_group {
-            self.process.pmix().group_destruct(g, None)?;
+        let obs = self.process.obs();
+        let p = self.process.proc().to_string();
+        obs.counter(&p, "cid", "released").inc();
+        if self.inner.origin == CidOrigin::Derived {
+            if let (Some(excid), Some(parent)) =
+                (self.inner.excid, self.inner.parent_pool.lock().clone())
+            {
+                if let Some(own) = self.inner.derive.lock().clone() {
+                    if !Arc::ptr_eq(&own, &parent) {
+                        parent.lock().freed.push((excid, own));
+                        obs.counter(&p, "cid", "subfields_returned").inc();
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.inner.excid {
+            if e.pgcid != 0 {
+                if let Some(g) = self.process.pgcid_release(e.pgcid) {
+                    self.process.pmix().group_destruct(&g, None)?;
+                }
+            }
         }
         Ok(())
     }

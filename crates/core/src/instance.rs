@@ -39,8 +39,19 @@ struct Subsystem {
     cleanup: Option<Cleanup>,
 }
 
+/// Reference count of one PGCID "family": the base communicator plus every
+/// communicator whose exCID was derived (directly or transitively) from its
+/// PGCID. The PMIx group handle parks here so the *last* free — whichever
+/// member it is — runs the collective destruct, after which the server can
+/// recycle the PGCID.
+struct PgcidFamily {
+    count: u32,
+    group: Option<pmix::PmixGroup>,
+}
+
 pub(crate) struct ProcState {
     pub cid_table: CidTable,
+    pgcid_users: HashMap<u64, PgcidFamily>,
     subsystems: Vec<Subsystem>,
     /// Total live instance references (sessions + the internal WPM session).
     pub open_instances: u32,
@@ -104,6 +115,7 @@ impl MpiProcess {
             universe: ctx.universe().clone(),
             state: Mutex::new(ProcState {
                 cid_table: CidTable::new(),
+                pgcid_users: HashMap::new(),
                 subsystems: Vec::new(),
                 open_instances: 0,
                 generation: 0,
@@ -203,7 +215,30 @@ impl MpiProcess {
                 }
                 st.generation += 1;
                 st.full_cycles += 1;
+                // Teardown audit: anything still claimed here is a
+                // communicator the application never freed — surfaced as a
+                // counter so soak harnesses can gate on leak-freedom.
+                let leaked = st.cid_table.count_used();
+                let leaked_families = st.pgcid_users.len();
                 st.cid_table = CidTable::new();
+                st.pgcid_users.clear();
+                drop(st);
+                let obs = self.obs();
+                let p = self.proc.to_string();
+                if leaked > 0 || leaked_families > 0 {
+                    obs.counter(&p, "instance", "cids_leaked_at_teardown")
+                        .add(leaked as u64);
+                    obs.event(
+                        &p,
+                        "instance",
+                        "instance.teardown_leak",
+                        vec![
+                            ("leaked_cids".into(), (leaked as u64).into()),
+                            ("leaked_pgcid_families".into(), (leaked_families as u64).into()),
+                        ],
+                    );
+                }
+                obs.gauge(&p, "cid", "table_used").set(0);
             }
         }
         if !cleanups.is_empty() {
@@ -247,14 +282,34 @@ impl MpiProcess {
             .collect()
     }
 
+    /// Publish the current CID-table occupancy as a gauge (its high-water
+    /// mark is the "CID pool occupancy" column of the soak report).
+    fn publish_cid_gauge(&self, used: usize) {
+        self.obs()
+            .gauge(&self.proc.to_string(), "cid", "table_used")
+            .set(used as i64);
+    }
+
     /// Claim a specific local CID (built-in communicators).
     pub(crate) fn claim_cid(&self, idx: u16) -> Result<u16> {
-        self.state.lock().cid_table.claim(idx).map(|_| idx)
+        let used = {
+            let mut st = self.state.lock();
+            st.cid_table.claim(idx)?;
+            st.cid_table.count_used()
+        };
+        self.publish_cid_gauge(used);
+        Ok(idx)
     }
 
     /// Claim the lowest free local CID at or above `from`.
     pub(crate) fn claim_lowest_cid(&self, from: u16) -> Result<u16> {
-        self.state.lock().cid_table.claim_lowest(from)
+        let (idx, used) = {
+            let mut st = self.state.lock();
+            let idx = st.cid_table.claim_lowest(from)?;
+            (idx, st.cid_table.count_used())
+        };
+        self.publish_cid_gauge(used);
+        Ok(idx)
     }
 
     /// Lowest free CID at or above `from` without claiming (consensus).
@@ -264,7 +319,40 @@ impl MpiProcess {
 
     /// Release a local CID.
     pub(crate) fn release_cid(&self, idx: u16) {
-        self.state.lock().cid_table.release(idx);
+        let used = {
+            let mut st = self.state.lock();
+            st.cid_table.release(idx);
+            st.cid_table.count_used()
+        };
+        self.publish_cid_gauge(used);
+    }
+
+    /// Add one reference to `pgcid`'s family, parking the PMIx group handle
+    /// (when the caller owns one) for the eventual last-free destruct.
+    pub(crate) fn pgcid_retain(&self, pgcid: u64, group: Option<pmix::PmixGroup>) {
+        let mut st = self.state.lock();
+        let fam = st
+            .pgcid_users
+            .entry(pgcid)
+            .or_insert(PgcidFamily { count: 0, group: None });
+        fam.count += 1;
+        if group.is_some() {
+            fam.group = group;
+        }
+    }
+
+    /// Drop one reference from `pgcid`'s family. Returns the parked PMIx
+    /// group handle when this was the last reference — the caller then owns
+    /// the collective destruct.
+    pub(crate) fn pgcid_release(&self, pgcid: u64) -> Option<pmix::PmixGroup> {
+        let mut st = self.state.lock();
+        let fam = st.pgcid_users.get_mut(&pgcid)?;
+        fam.count = fam.count.saturating_sub(1);
+        if fam.count == 0 {
+            st.pgcid_users.remove(&pgcid).and_then(|f| f.group)
+        } else {
+            None
+        }
     }
 
     /// Guard: an MPI object call requires the library to be initialized.

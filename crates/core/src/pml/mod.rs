@@ -53,6 +53,13 @@ use std::time::Duration;
 /// Default eager/rendezvous switchover (bytes).
 pub const DEFAULT_EAGER_LIMIT: usize = 16 * 1024;
 
+/// Default bound on the handshake cache (peer endpoints). The cache is an
+/// accelerator, not a correctness structure: evicting an entry only means
+/// the next communicator to that peer re-runs the extended-header
+/// handshake. Bounding it keeps per-process PML state O(cap) under
+/// sustained session churn instead of O(distinct peers ever contacted).
+pub const DEFAULT_HANDSHAKE_CACHE_CAP: usize = 1024;
+
 /// How a send addresses the peer's communicator context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SendCid {
@@ -142,8 +149,17 @@ struct PmlState {
     next_req_id: u64,
     /// Handshake cache: peer endpoints a CID handshake has completed with
     /// (on any communicator). Entries are dropped when a send to the
-    /// endpoint fails, so chaos kills invalidate them.
+    /// endpoint fails (chaos kills invalidate them) and evicted
+    /// least-recently-used once the cache exceeds its cap.
     cache: HashSet<EndpointId>,
+    /// Recency order of `cache` (front = least recently confirmed).
+    cache_lru: VecDeque<EndpointId>,
+    /// Cache generation: bumped on *every* removal (eviction, failed-send
+    /// drop, explicit invalidation, reset). Carried on `pml.handshake`
+    /// events so the uniqueness invariant can tell a legal re-handshake
+    /// (some entry was removed in between) from a double-handshake bug
+    /// (same generation).
+    cache_gen: u64,
     /// CidAdverts that arrived before the target communicator was
     /// registered here; drained by `register_comm`.
     pending_advert: HashMap<ExCid, Vec<(CidAdvert, EndpointId)>>,
@@ -187,6 +203,10 @@ struct PmlMetrics {
     /// Cache entries dropped by explicit invalidation (departed-but-alive
     /// peers on the elastic rebuild path).
     cache_invalidated: obs::Counter,
+    /// Cache entries dropped by LRU eviction at the cap.
+    cache_evicted: obs::Counter,
+    /// Live cache size (high-water mark = peak footprint for soak audits).
+    cache_entries: obs::Gauge,
     /// Registry + process scope retained so handshake transitions can emit
     /// a structured event (the chaos invariant checker keys on it).
     obs: Arc<obs::Registry>,
@@ -209,15 +229,19 @@ impl PmlMetrics {
             adverts_sent: c("adverts_sent"),
             advert_hits: c("advert_hits"),
             cache_invalidated: c("cache_invalidated"),
+            cache_evicted: c("cache_evicted"),
+            cache_entries: obs.gauge(&process, "pml", "cache_entries"),
             obs,
             process,
         }
     }
 
     /// Record one completed handshake: the counter plus a `pml.handshake`
-    /// event identifying the exCID and peer, so an external checker can
-    /// assert the exactly-once property per (process, excid, peer).
-    fn handshake(&self, excid: ExCid, peer: u32, via: &str) {
+    /// event identifying the exCID, peer and cache generation, so an
+    /// external checker can assert the exactly-once property per
+    /// (process, excid, peer, generation) — a repeat is legal only after a
+    /// cache removal bumped the generation.
+    fn handshake(&self, excid: ExCid, peer: u32, via: &str, cache_gen: u64) {
         self.handshakes.inc();
         self.obs.event(
             &self.process,
@@ -228,6 +252,7 @@ impl PmlMetrics {
                 ("derivation".into(), excid.derivation.into()),
                 ("peer".into(), (peer as u64).into()),
                 ("via".into(), via.into()),
+                ("cache_gen".into(), cache_gen.into()),
             ],
         );
     }
@@ -239,6 +264,7 @@ pub struct Pml {
     sender: EndpointSender,
     state: Mutex<PmlState>,
     eager_limit: AtomicUsize,
+    cache_cap: AtomicUsize,
     metrics: PmlMetrics,
 }
 
@@ -252,6 +278,7 @@ impl Pml {
             sender,
             state: Mutex::new(PmlState { next_req_id: 1, ..Default::default() }),
             eager_limit: AtomicUsize::new(DEFAULT_EAGER_LIMIT),
+            cache_cap: AtomicUsize::new(DEFAULT_HANDSHAKE_CACHE_CAP),
             metrics,
         })
     }
@@ -264,6 +291,57 @@ impl Pml {
     /// Tune the eager limit (`mpi_eager_limit` info key).
     pub fn set_eager_limit(&self, bytes: usize) {
         self.eager_limit.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Bound the handshake cache to `cap` entries (≥ 1), evicting LRU
+    /// entries immediately if it is already over. Tests and soak harnesses
+    /// shrink this to force eviction churn.
+    pub fn set_handshake_cache_cap(&self, cap: usize) {
+        self.cache_cap.store(cap.max(1), Ordering::Relaxed);
+        let mut st = self.state.lock();
+        self.cache_enforce_cap(&mut st);
+    }
+
+    /// Number of peers currently held in the handshake cache.
+    pub fn handshake_cache_len(&self) -> usize {
+        self.state.lock().cache.len()
+    }
+
+    /// Insert (or refresh) `ep` in the handshake cache, then enforce the
+    /// LRU bound.
+    fn cache_insert(&self, st: &mut PmlState, ep: EndpointId) {
+        if st.cache.insert(ep) {
+            st.cache_lru.push_back(ep);
+        } else if let Some(pos) = st.cache_lru.iter().position(|e| *e == ep) {
+            st.cache_lru.remove(pos);
+            st.cache_lru.push_back(ep);
+        }
+        self.cache_enforce_cap(st);
+        self.metrics.cache_entries.set(st.cache.len() as i64);
+    }
+
+    fn cache_enforce_cap(&self, st: &mut PmlState) {
+        let cap = self.cache_cap.load(Ordering::Relaxed).max(1);
+        while st.cache.len() > cap {
+            let Some(victim) = st.cache_lru.pop_front() else { break };
+            st.cache.remove(&victim);
+            st.cache_gen += 1;
+            self.metrics.cache_evicted.inc();
+        }
+        self.metrics.cache_entries.set(st.cache.len() as i64);
+    }
+
+    /// Remove `ep` from the handshake cache, bumping the generation.
+    fn cache_remove(&self, st: &mut PmlState, ep: EndpointId) -> bool {
+        if !st.cache.remove(&ep) {
+            return false;
+        }
+        if let Some(pos) = st.cache_lru.iter().position(|e| *e == ep) {
+            st.cache_lru.remove(pos);
+        }
+        st.cache_gen += 1;
+        self.metrics.cache_entries.set(st.cache.len() as i64);
+        true
     }
 
     /// Snapshot the counters (reads the obs-backed cells; kept as a typed
@@ -356,7 +434,7 @@ impl Pml {
                     Ok(()) => self.metrics.adverts_sent.inc(),
                     // The peer died since the handshake: forget it.
                     Err(_) => {
-                        self.state.lock().cache.remove(&ep);
+                        self.cache_remove(&mut self.state.lock(), ep);
                     }
                 }
             }
@@ -402,10 +480,18 @@ impl Pml {
         }
     }
 
-    /// Drop every route (last-session cleanup).
+    /// Drop every route (last-session cleanup). The handshake cache is
+    /// emptied wholesale; the generation survives (and bumps) so handshakes
+    /// of a later session generation are distinguishable from re-handshake
+    /// bugs within one.
     pub fn reset(&self) {
         let mut st = self.state.lock();
-        *st = PmlState { next_req_id: st.next_req_id, ..Default::default() };
+        *st = PmlState {
+            next_req_id: st.next_req_id,
+            cache_gen: st.cache_gen + 1,
+            ..Default::default()
+        };
+        self.metrics.cache_entries.set(0);
     }
 
     // ------------------------------------------------------------------
@@ -551,7 +637,7 @@ impl Pml {
             }
             Err(_) => {
                 req.fail(MpiError::new(ErrClass::ProcFailed, format!("peer rank {dst_rank} is dead")));
-                self.state.lock().cache.remove(&dst_ep);
+                self.cache_remove(&mut self.state.lock(), dst_ep);
             }
         }
         Ok(req)
@@ -704,22 +790,30 @@ impl Pml {
         let mut guard = self.state.lock();
         let st = &mut *guard;
         let Some(&cid) = st.excid_map.get(&ack.excid) else { return };
-        let Some(route) = st.routes.get_mut(&cid) else { return };
-        if let Some(peer) = route.peers.get_mut(ack.acker_rank as usize) {
-            // The ACK carries the receiver's local CID: switch this peer to
-            // the optimized compact-header path. An incoming ext header may
-            // already have taught us the same CID — only the actual
-            // transition counts as completing the handshake.
-            if matches!(peer.mode, SendCid::AwaitAck) {
-                peer.mode = SendCid::Known(ack.receiver_cid);
-                self.metrics.handshake(ack.excid, ack.acker_rank, "ack");
-                if let Some(hs) = peer.handshake.take() {
-                    hs.end();
+        let mut completed = false;
+        if let Some(route) = st.routes.get_mut(&cid) {
+            if let Some(peer) = route.peers.get_mut(ack.acker_rank as usize) {
+                // The ACK carries the receiver's local CID: switch this peer
+                // to the optimized compact-header path. An incoming ext
+                // header may already have taught us the same CID — only the
+                // actual transition counts as completing the handshake.
+                if matches!(peer.mode, SendCid::AwaitAck) {
+                    peer.mode = SendCid::Known(ack.receiver_cid);
+                    if let Some(hs) = peer.handshake.take() {
+                        hs.end();
+                    }
+                    completed = true;
                 }
-                // A completed handshake marks the endpoint as
-                // exCID-capable for every future communicator.
-                st.cache.insert(src_ep);
             }
+        }
+        if completed {
+            // A completed handshake marks the endpoint as exCID-capable for
+            // every future communicator. The event samples the generation
+            // *before* the insert so a capacity eviction triggered by this
+            // very insert cannot mask a double-handshake.
+            let gen = st.cache_gen;
+            self.cache_insert(st, src_ep);
+            self.metrics.handshake(ack.excid, ack.acker_rank, "ack", gen);
         }
     }
 
@@ -740,7 +834,7 @@ impl Pml {
             }
             Err(_) => {
                 rdv.req.fail(MpiError::new(ErrClass::ProcFailed, "peer died during rendezvous"));
-                self.state.lock().cache.remove(&rdv.dst_ep);
+                self.cache_remove(&mut self.state.lock(), rdv.dst_ep);
             }
         }
     }
@@ -781,6 +875,8 @@ impl Pml {
             };
             let mut reserve_req_id = st.next_req_id;
             let mut rdv_post: Option<(u64, Arc<ReqInner>)> = None;
+            let mut learned: Option<(ExCid, u32)> = None;
+            let learned_ep = msg.src_ep;
             {
                 let route = st.routes.get_mut(&cid).expect("checked above");
                 let src = msg.hdr.src as u32;
@@ -789,11 +885,10 @@ impl Pml {
                         // Learn the sender's local CID for the reverse path.
                         if matches!(peer.mode, SendCid::AwaitAck) {
                             peer.mode = SendCid::Known(ext.sender_cid);
-                            self.metrics.handshake(ext.excid, src, "ext");
                             if let Some(hs) = peer.handshake.take() {
                                 hs.end();
                             }
-                            st.cache.insert(msg.src_ep);
+                            learned = Some((ext.excid, src));
                         }
                         if !peer.acked_back {
                             peer.acked_back = true;
@@ -878,6 +973,12 @@ impl Pml {
                     }
                 }
             }
+            if let Some((excid, src)) = learned {
+                // Sampled pre-insert; see `on_cid_ack`.
+                let gen = st.cache_gen;
+                self.cache_insert(st, learned_ep);
+                self.metrics.handshake(excid, src, "ext", gen);
+            }
             st.next_req_id = reserve_req_id;
             if let Some((id, req)) = rdv_post {
                 st.rdv_recv.insert(id, req);
@@ -912,7 +1013,7 @@ impl Pml {
     /// same endpoint would be trusted with a stale `CidAdvert`. Returns
     /// whether an entry was actually dropped.
     pub fn invalidate_peer(&self, ep: EndpointId) -> bool {
-        let dropped = self.state.lock().cache.remove(&ep);
+        let dropped = self.cache_remove(&mut self.state.lock(), ep);
         if dropped {
             self.metrics.cache_invalidated.inc();
         }
@@ -1127,6 +1228,78 @@ mod tests {
             obs.sum_counters("pml", "handshakes") > handshakes_before,
             "a full handshake ran again after invalidation"
         );
+    }
+
+    #[test]
+    fn cache_eviction_bounds_entries_and_keys_rehandshakes_by_generation() {
+        let fabric = Fabric::new(simnet::CostModel::zero());
+        let a = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let b = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        let c = Pml::new(Arc::new(fabric.register(NodeId(0))));
+        a.set_handshake_cache_cap(1);
+        b.set_handshake_cache_cap(1);
+        let reg = |x: &Arc<Pml>, y: &Arc<Pml>, cx: u16, cy: u16, pgcid: u64| {
+            let eps = vec![x.endpoint.id(), y.endpoint.id()];
+            x.register_comm(cx, 0, eps.clone(), Some(ExCid::from_pgcid(pgcid)), None);
+            y.register_comm(cy, 1, eps, Some(ExCid::from_pgcid(pgcid)), None);
+        };
+        // Comm 1: A↔B, full handshake; both caches hold one entry.
+        reg(&a, &b, 10, 20, 100);
+        complete_handshake(&a, &b, 10);
+        assert_eq!(a.handshake_cache_len(), 1);
+        a.unregister_comm(10);
+        b.unregister_comm(20);
+        // A↔C and B↔C handshakes evict the A↔B pairing on both sides
+        // (cap = 1, LRU).
+        reg(&a, &c, 11, 30, 101);
+        complete_handshake(&a, &c, 11);
+        reg(&b, &c, 12, 31, 103);
+        complete_handshake(&b, &c, 12);
+        assert!(!a.cached_peer(b.endpoint.id()), "B evicted from A's cache");
+        assert!(!b.cached_peer(a.endpoint.id()), "A evicted from B's cache");
+        assert_eq!(a.handshake_cache_len(), 1, "cache stays at its cap");
+        let obs = a.endpoint.obs();
+        assert!(obs.sum_counters("pml", "cache_evicted") >= 2);
+        assert_eq!(
+            obs.gauge_value(&a.endpoint.id().to_string(), "pml", "cache_entries"),
+            1
+        );
+        // Comm 3 reuses PGCID 100 (a recycled identifier): with the cache
+        // entry gone, a *fresh* extended-header handshake must run...
+        reg(&a, &b, 13, 23, 100);
+        assert!(!a.peer_switched(13, 1), "no advert may ride an evicted entry");
+        a.isend(13, 1, 0, Bytes::from_static(b"again")).unwrap();
+        pump(&b);
+        pump(&a);
+        assert!(a.peer_switched(13, 1));
+        // ...and the repeated (pgcid, derivation, peer) key is legal
+        // precisely because the cache generation moved between the two
+        // events — the uniqueness invariant keys on it.
+        let my = a.endpoint.id().to_string();
+        let keys: Vec<(u64, u64, u64, u64)> = obs
+            .events_named("pml.handshake")
+            .iter()
+            .filter(|e| e.process == my)
+            .map(|e| {
+                let g = |k: &str| {
+                    e.attrs
+                        .iter()
+                        .find(|(n, _)| n == k)
+                        .and_then(|(_, v)| v.as_u64())
+                        .unwrap()
+                };
+                (g("pgcid"), g("derivation"), g("peer"), g("cache_gen"))
+            })
+            .collect();
+        let dup_without_gen = keys
+            .iter()
+            .filter(|(p, d, r, _)| (*p, *d, *r) == (100, 0, 1))
+            .count();
+        assert_eq!(dup_without_gen, 2, "PGCID reuse re-handshakes the same peer");
+        let mut with_gen = keys.clone();
+        with_gen.sort_unstable();
+        with_gen.dedup();
+        assert_eq!(with_gen.len(), keys.len(), "generation disambiguates every handshake");
     }
 
     #[test]

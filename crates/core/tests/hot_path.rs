@@ -5,7 +5,11 @@
 //!   `dups / block` PGCID requests to the resource manager — the span
 //!   count on the critical path drops from O(dups) to O(dups/block);
 //! * concurrent dups that hit an exhausted derivation pool coalesce on a
-//!   single refill instead of each paying a PMIx group-construct trip.
+//!   single refill instead of each paying a PMIx group-construct trip;
+//! * a bounded handshake cache under eviction pressure re-handshakes
+//!   evicted pairings without ever violating the chaos harness's
+//!   handshake-uniqueness invariant: at most one completed handshake per
+//!   `(process, pgcid, derivation, peer, cache generation)`.
 
 use mpi_sessions::{Comm, ErrHandler, Info, Session, ThreadLevel};
 use prrte::{JobSpec, Launcher, ProcCtx};
@@ -100,4 +104,59 @@ fn concurrent_dups_coalesce_on_one_refill() {
     assert_eq!(obs.sum_counters("cid", "refills"), 2, "refills did not coalesce");
     assert_eq!(obs.events_named("cid.refill").len(), 1, "one refill event");
     assert_eq!(obs.sum_counters("cid", "derivations"), 259);
+}
+
+#[test]
+fn cache_eviction_churn_never_breaks_handshake_uniqueness() {
+    const WAVES: usize = 6;
+    let launcher = Launcher::new(SimTestbed::tiny(1, 3));
+    launcher
+        .spawn(JobSpec::new(3), |ctx| {
+            // Cap the handshake cache at one pairing per process: with two
+            // ring neighbors per rank, every wave evicts the previous
+            // pairing and forces a fresh handshake under a bumped cache
+            // generation.
+            let process = mpi_sessions::instance::MpiProcess::obtain(&ctx);
+            process.pml().set_handshake_cache_cap(1);
+            let (s, c) = world_comm(&ctx, "hot-evict-base");
+            let next = (ctx.rank() + 1) % 3;
+            let prev = (ctx.rank() + 2) % 3;
+            for wave in 0..WAVES {
+                let g = s.group_from_pset("mpi://world").unwrap();
+                let cw = Comm::create_from_group(&g, &format!("evict-w{wave}")).unwrap();
+                // Ring traffic: both neighbors handshake on every comm.
+                cw.send(next, wave as i32, &[wave as u8]).unwrap();
+                let (m, _) = cw.recv(prev as i32, wave as i32).unwrap();
+                assert_eq!(m, vec![wave as u8]);
+                cw.send(prev, WAVES as i32 + wave as i32, b"back").unwrap();
+                cw.recv(next as i32, WAVES as i32 + wave as i32).unwrap();
+                cw.free().unwrap();
+            }
+            c.free().unwrap();
+            s.finalize().unwrap();
+        })
+        .join()
+        .expect("eviction churn job");
+
+    let obs = launcher.universe().fabric().obs();
+    assert!(obs.sum_counters("pml", "cache_evicted") > 0, "cap 1 must force evictions");
+    // The chaos handshake-uniqueness key: at most one completed handshake
+    // per (process, pgcid, derivation, peer, cache generation). Eviction
+    // may force a re-handshake on a still-live comm, but only ever under a
+    // new generation.
+    let events = obs.events_named("pml.handshake");
+    let attr = |e: &obs::Event, k: &str| e.attr(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let mut seen = HashSet::new();
+    for e in &events {
+        let key = (
+            e.process.clone(),
+            attr(e, "pgcid"),
+            attr(e, "derivation"),
+            attr(e, "peer"),
+            attr(e, "cache_gen"),
+        );
+        assert!(seen.insert(key), "repeated handshake within one cache generation: {e:?}");
+    }
+    // Every completed handshake emitted exactly one event.
+    assert_eq!(events.len() as u64, obs.sum_counters("pml", "handshakes"));
 }

@@ -8,6 +8,12 @@
 //!   (the communicator's own plus one refill at dup #256) while handing
 //!   out 300 locally-derived exCIDs (paper §III-B3).
 
+//! * every `Comm::free` releases the local CID (counted under
+//!   `cid.released`), derived exCIDs return their subfield to the parent
+//!   pool, and a later dup resumes the freed subfield instead of deriving
+//!   a fresh one — so sustained create/free churn cannot exhaust either
+//!   space.
+
 use mpi_sessions::{Comm, ErrHandler, Info, Session, ThreadLevel};
 use prrte::{JobSpec, Launcher, ProcCtx};
 use simnet::SimTestbed;
@@ -110,4 +116,44 @@ fn dup_chain_of_300_needs_exactly_two_pgcid_refills() {
     }
     // One refill event per process, no more.
     assert_eq!(obs.events_named("cid.refill").len(), 2);
+}
+
+#[test]
+fn every_free_releases_cid_and_derived_subfields_are_returned_then_recycled() {
+    let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+    let procs = launcher
+        .spawn(JobSpec::new(2), |ctx| {
+            let (s, c) = world_comm(&ctx, "obs-release");
+            // Two derived children, freed collectively: each free must
+            // return its subfield to the parent's pool.
+            let d1 = c.dup().unwrap();
+            let d2 = c.dup().unwrap();
+            let e2 = d2.excid().unwrap();
+            d1.free().unwrap();
+            d2.free().unwrap();
+            // The next dup resumes the most recently freed subfield (d2's)
+            // rather than deriving a fresh one.
+            let d3 = c.dup().unwrap();
+            assert_eq!(d3.excid().unwrap(), e2, "dup after free recycles the subfield");
+            d3.free().unwrap();
+            c.free().unwrap();
+            s.finalize().unwrap();
+            ctx.proc().to_string()
+        })
+        .join()
+        .expect("release job");
+
+    let obs = launcher.universe().fabric().obs();
+    for p in &procs {
+        // Four frees (d1, d2, d3, the parent) — each released its CID.
+        assert_eq!(obs.counter_value(p, "cid", "released"), 4);
+        // Three of them were derived children returning a subfield ...
+        assert_eq!(obs.counter_value(p, "cid", "subfields_returned"), 3);
+        // ... and exactly one derivation was served from the freed list.
+        assert_eq!(obs.counter_value(p, "cid", "subfields_recycled"), 1);
+        // Nothing survived to the teardown audit.
+        assert_eq!(obs.counter_value(p, "instance", "cids_leaked_at_teardown"), 0);
+    }
+    // Both communicator tables drained back to empty.
+    assert_eq!(obs.sum_gauges("cid", "table_used"), 0);
 }

@@ -77,24 +77,41 @@ impl Counter {
 // Gauge
 // ---------------------------------------------------------------------------
 
+#[derive(Default)]
+struct GaugeCore {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
 /// Instantaneous signed value (e.g. live endpoint count).
+///
+/// Every write also maintains a **high-water mark** — the largest value the
+/// gauge has ever held. Leak audits (the soak harness) read the mark to
+/// learn the peak footprint of a component without sampling mid-run.
 #[derive(Clone, Default)]
-pub struct Gauge(Arc<AtomicI64>);
+pub struct Gauge(Arc<GaugeCore>);
 
 impl Gauge {
     /// Overwrite the value.
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.high.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Adjust by a (possibly negative) delta.
     pub fn add(&self, d: i64) {
-        self.0.fetch_add(d, Ordering::Relaxed);
+        let new = self.0.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.0.high.fetch_max(new, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever held (0 for a gauge that never went positive).
+    pub fn high_water(&self) -> i64 {
+        self.0.high.load(Ordering::Relaxed)
     }
 }
 
@@ -518,6 +535,52 @@ impl Registry {
         v
     }
 
+    /// Value of one gauge, or 0 if it was never created.
+    pub fn gauge_value(&self, process: &str, component: &str, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .get(&key(process, component, name))
+            .map(|g| g.get())
+            .unwrap_or(0)
+    }
+
+    /// Sum of one `(component, name)` gauge across all processes.
+    pub fn sum_gauges(&self, component: &str, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .iter()
+            .filter(|((_, c, n), _)| c == component && n == name)
+            .map(|(_, v)| v.get())
+            .sum()
+    }
+
+    /// Sum of one `(component, name)` gauge's high-water marks across all
+    /// processes. An upper bound on the true cluster-wide peak (per-process
+    /// peaks need not coincide), which is the right direction for a leak
+    /// audit: the reported peak is never an undercount of any real peak.
+    pub fn sum_gauge_high_water(&self, component: &str, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .iter()
+            .filter(|((_, c, n), _)| c == component && n == name)
+            .map(|(_, v)| v.high_water())
+            .sum()
+    }
+
+    /// Snapshot of every gauge (value, high-water), sorted by key. Unlike
+    /// counters, zero-valued gauges are included: "this went back to zero"
+    /// is exactly the reading a leak audit needs.
+    pub fn gauges_snapshot(&self) -> Vec<(Key, i64, i64)> {
+        let mut v: Vec<(Key, i64, i64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get(), g.high_water()))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// All recorded (still-buffered) events with the given name, in
     /// timestamp order.
     pub fn events_named(&self, name: &str) -> Vec<Event> {
@@ -579,6 +642,10 @@ impl Registry {
         let mut gauges = Map::new();
         for (k, v) in self.gauges.read().iter() {
             nest(&mut gauges, k, Value::I64(v.get()));
+            // The high-water mark rides along under `<name>#hw`, so leak
+            // audits can diff peak footprints from any exported artifact.
+            let hw_key = (k.0.clone(), k.1.clone(), format!("{}#hw", k.2));
+            nest(&mut gauges, &hw_key, Value::I64(v.high_water()));
         }
         root.insert("gauges".into(), Value::Object(gauges));
 
@@ -677,6 +744,34 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set(-1);
         assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn gauge_high_water_tracks_peak_not_current() {
+        let r = Registry::new();
+        let g = r.gauge("p", "c", "live");
+        assert_eq!(g.high_water(), 0);
+        g.add(3);
+        g.add(4); // peak = 7
+        g.add(-6);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 7);
+        g.set(5); // below the peak: the mark must not move
+        assert_eq!(g.high_water(), 7);
+        g.set(9);
+        assert_eq!(g.high_water(), 9);
+        // Read-side helpers see both facets.
+        assert_eq!(r.gauge_value("p", "c", "live"), 9);
+        assert_eq!(r.sum_gauges("c", "live"), 9);
+        assert_eq!(r.sum_gauge_high_water("c", "live"), 9);
+        let snap = r.gauges_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, 9);
+        assert_eq!(snap[0].2, 9);
+        // Export carries the mark as a `#hw` sibling.
+        let json = serde_json::to_string(&r.export()).unwrap();
+        assert!(json.contains("\"live\":9"), "{json}");
+        assert!(json.contains("\"live#hw\":9"), "{json}");
     }
 
     #[test]

@@ -12,7 +12,14 @@ use parking_lot::{Mutex, RwLock};
 use simnet::{EndpointId, NodeId};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Tombstone count beyond which a deletion triggers an automatic reap of
+/// every tombstone below the GC watermark. Small enough that a soak run's
+/// tombstone footprint stays bounded, large enough that short-lived tests
+/// (and their replay assertions) never see an implicit reap.
+pub const GC_TOMBSTONE_THRESHOLD: usize = 32;
 
 /// Location and wiring of one process.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +153,46 @@ struct RegistryState {
     rm: Option<EndpointId>,
 }
 
+/// Observability handles for the registry's lifecycle state, resolved once
+/// by [`NamespaceRegistry::attach_obs`]. The gauges carry high-water marks,
+/// so a soak run can audit the registry's peak footprint after the fact.
+struct RegistryMetrics {
+    live: obs::Gauge,
+    tombstoned: obs::Gauge,
+    gced: obs::Counter,
+}
+
+/// A pinned registry epoch: while alive, tombstones at or above the pinned
+/// epoch survive garbage collection. Dropping the pin releases it.
+///
+/// Pins implement the GC watermark rule: the safe watermark is the minimum
+/// pinned epoch across live watchers — a watcher still processing history
+/// at epoch E must be able to observe every deletion from E onward, so only
+/// tombstones strictly below the watermark are reapable.
+pub struct EpochPin {
+    epoch: u64,
+    pins: Arc<Mutex<BTreeMap<u64, usize>>>,
+}
+
+impl EpochPin {
+    /// The epoch this pin holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        let mut pins = self.pins.lock();
+        if let Some(n) = pins.get_mut(&self.epoch) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&self.epoch);
+            }
+        }
+    }
+}
+
 /// Shared registry of namespaces, process sets and server endpoints.
 ///
 /// Pset mutations are serialized by an *emission lock* held across both
@@ -153,11 +200,24 @@ struct RegistryState {
 /// listeners in strict epoch order, and a subscriber registered under the
 /// same lock (see replay) observes each change exactly once — either via
 /// replay or live delivery, never both, never neither.
+///
+/// Deleted psets leave tombstones so late subscribers learn about the
+/// deletion during replay. Tombstones are garbage-collected below the
+/// epoch watermark (minimum pinned epoch across live [`EpochPin`]s):
+/// automatically once more than [`GC_TOMBSTONE_THRESHOLD`] accumulate, or
+/// explicitly via [`NamespaceRegistry::gc_tombstones`]. GC can be disabled
+/// wholesale ([`NamespaceRegistry::set_gc_enabled`]) — the leak the soak
+/// harness then observes is exactly what the GC exists to prevent.
 #[derive(Clone, Default)]
 pub struct NamespaceRegistry {
     state: Arc<RwLock<RegistryState>>,
     emit: Arc<Mutex<()>>,
     listeners: Arc<RwLock<Vec<PsetListener>>>,
+    /// Pinned epoch → pin count. The smallest key is the GC watermark.
+    pins: Arc<Mutex<BTreeMap<u64, usize>>>,
+    /// Inverted so the derived `Default` (false) means "GC on".
+    gc_disabled: Arc<AtomicBool>,
+    metrics: Arc<RwLock<Option<RegistryMetrics>>>,
 }
 
 impl NamespaceRegistry {
@@ -258,6 +318,106 @@ impl NamespaceRegistry {
         }
     }
 
+    /// Wire the registry's lifecycle gauges (`registry/pmix/psets_live`,
+    /// `psets_tombstoned`) and GC counter (`psets_gced`) into `obs`.
+    /// Called once at universe boot; a registry without an attached obs
+    /// simply skips gauge upkeep.
+    pub fn attach_obs(&self, obs: &Arc<obs::Registry>) {
+        *self.metrics.write() = Some(RegistryMetrics {
+            live: obs.gauge("registry", "pmix", "psets_live"),
+            tombstoned: obs.gauge("registry", "pmix", "psets_tombstoned"),
+            gced: obs.counter("registry", "pmix", "psets_gced"),
+        });
+        self.refresh_gauges();
+    }
+
+    /// Re-derive the live/tombstone gauges from the table. O(psets), called
+    /// only on define/delete/GC — never on the membership hot path.
+    fn refresh_gauges(&self) {
+        let metrics = self.metrics.read();
+        let Some(m) = metrics.as_ref() else { return };
+        let (live, tomb) = {
+            let st = self.state.read();
+            let tomb = st.psets.values().filter(|e| e.deleted).count();
+            (st.psets.len() - tomb, tomb)
+        };
+        m.live.set(live as i64);
+        m.tombstoned.set(tomb as i64);
+    }
+
+    /// Enable or disable tombstone garbage collection (enabled by default).
+    /// Disabling is a debug/soak knob: tombstones then accumulate without
+    /// bound, which the soak harness surfaces as a leak-freedom failure.
+    pub fn set_gc_enabled(&self, on: bool) {
+        self.gc_disabled.store(!on, Ordering::Relaxed);
+    }
+
+    /// Whether tombstone GC is currently enabled.
+    pub fn gc_enabled(&self) -> bool {
+        !self.gc_disabled.load(Ordering::Relaxed)
+    }
+
+    /// Pin the current epoch: tombstones at or above it survive GC until
+    /// the returned pin is dropped.
+    pub fn pin_current_epoch(&self) -> EpochPin {
+        let mut pins = self.pins.lock();
+        let epoch = self.state.read().pset_epoch;
+        *pins.entry(epoch).or_insert(0) += 1;
+        EpochPin { epoch, pins: self.pins.clone() }
+    }
+
+    /// The GC watermark: the minimum pinned epoch across live pins, or
+    /// `u64::MAX` when nothing is pinned (every tombstone is reapable).
+    pub fn gc_watermark(&self) -> u64 {
+        self.pins.lock().keys().next().copied().unwrap_or(u64::MAX)
+    }
+
+    /// Number of tombstoned psets currently retained.
+    pub fn num_tombstones(&self) -> usize {
+        self.state.read().psets.values().filter(|e| e.deleted).count()
+    }
+
+    /// Reap every tombstone strictly below the watermark. Returns the
+    /// number reaped (0 when GC is disabled).
+    pub fn gc_tombstones(&self) -> usize {
+        let _emit = self.emit.lock();
+        self.gc_locked()
+    }
+
+    /// GC body; caller must hold the emission lock (reaping must not
+    /// interleave with a replay that still expects the tombstones).
+    fn gc_locked(&self) -> usize {
+        if self.gc_disabled.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let watermark = self.gc_watermark();
+        let reaped = {
+            let mut st = self.state.write();
+            let before = st.psets.len();
+            st.psets.retain(|_, e| !e.deleted || e.epoch >= watermark);
+            before - st.psets.len()
+        };
+        if reaped > 0 {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.gced.add(reaped as u64);
+            }
+            self.refresh_gauges();
+        }
+        reaped
+    }
+
+    /// Auto-GC trigger (caller holds the emission lock): reap once the
+    /// tombstone count exceeds [`GC_TOMBSTONE_THRESHOLD`].
+    fn maybe_gc_locked(&self) {
+        if self.gc_disabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let tombs = self.state.read().psets.values().filter(|e| e.deleted).count();
+        if tombs > GC_TOMBSTONE_THRESHOLD {
+            self.gc_locked();
+        }
+    }
+
     /// Define (or redefine) a process set.
     ///
     /// Process sets are *names for lists of processes* (paper §III-B6);
@@ -293,6 +453,7 @@ impl NamespaceRegistry {
             members,
             ctx,
         });
+        self.refresh_gauges();
     }
 
     /// Replace the membership of an existing pset (runtime grow/shrink).
@@ -396,6 +557,8 @@ impl NamespaceRegistry {
             members: Arc::new(Vec::new()),
             ctx: None,
         });
+        self.refresh_gauges();
+        self.maybe_gc_locked();
     }
 
     /// Remove one process entry from its namespace's job map (graceful
@@ -458,9 +621,16 @@ impl NamespaceRegistry {
 
     /// Run `f` under the emission lock with the changes needed to bring a
     /// brand-new subscriber up to date: one synthetic `Defined` per live
-    /// pset and one `Deleted` per tombstone, ordered by epoch. While `f`
-    /// runs no live change can be emitted, so registering the subscriber
-    /// inside `f` yields exactly-once delivery (replay XOR live).
+    /// pset and one `Deleted` per *retained* tombstone, ordered by epoch.
+    /// While `f` runs no live change can be emitted, so registering the
+    /// subscriber inside `f` yields exactly-once delivery (replay XOR
+    /// live).
+    ///
+    /// Replay is a **current-state snapshot**, not a history dump: GC reaps
+    /// tombstones below the epoch watermark, so a subscriber arriving after
+    /// arbitrary churn receives the live table plus at most the
+    /// still-pinned (or sub-threshold) tombstones — never one event per
+    /// deletion that ever happened.
     pub fn with_pset_replay<R>(&self, f: impl FnOnce(&[PsetChange]) -> R) -> R {
         let _emit = self.emit.lock();
         let mut replay: Vec<PsetChange> = {
@@ -644,6 +814,47 @@ mod tests {
     }
 
     #[test]
+    fn late_subscriber_after_10k_churn_epochs_replays_only_current_state() {
+        let reg = NamespaceRegistry::new();
+        let member = vec![ProcId::new("j", 0)];
+        reg.define_pset("keep://a", member.clone());
+        reg.define_pset("keep://b", member.clone());
+        // 10k epochs of define+undefine churn. GC keeps reaping behind the
+        // (unpinned) watermark, so the table never accumulates history.
+        for i in 0..10_000u64 {
+            let name = format!("churn://{i}");
+            reg.define_pset(&name, member.clone());
+            reg.undefine_pset(&name);
+        }
+        assert_eq!(reg.pset_epoch(), 2 + 2 * 10_000);
+        assert!(reg.num_tombstones() <= GC_TOMBSTONE_THRESHOLD);
+        // A subscriber arriving now must see the *current* table exactly
+        // once — two live Defined plus at most the retained tombstones —
+        // never one event per historical deletion.
+        reg.with_pset_replay(|changes| {
+            let mut names = std::collections::HashSet::new();
+            for c in changes {
+                assert!(names.insert(c.name.clone()), "{} replayed twice", c.name);
+            }
+            let defined: Vec<&str> = changes
+                .iter()
+                .filter(|c| c.kind == PsetChangeKind::Defined)
+                .map(|c| c.name.as_str())
+                .collect();
+            assert_eq!(defined, vec!["keep://a", "keep://b"]);
+            let deleted = changes.iter().filter(|c| c.kind == PsetChangeKind::Deleted).count();
+            assert_eq!(deleted, reg.num_tombstones());
+            assert_eq!(changes.len(), 2 + deleted);
+            assert!(changes.len() <= 2 + GC_TOMBSTONE_THRESHOLD, "replay is not a history dump");
+            // Replay arrives in strict epoch order with live entries at
+            // their defining epoch, not a renumbered one.
+            assert!(changes.windows(2).all(|w| w[0].epoch < w[1].epoch));
+            assert_eq!(changes[0].epoch, 1);
+            assert_eq!(changes[0].members, Arc::new(member.clone()));
+        });
+    }
+
+    #[test]
     fn snapshot_is_self_consistent() {
         let reg = NamespaceRegistry::new();
         reg.define_pset("a", vec![ProcId::new("j", 0)]);
@@ -654,6 +865,104 @@ mod tests {
             assert!(snap.members(&name).is_some());
         }
         assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn gc_reaps_tombstones_below_watermark() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![]);
+        reg.undefine_pset("a");
+        reg.define_pset("b", vec![]);
+        reg.undefine_pset("b");
+        assert_eq!(reg.num_tombstones(), 2);
+        // No pins: watermark is u64::MAX, everything is reapable.
+        assert_eq!(reg.gc_tombstones(), 2);
+        assert_eq!(reg.num_tombstones(), 0);
+        // Reaped tombstones no longer appear in replay.
+        reg.with_pset_replay(|changes| assert!(changes.is_empty()));
+    }
+
+    #[test]
+    fn epoch_pin_holds_tombstones_alive() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("old", vec![]);
+        reg.undefine_pset("old"); // epoch 2
+        let pin = reg.pin_current_epoch(); // pins epoch 2
+        assert_eq!(pin.epoch(), 2);
+        reg.define_pset("new", vec![]);
+        reg.undefine_pset("new"); // epoch 4
+        // Watermark = 2: the epoch-2 tombstone ("old") is at the watermark
+        // (not strictly below), so nothing is reapable.
+        assert_eq!(reg.gc_watermark(), 2);
+        assert_eq!(reg.gc_tombstones(), 0);
+        assert_eq!(reg.num_tombstones(), 2);
+        drop(pin);
+        assert_eq!(reg.gc_watermark(), u64::MAX);
+        assert_eq!(reg.gc_tombstones(), 2);
+    }
+
+    #[test]
+    fn pin_drop_releases_only_its_own_count() {
+        let reg = NamespaceRegistry::new();
+        reg.define_pset("a", vec![]);
+        let p1 = reg.pin_current_epoch();
+        let p2 = reg.pin_current_epoch();
+        assert_eq!(reg.gc_watermark(), 1);
+        drop(p1);
+        // Second pin on the same epoch still holds the watermark.
+        assert_eq!(reg.gc_watermark(), 1);
+        drop(p2);
+        assert_eq!(reg.gc_watermark(), u64::MAX);
+    }
+
+    #[test]
+    fn auto_gc_fires_past_threshold() {
+        let reg = NamespaceRegistry::new();
+        for i in 0..=GC_TOMBSTONE_THRESHOLD {
+            let name = format!("p{i}");
+            reg.define_pset(&name, vec![]);
+            reg.undefine_pset(&name);
+        }
+        // The (threshold+1)-th deletion crossed the threshold and reaped
+        // everything (no pins), so the table is tombstone-free again.
+        assert_eq!(reg.num_tombstones(), 0);
+        assert_eq!(reg.num_psets(), 0);
+    }
+
+    #[test]
+    fn disabling_gc_blocks_all_reaping() {
+        let reg = NamespaceRegistry::new();
+        reg.set_gc_enabled(false);
+        assert!(!reg.gc_enabled());
+        for i in 0..=GC_TOMBSTONE_THRESHOLD {
+            let name = format!("p{i}");
+            reg.define_pset(&name, vec![]);
+            reg.undefine_pset(&name);
+        }
+        // Neither the auto trigger nor an explicit call may reap.
+        assert_eq!(reg.num_tombstones(), GC_TOMBSTONE_THRESHOLD + 1);
+        assert_eq!(reg.gc_tombstones(), 0);
+        reg.set_gc_enabled(true);
+        assert_eq!(reg.gc_tombstones(), GC_TOMBSTONE_THRESHOLD + 1);
+    }
+
+    #[test]
+    fn gauges_track_live_and_tombstone_counts() {
+        let obs = Arc::new(obs::Registry::new());
+        let reg = NamespaceRegistry::new();
+        reg.attach_obs(&obs);
+        reg.define_pset("a", vec![]);
+        reg.define_pset("b", vec![]);
+        assert_eq!(obs.gauge_value("registry", "pmix", "psets_live"), 2);
+        reg.undefine_pset("a");
+        assert_eq!(obs.gauge_value("registry", "pmix", "psets_live"), 1);
+        assert_eq!(obs.gauge_value("registry", "pmix", "psets_tombstoned"), 1);
+        reg.gc_tombstones();
+        assert_eq!(obs.gauge_value("registry", "pmix", "psets_tombstoned"), 0);
+        assert_eq!(obs.sum_counters("pmix", "psets_gced"), 1);
+        // High-water marks survive the drain.
+        assert_eq!(obs.sum_gauge_high_water("pmix", "psets_live"), 2);
+        assert_eq!(obs.sum_gauge_high_water("pmix", "psets_tombstoned"), 1);
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub const SERVER_SHARDS: usize = 8;
 /// (`count == 1` reproduces the paper's one-at-a-time behavior).
 pub const DEFAULT_PGCID_BLOCK: u64 = 8;
 
+/// Per-shard cap on retained collective epoch counters. Under sustained
+/// session churn every distinct `(kind, name, mhash)` that ever ran a
+/// collective would otherwise pin one counter forever. Once a shard holds
+/// more keys than this, counters whose collective has no live op are
+/// evicted in first-use order. An evicted key that later re-runs restarts
+/// at epoch 0 — acceptable because a collision needs more than
+/// `EPOCH_RETENTION_CAP` *distinct* collectives on one shard between the
+/// two runs, far beyond any scenario's working set.
+pub const EPOCH_RETENTION_CAP: usize = 1024;
+
 /// Outcome of a completed collective, as handed back to local clients.
 #[derive(Debug, Clone)]
 pub struct CollOutcome {
@@ -183,7 +193,10 @@ impl<T> Shard<T> {
 struct OpsShard {
     ops: HashMap<OpId, OpState>,
     // Next epoch to assign to a locally-entered instance of each key.
+    // Bounded to [`EPOCH_RETENTION_CAP`] entries; see `bound_epochs`.
     epochs: HashMap<(OpKind, String, u64), u64>,
+    // Epoch keys in first-use order: the deterministic eviction queue.
+    epoch_order: VecDeque<(OpKind, String, u64)>,
 }
 
 /// Key-value tables for one kvs shard, hashed by the owning process.
@@ -222,6 +235,9 @@ struct ShardCounters {
     stage_xchg: obs::Counter,
     stage_fanout: obs::Counter,
     coll_aborted: obs::Counter,
+    // Live KV pairs (local + cached) in this shard's tables; its high-water
+    // mark is the per-shard memory footprint the soak harness reports.
+    kvs_entries: obs::Gauge,
 }
 
 /// Per-server observability handles, resolved once at construction.
@@ -236,6 +252,14 @@ struct ServerMetrics {
     rpc_ns: obs::Histogram,
     pgcid_allocated: obs::Counter,
     pgcid_pool_hits: obs::Counter,
+    // Ids returned to the pool by a group destruct (lifecycle GC).
+    pgcid_recycled: obs::Counter,
+    // KV pairs dropped when their owning process was declared dead.
+    kvs_purged: obs::Counter,
+    // Epoch counters evicted by the retention bound.
+    epochs_evicted: obs::Counter,
+    // Current occupancy of the local PGCID pool (block surplus + recycled).
+    pgcid_pool_len: obs::Gauge,
     shards: Vec<ShardCounters>,
 }
 
@@ -256,6 +280,7 @@ impl ServerMetrics {
                     stage_xchg: sc("stage_xchg"),
                     stage_fanout: sc("stage_fanout"),
                     coll_aborted: sc("coll_aborted"),
+                    kvs_entries: obs.gauge(&sp, "pmix", "kvs_entries"),
                 }
             })
             .collect();
@@ -263,6 +288,10 @@ impl ServerMetrics {
             rpc_handled: c("rpc_handled"),
             pgcid_allocated: c("pgcid_allocated"),
             pgcid_pool_hits: c("pgcid_pool_hits"),
+            pgcid_recycled: c("pgcid_recycled"),
+            kvs_purged: c("kvs_purged"),
+            epochs_evicted: c("epochs_evicted"),
+            pgcid_pool_len: obs.gauge(&process, "pmix", "pgcid_pool_len"),
             rpc_ns,
             shards,
             process,
@@ -526,6 +555,54 @@ impl PmixServer {
     }
 
     // ---------------------------------------------------------------
+    // Resource-lifecycle bookkeeping
+    // ---------------------------------------------------------------
+
+    /// Publish the PGCID pool's occupancy; call after every pool mutation.
+    fn publish_pool_gauge(&self, len: usize) {
+        self.metrics.pgcid_pool_len.set(len as i64);
+    }
+
+    /// Publish shard `ki`'s live KV-pair count; call (under the shard lock)
+    /// after every mutation of its tables.
+    fn publish_kvs_gauge(&self, ki: usize, ks: &KvsShard) {
+        let n = ks.kvs_local.values().map(|m| m.len()).sum::<usize>()
+            + ks.kvs_cache.values().map(|m| m.len()).sum::<usize>();
+        self.metrics.shard(ki).kvs_entries.set(n as i64);
+    }
+
+    /// Advance the epoch counter for `key`, then enforce the retention
+    /// bound. New keys join the deterministic first-use eviction queue.
+    fn bump_epoch(&self, st: &mut OpsShard, key: (OpKind, String, u64)) {
+        if !st.epochs.contains_key(&key) {
+            st.epoch_order.push_back(key.clone());
+        }
+        *st.epochs.entry(key).or_insert(0) += 1;
+        self.bound_epochs(st);
+    }
+
+    /// Evict epoch counters past [`EPOCH_RETENTION_CAP`], oldest first-use
+    /// first, skipping keys whose collective still has a live op (their
+    /// counter is what disambiguates the in-flight instance).
+    fn bound_epochs(&self, st: &mut OpsShard) {
+        let mut scan = st.epoch_order.len();
+        while st.epochs.len() > EPOCH_RETENTION_CAP && scan > 0 {
+            scan -= 1;
+            let Some(key) = st.epoch_order.pop_front() else { break };
+            let live = st
+                .ops
+                .keys()
+                .any(|o| o.kind == key.0 && o.name == key.1 && o.mhash == key.2);
+            if live {
+                st.epoch_order.push_back(key);
+            } else {
+                st.epochs.remove(&key);
+                self.metrics.epochs_evicted.inc();
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Local client entry points (the "shared-memory RPC" surface)
     // ---------------------------------------------------------------
 
@@ -560,6 +637,7 @@ impl PmixServer {
             }
         }
         ks.dmodex_parked = still_parked;
+        self.publish_kvs_gauge(Self::kvs_shard_of(proc), &ks);
         drop(ks);
         for (reply_to, token, v) in served {
             let _ = self
@@ -624,6 +702,7 @@ impl PmixServer {
                                     .entry(proc.clone())
                                     .or_default()
                                     .insert(key.to_owned(), v.clone());
+                                self.publish_kvs_gauge(ki, &ks);
                                 Ok(v)
                             }
                             None => Err(PmixError::NotFound(format!("{proc}/{key}"))),
@@ -814,7 +893,7 @@ impl PmixServer {
                 if remove {
                     let op = st.ops.remove(&op_id).expect("present");
                     if !op.epoch_bumped {
-                        *st.epochs.entry(key.clone()).or_insert(0) += 1;
+                        self.bump_epoch(&mut st, key.clone());
                     }
                 }
                 drop(st);
@@ -867,10 +946,57 @@ impl PmixServer {
                 );
             }
             OpKind::GroupDestruct => {
-                self.ctl.lock().groups.remove(name);
+                // The first local completer does this server's bookkeeping
+                // (`remove` is idempotent across the other completers).
+                let info = self.ctl.lock().groups.remove(name);
+                let Some(info) = info else { return };
+                self.maybe_recycle_pgcid(&info, out);
             }
             OpKind::Fence => {}
         }
+    }
+
+    /// Lifecycle GC: a destructed group's PGCID is safe to hand to a future
+    /// construct once no communicator can still be derived from it (the
+    /// client layer guarantees that by running the destruct only when the
+    /// last communicator of the family is freed). Exactly one server — the
+    /// lead participant, lowest node among the destruct's surviving members
+    /// — returns the id to its local pool, the same pool RM block grants
+    /// feed, so the next construct led here reuses it without RM traffic.
+    ///
+    /// Skipped entirely when any construct-time member has been declared
+    /// dead: per-server dead sets can briefly diverge during a failure, and
+    /// leaking one id is always safe while recycling it twice (two live
+    /// groups sharing a PGCID) never is.
+    fn maybe_recycle_pgcid(&self, info: &GroupInfo, out: &CollOutcome) {
+        let Some(pgcid) = info.pgcid else { return };
+        {
+            let dead = self.dead.read();
+            if info.members.iter().any(|m| dead.contains(m)) {
+                return;
+            }
+        }
+        let lead = out
+            .members
+            .iter()
+            .filter_map(|m| self.registry.locate(m).ok().map(|e| e.node))
+            .min();
+        if lead != Some(self.node) {
+            return;
+        }
+        let len = {
+            let mut pool = self.pgcid_pool.lock();
+            pool.push_back(pgcid);
+            pool.len()
+        };
+        self.publish_pool_gauge(len);
+        self.metrics.pgcid_recycled.inc();
+        self.metrics.obs.event(
+            &self.metrics.process,
+            "pmix",
+            "pgcid.recycled",
+            vec![("pgcid".into(), pgcid.into())],
+        );
     }
 
     /// Stage-2 trigger: if the local fan-in just completed, record our own
@@ -922,7 +1048,7 @@ impl PmixServer {
             .filter(|n| *n != self.node)
             .collect();
         let key = (op_id.kind, op_id.name.clone(), op_id.mhash);
-        *st.epochs.entry(key).or_insert(0) += 1;
+        self.bump_epoch(st, key);
         // Send outside the borrow of `op` (but still under the shard lock;
         // fabric sends never call back into this server synchronously).
         let msg = ServerMsg::CollContrib {
@@ -972,8 +1098,12 @@ impl PmixServer {
                 // Pool fast path: a previous block grant left spare ids, so
                 // this construct skips the RM round trip entirely — no
                 // `pgcid.request` span appears on its critical path.
-                let pooled = self.pgcid_pool.lock().pop_front();
+                let (pooled, pool_len) = {
+                    let mut pool = self.pgcid_pool.lock();
+                    (pool.pop_front(), pool.len())
+                };
                 if let Some(pgcid) = pooled {
+                    self.publish_pool_gauge(pool_len);
                     op.pgcid = Some(pgcid);
                     op.pgcid_requested = true;
                     self.metrics.pgcid_pool_hits.inc();
@@ -1065,6 +1195,7 @@ impl PmixServer {
             for (proc, data) in items {
                 ks.kvs_cache.entry(proc).or_default().extend(data);
             }
+            self.publish_kvs_gauge(ki, &ks);
             drop(ks);
             kshard.cv.notify_all();
         }
@@ -1359,7 +1490,12 @@ impl PmixServer {
     /// a [`LogicalDeadline`], so a chaos-delayed RM reply defers expiry
     /// rather than racing a wall clock.
     fn fetch_pgcid_blocking(&self, timeout: Duration) -> Result<u64> {
-        if let Some(pgcid) = self.pgcid_pool.lock().pop_front() {
+        let (pooled, pool_len) = {
+            let mut pool = self.pgcid_pool.lock();
+            (pool.pop_front(), pool.len())
+        };
+        if let Some(pgcid) = pooled {
+            self.publish_pool_gauge(pool_len);
             self.metrics.pgcid_pool_hits.inc();
             return Ok(pgcid);
         }
@@ -1494,10 +1630,14 @@ impl PmixServer {
                 // Pool the block's surplus first, so a construct racing this
                 // handler can already hit the pool.
                 if count > 1 {
-                    let mut pool = self.pgcid_pool.lock();
-                    for id in (pgcid + 1)..(pgcid + count) {
-                        pool.push_back(id);
-                    }
+                    let len = {
+                        let mut pool = self.pgcid_pool.lock();
+                        for id in (pgcid + 1)..(pgcid + count) {
+                            pool.push_back(id);
+                        }
+                        pool.len()
+                    };
+                    self.publish_pool_gauge(len);
                 }
                 let waiting = self.pgcid_waiting.lock().remove(&token);
                 if let Some((op_id, req_span)) = waiting {
@@ -1622,6 +1762,33 @@ impl PmixServer {
             if !dead.insert(proc.clone()) {
                 return; // already processed
             }
+        }
+        // Lifecycle GC: a dead process's KV data can never be read again —
+        // `fetch` routes every lookup through the dead check downstream of
+        // here — so drop its committed data and everything cached about it.
+        // Parked dmodex fetches for the dead owner can never be served;
+        // answer them "not found" instead of letting the requester time out.
+        {
+            let ki = Self::kvs_shard_of(proc);
+            let kshard = &self.kvs_shards[ki];
+            let mut ks = kshard.state.lock();
+            let purged = ks.kvs_local.remove(proc).map(|m| m.len()).unwrap_or(0)
+                + ks.kvs_cache.remove(proc).map(|m| m.len()).unwrap_or(0);
+            let parked = std::mem::take(&mut ks.dmodex_parked);
+            let (dead_parked, live_parked): (Vec<_>, Vec<_>) =
+                parked.into_iter().partition(|(p, ..)| p == proc);
+            ks.dmodex_parked = live_parked;
+            self.publish_kvs_gauge(ki, &ks);
+            drop(ks);
+            if purged > 0 {
+                self.metrics.kvs_purged.add(purged as u64);
+            }
+            for (_, _, reply_to, token) in dead_parked {
+                let _ = self
+                    .sender
+                    .send(reply_to, ServerMsg::DmodexReply { token, value: None }.encode());
+            }
+            kshard.cv.notify_all();
         }
         // Fail or shrink pending collectives that include the dead process,
         // one ops shard at a time (the write above already publishes the

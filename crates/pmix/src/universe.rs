@@ -30,6 +30,7 @@ impl PmixUniverse {
     pub fn new(testbed: SimTestbed) -> Arc<Self> {
         let fabric = Fabric::new(testbed.cost.clone());
         let registry = NamespaceRegistry::new();
+        registry.attach_obs(&fabric.obs());
         let mut servers = Vec::new();
         let mut server_eps = Vec::new();
         let mut threads = Vec::new();

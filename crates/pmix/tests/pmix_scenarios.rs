@@ -400,26 +400,48 @@ fn kv_overwrite_takes_latest_value() {
 #[test]
 fn rm_survives_burst_of_pgcid_requests() {
     // Many groups constructed back-to-back from different nodes: the RM
-    // must hand out strictly unique PGCIDs under concurrency.
+    // must hand out strictly unique PGCIDs for *concurrently live* groups.
+    // A destructed group's id is recycled into the lead server's pool
+    // (lifecycle GC), so a second burst of the same size completes without
+    // the RM minting a single additional id.
     let uni = PmixUniverse::new(SimTestbed::tiny(4, 1));
     let procs = spawn_procs(&uni, "job", 4);
     let all = procs.clone();
     let out = on_all(&uni, &procs, move |c, _| {
-        let mut ids = Vec::new();
+        let mut live = Vec::new();
         for i in 0..10 {
             let g = c
                 .group_construct(&format!("burst{i}"), &all, &GroupDirectives::for_mpi())
                 .unwrap();
-            ids.push(g.pgcid().unwrap());
+            live.push(g);
+        }
+        let ids: Vec<u64> = live.iter().map(|g| g.pgcid().unwrap()).collect();
+        for g in &live {
+            c.group_destruct(g, None).unwrap();
+        }
+        let mut again = Vec::new();
+        for i in 0..10 {
+            let g = c
+                .group_construct(&format!("again{i}"), &all, &GroupDirectives::for_mpi())
+                .unwrap();
+            again.push(g.pgcid().unwrap());
             c.group_destruct(&g, None).unwrap();
         }
-        ids
+        (ids, again)
     });
-    // All ranks saw the same sequence, and within it all ids are unique.
-    let first = &out[0];
-    assert!(out.iter().all(|o| o == first));
+    // All ranks saw the same sequences.
+    assert!(out.iter().all(|o| o == &out[0]));
+    // Concurrently live groups hold strictly unique, nonzero ids.
+    let (first, _) = &out[0];
     let mut sorted = first.clone();
     sorted.sort_unstable();
     sorted.dedup();
     assert_eq!(sorted.len(), first.len());
+    assert!(first.iter().all(|id| *id != 0));
+    let obs = uni.fabric().obs();
+    // 10 live groups forced two blocks of 8; the second burst ran entirely
+    // on pooled surplus + recycled ids, so allocation stopped at 16.
+    assert_eq!(obs.sum_counters("pmix", "pgcid_allocated"), 16);
+    // Every destruct returned its id to the pool (both bursts).
+    assert_eq!(obs.sum_counters("pmix", "pgcid_recycled"), 20);
 }

@@ -348,6 +348,142 @@ fn run_elastic(seed: u64) -> RunReport {
     report
 }
 
+/// Soak: sustained session/communicator churn — waves of init → group →
+/// comm construct → allreduce → free → finalize against one persistent
+/// runtime — with a partition biting the warm-up barrier, delayed
+/// inter-server traffic, and a mid-churn kill. After the drain, every
+/// lifecycle pool must be back at baseline: no local CIDs held, no PML
+/// cache entries, registry tombstones reaped under the GC bound, and the
+/// destructed comms' PGCIDs returned to the pool. This is the chaos twin
+/// of the `fig_soak` harness: same leak-freedom gates, faults on.
+fn run_soak(seed: u64) -> RunReport {
+    use mpi_sessions_repro::pmix::nspace::GC_TOMBSTONE_THRESHOLD;
+    use std::sync::mpsc;
+
+    const WAVES: u32 = 8;
+    const KILL_WAVE: u32 = 3; // the kill lands after this wave's acks
+    const VICTIM: u32 = 3;
+    let plan = FaultPlan::new(
+        seed,
+        vec![
+            FaultRule::new(
+                FaultClass::Partition,
+                RuleScope::pair_within(1, 3).and_crossing(vec![0], vec![1]),
+                SeqWindow::first(1),
+            ),
+            FaultRule::new(
+                FaultClass::Delay,
+                RuleScope::pair_within(1, 3),
+                SeqWindow::first(2),
+            )
+            .with_delay_ms(15),
+        ],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-soak-{seed}");
+    let (tx, rx) = mpsc::channel::<(u32, u32, u32)>();
+    let handle = world.launcher().spawn_named(&nspace, JobSpec::new(4), move |ctx| {
+        let all = all_procs(&ctx);
+        // Warm-up barrier absorbs the partition: retry until it heals.
+        let mut attempts = 0u32;
+        loop {
+            match ctx.pmix().fence_timeout(&all, false, Duration::from_millis(1200)) {
+                Ok(()) => break,
+                Err(_) => {
+                    attempts += 1;
+                    assert!(attempts < 5, "partition never healed");
+                }
+            }
+        }
+        assert!(attempts >= 1, "the partition must bite at least once");
+        let mut waves_done = 0u32;
+        for wave in 0..WAVES {
+            let session = new_session(&ctx);
+            if wave == KILL_WAVE + 1 {
+                // Synchronize on the kill: every thread (including the
+                // victim's) waits until the death is globally visible so
+                // the next wave agrees on its membership.
+                for i in 0..1000 {
+                    let sg = session.surviving_group("mpi://world").unwrap();
+                    if sg.iter().all(|m| m.proc.rank() != VICTIM) {
+                        break;
+                    }
+                    assert!(i < 999, "kill never became visible");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            let group = session.surviving_group("mpi://world").unwrap();
+            if group.iter().all(|m| m.proc.rank() != ctx.rank()) {
+                // The victim: bow out without finalize — the runtime
+                // already considers this process gone.
+                return waves_done;
+            }
+            let c = Comm::create_from_group(&group, &format!("soak-w{wave}")).unwrap();
+            let sum = coll::allreduce_t(&c, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            c.free().unwrap();
+            session.finalize().unwrap();
+            tx.send((ctx.rank(), wave, sum)).unwrap();
+            waves_done += 1;
+        }
+        waves_done
+    });
+    let expect = |n: usize, wave: u32, sum: u32| {
+        for _ in 0..n {
+            let (rank, w, s) = rx.recv_timeout(Duration::from_secs(30)).expect("wave ack");
+            assert_eq!((w, s), (wave, sum), "rank {rank} at wrong wave/membership");
+        }
+    };
+    for wave in 0..=KILL_WAVE {
+        expect(4, wave, 4);
+    }
+    world.kill_proc(&ProcId::new(nspace.as_str(), VICTIM));
+    // Mid-churn registry churn: enough pset define/undefine cycles to force
+    // the tombstone GC past its threshold while sessions keep rebuilding.
+    let registry = world.universe().registry().clone();
+    for i in 0..40 {
+        let name = format!("soak://tmp-{i}");
+        registry.define_pset(&name, vec![ProcId::new(nspace.as_str(), 0)]);
+        registry.undefine_pset(&name);
+    }
+    for wave in (KILL_WAVE + 1)..WAVES {
+        expect(3, wave, 3);
+    }
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![8, 8, 8, 4], "survivors run all waves; the victim stops at the kill");
+    // Leak-freedom gates: everything returned to baseline after the drain.
+    let obs = world.universe().fabric().obs();
+    assert_eq!(obs.sum_gauges("cid", "table_used"), 0, "leaked local CIDs");
+    assert_eq!(obs.sum_gauges("pml", "cache_entries"), 0, "leaked handshake-cache entries");
+    assert_eq!(
+        obs.sum_counters("instance", "cids_leaked_at_teardown"),
+        0,
+        "a finalize tore down live CIDs"
+    );
+    assert!(
+        registry.num_tombstones() <= GC_TOMBSTONE_THRESHOLD,
+        "tombstones exceeded the GC bound"
+    );
+    assert!(obs.sum_counters("pmix", "psets_gced") > 0, "tombstone GC never fired");
+    assert_eq!(
+        obs.gauge_value("registry", "pmix", "psets_tombstoned") as usize,
+        registry.num_tombstones(),
+        "tombstone gauge out of sync with the table"
+    );
+    assert!(obs.sum_counters("cid", "released") > 0, "comm churn must release CIDs");
+    assert!(
+        obs.sum_counters("pmix", "pgcid_recycled") > 0,
+        "destructed comms must recycle their PGCIDs"
+    );
+    // Ranks diverge at the kill, so skip the symmetric cid-agreement list.
+    let report = world.finish(None, Vec::new());
+    assert!(report
+        .trace
+        .iter()
+        .all(|r| matches!(r.class, FaultClass::Partition | FaultClass::Delay)));
+    report.assert_clean();
+    report
+}
+
 type Scenario = fn(u64) -> RunReport;
 
 const SCENARIOS: &[(&str, Scenario)] = &[
@@ -357,6 +493,7 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("kill", run_kill),
     ("partition", run_partition),
     ("elastic", run_elastic),
+    ("soak", run_soak),
 ];
 
 // ---------------------------------------------------------------------------
@@ -402,6 +539,13 @@ fn partition_seeds_heal_and_complete() {
 fn elastic_seeds_rebuild_through_churn() {
     for seed in [61, 62, 63, 64] {
         run_elastic(seed);
+    }
+}
+
+#[test]
+fn soak_seeds_churn_leak_free_through_faults() {
+    for seed in [81, 82, 83, 84] {
+        run_soak(seed);
     }
 }
 

@@ -2,9 +2,12 @@
 //! patterns and group algebra must preserve the library's invariants.
 
 use mpi_sessions_repro::mpi::{coll, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
+use mpi_sessions_repro::pmix::nspace::NamespaceRegistry;
+use mpi_sessions_repro::pmix::ProcId;
 use mpi_sessions_repro::prrte::{JobSpec, Launcher};
 use mpi_sessions_repro::simnet::SimTestbed;
 use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
 
 fn run_job<T, F>(np: u32, f: F) -> Vec<T>
 where
@@ -148,5 +151,56 @@ proptest! {
         prop_assert_eq!(out[0].1, 3);
         prop_assert_eq!(out[0].0, out[1].0);
         prop_assert_eq!(out[1].0, out[2].0);
+    }
+
+    /// Any interleaving of pset define/update/delete/GC keeps the emitted
+    /// epoch stream strictly monotonic and never resurrects a tombstoned
+    /// pset: a deleted name stays unresolvable until (and unless) a later
+    /// define re-creates it.
+    #[test]
+    fn prop_registry_interleaving_is_monotonic_and_tombstones_stay_dead(
+        ops in proptest::collection::vec(0u8..16, 1..80)
+    ) {
+        let reg = NamespaceRegistry::new();
+        let epochs: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let sink = epochs.clone();
+        reg.add_pset_listener(Box::new(move |c| sink.lock().unwrap().push(c.epoch)));
+        let member = vec![ProcId::new("prop", 0)];
+        // Model: per-name liveness; the registry must agree after every op.
+        let mut live = [false; 4];
+        for code in ops {
+            let (op, w) = (code % 4, (code / 4) as usize);
+            let name = format!("prop://{w}");
+            match op {
+                0 => {
+                    reg.define_pset(&name, member.clone());
+                    live[w] = true;
+                }
+                1 => {
+                    let r = reg.update_pset_membership(&name, member.clone(), None);
+                    // Updating a live pset succeeds; a deleted or unknown
+                    // one errors instead of resurrecting the name.
+                    prop_assert_eq!(r.is_ok(), live[w]);
+                }
+                2 => {
+                    reg.undefine_pset(&name);
+                    live[w] = false;
+                }
+                _ => {
+                    reg.gc_tombstones();
+                }
+            }
+            for (i, l) in live.iter().enumerate() {
+                let resolvable = reg.pset_members(&format!("prop://{i}")).is_ok();
+                prop_assert_eq!(resolvable, *l, "pset prop://{} resurrection/loss", i);
+            }
+        }
+        prop_assert_eq!(reg.num_psets(), live.iter().filter(|l| **l).count());
+        let epochs = epochs.lock().unwrap();
+        prop_assert!(
+            epochs.windows(2).all(|w| w[0] < w[1]),
+            "emitted epochs must be strictly increasing: {:?}",
+            &*epochs
+        );
     }
 }
