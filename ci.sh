@@ -34,18 +34,31 @@ cargo run -q --offline --release -p bench-harness --bin trace_check -- \
   | diff -u ci/golden_fig3_critical_path.txt -
 rm -f "$trace_tmp" "$trace_tmp.flame.txt"
 
+# Async-setup gate: the interleaving test layer for the nonblocking
+# request engine. The ProgressDriver harness plus the completion-order
+# proptest (8 pinned cases in tests/properties.rs) already ran in the
+# workspace pass above; re-running them by name here keeps the layer an
+# explicit, individually-diagnosable gate rather than a needle in the
+# workspace run.
+echo "== async-setup interleaving layer (harness + 8-case proptest) =="
+cargo test -q --offline --test async_setup
+cargo test -q --offline --test properties prop_async_setup_any_completion_order_agrees
+
 # Chaos gate: the pinned-seed fault-injection sweeps (tests/chaos_suite.rs)
 # already ran as part of the workspace test pass above. The elastic churn
-# scenario (grow/kill/retire/delete under delayed inter-server traffic)
-# and the soak scenario (session/comm/pset churn with leak-freedom checks
-# after fault-triggered rebuilds) additionally run here under four pinned
-# seeds via the CHAOS_SEEDS knob, exercising the epoch-monotonicity /
-# stale-epoch / rebuild-epoch / resource-lifecycle invariants end to end.
+# scenario (grow/kill/retire/delete under delayed inter-server traffic),
+# the soak scenario (session/comm/pset churn with leak-freedom checks
+# after fault-triggered rebuilds) and the async_setup scenario (kill,
+# delay and partition landing *between* the stages of in-flight setup
+# requests, checked by the request-terminal invariant) additionally run
+# here under four pinned seeds via the CHAOS_SEEDS knob, exercising the
+# epoch-monotonicity / stale-epoch / rebuild-epoch / resource-lifecycle /
+# request-terminal invariants end to end.
 # Override or extend the lists by exporting CHAOS_SEEDS (comma-separated
 # u64s) or CHAOS_SCENARIOS yourself, e.g. CHAOS_SEEDS=90,91 ./ci.sh
-echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak}) =="
+echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak,async_setup}) =="
 CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
-CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
 
 # Soak gate: a smoke-sized run of the sessions-as-a-service churn harness
@@ -61,15 +74,25 @@ if cargo run -q --offline --release -p bench-harness --bin fig_soak -- \
   echo "soak negative check failed: --no-gc run should have leaked" >&2
   exit 1
 fi
+# Abandon variant: every 10th in-flight idup_via_group is dropped instead
+# of claimed; collective cancellation must still drain every resource
+# level back to the pre-churn baseline.
+echo "== soak abandon smoke (fig_soak --waves 50 --abandon) =="
+cargo run -q --offline --release -p bench-harness --bin fig_soak -- \
+  --waves 50 --abandon >/dev/null
 
 # Perf-regression gate: bench_gate re-runs the fixed workload set and
 # diffs its deterministic report (logical critical-path costs, span/stage
 # counts, protocol counters — never wall time) against the committed
 # baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
 # regenerate the baseline after an intentional perf change with
-#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR6.json
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR7.json
+# The binary also hard-enforces (exit 2, no tolerance) the PGCID batching
+# bound and the nonblocking-overlap bound: 8 concurrent icomms must
+# coalesce into strictly fewer pgcid.request round trips — and a strictly
+# shorter serialized critical path — than 8 blocking constructs.
 echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
 cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
-  --check BENCH_PR6.json --tol "${BENCH_TOL:-0.05}"
+  --check BENCH_PR7.json --tol "${BENCH_TOL:-0.05}"
 
 echo "CI OK"

@@ -7,20 +7,23 @@
 //! numbers only**: logical critical-path costs and span/stage counts from
 //! the causal trace (work counters, never wall time) and an allowlist of
 //! protocol counters. Two runs of the same binary produce byte-identical
-//! JSON, so the committed baseline (`BENCH_PR6.json`) acts as a perf
+//! JSON, so the committed baseline (`BENCH_PR7.json`) acts as a perf
 //! fingerprint: a change that adds work to a hot path (an extra PGCID
 //! round trip, a redundant handshake, a new fence stage) moves a number
 //! and fails the gate instead of sliding silently into the trace.
 //!
 //! Usage:
-//!   `bench_gate --out BENCH_PR6.json`         regenerate the baseline
-//!   `bench_gate --check BENCH_PR6.json [--tol 0.05]`
+//!   `bench_gate --out BENCH_PR7.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR7.json [--tol 0.05]`
 //!                                             re-run and diff against it
 //!
 //! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
-//! The binary additionally hard-enforces the PGCID batching acceptance
-//! bound: the Fig. 4 sessions workload (300 `dup_via_group`) must emit at
-//! most `constructs / 4` `pgcid.request` spans.
+//! The binary additionally hard-enforces two acceptance bounds: the
+//! Fig. 4 sessions workload (300 `dup_via_group`) must emit at most
+//! `constructs / 4` `pgcid.request` spans, and the nonblocking overlap
+//! workload (8 concurrent `icomm_create_from_group` with block grants
+//! off) must take strictly fewer `pgcid.request` round trips and a
+//! strictly shorter trace critical path than 8 blocking constructs.
 
 use apps::{cli_opt, InitMode};
 use mpi_sessions::Comm;
@@ -334,6 +337,105 @@ fn run_soak(waves: u64) -> Value {
     fold_racy_data_split(extract(&launcher.universe().fabric().obs()))
 }
 
+/// Nonblocking-overlap shape: K communicator constructions from one world
+/// group, once as sequential blocking calls and once issued concurrently
+/// as setup requests, both with PGCID block grants disabled so every
+/// construct demands its own runtime round trip. Issuing the requests up
+/// front puts every PMIx fan-in on the wire at once, so the server's
+/// PGCID coalescer batches the demands: the overlapped run must take
+/// **strictly fewer** `pgcid.request` round trips than both the blocking
+/// run and K, and its *serialized* critical path must be **strictly
+/// shorter** — hard acceptance bounds (exit 2), mirroring the batching
+/// bound below. The serialized critical path is the structural trace
+/// critical path plus the total exclusive cost of the `pgcid.request` /
+/// `pgcid.alloc` spans: the PGCID controller admits one request at a
+/// time, so that work is end-to-end serialized even though the span DAG
+/// records no edge for the admission order.
+/// How far the overlapped run coalesces depends on thread scheduling, so
+/// the recorded fingerprint keeps the deterministic blocking-run record
+/// plus the pass bits (1), never the racy overlapped counts.
+fn run_overlap_icomm(k: usize) -> Value {
+    let run = |overlap: bool| -> Value {
+        let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+        launcher.universe().set_pgcid_block(1);
+        launcher
+            .spawn(JobSpec::new(2), move |ctx| {
+                let session = mpi_sessions::Session::init(
+                    &ctx,
+                    mpi_sessions::ThreadLevel::Single,
+                    mpi_sessions::ErrHandler::Return,
+                    &mpi_sessions::Info::null(),
+                )
+                .expect("session init");
+                let group = session.group_from_pset("mpi://world").expect("world pset");
+                let comms: Vec<Comm> = if overlap {
+                    let reqs: Vec<_> = (0..k)
+                        .map(|i| {
+                            Comm::icomm_create_from_group(&group, &format!("gate-ov{i}"))
+                                .expect("icomm issue")
+                        })
+                        .collect();
+                    reqs.into_iter().map(|r| r.wait().expect("icomm wait")).collect()
+                } else {
+                    (0..k)
+                        .map(|i| {
+                            Comm::create_from_group(&group, &format!("gate-ov{i}"))
+                                .expect("comm")
+                        })
+                        .collect()
+                };
+                for c in comms {
+                    c.free().expect("free");
+                }
+                session.finalize().expect("fini");
+            })
+            .join()
+            .expect("overlap workload");
+        extract(&launcher.universe().fabric().obs())
+    };
+    let seq = run(false);
+    let pipe = run(true);
+    let stage = |v: &Value, name: &str, field: &str| -> u64 {
+        v.as_object().expect("record")["stages"]
+            .as_object()
+            .and_then(|s| s.get(name)?.as_object()?.get(field)?.as_u64())
+            .unwrap_or(0)
+    };
+    let serialized_cp = |v: &Value| -> u64 {
+        v.as_object().expect("record")["critical_path_cost"].as_u64().unwrap_or(0)
+            + stage(v, "pgcid.request", "exclusive")
+            + stage(v, "pgcid.alloc", "exclusive")
+    };
+    let (seq_reqs, pipe_reqs) =
+        (stage(&seq, "pgcid.request", "count"), stage(&pipe, "pgcid.request", "count"));
+    let (seq_cp, pipe_cp) = (serialized_cp(&seq), serialized_cp(&pipe));
+    if seq_reqs < k as u64
+        || pipe_reqs == 0
+        || pipe_reqs >= seq_reqs
+        || pipe_reqs >= k as u64
+        || pipe_cp >= seq_cp
+    {
+        eprintln!(
+            "bench_gate: FAIL nonblocking overlap acceptance: {k} concurrent icomms took \
+             {pipe_reqs} pgcid.request spans / serialized critical path {pipe_cp} vs \
+             blocking {seq_reqs} spans / {seq_cp} (need nonzero, strictly fewer spans \
+             than both the blocking run and k, and a strictly shorter path)"
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "bench_gate: nonblocking overlap ok ({pipe_reqs} vs {seq_reqs} pgcid requests, \
+         serialized critical path {pipe_cp} vs {seq_cp}, {k} constructs)"
+    );
+    let mut out = Map::new();
+    out.insert("k".into(), Value::U64(k as u64));
+    out.insert("blocking".into(), seq);
+    out.insert("overlap_fewer_pgcid_requests".into(), Value::U64(1));
+    out.insert("overlap_fewer_than_k".into(), Value::U64(1));
+    out.insert("overlap_shorter_serialized_critical_path".into(), Value::U64(1));
+    Value::Object(out)
+}
+
 /// Fold the legitimately racy eager/ext counter pair and the
 /// eager/handshake stage pair into their deterministic sums (see
 /// `run_elastic`: which flavor a data send takes races against handshake
@@ -432,6 +534,8 @@ fn main() {
     workloads.insert("fig_elastic_churn_2x4".into(), run_elastic());
     eprintln!("bench_gate: soak churn point");
     workloads.insert("fig_soak_churn_2x2".into(), run_soak(8));
+    eprintln!("bench_gate: nonblocking overlap point");
+    workloads.insert("async_overlap_icomm_np2".into(), run_overlap_icomm(8));
     let n_workloads = workloads.len();
 
     // Hard acceptance bound for PGCID batching: 301 PGCID-bearing group

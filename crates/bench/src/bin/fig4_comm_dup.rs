@@ -9,12 +9,18 @@
 //!   created before needing to request a new PGCID").
 //!
 //! Usage: `fig4_comm_dup [--nodes 1,2,4,8] [--ppn 8] [--iters 16] [--paper]
-//!                       [--pgcid-block 8] [--metrics-out <path>]
-//!                       [--trace-out <path>]`
+//!                       [--pgcid-block 8] [--nonblocking]
+//!                       [--metrics-out <path>] [--trace-out <path>]`
 //! (`--pgcid-block 1` disables the resource manager's PGCID block grants,
 //! restoring the paper prototype's one-RM-round-trip-per-dup behavior;
 //! the default block of 8 amortizes that trip and pulls the small-scale
 //! sessions/consensus ratio under 1.)
+//! (`--nonblocking` adds an overlapped column: all `iters` dups are issued
+//! up front as `idup_via_group` setup requests and then claimed, so their
+//! PGCID demands pipeline through the runtime's coalescer instead of
+//! paying one serialized round trip each. Most interesting together with
+//! `--pgcid-block 1`, where the blocking column pays the full per-dup trip
+//! the overlap hides.)
 //! (`--metrics-out` dumps per-run observability exports: `cid.refills` vs
 //! `cid.derivations`, PMIx group stage counters, consensus rounds.
 //! `--trace-out` dumps per-run causal span-DAG traces whose critical paths
@@ -35,6 +41,8 @@ struct Row {
     sessions_dup_us: f64,
     derived_dup_us: f64,
     ratio: f64,
+    /// Overlapped `idup_via_group` column; `null` unless `--nonblocking`.
+    nonblocking_dup_us: Option<f64>,
 }
 
 /// Time `iters` dup operations on a fresh job; returns µs per dup
@@ -87,6 +95,50 @@ fn time_dups(
     (per_rank.into_iter().fold(0.0, f64::max), metrics, trace)
 }
 
+/// Time `iters` *overlapped* dups on a fresh job: every `idup_via_group`
+/// request is issued before any is claimed, so the PGCID acquisitions
+/// pipeline instead of serializing. Returns µs per dup (max across ranks).
+fn time_idups(
+    tb: SimTestbed,
+    np: u32,
+    iters: usize,
+    want_trace: bool,
+    pgcid_block: Option<u64>,
+) -> (f64, serde_json::Value, serde_json::Value) {
+    let launcher = Launcher::new(tb);
+    if let Some(block) = pgcid_block {
+        launcher.universe().set_pgcid_block(block);
+    }
+    let per_rank = launcher
+        .spawn(JobSpec::new(np), move |ctx| {
+            let (session, comm) = apps::osu::bench_comm(&ctx, InitMode::Sessions, "fig4-nb");
+            let t0 = Instant::now();
+            let reqs: Vec<_> =
+                (0..iters).map(|_| comm.idup_via_group().expect("idup issue")).collect();
+            let dups: Vec<_> =
+                reqs.into_iter().map(|r| r.wait().expect("idup wait")).collect();
+            let elapsed = t0.elapsed();
+            for d in dups {
+                d.free().expect("free");
+            }
+            comm.free().expect("free");
+            if let Some(s) = session {
+                s.finalize().expect("fini");
+            }
+            elapsed.as_secs_f64() * 1e6 / iters as f64
+        })
+        .join()
+        .expect("fig4 nonblocking job");
+    let registry = launcher.universe().fabric().obs();
+    let metrics = registry.export();
+    let trace = if want_trace {
+        obs::analyze::analyze(&registry.spans_snapshot(), registry.spans_dropped())
+    } else {
+        serde_json::Value::Null
+    };
+    (per_rank.into_iter().fold(0.0, f64::max), metrics, trace)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let nodes_list =
@@ -96,12 +148,21 @@ fn main() {
         .unwrap_or(if cli_flag(&args, "--paper") { 28 } else { 8 });
     let iters: usize = cli_opt(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(16);
     let pgcid_block: Option<u64> = cli_opt(&args, "--pgcid-block").and_then(|v| v.parse().ok());
+    let nonblocking = cli_flag(&args, "--nonblocking");
 
     println!("# Fig. 4: MPI_Comm_dup time per iteration, {ppn} processes/node");
-    println!(
-        "{:>6} {:>6} {:>16} {:>18} {:>18} {:>8}",
-        "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived", "ratio"
-    );
+    if nonblocking {
+        println!(
+            "{:>6} {:>6} {:>16} {:>18} {:>18} {:>18} {:>8}",
+            "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived",
+            "Sessions/overlap", "ratio"
+        );
+    } else {
+        println!(
+            "{:>6} {:>6} {:>16} {:>18} {:>18} {:>8}",
+            "nodes", "np", "MPI_Init (us)", "Sessions/PGCID", "Sessions/derived", "ratio"
+        );
+    }
     let mut sink = MetricsSink::from_args(&args);
     let mut traces = TraceSink::from_args(&args);
     let want_trace = traces.enabled();
@@ -119,6 +180,12 @@ fn main() {
             time_dups(mk_tb(), np, InitMode::Sessions, iters, false, want_trace, pgcid_block);
         let (derived, derived_m, derived_t) =
             time_dups(mk_tb(), np, InitMode::Sessions, iters, true, want_trace, pgcid_block);
+        let nb = nonblocking.then(|| {
+            let (nb, nb_m, nb_t) = time_idups(mk_tb(), np, iters, want_trace, pgcid_block);
+            sink.record(&format!("nodes{nodes}_sessions_overlap"), nb_m);
+            traces.record(&format!("nodes{nodes}_sessions_overlap"), nb_t);
+            nb
+        });
         sink.record(&format!("nodes{nodes}_wpm_consensus"), wpm_m);
         sink.record(&format!("nodes{nodes}_sessions_pgcid"), sess_m);
         sink.record(&format!("nodes{nodes}_sessions_derived"), derived_m);
@@ -126,10 +193,17 @@ fn main() {
         traces.record(&format!("nodes{nodes}_sessions_pgcid"), sess_t);
         traces.record(&format!("nodes{nodes}_sessions_derived"), derived_t);
         let ratio = sess / wpm;
-        println!(
-            "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>8.2}",
-            nodes, np, wpm, sess, derived, ratio
-        );
+        if let Some(nb) = nb {
+            println!(
+                "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>18.2} {:>8.2}",
+                nodes, np, wpm, sess, derived, nb, ratio
+            );
+        } else {
+            println!(
+                "{:>6} {:>6} {:>16.2} {:>18.2} {:>18.2} {:>8.2}",
+                nodes, np, wpm, sess, derived, ratio
+            );
+        }
         rows.push(Row {
             nodes,
             np,
@@ -137,6 +211,7 @@ fn main() {
             sessions_dup_us: sess,
             derived_dup_us: derived,
             ratio,
+            nonblocking_dup_us: nb,
         });
     }
     println!(
@@ -144,6 +219,13 @@ fn main() {
          # consensus baseline and the gap grows with node count; exCID derivation\n\
          # (last column) removes the per-dup runtime round trip entirely."
     );
+    if nonblocking {
+        println!(
+            "# Overlap column: issuing all {iters} dups as requests before claiming any\n\
+             # pipelines the PGCID acquisitions through the runtime's coalescer — the\n\
+             # round trips that serialize the blocking PGCID column overlap instead."
+        );
+    }
     dump_json("fig4_comm_dup", &rows);
     sink.finish();
     traces.finish();

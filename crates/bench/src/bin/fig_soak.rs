@@ -15,7 +15,14 @@
 //! the registry to demonstrate the failure mode the GC exists to prevent:
 //! any run of more than `GC_TOMBSTONE_THRESHOLD` waves then FAILs.
 //!
-//! Usage: `fig_soak [--waves 200] [--sample-every N] [--no-gc]
+//! `--abandon` adds one in-flight `idup_via_group` setup request per rank
+//! per wave and *drops* it mid-flight on every 10th wave instead of
+//! claiming it: collective cancellation must still drive the request to
+//! completion and release its PGCID-backed CID, or the leak verdict (and
+//! the teardown audit) fails. This is the service-shape proof that
+//! abandoning nonblocking setup never strands resources.
+//!
+//! Usage: `fig_soak [--waves 200] [--sample-every N] [--no-gc] [--abandon]
 //!                  [--metrics-out <path>]`
 
 use apps::cli_opt;
@@ -34,6 +41,7 @@ const NP: u32 = 4;
 struct Report {
     waves: u64,
     gc_enabled: bool,
+    abandoned_idups: u64,
     elapsed_s: f64,
     sessions_per_s: f64,
     samples: Vec<soak::LevelSample>,
@@ -45,6 +53,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let waves: u64 = cli_opt(&args, "--waves").and_then(|v| v.parse().ok()).unwrap_or(200);
     let no_gc = args.iter().any(|a| a == "--no-gc");
+    let abandon = args.iter().any(|a| a == "--abandon");
     let sample_every: u64 = cli_opt(&args, "--sample-every")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| (waves / 16).max(1));
@@ -65,6 +74,10 @@ fn main() {
             let group = session.group_from_pset("mpi://world").expect("world pset");
             let comm =
                 Comm::create_from_group(&group, &format!("soak-w{wave}")).expect("comm");
+            // Abandon variant: one nonblocking PGCID dup rides in flight
+            // across the whole wave's churn (issued here, resolved after
+            // the allreduce below).
+            let inflight = abandon.then(|| comm.idup_via_group().expect("idup issue"));
             // Derive a child, free it, derive again: the second derivation
             // must resume the recycled subfield, exercising the freed-list
             // path every single wave.
@@ -74,6 +87,17 @@ fn main() {
             let sum = coll::allreduce_t(&d2, ReduceOp::Sum, &[1u32]).expect("allreduce")[0];
             assert_eq!(sum, NP, "wave {wave}: collective saw wrong membership");
             d2.free().expect("free d2");
+            if let Some(req) = inflight {
+                if wave % 10 == 0 {
+                    // Every 10th wave the request is dropped instead of
+                    // claimed: cancellation frees the comm it produced, so
+                    // the lifecycle counters and the leak verdict see the
+                    // same drained world as a claimed-and-freed wave.
+                    drop(req);
+                } else {
+                    req.wait().expect("idup wait").free().expect("free idup");
+                }
+            }
             comm.free().expect("free comm");
             session.finalize().expect("finalize");
             tx.send((ctx.rank(), wave)).expect("ack");
@@ -144,14 +168,25 @@ fn main() {
     let pgcid_recycled = obs.sum_counters("pmix", "pgcid_recycled");
     let gced = obs.sum_counters("pmix", "psets_gced");
     let leaked = obs.sum_counters("instance", "cids_leaked_at_teardown");
+    let cancelled = obs.sum_counters("req", "cancelled");
     println!(
         "\n# Lifecycle counters: {released} CIDs released, {recycled} subfields recycled, \
-         {pgcid_recycled} PGCIDs recycled, {gced} tombstones GCed, {leaked} leaked at teardown"
+         {pgcid_recycled} PGCIDs recycled, {gced} tombstones GCed, {leaked} leaked at \
+         teardown, {cancelled} setup requests cancelled"
     );
-    assert_eq!(released, sessions * 3, "three frees per rank per wave");
+    let frees_per_wave = if abandon { 4 } else { 3 };
+    assert_eq!(
+        released,
+        sessions * frees_per_wave,
+        "{frees_per_wave} frees per rank per wave (cancellation counts as a free)"
+    );
     assert_eq!(recycled, sessions, "one recycled derivation per rank per wave");
     assert!(pgcid_recycled > 0, "comm frees must recycle PGCIDs");
     assert_eq!(leaked, 0, "teardown audit found live CIDs");
+    // 10% of the in-flight idups (every 10th wave, all ranks) are dropped
+    // mid-flight; each drop must surface as exactly one cancellation.
+    let abandoned = if abandon { waves.div_ceil(10) * NP as u64 } else { 0 };
+    assert_eq!(cancelled, abandoned, "every abandoned idup must be cancelled, nothing else");
     if !no_gc && waves > GC_TOMBSTONE_THRESHOLD as u64 {
         assert!(gced > 0, "churn past the threshold must trigger GC");
     }
@@ -168,6 +203,7 @@ fn main() {
         &Report {
             waves,
             gc_enabled: !no_gc,
+            abandoned_idups: abandoned,
             elapsed_s: elapsed,
             sessions_per_s: sessions as f64 / elapsed,
             samples,

@@ -36,6 +36,12 @@
 //! 11. **stale-epoch** — no rebuilt communicator was retired with traffic
 //!     still queued against it: a nonzero `stale_unexpected` at retire
 //!     means a message crossed a pset epoch boundary.
+//! 12. **request-terminal** — every issued setup request (`req.issued`)
+//!     reached a terminal state on its process: a matching `req.completed`
+//!     or `req.failed` with the same request id. A request that is neither
+//!     is a construction stranded mid-state-machine by the fault schedule
+//!     (a cancelled request completes first — drop drives the collective
+//!     to completion — so cancellation still pairs with `req.completed`).
 //!
 //! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
 //! based checks are only sound over a complete ring, so scenarios must be
@@ -102,6 +108,7 @@ impl InvariantChecker {
         self.check_cid_agreement(ctx, &mut out);
         self.check_pset_epochs(ctx, &mut out);
         self.check_stale_epochs(ctx, &mut out);
+        self.check_request_terminal(ctx, &mut out);
         out
     }
 
@@ -371,6 +378,34 @@ impl InvariantChecker {
         }
     }
 
+    fn check_request_terminal(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let mut terminal: BTreeSet<(String, u64)> = BTreeSet::new();
+        for name in ["req.completed", "req.failed"] {
+            for e in ctx.obs.events_named(name) {
+                terminal.insert((e.process.clone(), attr_u64(&e, "id")));
+            }
+        }
+        for e in ctx.obs.events_named("req.issued") {
+            let key = (e.process.clone(), attr_u64(&e, "id"));
+            // No kill exemption: a request on a killed endpoint must still
+            // terminate — its stages *fail* when the fabric is gone, and
+            // both `wait` and drop drive the machine to that terminal state.
+            if terminal.contains(&key) {
+                continue;
+            }
+            out.push(Violation {
+                invariant: "request-terminal",
+                detail: format!(
+                    "process {} issued setup request {} ({}) that never completed, \
+                     failed, or was cancelled",
+                    key.0,
+                    key.1,
+                    attr_str(&e, "op"),
+                ),
+            });
+        }
+    }
+
     fn check_cid_agreement(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
         for name in ["refills", "derivations"] {
             let values: BTreeSet<u64> = ctx
@@ -626,6 +661,29 @@ mod tests {
         assert_eq!(v.len(), 1, "got: {v:?}");
         assert_eq!(v[0].invariant, "stale-epoch");
         assert!(v[0].detail.contains("3 unexpected"));
+    }
+
+    #[test]
+    fn stranded_setup_request_is_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let ev = |name: &str, id: u64| {
+            obs.event("ns:0", "req", name, vec![
+                ("op".into(), "comm_create_from_group".into()),
+                ("id".into(), id.into()),
+            ]);
+        };
+        ev("req.issued", 1);
+        ev("req.completed", 1);
+        ev("req.issued", 2);
+        ev("req.failed", 2);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "terminated requests flagged: {v:?}");
+        ev("req.issued", 3); // never reaches a terminal event
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "request-terminal");
+        assert!(v[0].detail.contains("request 3"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::errhandler::ErrHandler;
 use crate::error::{ErrClass, MpiError, Result};
 use crate::group::MpiGroup;
 use crate::instance::MpiProcess;
-use crate::request::Request;
+use crate::request::{stage, Request, SetupRequest, SetupStage, SetupStep};
 use crate::status::Status;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -171,32 +171,64 @@ impl Comm {
     /// The sessions constructor (`MPI_Comm_create_from_group`): collective
     /// over the group's members. Performs a PMIx group construct to obtain
     /// a PGCID; each process picks its local CID independently.
+    /// Implemented as [`Comm::icomm_create_from_group`] + `wait` (quiet).
     pub fn create_from_group(group: &MpiGroup, stringtag: &str) -> Result<Comm> {
+        Self::icomm_inner(group, stringtag, true)?.wait()
+    }
+
+    /// Nonblocking `MPI_Comm_create_from_group`: issues the PMIx group
+    /// fan-in immediately and returns a [`SetupRequest`] whose stages
+    /// (`begin` → `group` → `commit`) complete under `test`/`wait`/the
+    /// process [`crate::instance::MpiProcess::progress_engine`]. N
+    /// concurrent requests pipeline: all fan-ins (and their PGCID demand)
+    /// are on the wire before the first wait, so the per-server coalescer
+    /// batches their `pgcid.request` round trips. Dropping the request
+    /// cancels collectively (the construction completes, then the
+    /// communicator is freed — every rank must drop symmetrically).
+    pub fn icomm_create_from_group(
+        group: &MpiGroup,
+        stringtag: &str,
+    ) -> Result<SetupRequest<Comm>> {
+        Self::icomm_inner(group, stringtag, false)
+    }
+
+    fn icomm_inner(group: &MpiGroup, stringtag: &str, quiet: bool) -> Result<SetupRequest<Comm>> {
         let process = group_process(group)?;
         process.require_active()?;
-        // Entered span: the PMIx construct below becomes its child.
+        // Outer span, entered for every step: the PMIx construct issued in
+        // `begin` becomes its child, exactly as in the blocking call.
         let span = process
             .obs()
             .span(&process.proc().to_string(), "comm.create_from_group", stringtag);
-        let _entered = span.enter();
         let members: Vec<pmix::ProcId> = group.iter().map(|m| m.proc).collect();
         let name = format!("mpi-comm:{stringtag}");
-        let pgroup = process
-            .pmix()
-            .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
-        let pgcid = pgroup
-            .pgcid()
-            .ok_or_else(|| MpiError::intern("PMIx group construct returned no PGCID"))?;
-        let local_cid = process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
-        Comm::build(
+        let dense = group.to_dense();
+        let first = stage("begin", {
+            let mut armed = Some((process.clone(), name, members, dense));
+            move || {
+                let (process, name, members, dense) = armed.take().expect("begin runs once");
+                let pending = process.pmix().group_construct_nb(
+                    &name,
+                    &members,
+                    &GroupDirectives::for_mpi(),
+                )?;
+                let commit = commit_stage(process, dense, None);
+                Ok(SetupStep::Next(Box::new(GroupStage {
+                    pending: Some(pending),
+                    next: Some(commit),
+                })))
+            }
+        });
+        Ok(SetupRequest::issue(
             process,
-            group.to_dense(),
-            local_cid,
-            Some(ExCid::from_pgcid(pgcid)),
-            CidOrigin::Pgcid,
-            None,
-            Some(pgroup),
-        )
+            "comm_create_from_group",
+            Some(span),
+            quiet,
+            first,
+            Some(Box::new(|c: Comm| {
+                let _ = c.free();
+            })),
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -369,50 +401,9 @@ impl Comm {
         self.check_live()?;
         match self.inner.excid {
             Some(_) if self.inner.origin != CidOrigin::Builtin => {
-                // Try local derivation from the active block: recycled
-                // subfields first (slots returned by freed children), then
-                // fresh derivation — initially rooted at this communicator's
-                // own exCID, and after an exhaustion-triggered refill rooted
-                // at the fresh block.
-                let pool = self.inner.derive.lock().clone();
-                let derived = pool.as_ref().map(|p| {
-                    let mut pl = p.lock();
-                    if let Some((excid, child_pool)) = pl.freed.pop() {
-                        return Ok((excid, child_pool, true));
-                    }
-                    let base = pl.base;
-                    try_derive_excid(&base, &mut pl.state).map(|(e, s)| {
-                        let child = Arc::new(Mutex::new(DerivePool {
-                            base: e,
-                            state: s,
-                            freed: Vec::new(),
-                        }));
-                        (e, child, false)
-                    })
-                });
-                match derived {
-                    Some(Ok((child_excid, child_pool, recycled))) => {
-                        let parent = pool.expect("derivation implies a pool");
-                        self.build_derived(child_excid, child_pool, parent, recycled)
-                    }
-                    other => {
-                        // Subfield space exhausted (or no pool at all, for a
-                        // derived comm that never seeded one). Record which
-                        // exhaustion mode fired: silently wrapping here
-                        // would alias two children onto one exCID.
-                        let obs = self.process.obs();
-                        let p = self.process.proc().to_string();
-                        obs.counter(&p, "cid", "subfield_exhausted").inc();
-                        let reason = match other {
-                            Some(Err(why)) => why.as_str(),
-                            _ => "no-pool",
-                        };
-                        obs.event(
-                            &p,
-                            "cid",
-                            "cid.subfield_exhausted",
-                            vec![("reason".into(), reason.into())],
-                        );
+                match self.derive_once() {
+                    Some(res) => res,
+                    None => {
                         // Block exhausted: every participant hits this at
                         // the same dup index (derivation is deterministic),
                         // so the group collectively acquires a fresh PGCID.
@@ -483,6 +474,54 @@ impl Comm {
         }
     }
 
+    /// One attempt at the local-derivation fast path: recycled subfields
+    /// first (slots returned by freed children), then fresh derivation —
+    /// initially rooted at this communicator's own exCID, and after an
+    /// exhaustion-triggered refill rooted at the fresh block. `None` when
+    /// the subfield space is exhausted (or the comm never seeded a pool),
+    /// with the exhaustion mode recorded: silently wrapping here would
+    /// alias two children onto one exCID.
+    fn derive_once(&self) -> Option<Result<Comm>> {
+        let pool = self.inner.derive.lock().clone();
+        let derived = pool.as_ref().map(|p| {
+            let mut pl = p.lock();
+            if let Some((excid, child_pool)) = pl.freed.pop() {
+                return Ok((excid, child_pool, true));
+            }
+            let base = pl.base;
+            try_derive_excid(&base, &mut pl.state).map(|(e, s)| {
+                let child = Arc::new(Mutex::new(DerivePool {
+                    base: e,
+                    state: s,
+                    freed: Vec::new(),
+                }));
+                (e, child, false)
+            })
+        });
+        match derived {
+            Some(Ok((child_excid, child_pool, recycled))) => {
+                let parent = pool.expect("derivation implies a pool");
+                Some(self.build_derived(child_excid, child_pool, parent, recycled))
+            }
+            other => {
+                let obs = self.process.obs();
+                let p = self.process.proc().to_string();
+                obs.counter(&p, "cid", "subfield_exhausted").inc();
+                let reason = match other {
+                    Some(Err(why)) => why.as_str(),
+                    _ => "no-pool",
+                };
+                obs.event(
+                    &p,
+                    "cid",
+                    "cid.subfield_exhausted",
+                    vec![("reason".into(), reason.into())],
+                );
+                None
+            }
+        }
+    }
+
     /// Build a locally-derived child communicator (the zero-traffic dup):
     /// emits the `comm.dup_derived` span, claims a local CID, installs the
     /// child's derivation pool (fresh, or resumed when the exCID was
@@ -538,7 +577,21 @@ impl Comm {
     /// accounted for by the overhead of acquiring a PMIx group context
     /// identifier"). Exposed separately so the benchmarks can reproduce the
     /// figure and the ablation can compare it against local derivation.
+    /// Implemented as [`Comm::idup_via_group`] + `wait` (quiet).
     pub fn dup_via_group(&self) -> Result<Comm> {
+        self.idup_via_group_inner(true)?.wait()
+    }
+
+    /// Nonblocking [`Comm::dup_via_group`]: the fresh-PGCID dup as a
+    /// [`SetupRequest`] (`begin` → `group` → `commit`). This is the
+    /// overlap workhorse of `fig4_comm_dup --nonblocking`: K requests
+    /// issued back-to-back put K fan-ins (and one coalesced PGCID demand)
+    /// on the wire before the first wait.
+    pub fn idup_via_group(&self) -> Result<SetupRequest<Comm>> {
+        self.idup_via_group_inner(false)
+    }
+
+    fn idup_via_group_inner(&self, quiet: bool) -> Result<SetupRequest<Comm>> {
         self.check_live()?;
         let n = self.inner.dup_seq.fetch_add(1, Ordering::Relaxed);
         let name = format!(
@@ -554,22 +607,139 @@ impl Comm {
             .process
             .obs()
             .span(&self.process.proc().to_string(), "comm.dup_group", &name);
-        let _entered = span.enter();
-        let pgroup = self
-            .process
-            .pmix()
-            .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
-        let pgcid = pgroup.pgcid().ok_or_else(|| MpiError::intern("no PGCID"))?;
-        let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
-        Comm::build(
+        let first = stage("begin", {
+            let mut armed = Some((
+                self.process.clone(),
+                self.inner.group.clone(),
+                name,
+                members,
+            ));
+            move || {
+                let (process, group, name, members) = armed.take().expect("begin runs once");
+                let pending = process.pmix().group_construct_nb(
+                    &name,
+                    &members,
+                    &GroupDirectives::for_mpi(),
+                )?;
+                let commit = commit_stage(process, group, None);
+                Ok(SetupStep::Next(Box::new(GroupStage {
+                    pending: Some(pending),
+                    next: Some(commit),
+                })))
+            }
+        });
+        Ok(SetupRequest::issue(
+            self.process.clone(),
+            "comm_dup_via_group",
+            Some(span),
+            quiet,
+            first,
+            Some(Box::new(|c: Comm| {
+                let _ = c.free();
+            })),
+        ))
+    }
+
+    /// Nonblocking `MPI_Comm_dup`. Mirrors [`Comm::dup`]'s regimes:
+    ///
+    /// * exCID parents try the local-derivation fast path at issue time —
+    ///   completing in the issuing call when a subfield is free — and fall
+    ///   back to a *pipelined* refill (fresh PGCID via the nonblocking
+    ///   PMIx construct; the parent pool is refilled at commit). Unlike
+    ///   the blocking `dup`, concurrent exhausted `idup`s do not coalesce
+    ///   on the refill lock — each pipelines its own construct, which is
+    ///   the point of the nonblocking path (the per-server PGCID
+    ///   coalescer still batches their id demand).
+    /// * Consensus/built-in parents run the legacy consensus agreement as
+    ///   one coarse `consensus` stage: nothing runs at issue, and the
+    ///   first poll executes the whole (inherently blocking) multi-round
+    ///   exchange. Documented in DESIGN.md §12.
+    pub fn idup(&self) -> Result<SetupRequest<Comm>> {
+        self.check_live()?;
+        let excid_path = self.inner.excid.is_some() && self.inner.origin != CidOrigin::Builtin;
+        let parent = self.clone();
+        let first = if excid_path {
+            stage("derive", {
+                let mut armed = Some(parent);
+                move || {
+                    let parent = armed.take().expect("derive runs once");
+                    if let Some(res) = parent.derive_once() {
+                        return res.map(SetupStep::Done);
+                    }
+                    parent.begin_refill()
+                }
+            })
+        } else {
+            // A cheap first stage so `issue` never blocks: the consensus
+            // exchange runs on the first *poll*, not in the issuing call.
+            stage("resolve", {
+                let mut armed = Some(parent);
+                move || {
+                    let parent = armed.take().expect("resolve runs once");
+                    let mut armed = Some(parent);
+                    Ok(SetupStep::Next(stage("consensus", move || {
+                        let parent = armed.take().expect("consensus runs once");
+                        parent.dup_consensus().map(SetupStep::Done)
+                    })))
+                }
+            })
+        };
+        Ok(SetupRequest::issue(
+            self.process.clone(),
+            "comm_idup",
+            None,
+            false,
+            first,
+            Some(Box::new(|c: Comm| {
+                let _ = c.free();
+            })),
+        ))
+    }
+
+    /// Begin the exhaustion refill for [`Comm::idup`]: a nonblocking PMIx
+    /// construct whose commit installs the child's fresh derivation block
+    /// as this communicator's pool (same in-place refill as the blocking
+    /// `dup`, minus the refill-lock coalescing).
+    fn begin_refill(&self) -> Result<SetupStep<Comm>> {
+        let n = self.inner.dup_seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!(
+            "mpi-dup:{}:{}",
+            self.inner
+                .excid
+                .map(|e| format!("{e}"))
+                .unwrap_or_else(|| format!("cid{}", self.inner.local_cid)),
+            n
+        );
+        let members: Vec<pmix::ProcId> = self.inner.group.iter().map(|m| m.proc).collect();
+        let pending = self.process.pmix().group_construct_nb(
+            &name,
+            &members,
+            &GroupDirectives::for_mpi(),
+        )?;
+        let parent = self.clone();
+        let commit = commit_stage(
             self.process.clone(),
             self.inner.group.clone(),
-            local_cid,
-            Some(ExCid::from_pgcid(pgcid)),
-            CidOrigin::Pgcid,
-            None,
-            Some(pgroup),
-        )
+            Some(Box::new(move |child: &Comm| {
+                let refilled = child.inner.derive.lock().clone();
+                *parent.inner.derive.lock() = refilled;
+                parent.count_derivation();
+                parent.process.obs().event(
+                    &parent.process.proc().to_string(),
+                    "cid",
+                    "cid.refill",
+                    vec![(
+                        "pgcid".into(),
+                        child.excid().map(|e| e.pgcid).unwrap_or(0).into(),
+                    )],
+                );
+                Ok(())
+            })),
+        );
+        Ok(SetupStep::Next(Box::new(GroupStage {
+            pending: Some(pending),
+            next: Some(commit),
+        })))
     }
 
     /// `MPI_Comm_dup` via the legacy consensus algorithm (baseline path).
@@ -825,4 +995,74 @@ fn group_process(group: &MpiGroup) -> Result<Arc<MpiProcess>> {
     group
         .process_hint()
         .ok_or_else(|| MpiError::new(ErrClass::Group, "group is not bound to an MPI process"))
+}
+
+/// Continuation a [`GroupStage`] hands the delivered PMIx group to.
+type GroupCont = Box<dyn FnOnce(pmix::PmixGroup) -> Result<SetupStep<Comm>> + Send>;
+/// Post-build hook run by the `commit` stage on the constructed comm.
+type CommitHook = Box<dyn FnOnce(&Comm) -> Result<()> + Send>;
+
+/// The `group` stage of a communicator [`SetupRequest`]: an in-flight
+/// nonblocking PMIx group construct. Parks on the server condvar (not a
+/// sleep), so a blocking wrapper of an `i`-variant keeps condvar-grade
+/// wakeup latency.
+struct GroupStage {
+    pending: Option<pmix::PendingGroup>,
+    next: Option<GroupCont>,
+}
+
+impl SetupStage<Comm> for GroupStage {
+    fn name(&self) -> &'static str {
+        "group"
+    }
+    fn poll(&mut self) -> Result<SetupStep<Comm>> {
+        let pending = self
+            .pending
+            .as_mut()
+            .ok_or_else(|| MpiError::intern("group stage polled after completion"))?;
+        match pending.try_group() {
+            None => Ok(SetupStep::Pending),
+            Some(res) => {
+                self.pending = None;
+                let pgroup = res?;
+                (self.next.take().expect("group continuation runs once"))(pgroup)
+            }
+        }
+    }
+    fn park(&mut self, limit: std::time::Duration) {
+        if let Some(p) = self.pending.as_mut() {
+            p.park(limit);
+        }
+    }
+}
+
+/// Continuation for [`GroupStage`]: once the construct delivers, hand over
+/// to a `commit` stage that extracts the PGCID, claims a local CID and
+/// builds the communicator. `after` runs on the built comm before the
+/// request completes (the idup refill installs the child's derivation
+/// block there).
+fn commit_stage(process: Arc<MpiProcess>, group: MpiGroup, after: Option<CommitHook>) -> GroupCont {
+    Box::new(move |pgroup| {
+        let mut armed = Some((process, group, pgroup, after));
+        Ok(SetupStep::Next(stage("commit", move || {
+            let (process, group, pgroup, after) = armed.take().expect("commit runs once");
+            let pgcid = pgroup
+                .pgcid()
+                .ok_or_else(|| MpiError::intern("PMIx group construct returned no PGCID"))?;
+            let local_cid = process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+            let comm = Comm::build(
+                process,
+                group,
+                local_cid,
+                Some(ExCid::from_pgcid(pgcid)),
+                CidOrigin::Pgcid,
+                None,
+                Some(pgroup),
+            )?;
+            if let Some(f) = after {
+                f(&comm)?;
+            }
+            Ok(SetupStep::Done(comm))
+        })))
+    })
 }

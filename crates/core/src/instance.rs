@@ -16,6 +16,7 @@
 use crate::cid::CidTable;
 use crate::error::{ErrClass, MpiError, Result};
 use crate::pml::Pml;
+use crate::request::ProgressEngine;
 use parking_lot::Mutex;
 use pmix::{PmixClient, PmixUniverse, ProcId};
 use prrte::ProcCtx;
@@ -69,6 +70,7 @@ pub struct MpiProcess {
     pml: Arc<Pml>,
     pmix: PmixClient,
     universe: Arc<PmixUniverse>,
+    engine: ProgressEngine,
     pub(crate) state: Mutex<ProcState>,
 }
 
@@ -113,6 +115,7 @@ impl MpiProcess {
             pml: Pml::new(ctx.endpoint_arc()),
             pmix: ctx.pmix().clone(),
             universe: ctx.universe().clone(),
+            engine: ProgressEngine::default(),
             state: Mutex::new(ProcState {
                 cid_table: CidTable::new(),
                 pgcid_users: HashMap::new(),
@@ -151,6 +154,21 @@ impl MpiProcess {
     /// The universe (registry access for pset resolution).
     pub fn universe(&self) -> &Arc<PmixUniverse> {
         &self.universe
+    }
+
+    /// The setup progress engine: every in-flight `i`-variant construction
+    /// of this process registers here.
+    pub fn progress_engine(&self) -> &ProgressEngine {
+        &self.engine
+    }
+
+    /// Explicit progress: step every in-flight setup request once and pump
+    /// the messaging engine. Returns the number of setup requests still in
+    /// flight.
+    pub fn progress(&self) -> usize {
+        let live = self.engine.progress();
+        self.pml.progress(None);
+        live
     }
 
     /// The fabric-wide observability registry this process reports into.

@@ -88,7 +88,7 @@ pub use errhandler::ErrHandler;
 pub use error::{ErrClass, MpiError, Result};
 pub use group::MpiGroup;
 pub use info::Info;
-pub use request::Request;
+pub use request::{stage, ProgressEngine, Request, SetupRequest, SetupStage, SetupStep};
 pub use session::{Session, ThreadLevel};
 pub use status::Status;
 pub use world::World;

@@ -1,13 +1,47 @@
 //! Request objects (`MPI_Request`): completion tracking for non-blocking
 //! operations, plus the poll-hook mechanism that implements non-blocking
 //! collectives (`MPI_Ibarrier`) as state machines driven by `test`/`wait`.
+//!
+//! # The setup engine (nonblocking session/comm construction)
+//!
+//! [`SetupRequest`] is the request type behind the `i`-variants of the
+//! construction API (`Session::init_i`, `Session::igroup_from_pset`,
+//! `Comm::icomm_create_from_group`, `Comm::idup`, `Comm::idup_via_group`).
+//! A setup request is a **multi-stage state machine**: each stage is a
+//! [`SetupStage`] whose `poll` either reports [`SetupStep::Pending`],
+//! hands over to the next stage ([`SetupStep::Next`]), or finishes with
+//! the constructed object ([`SetupStep::Done`]). Issuing the request runs
+//! the first stage synchronously — that is what lets N concurrent
+//! constructions *pipeline*: every request's PMIx fan-in (and therefore
+//! its PGCID demand) is on the wire before the first `wait`, so the
+//! per-server PGCID coalescer batches them into fewer `pgcid.request`
+//! round trips than N blocking calls would pay.
+//!
+//! Progress is driven three ways, all equivalent:
+//! * `test()` — one step, the caller's thread;
+//! * `wait()` — steps until terminal, parking on the stage's own wake
+//!   source between polls (a blocking variant is exactly
+//!   `i`-variant + `wait`);
+//! * [`ProgressEngine::progress`] — the per-process engine sweeps every
+//!   registered in-flight request once (explicit `MPI_Progress` analog,
+//!   what the test harness single-steps).
+//!
+//! **Cancellation is collective** (like the constructions themselves):
+//! dropping an in-flight `SetupRequest` first drives it to a terminal
+//! state and then runs the release action — e.g. a cancelled
+//! `icomm_create_from_group` collectively frees the just-built
+//! communicator, returning its local CID, PML route and PGCID-family
+//! reference. Every rank of the construction must drop (or complete) the
+//! same request; see DESIGN.md §12 for the full contract.
 
 use crate::error::{ErrClass, MpiError, Result};
+use crate::instance::MpiProcess;
 use crate::pml::Pml;
 use crate::status::Status;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// What kind of operation a request tracks.
@@ -197,8 +231,55 @@ impl Request {
     }
 
     /// Wait for all requests (`MPI_Waitall`).
+    ///
+    /// Polls **round-robin** across the whole set. The obvious
+    /// `for r in reqs { r.wait() }` is wrong for hook-driven (collective /
+    /// setup) requests: their completion only advances when *their* hook
+    /// is polled, so waiting in issue order livelocks when request 0 can
+    /// only finish after a completion that request 1's hook must first
+    /// observe. Completions arriving in any order now unblock the set.
     pub fn wait_all(reqs: Vec<Request>) -> Result<Vec<Status>> {
-        reqs.into_iter().map(|r| r.wait()).collect()
+        let n = reqs.len();
+        let mut out: Vec<Option<Status>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        // First failure by *issue index* (deterministic regardless of the
+        // completion interleaving); the remaining requests are still
+        // drained to terminal so none is left un-progressed.
+        let mut first_err: Option<(usize, MpiError)> = None;
+        let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
+        while !pending.is_empty() {
+            let mut advanced = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (idx, req) = &pending[i];
+                let idx = *idx;
+                match req.inner.poll() {
+                    Ok(false) => {
+                        i += 1;
+                        continue;
+                    }
+                    Ok(true) => {
+                        out[idx] = req.inner.status_snapshot();
+                    }
+                    Err(e) => {
+                        if first_err.as_ref().map(|(j, _)| idx < *j).unwrap_or(true) {
+                            first_err = Some((idx, e));
+                        }
+                    }
+                }
+                pending.swap_remove(i);
+                advanced = true;
+            }
+            if !pending.is_empty() && !advanced {
+                pending[0].1.pml.progress(Some(Duration::from_millis(1)));
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        out.into_iter()
+            .map(|s| s.ok_or_else(|| MpiError::intern("completed request without status")))
+            .collect()
     }
 
     /// Whether the request has already completed (no progress attempt).
@@ -217,6 +298,410 @@ impl std::fmt::Debug for Request {
         f.debug_struct("Request")
             .field("kind", &self.inner.kind())
             .field("done", &self.inner.state.lock().done)
+            .finish()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The setup engine
+// ----------------------------------------------------------------------
+
+/// Outcome of polling one stage of a [`SetupRequest`].
+pub enum SetupStep<T> {
+    /// The stage is waiting on an external completion; poll again.
+    Pending,
+    /// The stage finished; continue with the given next stage.
+    Next(Box<dyn SetupStage<T>>),
+    /// The whole construction finished with the built object.
+    Done(T),
+}
+
+/// One stage of a setup request's state machine. A stage may do arbitrary
+/// synchronous work in `poll` (stages wrapping an inherently collective
+/// exchange, like CID consensus, run it to completion in one poll — see
+/// DESIGN.md §12); a stage waiting on an asynchronous completion returns
+/// [`SetupStep::Pending`] and should override `park` with its real wake
+/// source so blocking waiters do not spin.
+pub trait SetupStage<T>: Send {
+    /// Stage name (harness introspection and `req.progressed` telemetry).
+    fn name(&self) -> &'static str;
+    /// Attempt to advance the construction.
+    fn poll(&mut self) -> Result<SetupStep<T>>;
+    /// Block until `poll` may make progress, at most `limit`.
+    fn park(&mut self, limit: Duration) {
+        std::thread::sleep(limit.min(Duration::from_micros(200)));
+    }
+}
+
+struct FnStage<T> {
+    name: &'static str,
+    f: Box<dyn FnMut() -> Result<SetupStep<T>> + Send>,
+}
+
+impl<T> SetupStage<T> for FnStage<T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn poll(&mut self) -> Result<SetupStep<T>> {
+        (self.f)()
+    }
+}
+
+/// Build a stage from a closure (the common case for local stages).
+pub fn stage<T, F>(name: &'static str, f: F) -> Box<dyn SetupStage<T>>
+where
+    F: FnMut() -> Result<SetupStep<T>> + Send + 'static,
+    T: 'static,
+{
+    Box::new(FnStage { name, f: Box::new(f) })
+}
+
+enum SetupPhase<T> {
+    Running(Box<dyn SetupStage<T>>),
+    /// Completed; `None` once the value has been claimed by `wait`/`take`.
+    Done(Option<T>),
+    Failed(MpiError),
+}
+
+static SETUP_REQ_IDS: AtomicU64 = AtomicU64::new(1);
+
+struct SetupCore<T> {
+    process: Arc<MpiProcess>,
+    /// Operation label (`icomm_create_from_group`, …) for telemetry.
+    op: &'static str,
+    /// Process-unique request id carried on every `req.*` event, so the
+    /// `request-terminal` invariant can pair issuance with termination.
+    id: u64,
+    /// The operation's outer span (e.g. `comm.create_from_group`),
+    /// entered for the duration of every step so stage-created child
+    /// spans parent correctly; ended when the request turns terminal.
+    span: Option<obs::Span>,
+    phase: SetupPhase<T>,
+    /// Stage polls performed (diagnostics; `req.progressed` fires only on
+    /// stage *transitions*).
+    steps: u64,
+    /// Blocking wrappers run quiet: no `req.*` telemetry, no engine
+    /// registration — their observable behavior stays byte-identical to
+    /// the historical blocking implementations.
+    quiet: bool,
+    /// Release action for a cancelled (dropped-before-claimed) result.
+    cancel: Option<Box<dyn FnOnce(T) + Send>>,
+}
+
+impl<T> SetupCore<T> {
+    fn is_terminal(&self) -> bool {
+        !matches!(self.phase, SetupPhase::Running(_))
+    }
+
+    fn stage_name(&self) -> &'static str {
+        match &self.phase {
+            SetupPhase::Running(s) => s.name(),
+            SetupPhase::Done(_) => "done",
+            SetupPhase::Failed(_) => "failed",
+        }
+    }
+
+    fn emit(&self, name: &str, extra: Vec<(String, obs::AttrValue)>) {
+        if self.quiet {
+            return;
+        }
+        let obs = self.process.obs();
+        let p = self.process.proc().to_string();
+        let mut attrs: Vec<(String, obs::AttrValue)> = vec![
+            ("op".into(), self.op.into()),
+            ("id".into(), self.id.into()),
+        ];
+        attrs.extend(extra);
+        obs.event(&p, "req", name, attrs);
+    }
+
+    /// Run at most one stage poll (and so at most one stage transition).
+    fn step(&mut self) {
+        let SetupPhase::Running(stage) = &mut self.phase else {
+            return;
+        };
+        self.steps += 1;
+        let from = stage.name();
+        let res = match &self.span {
+            Some(span) => {
+                let _entered = span.enter();
+                stage.poll()
+            }
+            None => stage.poll(),
+        };
+        match res {
+            Ok(SetupStep::Pending) => {}
+            Ok(SetupStep::Next(next)) => {
+                let to = next.name();
+                self.phase = SetupPhase::Running(next);
+                self.emit(
+                    "req.progressed",
+                    vec![("from".into(), from.into()), ("to".into(), to.into())],
+                );
+            }
+            Ok(SetupStep::Done(v)) => {
+                self.phase = SetupPhase::Done(Some(v));
+                if let Some(span) = self.span.take() {
+                    span.end();
+                }
+                self.emit("req.completed", vec![("stage".into(), from.into())]);
+                if !self.quiet {
+                    let p = self.process.proc().to_string();
+                    self.process.obs().counter(&p, "req", "completed").inc();
+                }
+            }
+            Err(e) => {
+                self.emit(
+                    "req.failed",
+                    vec![
+                        ("stage".into(), from.into()),
+                        ("error".into(), e.to_string().into()),
+                    ],
+                );
+                if !self.quiet {
+                    let p = self.process.proc().to_string();
+                    self.process.obs().counter(&p, "req", "failed").inc();
+                }
+                self.phase = SetupPhase::Failed(e);
+                if let Some(span) = self.span.take() {
+                    span.end();
+                }
+            }
+        }
+    }
+
+    fn park(&mut self, limit: Duration) {
+        if let SetupPhase::Running(stage) = &mut self.phase {
+            stage.park(limit);
+        }
+    }
+}
+
+/// Engine-side view of an in-flight setup request (type-erased so one
+/// [`ProgressEngine`] drives requests of every construction type).
+trait EngineStep: Send + Sync {
+    /// Try to step once; `true` when the request is terminal. A request
+    /// currently being driven by another thread is skipped (not stalled
+    /// on: whoever holds the lock is already making progress).
+    fn engine_step(&self) -> bool;
+    fn is_terminal(&self) -> bool;
+}
+
+impl<T: Send + 'static> EngineStep for Mutex<SetupCore<T>> {
+    fn engine_step(&self) -> bool {
+        match self.try_lock() {
+            Some(mut core) => {
+                core.step();
+                core.is_terminal()
+            }
+            None => false,
+        }
+    }
+    fn is_terminal(&self) -> bool {
+        self.try_lock().is_some_and(|c| c.is_terminal())
+    }
+}
+
+/// The per-process progress engine for setup requests: every issued
+/// `i`-variant registers here, and [`ProgressEngine::progress`] steps each
+/// in-flight request once. This is the seam the interleaving test harness
+/// single-steps, and the hook a future virtual-time backend replaces
+/// (blocked = parked request, not parked thread).
+#[derive(Default)]
+pub struct ProgressEngine {
+    slots: Mutex<Vec<Weak<dyn EngineStep>>>,
+}
+
+impl ProgressEngine {
+    fn register(&self, s: Weak<dyn EngineStep>) {
+        self.slots.lock().push(s);
+    }
+
+    /// Step every live in-flight request once; prune completed and dropped
+    /// ones. Returns how many requests remain in flight.
+    pub fn progress(&self) -> usize {
+        // Snapshot the weak handles so stage polls (which may send, park
+        // briefly, or re-enter the engine's owner) run outside our lock.
+        let snapshot: Vec<Weak<dyn EngineStep>> = self.slots.lock().clone();
+        for w in &snapshot {
+            if let Some(s) = w.upgrade() {
+                s.engine_step();
+            }
+        }
+        let mut live = 0;
+        self.slots.lock().retain(|w| match w.upgrade() {
+            Some(s) if !s.is_terminal() => {
+                live += 1;
+                true
+            }
+            _ => false,
+        });
+        live
+    }
+
+    /// Registered requests not yet terminal (without stepping them).
+    pub fn in_flight(&self) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|w| w.upgrade().is_some_and(|s| !s.is_terminal()))
+            .count()
+    }
+}
+
+impl std::fmt::Debug for ProgressEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressEngine")
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+/// A multi-stage nonblocking construction request (see the module docs).
+pub struct SetupRequest<T: Send + 'static> {
+    core: Arc<Mutex<SetupCore<T>>>,
+}
+
+impl<T: Send + 'static> SetupRequest<T> {
+    /// Issue a construction: emit `req.issued`, register with the owning
+    /// process's [`ProgressEngine`], and run the first stage synchronously
+    /// — so by the time `issue` returns, the request's opening exchange
+    /// (e.g. the PMIx fan-in carrying its PGCID demand) is on the wire.
+    pub(crate) fn issue(
+        process: Arc<MpiProcess>,
+        op: &'static str,
+        span: Option<obs::Span>,
+        quiet: bool,
+        first: Box<dyn SetupStage<T>>,
+        cancel: Option<Box<dyn FnOnce(T) + Send>>,
+    ) -> SetupRequest<T> {
+        let id = SETUP_REQ_IDS.fetch_add(1, Ordering::Relaxed);
+        let core = Arc::new(Mutex::new(SetupCore {
+            process,
+            op,
+            id,
+            span,
+            phase: SetupPhase::Running(first),
+            steps: 0,
+            quiet,
+            cancel,
+        }));
+        {
+            let mut c = core.lock();
+            c.emit("req.issued", vec![("stage".into(), c.stage_name().into())]);
+            if !quiet {
+                let p = c.process.proc().to_string();
+                c.process.obs().counter(&p, "req", "issued").inc();
+                let weak: Weak<Mutex<SetupCore<T>>> = Arc::downgrade(&core);
+                c.process.progress_engine().register(weak);
+            }
+            c.step();
+        }
+        SetupRequest { core }
+    }
+
+    /// One engine step. `Ok(true)` once the construction has completed
+    /// (the value is claimed by [`SetupRequest::wait`]); a failed
+    /// construction surfaces its error on every call (sticky).
+    pub fn test(&mut self) -> Result<bool> {
+        let mut core = self.core.lock();
+        core.step();
+        match &core.phase {
+            SetupPhase::Running(_) => Ok(false),
+            SetupPhase::Done(_) => Ok(true),
+            SetupPhase::Failed(e) => Err(e.clone()),
+        }
+    }
+
+    /// Drive to completion and claim the constructed object.
+    pub fn wait(self) -> Result<T> {
+        loop {
+            let mut core = self.core.lock();
+            core.step();
+            match &mut core.phase {
+                SetupPhase::Running(_) => core.park(Duration::from_millis(1)),
+                SetupPhase::Done(v) => {
+                    return v
+                        .take()
+                        .ok_or_else(|| MpiError::intern("setup result already claimed"));
+                }
+                SetupPhase::Failed(e) => return Err(e.clone()),
+            }
+        }
+    }
+
+    /// Whether the request is terminal (no progress attempt).
+    pub fn is_complete(&self) -> bool {
+        self.core.lock().is_terminal()
+    }
+
+    /// Current stage name (`"done"` / `"failed"` once terminal).
+    pub fn stage(&self) -> &'static str {
+        self.core.lock().stage_name()
+    }
+
+    /// The operation label this request was issued under.
+    pub fn op(&self) -> &'static str {
+        self.core.lock().op
+    }
+
+    /// Process-unique request id (telemetry correlation).
+    pub fn id(&self) -> u64 {
+        self.core.lock().id
+    }
+
+    /// Stage polls performed so far (diagnostics).
+    pub fn steps(&self) -> u64 {
+        self.core.lock().steps
+    }
+}
+
+impl<T: Send + 'static> Drop for SetupRequest<T> {
+    fn drop(&mut self) {
+        // Cancellation is *collective*: drive the construction to a
+        // terminal state (the exchange completes on every rank — walking
+        // away mid-collective would strand the peers), then release the
+        // unclaimed result via the op's cancel action. A request whose
+        // value was claimed by `wait` carries `Done(None)` and is a no-op
+        // here; a failed request has nothing to release.
+        loop {
+            let mut core = self.core.lock();
+            match &mut core.phase {
+                SetupPhase::Running(_) => {
+                    core.step();
+                    if !core.is_terminal() {
+                        core.park(Duration::from_millis(1));
+                    }
+                }
+                SetupPhase::Done(v) => {
+                    if let Some(v) = v.take() {
+                        let cancel = core.cancel.take();
+                        core.emit("req.cancelled", Vec::new());
+                        if !core.quiet {
+                            let p = core.process.proc().to_string();
+                            core.process.obs().counter(&p, "req", "cancelled").inc();
+                        }
+                        drop(core);
+                        if let Some(c) = cancel {
+                            c(v);
+                        }
+                    }
+                    return;
+                }
+                SetupPhase::Failed(_) => return,
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for SetupRequest<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.core.lock();
+        f.debug_struct("SetupRequest")
+            .field("op", &core.op)
+            .field("id", &core.id)
+            .field("stage", &core.stage_name())
+            .field("steps", &core.steps)
             .finish()
     }
 }

@@ -18,6 +18,7 @@ use crate::error::{ErrClass, MpiError, Result};
 use crate::group::{MpiGroup, ProcRef};
 use crate::info::{keys, Info};
 use crate::instance::{MpiProcess, SESSION_MIN_SUBSYSTEMS};
+use crate::request::{stage, SetupRequest, SetupStep};
 use prrte::ProcCtx;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -75,57 +76,106 @@ impl Session {
     /// `MPI_Session_init`: local, light-weight, thread-safe, repeatable.
     ///
     /// Initializes only the minimum subsystems a session object needs
-    /// (refcounted; see [`crate::instance`]).
+    /// (refcounted; see [`crate::instance`]). Implemented as the
+    /// `i`-variant plus `wait` (quiet — same engine, same observable
+    /// behavior as the historical blocking call).
     pub fn init(
         ctx: &ProcCtx,
         requested: ThreadLevel,
         errh: ErrHandler,
         info: &Info,
     ) -> Result<Session> {
+        Self::init_i_inner(ctx, requested, errh, info, true).wait()
+    }
+
+    /// Nonblocking `MPI_Session_init`: returns a [`SetupRequest`] whose
+    /// stages split the two costs the blocking call times — bringing up
+    /// the library's *resources* (`resources` stage: subsystems,
+    /// refcounted) and constructing the session *handle* itself
+    /// (`handle` stage: local, cheap). Dropping the request before
+    /// claiming the session finalizes it.
+    pub fn init_i(
+        ctx: &ProcCtx,
+        requested: ThreadLevel,
+        errh: ErrHandler,
+        info: &Info,
+    ) -> SetupRequest<Session> {
+        Self::init_i_inner(ctx, requested, errh, info, false)
+    }
+
+    fn init_i_inner(
+        ctx: &ProcCtx,
+        requested: ThreadLevel,
+        errh: ErrHandler,
+        info: &Info,
+        quiet: bool,
+    ) -> SetupRequest<Session> {
         let process = MpiProcess::obtain(ctx);
         let obs = process.obs();
         let p = process.proc().to_string();
-        // Timed (and spanned) in two parts so benchmarks can attribute
-        // startup cost: bringing up the library's *resources* (subsystems,
-        // refcounted) versus constructing the session *handle* itself
-        // (local, cheap).
         let init_span = obs.span(&p, "session.init", "");
-        let _entered = init_span.enter();
-        let t_resources = std::time::Instant::now();
-        let mut res_span = obs.span(&p, "session.resources", "");
-        let id = process.acquire_instance(SESSION_MIN_SUBSYSTEMS);
-        res_span.add_work(SESSION_MIN_SUBSYSTEMS.len() as u64);
-        res_span.end();
-        let resources = t_resources.elapsed();
-        let t_handle = std::time::Instant::now();
-        let mut handle_span = obs.span(&p, "session.handle", "");
-        handle_span.add_work(1);
-        // Honor PML tuning from the info object.
-        if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
-            if limit > 0 {
-                process.pml().set_eager_limit(limit as usize);
+        let info = info.dup();
+        let first = stage("resources", {
+            let mut armed = Some((process.clone(), requested, errh, info));
+            move || {
+                let (process, requested, errh, info) =
+                    armed.take().expect("resources stage runs once");
+                let obs = process.obs();
+                let p = process.proc().to_string();
+                let t_resources = std::time::Instant::now();
+                let mut res_span = obs.span(&p, "session.resources", "");
+                let id = process.acquire_instance(SESSION_MIN_SUBSYSTEMS);
+                res_span.add_work(SESSION_MIN_SUBSYSTEMS.len() as u64);
+                res_span.end();
+                let resources = t_resources.elapsed();
+                obs.histogram(&p, "session", "init_resources_ns").record(resources);
+                let mut armed = Some((process, requested, errh, info, id));
+                Ok(SetupStep::Next(stage("handle", move || {
+                    let (process, requested, errh, info, id) =
+                        armed.take().expect("handle stage runs once");
+                    let obs = process.obs();
+                    let p = process.proc().to_string();
+                    let t_handle = std::time::Instant::now();
+                    let mut handle_span = obs.span(&p, "session.handle", "");
+                    handle_span.add_work(1);
+                    // Honor PML tuning from the info object.
+                    if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
+                        if limit > 0 {
+                            process.pml().set_eager_limit(limit as usize);
+                        }
+                    }
+                    let thread_level = info
+                        .get(keys::THREAD_LEVEL)
+                        .and_then(|v| ThreadLevel::from_info_value(&v))
+                        .unwrap_or(requested);
+                    let session = Session {
+                        inner: Arc::new(SessionInner {
+                            id,
+                            process: process.clone(),
+                            thread_level,
+                            errh,
+                            info,
+                            attrs: AttrStore::new(),
+                            finalized: AtomicBool::new(false),
+                        }),
+                    };
+                    handle_span.end();
+                    obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
+                    obs.counter(&p, "session", "sessions_initialized").inc();
+                    Ok(SetupStep::Done(session))
+                })))
             }
-        }
-        let thread_level = info
-            .get(keys::THREAD_LEVEL)
-            .and_then(|v| ThreadLevel::from_info_value(&v))
-            .unwrap_or(requested);
-        let session = Session {
-            inner: Arc::new(SessionInner {
-                id,
-                process: process.clone(),
-                thread_level,
-                errh,
-                info: info.dup(),
-                attrs: AttrStore::new(),
-                finalized: AtomicBool::new(false),
-            }),
-        };
-        handle_span.end();
-        obs.histogram(&p, "session", "init_resources_ns").record(resources);
-        obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
-        obs.counter(&p, "session", "sessions_initialized").inc();
-        Ok(session)
+        });
+        SetupRequest::issue(
+            process,
+            "session_init",
+            Some(init_span),
+            quiet,
+            first,
+            Some(Box::new(|s: Session| {
+                let _ = s.finalize();
+            })),
+        )
     }
 
     /// The granted thread support level.
@@ -205,11 +255,36 @@ impl Session {
     }
 
     /// `MPI_Group_from_session_pset`: local resolution of a pset name into
-    /// a group bound to this session's process.
+    /// a group bound to this session's process (`i`-variant + `wait`).
     pub fn group_from_pset(&self, name: &str) -> Result<MpiGroup> {
-        self.check_live()?;
-        let members = self.resolve_pset(name)?;
-        Ok(MpiGroup::from_members(members).bind(self.inner.process.clone()))
+        self.igroup_inner(name, true).wait()
+    }
+
+    /// Nonblocking `MPI_Group_from_session_pset`: a single-`resolve`-stage
+    /// [`SetupRequest`]. Resolution is local today, but routing it through
+    /// the engine lets pset lookups interleave with in-flight PMIx
+    /// constructions under one progress loop.
+    pub fn igroup_from_pset(&self, name: &str) -> SetupRequest<MpiGroup> {
+        self.igroup_inner(name, false)
+    }
+
+    fn igroup_inner(&self, name: &str, quiet: bool) -> SetupRequest<MpiGroup> {
+        let sess = self.clone();
+        let name = name.to_owned();
+        let first = stage("resolve", move || {
+            let members = sess.resolve_pset(&name)?;
+            Ok(SetupStep::Done(
+                MpiGroup::from_members(members).bind(sess.inner.process.clone()),
+            ))
+        });
+        SetupRequest::issue(
+            self.inner.process.clone(),
+            "group_from_pset",
+            None,
+            quiet,
+            first,
+            None,
+        )
     }
 
     fn resolve_pset(&self, name: &str) -> Result<Vec<ProcRef>> {

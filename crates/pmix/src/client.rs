@@ -4,7 +4,7 @@
 use crate::error::{PmixError, Result};
 use crate::event::{EventCode, EventStream};
 use crate::group::{GroupDirectives, GroupResult, InviteOutcome, PmixGroup};
-use crate::server::PmixServer;
+use crate::server::{PendingColl, PmixServer};
 use crate::types::{ProcId, Rank};
 use crate::value::PmixValue;
 use crate::server::CollOutcome;
@@ -212,6 +212,49 @@ impl PmixClient {
         ))
     }
 
+    /// Nonblocking group construct (`PMIx_Group_construct_nb` analog): run
+    /// the local fan-in and return a handle to poll. The operation span
+    /// and its `.done` completion child are emitted with exactly the shape
+    /// [`PmixClient::group_construct`] produces — the span opens here,
+    /// stays open across polls, and closes (with the `.done` release edge
+    /// linking the server's fan-out) when the result is observed, so
+    /// blocking and nonblocking constructs are indistinguishable in the
+    /// trace DAG apart from their overlap.
+    pub fn group_construct_nb(
+        &self,
+        name: &str,
+        members: &[ProcId],
+        directives: &GroupDirectives,
+    ) -> Result<PendingGroup> {
+        let obs = self.server.obs();
+        let process = self.proc.to_string();
+        let span = obs.span(&process, "pmix.group_construct", name);
+        let begun = {
+            let _entered = span.enter();
+            self.server.coll_begin(
+                crate::wire::OpKind::GroupConstruct,
+                name,
+                members,
+                directives,
+                &self.proc,
+                HashMap::new(),
+            )
+        };
+        match begun {
+            Ok(pending) => Ok(PendingGroup {
+                client: self.clone(),
+                pending: Some(pending),
+                span: Some(span),
+                name: name.to_owned(),
+                request_pgcid: directives.request_pgcid,
+            }),
+            Err(e) => {
+                span.end();
+                Err(e)
+            }
+        }
+    }
+
     /// Collectively destruct a group (`PMIx_Group_destruct`).
     pub fn group_destruct(&self, group: &PmixGroup, timeout: Option<Duration>) -> Result<()> {
         let directives = GroupDirectives::default().without_pgcid().with_timeout(
@@ -346,5 +389,123 @@ impl PmixClient {
 impl std::fmt::Debug for PmixClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PmixClient").field("proc", &self.proc).finish()
+    }
+}
+
+/// An in-flight nonblocking group construct, returned by
+/// [`PmixClient::group_construct_nb`].
+///
+/// Poll with [`PendingGroup::try_group`] or block in
+/// [`PendingGroup::wait`]. Dropping the handle abandons this member's
+/// observation of the collective (the construct itself still completes
+/// server-side — construction is collective, so cancellation must be too;
+/// see the server's abandonment bookkeeping).
+pub struct PendingGroup {
+    client: PmixClient,
+    pending: Option<PendingColl>,
+    span: Option<obs::Span>,
+    name: String,
+    request_pgcid: bool,
+}
+
+impl PendingGroup {
+    /// The group name this construct will produce.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True once the construct has delivered its result.
+    pub fn is_finished(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Test for completion: `Some(result)` exactly once when the construct
+    /// finishes; `None` while still in flight.
+    pub fn try_group(&mut self) -> Option<Result<PmixGroup>> {
+        let pending = self.pending.as_mut()?;
+        let res = {
+            let span = self.span.as_ref().expect("span lives while pending");
+            let _entered = span.enter();
+            self.client.server.coll_poll(pending)?
+        };
+        self.pending = None;
+        Some(self.finish(res))
+    }
+
+    /// Park until the construct is ready to observe or `limit` elapses,
+    /// without observing it: a subsequent [`PendingGroup::try_group`] picks
+    /// the result up. Lets wait-style callers of the nonblocking API ride
+    /// the server condvar instead of poll-spinning.
+    pub fn park(&mut self, limit: std::time::Duration) {
+        if let Some(pending) = self.pending.as_ref() {
+            self.client.server.coll_park(pending, limit);
+        }
+    }
+
+    /// Block until the construct completes (nb + wait ≡ blocking).
+    pub fn wait(mut self) -> Result<PmixGroup> {
+        let Some(pending) = self.pending.take() else {
+            return Err(PmixError::BadParam(format!(
+                "waited on finished construct {}",
+                self.name
+            )));
+        };
+        let res = {
+            let span = self.span.as_ref().expect("span lives while pending");
+            let _entered = span.enter();
+            self.client.server.coll_wait(pending)
+        };
+        self.finish(res)
+    }
+
+    fn finish(&mut self, res: Result<crate::server::CollOutcome>) -> Result<PmixGroup> {
+        let span = self.span.take().expect("span lives until completion");
+        let out = match res {
+            Ok(out) => out,
+            Err(e) => {
+                span.end();
+                return Err(e);
+            }
+        };
+        let obs = self.client.server.obs();
+        let process = self.client.proc.to_string();
+        let mut done = obs.span_with_parent(
+            &process,
+            "pmix.group_construct.done",
+            &self.name,
+            Some(span.context()),
+        );
+        if let Some(ctx) = out.ctx {
+            done.link(ctx);
+        }
+        done.end();
+        span.end();
+        if self.request_pgcid && out.pgcid.is_none() {
+            return Err(PmixError::Internal("construct completed without PGCID".into()));
+        }
+        Ok(PmixGroup::new(
+            self.name.clone(),
+            &GroupResult { members: out.members, pgcid: out.pgcid },
+        ))
+    }
+}
+
+impl Drop for PendingGroup {
+    fn drop(&mut self) {
+        if let Some(mut pending) = self.pending.take() {
+            self.client.server.coll_abandon(&mut pending);
+            if let Some(span) = self.span.take() {
+                span.end();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingGroup")
+            .field("name", &self.name)
+            .field("finished", &self.is_finished())
+            .finish()
     }
 }

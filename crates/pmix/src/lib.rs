@@ -58,12 +58,12 @@ pub mod universe;
 pub mod value;
 pub mod wire;
 
-pub use client::PmixClient;
+pub use client::{PendingGroup, PmixClient};
 pub use error::PmixError;
 pub use event::{Event, EventCode};
 pub use group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport, PmixGroup};
 pub use nspace::{NamespaceInfo, NamespaceRegistry};
-pub use server::{PmixServer, DEFAULT_PGCID_BLOCK, SERVER_SHARDS};
+pub use server::{PendingColl, PmixServer, DEFAULT_PGCID_BLOCK, SERVER_SHARDS};
 pub use types::{ProcId, Rank};
 pub use universe::PmixUniverse;
 pub use value::PmixValue;

@@ -102,6 +102,29 @@ pub struct CollOutcome {
     pub ctx: Option<obs::TraceContext>,
 }
 
+/// One participant's handle on an in-flight collective, returned by
+/// [`PmixServer::coll_begin`]. The fan-in has already happened; the handle
+/// tracks when *this* waiter observes the outcome. Exactly one of
+/// [`PmixServer::coll_wait`] / a successful [`PmixServer::coll_poll`] /
+/// [`PmixServer::coll_abandon`] must consume it, or the op-state entry
+/// leaks until its epoch is evicted.
+#[derive(Debug)]
+pub struct PendingColl {
+    op_id: OpId,
+    si: usize,
+    me: ProcId,
+    deadline: Option<Instant>,
+    directives: GroupDirectives,
+    finished: bool,
+}
+
+impl PendingColl {
+    /// True once this handle has delivered (or abandoned) its result.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
 #[derive(Debug, Clone)]
 struct GroupInfo {
     members: Vec<ProcId>,
@@ -131,6 +154,10 @@ struct OpState {
     local_kvs: Vec<(ProcId, HashMap<String, PmixValue>)>,
     result: Option<std::result::Result<CollOutcome, PmixError>>,
     observed: usize,
+    // Local waiters that abandoned their pending handle before observing
+    // the result (nonblocking enter dropped mid-flight). They will never
+    // call back in, so reaping counts them alongside `observed`.
+    abandoned: usize,
     // Stage spans (paper §III-A): fan-in is open from the first local
     // arrival to local completeness; exchange from then until every peer
     // contribution (and the PGCID) is in; fan-out is the release instant.
@@ -161,6 +188,7 @@ impl OpState {
             local_kvs: Vec::new(),
             result: None,
             observed: 0,
+            abandoned: 0,
             fanin: None,
             xchg: None,
             contrib_ctxs: Vec::new(),
@@ -173,6 +201,17 @@ struct InviteState {
     invited: Vec<ProcId>,
     responses: HashMap<ProcId, bool>,
     request_pgcid: bool,
+}
+
+/// Coalescing state for RM block requests. At most one `PgcidRequest` is
+/// outstanding per server: constructs that hit an empty pool while one is
+/// in flight queue here and are served from the same (or a follow-up)
+/// block grant, so K overlapping constructions cost ~ceil(K/block) RM
+/// round trips instead of K.
+#[derive(Default)]
+struct PgcidCtl {
+    inflight: bool,
+    backlog: VecDeque<OpId>,
 }
 
 /// One shard: its state plus a dedicated condvar so wakeups stay local.
@@ -252,6 +291,11 @@ struct ServerMetrics {
     rpc_ns: obs::Histogram,
     pgcid_allocated: obs::Counter,
     pgcid_pool_hits: obs::Counter,
+    // Constructs whose PGCID need piggybacked on an already-in-flight RM
+    // request instead of paying their own round trip.
+    pgcid_coalesced: obs::Counter,
+    // Nonblocking collective handles dropped before observing their result.
+    coll_abandoned: obs::Counter,
     // Ids returned to the pool by a group destruct (lifecycle GC).
     pgcid_recycled: obs::Counter,
     // KV pairs dropped when their owning process was declared dead.
@@ -288,6 +332,8 @@ impl ServerMetrics {
             rpc_handled: c("rpc_handled"),
             pgcid_allocated: c("pgcid_allocated"),
             pgcid_pool_hits: c("pgcid_pool_hits"),
+            pgcid_coalesced: c("pgcid_coalesced"),
+            coll_abandoned: c("coll_abandoned"),
             pgcid_recycled: c("pgcid_recycled"),
             kvs_purged: c("kvs_purged"),
             epochs_evicted: c("epochs_evicted"),
@@ -434,6 +480,8 @@ pub struct PmixServer {
     // In-flight PGCID requests: token -> (op the reply belongs to, plus the
     // open `pgcid.request` span that times the RM round-trip).
     pgcid_waiting: Mutex<HashMap<u64, (OpId, Option<obs::Span>)>>,
+    // Single-request coalescing: ops queued behind the in-flight RM trip.
+    pgcid_ctl: Mutex<PgcidCtl>,
     // Locally pooled PGCIDs (surplus of RM block grants).
     pgcid_pool: Mutex<VecDeque<u64>>,
     // Block size requested from the RM per miss (>= 1).
@@ -462,6 +510,7 @@ impl PmixServer {
             dead: RwLock::new(HashSet::new()),
             next_token: AtomicU64::new(1),
             pgcid_waiting: Mutex::new(HashMap::new()),
+            pgcid_ctl: Mutex::new(PgcidCtl::default()),
             pgcid_pool: Mutex::new(VecDeque::new()),
             pgcid_block: AtomicU64::new(DEFAULT_PGCID_BLOCK),
             rm_next_pgcid: is_rm.then(|| AtomicU64::new(1)),
@@ -778,6 +827,25 @@ impl PmixServer {
         me: &ProcId,
         kvs: HashMap<String, PmixValue>,
     ) -> Result<CollOutcome> {
+        let pending = self.coll_begin(kind, name, members, directives, me, kvs)?;
+        self.coll_wait(pending)
+    }
+
+    /// Nonblocking collective entry: run the local fan-in and return a
+    /// pollable handle instead of parking the thread. Completion is driven
+    /// by the message loop exactly as for the blocking path; the handle
+    /// merely decides *when this participant observes* the result —
+    /// [`PmixServer::coll_poll`] to test, [`PmixServer::coll_wait`] to
+    /// block, [`PmixServer::coll_abandon`] to walk away.
+    pub fn coll_begin(
+        &self,
+        kind: OpKind,
+        name: &str,
+        members: &[ProcId],
+        directives: &GroupDirectives,
+        me: &ProcId,
+        kvs: HashMap<String, PmixValue>,
+    ) -> Result<PendingColl> {
         if members.is_empty() {
             return Err(PmixError::BadParam("empty membership".into()));
         }
@@ -863,66 +931,191 @@ impl PmixServer {
         self.advance_op(&mut st, si, &op_id);
         drop(st);
         self.try_complete(&op_id);
+        Ok(PendingColl {
+            op_id,
+            si,
+            me: me.clone(),
+            deadline,
+            directives: directives.clone(),
+            finished: false,
+        })
+    }
 
-        // Wait for a result (on this op's shard condvar).
+    /// Test an in-flight collective. `Some(result)` exactly once when this
+    /// participant's observation of the outcome happens; `None` while still
+    /// in flight. The poll is also the timeout clock for nonblocking
+    /// callers: a poll past the deadline aborts the collective everywhere
+    /// (the failure surfaces on the next poll, once the Err result posts).
+    pub fn coll_poll(&self, pc: &mut PendingColl) -> Option<Result<CollOutcome>> {
+        if pc.finished {
+            return Some(Err(PmixError::BadParam(format!(
+                "{} polled a finished collective {}",
+                pc.me, pc.op_id
+            ))));
+        }
+        let shard = &self.ops_shards[pc.si];
         let mut st = shard.state.lock();
+        let Some(op) = st.ops.get(&pc.op_id) else {
+            // The op completed and was reaped without counting us as a
+            // live waiter: this process was declared dead while the
+            // collective was in flight (a live waiter is always part of
+            // the expected count, so the op cannot be reaped under it).
+            pc.finished = true;
+            return Some(Err(PmixError::ProcTerminated(pc.me.clone())));
+        };
+        if op.result.is_some() {
+            let res = self.observe_result_locked(&mut st, &pc.op_id);
+            drop(st);
+            pc.finished = true;
+            if let Ok(out) = &res {
+                self.finish_group_bookkeeping(pc.op_id.kind, &pc.op_id.name, out, &pc.directives);
+            }
+            return Some(res);
+        }
+        if pc.deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+            // Abort the collective everywhere; next poll observes the Err.
+            self.fail_op_locked(&mut st, pc.si, &pc.op_id, AbortReason::Timeout);
+            let peers = st
+                .ops
+                .get(&pc.op_id)
+                .map(|o| o.expected_servers.clone())
+                .unwrap_or_default();
+            drop(st);
+            self.broadcast(&peers, &ServerMsg::CollAbort {
+                op: pc.op_id.clone(),
+                reason: AbortReason::Timeout,
+            });
+        }
+        None
+    }
+
+    /// Block until an in-flight collective completes, fails or times out
+    /// (the blocking [`PmixServer::coll_enter`] is exactly `coll_begin` +
+    /// this).
+    pub fn coll_wait(&self, mut pc: PendingColl) -> Result<CollOutcome> {
+        let shard = &self.ops_shards[pc.si];
         loop {
-            let Some(cur) = st.ops.get(&op_id) else {
-                // The op completed and was reaped without counting us as a
-                // live waiter: this process was declared dead while blocked
-                // in the collective (a live waiter is always part of the
-                // expected count, so the op cannot be reaped under it).
-                // Surface the failure instead of waiting forever.
-                return Err(PmixError::ProcTerminated(me.clone()));
-            };
-            let done = cur.result.clone();
-            if let Some(res) = done {
-                let remove = {
-                    // Dead participants never come back to observe the
-                    // result; count only live expected locals.
-                    let dead = self.dead.read();
-                    let op = st.ops.get_mut(&op_id).expect("present");
-                    op.observed += 1;
-                    let expected = op
-                        .expected_local
-                        .as_ref()
-                        .map(|e| e.iter().filter(|p| !dead.contains(*p)).count())
-                        .unwrap_or(0);
-                    op.observed >= expected
-                };
-                if remove {
-                    let op = st.ops.remove(&op_id).expect("present");
-                    if !op.epoch_bumped {
-                        self.bump_epoch(&mut st, key.clone());
-                    }
-                }
-                drop(st);
-                if let Ok(out) = &res {
-                    self.finish_group_bookkeeping(kind, name, out, directives);
-                }
+            if let Some(res) = self.coll_poll(&mut pc) {
                 return res;
             }
-            let timed_out = match deadline {
-                Some(d) => shard.cv.wait_until(&mut st, d).timed_out(),
-                None => {
-                    shard.cv.wait(&mut st);
-                    false
+            let mut st = shard.state.lock();
+            // Re-check under the lock so a completion between the poll and
+            // the wait cannot become a lost wakeup.
+            let in_flight =
+                st.ops.get(&pc.op_id).map(|o| o.result.is_none()).unwrap_or(false);
+            if in_flight {
+                match pc.deadline {
+                    Some(d) => {
+                        let _ = shard.cv.wait_until(&mut st, d);
+                    }
+                    None => shard.cv.wait(&mut st),
                 }
-            };
-            if timed_out && st.ops.get(&op_id).map(|o| o.result.is_none()).unwrap_or(false) {
-                // Abort the collective everywhere.
-                self.fail_op_locked(&mut st, si, &op_id, AbortReason::Timeout);
-                let peers = st
-                    .ops
-                    .get(&op_id)
-                    .map(|o| o.expected_servers.clone())
-                    .unwrap_or_default();
-                drop(st);
-                self.broadcast(&peers, &ServerMsg::CollAbort {
-                    op: op_id.clone(),
-                    reason: AbortReason::Timeout,
-                });
-                st = shard.state.lock();
+            }
+        }
+    }
+
+    /// Block until an in-flight collective is *ready to observe* (or
+    /// `limit` elapses) without observing it: the setup engine's blocking
+    /// wrappers park here between polls, so an i-variant followed by
+    /// `wait()` costs a condvar wake — not a poll-spin — exactly like the
+    /// native blocking call.
+    pub fn coll_park(&self, pc: &PendingColl, limit: Duration) {
+        if pc.finished {
+            return;
+        }
+        let shard = &self.ops_shards[pc.si];
+        let mut st = shard.state.lock();
+        let ready = st
+            .ops
+            .get(&pc.op_id)
+            .map(|o| o.result.is_some())
+            .unwrap_or(true);
+        if ready {
+            return;
+        }
+        let cap = Instant::now() + limit;
+        let until = pc.deadline.map(|d| d.min(cap)).unwrap_or(cap);
+        let _ = shard.cv.wait_until(&mut st, until);
+    }
+
+    /// Walk away from an in-flight collective without observing its result.
+    /// The op itself still completes (or fails) server-side — abandonment
+    /// only transfers this participant's observation duty so the op state
+    /// can be reaped once everyone else has seen the outcome.
+    pub fn coll_abandon(&self, pc: &mut PendingColl) {
+        if pc.finished {
+            return;
+        }
+        pc.finished = true;
+        self.metrics.coll_abandoned.inc();
+        let shard = &self.ops_shards[pc.si];
+        let mut st = shard.state.lock();
+        if !st.ops.contains_key(&pc.op_id) {
+            return;
+        }
+        if st.ops.get(&pc.op_id).map(|o| o.result.is_some()).unwrap_or(false) {
+            // Result already posted: consume our observation (dropping the
+            // outcome) so the last live waiter can still reap the op.
+            let _ = self.observe_result_locked(&mut st, &pc.op_id);
+        } else {
+            let op = st.ops.get_mut(&pc.op_id).expect("present");
+            op.abandoned += 1;
+        }
+    }
+
+    /// Consume one waiter's observation of a finished op, reaping the op
+    /// entry (and bumping its epoch, when fan-in never did) once every
+    /// live expected local has either observed or abandoned.
+    fn observe_result_locked(
+        &self,
+        st: &mut OpsShard,
+        op_id: &OpId,
+    ) -> std::result::Result<CollOutcome, PmixError> {
+        let remove = {
+            // Dead participants never come back to observe the result;
+            // count only live expected locals.
+            let dead = self.dead.read();
+            let op = st.ops.get_mut(op_id).expect("present");
+            op.observed += 1;
+            let expected = op
+                .expected_local
+                .as_ref()
+                .map(|e| e.iter().filter(|p| !dead.contains(*p)).count())
+                .unwrap_or(0);
+            op.observed + op.abandoned >= expected
+        };
+        let res = st.ops.get(op_id).and_then(|o| o.result.clone()).expect("result present");
+        if remove {
+            let op = st.ops.remove(op_id).expect("present");
+            if !op.epoch_bumped {
+                self.bump_epoch(st, (op_id.kind, op_id.name.clone(), op_id.mhash));
+            }
+        }
+        res
+    }
+
+    /// Reap an op whose result has posted but whose remaining waiters all
+    /// abandoned — nobody is left to call `observe_result_locked`. A no-op
+    /// for ops with zero abandoners (the last live waiter reaps those,
+    /// exactly as before nonblocking entry existed).
+    fn reap_if_fully_abandoned(&self, st: &mut OpsShard, op_id: &OpId) {
+        let remove = {
+            let dead = self.dead.read();
+            let Some(op) = st.ops.get(op_id) else { return };
+            if op.result.is_none() || op.abandoned == 0 {
+                return;
+            }
+            let expected = op
+                .expected_local
+                .as_ref()
+                .map(|e| e.iter().filter(|p| !dead.contains(*p)).count())
+                .unwrap_or(0);
+            op.observed + op.abandoned >= expected
+        };
+        if remove {
+            let op = st.ops.remove(op_id).expect("present");
+            if !op.epoch_bumped {
+                self.bump_epoch(st, (op_id.kind, op_id.name.clone(), op_id.mhash));
             }
         }
     }
@@ -1119,45 +1312,9 @@ impl PmixServer {
                     return;
                 }
                 op.pgcid_requested = true;
-                // The RM round-trip is the "relatively expensive operation"
-                // of §III-B3 — it gets its own span, parented under the
-                // exchange stage, so the critical path shows it.
-                let req = self.metrics.obs.span_with_parent(
-                    &self.metrics.process,
-                    "pgcid.request",
-                    &op_id.to_string(),
-                    op.xchg.as_ref().map(|s| s.context()),
-                );
-                let req_ctx = req.context();
-                let count = self.pgcid_block.load(Ordering::Relaxed).max(1);
-                let token = self.mint_token(0);
-                self.pgcid_waiting.lock().insert(token, (op_id.clone(), Some(req)));
-                let rm = self.registry.rm_endpoint();
+                let xchg_ctx = op.xchg.as_ref().map(|s| s.context());
                 drop(st);
-                match rm {
-                    Some(rm_ep) if rm_ep == self.sender.id() => {
-                        // We *are* the RM: allocate inline.
-                        let (pgcid, alloc_ctx) =
-                            self.rm_allocate_pgcid_block_traced(count, Some(req_ctx));
-                        self.handle_ctx(ServerMsg::PgcidReply { token, pgcid, count }, alloc_ctx);
-                    }
-                    Some(rm_ep) => {
-                        let _ = self.sender.send_ctx(
-                            rm_ep,
-                            ServerMsg::PgcidRequest {
-                                reply_to: self.sender.id(),
-                                token,
-                                count,
-                            }
-                            .encode(),
-                            Some(req_ctx),
-                        );
-                    }
-                    None => {
-                        let mut st = shard.state.lock();
-                        self.fail_op_locked(&mut st, si, op_id, AbortReason::Timeout);
-                    }
-                }
+                self.acquire_pgcid_for(op_id, xchg_ctx);
             }
             return;
         }
@@ -1222,6 +1379,9 @@ impl PmixServer {
         let fanout_ctx = fanout.context();
         fanout.end();
         op.result = Some(Ok(CollOutcome { members, pgcid, ctx: Some(fanout_ctx) }));
+        // If every local waiter already walked away, nobody will observe:
+        // reap here so abandoned ops cannot park in the shard forever.
+        self.reap_if_fully_abandoned(&mut st, op_id);
         drop(st);
         // Stage 3: local fan-out — waiting clients on this node are released.
         let sc = self.metrics.shard(si);
@@ -1264,6 +1424,7 @@ impl PmixServer {
                     .stage_event("group.abort", op_id, vec![("reason".into(), why.into())]);
             }
         }
+        self.reap_if_fully_abandoned(st, op_id);
         self.ops_shards[si].cv.notify_all();
     }
 
@@ -1320,6 +1481,184 @@ impl PmixServer {
         let ctx = span.context();
         span.end();
         (pgcid, Some(ctx))
+    }
+
+    /// Get a PGCID for `op_id` (lead server, pool already missed under the
+    /// caller's shard lock). If an RM request is already in flight from
+    /// this server, queue behind it — the construct's grant rides the same
+    /// block and no second `pgcid.request` span opens. Otherwise this op
+    /// pays the round trip for everyone who queues after it.
+    fn acquire_pgcid_for(&self, op_id: &OpId, parent: Option<obs::TraceContext>) {
+        {
+            let mut ctl = self.pgcid_ctl.lock();
+            if ctl.inflight {
+                ctl.backlog.push_back(op_id.clone());
+                drop(ctl);
+                self.metrics.stage_event("pgcid.coalesced", op_id, vec![]);
+                return;
+            }
+            // The pool may have refilled between the caller's check and
+            // here (a reply races the shard lock); prefer it over a trip.
+            let (pooled, len) = {
+                let mut pool = self.pgcid_pool.lock();
+                (pool.pop_front(), pool.len())
+            };
+            if let Some(pgcid) = pooled {
+                drop(ctl);
+                self.publish_pool_gauge(len);
+                self.metrics.pgcid_pool_hits.inc();
+                if let Some(unused) = self.deliver_pgcid(op_id, pgcid, None) {
+                    self.repool_front(unused);
+                }
+                return;
+            }
+            ctl.inflight = true;
+        }
+        self.send_pgcid_request(op_id, parent, 1);
+    }
+
+    /// Ship one RM block request on behalf of `op_id`. `demand` is how many
+    /// queued constructs the grant must cover; the configured block size
+    /// still floors the request, so pooling behavior is unchanged.
+    fn send_pgcid_request(&self, op_id: &OpId, parent: Option<obs::TraceContext>, demand: u64) {
+        // The RM round-trip is the "relatively expensive operation" of
+        // §III-B3 — it gets its own span, parented under the exchange
+        // stage, so the critical path shows it.
+        let req = self.metrics.obs.span_with_parent(
+            &self.metrics.process,
+            "pgcid.request",
+            &op_id.to_string(),
+            parent,
+        );
+        let req_ctx = req.context();
+        let count = self.pgcid_block.load(Ordering::Relaxed).max(demand).max(1);
+        let token = self.mint_token(0);
+        self.pgcid_waiting.lock().insert(token, (op_id.clone(), Some(req)));
+        match self.registry.rm_endpoint() {
+            Some(rm_ep) if rm_ep == self.sender.id() => {
+                // We *are* the RM: allocate inline.
+                let (pgcid, alloc_ctx) =
+                    self.rm_allocate_pgcid_block_traced(count, Some(req_ctx));
+                self.handle_ctx(ServerMsg::PgcidReply { token, pgcid, count }, alloc_ctx);
+            }
+            Some(rm_ep) => {
+                let _ = self.sender.send_ctx(
+                    rm_ep,
+                    ServerMsg::PgcidRequest { reply_to: self.sender.id(), token, count }
+                        .encode(),
+                    Some(req_ctx),
+                );
+            }
+            None => {
+                if let Some((_, Some(sp))) = self.pgcid_waiting.lock().remove(&token) {
+                    sp.end();
+                }
+                self.pgcid_ctl.lock().inflight = false;
+                let si = Self::ops_shard_of(op_id.kind, &op_id.name, op_id.mhash);
+                let mut st = self.ops_shards[si].state.lock();
+                self.fail_op_locked(&mut st, si, op_id, AbortReason::Timeout);
+            }
+        }
+    }
+
+    /// Hand a granted id to `op_id`: record it, tell the peer servers, and
+    /// re-attempt completion. Returns the id back when the op is already
+    /// gone (aborted and reaped while the grant was in flight) so the
+    /// caller can repool it instead of leaking it.
+    fn deliver_pgcid(
+        &self,
+        op_id: &OpId,
+        pgcid: u64,
+        ctx: Option<obs::TraceContext>,
+    ) -> Option<u64> {
+        let si = Self::ops_shard_of(op_id.kind, &op_id.name, op_id.mhash);
+        let shard = &self.ops_shards[si];
+        let peers = {
+            let mut st = shard.state.lock();
+            if let Some(op) = st.ops.get_mut(op_id) {
+                op.pgcid = Some(pgcid);
+                if let Some(c) = ctx {
+                    op.contrib_ctxs.push(c);
+                }
+                Some(op.expected_servers.clone())
+            } else {
+                None
+            }
+        };
+        let unused = match peers {
+            Some(peers) => {
+                self.broadcast_ctx(&peers, &ServerMsg::CollPgcid { op: op_id.clone(), pgcid }, ctx);
+                self.try_complete(op_id);
+                None
+            }
+            None => Some(pgcid),
+        };
+        shard.cv.notify_all();
+        unused
+    }
+
+    /// Return an unused grant to the head of the pool (it is younger than
+    /// anything pooled after it left).
+    fn repool_front(&self, pgcid: u64) {
+        let len = {
+            let mut pool = self.pgcid_pool.lock();
+            pool.push_front(pgcid);
+            pool.len()
+        };
+        self.publish_pool_gauge(len);
+    }
+
+    /// After a block grant lands: serve queued constructs from the pool;
+    /// if demand outlives the grant, ship one follow-up request sized for
+    /// everything still waiting (and keep the in-flight latch held).
+    fn drain_pgcid_backlog(&self) {
+        loop {
+            let next = {
+                let mut ctl = self.pgcid_ctl.lock();
+                match ctl.backlog.pop_front() {
+                    Some(op) => op,
+                    None => {
+                        ctl.inflight = false;
+                        return;
+                    }
+                }
+            };
+            // A backlogged op may have aborted and been reaped meanwhile;
+            // skip it without burning a pooled id or an RM trip.
+            let si = Self::ops_shard_of(next.kind, &next.name, next.mhash);
+            let live = self.ops_shards[si].state.lock().ops.contains_key(&next);
+            if !live {
+                continue;
+            }
+            let (pooled, len) = {
+                let mut pool = self.pgcid_pool.lock();
+                (pool.pop_front(), pool.len())
+            };
+            match pooled {
+                Some(pgcid) => {
+                    self.publish_pool_gauge(len);
+                    // This construct rode someone else's round trip: the
+                    // counter tallies saved RM trips at delivery time (a
+                    // queued op promoted to lead a follow-up request is
+                    // counted as a request instead, never both).
+                    self.metrics.pgcid_coalesced.inc();
+                    if let Some(unused) = self.deliver_pgcid(&next, pgcid, None) {
+                        self.repool_front(unused);
+                    }
+                }
+                None => {
+                    let demand = 1 + self.pgcid_ctl.lock().backlog.len() as u64;
+                    let parent = self.ops_shards[si]
+                        .state
+                        .lock()
+                        .ops
+                        .get(&next)
+                        .and_then(|o| o.xchg.as_ref().map(|s| s.context()));
+                    self.send_pgcid_request(&next, parent, demand);
+                    return;
+                }
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -1651,29 +1990,12 @@ impl PmixServer {
                         sp.end();
                         rc
                     });
-                    let si = Self::ops_shard_of(op_id.kind, &op_id.name, op_id.mhash);
-                    let shard = &self.ops_shards[si];
-                    let peers = {
-                        let mut st = shard.state.lock();
-                        if let Some(op) = st.ops.get_mut(&op_id) {
-                            op.pgcid = Some(pgcid);
-                            if let Some(rc) = req_ctx {
-                                op.contrib_ctxs.push(rc);
-                            }
-                            Some(op.expected_servers.clone())
-                        } else {
-                            None
-                        }
-                    };
-                    if let Some(peers) = peers {
-                        self.broadcast_ctx(
-                            &peers,
-                            &ServerMsg::CollPgcid { op: op_id.clone(), pgcid },
-                            req_ctx,
-                        );
-                        self.try_complete(&op_id);
+                    if let Some(unused) = self.deliver_pgcid(&op_id, pgcid, req_ctx) {
+                        // The op aborted while the grant was in flight.
+                        self.repool_front(unused);
                     }
-                    shard.cv.notify_all();
+                    // Serve everything that queued behind this round trip.
+                    self.drain_pgcid_backlog();
                 } else {
                     // A blocking scalar fetch (async-construct path); the
                     // token encodes the kvs shard holding its reply slot.

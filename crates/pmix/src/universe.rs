@@ -518,4 +518,117 @@ mod tests {
         let ev = events.next_timeout(Duration::from_secs(5)).expect("termination event");
         assert_eq!(ev.source, Some(procs[1].0.clone()));
     }
+
+    #[test]
+    fn nb_construct_matches_blocking_peer() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            c.group_construct("nb", &m2, &GroupDirectives::for_mpi()).unwrap()
+        });
+        let c = uni.client_for(&members[0]).unwrap();
+        let mut pending =
+            c.group_construct_nb("nb", &members, &GroupDirectives::for_mpi()).unwrap();
+        // Poll-drive to completion instead of blocking.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let mine = loop {
+            if let Some(res) = pending.try_group() {
+                break res.unwrap();
+            }
+            assert!(std::time::Instant::now() < deadline, "poll never completed");
+            std::thread::yield_now();
+        };
+        let theirs = h.join().unwrap();
+        assert_eq!(mine.pgcid(), theirs.pgcid());
+        assert_eq!(mine.members(), theirs.members());
+        assert!(pending.is_finished());
+    }
+
+    #[test]
+    fn concurrent_nb_constructs_coalesce_pgcid_requests() {
+        const K: usize = 6;
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        // Paper-prototype mode: one id per RM grant, so every construct
+        // that cannot coalesce pays its own round trip.
+        uni.set_pgcid_block(1);
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            let pendings: Vec<_> = (0..K)
+                .map(|i| {
+                    c.group_construct_nb(&format!("cg{i}"), &m2, &GroupDirectives::for_mpi())
+                        .unwrap()
+                })
+                .collect();
+            pendings.into_iter().map(|p| p.wait().unwrap()).collect::<Vec<_>>()
+        });
+        let c = uni.client_for(&members[0]).unwrap();
+        let pendings: Vec<_> = (0..K)
+            .map(|i| {
+                c.group_construct_nb(&format!("cg{i}"), &members, &GroupDirectives::for_mpi())
+                    .unwrap()
+            })
+            .collect();
+        let mine: Vec<_> = pendings.into_iter().map(|p| p.wait().unwrap()).collect();
+        let theirs = h.join().unwrap();
+        let obs = uni.fabric().obs();
+        // Ranks agree per construct; ids are distinct across constructs.
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in mine.iter().zip(&theirs) {
+            assert_eq!(a.pgcid(), b.pgcid());
+            assert!(seen.insert(a.pgcid().unwrap()), "pgcid reused across groups");
+        }
+        // Every construct either paid a round trip, rode one (coalesced),
+        // or hit the pool — the accounting must add up exactly.
+        let requests = obs
+            .spans_snapshot()
+            .iter()
+            .filter(|s| s.name == "pgcid.request")
+            .count() as u64;
+        let coalesced = obs.sum_counters("pmix", "pgcid_coalesced");
+        let pool_hits = obs.sum_counters("pmix", "pgcid_pool_hits");
+        assert_eq!(requests + coalesced + pool_hits, K as u64);
+        assert_eq!(obs.sum_counters("pmix", "pgcid_allocated"), K as u64);
+    }
+
+    #[test]
+    fn dropped_pending_construct_is_abandoned_not_leaked() {
+        let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+        let procs = spawn_procs(&uni, "job", 2);
+        let members: Vec<ProcId> = procs.iter().map(|(p, _)| p.clone()).collect();
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            c.group_construct("aband", &m2, &GroupDirectives::for_mpi()).unwrap()
+        });
+        let c = uni.client_for(&members[0]).unwrap();
+        let pending =
+            c.group_construct_nb("aband", &members, &GroupDirectives::for_mpi()).unwrap();
+        // The peer still completes: rank 0's fan-in contribution already
+        // happened at coll_begin; dropping only abandons the observation.
+        let theirs = h.join().unwrap();
+        drop(pending);
+        assert!(theirs.pgcid().is_some());
+        let obs = uni.fabric().obs();
+        assert_eq!(obs.sum_counters("pmix", "coll_abandoned"), 1);
+        // The abandoned epoch is reaped: the same name constructs again.
+        let m2 = members.clone();
+        let uni2 = uni.clone();
+        let h = std::thread::spawn(move || {
+            let c = uni2.client_for(&m2[1]).unwrap();
+            c.group_construct("aband", &m2, &GroupDirectives::for_mpi()).unwrap()
+        });
+        let again = c.group_construct("aband", &members, &GroupDirectives::for_mpi()).unwrap();
+        let again2 = h.join().unwrap();
+        assert_eq!(again.pgcid(), again2.pgcid());
+        assert_ne!(again.pgcid(), theirs.pgcid());
+    }
 }

@@ -484,6 +484,141 @@ fn run_soak(seed: u64) -> RunReport {
     report
 }
 
+/// Async setup: faults land *between the stages* of in-flight setup
+/// requests. A partition bites the warm-up fence, delays stretch the
+/// window between the `group` fan-in and fan-out stages of a pipelined
+/// `icomm_create_from_group` batch, and a kill lands while a second batch
+/// is parked between `issue` and `wait` — those requests must *fail*
+/// (member terminated), never strand, whether they are waited or dropped
+/// mid-flight. The `request-terminal` invariant then audits that every
+/// `req.issued` id on every rank reached `req.completed` or `req.failed`.
+fn run_async_setup(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::instance::MpiProcess;
+    use mpi_sessions_repro::mpi::SetupRequest;
+    use std::sync::mpsc;
+
+    const BATCH1: usize = 4; // pipelined constructs under delay faults
+    const BATCH2: usize = 3; // constructs the kill aborts mid-flight
+    const VICTIM: u32 = 3;
+    let plan = FaultPlan::new(
+        seed,
+        vec![
+            FaultRule::new(
+                FaultClass::Partition,
+                RuleScope::pair_within(1, 3).and_crossing(vec![0], vec![1]),
+                SeqWindow::first(1),
+            ),
+            FaultRule::new(
+                FaultClass::Delay,
+                RuleScope::pair_within(1, 3),
+                SeqWindow::first(2),
+            )
+            .with_delay_ms(15),
+        ],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-async-{seed}");
+    let (tx, rx) = mpsc::channel::<(u32, &'static str)>();
+    let handle = world.launcher().spawn_named(&nspace, JobSpec::new(4), move |ctx| {
+        let all = all_procs(&ctx);
+        // Warm-up barrier absorbs the partition: retry until it heals.
+        let mut attempts = 0u32;
+        loop {
+            match ctx.pmix().fence_timeout(&all, false, Duration::from_millis(1200)) {
+                Ok(()) => break,
+                Err(_) => {
+                    attempts += 1;
+                    assert!(attempts < 5, "partition never healed");
+                }
+            }
+        }
+        assert!(attempts >= 1, "the partition must bite at least once");
+        let session = new_session(&ctx);
+        let process = MpiProcess::obtain(&ctx);
+        let world_group = session.group_from_pset("mpi://world").unwrap();
+        // Batch 1: pipelined constructs whose group stages straddle the
+        // delayed inter-server messages; nudge them through the engine
+        // once, then claim with wait.
+        let reqs: Vec<SetupRequest<Comm>> = (0..BATCH1)
+            .map(|i| Comm::icomm_create_from_group(&world_group, &format!("as1-{i}")).unwrap())
+            .collect();
+        process.progress();
+        let comms: Vec<Comm> = reqs.into_iter().map(|r| r.wait().unwrap()).collect();
+        assert_eq!(coll::allreduce_t(&comms[0], ReduceOp::Sum, &[1u32]).unwrap()[0], 4);
+        for c in comms {
+            c.free().unwrap();
+        }
+        tx.send((ctx.rank(), "batch1")).unwrap();
+        // Batch 2: survivors issue constructs *including the victim*, who
+        // never contributes — so they cannot complete before the kill
+        // lands between their issue and their wait.
+        let mut reqs: Vec<SetupRequest<Comm>> = if ctx.rank() == VICTIM {
+            Vec::new()
+        } else {
+            (0..BATCH2)
+                .map(|i| {
+                    Comm::icomm_create_from_group(&world_group, &format!("as2-{i}")).unwrap()
+                })
+                .collect()
+        };
+        tx.send((ctx.rank(), "issued")).unwrap();
+        for i in 0..1000 {
+            let sg = session.surviving_group("mpi://world").unwrap();
+            if sg.iter().all(|m| m.proc.rank() != VICTIM) {
+                break;
+            }
+            assert!(i < 999, "kill never became visible");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if ctx.rank() == VICTIM {
+            // The victim: its endpoint is dead; bow out without finalize.
+            return 0;
+        }
+        // One in-flight request is dropped — cancellation must drive it to
+        // its (Failed) terminal state; the rest surface the abort on wait.
+        drop(reqs.pop());
+        for r in reqs {
+            assert!(r.wait().is_err(), "construct with a dead member must fail");
+        }
+        // Recovery: a fresh pipelined batch over the survivors completes.
+        let sg = session.surviving_group("mpi://world").unwrap();
+        let reqs: Vec<SetupRequest<Comm>> = (0..2)
+            .map(|i| Comm::icomm_create_from_group(&sg, &format!("as3-{i}")).unwrap())
+            .collect();
+        let comms: Vec<Comm> = reqs.into_iter().map(|r| r.wait().unwrap()).collect();
+        let sum = coll::allreduce_t(&comms[0], ReduceOp::Sum, &[1u32]).unwrap()[0];
+        for c in comms {
+            c.free().unwrap();
+        }
+        session.finalize().unwrap();
+        sum
+    });
+    // Both phases acked by all four ranks, then the mid-flight kill.
+    for _ in 0..8 {
+        rx.recv_timeout(Duration::from_secs(30)).expect("phase ack");
+    }
+    world.kill_proc(&ProcId::new(nspace.as_str(), VICTIM));
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![3, 3, 3, 0], "survivors recover; the victim bows out");
+    let obs = world.universe().fabric().obs();
+    // Every batch-2 request (waited or dropped) failed; nothing stranded,
+    // nothing spuriously cancelled (a failed request has nothing to release).
+    assert_eq!(obs.sum_counters("req", "failed"), (BATCH2 * 3) as u64);
+    assert_eq!(obs.sum_counters("req", "cancelled"), 0);
+    assert_eq!(
+        obs.sum_counters("req", "issued"),
+        obs.sum_counters("req", "completed") + obs.sum_counters("req", "failed")
+    );
+    // Ranks diverge at the kill, so skip the symmetric cid-agreement list.
+    let report = world.finish(None, Vec::new());
+    assert!(report
+        .trace
+        .iter()
+        .all(|r| matches!(r.class, FaultClass::Partition | FaultClass::Delay)));
+    report.assert_clean();
+    report
+}
+
 type Scenario = fn(u64) -> RunReport;
 
 const SCENARIOS: &[(&str, Scenario)] = &[
@@ -494,6 +629,7 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("partition", run_partition),
     ("elastic", run_elastic),
     ("soak", run_soak),
+    ("async_setup", run_async_setup),
 ];
 
 // ---------------------------------------------------------------------------
@@ -546,6 +682,13 @@ fn elastic_seeds_rebuild_through_churn() {
 fn soak_seeds_churn_leak_free_through_faults() {
     for seed in [81, 82, 83, 84] {
         run_soak(seed);
+    }
+}
+
+#[test]
+fn async_setup_seeds_terminate_every_request() {
+    for seed in [91, 92, 93, 94] {
+        run_async_setup(seed);
     }
 }
 

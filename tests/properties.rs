@@ -27,6 +27,19 @@ fn world_comm(ctx: &prrte::ProcCtx, tag: &str) -> (Session, Comm) {
     (s, c)
 }
 
+/// Deterministic Fisher–Yates permutation of `0..k` from a proptest-drawn
+/// seed (the vendored proptest has no `prop_shuffle`).
+fn perm(seed: u64, k: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..k).collect();
+    let mut s = seed | 1;
+    for i in (1..k).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8, // each case launches a multi-threaded simulated job
@@ -151,6 +164,58 @@ proptest! {
         prop_assert_eq!(out[0].1, 3);
         prop_assert_eq!(out[0].0, out[1].0);
         prop_assert_eq!(out[1].0, out[2].0);
+    }
+
+    /// Nonblocking setup is completion-order agnostic: a batch of
+    /// concurrently issued `icomm_create_from_group` requests, claimed in
+    /// an *independently shuffled* order on each rank, always completes
+    /// (no deadlock), agrees on every exCID across ranks, and keeps the
+    /// per-communicator channels isolated (tagged traffic never crosses).
+    #[test]
+    fn prop_async_setup_any_completion_order_agrees(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 2)
+    ) {
+        const K: usize = 4;
+        let schedules: Vec<Vec<usize>> = seeds.iter().map(|&s| perm(s, K)).collect();
+        let out = run_job(2, move |ctx| {
+            let s = Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                .unwrap();
+            let g = s.group_from_pset("mpi://world").unwrap();
+            let mut reqs: Vec<_> = (0..K)
+                .map(|i| Some(Comm::icomm_create_from_group(&g, &format!("prop-async{i}")).unwrap()))
+                .collect();
+            // Claim in this rank's shuffled order: the collectives complete
+            // server-side regardless of who waits what first.
+            let mut comms: Vec<Option<Comm>> = (0..K).map(|_| None).collect();
+            for &i in &schedules[ctx.rank() as usize] {
+                comms[i] = Some(reqs[i].take().unwrap().wait().unwrap());
+            }
+            let comms: Vec<Comm> = comms.into_iter().map(|c| c.unwrap()).collect();
+            let excids: Vec<_> = comms.iter().map(|c| c.excid().unwrap()).collect();
+            let mut cids: Vec<u16> = comms.iter().map(|c| c.local_cid()).collect();
+            cids.sort_unstable();
+            cids.dedup();
+            assert_eq!(cids.len(), K, "local CIDs must be distinct per process");
+            let peer = 1 - ctx.rank();
+            for (i, c) in comms.iter().enumerate() {
+                let msg = format!("pa{i}r{}", ctx.rank());
+                let (reply, st) = c
+                    .sendrecv(peer, i as i32, msg.as_bytes(), peer as i32, i as i32)
+                    .unwrap();
+                assert_eq!(reply, format!("pa{i}r{peer}").as_bytes());
+                assert_eq!(st.tag, i as i32);
+            }
+            for c in comms {
+                c.free().unwrap();
+            }
+            s.finalize().unwrap();
+            excids
+        });
+        prop_assert_eq!(&out[0], &out[1], "ranks disagree on exCIDs");
+        let mut uniq = out[0].clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), K, "concurrent constructs must get distinct exCIDs");
     }
 
     /// Any interleaving of pset define/update/delete/GC keeps the emitted
