@@ -81,6 +81,26 @@ echo "== soak abandon smoke (fig_soak --waves 50 --abandon) =="
 cargo run -q --offline --release -p bench-harness --bin fig_soak -- \
   --waves 50 --abandon >/dev/null
 
+# Introspection gate, two halves. (a) Schema: a live-stack flight-recorder
+# dump must validate against the checked-in introspect schema — every
+# process, in-flight request, server shard and cvar row carries its
+# required typed fields. (b) Failure-path artifact: a chaos run with a
+# deliberately-broken invariant (an unresolved canary stall trips
+# stall-terminal) must auto-attach a flight-recorder artifact that parses
+# and validates the same way — proving a *failing* run always yields a
+# usable post-mortem, not just a passing one.
+echo "== introspect gate (dump schema + chaos-fail artifact) =="
+intro_tmp="$(mktemp -t introspect_ci.XXXXXX.json)"
+cargo run -q --offline --release -p bench-harness --bin introspect_dump -- \
+  --out "$intro_tmp"
+cargo run -q --offline --release -p bench-harness --bin trace_check -- \
+  --introspect "$intro_tmp" --schema ci/introspect_schema.json
+cargo run -q --offline --release -p bench-harness --bin introspect_dump -- \
+  --chaos-fail --out "$intro_tmp" 2>/dev/null
+cargo run -q --offline --release -p bench-harness --bin trace_check -- \
+  --introspect "$intro_tmp" --schema ci/introspect_schema.json
+rm -f "$intro_tmp"
+
 # Perf-regression gate: bench_gate re-runs the fixed workload set and
 # diffs its deterministic report (logical critical-path costs, span/stage
 # counts, protocol counters — never wall time) against the committed

@@ -75,7 +75,7 @@ const COUNTERS: &[(&str, &str)] = &[
 ];
 
 /// Reduce one finished run's registry to the gate's deterministic record.
-fn extract(registry: &obs::Registry) -> Value {
+fn extract(registry: &std::sync::Arc<obs::Registry>) -> Value {
     let dropped = registry.spans_dropped();
     assert_eq!(dropped, 0, "gate workload overflowed the span buffer");
     let report = obs::analyze::analyze(&registry.spans_snapshot(), dropped);
@@ -99,9 +99,15 @@ fn extract(registry: &obs::Registry) -> Value {
         stages.insert(name.clone(), Value::Object(m));
     }
     out.insert("stages".into(), Value::Object(stages));
+    // Counters are sampled through an MPI_T pvar session rather than the
+    // registry directly: the gate's fingerprint is, by construction, what
+    // any tool bound to the same pvars would read.
+    let mut session = obs::PvarSession::new(registry.clone());
+    let handles: Vec<obs::PvarHandle> =
+        COUNTERS.iter().map(|&(c, n)| session.bind_counter_sum(c, n)).collect();
     let mut counters = Map::new();
-    for &(comp, name) in COUNTERS {
-        counters.insert(format!("{comp}.{name}"), Value::U64(registry.sum_counters(comp, name)));
+    for (&(comp, name), h) in COUNTERS.iter().zip(handles) {
+        counters.insert(format!("{comp}.{name}"), Value::U64(session.read_u64(h)));
     }
     out.insert("counters".into(), Value::Object(counters));
     Value::Object(out)

@@ -49,20 +49,33 @@ struct Report {
     verdict: soak::LeakVerdict,
 }
 
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let waves: u64 = cli_opt(&args, "--waves").and_then(|v| v.parse().ok()).unwrap_or(200);
+    // Flags win; SOAK_WAVES / SOAK_SAMPLE_EVERY env knobs are the fallback
+    // (both surface as read-only `env` cvars in the introspection dump).
+    let waves: u64 = cli_opt(&args, "--waves")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| env_u64("SOAK_WAVES"))
+        .unwrap_or(200);
     let no_gc = args.iter().any(|a| a == "--no-gc");
     let abandon = args.iter().any(|a| a == "--abandon");
     let sample_every: u64 = cli_opt(&args, "--sample-every")
         .and_then(|v| v.parse().ok())
+        .or_else(|| env_u64("SOAK_SAMPLE_EVERY"))
         .unwrap_or_else(|| (waves / 16).max(1));
 
     let launcher = Launcher::new(SimTestbed::tiny(2, 2));
     let registry = launcher.universe().registry();
     let obs = launcher.universe().fabric().obs();
     if no_gc {
-        registry.set_gc_enabled(false);
+        // Through the cvar registry: behavior-identical to the legacy
+        // `set_gc_enabled(false)` setter it absorbed.
+        obs.cvar_write("universe", "registry.gc_enabled", obs::CvarValue::Bool(false))
+            .expect("gc_enabled cvar");
     }
 
     let (tx, rx) = mpsc::channel::<(u32, u64)>();
@@ -105,8 +118,10 @@ fn main() {
     });
     // Quiet-point baseline: launch-defined psets registered, no live
     // sessions yet (ranks only start churning after this read races at
-    // worst with wave 0 — which cannot touch psets or the KVS).
-    let baseline = soak::sample(&obs, 0);
+    // worst with wave 0 — which cannot touch psets or the KVS). All
+    // sampling goes through one bound pvar session.
+    let pvars = soak::SoakPvars::bind(obs.clone());
+    let baseline = pvars.sample(0);
 
     let t0 = Instant::now();
     let mut samples = Vec::new();
@@ -121,12 +136,12 @@ fn main() {
         registry.define_pset(&name, vec![]);
         registry.undefine_pset(&name);
         if wave % sample_every == 0 {
-            samples.push(soak::sample(&obs, wave));
+            samples.push(pvars.sample(wave));
         }
     }
     handle.join().expect("soak job");
     let elapsed = t0.elapsed().as_secs_f64();
-    let fin = soak::sample(&obs, waves);
+    let fin = pvars.sample(waves);
     samples.push(fin);
 
     let sessions = waves * NP as u64;

@@ -13,7 +13,14 @@
 //!    line per trace. CI diffs this against a committed golden file, so
 //!    the gate catches reordered or vanished stages but not cost drift.
 //!
+//! A third job rides on the same machinery: `--introspect <file>` switches
+//! to validating a flight-recorder snapshot (`introspect_dump` output, or
+//! the artifact a failing chaos run attaches) against
+//! `ci/introspect_schema.json` — every process, request, server-shard and
+//! cvar row must carry its required fields with the right types.
+//!
 //! Usage: `trace_check <trace.json> [--schema ci/trace_schema.json]`
+//!        `trace_check --introspect <snapshot.json> [--schema <schema.json>]`
 //! Exits nonzero on the first violation.
 
 use apps::cli_opt;
@@ -36,6 +43,7 @@ fn type_ok(v: &Value, ty: &str) -> bool {
     match ty {
         "string" => v.as_str().is_some(),
         "u64" => v.as_u64().is_some(),
+        "bool" => v.as_bool().is_some(),
         "array" => v.as_array().is_some(),
         "object" => v.as_object().is_some(),
         _ => false,
@@ -64,8 +72,94 @@ fn required_spec<'a>(schema: &'a Map, key: &str) -> &'a Map {
         .unwrap_or_else(|| fail(&format!("schema file is missing '{key}'")))
 }
 
+/// `--introspect` mode: validate one flight-recorder snapshot against the
+/// introspect schema. Walks every nested collection — processes (and their
+/// requests, PGCID families, cache), registry, servers (and their shards),
+/// cvar rows — checking required fields and types.
+fn check_introspect(snapshot_path: &str, schema_path: &str) {
+    let schema = load(schema_path);
+    let schema = schema.as_object().unwrap_or_else(|| fail("schema file must be an object"));
+    let version = schema
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("schema file is missing 'schema' version string"));
+    let root_req = required_spec(schema, "root_required");
+    let proc_req = required_spec(schema, "process_required");
+    let cache_req = required_spec(schema, "pml_cache_required");
+    let request_req = required_spec(schema, "request_required");
+    let family_req = required_spec(schema, "pgcid_family_required");
+    let registry_req = required_spec(schema, "registry_required");
+    let server_req = required_spec(schema, "server_required");
+    let shards_req = required_spec(schema, "shards_required");
+    let cvar_req = required_spec(schema, "cvar_required");
+
+    let snap = load(snapshot_path);
+    let root = snap.as_object().unwrap_or_else(|| fail("snapshot must be an object"));
+    check_required(root, root_req, "snapshot");
+    let got = root.get("schema").and_then(Value::as_str).unwrap();
+    if got != version {
+        fail(&format!("snapshot schema '{got}', expected '{version}'"));
+    }
+
+    let procs = root.get("processes").and_then(Value::as_array).unwrap();
+    for p in procs {
+        let p = p.as_object().unwrap_or_else(|| fail("process entry is not an object"));
+        check_required(p, proc_req, "process");
+        let name = p.get("proc").and_then(Value::as_str).unwrap();
+        let cache = p.get("pml_cache").and_then(Value::as_object).unwrap();
+        check_required(cache, cache_req, &format!("process '{name}' pml_cache"));
+        for r in p.get("requests").and_then(Value::as_array).unwrap() {
+            let r = r
+                .as_object()
+                .unwrap_or_else(|| fail(&format!("process '{name}': request is not an object")));
+            check_required(r, request_req, &format!("process '{name}' request"));
+        }
+        for f in p.get("pgcid_families").and_then(Value::as_array).unwrap() {
+            let f = f
+                .as_object()
+                .unwrap_or_else(|| fail(&format!("process '{name}': family is not an object")));
+            check_required(f, family_req, &format!("process '{name}' pgcid family"));
+        }
+    }
+
+    let registry = root.get("registry").and_then(Value::as_object).unwrap();
+    check_required(registry, registry_req, "registry");
+
+    let servers = root.get("servers").and_then(Value::as_array).unwrap();
+    if servers.is_empty() {
+        fail("snapshot lists no servers (a universe always has the RM daemon)");
+    }
+    for s in servers {
+        let s = s.as_object().unwrap_or_else(|| fail("server entry is not an object"));
+        check_required(s, server_req, "server");
+        let shards = s.get("shards").and_then(Value::as_object).unwrap();
+        check_required(shards, shards_req, "server shards");
+    }
+
+    for c in root.get("cvars").and_then(Value::as_array).unwrap() {
+        let c = c.as_object().unwrap_or_else(|| fail("cvar row is not an object"));
+        check_required(c, cvar_req, "cvar");
+        if c.get("value").is_none() {
+            fail("cvar row is missing 'value'");
+        }
+    }
+
+    eprintln!(
+        "trace_check: introspect OK ({} process(es), {} server(s), {} cvar(s))",
+        procs.len(),
+        servers.len(),
+        root.get("cvars").and_then(Value::as_array).unwrap().len(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(snapshot_path) = cli_opt(&args, "--introspect") {
+        let schema_path =
+            cli_opt(&args, "--schema").unwrap_or_else(|| "ci/introspect_schema.json".into());
+        check_introspect(&snapshot_path, &schema_path);
+        return;
+    }
     let trace_path = args
         .iter()
         .skip(1)

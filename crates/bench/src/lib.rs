@@ -204,17 +204,60 @@ pub mod soak {
         pub pgcid_pool: i64,
     }
 
-    /// Sample the current resource levels.
-    pub fn sample(obs: &obs::Registry, wave: u64) -> LevelSample {
-        LevelSample {
-            wave,
-            cid_table_used: obs.sum_gauges("cid", "table_used"),
-            pml_cache_entries: obs.sum_gauges("pml", "cache_entries"),
-            psets_live: obs.gauge_value("registry", "pmix", "psets_live"),
-            psets_tombstoned: obs.gauge_value("registry", "pmix", "psets_tombstoned"),
-            kvs_entries: obs.sum_gauges("pmix", "kvs_entries"),
-            pgcid_pool: obs.sum_gauges("pmix", "pgcid_pool_len"),
+    /// The six lifecycle levels bound once as MPI_T pvar handles — the
+    /// soak harness samples the runtime through the same tool surface an
+    /// external MPI_T agent would use, and `PvarSession` reads are defined
+    /// to agree with `Registry::export`, so the soak report and a tool
+    /// watching the same run can never disagree.
+    pub struct SoakPvars {
+        session: obs::PvarSession,
+        cid_table_used: obs::PvarHandle,
+        pml_cache_entries: obs::PvarHandle,
+        psets_live: obs::PvarHandle,
+        psets_tombstoned: obs::PvarHandle,
+        kvs_entries: obs::PvarHandle,
+        pgcid_pool: obs::PvarHandle,
+    }
+
+    impl SoakPvars {
+        /// Bind the level handles over `registry`.
+        pub fn bind(registry: std::sync::Arc<obs::Registry>) -> Self {
+            let mut session = obs::PvarSession::new(registry);
+            let cid_table_used = session.bind_level_sum("cid", "table_used");
+            let pml_cache_entries = session.bind_level_sum("pml", "cache_entries");
+            let psets_live = session.bind_level("registry", "pmix", "psets_live");
+            let psets_tombstoned = session.bind_level("registry", "pmix", "psets_tombstoned");
+            let kvs_entries = session.bind_level_sum("pmix", "kvs_entries");
+            let pgcid_pool = session.bind_level_sum("pmix", "pgcid_pool_len");
+            Self {
+                session,
+                cid_table_used,
+                pml_cache_entries,
+                psets_live,
+                psets_tombstoned,
+                kvs_entries,
+                pgcid_pool,
+            }
         }
+
+        /// Sample every bound level.
+        pub fn sample(&self, wave: u64) -> LevelSample {
+            LevelSample {
+                wave,
+                cid_table_used: self.session.read_i64(self.cid_table_used),
+                pml_cache_entries: self.session.read_i64(self.pml_cache_entries),
+                psets_live: self.session.read_i64(self.psets_live),
+                psets_tombstoned: self.session.read_i64(self.psets_tombstoned),
+                kvs_entries: self.session.read_i64(self.kvs_entries),
+                pgcid_pool: self.session.read_i64(self.pgcid_pool),
+            }
+        }
+    }
+
+    /// Sample the current resource levels (one-shot convenience over
+    /// [`SoakPvars`]).
+    pub fn sample(obs: &std::sync::Arc<obs::Registry>, wave: u64) -> LevelSample {
+        SoakPvars::bind(obs.clone()).sample(wave)
     }
 
     /// Per-component high-water marks (peak levels over the whole run),

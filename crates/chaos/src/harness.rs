@@ -29,6 +29,12 @@ pub struct RunReport {
     pub trace_json: String,
     /// Invariant violations (empty = all hold).
     pub violations: Vec<Violation>,
+    /// Flight-recorder snapshot (`introspect/v1` JSON), captured at finish
+    /// time when the run killed anything or violated any invariant: the
+    /// live cross-layer state — in-flight requests, held CIDs and PGCIDs,
+    /// handshake-cache entries, epoch pins, server shard occupancy — the
+    /// post-mortem needs. `None` for clean, kill-free runs.
+    pub flight_recorder: Option<String>,
 }
 
 impl RunReport {
@@ -128,6 +134,7 @@ impl ChaosWorld {
         let mut expected_dead = self.hook.killed();
         expected_dead.extend(self.explicit_kills.lock().iter().copied());
         let obs = fabric.obs();
+        let any_kills = !expected_dead.is_empty();
         let violations = InvariantChecker::standard().check(&InvariantCtx {
             obs: &obs,
             fabric,
@@ -136,7 +143,11 @@ impl ChaosWorld {
             reinit_ok,
             cid_agree,
         });
-        RunReport { seed, trace, trace_json, violations }
+        // Auto-attach the flight recorder whenever there is something to
+        // diagnose: a violated invariant or an injected/explicit kill.
+        let flight_recorder = (any_kills || !violations.is_empty())
+            .then(|| mpi_sessions::introspect::snapshot_string(self.universe()));
+        RunReport { seed, trace, trace_json, violations, flight_recorder }
     }
 }
 
@@ -195,6 +206,43 @@ mod tests {
         let rm = world.universe().server_endpoints()[0];
         assert_eq!(fabric.base_endpoint_id(), rm.0);
         world.finish(None, Vec::new()).assert_clean();
+    }
+
+    #[test]
+    fn clean_run_attaches_no_flight_recorder() {
+        let world = ChaosWorld::new(SimTestbed::tiny(1, 1), FaultPlan::quiet(7));
+        let out = world.launcher().spawn(JobSpec::new(1), |ctx| ctx.rank()).join().unwrap();
+        assert_eq!(out, vec![0]);
+        let report = world.finish(None, Vec::new());
+        report.assert_clean();
+        assert!(report.flight_recorder.is_none(), "nothing to diagnose, nothing attached");
+    }
+
+    #[test]
+    fn kill_attaches_a_parseable_flight_recorder() {
+        let world = ChaosWorld::new(SimTestbed::tiny(2, 1), FaultPlan::quiet(8));
+        let handle = world.launcher().spawn(JobSpec::new(2), |ctx| {
+            if ctx.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+            }
+            ctx.rank()
+        });
+        let victim = ProcId::new(handle.nspace(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        world.kill_proc(&victim);
+        let _ = handle.join();
+        let report = world.finish(None, Vec::new());
+        report.assert_clean();
+        let artifact = report.flight_recorder.expect("a kill always attaches the recorder");
+        let v = serde_json::parse_value(&artifact).expect("artifact is valid JSON");
+        let obj = v.as_object().expect("artifact is an object");
+        assert_eq!(
+            obj.get("schema").and_then(|s| s.as_str()),
+            Some(mpi_sessions::introspect::SCHEMA)
+        );
+        for section in ["processes", "registry", "servers", "cvars"] {
+            assert!(obj.contains_key(section), "missing section {section}");
+        }
     }
 
     #[test]

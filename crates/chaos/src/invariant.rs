@@ -43,6 +43,15 @@
 //!     (a cancelled request completes first — drop drives the collective
 //!     to completion — so cancellation still pairs with `req.completed`).
 //!
+//! 13. **stall-terminal** — every stall the progress-engine watchdog
+//!     declared (`req.stalled`) cleared (`req.unstalled`) or escalated to a
+//!     typed terminal state (`req.completed` / `req.failed`). A stall that
+//!     does neither is a hung construction the fault schedule wedged
+//!     *permanently* — exactly the failure mode the watchdog exists to
+//!     surface. Stall/unstall episodes alternate per request, so the count
+//!     algebra (`stalls ≤ unstalls`, or one extra stall closed by a
+//!     terminal event) checks episode closure without needing ring order.
+//!
 //! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
 //! based checks are only sound over a complete ring, so scenarios must be
 //! sized to fit it.
@@ -109,6 +118,7 @@ impl InvariantChecker {
         self.check_pset_epochs(ctx, &mut out);
         self.check_stale_epochs(ctx, &mut out);
         self.check_request_terminal(ctx, &mut out);
+        self.check_stall_terminal(ctx, &mut out);
         out
     }
 
@@ -403,6 +413,45 @@ impl InvariantChecker {
                     attr_str(&e, "op"),
                 ),
             });
+        }
+    }
+
+    fn check_stall_terminal(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let mut stalls: BTreeMap<(String, u64), (u64, u64)> = BTreeMap::new();
+        for e in ctx.obs.events_named("req.stalled") {
+            stalls.entry((e.process.clone(), attr_u64(&e, "id"))).or_default().0 += 1;
+        }
+        for e in ctx.obs.events_named("req.unstalled") {
+            stalls.entry((e.process.clone(), attr_u64(&e, "id"))).or_default().1 += 1;
+        }
+        let mut terminal: BTreeSet<(String, u64)> = BTreeSet::new();
+        for name in ["req.completed", "req.failed"] {
+            for e in ctx.obs.events_named(name) {
+                terminal.insert((e.process.clone(), attr_u64(&e, "id")));
+            }
+        }
+        for ((process, id), (stalled, unstalled)) in stalls {
+            // Episodes alternate stall → unstall; at most one episode can
+            // be open at the end, and only if a terminal event closed it.
+            if stalled > unstalled + 1 || (stalled == unstalled + 1 && !terminal.contains(&(process.clone(), id))) {
+                out.push(Violation {
+                    invariant: "stall-terminal",
+                    detail: format!(
+                        "process {process} request {id}: {stalled} stall(s), \
+                         {unstalled} clear(s), no terminal state — a wedged \
+                         construction the watchdog flagged but nothing resolved"
+                    ),
+                });
+            } else if unstalled > stalled {
+                out.push(Violation {
+                    invariant: "stall-terminal",
+                    detail: format!(
+                        "process {process} request {id}: {unstalled} unstall \
+                         event(s) but only {stalled} stall(s) — watchdog \
+                         accounting is broken"
+                    ),
+                });
+            }
         }
     }
 

@@ -229,6 +229,15 @@ impl CidTable {
     pub fn count_used(&self) -> usize {
         self.used.iter().filter(|b| **b).count()
     }
+
+    /// The in-use indices, ascending (introspection snapshots).
+    pub fn used_indices(&self) -> Vec<u16> {
+        self.used
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.then_some(i as u16))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1034,6 +1034,11 @@ impl SetupStage<Comm> for GroupStage {
             p.park(limit);
         }
     }
+    fn waiting_on(&self) -> Option<String> {
+        self.pending
+            .as_ref()
+            .map(|p| format!("pmix group construct '{}'", p.name()))
+    }
 }
 
 /// Continuation for [`GroupStage`]: once the construct delivers, hand over

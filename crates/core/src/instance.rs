@@ -128,7 +128,59 @@ impl MpiProcess {
         });
         map.insert(key, Arc::downgrade(&process));
         map.retain(|_, w| w.strong_count() > 0);
+        process.register_cvars();
         process
+    }
+
+    /// Register this process's control variables on the fabric registry
+    /// (the MPI_T surface). Closures capture only `Weak` handles — the
+    /// registry hangs off the fabric and outlives any process, so a dead
+    /// subject reads as `None` and the entry is pruned lazily.
+    fn register_cvars(self: &Arc<Self>) {
+        let obs = self.obs();
+        let scope = self.proc.to_string();
+        let r = Arc::downgrade(self);
+        let w = Arc::downgrade(self);
+        obs.cvar_register(
+            &scope,
+            "pml.handshake_cache_cap",
+            "LRU bound on the PML handshake cache (peer endpoints)",
+            move || {
+                r.upgrade().map(|p| obs::CvarValue::U64(p.pml.handshake_cache_cap() as u64))
+            },
+            obs::u64_writer(move |v| {
+                if let Some(p) = w.upgrade() {
+                    p.pml.set_handshake_cache_cap(v as usize);
+                }
+            }),
+        );
+        let r = Arc::downgrade(self);
+        let w = Arc::downgrade(self);
+        obs.cvar_register(
+            &scope,
+            "core.stall_ticks",
+            "engine sweeps without progress before a setup request is declared stalled",
+            move || r.upgrade().map(|p| obs::CvarValue::U64(p.engine.stall_ticks())),
+            obs::u64_writer(move |v| {
+                if let Some(p) = w.upgrade() {
+                    p.engine.set_stall_ticks(v);
+                }
+            }),
+        );
+    }
+
+    /// Every live MPI process registered against `universe`, ordered by
+    /// process identity so snapshot iteration is deterministic.
+    pub fn processes_of(universe: &Arc<PmixUniverse>) -> Vec<Arc<MpiProcess>> {
+        let table = PROCESS_TABLE.lock();
+        let Some(map) = table.as_ref() else { return Vec::new() };
+        let mut procs: Vec<Arc<MpiProcess>> = map
+            .values()
+            .filter_map(|w| w.upgrade())
+            .filter(|p| Arc::ptr_eq(&p.universe, universe))
+            .collect();
+        procs.sort_by_key(|p| p.proc.to_string());
+        procs
     }
 
     /// This process's PMIx identity.
@@ -287,6 +339,29 @@ impl MpiProcess {
     /// Completed full init/finalize cycles (tests of re-initialization).
     pub fn full_cycles(&self) -> u64 {
         self.state.lock().full_cycles
+    }
+
+    /// Current library generation (bumps on every full finalize).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// In-use local CID indices, ascending (flight-recorder snapshots).
+    pub fn cid_indices(&self) -> Vec<u16> {
+        self.state.lock().cid_table.used_indices()
+    }
+
+    /// Live PGCID families as `(pgcid, refcount, holds_group_handle)`,
+    /// ascending by PGCID (flight-recorder snapshots).
+    pub fn pgcid_families(&self) -> Vec<(u64, u32, bool)> {
+        let st = self.state.lock();
+        let mut fams: Vec<(u64, u32, bool)> = st
+            .pgcid_users
+            .iter()
+            .map(|(k, f)| (*k, f.count, f.group.is_some()))
+            .collect();
+        fams.sort_unstable_by_key(|f| f.0);
+        fams
     }
 
     /// Which subsystems are currently initialized (tests).

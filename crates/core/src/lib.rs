@@ -73,6 +73,7 @@ pub mod ft;
 pub mod group;
 pub mod info;
 pub mod instance;
+pub mod introspect;
 pub mod pml;
 pub mod request;
 pub mod session;
@@ -88,7 +89,10 @@ pub use errhandler::ErrHandler;
 pub use error::{ErrClass, MpiError, Result};
 pub use group::MpiGroup;
 pub use info::Info;
-pub use request::{stage, ProgressEngine, Request, SetupRequest, SetupStage, SetupStep};
+pub use request::{
+    stage, ProgressEngine, ReqSnapshot, Request, SetupRequest, SetupStage, SetupStep,
+    DEFAULT_STALL_TICKS,
+};
 pub use session::{Session, ThreadLevel};
 pub use status::Status;
 pub use world::World;

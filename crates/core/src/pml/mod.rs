@@ -259,6 +259,17 @@ impl PmlMetrics {
 }
 
 /// The per-process messaging engine.
+/// See [`Pml::cache_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmlCacheSnapshot {
+    /// LRU bound currently enforced.
+    pub cap: usize,
+    /// Invalidation generation (bumps on every removal/eviction).
+    pub gen: u64,
+    /// Fabric-relative ids of cached peer endpoints, ascending.
+    pub entries: Vec<u64>,
+}
+
 pub struct Pml {
     endpoint: Arc<Endpoint>,
     sender: EndpointSender,
@@ -305,6 +316,34 @@ impl Pml {
     /// Number of peers currently held in the handshake cache.
     pub fn handshake_cache_len(&self) -> usize {
         self.state.lock().cache.len()
+    }
+
+    /// Current handshake-cache bound (the `pml.handshake_cache_cap` cvar).
+    pub fn handshake_cache_cap(&self) -> usize {
+        self.cache_cap.load(Ordering::Relaxed)
+    }
+
+    /// The fabric under this process's endpoint (logical-deadline waits).
+    pub fn fabric(&self) -> simnet::Fabric {
+        self.endpoint.fabric()
+    }
+
+    /// Introspection view of the handshake cache: bound, invalidation
+    /// generation, and the cached peer endpoints **normalized** to
+    /// fabric-relative offsets (raw endpoint ids are allocated globally
+    /// across fabrics, so absolute values would differ between a test run
+    /// in isolation and the same test inside a suite). Sorted ascending.
+    pub fn cache_snapshot(&self) -> PmlCacheSnapshot {
+        let st = self.state.lock();
+        let base = self.endpoint.fabric().base_endpoint_id();
+        let mut entries: Vec<u64> =
+            st.cache.iter().map(|e| e.0.saturating_sub(base)).collect();
+        entries.sort_unstable();
+        PmlCacheSnapshot {
+            cap: self.cache_cap.load(Ordering::Relaxed),
+            gen: st.cache_gen,
+            entries,
+        }
     }
 
     /// Insert (or refresh) `ep` in the handshake cache, then enforce the

@@ -213,6 +213,30 @@ impl Request {
         }
     }
 
+    /// `MPI_Wait` with a logical deadline: progress until complete or
+    /// until `budget` expires in logical time (wall budget elapsed AND
+    /// fabric quiesced, [`pmix::LogicalDeadline`]). Expiry surfaces as an
+    /// [`ErrClass::Timeout`] error naming the request kind; the request
+    /// stays live and a later `test`/`wait` can still claim it.
+    pub fn wait_timeout(&mut self, budget: Duration) -> Result<Status> {
+        let mut deadline = pmix::LogicalDeadline::new(self.pml.fabric(), budget);
+        loop {
+            if self.inner.poll()? {
+                return self
+                    .inner
+                    .status_snapshot()
+                    .ok_or_else(|| MpiError::intern("completed request without status"));
+            }
+            if deadline.expired() {
+                return Err(MpiError::new(
+                    ErrClass::Timeout,
+                    format!("{:?} request timed out after {budget:?}", self.inner.kind()),
+                ));
+            }
+            self.pml.progress(Some(Duration::from_millis(1)));
+        }
+    }
+
     /// `MPI_Wait` for receives, returning the payload bytes and status.
     pub fn wait_data(self) -> Result<(Bytes, Status)> {
         loop {
@@ -331,6 +355,12 @@ pub trait SetupStage<T>: Send {
     fn park(&mut self, limit: Duration) {
         std::thread::sleep(limit.min(Duration::from_micros(200)));
     }
+    /// What the stage is currently parked on (the stall watchdog's
+    /// diagnosis: a peer, an endpoint, a PMIx op). `None` means the stage
+    /// has nothing more specific to say than its name.
+    fn waiting_on(&self) -> Option<String> {
+        None
+    }
 }
 
 struct FnStage<T> {
@@ -386,6 +416,12 @@ struct SetupCore<T> {
     quiet: bool,
     /// Release action for a cancelled (dropped-before-claimed) result.
     cancel: Option<Box<dyn FnOnce(T) + Send>>,
+    /// Engine sweeps since the last stage transition (the watchdog's
+    /// logical-tick counter; wait/test polls do not count — a spinning
+    /// waiter is making *attempts*, only engine sweeps define ticks).
+    ticks: u64,
+    /// Whether the watchdog has flagged this request as stalled.
+    stalled: bool,
 }
 
 impl<T> SetupCore<T> {
@@ -416,9 +452,11 @@ impl<T> SetupCore<T> {
     }
 
     /// Run at most one stage poll (and so at most one stage transition).
-    fn step(&mut self) {
+    /// Returns whether the request advanced (stage transition or terminal)
+    /// — the signal the stall watchdog keys on.
+    fn step(&mut self) -> bool {
         let SetupPhase::Running(stage) = &mut self.phase else {
-            return;
+            return false;
         };
         self.steps += 1;
         let from = stage.name();
@@ -430,17 +468,20 @@ impl<T> SetupCore<T> {
             None => stage.poll(),
         };
         match res {
-            Ok(SetupStep::Pending) => {}
+            Ok(SetupStep::Pending) => false,
             Ok(SetupStep::Next(next)) => {
                 let to = next.name();
                 self.phase = SetupPhase::Running(next);
+                self.note_progress(from);
                 self.emit(
                     "req.progressed",
                     vec![("from".into(), from.into()), ("to".into(), to.into())],
                 );
+                true
             }
             Ok(SetupStep::Done(v)) => {
                 self.phase = SetupPhase::Done(Some(v));
+                self.note_progress(from);
                 if let Some(span) = self.span.take() {
                     span.end();
                 }
@@ -449,8 +490,10 @@ impl<T> SetupCore<T> {
                     let p = self.process.proc().to_string();
                     self.process.obs().counter(&p, "req", "completed").inc();
                 }
+                true
             }
             Err(e) => {
+                self.note_progress(from);
                 self.emit(
                     "req.failed",
                     vec![
@@ -466,7 +509,87 @@ impl<T> SetupCore<T> {
                 if let Some(span) = self.span.take() {
                     span.end();
                 }
+                true
             }
+        }
+    }
+
+    /// The request advanced out of `from`: reset the watchdog tick counter
+    /// and, if the watchdog had flagged a stall, emit the matching
+    /// `req.unstalled` (heal notification). Runs on *every* driver —
+    /// engine sweep, `wait`, `test`, cancellation drain — so a stall
+    /// always clears the moment progress resumes, whoever caused it.
+    fn note_progress(&mut self, from: &'static str) {
+        self.ticks = 0;
+        if self.stalled {
+            self.stalled = false;
+            self.emit("req.unstalled", vec![("stage".into(), from.into())]);
+        }
+    }
+
+    /// One engine sweep passed without progress. Crossing `stall_after`
+    /// consecutive profitless sweeps fires the watchdog: a single
+    /// `req.stalled` event carrying the structured diagnosis (stage,
+    /// what it is parked on, poll count, tick count).
+    fn tick(&mut self, stall_after: u64) {
+        self.ticks += 1;
+        if self.stalled || self.ticks < stall_after {
+            return;
+        }
+        self.stalled = true;
+        let (stage, waiting) = match &self.phase {
+            SetupPhase::Running(s) => (s.name(), self.waiting_desc()),
+            _ => return,
+        };
+        self.emit(
+            "req.stalled",
+            vec![
+                ("stage".into(), stage.into()),
+                ("waiting_on".into(), waiting.into()),
+                ("steps".into(), self.steps.into()),
+                ("ticks".into(), self.ticks.into()),
+            ],
+        );
+    }
+
+    /// What the request is parked on right now (stage-provided detail,
+    /// falling back to the stage name).
+    fn waiting_desc(&self) -> String {
+        match &self.phase {
+            SetupPhase::Running(s) => {
+                s.waiting_on().unwrap_or_else(|| format!("stage '{}'", s.name()))
+            }
+            SetupPhase::Done(_) => "nothing (done)".to_string(),
+            SetupPhase::Failed(_) => "nothing (failed)".to_string(),
+        }
+    }
+
+    /// One-line structured diagnosis (timeout errors, `Debug`, dumps).
+    fn diagnosis(&self) -> String {
+        format!(
+            "op={} id={} stage={} steps={} ticks={} stalled={} parked_on={}",
+            self.op,
+            self.id,
+            self.stage_name(),
+            self.steps,
+            self.ticks,
+            self.stalled,
+            self.waiting_desc(),
+        )
+    }
+
+    fn snapshot(&self) -> ReqSnapshot {
+        ReqSnapshot {
+            op: self.op,
+            id: self.id,
+            stage: self.stage_name(),
+            steps: self.steps,
+            ticks: self.ticks,
+            stalled: self.stalled,
+            waiting_on: match &self.phase {
+                SetupPhase::Running(s) => s.waiting_on(),
+                _ => None,
+            },
         }
     }
 
@@ -477,21 +600,49 @@ impl<T> SetupCore<T> {
     }
 }
 
+/// Point-in-time description of one in-flight setup request, as reported
+/// by [`ProgressEngine::describe`] (the flight recorder's `requests`
+/// section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqSnapshot {
+    /// Operation label (`icomm_create_from_group`, …).
+    pub op: &'static str,
+    /// Process-unique request id.
+    pub id: u64,
+    /// Current stage name (`"done"` / `"failed"` once terminal).
+    pub stage: &'static str,
+    /// Stage polls performed.
+    pub steps: u64,
+    /// Engine sweeps since the last stage transition.
+    pub ticks: u64,
+    /// Whether the stall watchdog has flagged the request.
+    pub stalled: bool,
+    /// Stage-provided description of what the request is parked on.
+    pub waiting_on: Option<String>,
+}
+
 /// Engine-side view of an in-flight setup request (type-erased so one
 /// [`ProgressEngine`] drives requests of every construction type).
 trait EngineStep: Send + Sync {
     /// Try to step once; `true` when the request is terminal. A request
     /// currently being driven by another thread is skipped (not stalled
-    /// on: whoever holds the lock is already making progress).
-    fn engine_step(&self) -> bool;
+    /// on: whoever holds the lock is already making progress). A step
+    /// that makes no progress accrues one watchdog tick; crossing
+    /// `stall_after` ticks fires the stall diagnosis.
+    fn engine_step(&self, stall_after: u64) -> bool;
     fn is_terminal(&self) -> bool;
+    /// Point-in-time description (`None` while another thread drives it).
+    fn snapshot(&self) -> Option<ReqSnapshot>;
 }
 
 impl<T: Send + 'static> EngineStep for Mutex<SetupCore<T>> {
-    fn engine_step(&self) -> bool {
+    fn engine_step(&self, stall_after: u64) -> bool {
         match self.try_lock() {
             Some(mut core) => {
-                core.step();
+                let advanced = core.step();
+                if !advanced && !core.is_terminal() {
+                    core.tick(stall_after);
+                }
                 core.is_terminal()
             }
             None => false,
@@ -500,16 +651,38 @@ impl<T: Send + 'static> EngineStep for Mutex<SetupCore<T>> {
     fn is_terminal(&self) -> bool {
         self.try_lock().is_some_and(|c| c.is_terminal())
     }
+    fn snapshot(&self) -> Option<ReqSnapshot> {
+        self.try_lock().map(|c| c.snapshot())
+    }
 }
+
+/// Default stall threshold: engine sweeps a request may sit in one stage
+/// without progress before the watchdog emits `req.stalled`. High enough
+/// that ordinary in-flight exchanges (a fan-out crossing a slow fabric)
+/// never trip it; tests shrink it through the `core.stall_ticks` cvar to
+/// fire deterministically.
+pub const DEFAULT_STALL_TICKS: u64 = 64;
 
 /// The per-process progress engine for setup requests: every issued
 /// `i`-variant registers here, and [`ProgressEngine::progress`] steps each
 /// in-flight request once. This is the seam the interleaving test harness
 /// single-steps, and the hook a future virtual-time backend replaces
 /// (blocked = parked request, not parked thread).
-#[derive(Default)]
+///
+/// The engine doubles as the **stall watchdog**: a sweep that fails to
+/// advance a request accrues one logical tick against it, and a request
+/// exceeding the stall threshold gets a structured `req.stalled` diagnosis
+/// (cleared by `req.unstalled` the moment it moves again). Quiet blocking
+/// wrappers never register, so the watchdog cannot fire on them.
 pub struct ProgressEngine {
     slots: Mutex<Vec<Weak<dyn EngineStep>>>,
+    stall_after: AtomicU64,
+}
+
+impl Default for ProgressEngine {
+    fn default() -> Self {
+        Self { slots: Mutex::new(Vec::new()), stall_after: AtomicU64::new(DEFAULT_STALL_TICKS) }
+    }
 }
 
 impl ProgressEngine {
@@ -517,15 +690,42 @@ impl ProgressEngine {
         self.slots.lock().push(s);
     }
 
+    /// Current stall threshold (engine sweeps without progress).
+    pub fn stall_ticks(&self) -> u64 {
+        self.stall_after.load(Ordering::Relaxed)
+    }
+
+    /// Tune the stall threshold (clamped to ≥ 1). Exposed as the
+    /// per-process `core.stall_ticks` cvar.
+    pub fn set_stall_ticks(&self, ticks: u64) {
+        self.stall_after.store(ticks.max(1), Ordering::Relaxed);
+    }
+
+    /// Describe every registered in-flight request (terminal and
+    /// currently-driven ones excluded), sorted by request id — the flight
+    /// recorder's per-process `requests` section.
+    pub fn describe(&self) -> Vec<ReqSnapshot> {
+        let snapshot: Vec<Weak<dyn EngineStep>> = self.slots.lock().clone();
+        let mut out: Vec<ReqSnapshot> = snapshot
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .filter_map(|s| s.snapshot())
+            .filter(|r| r.stage != "done" && r.stage != "failed")
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
     /// Step every live in-flight request once; prune completed and dropped
     /// ones. Returns how many requests remain in flight.
     pub fn progress(&self) -> usize {
+        let stall_after = self.stall_after.load(Ordering::Relaxed);
         // Snapshot the weak handles so stage polls (which may send, park
         // briefly, or re-enter the engine's owner) run outside our lock.
         let snapshot: Vec<Weak<dyn EngineStep>> = self.slots.lock().clone();
         for w in &snapshot {
             if let Some(s) = w.upgrade() {
-                s.engine_step();
+                s.engine_step(stall_after);
             }
         }
         let mut live = 0;
@@ -585,6 +785,8 @@ impl<T: Send + 'static> SetupRequest<T> {
             steps: 0,
             quiet,
             cancel,
+            ticks: 0,
+            stalled: false,
         }));
         {
             let mut c = core.lock();
@@ -630,9 +832,55 @@ impl<T: Send + 'static> SetupRequest<T> {
         }
     }
 
+    /// Drive to completion, giving up once `budget` expires in *logical*
+    /// time ([`pmix::LogicalDeadline`]: the wall budget must elapse AND
+    /// the fabric must quiesce, so injected delays defer expiry instead of
+    /// flipping the outcome). On expiry the error carries the watchdog's
+    /// structured stall diagnosis — current stage, what the request is
+    /// parked on, poll and tick counts — instead of leaving the caller to
+    /// guess why a wait hung. The request stays in flight: the caller can
+    /// keep waiting, test, or drop it (collective cancellation as usual).
+    pub fn wait_timeout(&mut self, budget: Duration) -> Result<T> {
+        let fabric = self.core.lock().process.universe().fabric().clone();
+        let mut deadline = pmix::LogicalDeadline::new(fabric, budget);
+        loop {
+            let mut core = self.core.lock();
+            core.step();
+            match &mut core.phase {
+                SetupPhase::Running(_) => {
+                    if deadline.expired() {
+                        return Err(MpiError::new(
+                            ErrClass::Timeout,
+                            format!("setup request timed out: {}", core.diagnosis()),
+                        ));
+                    }
+                    core.park(Duration::from_millis(1));
+                }
+                SetupPhase::Done(v) => {
+                    return v
+                        .take()
+                        .ok_or_else(|| MpiError::intern("setup result already claimed"));
+                }
+                SetupPhase::Failed(e) => return Err(e.clone()),
+            }
+        }
+    }
+
     /// Whether the request is terminal (no progress attempt).
     pub fn is_complete(&self) -> bool {
         self.core.lock().is_terminal()
+    }
+
+    /// Whether the stall watchdog currently flags this request.
+    pub fn is_stalled(&self) -> bool {
+        self.core.lock().stalled
+    }
+
+    /// One-line structured diagnosis: op, id, stage, poll/tick counts and
+    /// what the request is parked on (same rendering `wait_timeout`
+    /// embeds in its timeout error).
+    pub fn diagnosis(&self) -> String {
+        self.core.lock().diagnosis()
     }
 
     /// Current stage name (`"done"` / `"failed"` once terminal).

@@ -34,8 +34,13 @@ use parking_lot::{Mutex, RwLock};
 use serde_json::{Map, Value};
 
 pub mod analyze;
+pub mod tool;
 pub mod trace;
 
+pub use tool::{
+    bool_writer, register_env_cvars, u64_writer, CvarError, CvarInfo, CvarValue, EnvKnob,
+    PvarClass, PvarDesc, PvarHandle, PvarReading, PvarSession, ENV_KNOBS,
+};
 pub use trace::{
     Span, SpanContext, SpanEntered, SpanId, SpanRecord, TraceContext, TraceId,
     DEFAULT_SPAN_CAPACITY,
@@ -219,7 +224,11 @@ impl Histogram {
         c.max_ns.load(Ordering::Relaxed)
     }
 
-    fn export(&self) -> Value {
+    /// Render the full stat set (`count`/`sum_ns`/`max_ns`/percentiles/
+    /// buckets) as a JSON leaf. This is both the [`Registry::export`]
+    /// rendering and the `Timer` pvar reading — one definition, so the
+    /// two surfaces agree byte-for-byte.
+    pub fn export(&self) -> Value {
         let c = &self.0;
         let mut m = Map::new();
         m.insert("count".into(), Value::U64(c.count.load(Ordering::Relaxed)));
@@ -391,11 +400,13 @@ impl EventRecorder {
 /// (`counter`/`gauge`/`histogram`) takes a short-lived map lock; recording
 /// through a resolved handle is lock-free.
 pub struct Registry {
-    counters: RwLock<HashMap<Key, Counter>>,
-    gauges: RwLock<HashMap<Key, Gauge>>,
-    histograms: RwLock<HashMap<Key, Histogram>>,
+    pub(crate) counters: RwLock<HashMap<Key, Counter>>,
+    pub(crate) gauges: RwLock<HashMap<Key, Gauge>>,
+    pub(crate) histograms: RwLock<HashMap<Key, Histogram>>,
     events: EventRecorder,
     traces: Arc<trace::TraceShared>,
+    /// MPI_T-style control-variable store (see [`tool`]).
+    tool: tool::CvarStore,
 }
 
 impl Default for Registry {
@@ -423,6 +434,7 @@ impl Registry {
             histograms: RwLock::new(HashMap::new()),
             events: EventRecorder::new(event_capacity),
             traces: Arc::new(trace::TraceShared::new(span_capacity)),
+            tool: tool::CvarStore::default(),
         }
     }
 

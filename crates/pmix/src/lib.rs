@@ -63,7 +63,10 @@ pub use error::PmixError;
 pub use event::{Event, EventCode};
 pub use group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport, PmixGroup};
 pub use nspace::{NamespaceInfo, NamespaceRegistry};
-pub use server::{PendingColl, PmixServer, DEFAULT_PGCID_BLOCK, SERVER_SHARDS};
+pub use server::{
+    LogicalDeadline, PendingColl, PmixServer, ServerShardOccupancy, DEFAULT_PGCID_BLOCK,
+    EPOCH_RETENTION_CAP, SERVER_SHARDS,
+};
 pub use types::{ProcId, Rank};
 pub use universe::PmixUniverse;
 pub use value::PmixValue;

@@ -372,6 +372,12 @@ impl NamespaceRegistry {
         self.pins.lock().keys().next().copied().unwrap_or(u64::MAX)
     }
 
+    /// Live epoch pins as `(epoch, holders)`, sorted by epoch (the
+    /// introspection flight recorder's `pins` section).
+    pub fn active_pins(&self) -> Vec<(u64, usize)> {
+        self.pins.lock().iter().map(|(e, n)| (*e, *n)).collect()
+    }
+
     /// Number of tombstoned psets currently retained.
     pub fn num_tombstones(&self) -> usize {
         self.state.read().psets.values().filter(|e| e.deleted).count()

@@ -388,10 +388,15 @@ const LOGICAL_HARD_CAP: u32 = 20;
 /// same seed yields different invite outcomes (and different traces). A
 /// logical deadline expires only once (a) the caller's wall budget has
 /// elapsed AND (b) the fabric has quiesced — zero messages in flight and no
-/// send/delivery activity — for [`LOGICAL_GRACE`] consecutive polls. A
+/// send/delivery activity — for `LOGICAL_GRACE` consecutive polls. A
 /// scheduled-but-delayed reply keeps `in_flight` nonzero, so injected
 /// delays defer expiry instead of flipping the outcome.
-struct LogicalDeadline {
+///
+/// Public because every layer that offers a timed wait over the simulated
+/// fabric needs the same discipline — the MPI core's
+/// `SetupRequest::wait_timeout` reuses this type for its stall-diagnosis
+/// expiry.
+pub struct LogicalDeadline {
     fabric: simnet::Fabric,
     start: Instant,
     budget: Duration,
@@ -401,7 +406,8 @@ struct LogicalDeadline {
 }
 
 impl LogicalDeadline {
-    fn new(fabric: simnet::Fabric, budget: Duration) -> Self {
+    /// Start a deadline of `budget` wall time over `fabric`.
+    pub fn new(fabric: simnet::Fabric, budget: Duration) -> Self {
         let last_activity = fabric.activity();
         Self {
             fabric,
@@ -414,7 +420,7 @@ impl LogicalDeadline {
     }
 
     /// One poll; true once the deadline has logically expired.
-    fn expired(&mut self) -> bool {
+    pub fn expired(&mut self) -> bool {
         let elapsed = self.start.elapsed();
         if elapsed < self.budget {
             return false;
@@ -460,6 +466,18 @@ fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 fn fnv_u64(mut h: u64, v: u64) -> u64 {
     h ^= v;
     h.wrapping_mul(FNV_PRIME)
+}
+
+/// Per-shard occupancy snapshot of one server (see
+/// [`PmixServer::shard_occupancy`]). Indexed `0..SERVER_SHARDS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerShardOccupancy {
+    /// Live KV pairs per kvs shard (local commits + remote cache).
+    pub kvs_entries: Vec<usize>,
+    /// In-flight collective operations per ops shard.
+    pub ops_live: Vec<usize>,
+    /// Retained collective epoch counters per ops shard.
+    pub epochs_retained: Vec<usize>,
 }
 
 /// A per-node PMIx server.
@@ -533,6 +551,39 @@ impl PmixServer {
     /// this server. Clamped to at least 1.
     pub fn set_pgcid_block(&self, block: u64) {
         self.pgcid_block.store(block.max(1), Ordering::Relaxed);
+    }
+
+    /// Current PGCID block-grant size (see [`PmixServer::set_pgcid_block`]).
+    pub fn pgcid_block(&self) -> u64 {
+        self.pgcid_block.load(Ordering::Relaxed)
+    }
+
+    /// PGCIDs currently parked in the local pool.
+    pub fn pgcid_pool_len(&self) -> usize {
+        self.pgcid_pool.lock().len()
+    }
+
+    /// Deterministic occupancy snapshot of this server's sharded state,
+    /// for the introspection flight recorder: per-shard live KV-pair
+    /// counts, per-shard in-flight collective-op counts, and per-shard
+    /// retained epoch-counter counts (bounded by [`EPOCH_RETENTION_CAP`]).
+    pub fn shard_occupancy(&self) -> ServerShardOccupancy {
+        let mut kvs_entries = Vec::with_capacity(SERVER_SHARDS);
+        for shard in &self.kvs_shards {
+            let ks = shard.state.lock();
+            kvs_entries.push(
+                ks.kvs_local.values().map(|m| m.len()).sum::<usize>()
+                    + ks.kvs_cache.values().map(|m| m.len()).sum::<usize>(),
+            );
+        }
+        let mut ops_live = Vec::with_capacity(SERVER_SHARDS);
+        let mut epochs_retained = Vec::with_capacity(SERVER_SHARDS);
+        for shard in &self.ops_shards {
+            let os = shard.state.lock();
+            ops_live.push(os.ops.len());
+            epochs_retained.push(os.epochs.len());
+        }
+        ServerShardOccupancy { kvs_entries, ops_live, epochs_retained }
     }
 
     /// The node this server manages.

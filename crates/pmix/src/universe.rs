@@ -144,14 +144,87 @@ impl PmixUniverse {
                 .expect("spawn failure bridge"),
         );
 
-        Arc::new(Self {
+        let uni = Arc::new(Self {
             fabric,
             registry,
             servers,
             server_eps,
             threads: Mutex::new(threads),
             testbed,
-        })
+        });
+        uni.register_cvars();
+        uni
+    }
+
+    /// Register the universe-scoped control variables (MPI_T-style cvars,
+    /// see `obs::tool`) plus the captured environment knobs. The closures
+    /// hold only a `Weak` back-reference, so the cvar store (owned by the
+    /// fabric's obs registry, owned by this universe) never keeps the
+    /// universe alive; entries prune themselves after teardown.
+    fn register_cvars(self: &Arc<Self>) {
+        let obs = self.fabric.obs();
+        obs::register_env_cvars(&obs);
+        let w = Arc::downgrade(self);
+        let (r, wr) = (w.clone(), w.clone());
+        obs.cvar_register(
+            "universe",
+            "pmix.pgcid_block",
+            "PGCIDs granted per RM round trip; writes fan to every server \
+             (legacy setter: PmixUniverse::set_pgcid_block)",
+            move || r.upgrade().map(|u| obs::CvarValue::U64(u.servers[0].pgcid_block())),
+            obs::u64_writer(move |v| {
+                if let Some(u) = wr.upgrade() {
+                    u.set_pgcid_block(v);
+                }
+            }),
+        );
+        let (r, wr) = (w.clone(), w.clone());
+        obs.cvar_register(
+            "universe",
+            "registry.gc_enabled",
+            "tombstone GC in the pset registry \
+             (legacy setter: NamespaceRegistry::set_gc_enabled)",
+            move || r.upgrade().map(|u| obs::CvarValue::Bool(u.registry.gc_enabled())),
+            obs::bool_writer(move |v| {
+                if let Some(u) = wr.upgrade() {
+                    u.registry.set_gc_enabled(v);
+                }
+            }),
+        );
+        let r = w.clone();
+        obs.cvar_register(
+            "universe",
+            "pmix.server_shards",
+            "key-hashed shards per server's ops and KVS tables (compile-time)",
+            move || r.upgrade().map(|_| obs::CvarValue::U64(crate::server::SERVER_SHARDS as u64)),
+            None,
+        );
+        let r = w.clone();
+        obs.cvar_register(
+            "universe",
+            "pmix.epoch_retention_cap",
+            "retained collective epoch counters per ops shard (compile-time)",
+            move || {
+                r.upgrade().map(|_| obs::CvarValue::U64(crate::server::EPOCH_RETENTION_CAP as u64))
+            },
+            None,
+        );
+        let r = w.clone();
+        obs.cvar_register(
+            "universe",
+            "registry.gc_tombstone_threshold",
+            "tombstone count that triggers a registry GC pass (compile-time)",
+            move || {
+                r.upgrade()
+                    .map(|_| obs::CvarValue::U64(crate::nspace::GC_TOMBSTONE_THRESHOLD as u64))
+            },
+            None,
+        );
+    }
+
+    /// The per-node servers (index 0 is the head-node RM daemon).
+    pub fn servers(&self) -> &[Arc<PmixServer>] {
+        &self.servers
     }
 
     /// The underlying fabric.
