@@ -14,11 +14,12 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
-# Doc gate: the public APIs of the PMIx substrate and the MPI core must
-# document cleanly (broken intra-doc links, missing docs on public items,
-# and invalid doctests all fail the build).
-echo "== cargo doc -D warnings (pmix, mpi-sessions) =="
-RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps -p pmix -p mpi-sessions
+# Doc gate: the public APIs of the PMIx substrate, the MPI core and the
+# observability/tooling layer must document cleanly (broken intra-doc
+# links, missing docs on public items, and invalid doctests all fail the
+# build).
+echo "== cargo doc -D warnings (pmix, mpi-sessions, obs) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps -p pmix -p mpi-sessions -p obs
 
 # Golden-trace gate: a fixed-size fig3_init run must produce a trace report
 # that (a) validates against the checked-in schema subset and (b) yields the
@@ -33,6 +34,19 @@ cargo run -q --offline --release -p bench-harness --bin trace_check -- \
   "$trace_tmp" --schema ci/trace_schema.json 2>/dev/null \
   | diff -u ci/golden_fig3_critical_path.txt -
 rm -f "$trace_tmp" "$trace_tmp.flame.txt"
+
+# Second golden: the lazy (fence-free) init critical path. fig_init_scale
+# records eager and lazy side by side; the lazy ordering must show the
+# session.publish tail and no group.fanin/fanout stages (the binary itself
+# exits nonzero if lazy fans out or fails to beat eager's path at np>=4).
+echo "== golden trace (fig_init_scale eager vs lazy @ 2 nodes x 2 ppn) =="
+lazy_tmp="$(mktemp -t lazy_ci.XXXXXX.json)"
+cargo run -q --offline --release -p bench-harness --bin fig_init_scale -- \
+  --nodes 2 --ppn-list 2 --reps 1 --trace-out "$lazy_tmp" >/dev/null
+cargo run -q --offline --release -p bench-harness --bin trace_check -- \
+  "$lazy_tmp" --schema ci/trace_schema.json 2>/dev/null \
+  | diff -u ci/golden_lazy_critical_path.txt -
+rm -f "$lazy_tmp" "$lazy_tmp.flame.txt"
 
 # Async-setup gate: the interleaving test layer for the nonblocking
 # request engine. The ProgressDriver harness plus the completion-order
@@ -56,9 +70,21 @@ cargo test -q --offline --test properties prop_async_setup_any_completion_order_
 # request-terminal invariants end to end.
 # Override or extend the lists by exporting CHAOS_SEEDS (comma-separated
 # u64s) or CHAOS_SCENARIOS yourself, e.g. CHAOS_SEEDS=90,91 ./ci.sh
-echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak,async_setup}) =="
+echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}) =="
 CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
-CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}" \
+  cargo test -q --offline --test chaos_suite chaos_seeds_env
+
+# Lazy-mode sweep: the same scenario set with the universe default flipped
+# to fence-free init (INIT_MODE=lazy, the env knob behind the
+# pmix.init_mode cvar). Scenarios that assert eager construct semantics
+# pin init_mode=eager in their own session info, so this run proves every
+# other scenario — and the lazy-resolve-terminal invariant — stays green
+# when lazy is the default, not just when a session opts in.
+echo "== chaos sweep under INIT_MODE=lazy =="
+INIT_MODE=lazy \
+CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
 
 # Soak gate: a smoke-sized run of the sessions-as-a-service churn harness
@@ -106,13 +132,23 @@ rm -f "$intro_tmp"
 # counts, protocol counters — never wall time) against the committed
 # baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
 # regenerate the baseline after an intentional perf change with
-#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR7.json
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR9.json
 # The binary also hard-enforces (exit 2, no tolerance) the PGCID batching
 # bound and the nonblocking-overlap bound: 8 concurrent icomms must
 # coalesce into strictly fewer pgcid.request round trips — and a strictly
 # shorter serialized critical path — than 8 blocking constructs.
 echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
 cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
-  --check BENCH_PR7.json --tol "${BENCH_TOL:-0.05}"
+  --check BENCH_PR9.json --tol "${BENCH_TOL:-0.05}"
+
+# Doc-drift gate: docs/TUNING.md is generated from the live cvar registry
+# (cvar_dump --markdown). Regenerate into a temp file and diff — a knob
+# added without regenerating the doc (or a doc edited by hand) fails here.
+echo "== tuning-doc drift gate (cvar_dump --markdown vs docs/TUNING.md) =="
+tuning_tmp="$(mktemp -t tuning_ci.XXXXXX.md)"
+cargo run -q --offline --release -p bench-harness --bin cvar_dump -- \
+  --markdown --out "$tuning_tmp" 2>/dev/null
+diff -u docs/TUNING.md "$tuning_tmp"
+rm -f "$tuning_tmp"
 
 echo "CI OK"

@@ -9,7 +9,7 @@
 //! component of an application.
 
 use crate::InitMode;
-use mpi_sessions::{coll, Comm, ErrHandler, Info, Session, ThreadLevel};
+use mpi_sessions::{coll, Comm, ErrHandler, Session, ThreadLevel};
 use prrte::{JobSpec, Launcher, ProcCtx};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -110,14 +110,14 @@ fn hpcc_rank_body(ctx: &ProcCtx, mode: InitMode, warmup: usize, iters: usize) ->
             world.finalize().expect("MPI_Finalize");
             out
         }
-        InitMode::Sessions => {
+        InitMode::Sessions | InitMode::Lazy => {
             // The application still does its normal WPM init...
             let world = mpi_sessions::world::init(ctx).expect("MPI_Init");
             // ...but the bandwidth/latency component opens its own session
             // and uses a sessions-derived communicator (the paper's change
             // to main_bench_lat_bw).
             let session =
-                Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &mode.session_info())
                     .expect("session");
             let group = session
                 .group_from_pset(mpi_sessions::session::PSET_WORLD)

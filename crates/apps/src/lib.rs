@@ -31,6 +31,10 @@ pub enum InitMode {
     Wpm,
     /// The Sessions sequence of the paper's Figure 1.
     Sessions,
+    /// The Figure-1 sequence with `init_mode=lazy`: fence-free session
+    /// init, hashed exCIDs, peers resolved on first contact (DESIGN.md
+    /// §14).
+    Lazy,
 }
 
 impl InitMode {
@@ -39,8 +43,18 @@ impl InitMode {
         match s {
             "wpm" | "init" | "baseline" => Some(InitMode::Wpm),
             "sessions" | "session" => Some(InitMode::Sessions),
+            "lazy" | "sessions-lazy" => Some(InitMode::Lazy),
             _ => None,
         }
+    }
+
+    /// The session-init info object for this mode (`None` for WPM).
+    pub fn session_info(self) -> mpi_sessions::Info {
+        let info = mpi_sessions::Info::new();
+        if self == InitMode::Lazy {
+            info.set(mpi_sessions::info::keys::INIT_MODE, "lazy");
+        }
+        info
     }
 }
 
@@ -49,6 +63,7 @@ impl std::fmt::Display for InitMode {
         match self {
             InitMode::Wpm => write!(f, "MPI_Init"),
             InitMode::Sessions => write!(f, "MPI_Session_init"),
+            InitMode::Lazy => write!(f, "MPI_Session_init(lazy)"),
         }
     }
 }

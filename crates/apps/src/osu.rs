@@ -2,7 +2,7 @@
 //! rate), as modified by the paper's authors for MPI Sessions.
 
 use crate::InitMode;
-use mpi_sessions::{coll, Comm, ErrHandler, Info, Session, ThreadLevel};
+use mpi_sessions::{coll, Comm, ErrHandler, Session, ThreadLevel};
 use prrte::{JobSpec, Launcher, ProcCtx};
 use serde::{Deserialize, Serialize};
 use simnet::SimTestbed;
@@ -76,10 +76,10 @@ pub fn osu_init_traced(
                 world.finalize().expect("MPI_Finalize");
                 InitTiming { total_s: total.as_secs_f64(), ..Default::default() }
             }
-            InitMode::Sessions => {
+            InitMode::Sessions | InitMode::Lazy => {
                 let t0 = Instant::now();
                 let session =
-                    Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                    Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &mode.session_info())
                         .expect("MPI_Session_init");
                 let t1 = Instant::now();
                 let group = session
@@ -141,9 +141,9 @@ pub fn bench_comm(ctx: &ProcCtx, mode: InitMode, tag: &str) -> (Option<Session>,
             std::mem::forget(world);
             (None, comm)
         }
-        InitMode::Sessions => {
+        InitMode::Sessions | InitMode::Lazy => {
             let session =
-                Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null())
+                Session::init(ctx, ThreadLevel::Single, ErrHandler::Return, &mode.session_info())
                     .expect("session init");
             let group = session
                 .group_from_pset(mpi_sessions::session::PSET_WORLD)

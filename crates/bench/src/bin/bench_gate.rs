@@ -7,14 +7,14 @@
 //! numbers only**: logical critical-path costs and span/stage counts from
 //! the causal trace (work counters, never wall time) and an allowlist of
 //! protocol counters. Two runs of the same binary produce byte-identical
-//! JSON, so the committed baseline (`BENCH_PR7.json`) acts as a perf
+//! JSON, so the committed baseline (`BENCH_PR9.json`) acts as a perf
 //! fingerprint: a change that adds work to a hot path (an extra PGCID
 //! round trip, a redundant handshake, a new fence stage) moves a number
 //! and fails the gate instead of sliding silently into the trace.
 //!
 //! Usage:
-//!   `bench_gate --out BENCH_PR7.json`         regenerate the baseline
-//!   `bench_gate --check BENCH_PR7.json [--tol 0.05]`
+//!   `bench_gate --out BENCH_PR9.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR9.json [--tol 0.05]`
 //!                                             re-run and diff against it
 //!
 //! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
@@ -523,6 +523,8 @@ fn main() {
     eprintln!("bench_gate: fig3 init points");
     workloads.insert("fig3_wpm_2x2".into(), run_init(InitMode::Wpm));
     workloads.insert("fig3_sessions_2x2".into(), run_init(InitMode::Sessions));
+    eprintln!("bench_gate: lazy init point");
+    workloads.insert("fig_init_lazy_np4".into(), run_init(InitMode::Lazy));
     eprintln!("bench_gate: fig4 dup points");
     workloads.insert(
         "fig4_wpm_consensus_np4".into(),
@@ -562,6 +564,39 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("bench_gate: pgcid batching ok ({requests} requests for {} constructs)", DUPS + 1);
+
+    // Hard acceptance bound for lazy init (DESIGN.md §14): the fence-free
+    // record must contain zero group fan-in/fan-out stages and strictly
+    // fewer logical steps — a shorter critical path — than the eager
+    // sessions record at the same np=4 scale.
+    let stage_count = |wl: &str, stage: &str| {
+        workloads[wl]
+            .as_object()
+            .and_then(|w| w.get("stages")?.as_object()?.get(stage)?.as_object())
+            .and_then(|s| s.get("count")?.as_u64())
+            .unwrap_or(0)
+    };
+    let critical = |wl: &str| {
+        workloads[wl]
+            .as_object()
+            .and_then(|w| w.get("critical_path_cost")?.as_u64())
+            .unwrap_or(0)
+    };
+    let lazy_fanin = stage_count("fig_init_lazy_np4", "group.fanin");
+    let lazy_fanout = stage_count("fig_init_lazy_np4", "group.fanout");
+    let lazy_publishes = stage_count("fig_init_lazy_np4", "session.publish");
+    let (lazy_cp, eager_cp) = (critical("fig_init_lazy_np4"), critical("fig3_sessions_2x2"));
+    if lazy_fanin != 0 || lazy_fanout != 0 || lazy_publishes == 0 || lazy_cp >= eager_cp {
+        eprintln!(
+            "bench_gate: FAIL lazy-init acceptance: {lazy_fanin} group.fanin / {lazy_fanout} \
+             group.fanout stage(s) (both must be 0), {lazy_publishes} session.publish stage(s) \
+             (must be nonzero), critical path {lazy_cp} vs eager {eager_cp} (must be shorter)"
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "bench_gate: lazy init ok (fence-free, critical path {lazy_cp} < eager {eager_cp})"
+    );
 
     let mut root = Map::new();
     root.insert("schema".into(), Value::Str(SCHEMA.into()));

@@ -68,8 +68,12 @@ fn time_dups(
             for _ in 0..iters {
                 let d = match (mode, derive) {
                     (InitMode::Wpm, _) => comm.dup().expect("consensus dup"),
-                    (InitMode::Sessions, false) => comm.dup_via_group().expect("pgcid dup"),
-                    (InitMode::Sessions, true) => comm.dup().expect("derived dup"),
+                    (InitMode::Sessions | InitMode::Lazy, false) => {
+                        comm.dup_via_group().expect("pgcid dup")
+                    }
+                    (InitMode::Sessions | InitMode::Lazy, true) => {
+                        comm.dup().expect("derived dup")
+                    }
                 };
                 dups.push(d);
             }

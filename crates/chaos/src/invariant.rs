@@ -52,6 +52,13 @@
 //!     algebra (`stalls ≤ unstalls`, or one extra stall closed by a
 //!     terminal event) checks episode closure without needing ring order.
 //!
+//! 14. **lazy-resolve-terminal** — every lazy peer resolution a process
+//!     began (`pml.lazy_resolve` phase `begin`) reached a terminal `end`
+//!     for the same peer, and every `end` carries an outcome of
+//!     `resolved` or `failed`. A begin with no end is a send parked
+//!     forever behind a KVS fetch the fault schedule wedged; an end with
+//!     no begin (per peer) is resolver bookkeeping gone wrong.
+//!
 //! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
 //! based checks are only sound over a complete ring, so scenarios must be
 //! sized to fit it.
@@ -119,6 +126,7 @@ impl InvariantChecker {
         self.check_stale_epochs(ctx, &mut out);
         self.check_request_terminal(ctx, &mut out);
         self.check_stall_terminal(ctx, &mut out);
+        self.check_lazy_resolve_terminal(ctx, &mut out);
         out
     }
 
@@ -455,6 +463,57 @@ impl InvariantChecker {
         }
     }
 
+    fn check_lazy_resolve_terminal(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        // Per (process, peer): resolutions begun vs. terminated. Lazy
+        // resolution is a per-peer state machine (one fetch in flight per
+        // peer, later senders park behind it), so the pair counts must
+        // balance exactly once the run has drained.
+        let mut tallies: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        for e in ctx.obs.events_named("pml.lazy_resolve") {
+            let key = (e.process.clone(), attr_str(&e, "peer"));
+            let entry = tallies.entry(key.clone()).or_default();
+            match attr_str(&e, "phase").as_str() {
+                "begin" => entry.0 += 1,
+                "end" => {
+                    entry.1 += 1;
+                    let outcome = attr_str(&e, "outcome");
+                    if outcome != "resolved" && outcome != "failed" {
+                        out.push(Violation {
+                            invariant: "lazy-resolve-terminal",
+                            detail: format!(
+                                "process {} ended its resolution of peer {} with \
+                                 untyped outcome \"{outcome}\"",
+                                key.0, key.1
+                            ),
+                        });
+                    }
+                }
+                other => {
+                    out.push(Violation {
+                        invariant: "lazy-resolve-terminal",
+                        detail: format!(
+                            "process {} emitted a lazy-resolve event with unknown \
+                             phase \"{other}\" for peer {}",
+                            key.0, key.1
+                        ),
+                    });
+                }
+            }
+        }
+        for ((process, peer), (begins, ends)) in tallies {
+            if begins != ends {
+                out.push(Violation {
+                    invariant: "lazy-resolve-terminal",
+                    detail: format!(
+                        "process {process} began {begins} resolution(s) of peer \
+                         {peer} but ended {ends} — a send is parked behind a \
+                         KVS fetch that never terminated"
+                    ),
+                });
+            }
+        }
+    }
+
     fn check_cid_agreement(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
         for name in ["refills", "derivations"] {
             let values: BTreeSet<u64> = ctx
@@ -733,6 +792,38 @@ mod tests {
         assert_eq!(v.len(), 1, "got: {v:?}");
         assert_eq!(v[0].invariant, "request-terminal");
         assert!(v[0].detail.contains("request 3"));
+    }
+
+    #[test]
+    fn stranded_lazy_resolution_is_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let ev = |phase: &str, outcome: Option<&str>| {
+            let mut attrs: Vec<(String, obs::AttrValue)> =
+                vec![("peer".into(), "job:1".into()), ("phase".into(), phase.into())];
+            if let Some(o) = outcome {
+                attrs.push(("outcome".into(), o.into()));
+            }
+            obs.event("job:0", "pml", "pml.lazy_resolve", attrs);
+        };
+        // A resolved round trip and a typed failure are both clean.
+        ev("begin", None);
+        ev("end", Some("resolved"));
+        ev("begin", None);
+        ev("end", Some("failed"));
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert!(v.is_empty(), "terminated resolutions flagged: {v:?}");
+        // A begin with no end: a send parked forever.
+        ev("begin", None);
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "lazy-resolve-terminal");
+        assert!(v[0].detail.contains("began 3"));
+        // Closing it with an untyped outcome is its own violation.
+        ev("end", Some("shrug"));
+        let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].detail.contains("untyped outcome"));
     }
 
     #[test]

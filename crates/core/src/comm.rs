@@ -23,6 +23,7 @@ use crate::errhandler::ErrHandler;
 use crate::error::{ErrClass, MpiError, Result};
 use crate::group::MpiGroup;
 use crate::instance::MpiProcess;
+use crate::pml::PeerAddr;
 use crate::request::{stage, Request, SetupRequest, SetupStage, SetupStep};
 use crate::status::Status;
 use bytes::Bytes;
@@ -48,6 +49,11 @@ pub enum CidOrigin {
     Pgcid,
     /// Local subfield derivation from a parent exCID.
     Derived,
+    /// Rank-symmetric hashed PGCID (lazy sessions, DESIGN.md §14): no PMIx
+    /// group construction at all — every member computes the same exCID
+    /// locally from the stringtag and membership, and peer endpoints are
+    /// left unresolved in the PML until first use.
+    Lazy,
 }
 
 /// A block of derivable exCIDs: a base exCID (PGCID-fresh or itself
@@ -116,16 +122,41 @@ impl Comm {
             .rank_of(process.proc())
             .ok_or_else(|| MpiError::new(ErrClass::Group, "calling process not in group"))?
             as u32;
-        let endpoints: Vec<EndpointId> = group.iter().map(|m| m.endpoint).collect();
-        process
-            .pml()
-            .register_comm(local_cid, my_rank, endpoints, excid, fixed_cid);
+        if origin == CidOrigin::Lazy {
+            // Lazy route table: our own slot is known (it is this process),
+            // every other member starts Unresolved and is resolved on first
+            // send (active KVS fetch) or first receive (passive, from the
+            // ext header handshake).
+            let me = process.proc().clone();
+            let own = process.pml().endpoint_id();
+            let addrs: Vec<PeerAddr> = group
+                .iter()
+                .map(|m| {
+                    if m.proc == me {
+                        PeerAddr::Known(own)
+                    } else {
+                        PeerAddr::Unresolved(m.proc)
+                    }
+                })
+                .collect();
+            let excid = excid.expect("lazy communicators always carry an exCID");
+            process
+                .pml()
+                .register_comm_lazy(local_cid, my_rank, addrs, excid);
+        } else {
+            let endpoints: Vec<EndpointId> = group.iter().map(|m| m.endpoint).collect();
+            process
+                .pml()
+                .register_comm(local_cid, my_rank, endpoints, excid, fixed_cid);
+        }
         // A PGCID-fresh communicator roots a new derivation block: itself
         // plus up to 255 locally-derived children. Acquiring such a block
         // is what the `cid.refills` counter tallies — one per trip through
-        // PMIx group construction, never per dup.
+        // PMIx group construction, never per dup. Hashed lazy exCIDs root a
+        // block too (derivation is purely local arithmetic, so it composes
+        // with lazy routes), but they are not a refill: no PMIx trip.
         let derive = match origin {
-            CidOrigin::Pgcid => excid.map(|e| {
+            CidOrigin::Pgcid | CidOrigin::Lazy => excid.map(|e| {
                 Arc::new(Mutex::new(DerivePool {
                     base: e,
                     state: DeriveState::fresh(),
@@ -203,6 +234,45 @@ impl Comm {
         let members: Vec<pmix::ProcId> = group.iter().map(|m| m.proc).collect();
         let name = format!("mpi-comm:{stringtag}");
         let dense = group.to_dense();
+        if group.is_lazy() {
+            // Lazy sessions path (DESIGN.md §14): no PMIx group construct,
+            // no fan-in, no PGCID round trip. Every member hashes the same
+            // exCID from (stringtag, membership) — rank-symmetric by
+            // construction — and registers unresolved routes. The whole
+            // creation is one local stage.
+            let pgcid = lazy_pgcid(stringtag, &members);
+            let first = stage("lazy_cid", {
+                let mut armed = Some((process.clone(), dense));
+                move || {
+                    let (process, dense) = armed.take().expect("lazy_cid runs once");
+                    let local_cid = process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
+                    let comm = Comm::build(
+                        process.clone(),
+                        dense,
+                        local_cid,
+                        Some(ExCid::from_pgcid(pgcid)),
+                        CidOrigin::Lazy,
+                        None,
+                        None,
+                    )?;
+                    process
+                        .obs()
+                        .counter(&process.proc().to_string(), "cid", "lazy_hashed")
+                        .inc();
+                    Ok(SetupStep::Done(comm))
+                }
+            });
+            return Ok(SetupRequest::issue(
+                process,
+                "comm_create_from_group",
+                Some(span),
+                quiet,
+                first,
+                Some(Box::new(|c: Comm| {
+                    let _ = c.free();
+                })),
+            ));
+        }
         let first = stage("begin", {
             let mut armed = Some((process.clone(), name, members, dense));
             move || {
@@ -314,6 +384,10 @@ impl Comm {
 
     pub(crate) fn isend_internal(&self, dst: u32, tag: i32, data: Bytes) -> Result<Request> {
         let inner = self.process.pml().isend(self.inner.local_cid, dst, tag, data)?;
+        // A send to an unresolved lazy peer parks behind a KVS fetch; hand
+        // the fetch to the watchdog engine so stalls get diagnosed like any
+        // other setup operation. No-op unless a resolution just began.
+        self.process.watch_lazy_resolves();
         Ok(Request::new(inner, self.process.pml().clone()))
     }
 
@@ -987,6 +1061,31 @@ impl std::fmt::Debug for Comm {
             .field("origin", &self.inner.origin)
             .finish()
     }
+}
+
+/// Rank-symmetric hashed PGCID for lazy communicators: FNV-1a over the
+/// stringtag and the (rank-ordered) membership, with bit 63 forced on so
+/// the value can never collide with a server-issued PGCID (those grow
+/// upward from one) and can never be 0 (the built-in sentinel). Every
+/// member computes the identical value with zero traffic; MPI requires the
+/// stringtag to be unique among concurrent creations over the same group,
+/// which is exactly the disambiguation the hash relies on.
+pub(crate) fn lazy_pgcid(stringtag: &str, members: &[pmix::ProcId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = eat(OFFSET, stringtag.as_bytes());
+    for m in members {
+        h = eat(h, &[0xff]); // field separator: "ab"+"c" != "a"+"bc"
+        h = eat(h, m.to_string().as_bytes());
+    }
+    h | (1 << 63)
 }
 
 fn group_process(group: &MpiGroup) -> Result<Arc<MpiProcess>> {

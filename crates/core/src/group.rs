@@ -69,6 +69,11 @@ enum Storage {
 pub struct MpiGroup {
     storage: Storage,
     process: Option<std::sync::Arc<crate::instance::MpiProcess>>,
+    /// Whether the originating session was lazily initialized (fence-free
+    /// init): communicators built from this group resolve peer endpoints
+    /// on demand instead of requiring them up front. Inherited by set-op
+    /// results, like the process binding.
+    lazy: bool,
 }
 
 impl std::fmt::Debug for MpiGroup {
@@ -94,7 +99,7 @@ pub enum GroupCompare {
 impl MpiGroup {
     /// Dense group from explicit members.
     pub fn from_members(members: Vec<ProcRef>) -> Self {
-        Self { storage: Storage::Dense(members.into()), process: None }
+        Self { storage: Storage::Dense(members.into()), process: None, lazy: false }
     }
 
     /// Bind this group to an MPI process (done by the session layer).
@@ -106,6 +111,18 @@ impl MpiGroup {
     /// The bound MPI process, if any.
     pub(crate) fn process_hint(&self) -> Option<std::sync::Arc<crate::instance::MpiProcess>> {
         self.process.clone()
+    }
+
+    /// Mark this group as originating from a lazily-initialized session
+    /// (done by the session layer alongside `bind`).
+    pub(crate) fn mark_lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Whether communicators from this group use lazy peer resolution.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// The empty group (`MPI_GROUP_EMPTY`).
@@ -132,7 +149,11 @@ impl MpiGroup {
             }
             len += r.len();
         }
-        Ok(Self { storage: Storage::Ranges { base, ranges: ranges.into(), len }, process: None })
+        Ok(Self {
+            storage: Storage::Ranges { base, ranges: ranges.into(), len },
+            process: None,
+            lazy: false,
+        })
     }
 
     /// Number of members (`MPI_Group_size`).
@@ -179,7 +200,7 @@ impl MpiGroup {
                 MpiError::new(ErrClass::Rank, format!("rank {r} outside group of {}", self.size()))
             })?);
         }
-        Ok(MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone() })
+        Ok(MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone(), lazy: self.lazy })
     }
 
     /// `MPI_Group_excl`: remove the listed ranks.
@@ -193,7 +214,7 @@ impl MpiGroup {
             .filter(|i| !ranks.contains(i))
             .map(|i| self.member(i).expect("in range"))
             .collect();
-        Ok(MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone() })
+        Ok(MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone(), lazy: self.lazy })
     }
 
     /// `MPI_Group_union`: members of `self`, then members of `other` not in
@@ -205,7 +226,7 @@ impl MpiGroup {
                 members.push(m);
             }
         }
-        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone() }
+        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone(), lazy: self.lazy }
     }
 
     /// `MPI_Group_intersection`: members of `self` also in `other`,
@@ -215,7 +236,7 @@ impl MpiGroup {
             .iter()
             .filter(|m| other.iter().any(|x| x.proc == m.proc))
             .collect();
-        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone() }
+        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone(), lazy: self.lazy }
     }
 
     /// `MPI_Group_difference`: members of `self` not in `other`.
@@ -224,7 +245,7 @@ impl MpiGroup {
             .iter()
             .filter(|m| !other.iter().any(|x| x.proc == m.proc))
             .collect();
-        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone() }
+        MpiGroup { storage: Storage::Dense(members.into()), process: self.process.clone(), lazy: self.lazy }
     }
 
     /// `MPI_Group_compare`.
@@ -274,6 +295,7 @@ impl MpiGroup {
             Storage::Ranges { .. } => MpiGroup {
                 storage: Storage::Dense(self.iter().collect::<Vec<_>>().into()),
                 process: self.process.clone(),
+                lazy: self.lazy,
             },
         }
     }

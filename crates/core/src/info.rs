@@ -85,6 +85,11 @@ pub mod keys {
     pub const FORCE_CONSENSUS_CID: &str = "mpi_force_consensus_cid";
     /// `mpi_thread_support_level` info key on sessions (per the proposal).
     pub const THREAD_LEVEL: &str = "thread_level";
+    /// Session initialization mode: `"eager"` (default; endpoints known up
+    /// front) or `"lazy"` (fence-free init with on-demand peer resolution;
+    /// see DESIGN.md §14). Absent, the universe-wide `pmix.init_mode` cvar
+    /// (seeded from the `INIT_MODE` environment variable) decides.
+    pub const INIT_MODE: &str = "init_mode";
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 use crate::cid::CidTable;
 use crate::error::{ErrClass, MpiError, Result};
 use crate::pml::Pml;
-use crate::request::ProgressEngine;
+use crate::request::{LazyResolveStage, ProgressEngine, SetupRequest};
 use parking_lot::Mutex;
 use pmix::{PmixClient, PmixUniverse, ProcId};
 use prrte::ProcCtx;
@@ -72,6 +72,10 @@ pub struct MpiProcess {
     universe: Arc<PmixUniverse>,
     engine: ProgressEngine,
     pub(crate) state: Mutex<ProcState>,
+    /// Watchdog-visible wrappers around in-flight lazy peer resolutions
+    /// (one [`LazyResolveStage`] request per resolution the PML starts);
+    /// pruned by [`MpiProcess::progress`] once terminal.
+    lazy_probes: Mutex<Vec<SetupRequest<()>>>,
 }
 
 static PROCESS_TABLE: Mutex<Option<HashMap<EndpointId, Weak<MpiProcess>>>> = Mutex::new(None);
@@ -125,6 +129,7 @@ impl MpiProcess {
                 session_counter: 0,
                 full_cycles: 0,
             }),
+            lazy_probes: Mutex::new(Vec::new()),
         });
         map.insert(key, Arc::downgrade(&process));
         map.retain(|_, w| w.strong_count() > 0);
@@ -220,7 +225,53 @@ impl MpiProcess {
     pub fn progress(&self) -> usize {
         let live = self.engine.progress();
         self.pml.progress(None);
+        self.prune_lazy_probes();
         live
+    }
+
+    /// Wrap every lazy peer resolution the PML has started since the last
+    /// call in a watchdog-visible [`LazyResolveStage`] request. Called from
+    /// the send path right after a send may have begun a resolution, so a
+    /// stalled business-card fetch gets a `req.stalled` diagnosis naming
+    /// the peer.
+    pub(crate) fn watch_lazy_resolves(self: &Arc<Self>) {
+        while let Some(peer) = self.pml.take_resolve_probe() {
+            let stage = Box::new(LazyResolveStage { pml: self.pml.clone(), peer });
+            let req = SetupRequest::issue(self.clone(), "lazy_resolve", None, false, stage, None);
+            self.lazy_probes.lock().push(req);
+        }
+    }
+
+    /// Drop terminal lazy-resolve probes, claiming their unit results so
+    /// the drop does not read as a cancellation.
+    fn prune_lazy_probes(&self) {
+        let finished: Vec<SetupRequest<()>> = {
+            let mut probes = self.lazy_probes.lock();
+            if probes.iter().all(|r| !r.is_complete()) {
+                return;
+            }
+            let (done, live): (Vec<_>, Vec<_>) =
+                probes.drain(..).partition(|r| r.is_complete());
+            *probes = live;
+            done
+        };
+        for r in finished {
+            // A failed resolution already failed its sends; the probe's
+            // error needs no further handling.
+            let _ = r.wait();
+        }
+    }
+
+    /// Claim every remaining lazy-resolve probe at PML teardown. The reset
+    /// just made each resolution terminal, so the waits return immediately
+    /// and each probe's `req.issued` gets its terminal event — without
+    /// this, a probe nobody explicitly progressed would strand (and, since
+    /// it holds an `Arc<MpiProcess>`, leak the process).
+    fn drain_lazy_probes(&self) {
+        let probes: Vec<SetupRequest<()>> = std::mem::take(&mut *self.lazy_probes.lock());
+        for r in probes {
+            let _ = r.wait();
+        }
     }
 
     /// The fabric-wide observability registry this process reports into.
@@ -326,7 +377,10 @@ impl MpiProcess {
 
     fn cleanup_for(name: &str) -> Option<Cleanup> {
         match name {
-            "pml" => Some(Box::new(|p: &MpiProcess| p.pml.reset())),
+            "pml" => Some(Box::new(|p: &MpiProcess| {
+                p.pml.reset();
+                p.drain_lazy_probes();
+            })),
             _ => None,
         }
     }

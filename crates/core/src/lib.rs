@@ -82,7 +82,7 @@ pub mod topo;
 pub mod win;
 pub mod world;
 
-pub use comm::Comm;
+pub use comm::{CidOrigin, Comm};
 pub use datatype::{MpiScalar, ReduceOp};
 pub use elastic::{ElasticComm, PsetUpdate, PsetUpdateKind, PsetWatcher, Rebuild};
 pub use errhandler::ErrHandler;

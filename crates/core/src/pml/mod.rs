@@ -71,6 +71,22 @@ enum SendCid {
     Known(u16),
 }
 
+/// How a communicator route addresses a peer rank.
+///
+/// Eager-initialized communicators know every peer's fabric endpoint up
+/// front. Lazy (fence-free) communicators start with only the peer's PMIx
+/// identity; the endpoint is filled in on first contact — either actively
+/// (the first send triggers an on-demand KVS fetch through the installed
+/// [`pmix::PeerResolver`]) or passively (an incoming message from the peer
+/// carries its endpoint on the envelope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerAddr {
+    /// Fabric endpoint known (eager init, or lazy resolution completed).
+    Known(EndpointId),
+    /// Endpoint unknown; the first send triggers a lazy resolution.
+    Unresolved(pmix::ProcId),
+}
+
 struct PeerState {
     mode: SendCid,
     /// Whether we already sent our CidAck to this peer.
@@ -112,7 +128,7 @@ struct Unexpected {
 
 struct Route {
     my_rank: u32,
-    endpoints: Vec<EndpointId>,
+    addrs: Vec<PeerAddr>,
     excid: Option<ExCid>,
     posted: Vec<Posted>,
     unexpected: VecDeque<Unexpected>,
@@ -136,6 +152,52 @@ struct RdvSend {
     req: Arc<ReqInner>,
     /// Per-transfer rendezvous span: RTS → CTS → data send.
     span: Option<obs::Span>,
+}
+
+/// A send parked behind an in-flight lazy resolution. Flushed (in FIFO
+/// order, preserving MPI ordering per peer) once the peer's endpoint is
+/// known, or failed with the resolution's typed error.
+struct QueuedSend {
+    local_cid: u16,
+    dst_rank: u32,
+    tag: i32,
+    payload: Bytes,
+    req: Arc<ReqInner>,
+}
+
+/// One in-flight lazy resolution: the nonblocking KVS fetch plus every
+/// send waiting on it.
+struct LazyResolving {
+    fetch: pmix::PeerFetch,
+    queued: Vec<QueuedSend>,
+    /// Critical-path span: opened when the resolution starts, closed at
+    /// its terminal state (resolved or failed).
+    span: obs::Span,
+}
+
+/// Terminal outcome of a lazy resolution: `None` = resolved, `Some(e)` =
+/// failed with `e` (later sends to the peer fail fast with the same
+/// error until the route learns the endpoint passively).
+#[derive(Default)]
+struct LazyState {
+    resolving: HashMap<pmix::ProcId, LazyResolving>,
+    done: HashMap<pmix::ProcId, Option<MpiError>>,
+    /// Resolutions started since the last probe drain; the instance layer
+    /// converts each into a watchdog-visible setup request.
+    probes: VecDeque<pmix::ProcId>,
+}
+
+/// Observable state of a lazy peer resolution (watchdog stages key on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveStatus {
+    /// No resolution was ever started for this peer.
+    Idle,
+    /// A KVS fetch is in flight.
+    InFlight,
+    /// Terminal: the peer's endpoint was resolved and cached.
+    Resolved,
+    /// Terminal: the resolution failed with a typed error.
+    Failed(MpiError),
 }
 
 #[derive(Default)]
@@ -277,6 +339,10 @@ pub struct Pml {
     eager_limit: AtomicUsize,
     cache_cap: AtomicUsize,
     metrics: PmlMetrics,
+    /// Installed only on the lazy session-init path; eager runs never
+    /// create one, keeping their metric/event shape unchanged.
+    resolver: Mutex<Option<Arc<pmix::PeerResolver>>>,
+    lazy: Mutex<LazyState>,
 }
 
 impl Pml {
@@ -291,6 +357,8 @@ impl Pml {
             eager_limit: AtomicUsize::new(DEFAULT_EAGER_LIMIT),
             cache_cap: AtomicUsize::new(DEFAULT_HANDSHAKE_CACHE_CAP),
             metrics,
+            resolver: Mutex::new(None),
+            lazy: Mutex::new(LazyState::default()),
         })
     }
 
@@ -326,6 +394,12 @@ impl Pml {
     /// The fabric under this process's endpoint (logical-deadline waits).
     pub fn fabric(&self) -> simnet::Fabric {
         self.endpoint.fabric()
+    }
+
+    /// This process's own fabric endpoint id (the business card the lazy
+    /// init path publishes).
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint.id()
     }
 
     /// Introspection view of the handshake cache: bound, invalidation
@@ -409,7 +483,35 @@ impl Pml {
         excid: Option<ExCid>,
         fixed_cid: Option<u16>,
     ) {
-        let n = endpoints.len();
+        let addrs = endpoints.into_iter().map(PeerAddr::Known).collect();
+        self.register_comm_inner(local_cid, my_rank, addrs, excid, fixed_cid);
+    }
+
+    /// Register a lazily-addressed exCID communicator: peers whose fabric
+    /// endpoint is still unknown are passed as
+    /// [`PeerAddr::Unresolved`] and resolved on first contact (actively by
+    /// the first send through the installed resolver, or passively from an
+    /// incoming message's envelope). Always extended-mode: the handshake
+    /// doubles as the passive resolution channel.
+    pub fn register_comm_lazy(
+        &self,
+        local_cid: u16,
+        my_rank: u32,
+        addrs: Vec<PeerAddr>,
+        excid: ExCid,
+    ) {
+        self.register_comm_inner(local_cid, my_rank, addrs, Some(excid), None);
+    }
+
+    fn register_comm_inner(
+        &self,
+        local_cid: u16,
+        my_rank: u32,
+        addrs: Vec<PeerAddr>,
+        excid: Option<ExCid>,
+        fixed_cid: Option<u16>,
+    ) {
+        let n = addrs.len();
         let initial_mode = match (fixed_cid, excid) {
             (Some(c), _) => SendCid::Fixed(c),
             (None, Some(_)) => SendCid::AwaitAck,
@@ -423,15 +525,18 @@ impl Pml {
             if excid.is_some() {
                 // Advertise our local CID to every peer we already hold a
                 // completed handshake with (on any earlier communicator).
-                for (rank, ep) in endpoints.iter().enumerate() {
-                    if rank as u32 != my_rank && st.cache.contains(ep) {
-                        adverts.push(*ep);
+                // Unresolved peers can't be advertised to — no address yet.
+                for (rank, addr) in addrs.iter().enumerate() {
+                    if let PeerAddr::Known(ep) = addr {
+                        if rank as u32 != my_rank && st.cache.contains(ep) {
+                            adverts.push(*ep);
+                        }
                     }
                 }
             }
             let route = Route {
                 my_rank,
-                endpoints,
+                addrs,
                 excid,
                 posted: Vec::new(),
                 unexpected: VecDeque::new(),
@@ -493,7 +598,9 @@ impl Pml {
             return;
         };
         let Some(route) = st.routes.get_mut(&cid) else { return };
-        if route.endpoints.get(ad.advertiser_rank as usize) != Some(&src_ep) {
+        // An Unresolved slot can't validate the rank↔endpoint claim either;
+        // the real handshake will resolve it.
+        if route.addrs.get(ad.advertiser_rank as usize) != Some(&PeerAddr::Known(src_ep)) {
             return; // stale or misrouted advert: rank↔endpoint mismatch
         }
         let peer = &mut route.peers[ad.advertiser_rank as usize];
@@ -524,13 +631,35 @@ impl Pml {
     /// of a later session generation are distinguishable from re-handshake
     /// bugs within one.
     pub fn reset(&self) {
-        let mut st = self.state.lock();
-        *st = PmlState {
-            next_req_id: st.next_req_id,
-            cache_gen: st.cache_gen + 1,
-            ..Default::default()
-        };
+        {
+            let mut st = self.state.lock();
+            *st = PmlState {
+                next_req_id: st.next_req_id,
+                cache_gen: st.cache_gen + 1,
+                ..Default::default()
+            };
+        }
         self.metrics.cache_entries.set(0);
+        // Terminate in-flight lazy resolutions: each queued send fails
+        // typed and every begun resolution still reaches an `end` event.
+        let drained: Vec<(pmix::ProcId, LazyResolving)> = {
+            let mut lz = self.lazy.lock();
+            let out = lz.resolving.drain().collect();
+            lz.done.clear();
+            lz.probes.clear();
+            out
+        };
+        for (peer, entry) in drained {
+            entry.span.end();
+            self.lazy_resolve_event(&peer, "end", Some("failed"));
+            for qs in entry.queued {
+                qs.req.fail(MpiError::new(
+                    ErrClass::Session,
+                    format!("session finalized while resolving peer {peer}"),
+                ));
+            }
+        }
+        *self.resolver.lock() = None;
     }
 
     // ------------------------------------------------------------------
@@ -539,6 +668,11 @@ impl Pml {
 
     /// Non-blocking send of `payload` to `dst_rank` on communicator
     /// `local_cid` with `tag`.
+    ///
+    /// On a lazily-addressed communicator whose peer endpoint is still
+    /// [`PeerAddr::Unresolved`], the send is parked behind an on-demand
+    /// resolution (started here if not already in flight) and completes —
+    /// or fails, typed — once the resolution reaches its terminal state.
     pub fn isend(
         &self,
         local_cid: u16,
@@ -547,6 +681,49 @@ impl Pml {
         payload: Bytes,
     ) -> Result<Arc<ReqInner>> {
         let req = ReqInner::new(ReqKind::Send);
+        let unresolved = {
+            let st = self.state.lock();
+            let route = st
+                .routes
+                .get(&local_cid)
+                .ok_or_else(|| MpiError::new(ErrClass::Comm, "send on unknown communicator"))?;
+            match route.addrs.get(dst_rank as usize).ok_or_else(|| {
+                MpiError::new(ErrClass::Rank, format!("rank {dst_rank} outside communicator"))
+            })? {
+                PeerAddr::Known(_) => None,
+                PeerAddr::Unresolved(p) => Some(p.clone()),
+            }
+        };
+        if let Some(peer) = unresolved {
+            let cached = self.resolver.lock().clone().and_then(|r| r.lookup(&peer));
+            match cached {
+                // Cache hit: zero round trips — fill every route slot for
+                // this peer and fall through to the normal send path.
+                Some(ep) => self.fill_peer(&peer, ep),
+                None => {
+                    self.queue_lazy_send(
+                        peer,
+                        QueuedSend { local_cid, dst_rank, tag, payload, req: req.clone() },
+                    );
+                    return Ok(req);
+                }
+            }
+        }
+        self.isend_ready(local_cid, dst_rank, tag, payload, req.clone())?;
+        Ok(req)
+    }
+
+    /// The send fast path: every address on the route is already `Known`.
+    /// Split from [`Pml::isend`] so queued lazy sends can be flushed with
+    /// their original (already returned) request.
+    fn isend_ready(
+        &self,
+        local_cid: u16,
+        dst_rank: u32,
+        tag: i32,
+        payload: Bytes,
+        req: Arc<ReqInner>,
+    ) -> Result<()> {
         let eager = payload.len() <= self.eager_limit();
         let (dst_ep, bytes, is_ext, is_ext_fallback, ext_ctx) = {
             let mut st = self.state.lock();
@@ -554,9 +731,16 @@ impl Pml {
                 .routes
                 .get_mut(&local_cid)
                 .ok_or_else(|| MpiError::new(ErrClass::Comm, "send on unknown communicator"))?;
-            let dst_ep = *route.endpoints.get(dst_rank as usize).ok_or_else(|| {
+            let dst_ep = match route.addrs.get(dst_rank as usize).ok_or_else(|| {
                 MpiError::new(ErrClass::Rank, format!("rank {dst_rank} outside communicator"))
-            })?;
+            })? {
+                PeerAddr::Known(ep) => *ep,
+                PeerAddr::Unresolved(p) => {
+                    return Err(MpiError::intern(format!(
+                        "send to unresolved peer {p} reached the ready path"
+                    )))
+                }
+            };
             let my_rank = route.my_rank;
             let excid = route.excid;
             let peer = &mut route.peers[dst_rank as usize];
@@ -679,7 +863,169 @@ impl Pml {
                 self.cache_remove(&mut self.state.lock(), dst_ep);
             }
         }
-        Ok(req)
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy (fence-free) peer resolution
+    // ------------------------------------------------------------------
+
+    /// Install the process's lazy peer resolver. Called once on the lazy
+    /// session-init path; eager-only processes never have one.
+    pub fn install_resolver(&self, resolver: Arc<pmix::PeerResolver>) {
+        *self.resolver.lock() = Some(resolver);
+    }
+
+    /// The installed lazy resolver, if any.
+    pub fn resolver(&self) -> Option<Arc<pmix::PeerResolver>> {
+        self.resolver.lock().clone()
+    }
+
+    /// Fill every route slot addressed to `peer` with its resolved
+    /// endpoint. Idempotent; `Known` slots are left untouched.
+    fn fill_peer(&self, peer: &pmix::ProcId, ep: EndpointId) {
+        let mut st = self.state.lock();
+        for route in st.routes.values_mut() {
+            for addr in route.addrs.iter_mut() {
+                if matches!(addr, PeerAddr::Unresolved(p) if p == peer) {
+                    *addr = PeerAddr::Known(ep);
+                }
+            }
+        }
+    }
+
+    /// Emit the `pml.lazy_resolve` lifecycle event the chaos invariant
+    /// checker keys on: every `begin` must be paired with an `end` whose
+    /// outcome is `resolved` or `failed` — never a silent eager fallback.
+    fn lazy_resolve_event(&self, peer: &pmix::ProcId, phase: &str, outcome: Option<&str>) {
+        let mut attrs: Vec<(String, obs::AttrValue)> = vec![
+            ("peer".into(), peer.to_string().into()),
+            ("phase".into(), phase.into()),
+        ];
+        if let Some(o) = outcome {
+            attrs.push(("outcome".into(), o.into()));
+        }
+        self.metrics.obs.event(&self.metrics.process, "pml", "pml.lazy_resolve", attrs);
+    }
+
+    /// Park `qs` behind a resolution of `peer`, starting one if none is in
+    /// flight. A terminal failure recorded earlier fails the send fast with
+    /// the same typed error.
+    fn queue_lazy_send(&self, peer: pmix::ProcId, qs: QueuedSend) {
+        let Some(resolver) = self.resolver.lock().clone() else {
+            qs.req.fail(MpiError::intern(format!(
+                "unresolved peer {peer} on a communicator but no resolver installed"
+            )));
+            return;
+        };
+        let mut lz = self.lazy.lock();
+        if let Some(entry) = lz.resolving.get_mut(&peer) {
+            entry.queued.push(qs);
+            return;
+        }
+        if let Some(Some(err)) = lz.done.get(&peer) {
+            qs.req.fail(err.clone());
+            return;
+        }
+        self.lazy_resolve_event(&peer, "begin", None);
+        match resolver.begin(&peer) {
+            Ok(fetch) => {
+                let span = self.metrics.obs.span(
+                    &self.metrics.process,
+                    "pml.lazy_resolve",
+                    &peer.to_string(),
+                );
+                lz.resolving
+                    .insert(peer.clone(), LazyResolving { fetch, queued: vec![qs], span });
+                lz.probes.push_back(peer);
+            }
+            // Typed immediate failure (peer deregistered or dead): the
+            // resolution still reaches a terminal state.
+            Err(e) => {
+                let err = MpiError::from(e);
+                self.lazy_resolve_event(&peer, "end", Some("failed"));
+                qs.req.fail(err.clone());
+                lz.done.insert(peer, Some(err));
+            }
+        }
+    }
+
+    /// Poll every in-flight lazy resolution; on a terminal state fill the
+    /// routes (or fail) and flush the parked sends. Returns whether any
+    /// resolution completed.
+    fn progress_lazy(&self) -> bool {
+        let Some(resolver) = self.resolver.lock().clone() else { return false };
+        let mut completed: Vec<(pmix::ProcId, Result<EndpointId>, LazyResolving)> = Vec::new();
+        {
+            let mut lz = self.lazy.lock();
+            let peers: Vec<pmix::ProcId> = lz.resolving.keys().cloned().collect();
+            for p in peers {
+                let polled = {
+                    let entry = lz.resolving.get_mut(&p).expect("key just listed");
+                    resolver.poll(&mut entry.fetch)
+                };
+                if let Some(res) = polled {
+                    let entry = lz.resolving.remove(&p).expect("key just listed");
+                    completed.push((p, res.map_err(MpiError::from), entry));
+                }
+            }
+        }
+        let did = !completed.is_empty();
+        for (peer, res, entry) in completed {
+            match res {
+                Ok(ep) => {
+                    self.fill_peer(&peer, ep);
+                    entry.span.end();
+                    self.lazy_resolve_event(&peer, "end", Some("resolved"));
+                    self.lazy.lock().done.insert(peer, None);
+                    for qs in entry.queued {
+                        let req = qs.req.clone();
+                        if let Err(e) =
+                            self.isend_ready(qs.local_cid, qs.dst_rank, qs.tag, qs.payload, qs.req)
+                        {
+                            // Route unregistered while the resolution was in
+                            // flight: the send itself fails, typed.
+                            req.fail(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    entry.span.end();
+                    self.lazy_resolve_event(&peer, "end", Some("failed"));
+                    for qs in entry.queued {
+                        qs.req.fail(e.clone());
+                    }
+                    self.lazy.lock().done.insert(peer, Some(e));
+                }
+            }
+        }
+        did
+    }
+
+    /// Observable state of the lazy resolution of `peer` (the watchdog
+    /// stage polls this).
+    pub fn resolve_status(&self, peer: &pmix::ProcId) -> ResolveStatus {
+        let lz = self.lazy.lock();
+        if lz.resolving.contains_key(peer) {
+            return ResolveStatus::InFlight;
+        }
+        match lz.done.get(peer) {
+            Some(None) => ResolveStatus::Resolved,
+            Some(Some(e)) => ResolveStatus::Failed(e.clone()),
+            None => ResolveStatus::Idle,
+        }
+    }
+
+    /// Drain one resolution started since the last call. The instance
+    /// layer turns each into a progress-engine request so a stalled lazy
+    /// resolution is visible to the stall watchdog.
+    pub fn take_resolve_probe(&self) -> Option<pmix::ProcId> {
+        self.lazy.lock().probes.pop_front()
+    }
+
+    /// Number of lazy resolutions currently in flight (tests).
+    pub fn resolving_count(&self) -> usize {
+        self.lazy.lock().resolving.len()
     }
 
     /// Non-blocking receive on communicator `local_cid`. `src`/`tag`
@@ -754,7 +1100,7 @@ impl Pml {
                     did = true;
                 }
                 Err(RecvError::Empty) => break,
-                Err(_) => return did, // endpoint killed
+                Err(_) => return did | self.progress_lazy(), // endpoint killed
             }
         }
         if !did {
@@ -769,7 +1115,7 @@ impl Pml {
                 }
             }
         }
-        did
+        did | self.progress_lazy()
     }
 
     fn handle_bytes(&self, src_ep: EndpointId, payload: Bytes, ctx: Option<obs::TraceContext>) {
@@ -919,6 +1265,18 @@ impl Pml {
             {
                 let route = st.routes.get_mut(&cid).expect("checked above");
                 let src = msg.hdr.src as u32;
+                // Passive lazy resolution: an incoming message carries the
+                // sender's endpoint on its envelope — an Unresolved slot
+                // learns it for free, no KVS fetch needed.
+                if let Some(addr) = route.addrs.get_mut(src as usize) {
+                    if matches!(addr, PeerAddr::Unresolved(_)) {
+                        *addr = PeerAddr::Known(msg.src_ep);
+                        self.metrics
+                            .obs
+                            .counter(&self.metrics.process, "pml", "lazy_passive_resolves")
+                            .inc();
+                    }
+                }
                 if let Some(ext) = msg.ext {
                     if let Some(peer) = route.peers.get_mut(src as usize) {
                         // Learn the sender's local CID for the reverse path.

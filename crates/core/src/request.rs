@@ -33,10 +33,39 @@
 //! communicator, returning its local CID, PML route and PGCID-family
 //! reference. Every rank of the construction must drop (or complete) the
 //! same request; see DESIGN.md §12 for the full contract.
+//!
+//! # Quick start: issue → progress → wait
+//!
+//! The canonical life of a setup request, on a two-process simulated job:
+//! issuing puts the first stage on the wire, `test` drives it one step at
+//! a time, and `wait` claims the constructed object.
+//!
+//! ```
+//! use mpi_sessions::{ErrHandler, Info, MpiError, Session, ThreadLevel};
+//! use prrte::{JobSpec, Launcher};
+//! use simnet::SimTestbed;
+//!
+//! let launcher = Launcher::new(SimTestbed::tiny(1, 2));
+//! let results = launcher
+//!     .spawn(JobSpec::new(2), |ctx| {
+//!         // Issue: the first stage has already run when this returns.
+//!         let mut req =
+//!             Session::init_i(&ctx, ThreadLevel::Single, ErrHandler::Return, &Info::null());
+//!         // Progress: step explicitly until the construction lands...
+//!         while !req.test()? {}
+//!         // ...and claim the built session (completes immediately here).
+//!         let session = req.wait()?;
+//!         session.finalize()?;
+//!         Ok::<(), MpiError>(())
+//!     })
+//!     .join()
+//!     .expect("job ran");
+//! results.into_iter().for_each(|r| r.expect("rank succeeded"));
+//! ```
 
 use crate::error::{ErrClass, MpiError, Result};
 use crate::instance::MpiProcess;
-use crate::pml::Pml;
+use crate::pml::{Pml, ResolveStatus};
 use crate::status::Status;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -360,6 +389,39 @@ pub trait SetupStage<T>: Send {
     /// has nothing more specific to say than its name.
     fn waiting_on(&self) -> Option<String> {
         None
+    }
+}
+
+/// Watchdog-visible wrapper around one lazy peer resolution (lazy init's
+/// on-demand business-card fetch; see [`Pml::resolve_status`]). The send
+/// that triggered the resolution is an ordinary point-to-point request,
+/// invisible to the [`ProgressEngine`] — issuing this stage alongside it
+/// puts the resolution under the stall watchdog, so a fetch stuck on an
+/// unpublished or partitioned peer produces a `req.stalled` diagnosis
+/// naming the peer instead of a silent hang.
+pub(crate) struct LazyResolveStage {
+    pub(crate) pml: Arc<Pml>,
+    pub(crate) peer: pmix::ProcId,
+}
+
+impl SetupStage<()> for LazyResolveStage {
+    fn name(&self) -> &'static str {
+        "lazy_resolve"
+    }
+    fn poll(&mut self) -> Result<SetupStep<()>> {
+        match self.pml.resolve_status(&self.peer) {
+            ResolveStatus::InFlight => Ok(SetupStep::Pending),
+            // `Idle` is terminal here too: the resolution state was pruned
+            // (e.g. a PML reset) after this stage was issued.
+            ResolveStatus::Resolved | ResolveStatus::Idle => Ok(SetupStep::Done(())),
+            ResolveStatus::Failed(e) => Err(e),
+        }
+    }
+    fn park(&mut self, limit: Duration) {
+        self.pml.progress(Some(limit));
+    }
+    fn waiting_on(&self) -> Option<String> {
+        Some(format!("business card of {}", self.peer))
     }
 }
 

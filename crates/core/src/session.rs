@@ -64,6 +64,9 @@ struct SessionInner {
     info: Info,
     attrs: AttrStore,
     finalized: AtomicBool,
+    /// Fence-free (lazy) init: peer endpoints are resolved on demand by
+    /// the first send instead of being required up front (DESIGN.md §14).
+    lazy: bool,
 }
 
 /// An MPI session handle.
@@ -115,6 +118,12 @@ impl Session {
         let p = process.proc().to_string();
         let init_span = obs.span(&p, "session.init", "");
         let info = info.dup();
+        // The info object overrides the universe-wide default (the
+        // `pmix.init_mode` cvar, seeded from `INIT_MODE`).
+        let lazy = match info.get(keys::INIT_MODE) {
+            Some(v) => v == "lazy",
+            None => process.universe().lazy_init_default(),
+        };
         let first = stage("resources", {
             let mut armed = Some((process.clone(), requested, errh, info));
             move || {
@@ -129,41 +138,37 @@ impl Session {
                 res_span.end();
                 let resources = t_resources.elapsed();
                 obs.histogram(&p, "session", "init_resources_ns").record(resources);
-                let mut armed = Some((process, requested, errh, info, id));
-                Ok(SetupStep::Next(stage("handle", move || {
-                    let (process, requested, errh, info, id) =
-                        armed.take().expect("handle stage runs once");
-                    let obs = process.obs();
-                    let p = process.proc().to_string();
-                    let t_handle = std::time::Instant::now();
-                    let mut handle_span = obs.span(&p, "session.handle", "");
-                    handle_span.add_work(1);
-                    // Honor PML tuning from the info object.
-                    if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
-                        if limit > 0 {
-                            process.pml().set_eager_limit(limit as usize);
-                        }
-                    }
-                    let thread_level = info
-                        .get(keys::THREAD_LEVEL)
-                        .and_then(|v| ThreadLevel::from_info_value(&v))
-                        .unwrap_or(requested);
-                    let session = Session {
-                        inner: Arc::new(SessionInner {
-                            id,
-                            process: process.clone(),
-                            thread_level,
-                            errh,
-                            info,
-                            attrs: AttrStore::new(),
-                            finalized: AtomicBool::new(false),
-                        }),
-                    };
-                    handle_span.end();
-                    obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
-                    obs.counter(&p, "session", "sessions_initialized").inc();
-                    Ok(SetupStep::Done(session))
-                })))
+                if lazy {
+                    // Fence-free init: one extra local stage that publishes
+                    // this rank's business card (put + commit, NO fence) and
+                    // installs the on-demand peer resolver. Still zero
+                    // synchronization with any peer.
+                    let mut armed = Some((process, requested, errh, info, id));
+                    Ok(SetupStep::Next(stage("publish", move || {
+                        let (process, requested, errh, info, id) =
+                            armed.take().expect("publish stage runs once");
+                        let obs = process.obs();
+                        let p = process.proc().to_string();
+                        let mut pub_span = obs.span(&p, "session.publish", "");
+                        let pmix = process.pmix();
+                        pmix.put(
+                            pmix::value::keys::ENDPOINT,
+                            pmix::PmixValue::U64(process.pml().endpoint_id().0),
+                        );
+                        pmix.commit();
+                        process.pml().install_resolver(pmix::PeerResolver::new(pmix));
+                        pub_span.add_work(1);
+                        pub_span.end();
+                        obs.counter(&p, "session", "lazy_inits").inc();
+                        Ok(SetupStep::Next(Self::handle_stage(
+                            process, requested, errh, info, id, true,
+                        )))
+                    })))
+                } else {
+                    Ok(SetupStep::Next(Self::handle_stage(
+                        process, requested, errh, info, id, false,
+                    )))
+                }
             }
         });
         SetupRequest::issue(
@@ -176,6 +181,59 @@ impl Session {
                 let _ = s.finalize();
             })),
         )
+    }
+
+    /// The final init stage, shared by the eager and lazy paths:
+    /// constructs the session handle itself (local, cheap).
+    fn handle_stage(
+        process: Arc<MpiProcess>,
+        requested: ThreadLevel,
+        errh: ErrHandler,
+        info: Info,
+        id: u64,
+        lazy: bool,
+    ) -> Box<dyn crate::request::SetupStage<Session>> {
+        let mut armed = Some((process, requested, errh, info, id));
+        stage("handle", move || {
+            let (process, requested, errh, info, id) =
+                armed.take().expect("handle stage runs once");
+            let obs = process.obs();
+            let p = process.proc().to_string();
+            let t_handle = std::time::Instant::now();
+            let mut handle_span = obs.span(&p, "session.handle", "");
+            handle_span.add_work(1);
+            // Honor PML tuning from the info object.
+            if let Some(limit) = info.get_int(keys::EAGER_LIMIT) {
+                if limit > 0 {
+                    process.pml().set_eager_limit(limit as usize);
+                }
+            }
+            let thread_level = info
+                .get(keys::THREAD_LEVEL)
+                .and_then(|v| ThreadLevel::from_info_value(&v))
+                .unwrap_or(requested);
+            let session = Session {
+                inner: Arc::new(SessionInner {
+                    id,
+                    process: process.clone(),
+                    thread_level,
+                    errh,
+                    info,
+                    attrs: AttrStore::new(),
+                    finalized: AtomicBool::new(false),
+                    lazy,
+                }),
+            };
+            handle_span.end();
+            obs.histogram(&p, "session", "init_handle_ns").record(t_handle.elapsed());
+            obs.counter(&p, "session", "sessions_initialized").inc();
+            Ok(SetupStep::Done(session))
+        })
+    }
+
+    /// Whether this session was initialized in lazy (fence-free) mode.
+    pub fn is_lazy(&self) -> bool {
+        self.inner.lazy
     }
 
     /// The granted thread support level.
@@ -274,7 +332,9 @@ impl Session {
         let first = stage("resolve", move || {
             let members = sess.resolve_pset(&name)?;
             Ok(SetupStep::Done(
-                MpiGroup::from_members(members).bind(sess.inner.process.clone()),
+                MpiGroup::from_members(members)
+                    .bind(sess.inner.process.clone())
+                    .mark_lazy(sess.inner.lazy),
             ))
         });
         SetupRequest::issue(

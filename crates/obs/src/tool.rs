@@ -164,6 +164,37 @@ impl Registry {
     /// been dropped — the entry is then pruned lazily); `write`, when
     /// present, applies a new value by delegating to the subsystem's own
     /// setter. Registration is silent: no event, no metric.
+    ///
+    /// # Examples
+    ///
+    /// A read/write round-trip: the writer delegates to the subsystem's
+    /// own setter (here an atomic), so a tool's `cvar_write` and the
+    /// legacy direct setter stay behavior-identical.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    /// use obs::{u64_writer, CvarValue, Registry};
+    ///
+    /// let registry = Registry::new();
+    /// let cap = Arc::new(AtomicU64::new(8));
+    /// let (r, w) = (Arc::clone(&cap), Arc::clone(&cap));
+    /// registry.cvar_register(
+    ///     "universe",
+    ///     "demo.cache_cap",
+    ///     "bound on the demo cache",
+    ///     move || Some(CvarValue::U64(r.load(Ordering::Relaxed))),
+    ///     u64_writer(move |n| w.store(n, Ordering::Relaxed)),
+    /// );
+    /// assert_eq!(
+    ///     registry.cvar_read("universe", "demo.cache_cap"),
+    ///     Some(CvarValue::U64(8)),
+    /// );
+    /// registry
+    ///     .cvar_write("universe", "demo.cache_cap", CvarValue::U64(32))
+    ///     .unwrap();
+    /// assert_eq!(cap.load(Ordering::Relaxed), 32);
+    /// ```
     pub fn cvar_register(
         &self,
         scope: &str,
@@ -316,6 +347,12 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         name: "soak.sample_every",
         env: "SOAK_SAMPLE_EVERY",
         description: "default sampling stride for fig_soak (CLI --sample-every overrides)",
+    },
+    EnvKnob {
+        name: "session.init_mode",
+        env: "INIT_MODE",
+        description: "default session-init mode at universe boot, eager or lazy \
+                      (the pmix.init_mode cvar and the per-session init_mode info key override)",
     },
 ];
 

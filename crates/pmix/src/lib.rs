@@ -52,6 +52,7 @@ pub mod event;
 pub mod group;
 pub mod nspace;
 pub mod query;
+pub mod resolver;
 pub mod server;
 pub mod types;
 pub mod universe;
@@ -63,9 +64,10 @@ pub use error::PmixError;
 pub use event::{Event, EventCode};
 pub use group::{GroupDirectives, GroupResult, InviteOutcome, InviteReport, PmixGroup};
 pub use nspace::{NamespaceInfo, NamespaceRegistry};
+pub use resolver::{PeerFetch, PeerResolver};
 pub use server::{
-    LogicalDeadline, PendingColl, PmixServer, ServerShardOccupancy, DEFAULT_PGCID_BLOCK,
-    EPOCH_RETENTION_CAP, SERVER_SHARDS,
+    FetchTicket, LogicalDeadline, PendingColl, PmixServer, ServerShardOccupancy,
+    DEFAULT_PGCID_BLOCK, EPOCH_RETENTION_CAP, SERVER_SHARDS,
 };
 pub use types::{ProcId, Rank};
 pub use universe::PmixUniverse;

@@ -468,6 +468,40 @@ fn fnv_u64(mut h: u64, v: u64) -> u64 {
     h.wrapping_mul(FNV_PRIME)
 }
 
+/// An in-flight nonblocking KVS fetch (see [`PmixServer::fetch_begin`]).
+/// Drive with [`PmixServer::fetch_poll`] until it returns `Some`; park
+/// between polls with [`PmixServer::fetch_park`].
+pub struct FetchTicket {
+    proc: ProcId,
+    key: String,
+    /// KVS shard holding the reply slot / data tables for `proc`.
+    shard: usize,
+    mode: FetchMode,
+}
+
+impl FetchTicket {
+    /// The process whose data this ticket is fetching.
+    pub fn proc(&self) -> &ProcId {
+        &self.proc
+    }
+
+    /// The key being fetched.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+enum FetchMode {
+    /// Answered at begin time; `fetch_poll` hands the value out once.
+    Resolved(Option<PmixValue>),
+    /// Owner is a local client that has not committed yet.
+    LocalWait,
+    /// One dmodex round trip in flight; the token names the reply slot.
+    Remote { token: u64 },
+    /// Terminal: the result has been handed out (or the ticket cancelled).
+    Done,
+}
+
 /// Per-shard occupancy snapshot of one server (see
 /// [`PmixServer::shard_occupancy`]). Indexed `0..SERVER_SHARDS`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -815,6 +849,185 @@ impl PmixServer {
                 }
             }
         }
+    }
+
+    /// Begin a nonblocking fetch of `key` from `proc`'s business-card data:
+    /// the ticket-based twin of [`PmixServer::fetch`] for callers that must
+    /// not park a thread (the lazy-init peer resolver drives these from the
+    /// PML progress loop). Resolution order mirrors `fetch`:
+    ///
+    /// * the owner must still be registered — a retired/deregistered peer
+    ///   yields `NotFound` immediately, never a stale cached card;
+    /// * a peer already known dead yields `ProcTerminated`;
+    /// * locally-committed or cached data resolves the ticket at begin time;
+    /// * a local-but-uncommitted owner produces a ticket that waits for the
+    ///   owner's `commit_kvs` (wait-for-publish semantics);
+    /// * a remote owner issues one dmodex round trip whose reply lands in
+    ///   the ticket's shard slot.
+    pub fn fetch_begin(&self, proc: &ProcId, key: &str) -> Result<FetchTicket> {
+        let entry = self.registry.locate(proc)?;
+        if self.dead.read().contains(proc) {
+            return Err(PmixError::ProcTerminated(proc.clone()));
+        }
+        let ki = Self::kvs_shard_of(proc);
+        let kshard = &self.kvs_shards[ki];
+        let mut ks = kshard.state.lock();
+        let found = ks
+            .kvs_local
+            .get(proc)
+            .and_then(|m| m.get(key))
+            .or_else(|| ks.kvs_cache.get(proc).and_then(|m| m.get(key)))
+            .cloned();
+        let mode = match found {
+            Some(v) => FetchMode::Resolved(Some(v)),
+            None if entry.node == self.node => FetchMode::LocalWait,
+            None => {
+                let token = self.mint_token(ki);
+                ks.dmodex_waiting.insert(token, None);
+                let owner = self
+                    .registry
+                    .server_of(entry.node)
+                    .ok_or(PmixError::Unreachable)?;
+                drop(ks);
+                let msg = ServerMsg::DmodexReq {
+                    reply_to: self.sender.id(),
+                    token,
+                    proc: proc.clone(),
+                    key: key.to_owned(),
+                };
+                self.sender.send(owner, msg.encode()).map_err(|_| {
+                    self.kvs_shards[ki].state.lock().dmodex_waiting.remove(&token);
+                    PmixError::Unreachable
+                })?;
+                return Ok(FetchTicket {
+                    proc: proc.clone(),
+                    key: key.to_owned(),
+                    shard: ki,
+                    mode: FetchMode::Remote { token },
+                });
+            }
+        };
+        Ok(FetchTicket { proc: proc.clone(), key: key.to_owned(), shard: ki, mode })
+    }
+
+    /// Poll a ticket from [`PmixServer::fetch_begin`]: `None` while the
+    /// publish/dmodex is still outstanding, `Some(result)` exactly once at
+    /// the terminal state. A peer that dies or is deregistered mid-flight
+    /// terminates the ticket with the matching typed error — a lazy get
+    /// never silently degrades to a stale answer.
+    pub fn fetch_poll(&self, ticket: &mut FetchTicket) -> Option<Result<PmixValue>> {
+        if let FetchMode::Resolved(slot) = &mut ticket.mode {
+            return slot.take().map(Ok);
+        }
+        if self.dead.read().contains(&ticket.proc) {
+            self.fetch_cancel(ticket);
+            return Some(Err(PmixError::ProcTerminated(ticket.proc.clone())));
+        }
+        if let Err(e) = self.registry.locate(&ticket.proc) {
+            self.fetch_cancel(ticket);
+            return Some(Err(e));
+        }
+        let kshard = &self.kvs_shards[ticket.shard];
+        let mut ks = kshard.state.lock();
+        match ticket.mode {
+            FetchMode::Resolved(_) => unreachable!("handled above"),
+            FetchMode::LocalWait => {
+                let found = ks
+                    .kvs_local
+                    .get(&ticket.proc)
+                    .and_then(|m| m.get(&ticket.key))
+                    .cloned();
+                found.map(|v| {
+                    ticket.mode = FetchMode::Done;
+                    Ok(v)
+                })
+            }
+            FetchMode::Remote { token } => {
+                let reply = match ks.dmodex_waiting.get(&token) {
+                    Some(Some(reply)) => {
+                        let reply = reply.clone();
+                        ks.dmodex_waiting.remove(&token);
+                        reply
+                    }
+                    Some(None) => return None,
+                    // Slot gone (purge raced us): fall back to the cache.
+                    None => ks
+                        .kvs_cache
+                        .get(&ticket.proc)
+                        .and_then(|m| m.get(&ticket.key))
+                        .cloned(),
+                };
+                ticket.mode = FetchMode::Done;
+                match reply {
+                    Some(v) => {
+                        ks.kvs_cache
+                            .entry(ticket.proc.clone())
+                            .or_default()
+                            .insert(ticket.key.clone(), v.clone());
+                        self.publish_kvs_gauge(ticket.shard, &ks);
+                        Some(Ok(v))
+                    }
+                    None => Some(Err(PmixError::NotFound(format!(
+                        "{}/{}",
+                        ticket.proc, ticket.key
+                    )))),
+                }
+            }
+            FetchMode::Done => None,
+        }
+    }
+
+    /// Park the calling thread on the ticket's shard condvar for at most
+    /// `limit` (condvar-grade wakeup on the owner's commit or the dmodex
+    /// reply, instead of a poll sleep). A resolved ticket returns at once.
+    pub fn fetch_park(&self, ticket: &FetchTicket, limit: Duration) {
+        match ticket.mode {
+            FetchMode::Resolved(_) | FetchMode::Done => {}
+            FetchMode::LocalWait | FetchMode::Remote { .. } => {
+                let kshard = &self.kvs_shards[ticket.shard];
+                let mut ks = kshard.state.lock();
+                kshard.cv.wait_for(&mut ks, limit);
+            }
+        }
+    }
+
+    /// Abandon an in-flight ticket, releasing its reply slot (a late
+    /// dmodex reply for a removed token is ignored by the handler).
+    fn fetch_cancel(&self, ticket: &mut FetchTicket) {
+        if let FetchMode::Remote { token } = ticket.mode {
+            self.kvs_shards[ticket.shard].state.lock().dmodex_waiting.remove(&token);
+        }
+        ticket.mode = FetchMode::Done;
+    }
+
+    /// Drop every business card of `proc` — committed data, remote cache
+    /// entries, and parked dmodex fetches (answered "not found" rather than
+    /// left to time out) — without declaring the process dead. This is the
+    /// graceful-retirement twin of the purge inside
+    /// [`PmixServer::on_proc_failed`]: `retire_ranks` produces no failure
+    /// event, so without this call a retired rank's card would sit in the
+    /// KVS forever and a lazy get could resolve it to a stale endpoint.
+    pub fn purge_kvs_for(&self, proc: &ProcId) {
+        let ki = Self::kvs_shard_of(proc);
+        let kshard = &self.kvs_shards[ki];
+        let mut ks = kshard.state.lock();
+        let purged = ks.kvs_local.remove(proc).map(|m| m.len()).unwrap_or(0)
+            + ks.kvs_cache.remove(proc).map(|m| m.len()).unwrap_or(0);
+        let parked = std::mem::take(&mut ks.dmodex_parked);
+        let (gone_parked, live_parked): (Vec<_>, Vec<_>) =
+            parked.into_iter().partition(|(p, ..)| p == proc);
+        ks.dmodex_parked = live_parked;
+        self.publish_kvs_gauge(ki, &ks);
+        drop(ks);
+        if purged > 0 {
+            self.metrics.kvs_purged.add(purged as u64);
+        }
+        for (_, _, reply_to, token) in gone_parked {
+            let _ = self
+                .sender
+                .send(reply_to, ServerMsg::DmodexReply { token, value: None }.encode());
+        }
+        kshard.cv.notify_all();
     }
 
     /// Snapshot of everything a local client has committed so far.
@@ -2141,28 +2354,7 @@ impl PmixServer {
         // here — so drop its committed data and everything cached about it.
         // Parked dmodex fetches for the dead owner can never be served;
         // answer them "not found" instead of letting the requester time out.
-        {
-            let ki = Self::kvs_shard_of(proc);
-            let kshard = &self.kvs_shards[ki];
-            let mut ks = kshard.state.lock();
-            let purged = ks.kvs_local.remove(proc).map(|m| m.len()).unwrap_or(0)
-                + ks.kvs_cache.remove(proc).map(|m| m.len()).unwrap_or(0);
-            let parked = std::mem::take(&mut ks.dmodex_parked);
-            let (dead_parked, live_parked): (Vec<_>, Vec<_>) =
-                parked.into_iter().partition(|(p, ..)| p == proc);
-            ks.dmodex_parked = live_parked;
-            self.publish_kvs_gauge(ki, &ks);
-            drop(ks);
-            if purged > 0 {
-                self.metrics.kvs_purged.add(purged as u64);
-            }
-            for (_, _, reply_to, token) in dead_parked {
-                let _ = self
-                    .sender
-                    .send(reply_to, ServerMsg::DmodexReply { token, value: None }.encode());
-            }
-            kshard.cv.notify_all();
-        }
+        self.purge_kvs_for(proc);
         // Fail or shrink pending collectives that include the dead process,
         // one ops shard at a time (the write above already publishes the
         // death, so concurrent entries on other shards observe it).

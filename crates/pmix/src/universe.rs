@@ -23,6 +23,10 @@ pub struct PmixUniverse {
     server_eps: Vec<EndpointId>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     testbed: SimTestbed,
+    /// Default session-init mode ("eager" | "lazy") for sessions that do
+    /// not pass an explicit `init_mode` info key. Runtime-writable through
+    /// the `pmix.init_mode` cvar.
+    lazy_init_default: std::sync::atomic::AtomicBool,
 }
 
 impl PmixUniverse {
@@ -151,6 +155,9 @@ impl PmixUniverse {
             server_eps,
             threads: Mutex::new(threads),
             testbed,
+            lazy_init_default: std::sync::atomic::AtomicBool::new(
+                std::env::var("INIT_MODE").map(|v| v == "lazy").unwrap_or(false),
+            ),
         });
         uni.register_cvars();
         uni
@@ -220,6 +227,61 @@ impl PmixUniverse {
             },
             None,
         );
+        let (r, wr) = (w.clone(), w.clone());
+        obs.cvar_register(
+            "universe",
+            "pmix.init_mode",
+            "default session-init mode: eager (fence-collected business cards) or \
+             lazy (fence-free, peers resolved on first send); the per-session \
+             init_mode info key overrides",
+            move || {
+                r.upgrade().map(|u| {
+                    obs::CvarValue::Str(
+                        if u.lazy_init_default() { "lazy" } else { "eager" }.into(),
+                    )
+                })
+            },
+            obs::writer(move |v| match v.as_str() {
+                Some("lazy") => {
+                    if let Some(u) = wr.upgrade() {
+                        u.set_lazy_init_default(true);
+                    }
+                    Ok(())
+                }
+                Some("eager") => {
+                    if let Some(u) = wr.upgrade() {
+                        u.set_lazy_init_default(false);
+                    }
+                    Ok(())
+                }
+                _ => Err(format!("expected \"eager\" or \"lazy\", got {v}")),
+            }),
+        );
+    }
+
+    /// Whether sessions default to lazy (fence-free) init. Seeded from the
+    /// `INIT_MODE` environment variable at boot; runtime-writable through
+    /// the `pmix.init_mode` cvar; the per-session `init_mode` info key has
+    /// the final say.
+    pub fn lazy_init_default(&self) -> bool {
+        self.lazy_init_default.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Set the default session-init mode (see
+    /// [`PmixUniverse::lazy_init_default`]).
+    pub fn set_lazy_init_default(&self, lazy: bool) {
+        self.lazy_init_default.store(lazy, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Purge a gracefully-retired process's business cards from every
+    /// server (committed data, remote caches, parked fetches). The retire
+    /// path produces no failure event — the endpoint is never killed — so
+    /// without this sweep the cards would outlive the process and a lazy
+    /// get could resolve a retired peer to a stale endpoint.
+    pub fn purge_retired(&self, proc: &ProcId) {
+        for s in &self.servers {
+            s.purge_kvs_for(proc);
+        }
     }
 
     /// The per-node servers (index 0 is the head-node RM daemon).

@@ -445,3 +445,51 @@ fn rm_survives_burst_of_pgcid_requests() {
     // Every destruct returned its id to the pool (both bursts).
     assert_eq!(obs.sum_counters("pmix", "pgcid_recycled"), 20);
 }
+
+#[test]
+fn retired_peer_card_is_purged_and_resolution_fails_typed() {
+    // Regression test for the retire-purge bug: graceful retirement
+    // (deregister, no failure event) used to leave the rank's committed
+    // business card in the server KVS, so a lazy resolution of the
+    // departed peer returned a stale endpoint. The fix
+    // (`PmixUniverse::purge_retired`, wired into `Launcher::retire_ranks`)
+    // sweeps the card everywhere; resolution must then fail *typed*.
+    // Pre-fix, the three post-retire assertions below all fail.
+    let uni = PmixUniverse::new(SimTestbed::tiny(2, 1));
+    let procs = spawn_procs(&uni, "job", 2);
+
+    // Rank 1 publishes its business card, fence-free (put + commit only).
+    let c1 = uni.client_for(&procs[1]).unwrap();
+    c1.put(pmix::value::keys::ENDPOINT, pmix::PmixValue::U64(42));
+    c1.commit();
+
+    // Rank 0 resolves it on demand and caches the endpoint.
+    let c0 = uni.client_for(&procs[0]).unwrap();
+    let resolver = pmix::PeerResolver::new(&c0);
+    let mut fetch = resolver.begin(&procs[1]).unwrap();
+    let ep = loop {
+        if let Some(res) = resolver.poll(&mut fetch) {
+            break res.unwrap();
+        }
+        resolver.park(&fetch, Duration::from_millis(5));
+    };
+    assert_eq!(ep, simnet::EndpointId(42));
+    assert_eq!(resolver.lookup(&procs[1]), Some(simnet::EndpointId(42)));
+
+    // Graceful retirement: exactly what Launcher::retire_ranks does.
+    uni.registry().deregister_proc(&procs[1]);
+    uni.purge_retired(&procs[1]);
+
+    // The committed card is gone from every server shard...
+    for s in uni.servers() {
+        assert!(s.local_committed(&procs[1]).is_none(), "card must be purged");
+    }
+    // ...the resolver's cached entry reads as a miss (evicted, not stale)...
+    assert_eq!(resolver.lookup(&procs[1]), None, "stale cache entry must evict");
+    // ...and a renewed resolution fails with a typed error, never ep 42.
+    match resolver.begin(&procs[1]) {
+        Err(PmixError::NotFound(_)) | Err(PmixError::ProcTerminated(_)) => {}
+        Err(other) => panic!("expected NotFound/ProcTerminated, got {other:?}"),
+        Ok(_) => panic!("resolution of a retired peer must not begin"),
+    }
+}

@@ -338,6 +338,11 @@ impl<T: Send + 'static> JobCtl<T> {
         }
         for p in &retired {
             universe.registry().deregister_proc(p);
+            // A retired rank's business cards must not outlive it: no
+            // failure event fires on this path, so the servers' KVS purge
+            // has to be explicit (else a lazy get could resolve a stale
+            // endpoint long after the rank drained).
+            universe.purge_retired(p);
         }
         obs.counter("launcher", "prrte", "ranks_retired").add(ranks.len() as u64);
         span.end();

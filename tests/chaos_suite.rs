@@ -533,7 +533,16 @@ fn run_async_setup(seed: u64) -> RunReport {
             }
         }
         assert!(attempts >= 1, "the partition must bite at least once");
-        let session = new_session(&ctx);
+        // This scenario asserts *eager* construct semantics — a group
+        // construct with a dead member must fail at construct time. Pin
+        // the mode so the ci.sh INIT_MODE=lazy sweep (where constructs
+        // are local and failure surfaces on first send instead) doesn't
+        // change what it tests.
+        use mpi_sessions_repro::mpi::info::keys;
+        let info = Info::new();
+        info.set(keys::INIT_MODE, "eager");
+        let session =
+            Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
         let process = MpiProcess::obtain(&ctx);
         let world_group = session.group_from_pset("mpi://world").unwrap();
         // Batch 1: pipelined constructs whose group stages straddle the
@@ -619,6 +628,119 @@ fn run_async_setup(seed: u64) -> RunReport {
     report
 }
 
+/// Lazy init: fence-free sessions under a delayed control plane, plus a
+/// graceful retirement mid-run. Every on-demand peer resolution crosses
+/// the delayed server↔server dmodex path and must still terminate; a
+/// post-retirement send to the departed rank must fail *typed* (its
+/// business card is purged, so the resolver reports the failure instead
+/// of handing out a dangling endpoint). The `lazy-resolve-terminal`
+/// invariant then audits that every `begin` on every rank reached an
+/// `end` with outcome `resolved` or `failed`.
+fn run_lazy_init(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::info::keys;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+
+    const PSET: &str = "app://chaos-lazy";
+    const RETIREE: u32 = 3;
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Delay,
+            RuleScope::pair_within(1, 3),
+            SeqWindow::first(2),
+        )
+        .with_delay_ms(20)],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-lazy-{seed}");
+    let (tx, rx) = mpsc::channel::<u32>();
+    let retired_flag = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&retired_flag);
+    let ns = nspace.clone();
+    let handle = world.launcher().spawn_named(
+        &nspace,
+        JobSpec::new(4).with_pset(PSET, vec![0, 1, 2, 3]),
+        move |ctx| {
+            let info = Info::new();
+            info.set(keys::INIT_MODE, "lazy");
+            let session =
+                Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+            assert!(session.is_lazy());
+            let g = session.group_from_pset("mpi://world").unwrap();
+            let c = Comm::create_from_group(&g, "lazy-chaos").unwrap();
+            // Ring exchange only — no allreduce — so rank 1 never touches
+            // rank 3: its route to the retiree stays unresolved, which is
+            // exactly what the post-retirement probe below needs. The two
+            // cross-node hops (1→2 and 3→0) force active resolutions whose
+            // dmodex traffic rides the delayed server pair.
+            let np = c.size();
+            let right = (ctx.rank() + 1) % np;
+            let left = (ctx.rank() + np - 1) % np;
+            let payload = vec![ctx.rank() as u8; 4];
+            let (got, _) = c.sendrecv(right, 7, &payload, left as i32, 7).unwrap();
+            assert_eq!(got, vec![left as u8; 4]);
+            tx.send(ctx.rank()).unwrap();
+            if ctx.rank() == RETIREE {
+                // The retiree leaves gracefully: local teardown, then the
+                // driver's retire_ranks joins this thread and purges its
+                // KVS business card from every server shard.
+                c.free().unwrap();
+                session.finalize().unwrap();
+                return 1u32;
+            }
+            while !flag.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if ctx.rank() == 1 {
+                // First contact with the departed rank: the lazy resolve
+                // must fail typed — card purged, no dangling endpoint.
+                let err = c.send(RETIREE, 9, b"late").unwrap_err();
+                let msg = err.to_string();
+                assert!(
+                    msg.contains(&format!("{ns}:{RETIREE}")),
+                    "failure must name the departed peer, got: {msg}"
+                );
+            }
+            c.free().unwrap();
+            session.finalize().unwrap();
+            1u32
+        },
+    );
+    let ctl = handle.ctl();
+    for _ in 0..4 {
+        rx.recv_timeout(Duration::from_secs(30)).expect("ring ack");
+    }
+    let retired = ctl.retire_ranks(&[RETIREE], Some(PSET)).unwrap();
+    assert_eq!(retired, vec![1]);
+    retired_flag.store(true, Ordering::Release);
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![1, 1, 1], "all survivors complete the lazy run");
+
+    let obs = world.universe().fabric().obs();
+    // Fence-free means fence-free, faults or not: no collective setup ran.
+    assert_eq!(obs.sum_counters("pmix", "fence_completed"), 0);
+    assert_eq!(obs.sum_counters("pmix", "group_construct_completed"), 0);
+    assert_eq!(obs.sum_counters("pmix", "stage_fanin"), 0);
+    assert_eq!(obs.sum_counters("pmix", "stage_fanout"), 0);
+    // Resolution went through the KVS, and the retirement purged it.
+    assert!(obs.sum_counters("pmix", "lazy_gets") > 0, "active resolution happened");
+    assert!(obs.sum_counters("pmix", "kvs_purged") > 0, "retirement purged the card");
+    // The probe's resolution terminated with a typed failure.
+    assert!(
+        obs.events_named("pml.lazy_resolve")
+            .iter()
+            .any(|e| e.attr("outcome").and_then(|v| v.as_str()) == Some("failed")),
+        "the post-retirement resolve must end failed"
+    );
+    let cid = rank_processes(&world, 0..4);
+    let report = world.finish(None, cid);
+    assert!(!report.trace.is_empty(), "the dmodex path must cross the delay rule");
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Delay && r.detail == 20));
+    report.assert_clean();
+    report
+}
+
 type Scenario = fn(u64) -> RunReport;
 
 const SCENARIOS: &[(&str, Scenario)] = &[
@@ -630,6 +752,7 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("elastic", run_elastic),
     ("soak", run_soak),
     ("async_setup", run_async_setup),
+    ("lazy_init", run_lazy_init),
 ];
 
 // ---------------------------------------------------------------------------
@@ -689,6 +812,13 @@ fn soak_seeds_churn_leak_free_through_faults() {
 fn async_setup_seeds_terminate_every_request() {
     for seed in [91, 92, 93, 94] {
         run_async_setup(seed);
+    }
+}
+
+#[test]
+fn lazy_init_seeds_resolve_through_delays_and_fail_typed_after_retire() {
+    for seed in [71, 72, 73, 74] {
+        run_lazy_init(seed);
     }
 }
 
