@@ -67,12 +67,17 @@ cargo test -q --offline --test properties prop_async_setup_any_completion_order_
 # requests, checked by the request-terminal invariant) additionally run
 # here under four pinned seeds via the CHAOS_SEEDS knob, exercising the
 # epoch-monotonicity / stale-epoch / rebuild-epoch / resource-lifecycle /
-# request-terminal invariants end to end.
+# request-terminal invariants end to end. The four fault-recovery
+# scenarios (correlated multi-node kills, a partition biting the rebuild
+# fan-in, a kill landing during lazy on-demand resolution, and cascading
+# rebuilds racing a second fault) additionally drive the survivors-pset /
+# watch_faults / repair_via_pset layer under the survivors-exclude-dead
+# invariant.
 # Override or extend the lists by exporting CHAOS_SEEDS (comma-separated
 # u64s) or CHAOS_SCENARIOS yourself, e.g. CHAOS_SEEDS=90,91 ./ci.sh
-echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}) =="
+echo "== chaos sweep (CHAOS_SEEDS=${CHAOS_SEEDS:-71,72,73,74} CHAOS_SCENARIOS=${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init,correlated_kills,partition_rebuild,kill_lazy_resolve,cascade_rebuild}) =="
 CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
-CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init,correlated_kills,partition_rebuild,kill_lazy_resolve,cascade_rebuild}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
 
 # Lazy-mode sweep: the same scenario set with the universe default flipped
@@ -84,7 +89,7 @@ CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}" \
 echo "== chaos sweep under INIT_MODE=lazy =="
 INIT_MODE=lazy \
 CHAOS_SEEDS="${CHAOS_SEEDS:-71,72,73,74}" \
-CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init}" \
+CHAOS_SCENARIOS="${CHAOS_SCENARIOS:-elastic,soak,async_setup,lazy_init,correlated_kills,partition_rebuild,kill_lazy_resolve,cascade_rebuild}" \
   cargo test -q --offline --test chaos_suite chaos_seeds_env
 
 # Soak gate: a smoke-sized run of the sessions-as-a-service churn harness
@@ -132,14 +137,21 @@ rm -f "$intro_tmp"
 # counts, protocol counters — never wall time) against the committed
 # baseline. BENCH_TOL sets the per-leaf relative tolerance (default 5%);
 # regenerate the baseline after an intentional perf change with
-#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR9.json
+#   cargo run --release -p bench-harness --bin bench_gate -- --out BENCH_PR10.json
 # The binary also hard-enforces (exit 2, no tolerance) the PGCID batching
 # bound and the nonblocking-overlap bound: 8 concurrent icomms must
 # coalesce into strictly fewer pgcid.request round trips — and a strictly
 # shorter serialized critical path — than 8 blocking constructs.
 echo "== bench gate (tol ${BENCH_TOL:-0.05}) =="
 cargo run -q --offline --release -p bench-harness --bin bench_gate -- \
-  --check BENCH_PR9.json --tol "${BENCH_TOL:-0.05}"
+  --check BENCH_PR10.json --tol "${BENCH_TOL:-0.05}"
+
+# Recovery smoke: the checkpoint-free restart drill (apps::recover via
+# fig_recover) must survive two injected kills — every survivor finishes
+# all steps at the shrunk width, the victims exit Removed, and the
+# settle-latency rows land in target/figures/fig_recover.json.
+echo "== recovery smoke (fig_recover: 2 kills, checkpoint-free restart) =="
+cargo run -q --offline --release -p bench-harness --bin fig_recover -- >/dev/null
 
 # Doc-drift gate: docs/TUNING.md is generated from the live cvar registry
 # (cvar_dump --markdown). Regenerate into a temp file and diff — a knob

@@ -16,11 +16,15 @@
 //!   modified `main_bench_lat_bw` (§IV-D);
 //! * [`mesh2`] — a miniature of the LANL 2MESH multi-physics application:
 //!   an MPI-everywhere library (L0) interleaved with an MPI+threads
-//!   library (L1) whose quiescence runs through QUO (§IV-E).
+//!   library (L1) whose quiescence runs through QUO (§IV-E);
+//! * [`recover`] — the checkpoint-free fault-recovery loop (DESIGN.md
+//!   §15): a ring allreduce with bounded typed waits that repairs its
+//!   communicator through injected kills via the survivors pset.
 
 pub mod hpcc;
 pub mod mesh2;
 pub mod osu;
+pub mod recover;
 
 use serde::{Deserialize, Serialize};
 

@@ -7,14 +7,14 @@
 //! numbers only**: logical critical-path costs and span/stage counts from
 //! the causal trace (work counters, never wall time) and an allowlist of
 //! protocol counters. Two runs of the same binary produce byte-identical
-//! JSON, so the committed baseline (`BENCH_PR9.json`) acts as a perf
+//! JSON, so the committed baseline (`BENCH_PR10.json`) acts as a perf
 //! fingerprint: a change that adds work to a hot path (an extra PGCID
 //! round trip, a redundant handshake, a new fence stage) moves a number
 //! and fails the gate instead of sliding silently into the trace.
 //!
 //! Usage:
-//!   `bench_gate --out BENCH_PR9.json`         regenerate the baseline
-//!   `bench_gate --check BENCH_PR9.json [--tol 0.05]`
+//!   `bench_gate --out BENCH_PR10.json`         regenerate the baseline
+//!   `bench_gate --check BENCH_PR10.json [--tol 0.05]`
 //!                                             re-run and diff against it
 //!
 //! `--tol` is the per-leaf relative tolerance (ci.sh passes `BENCH_TOL`).
@@ -343,6 +343,86 @@ fn run_soak(waves: u64) -> Value {
     fold_racy_data_split(extract(&launcher.universe().fabric().obs()))
 }
 
+/// Recovery shape: the fault protocol's fixed-cost path — one kill, the
+/// survivors pset prunes, every survivor repairs at the settled epoch
+/// (`Comm::repair_via_pset`) and resumes collectives at the shrunk width.
+/// The kill is driver-paced against parked survivors (blocked in the
+/// fault watcher, generating no traffic), so no request ever times out or
+/// retries: the fingerprint is the protocol's deterministic recovery cost
+/// — death fanout, pset prune, epoch-pinned rebuild — not a racy settle
+/// path. The eager/ext data split folds as in the other workloads.
+fn run_recover() -> Value {
+    use mpi_sessions::{coll, ReduceOp};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let launcher = Launcher::new(SimTestbed::tiny(2, 2));
+    let (tx, rx) = mpsc::channel::<(u32, u32)>();
+    let handle = launcher.spawn_named("gate-recover", JobSpec::new(4), move |ctx| {
+        let session = mpi_sessions::Session::init(
+            &ctx,
+            mpi_sessions::ThreadLevel::Single,
+            mpi_sessions::ErrHandler::Return,
+            &mpi_sessions::Info::null(),
+        )
+        .expect("session init");
+        let pset = session.track_faults().expect("track_faults");
+        let mut faults = session.watch_faults().expect("watch_faults");
+        let world = session
+            .group_from_pset(mpi_sessions::session::PSET_WORLD)
+            .expect("world group");
+        let comm = Comm::create_from_group(&world, "gate-recover").expect("comm");
+        let sum = coll::allreduce_t(&comm, ReduceOp::Sum, &[1u32]).expect("allreduce")[0];
+        tx.send((ctx.rank(), sum)).expect("ack");
+        if ctx.rank() == 3 {
+            // Victim: park (registry reads only) until the kill lands.
+            for _ in 0..1000 {
+                let sg = session.surviving_group(mpi_sessions::session::PSET_WORLD).unwrap();
+                if sg.iter().all(|m| m.proc.rank() != 3) {
+                    comm.abandon();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            panic!("victim never observed its own failure");
+        }
+        let dead = faults.next_timeout(Duration::from_secs(30)).expect("death event");
+        assert_eq!(dead.rank(), 3);
+        let registry = mpi_sessions::instance::MpiProcess::obtain(&ctx)
+            .universe()
+            .registry()
+            .clone();
+        // Wait for the bridge to prune the corpse, then repair one-shot at
+        // the settled epoch: no Stale/ProcTerminated/Timeout retries, so
+        // the message counts stay protocol-fixed.
+        let epoch = loop {
+            let (epoch, members) =
+                registry.pset_members_versioned(&pset).expect("survivors pset");
+            if members.len() == 3 {
+                break epoch;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let repaired = comm.repair_via_pset(&session, &pset, epoch).expect("repair");
+        let sum = coll::allreduce_t(&repaired, ReduceOp::Sum, &[1u32]).expect("allreduce")[0];
+        tx.send((ctx.rank(), sum)).expect("ack");
+        repaired.free().expect("free repaired");
+        comm.abandon();
+        session.finalize().expect("finalize");
+    });
+    for _ in 0..4 {
+        let (rank, sum) = rx.recv_timeout(Duration::from_secs(60)).expect("world ack");
+        assert_eq!(sum, 4, "rank {rank} saw the wrong world width");
+    }
+    handle.kill_rank(3);
+    for _ in 0..3 {
+        let (rank, sum) = rx.recv_timeout(Duration::from_secs(60)).expect("repair ack");
+        assert_eq!(sum, 3, "rank {rank} settled at the wrong width");
+    }
+    handle.join().expect("recover workload");
+    fold_racy_data_split(extract(&launcher.universe().fabric().obs()))
+}
+
 /// Nonblocking-overlap shape: K communicator constructions from one world
 /// group, once as sequential blocking calls and once issued concurrently
 /// as setup requests, both with PGCID block grants disabled so every
@@ -542,6 +622,8 @@ fn main() {
     workloads.insert("fig_elastic_churn_2x4".into(), run_elastic());
     eprintln!("bench_gate: soak churn point");
     workloads.insert("fig_soak_churn_2x2".into(), run_soak(8));
+    eprintln!("bench_gate: fault recovery point");
+    workloads.insert("fig_recover_kill_2x2".into(), run_recover());
     eprintln!("bench_gate: nonblocking overlap point");
     workloads.insert("async_overlap_icomm_np2".into(), run_overlap_icomm(8));
     let n_workloads = workloads.len();

@@ -103,6 +103,10 @@ fn exercised_by(name: &str) -> &'static str {
         "pmix.pgcid_block" => {
             "`bench_gate` pgcid-batching hard bound; `abl_cid_fragmentation`"
         }
+        "pmix.group_timeout_ms" => {
+            "chaos `partition_rebuild` scenario (cvar_write to 800 ms); \
+             `fig_recover` / apps recovery tests via the legacy setter"
+        }
         "pmix.server_shards" => "introspect gate (`introspect_dump` shard rows)",
         "pmix.epoch_retention_cap" => "`fig_soak` epoch ring-bound checks",
         "registry.gc_enabled" => "ci.sh `fig_soak --no-gc` negative run",

@@ -135,6 +135,23 @@ impl ChaosWorld {
         expected_dead.extend(self.explicit_kills.lock().iter().copied());
         let obs = fabric.obs();
         let any_kills = !expected_dead.is_empty();
+        // Snapshot every tracked survivors pset (`Session::track_faults`)
+        // down to endpoints, so the checker can audit that no killed
+        // process is still listed as a survivor.
+        let registry = self.universe().registry();
+        let tracked_psets: Vec<(String, Vec<simnet::EndpointId>)> = registry
+            .pset_names()
+            .into_iter()
+            .filter(|n| n.starts_with(pmix::SURVIVORS_PSET_PREFIX))
+            .filter_map(|n| {
+                let members = registry.pset_members(&n).ok()?;
+                let eps = members
+                    .iter()
+                    .filter_map(|p| registry.locate(p).ok().map(|e| e.endpoint))
+                    .collect();
+                Some((n, eps))
+            })
+            .collect();
         let violations = InvariantChecker::standard().check(&InvariantCtx {
             obs: &obs,
             fabric,
@@ -142,6 +159,7 @@ impl ChaosWorld {
             expected_dead,
             reinit_ok,
             cid_agree,
+            tracked_psets,
         });
         // Auto-attach the flight recorder whenever there is something to
         // diagnose: a violated invariant or an injected/explicit kill.

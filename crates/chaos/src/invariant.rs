@@ -59,6 +59,13 @@
 //!     forever behind a KVS fetch the fault schedule wedged; an end with
 //!     no begin (per peer) is resolver bookkeeping gone wrong.
 //!
+//! 15. **survivors-exclude-dead** — at run end, no tracked survivors pset
+//!     (`mpi://survivors/...`, the queryable faults pset maintained by the
+//!     failure bridge) still names a process whose endpoint the run killed.
+//!     A dead member lingering there means the bridge's prune raced or
+//!     lost the death, and every epoch-pinned repair over the pset would
+//!     re-admit a corpse.
+//!
 //! Ring overflow (`events_dropped > 0`) is itself a violation: the event-
 //! based checks are only sound over a complete ring, so scenarios must be
 //! sized to fit it.
@@ -98,6 +105,10 @@ pub struct InvariantCtx<'a> {
     pub reinit_ok: Option<bool>,
     /// Process names whose `cid` counters must agree (symmetric scenarios).
     pub cid_agree: Vec<String>,
+    /// Final membership of every tracked survivors pset, resolved to
+    /// endpoints (name, member endpoints). The harness snapshots these from
+    /// the registry at `finish()`.
+    pub tracked_psets: Vec<(String, Vec<EndpointId>)>,
 }
 
 /// The invariant suite. Construct with [`InvariantChecker::standard`] and
@@ -127,6 +138,7 @@ impl InvariantChecker {
         self.check_request_terminal(ctx, &mut out);
         self.check_stall_terminal(ctx, &mut out);
         self.check_lazy_resolve_terminal(ctx, &mut out);
+        self.check_survivors_exclude_dead(ctx, &mut out);
         out
     }
 
@@ -514,6 +526,23 @@ impl InvariantChecker {
         }
     }
 
+    fn check_survivors_exclude_dead(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
+        let dead: BTreeSet<EndpointId> = ctx.expected_dead.iter().copied().collect();
+        for (pset, members) in &ctx.tracked_psets {
+            for ep in members {
+                if dead.contains(ep) {
+                    out.push(Violation {
+                        invariant: "survivors-exclude-dead",
+                        detail: format!(
+                            "survivors pset '{pset}' still names killed endpoint {ep:?} \
+                             at run end — the failure bridge never pruned it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     fn check_cid_agreement(&self, ctx: &InvariantCtx<'_>, out: &mut Vec<Violation>) {
         for name in ["refills", "derivations"] {
             let values: BTreeSet<u64> = ctx
@@ -559,6 +588,7 @@ mod tests {
             expected_dead: Vec::new(),
             reinit_ok: None,
             cid_agree: Vec::new(),
+            tracked_psets: Vec::new(),
         }
     }
 
@@ -824,6 +854,26 @@ mod tests {
         let v = InvariantChecker::standard().check(&ctx_for(&obs, &fabric, &[]));
         assert_eq!(v.len(), 1, "got: {v:?}");
         assert!(v[0].detail.contains("untyped outcome"));
+    }
+
+    #[test]
+    fn dead_member_in_survivors_pset_is_flagged() {
+        let fabric = Fabric::new(CostModel::zero());
+        let obs = fabric.obs();
+        let a = fabric.register(NodeId(0));
+        let b = fabric.register(NodeId(0));
+        fabric.kill(a.id());
+        let mut ctx = ctx_for(&obs, &fabric, &[]);
+        ctx.expected_dead = vec![a.id()];
+        // Live member only: clean.
+        ctx.tracked_psets = vec![("mpi://survivors/j".into(), vec![b.id()])];
+        let v = InvariantChecker::standard().check(&ctx);
+        assert!(v.is_empty(), "pruned pset flagged: {v:?}");
+        // The killed endpoint still listed: the bridge lost the prune.
+        ctx.tracked_psets = vec![("mpi://survivors/j".into(), vec![a.id(), b.id()])];
+        let v = InvariantChecker::standard().check(&ctx);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert_eq!(v[0].invariant, "survivors-exclude-dead");
     }
 
     #[test]

@@ -280,7 +280,7 @@ impl Comm {
                 let pending = process.pmix().group_construct_nb(
                     &name,
                     &members,
-                    &GroupDirectives::for_mpi(),
+                    &mpi_directives(&process),
                 )?;
                 let commit = commit_stage(process, dense, None);
                 Ok(SetupStep::Next(Box::new(GroupStage {
@@ -417,6 +417,15 @@ impl Comm {
 
     pub(crate) fn irecv_internal(&self, src: Option<u32>, tag: Option<i32>) -> Result<Request> {
         let inner = self.process.pml().irecv(self.inner.local_cid, src, tag)?;
+        // A named-source receive can only ever be completed by that one
+        // peer: record its endpoint so a fault-aware wait can fail fast
+        // (typed) when the peer is already dead, instead of burning its
+        // whole timeout budget on a message that can never arrive.
+        if let Some(s) = src {
+            if let Some(m) = self.inner.group.member(s as usize) {
+                inner.set_waiting_on(m.endpoint);
+            }
+        }
         Ok(Request::new(inner, self.process.pml().clone()))
     }
 
@@ -693,7 +702,7 @@ impl Comm {
                 let pending = process.pmix().group_construct_nb(
                     &name,
                     &members,
-                    &GroupDirectives::for_mpi(),
+                    &mpi_directives(&process),
                 )?;
                 let commit = commit_stage(process, group, None);
                 Ok(SetupStep::Next(Box::new(GroupStage {
@@ -788,7 +797,7 @@ impl Comm {
         let pending = self.process.pmix().group_construct_nb(
             &name,
             &members,
-            &GroupDirectives::for_mpi(),
+            &mpi_directives(&self.process),
         )?;
         let parent = self.clone();
         let commit = commit_stage(
@@ -948,7 +957,7 @@ impl Comm {
             let pgroup = self
                 .process
                 .pmix()
-                .group_construct(&name, &members, &GroupDirectives::for_mpi())?;
+                .group_construct(&name, &members, &mpi_directives(&self.process))?;
             let pgcid = pgroup.pgcid().ok_or_else(|| MpiError::intern("no PGCID"))?;
             let local_cid = self.process.claim_lowest_cid(FIRST_DYNAMIC_CID)?;
             Comm::build(
@@ -987,6 +996,103 @@ impl Comm {
                 None,
             )
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-aware repair
+    // ------------------------------------------------------------------
+
+    /// Fault-shrink (`MPIX_Comm_shrink` analog): build a replacement
+    /// communicator over this communicator's still-live members, via a
+    /// fresh `MPI_Comm_create_from_group` tagged `shrink:{tag}` — a
+    /// collective over exactly the survivors, which every survivor must
+    /// call with the same `tag`. Dead peers are evicted from the PML
+    /// handshake cache on the way out, so a later incarnation on the same
+    /// endpoint is never trusted with a stale `CidAdvert`.
+    ///
+    /// Fails typed [`ErrClass::ProcTerminated`] when the *caller* is
+    /// itself marked dead (it cannot be part of any survivor collective).
+    pub fn shrink(&self, tag: &str) -> Result<Comm> {
+        self.check_live()?;
+        let fabric = self.process.universe().fabric().clone();
+        let mut survivors = Vec::new();
+        for m in self.inner.group.iter() {
+            if fabric.is_alive(m.endpoint) {
+                survivors.push(m);
+            } else {
+                self.process.pml().invalidate_peer(m.endpoint);
+            }
+        }
+        if !survivors.iter().any(|m| &m.proc == self.process.proc()) {
+            return Err(MpiError::new(
+                ErrClass::ProcTerminated,
+                "calling process is marked dead; it cannot join the shrunk communicator",
+            ));
+        }
+        let group = MpiGroup::from_members(survivors)
+            .bind(self.process.clone())
+            .mark_lazy(self.inner.group.is_lazy());
+        Comm::create_from_group(&group, &format!("shrink:{tag}"))
+    }
+
+    /// Repair by re-deriving from a pset at a pinned epoch (the recovery
+    /// loop's step once a fault has settled into the registry): resolves
+    /// `pset` only if the registry is still exactly at `epoch`, sanity
+    /// checks the snapshot, and rebuilds via `MPI_Comm_create_from_group`
+    /// tagged `repair:{pset}@{epoch}` — collective over the members of
+    /// that epoch.
+    ///
+    /// Errors are typed so a recovery loop can branch without string
+    /// matching:
+    /// * [`ErrClass::Stale`] — the registry moved past `epoch` (another
+    ///   fault or churn landed): observe the newer epoch and retry;
+    /// * [`ErrClass::ProcTerminated`] — the pinned membership already
+    ///   contains a member the fabric marked dead (a fault raced the pset
+    ///   shrink): wait for the shrink event and retry;
+    /// * [`ErrClass::Group`] — the caller is not in the membership (it
+    ///   was itself removed): stop repairing;
+    /// * [`ErrClass::Timeout`] — the rebuild collective itself timed out
+    ///   (e.g. a partition): retry within the caller's budget.
+    pub fn repair_via_pset(
+        &self,
+        session: &crate::session::Session,
+        pset: &str,
+        epoch: u64,
+    ) -> Result<Comm> {
+        self.check_live()?;
+        let group = session.group_from_pset_at(pset, epoch)?;
+        if group.rank_of(self.process.proc()).is_none() {
+            return Err(MpiError::new(
+                ErrClass::Group,
+                format!("caller is not a member of pset '{pset}' at epoch {epoch}"),
+            ));
+        }
+        let fabric = self.process.universe().fabric();
+        for m in group.iter() {
+            if !fabric.is_alive(m.endpoint) {
+                return Err(MpiError::new(
+                    ErrClass::ProcTerminated,
+                    format!(
+                        "repair pset '{pset}'@{epoch} still includes dead member {}",
+                        m.proc
+                    ),
+                ));
+            }
+        }
+        let group = group.mark_lazy(session.is_lazy());
+        Comm::create_from_group(&group, &format!("repair:{pset}@{epoch}"))
+    }
+
+    /// Locally retire a communicator whose membership has diverged — a
+    /// member died, so the collective [`Comm::free`] could never complete.
+    /// Reclaims the local CID and PML route and leaves the PMIx group
+    /// behind for the server's GC. Recovery loops call this on the broken
+    /// communicator once [`Comm::shrink`] / [`Comm::repair_via_pset`] has
+    /// handed them a replacement; it is also the right teardown when
+    /// different ranks may have observed faults asymmetrically (one rank
+    /// freeing while another abandons would strand the collective).
+    pub fn abandon(self) {
+        self.abandon_local();
     }
 
     /// Locally retire this communicator without the collective free: the
@@ -1086,6 +1192,13 @@ pub(crate) fn lazy_pgcid(stringtag: &str, members: &[pmix::ProcId]) -> u64 {
         h = eat(h, m.to_string().as_bytes());
     }
     h | (1 << 63)
+}
+
+/// The MPI-profile group directives, with the construct deadline read from
+/// the universe's `pmix.group_timeout_ms` cvar instead of the compile-time
+/// default — fault drills lower it to get fast typed `Timeout` verdicts.
+fn mpi_directives(process: &MpiProcess) -> GroupDirectives {
+    GroupDirectives::for_mpi().with_timeout(Some(process.universe().group_timeout()))
 }
 
 fn group_process(group: &MpiGroup) -> Result<Arc<MpiProcess>> {

@@ -238,40 +238,57 @@ impl ElasticComm {
     /// handshake cache for every departed peer, and build the replacement
     /// via `MPI_Comm_create_from_group` tagged `rebuild:{pset}@{epoch}` —
     /// a collective over exactly the members of that epoch.
+    ///
+    /// A fault racing the rebuild is survived, not surfaced: if a member
+    /// of the pinned epoch dies after the epoch is pinned but before the
+    /// `create_from_group` fan-in completes, the fan-in fails *typed* on
+    /// every survivor (the PMIx servers detect the dead member at their
+    /// own first arrival — it never stalls), and this loop re-enters to
+    /// consume the death's own membership event and rebuild at the newer
+    /// epoch. A fan-in that times out instead (e.g. a partition straddling
+    /// the rebuild) is retried at the same epoch while the caller's budget
+    /// lasts. Only a non-transient error (or the budget expiring) returns
+    /// `Err`.
     pub fn next_rebuild(&mut self, timeout: Duration) -> Result<Rebuild> {
-        let update = loop {
-            let u = self.watcher.next_timeout(timeout).ok_or_else(|| {
-                MpiError::new(
-                    ErrClass::Timeout,
-                    format!("no change to pset '{}' within {timeout:?}", self.pset),
-                )
-            })?;
-            if u.pset == self.pset {
-                break u;
-            }
-        };
-        let process = self.session.process().clone();
-        let obs = process.obs();
-        let p = process.proc().to_string();
-        let me = process.proc().clone();
+        let deadline = std::time::Instant::now() + timeout;
+        let mut stale_unexpected = 0u64;
+        'events: loop {
+            let update = loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                let u = self.watcher.next_timeout(left).ok_or_else(|| {
+                    MpiError::new(
+                        ErrClass::Timeout,
+                        format!("no change to pset '{}' within {timeout:?}", self.pset),
+                    )
+                })?;
+                if u.pset == self.pset {
+                    break u;
+                }
+            };
+            let process = self.session.process().clone();
+            let obs = process.obs();
+            let p = process.proc().to_string();
+            let me = process.proc().clone();
 
-        // Retire the old communicator first, whatever happens next: any
-        // message still unexpected-queued on it was addressed to a stale
-        // epoch and must never be delivered to the rebuilt communicator.
-        let stale_unexpected = self.retire_current(&update, &obs, &p);
+            // Retire the old communicator first, whatever happens next: any
+            // message still unexpected-queued on it was addressed to a stale
+            // epoch and must never be delivered to the rebuilt communicator.
+            stale_unexpected += self.retire_current(&update, &obs, &p);
 
-        match update.kind {
-            PsetUpdateKind::Deleted => {
-                self.epoch = update.epoch;
-                self.members.clear();
-                Ok(Rebuild::Deleted { epoch: update.epoch })
+            match update.kind {
+                PsetUpdateKind::Deleted => {
+                    self.epoch = update.epoch;
+                    self.members.clear();
+                    return Ok(Rebuild::Deleted { epoch: update.epoch });
+                }
+                _ if !update.members.contains(&me) => {
+                    self.epoch = update.epoch;
+                    self.members = update.members;
+                    return Ok(Rebuild::Retired { epoch: self.epoch });
+                }
+                _ => {}
             }
-            _ if !update.members.contains(&me) => {
-                self.epoch = update.epoch;
-                self.members = update.members;
-                Ok(Rebuild::Retired { epoch: self.epoch })
-            }
-            _ => {
+            let comm = loop {
                 let mut span = obs.span(
                     &p,
                     "session.rebuild",
@@ -304,28 +321,66 @@ impl ElasticComm {
                             .collect::<Result<_>>()?;
                         Ok(MpiGroup::from_members(refs).bind(process.clone()))
                     })?;
-                let comm = Comm::create_from_group(
+                match Comm::create_from_group(
                     &group,
                     &format!("rebuild:{}@{}", self.pset, update.epoch),
-                )?;
-                let pgcid = comm.excid().map(|e| e.pgcid).unwrap_or(0);
-                self.comm = Some(comm);
-                self.epoch = update.epoch;
-                self.members = update.members;
-                obs.counter(&p, "session", "rebuilds").inc();
-                obs.event(
-                    &p,
-                    "session",
-                    "session.rebuild",
-                    vec![
-                        ("pset".into(), self.pset.as_str().into()),
-                        ("epoch".into(), self.epoch.into()),
-                        ("pgcid".into(), pgcid.into()),
-                        ("stale_unexpected".into(), stale_unexpected.into()),
-                    ],
-                );
-                Ok(Rebuild::Rebuilt { epoch: self.epoch })
-            }
+                ) {
+                    Ok(c) => break c,
+                    Err(e)
+                        if matches!(
+                            e.class,
+                            ErrClass::ProcFailed | ErrClass::ProcTerminated
+                        ) =>
+                    {
+                        // A second fault landed mid-rebuild. The failure
+                        // bridge marks the death before it shrinks psets,
+                        // so this pset's next membership event is already
+                        // queued (or imminent) on our watcher: consume it
+                        // and rebuild at the newer epoch.
+                        obs.counter(&p, "session", "rebuild_reentered").inc();
+                        obs.event(
+                            &p,
+                            "session",
+                            "rebuild.reenter",
+                            vec![
+                                ("pset".into(), self.pset.as_str().into()),
+                                ("epoch".into(), update.epoch.into()),
+                                ("error".into(), e.to_string().into()),
+                            ],
+                        );
+                        continue 'events;
+                    }
+                    Err(e)
+                        if e.class == ErrClass::Timeout
+                            && std::time::Instant::now() < deadline =>
+                    {
+                        // Transient: the collective aborted symmetrically
+                        // on every participant, so a retry at the same
+                        // epoch is well-formed. Keep trying while the
+                        // caller's budget lasts.
+                        obs.counter(&p, "session", "rebuild_retries").inc();
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            let pgcid = comm.excid().map(|e| e.pgcid).unwrap_or(0);
+            self.comm = Some(comm);
+            self.epoch = update.epoch;
+            self.members = update.members;
+            obs.counter(&p, "session", "rebuilds").inc();
+            obs.event(
+                &p,
+                "session",
+                "session.rebuild",
+                vec![
+                    ("pset".into(), self.pset.as_str().into()),
+                    ("epoch".into(), self.epoch.into()),
+                    ("pgcid".into(), pgcid.into()),
+                    ("stale_unexpected".into(), stale_unexpected.into()),
+                ],
+            );
+            return Ok(Rebuild::Rebuilt { epoch: self.epoch });
         }
     }
 

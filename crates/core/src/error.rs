@@ -20,6 +20,13 @@ pub enum ErrClass {
     Truncate,
     /// `MPI_ERR_PROC_FAILED` (ULFM-style) — a peer process failed.
     ProcFailed,
+    /// A peer this operation was waiting on is *already known dead* when
+    /// the operation is issued or polled: the policy layer (fault-aware
+    /// waits, `Comm::repair_via_pset`, `ElasticComm` rebuild) returns this
+    /// instead of burning a timeout budget on a peer that can never answer.
+    /// Distinct from [`ErrClass::ProcFailed`], which reports a failure the
+    /// runtime *discovered* while the operation was in flight.
+    ProcTerminated,
     /// `MPI_ERR_UNSUPPORTED_OPERATION`.
     Unsupported,
     /// `MPI_ERR_SESSION` — invalid or finalized session.

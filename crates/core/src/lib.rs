@@ -87,6 +87,7 @@ pub use datatype::{MpiScalar, ReduceOp};
 pub use elastic::{ElasticComm, PsetUpdate, PsetUpdateKind, PsetWatcher, Rebuild};
 pub use errhandler::ErrHandler;
 pub use error::{ErrClass, MpiError, Result};
+pub use ft::{FailureNotifier, FaultWatcher};
 pub use group::MpiGroup;
 pub use info::Info;
 pub use request::{

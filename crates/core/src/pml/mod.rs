@@ -832,6 +832,10 @@ impl Pml {
                     send_req,
                     RdvSend { payload: payload.clone(), dst_ep, req: req.clone(), span: Some(span) },
                 );
+                // A rendezvous send completes only when `dst_ep` answers
+                // the RTS with a CTS; record the dependency so fault-aware
+                // waits can fail fast if the destination dies first.
+                req.set_waiting_on(dst_ep);
             }
             (dst_ep, bytes, ext.is_some(), is_ext_fallback, ext_ctx)
         };

@@ -94,6 +94,11 @@ struct ReqState {
     status: Option<Status>,
     data: Option<Bytes>,
     hook: Option<PollHook>,
+    /// The one endpoint whose process must act for this request to ever
+    /// complete (a named-source receive's sender, a rendezvous send's
+    /// destination). Fault-aware waits consult it to fail fast when that
+    /// peer is already dead instead of burning their whole timeout budget.
+    waiting_on: Option<simnet::EndpointId>,
 }
 
 /// Shared request core (engine side).
@@ -113,6 +118,7 @@ impl ReqInner {
                 status: None,
                 data: None,
                 hook: None,
+                waiting_on: None,
             }),
         })
     }
@@ -159,6 +165,18 @@ impl ReqInner {
         let mut st = self.state.lock();
         st.err = Some(err);
         st.done = true;
+    }
+
+    /// Record the endpoint this request's completion depends on (set by
+    /// the PML when the dependency is known: a named-source receive, a
+    /// rendezvous send awaiting its CTS).
+    pub fn set_waiting_on(&self, ep: simnet::EndpointId) {
+        self.state.lock().waiting_on = Some(ep);
+    }
+
+    /// The endpoint this request is known to be waiting on, if any.
+    pub fn waiting_on(&self) -> Option<simnet::EndpointId> {
+        self.state.lock().waiting_on
     }
 
     /// Completion check; runs the poll hook for collective requests.
@@ -247,6 +265,11 @@ impl Request {
     /// fabric quiesced, [`pmix::LogicalDeadline`]). Expiry surfaces as an
     /// [`ErrClass::Timeout`] error naming the request kind; the request
     /// stays live and a later `test`/`wait` can still claim it.
+    /// The wait also fails fast — typed [`ErrClass::ProcTerminated`], well
+    /// before the budget expires — when the one peer this request depends
+    /// on ([`ReqInner::waiting_on`]) is already dead and the fabric is
+    /// quiet: nothing that could still complete the request is in flight,
+    /// so burning the rest of the budget would only delay the verdict.
     pub fn wait_timeout(&mut self, budget: Duration) -> Result<Status> {
         let mut deadline = pmix::LogicalDeadline::new(self.pml.fabric(), budget);
         loop {
@@ -256,6 +279,31 @@ impl Request {
                     .status_snapshot()
                     .ok_or_else(|| MpiError::intern("completed request without status"));
             }
+            if let Some(ep) = self.inner.waiting_on() {
+                let fabric = self.pml.fabric();
+                if !fabric.is_alive(ep) && fabric.in_flight() == 0 {
+                    // One final sweep: a completion the dead peer sent
+                    // before dying may already sit in our mailbox, and a
+                    // delivered message must always beat the verdict.
+                    self.pml.progress(None);
+                    if self.inner.poll()? {
+                        return self
+                            .inner
+                            .status_snapshot()
+                            .ok_or_else(|| MpiError::intern("completed request without status"));
+                    }
+                    let err = MpiError::new(
+                        ErrClass::ProcTerminated,
+                        format!(
+                            "{:?} request waits on endpoint {ep:?}, whose process is dead \
+                             and the fabric is quiet: it can never complete",
+                            self.inner.kind()
+                        ),
+                    );
+                    self.inner.fail(err.clone());
+                    return Err(err);
+                }
+            }
             if deadline.expired() {
                 return Err(MpiError::new(
                     ErrClass::Timeout,
@@ -264,6 +312,25 @@ impl Request {
             }
             self.pml.progress(Some(Duration::from_millis(1)));
         }
+    }
+
+    /// [`Request::wait_timeout`] for receives: bounded wait returning the
+    /// payload bytes and status. Same typed verdicts as `wait_timeout` —
+    /// [`ErrClass::Timeout`] on budget expiry (the request stays live and
+    /// can be retried), fast [`ErrClass::ProcTerminated`] when the one
+    /// peer the receive depends on is dead and the fabric is quiet. This
+    /// is the primitive fault-aware application loops build on: every
+    /// blocking point has a bounded, typed exit instead of an unbounded
+    /// park on a message that can never arrive.
+    pub fn wait_data_timeout(&mut self, budget: Duration) -> Result<(Bytes, Status)> {
+        let status = self.wait_timeout(budget)?;
+        let data = self.inner.take_data().ok_or_else(|| {
+            MpiError::new(
+                ErrClass::Arg,
+                "wait_data_timeout on a request with no payload (send?)",
+            )
+        })?;
+        Ok((data, status))
     }
 
     /// `MPI_Wait` for receives, returning the payload bytes and status.
@@ -390,6 +457,13 @@ pub trait SetupStage<T>: Send {
     fn waiting_on(&self) -> Option<String> {
         None
     }
+    /// The one *process* whose cooperation this stage's completion depends
+    /// on, when the stage knows it (a lazy resolution's target peer).
+    /// Fault-aware waits consult it to fail the request fast — typed —
+    /// once that peer is known dead, instead of burning the timeout.
+    fn waiting_on_proc(&self) -> Option<pmix::ProcId> {
+        None
+    }
 }
 
 /// Watchdog-visible wrapper around one lazy peer resolution (lazy init's
@@ -422,6 +496,9 @@ impl SetupStage<()> for LazyResolveStage {
     }
     fn waiting_on(&self) -> Option<String> {
         Some(format!("business card of {}", self.peer))
+    }
+    fn waiting_on_proc(&self) -> Option<pmix::ProcId> {
+        Some(self.peer.clone())
     }
 }
 
@@ -612,6 +689,38 @@ impl<T> SetupCore<T> {
                 ("ticks".into(), self.ticks.into()),
             ],
         );
+    }
+
+    /// The peer the current stage says it depends on, if any.
+    fn waiting_on_proc(&self) -> Option<pmix::ProcId> {
+        match &self.phase {
+            SetupPhase::Running(s) => s.waiting_on_proc(),
+            _ => None,
+        }
+    }
+
+    /// Terminally fail the request from outside a stage poll (the
+    /// fault-aware wait's dead-peer verdict). Emits the same telemetry as
+    /// a stage failure so the request-terminal invariant still pairs
+    /// issuance with termination.
+    fn fail(&mut self, e: MpiError) {
+        let from = self.stage_name();
+        self.note_progress(from);
+        self.emit(
+            "req.failed",
+            vec![
+                ("stage".into(), from.into()),
+                ("error".into(), e.to_string().into()),
+            ],
+        );
+        if !self.quiet {
+            let p = self.process.proc().to_string();
+            self.process.obs().counter(&p, "req", "failed").inc();
+        }
+        self.phase = SetupPhase::Failed(e);
+        if let Some(span) = self.span.take() {
+            span.end();
+        }
     }
 
     /// What the request is parked on right now (stage-provided detail,
@@ -910,6 +1019,23 @@ impl<T: Send + 'static> SetupRequest<T> {
             core.step();
             match &mut core.phase {
                 SetupPhase::Running(_) => {
+                    // Fail fast on a stage parked on a peer that is
+                    // already dead: the stage can never complete, so the
+                    // request turns terminal (typed) rather than timing
+                    // out — and rather than hanging the collective drop.
+                    if let Some(peer) = core.waiting_on_proc() {
+                        if core.process.universe().proc_is_dead(&peer) {
+                            let err = MpiError::new(
+                                ErrClass::ProcTerminated,
+                                format!(
+                                    "setup request waits on dead peer {peer}: {}",
+                                    core.diagnosis()
+                                ),
+                            );
+                            core.fail(err.clone());
+                            return Err(err);
+                        }
+                    }
                     if deadline.expired() {
                         return Err(MpiError::new(
                             ErrClass::Timeout,

@@ -17,6 +17,7 @@ use mpi_sessions::session::PSET_WORLD;
 use mpi_sessions::{coll, CidOrigin, Comm, ErrHandler, Info, ReduceOp, Session, ThreadLevel};
 use prrte::{JobSpec, Launcher, ProcCtx};
 use simnet::SimTestbed;
+use std::time::Duration;
 
 fn lazy_info() -> Info {
     let info = Info::new();
@@ -281,4 +282,65 @@ fn retired_rank_kvs_card_is_purged_and_resolution_fails_typed() {
             "retired rank's KVS entries must be purged"
         );
     }
+}
+
+#[test]
+fn killed_peer_card_is_evicted_from_resolver_cache() {
+    // Regression test for the cache-invalidation fix: the per-process
+    // resolver cache used to keep serving a killed peer's business card,
+    // because `registry.locate` still succeeds for dead (never
+    // deregistered) procs — so a subscriber that learned of the death via
+    // `watch_faults` could turn around and "resolve" the corpse. After the
+    // fix, `PeerResolver::lookup` cross-checks the dead set and evicts the
+    // entry, so the cache converges to a miss once the death has landed.
+    let launcher = Launcher::new(SimTestbed::tiny(2, 1));
+    let handle = launcher.spawn(JobSpec::new(2), |ctx| {
+        let session = lazy_session(&ctx);
+        let group = session.group_from_pset(PSET_WORLD).unwrap();
+        let comm = Comm::create_from_group(&group, "evict").unwrap();
+        // Prime the cache: rank 0 lazily resolves rank 1's card.
+        if ctx.rank() == 0 {
+            comm.send(1, 7, b"ping").unwrap();
+            comm.recv(1, 8).unwrap();
+        } else {
+            comm.recv(0, 7).unwrap();
+            comm.send(0, 8, b"pong").unwrap();
+            // Victim: hold the endpoint open until the driver kills it.
+            std::thread::sleep(Duration::from_secs(5));
+            return None;
+        }
+        let peer = pmix::ProcId::new(ctx.proc().nspace(), 1);
+        let process = mpi_sessions::instance::MpiProcess::obtain(&ctx);
+        let resolver = process.pml().resolver().expect("lazy session has a resolver");
+        assert!(resolver.lookup(&peer).is_some(), "cache is primed before the kill");
+        let mut faults = session.watch_faults().unwrap();
+        let victim = faults.next_timeout(Duration::from_secs(10)).expect("fault");
+        assert_eq!(victim.rank(), 1);
+        // The fault has landed: the cached card must converge to a miss
+        // (the bridge marks server dead sets asynchronously, so poll).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while resolver.lookup(&peer).is_some() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "resolver cache still serves the dead peer's card"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // And a fresh send to the corpse fails typed, not with a dangling
+        // route from the stale card.
+        let err = comm.send(1, 9, b"to-the-dead").unwrap_err();
+        assert!(
+            matches!(
+                err.class,
+                mpi_sessions::ErrClass::ProcFailed | mpi_sessions::ErrClass::ProcTerminated
+            ),
+            "send to a dead peer must fail typed, got {err}"
+        );
+        session.finalize().unwrap();
+        Some(err.class)
+    });
+    std::thread::sleep(Duration::from_millis(400));
+    handle.kill_rank(1);
+    let out = handle.join().unwrap();
+    assert!(out[0].is_some());
 }

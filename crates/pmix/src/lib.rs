@@ -70,5 +70,5 @@ pub use server::{
     DEFAULT_PGCID_BLOCK, EPOCH_RETENTION_CAP, SERVER_SHARDS,
 };
 pub use types::{ProcId, Rank};
-pub use universe::PmixUniverse;
+pub use universe::{survivors_pset_name, PmixUniverse, SURVIVORS_PSET_PREFIX};
 pub use value::PmixValue;

@@ -538,6 +538,39 @@ impl NamespaceRegistry {
         affected
     }
 
+    /// Remove `proc` from one named pset (if live and containing it),
+    /// atomically under the emission lock. Returns the new epoch when a
+    /// change was emitted, `None` when there was nothing to do. The
+    /// graceful-retire path uses this to prune the survivors pset without
+    /// touching app psets (those shrink through their own retire protocol)
+    /// and without the read-modify-write race a
+    /// [`NamespaceRegistry::pset_members`] +
+    /// [`NamespaceRegistry::update_pset_membership`] pair would have
+    /// against a concurrent failure-bridge removal.
+    pub fn remove_proc_from_pset(&self, name: &str, proc: &ProcId) -> Option<u64> {
+        let _emit = self.emit.lock();
+        let (epoch, members) = {
+            let mut st = self.state.write();
+            let entry = st.psets.get(name).filter(|e| !e.deleted && e.members.contains(proc))?;
+            let members: Arc<Vec<ProcId>> =
+                Arc::new(entry.members.iter().filter(|p| *p != proc).cloned().collect());
+            st.pset_epoch += 1;
+            let epoch = st.pset_epoch;
+            let entry = st.psets.get_mut(name).expect("checked above");
+            entry.epoch = epoch;
+            entry.members = members.clone();
+            (epoch, members)
+        };
+        self.emit_change(PsetChange {
+            name: name.to_owned(),
+            epoch,
+            kind: PsetChangeKind::Membership,
+            members,
+            ctx: None,
+        });
+        Some(epoch)
+    }
+
     /// Remove a process set definition, leaving a tombstone so that late
     /// subscribers learn about the deletion during replay.
     pub fn undefine_pset(&self, name: &str) {

@@ -82,7 +82,10 @@ impl PeerResolver {
     pub fn lookup(&self, peer: &ProcId) -> Option<EndpointId> {
         let hit = self.cache.lock().get(peer).copied();
         let ep = hit?;
-        if self.server.registry().locate(peer).is_err() {
+        // Death does not deregister (identity is never recycled), so the
+        // locate() check alone would keep serving a dead peer's card: ask
+        // the server's dead set too.
+        if self.server.registry().locate(peer).is_err() || self.server.proc_is_dead(peer) {
             self.invalidate(peer);
             return None;
         }

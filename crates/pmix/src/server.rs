@@ -1144,10 +1144,17 @@ impl PmixServer {
         let mut st = shard.state.lock();
         let epoch = *st.epochs.get(&key).unwrap_or(&0);
         let op_id = OpId { kind, name: name.to_owned(), mhash, epoch };
-        // Participants may already be dead (failure observed earlier).
-        let dead_locals: Vec<ProcId> = {
+        // Participants may already be dead (failure observed earlier). The
+        // scan covers the *full* membership, not just this server's locals:
+        // a dead member homed on a remote node would otherwise stall the
+        // fan-in here forever — its own server gets no local arrival to
+        // detect the death against, and the failure sweep ran before this
+        // op existed. The failure bridge replicates the dead set to every
+        // server synchronously before any pset event fires, so each server
+        // reaches the same verdict at its own first arrival.
+        let dead_members: Vec<ProcId> = {
             let dead = self.dead.read();
-            locals.iter().filter(|p| dead.contains(*p)).cloned().collect()
+            sorted.iter().filter(|p| dead.contains(*p)).cloned().collect()
         };
         let op = st.ops.entry(op_id.clone()).or_insert_with(OpState::new);
         if op.expected_local.is_none() {
@@ -1169,10 +1176,13 @@ impl PmixServer {
             if let Some(p) = op.pending_pgcid.take() {
                 op.pgcid = Some(p);
             }
-            for d in dead_locals {
+            for d in dead_members {
                 if op.error_on_early_termination {
                     op.result = Some(Err(PmixError::ProcTerminated(d)));
                 } else if let Some(exp) = op.expected_local.as_mut() {
+                    // Tolerant ops (fences) just stop expecting the dead
+                    // local; a remote dead member is its own server's
+                    // problem and a no-op here.
                     exp.retain(|p| p != &d);
                 }
             }
@@ -2338,6 +2348,14 @@ impl PmixServer {
                 self.ctl_cv.notify_all();
             }
         }
+    }
+
+    /// Whether this server has observed `proc`'s death. Dead processes
+    /// stay *registered* (their identity is never recycled), so callers
+    /// that validate liveness — the lazy-resolver cache, fault-aware
+    /// waits — must ask this rather than [`NamespaceRegistry::locate`].
+    pub fn proc_is_dead(&self, proc: &ProcId) -> bool {
+        self.dead.read().contains(proc)
     }
 
     /// React to a process death: fail or shrink affected collectives,

@@ -15,6 +15,18 @@ use simnet::{Endpoint, EndpointId, Fabric, NodeId, SimTestbed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Name prefix of the per-namespace *survivors* psets maintained by
+/// [`PmixUniverse::track_faults`]: `mpi://world` minus every failed
+/// process, shrunk by the failure bridge as deaths land and pruned by the
+/// graceful-retire path. Versioned like any registry pset, so epoch-pinned
+/// group queries compose.
+pub const SURVIVORS_PSET_PREFIX: &str = "mpi://survivors/";
+
+/// The survivors-pset name for `nspace` (see [`SURVIVORS_PSET_PREFIX`]).
+pub fn survivors_pset_name(nspace: &str) -> String {
+    format!("{SURVIVORS_PSET_PREFIX}{nspace}")
+}
+
 /// A running PMIx universe over a simulated testbed.
 pub struct PmixUniverse {
     fabric: Fabric,
@@ -27,7 +39,14 @@ pub struct PmixUniverse {
     /// not pass an explicit `init_mode` info key. Runtime-writable through
     /// the `pmix.init_mode` cvar.
     lazy_init_default: std::sync::atomic::AtomicBool,
+    /// Deadline (ms) the MPI layer passes on group-construct fan-ins.
+    /// Runtime-writable through the `pmix.group_timeout_ms` cvar.
+    group_timeout_ms: std::sync::atomic::AtomicU64,
 }
+
+/// Default group-construct deadline, matching
+/// [`crate::GroupDirectives::default`].
+const DEFAULT_GROUP_TIMEOUT_MS: u64 = 30_000;
 
 impl PmixUniverse {
     /// Boot servers (one per node of the testbed) and the failure bridge.
@@ -158,6 +177,7 @@ impl PmixUniverse {
             lazy_init_default: std::sync::atomic::AtomicBool::new(
                 std::env::var("INIT_MODE").map(|v| v == "lazy").unwrap_or(false),
             ),
+            group_timeout_ms: std::sync::atomic::AtomicU64::new(DEFAULT_GROUP_TIMEOUT_MS),
         });
         uni.register_cvars();
         uni
@@ -230,6 +250,26 @@ impl PmixUniverse {
         let (r, wr) = (w.clone(), w.clone());
         obs.cvar_register(
             "universe",
+            "pmix.group_timeout_ms",
+            "deadline (ms) the MPI layer pins on group-construct fan-ins — comm \
+             creation, shrink/repair, elastic rebuild \
+             (legacy setter: PmixUniverse::set_group_timeout)",
+            move || {
+                r.upgrade().map(|u| {
+                    obs::CvarValue::U64(
+                        u.group_timeout_ms.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                })
+            },
+            obs::u64_writer(move |v| {
+                if let Some(u) = wr.upgrade() {
+                    u.group_timeout_ms.store(v.max(1), std::sync::atomic::Ordering::Relaxed);
+                }
+            }),
+        );
+        let (r, wr) = (w.clone(), w.clone());
+        obs.cvar_register(
+            "universe",
             "pmix.init_mode",
             "default session-init mode: eager (fence-collected business cards) or \
              lazy (fence-free, peers resolved on first send); the per-session \
@@ -271,6 +311,22 @@ impl PmixUniverse {
     /// [`PmixUniverse::lazy_init_default`]).
     pub fn set_lazy_init_default(&self, lazy: bool) {
         self.lazy_init_default.store(lazy, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The deadline the MPI layer pins on every group-construct fan-in
+    /// (comm creation, shrink/repair, elastic rebuild). Runtime-writable
+    /// through the `pmix.group_timeout_ms` cvar, so fault drills can trade
+    /// the forgiving default for a fast typed `Timeout`.
+    pub fn group_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(
+            self.group_timeout_ms.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Set the group-construct deadline (see [`PmixUniverse::group_timeout`]).
+    pub fn set_group_timeout(&self, timeout: std::time::Duration) {
+        self.group_timeout_ms
+            .store((timeout.as_millis() as u64).max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Purge a gracefully-retired process's business cards from every
@@ -347,6 +403,47 @@ impl PmixUniverse {
         let entry = self.registry.locate(proc)?;
         let server = self.server(entry.node)?;
         Ok(PmixClient::init(server, proc.clone()))
+    }
+
+    /// Whether the universe has observed `proc`'s death. The failure
+    /// bridge replicates every death to all servers *synchronously* before
+    /// any pset event fires, so any single server's dead set is
+    /// authoritative for the whole universe.
+    pub fn proc_is_dead(&self, proc: &ProcId) -> bool {
+        self.servers[0].proc_is_dead(proc)
+    }
+
+    /// Opt in to fault tracking for `nspace`: define (idempotently) the
+    /// registry-backed survivors pset — the namespace's processes minus
+    /// every observed death. From then on the failure bridge's
+    /// [`NamespaceRegistry::remove_from_psets`] shrinks it on each kill
+    /// and the graceful-retire path prunes departures, so the pset *is*
+    /// the queryable "who is still here" answer, versioned under the
+    /// global registry epoch. Returns the pset name.
+    ///
+    /// Tracking is opt-in (not armed at launch) so jobs that never ask for
+    /// fault awareness keep their exact pset-epoch sequences.
+    pub fn track_faults(&self, nspace: &str) -> Result<String> {
+        let name = survivors_pset_name(nspace);
+        let info = self.registry.namespace(nspace)?;
+        if self.registry.pset_members(&name).is_err() {
+            let live: Vec<ProcId> = info
+                .procs()
+                .iter()
+                .filter(|e| !self.proc_is_dead(&e.proc))
+                .map(|e| e.proc.clone())
+                .collect();
+            self.registry.define_pset(&name, live);
+        }
+        // Close the race with a death landing between the liveness
+        // snapshot and the define: the bridge marks dead *before* it
+        // shrinks psets, so a post-define sweep catches anything missed.
+        for e in info.procs() {
+            if self.proc_is_dead(&e.proc) {
+                self.registry.remove_proc_from_pset(&name, &e.proc);
+            }
+        }
+        Ok(name)
     }
 
     /// Kill a registered process (fault injection).

@@ -337,6 +337,13 @@ impl<T: Send + 'static> JobCtl<T> {
             }
         }
         for p in &retired {
+            // Graceful drains must shrink the fault-tracking pset too, but
+            // ONLY that one: a blanket remove_from_psets here would bump
+            // every app pset's epoch on a planned shrink the app already
+            // coordinated via `pset` above.
+            universe
+                .registry()
+                .remove_proc_from_pset(&pmix::survivors_pset_name(inner.nspace.as_str()), p);
             universe.registry().deregister_proc(p);
             // A retired rank's business cards must not outlive it: no
             // failure event fires on this path, so the servers' KVS purge

@@ -741,6 +741,403 @@ fn run_lazy_init(seed: u64) -> RunReport {
     report
 }
 
+/// Correlated kills: two ranks on *different nodes* die back-to-back while
+/// every survivor holds a tracked faults pset and a fault watcher. The
+/// live watcher sees both deaths, a watcher attached after the burst
+/// replays exactly both (never more), the faults pset settles on the two
+/// survivors, and an epoch-pinned [`Comm::repair_via_pset`] rebuilds a
+/// working communicator over them. The `survivors-exclude-dead` invariant
+/// then audits that neither corpse is still listed at run end.
+fn run_correlated_kills(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::info::keys;
+    use mpi_sessions_repro::mpi::instance::MpiProcess;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Delay,
+            RuleScope::pair_within(1, 3),
+            SeqWindow::first(2),
+        )
+        .with_delay_ms(15)],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-corr-{seed}");
+    let (tx, rx) = mpsc::channel::<u32>();
+    let handle = world.launcher().spawn_named(&nspace, JobSpec::new(4), move |ctx| {
+        // Eager construct semantics are what the repair path exercises;
+        // pin the mode so the ci.sh INIT_MODE=lazy sweep doesn't change it.
+        let info = Info::new();
+        info.set(keys::INIT_MODE, "eager");
+        let session =
+            Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+        let pset = session.track_faults().unwrap();
+        let mut faults = session.watch_faults().unwrap();
+        let g = session.group_from_pset("mpi://world").unwrap();
+        let c = Comm::create_from_group(&g, "pre-corr").unwrap();
+        assert_eq!(coll::allreduce_t(&c, ReduceOp::Sum, &[1u32]).unwrap()[0], 4);
+        tx.send(ctx.rank()).unwrap();
+        if ctx.rank() % 2 == 1 {
+            // The victims (rank 1 on node 0, rank 3 on node 1): wait for
+            // the own death to become globally visible, then bow out.
+            for i in 0..1000 {
+                let sg = session.surviving_group("mpi://world").unwrap();
+                if sg.iter().all(|m| m.proc.rank() != ctx.rank()) {
+                    return 0;
+                }
+                assert!(i < 999, "victim never observed its own failure");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        // Survivors: the correlated burst arrives on the live watcher...
+        let mut dead = vec![
+            faults.next_timeout(Duration::from_secs(10)).expect("first fault").rank(),
+            faults.next_timeout(Duration::from_secs(10)).expect("second fault").rank(),
+        ];
+        dead.sort_unstable();
+        assert_eq!(dead, vec![1, 3]);
+        // ...and a late subscriber replays exactly the burst, once.
+        let mut late = session.watch_faults().unwrap();
+        let mut replay = vec![
+            late.next_timeout(Duration::from_secs(5)).expect("first replay").rank(),
+            late.next_timeout(Duration::from_secs(5)).expect("second replay").rank(),
+        ];
+        replay.sort_unstable();
+        assert_eq!(replay, vec![1, 3]);
+        assert!(late.try_next().is_none(), "replay is exactly-once");
+        // The faults pset settles on the two survivors; pin its epoch and
+        // repair the broken communicator over it.
+        let registry = MpiProcess::obtain(&ctx).universe().registry().clone();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let epoch = loop {
+            let (e, m) = registry.pset_members_versioned(&pset).unwrap();
+            if m.len() == 2 {
+                break e;
+            }
+            assert!(Instant::now() < deadline, "faults pset never settled on the survivors");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let repaired = c.repair_via_pset(&session, &pset, epoch).unwrap();
+        assert_eq!(repaired.size(), 2);
+        let sum = coll::allreduce_t(&repaired, ReduceOp::Sum, &[1u32]).unwrap()[0];
+        assert_eq!(sum, 2);
+        repaired.free().unwrap();
+        // `c` still names the dead ranks: its teardown cannot be
+        // collective anymore, so it is dropped, not freed.
+        session.finalize().unwrap();
+        sum
+    });
+    for _ in 0..4 {
+        rx.recv_timeout(Duration::from_secs(30)).expect("warm ack");
+    }
+    world.kill_proc(&ProcId::new(nspace.as_str(), 1));
+    world.kill_proc(&ProcId::new(nspace.as_str(), 3));
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![2, 0, 2, 0], "survivors repair; victims bow out");
+    // Survivors and victims legitimately diverge in cid counters.
+    let report = world.finish(None, Vec::new());
+    assert!(!report.trace.is_empty(), "the warm construct must cross the delay rule");
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Delay && r.detail == 15));
+    report.assert_clean();
+    report
+}
+
+/// Partition during rebuild: the first server↔server crossing message in
+/// each direction is lost exactly when the elastic establish fans in
+/// across both nodes. With the construct deadline lowered through the
+/// `pmix.group_timeout_ms` cvar, both servers abort fast, every rank gets
+/// a typed `Timeout`, and the rebuild loop retries the *same* epoch — the
+/// partition window is spent, so the retry lands and the job completes.
+fn run_partition_rebuild(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::info::keys;
+    use mpi_sessions_repro::mpi::{ElasticComm, Rebuild};
+    use mpi_sessions_repro::obs::CvarValue;
+    use std::sync::mpsc;
+
+    const PSET: &str = "app://chaos-pr";
+    const STEP: Duration = Duration::from_secs(20);
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Partition,
+            RuleScope::pair_within(1, 3).and_crossing(vec![0], vec![1]),
+            SeqWindow::first(1),
+        )],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    // Trade the forgiving default construct deadline for a fast typed
+    // Timeout — this is the `pmix.group_timeout_ms` cvar exercised end to
+    // end: written here, read by every rank's construct directives.
+    world
+        .universe()
+        .fabric()
+        .obs()
+        .cvar_write("universe", "pmix.group_timeout_ms", CvarValue::U64(800))
+        .unwrap();
+    let nspace = format!("chaos-pr-{seed}");
+    let (tx, rx) = mpsc::channel::<(u32, u64, u32)>();
+    let handle = world.launcher().spawn_named(
+        &nspace,
+        JobSpec::new(4).with_pset(PSET, vec![0, 1, 2, 3]),
+        move |ctx| {
+            // A lazy construct is local and would never cross the cut; pin
+            // eager so the INIT_MODE=lazy sweep keeps testing the retry.
+            let info = Info::new();
+            info.set(keys::INIT_MODE, "eager");
+            let session =
+                Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+            // The establish *is* the partitioned rebuild: its fan-in is the
+            // first traffic crossing the server pair, so each direction's
+            // opening message is dropped, the construct times out, and the
+            // inner retry (same epoch) goes through.
+            let mut ec = ElasticComm::establish(&session, PSET, STEP).unwrap();
+            loop {
+                let comm = ec.comm().expect("member has a communicator");
+                let sum = coll::allreduce_t(comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+                tx.send((ctx.rank(), ec.epoch(), sum)).unwrap();
+                match ec.next_rebuild(STEP) {
+                    Ok(Rebuild::Rebuilt { .. }) => continue,
+                    Ok(Rebuild::Retired { .. }) | Ok(Rebuild::Deleted { .. }) => break,
+                    Err(e) => panic!("rank {} rebuild failed: {e}", ctx.rank()),
+                }
+            }
+            session.finalize().unwrap();
+            ctx.rank()
+        },
+    );
+    for _ in 0..4 {
+        let (rank, epoch, sum) = rx.recv_timeout(STEP).expect("ack before timeout");
+        assert_eq!((epoch, sum), (1, 4), "rank {rank} at wrong epoch/membership");
+    }
+    world.universe().registry().undefine_pset(PSET);
+    let out = handle.join().unwrap();
+    assert_eq!(out.len(), 4);
+    let obs = world.universe().fabric().obs();
+    assert!(
+        obs.sum_counters("session", "rebuild_retries") >= 1,
+        "the partition must force at least one timed-out attempt"
+    );
+    let cid = rank_processes(&world, 0..4);
+    let report = world.finish(None, cid);
+    assert_eq!(report.trace.len(), 2, "one dropped crossing per direction");
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Partition && r.pair_seq == 0));
+    report.assert_clean();
+    report
+}
+
+/// Kill during lazy resolve: a fence-free job loses a rank whose route
+/// some peers never resolved. A survivor's first contact with the corpse
+/// must fail *typed* at the resolver — the dead set vetoes the cached or
+/// fetched card — and the `lazy-resolve-terminal` invariant audits that
+/// the resolution ended `failed`, not parked. Late fault subscription
+/// replays the death exactly once.
+fn run_kill_lazy_resolve(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::instance::MpiProcess;
+    use mpi_sessions_repro::mpi::info::keys;
+    use mpi_sessions_repro::mpi::ErrClass;
+    use std::sync::mpsc;
+
+    const VICTIM: u32 = 3;
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Delay,
+            RuleScope::pair_within(1, 3),
+            SeqWindow::first(2),
+        )
+        .with_delay_ms(20)],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-lazykill-{seed}");
+    let (tx, rx) = mpsc::channel::<u32>();
+    let ns = nspace.clone();
+    let handle = world.launcher().spawn_named(&nspace, JobSpec::new(4), move |ctx| {
+        let info = Info::new();
+        info.set(keys::INIT_MODE, "lazy");
+        let session =
+            Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+        assert!(session.is_lazy());
+        let g = session.group_from_pset("mpi://world").unwrap();
+        let c = Comm::create_from_group(&g, "lazy-kill").unwrap();
+        // Ring exchange only: rank 1 never touches rank 3, so its route to
+        // the victim stays unresolved — the post-kill probe below is a
+        // *fresh* resolution against a dead peer. The cross-node hops ride
+        // the delayed dmodex path.
+        let np = c.size();
+        let right = (ctx.rank() + 1) % np;
+        let left = (ctx.rank() + np - 1) % np;
+        let payload = vec![ctx.rank() as u8; 4];
+        let (got, _) = c.sendrecv(right, 7, &payload, left as i32, 7).unwrap();
+        assert_eq!(got, vec![left as u8; 4]);
+        tx.send(ctx.rank()).unwrap();
+        if ctx.rank() == VICTIM {
+            // The victim: wait out the own death, then bow out (no
+            // finalize — the runtime already considers this process gone).
+            for i in 0..1000 {
+                let sg = session.surviving_group("mpi://world").unwrap();
+                if sg.iter().all(|m| m.proc.rank() != VICTIM) {
+                    return 0u32;
+                }
+                assert!(i < 999, "victim never observed its own failure");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        // Survivors: the death arrives live, and a late watcher replays it
+        // exactly once.
+        let mut faults = session.watch_faults().unwrap();
+        assert_eq!(
+            faults.next_timeout(Duration::from_secs(10)).expect("live fault").rank(),
+            VICTIM
+        );
+        let mut late = session.watch_faults().unwrap();
+        assert_eq!(
+            late.next_timeout(Duration::from_secs(5)).expect("replayed fault").rank(),
+            VICTIM
+        );
+        assert!(late.try_next().is_none(), "replay is exactly-once");
+        if ctx.rank() == 1 {
+            // Deterministically exercise the server-side dead set (the
+            // fabric watcher can outrun the failure bridge): wait until
+            // the servers know, then probe. The fresh lazy resolution must
+            // end `failed` with a typed error, not hand out a dead card.
+            let universe = MpiProcess::obtain(&ctx).universe().clone();
+            let victim = mpi_sessions_repro::pmix::ProcId::new(ns.as_str(), VICTIM);
+            for i in 0..1000 {
+                if universe.proc_is_dead(&victim) {
+                    break;
+                }
+                assert!(i < 999, "servers never marked the victim dead");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let err = c.send(VICTIM, 9, b"late").unwrap_err();
+            assert!(
+                matches!(err.class, ErrClass::ProcFailed | ErrClass::ProcTerminated),
+                "probe to the corpse must fail typed, got: {err}"
+            );
+        }
+        // The comm names the dead rank: drop, not free.
+        session.finalize().unwrap();
+        1u32
+    });
+    for _ in 0..4 {
+        rx.recv_timeout(Duration::from_secs(30)).expect("ring ack");
+    }
+    world.kill_proc(&ProcId::new(nspace.as_str(), VICTIM));
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![1, 1, 1, 0], "survivors complete; the victim bows out");
+
+    let obs = world.universe().fabric().obs();
+    // Fence-free means fence-free, kills or not: no collective setup ran.
+    assert_eq!(obs.sum_counters("pmix", "fence_completed"), 0);
+    assert!(obs.sum_counters("pmix", "lazy_gets") > 0, "active resolution happened");
+    // The probe's resolution terminated with a typed failure.
+    assert!(
+        obs.events_named("pml.lazy_resolve")
+            .iter()
+            .any(|e| e.attr("outcome").and_then(|v| v.as_str()) == Some("failed")),
+        "the post-kill resolve must end failed"
+    );
+    let report = world.finish(None, Vec::new());
+    assert!(!report.trace.is_empty(), "the dmodex path must cross the delay rule");
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Delay && r.detail == 20));
+    report.assert_clean();
+    report
+}
+
+/// Cascading rebuilds racing new faults: both kills land before the
+/// survivors run their rebuild, so the first queued membership event still
+/// names an already-dead member. The rebuild pinned to that epoch must
+/// fail typed and *re-enter* the event loop (`rebuild_reentered`), landing
+/// on the next epoch's membership — never stall, never surface a terminal
+/// error. The tracked faults pset keeps the `survivors-exclude-dead`
+/// invariant in play across the cascade.
+fn run_cascade_rebuild(seed: u64) -> RunReport {
+    use mpi_sessions_repro::mpi::info::keys;
+    use mpi_sessions_repro::mpi::{ElasticComm, Rebuild};
+    use std::sync::mpsc;
+
+    const PSET: &str = "app://chaos-cascade";
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::new(
+            FaultClass::Delay,
+            RuleScope::pair_within(1, 3),
+            SeqWindow::first(2),
+        )
+        .with_delay_ms(15)],
+    );
+    let world = ChaosWorld::new(SimTestbed::tiny(2, 2), plan);
+    let nspace = format!("chaos-cascade-{seed}");
+    let (tx, rx) = mpsc::channel::<u32>();
+    let handle = world.launcher().spawn_named(
+        &nspace,
+        JobSpec::new(4).with_pset(PSET, vec![0, 1, 2, 3]),
+        move |ctx| {
+            // The re-enter path is an eager construct failing typed on a
+            // dead member; pin the mode against the INIT_MODE=lazy sweep.
+            let info = Info::new();
+            info.set(keys::INIT_MODE, "eager");
+            let session =
+                Session::init(&ctx, ThreadLevel::Single, ErrHandler::Return, &info).unwrap();
+            session.track_faults().unwrap();
+            let mut ec =
+                ElasticComm::establish(&session, PSET, Duration::from_secs(10)).unwrap();
+            assert_eq!(coll::allreduce_t(ec.comm().unwrap(), ReduceOp::Sum, &[1u32]).unwrap()[0], 4);
+            tx.send(ctx.rank()).unwrap();
+            if ctx.rank() >= 2 {
+                // The victims: wait out the own death, then bow out.
+                for i in 0..1000 {
+                    let sg = session.surviving_group("mpi://world").unwrap();
+                    if sg.iter().all(|m| m.proc.rank() != ctx.rank()) {
+                        return 0u32;
+                    }
+                    assert!(i < 999, "victim never observed its own failure");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            // Hold the rebuild until BOTH deaths are known, so the cascade
+            // is guaranteed: the epoch pinned by the first membership event
+            // still includes a member that is already dead.
+            let mut faults = session.watch_faults().unwrap();
+            let mut dead = vec![
+                faults.next_timeout(Duration::from_secs(10)).expect("first fault").rank(),
+                faults.next_timeout(Duration::from_secs(10)).expect("second fault").rank(),
+            ];
+            dead.sort_unstable();
+            assert_eq!(dead, vec![2, 3]);
+            match ec.next_rebuild(Duration::from_secs(20)).unwrap() {
+                Rebuild::Rebuilt { .. } => {}
+                other => panic!("expected a rebuild over the survivors, got {other:?}"),
+            }
+            let comm = ec.comm().expect("rebuilt communicator");
+            assert_eq!(comm.size(), 2);
+            let sum = coll::allreduce_t(comm, ReduceOp::Sum, &[1u32]).unwrap()[0];
+            drop(ec);
+            session.finalize().unwrap();
+            sum
+        },
+    );
+    for _ in 0..4 {
+        rx.recv_timeout(Duration::from_secs(30)).expect("warm ack");
+    }
+    world.kill_proc(&ProcId::new(nspace.as_str(), 3));
+    world.kill_proc(&ProcId::new(nspace.as_str(), 2));
+    let out = handle.join().unwrap();
+    assert_eq!(out, vec![2, 2, 0, 0], "survivors land on the cascaded epoch");
+    let obs = world.universe().fabric().obs();
+    assert!(
+        obs.sum_counters("session", "rebuild_reentered") >= 1,
+        "at least one survivor re-entered the rebuild loop"
+    );
+    let report = world.finish(None, Vec::new());
+    assert!(!report.trace.is_empty(), "the warm construct must cross the delay rule");
+    assert!(report.trace.iter().all(|r| r.class == FaultClass::Delay && r.detail == 15));
+    report.assert_clean();
+    report
+}
+
 type Scenario = fn(u64) -> RunReport;
 
 const SCENARIOS: &[(&str, Scenario)] = &[
@@ -753,6 +1150,10 @@ const SCENARIOS: &[(&str, Scenario)] = &[
     ("soak", run_soak),
     ("async_setup", run_async_setup),
     ("lazy_init", run_lazy_init),
+    ("correlated_kills", run_correlated_kills),
+    ("partition_rebuild", run_partition_rebuild),
+    ("kill_lazy_resolve", run_kill_lazy_resolve),
+    ("cascade_rebuild", run_cascade_rebuild),
 ];
 
 // ---------------------------------------------------------------------------
@@ -819,6 +1220,34 @@ fn async_setup_seeds_terminate_every_request() {
 fn lazy_init_seeds_resolve_through_delays_and_fail_typed_after_retire() {
     for seed in [71, 72, 73, 74] {
         run_lazy_init(seed);
+    }
+}
+
+#[test]
+fn correlated_kill_seeds_replay_once_and_repair() {
+    for seed in [101, 102, 103] {
+        run_correlated_kills(seed);
+    }
+}
+
+#[test]
+fn partition_rebuild_seeds_retry_the_timed_out_epoch() {
+    for seed in [111, 112, 113] {
+        run_partition_rebuild(seed);
+    }
+}
+
+#[test]
+fn kill_lazy_resolve_seeds_fail_typed_at_the_resolver() {
+    for seed in [121, 122, 123] {
+        run_kill_lazy_resolve(seed);
+    }
+}
+
+#[test]
+fn cascade_rebuild_seeds_reenter_to_the_newer_epoch() {
+    for seed in [131, 132, 133] {
+        run_cascade_rebuild(seed);
     }
 }
 

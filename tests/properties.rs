@@ -268,4 +268,67 @@ proptest! {
             &*epochs
         );
     }
+
+    /// The faults pset under any interleaving of kills (failure bridge:
+    /// prune every pset), graceful retires (launcher: prune just the
+    /// survivors pset), and repair-side reads stays (a) a subset of the
+    /// world it was defined over, (b) strictly epoch-monotonic, and
+    /// (c) free of resurrection: once a proc is tombstoned by either
+    /// removal path — including redundant removals racing each other —
+    /// no later operation ever puts it back among the survivors.
+    #[test]
+    fn prop_faults_pset_shrinks_monotonically_and_never_resurrects(
+        ops in proptest::collection::vec(0u8..18, 1..100)
+    ) {
+        let reg = NamespaceRegistry::new();
+        let epochs: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let sink = epochs.clone();
+        reg.add_pset_listener(Box::new(move |c| sink.lock().unwrap().push(c.epoch)));
+        let world: Vec<ProcId> = (0..6).map(|r| ProcId::new("prop-ft", r)).collect();
+        let survivors = mpi_sessions_repro::pmix::survivors_pset_name("prop-ft");
+        reg.define_pset(&survivors, world.clone());
+        let mut tombstoned = [false; 6];
+        for code in ops {
+            let (op, w) = (code % 3, (code / 3) as usize);
+            let p = &world[w];
+            match op {
+                0 => {
+                    // Kill: the failure bridge prunes every pset holding p.
+                    reg.remove_from_psets(p, None);
+                    tombstoned[w] = true;
+                }
+                1 => {
+                    // Graceful retire: prune only the survivors pset.
+                    reg.remove_proc_from_pset(&survivors, p);
+                    tombstoned[w] = true;
+                }
+                _ => {
+                    // Repair-side read: the versioned snapshot a
+                    // `repair_via_pset` pins must be stable across an
+                    // immediate re-read (no phantom epoch bumps).
+                    let (e1, m1) = reg.pset_members_versioned(&survivors).unwrap();
+                    let (e2, m2) = reg.pset_members_versioned(&survivors).unwrap();
+                    prop_assert_eq!(e1, e2, "read-only ops must not move the epoch");
+                    prop_assert_eq!(&*m1, &*m2);
+                }
+            }
+            let (_, members) = reg.pset_members_versioned(&survivors).unwrap();
+            for m in members.iter() {
+                prop_assert!(world.contains(m), "survivors must stay ⊆ world, found {}", m);
+            }
+            for (i, dead) in tombstoned.iter().enumerate() {
+                prop_assert!(
+                    !(*dead && members.contains(&world[i])),
+                    "tombstoned proc {} resurrected into the survivors pset",
+                    &world[i]
+                );
+            }
+        }
+        let epochs = epochs.lock().unwrap();
+        prop_assert!(
+            epochs.windows(2).all(|w| w[0] < w[1]),
+            "emitted epochs must be strictly increasing: {:?}",
+            &*epochs
+        );
+    }
 }

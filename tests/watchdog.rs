@@ -265,3 +265,59 @@ fn cvar_writes_are_behavior_identical_to_legacy_setters() {
     assert_eq!(out[0].2, Some(CvarValue::U64(3)));
     assert_eq!(out[0].3, Some(CvarValue::U64(17)));
 }
+
+/// Claim 5 (the dead-peer fast path): a request whose only possible
+/// completer is a dead process must fail `ProcTerminated` as soon as the
+/// fabric is quiet — not burn the caller's whole logical-deadline budget
+/// and come back with a useless `Timeout`. This is a fails-pre-fix
+/// regression: before requests tracked their `waiting_on` endpoint,
+/// `wait_timeout` had no way to tell "peers are slow" from "the peer can
+/// never answer", and a 30-second budget below really took 30 seconds.
+#[test]
+fn wait_on_dead_peer_fails_proc_terminated_fast() {
+    let world = ChaosWorld::new(SimTestbed::tiny(1, 3), FaultPlan::quiet(0xDEADBEE));
+    let nspace = "watchdog-dead";
+    let handle = world.launcher().spawn_named(nspace, JobSpec::new(3), |ctx| {
+        let session = new_session(&ctx);
+        let group = session.group_from_pset("mpi://world").unwrap();
+        let comm = Comm::create_from_group(&group, "wd-dead").unwrap();
+        if ctx.rank() == 2 {
+            // Victim: hold the endpoint open until the driver kills it.
+            std::thread::sleep(Duration::from_secs(5));
+            return None;
+        }
+        let mut faults = session.watch_faults().unwrap();
+        let victim = faults.next_timeout(Duration::from_secs(10)).expect("fault");
+        assert_eq!(victim.rank(), 2);
+        if ctx.rank() == 1 {
+            session.finalize().unwrap();
+            return None;
+        }
+        // Rank 0: post a receive naming the corpse, then wait with a
+        // budget far larger than the test could ever tolerate burning.
+        let mut req = comm.irecv(2, 42).unwrap();
+        let started = std::time::Instant::now();
+        let err = req.wait_timeout(Duration::from_secs(30)).unwrap_err();
+        let elapsed = started.elapsed();
+        assert_eq!(
+            err.class,
+            ErrClass::ProcTerminated,
+            "dead-peer wait must fail typed, not time out: {err}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "the verdict must come from the dead set, not deadline expiry: {elapsed:?}"
+        );
+        // The comm still names the dead rank, so its teardown cannot be
+        // collective; it is dropped, not freed.
+        session.finalize().unwrap();
+        Some(err.class)
+    });
+    std::thread::sleep(Duration::from_millis(400));
+    world.kill_proc(&mpi_sessions_repro::pmix::ProcId::new(nspace, 2));
+    let out = handle.join().unwrap();
+    assert_eq!(out[0], Some(ErrClass::ProcTerminated));
+    // The victim never constructed past the comm, so cid counters agree
+    // only among the survivors — skip the symmetric agreement list.
+    world.finish(None, Vec::new()).assert_clean();
+}
